@@ -1,0 +1,41 @@
+//! Compiler-stage bench (supplementary): how long each stage of the
+//! limpetMLIR pipeline takes — frontend, lowering, optimization passes,
+//! vectorization, and bytecode emission — on a small and a large model.
+//! The paper's flow runs at model-build time, so compile speed bounds the
+//! edit-run loop of model developers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limpet_codegen::pipeline::{limpet_mlir, Layout, VectorIsa};
+use limpet_codegen::{lower_model, CodegenOptions};
+use limpet_harness::model_info;
+use limpet_vm::Kernel;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_time");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for name in ["HodgkinHuxley", "OHara"] {
+        let src = limpet_models::source(name);
+        g.bench_with_input(BenchmarkId::new("frontend", name), &(), |b, ()| {
+            b.iter(|| limpet_easyml::compile_model(name, &src).unwrap());
+        });
+        let model = limpet_models::model(name);
+        g.bench_with_input(BenchmarkId::new("lowering", name), &(), |b, ()| {
+            b.iter(|| lower_model(&model, &CodegenOptions::default()));
+        });
+        g.bench_with_input(BenchmarkId::new("full_pipeline", name), &(), |b, ()| {
+            b.iter(|| limpet_mlir(&model, VectorIsa::Avx512, Layout::AoSoA { block: 8 }));
+        });
+        let module = limpet_mlir(&model, VectorIsa::Avx512, Layout::AoSoA { block: 8 }).module;
+        let info = model_info(&model);
+        g.bench_with_input(BenchmarkId::new("bytecode+luts", name), &(), |b, ()| {
+            b.iter(|| Kernel::from_module(&module, &info).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 2 bench: single-thread baseline vs. limpetMLIR (AVX-512) kernel
+//! step time, one representative model per size class plus the
+//! figure-visible outliers. The `figures --fig2` binary produces the full
+//! 43-model series; this bench gives criterion-grade statistics on the
+//! kernels behind it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limpet_bench::bench_sim;
+use limpet_codegen::pipeline::VectorIsa;
+use limpet_harness::PipelineKind;
+use std::time::Duration;
+
+const MODELS: [&str; 6] = [
+    "Plonsey",          // small
+    "ISAC_Hu",          // small, LUT-free math-heavy outlier
+    "HodgkinHuxley",    // medium (classic)
+    "Courtemanche",     // medium
+    "OHara",            // large
+    "GrandiPanditVoigt",// large, most compute-bound (Fig. 6)
+];
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    let n_cells = 1024;
+    for model in MODELS {
+        for (label, kind) in [
+            ("baseline", PipelineKind::Baseline),
+            ("limpetMLIR-AVX512", PipelineKind::LimpetMlir(VectorIsa::Avx512)),
+        ] {
+            let mut sim = bench_sim(model, kind, n_cells);
+            sim.run(2);
+            g.bench_with_input(BenchmarkId::new(label, model), &(), |b, ()| {
+                b.iter(|| sim.step());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 3 bench: the per-thread shard work at 32 threads. Each thread of
+//! the paper's 32-core run processes `n_cells / 32` cells per step; this
+//! bench measures exactly that shard under both pipelines, per class. The
+//! `figures --fig3` binary composes these with the parallel timing model
+//! (barrier + bandwidth terms) into the full figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limpet_bench::bench_sim;
+use limpet_codegen::pipeline::VectorIsa;
+use limpet_harness::PipelineKind;
+use std::time::Duration;
+
+const THREADS: usize = 32;
+const TOTAL_CELLS: usize = 8192;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_shard32");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    let shard = TOTAL_CELLS / THREADS; // 256 cells per thread
+    for model in ["Plonsey", "Courtemanche", "OHara"] {
+        for (label, kind) in [
+            ("baseline", PipelineKind::Baseline),
+            ("limpetMLIR-AVX512", PipelineKind::LimpetMlir(VectorIsa::Avx512)),
+        ] {
+            let mut sim = bench_sim(model, kind, shard);
+            sim.run(2);
+            g.bench_with_input(BenchmarkId::new(label, model), &(), |b, ()| {
+                b.iter(|| sim.step());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 4 bench: per-thread shard work across the paper's thread counts
+//! (1, 2, 4, 8, 16, 32), one representative model per class. Shard size =
+//! total cells / threads, so the series shows how per-thread work shrinks
+//! — the compute-side ingredient of Fig. 4's scaling curves (the harness
+//! adds the synchronization and bandwidth terms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use limpet_bench::bench_sim;
+use limpet_codegen::pipeline::VectorIsa;
+use limpet_harness::PipelineKind;
+use std::time::Duration;
+
+const TOTAL_CELLS: usize = 4096;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_scaling");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for (class, model) in [("small", "Plonsey"), ("medium", "BeelerReuter"), ("large", "OHara")] {
+        for threads in [1usize, 4, 16, 32] {
+            let shard = (TOTAL_CELLS / threads).max(8);
+            g.throughput(Throughput::Elements(shard as u64));
+            let mut sim = bench_sim(
+                model,
+                PipelineKind::LimpetMlir(VectorIsa::Avx512),
+                shard,
+            );
+            sim.run(2);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{class}-{model}"), threads),
+                &(),
+                |b, ()| b.iter(|| sim.step()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 5 bench: the three vector ISAs (SSE = 2 lanes, AVX2 = 4,
+//! AVX-512 = 8) against the scalar baseline on one model per class —
+//! criterion-grade evidence for the ISA ordering the figure reports
+//! (speedup of AVX-512 > AVX2 > SSE).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limpet_bench::bench_sim;
+use limpet_codegen::pipeline::VectorIsa;
+use limpet_harness::PipelineKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_isa");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    let n_cells = 1024;
+    for model in ["Plonsey", "LuoRudy91", "WangSobie"] {
+        let configs = [
+            ("scalar".to_owned(), PipelineKind::Baseline),
+            ("SSE".to_owned(), PipelineKind::LimpetMlir(VectorIsa::Sse)),
+            ("AVX2".to_owned(), PipelineKind::LimpetMlir(VectorIsa::Avx2)),
+            ("AVX-512".to_owned(), PipelineKind::LimpetMlir(VectorIsa::Avx512)),
+        ];
+        for (label, kind) in configs {
+            let mut sim = bench_sim(model, kind, n_cells);
+            sim.run(2);
+            g.bench_with_input(BenchmarkId::new(label, model), &(), |b, ()| {
+                b.iter(|| sim.step());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

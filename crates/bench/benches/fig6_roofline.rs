@@ -1,0 +1,65 @@
+//! Figure 6 bench: the two machine ceilings of the roofline model,
+//! measured ERT-style (the paper uses the Empirical Roofline Tool):
+//! peak floating-point throughput via an unrolled FMA loop, and memory
+//! bandwidth via a stream triad. The `figures --roofline` binary combines
+//! these ceilings with per-model operational-intensity points.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_ceilings");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+
+    // Peak compute: 8 independent FMA chains.
+    let fma_iters = 100_000u64;
+    g.throughput(Throughput::Elements(fma_iters * 8 * 2));
+    g.bench_function("peak_fma_flops", |b| {
+        b.iter(|| {
+            let mut acc = [1.0f64, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7];
+            for _ in 0..fma_iters {
+                for v in acc.iter_mut() {
+                    *v = v.mul_add(1.000_000_1, 1e-9);
+                }
+            }
+            std::hint::black_box(acc)
+        });
+    });
+
+    // Memory bandwidth: stream triad over a buffer past the LLC.
+    let n = 1 << 21; // 2M doubles = 16 MiB
+    let a = vec![1.0f64; n];
+    let bv = vec![2.0f64; n];
+    let mut cvec = vec![0.0f64; n];
+    g.throughput(Throughput::Bytes((n * 24) as u64));
+    g.bench_function("stream_triad", |b| {
+        b.iter(|| {
+            for i in 0..n {
+                cvec[i] = a[i] + 0.5 * bv[i];
+            }
+            std::hint::black_box(&cvec);
+        });
+    });
+
+    // One memory-bound and one compute-bound kernel point for contrast
+    // (DrouhardRoberge vs GrandiPanditVoigt, as in the figure).
+    for model in ["DrouhardRoberge", "GrandiPanditVoigt"] {
+        let mut sim = limpet_bench::bench_sim(
+            model,
+            limpet_harness::PipelineKind::LimpetMlir(
+                limpet_codegen::pipeline::VectorIsa::Avx512,
+            ),
+            1024,
+        );
+        sim.run(2);
+        g.bench_function(format!("kernel_point/{model}"), |b| {
+            b.iter(|| sim.step());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! FMA-contraction ablation: the pipeline with and without the
+//! multiply-add fusion pass, on current-sum-heavy models. Fused ops halve
+//! dispatch for the a·b+c chains that dominate ionic current summation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limpet_codegen::pipeline::{Layout, VectorIsa};
+use limpet_harness::model_info;
+use limpet_vm::{Kernel, SimContext};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fma_ablation");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    let n_cells = 2048;
+    for model_name in ["BeelerReuter", "OHara"] {
+        let model = limpet_models::model(model_name);
+        let info = model_info(&model);
+
+        // With contraction (the standard pipeline).
+        let with = limpet_codegen::pipeline::limpet_mlir(
+            &model,
+            VectorIsa::Avx512,
+            Layout::AoSoA { block: 8 },
+        )
+        .module;
+
+        // Without: rebuild the pipeline minus FmaContract.
+        let mut without = limpet_codegen::lower_model(
+            &model,
+            &limpet_codegen::CodegenOptions { use_lut: true },
+        )
+        .module;
+        {
+            use limpet_passes::*;
+            let mut pm = PassManager::new();
+            pm.add(ConstProp)
+                .add(Canonicalize)
+                .add(Cse)
+                .add(Licm)
+                .add(Dce)
+                .add(Vectorize::new(8));
+            pm.add(Cse);
+            pm.add(Dce);
+            pm.run(&mut without);
+            without.attrs.set("layout", "aosoa8");
+        }
+
+        for (label, module) in [("fused", &with), ("unfused", &without)] {
+            let kernel = Kernel::from_module(module, &info).unwrap();
+            let mut st = kernel.new_states(n_cells, limpet_vm::StateLayout::AoSoA { block: 8 });
+            let mut ext = kernel.new_ext(n_cells);
+            let mut t = 0.0;
+            g.bench_with_input(BenchmarkId::new(label, model_name), &(), |b, ()| {
+                b.iter(|| {
+                    kernel.run_step(&mut st, &mut ext, None, SimContext { dt: 0.01, t });
+                    t += 0.01;
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

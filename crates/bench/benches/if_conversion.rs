@@ -1,0 +1,85 @@
+//! If-conversion cost bench — the trade-off the paper's §5 discussion
+//! calls out: "the vectorization of an if/else condition requires both
+//! blocks to be executed and element-wise selected according to a mask,
+//! which may lead to performance degradation in large portions of
+//! conditional code."
+//!
+//! Three synthetic models with identical total work but different branch
+//! structure:
+//! * `branchless` — all math unconditional;
+//! * `light_branch` — a small conditional (cheap either way);
+//! * `heavy_branch` — two large, disjoint transcendental bodies. The
+//!   scalar baseline executes ONE side per cell; the vectorized kernel
+//!   executes BOTH and selects, so its advantage shrinks — exactly the
+//!   §5 caveat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limpet_codegen::pipeline::VectorIsa;
+use limpet_harness::{PipelineKind, Simulation, Workload};
+use std::time::Duration;
+
+fn heavy_body(side: &str, n_terms: usize) -> String {
+    // A chain of transcendental terms, distinct per side.
+    let mut s = String::new();
+    for i in 0..n_terms {
+        let c = 1.0 + i as f64 * 0.37;
+        s.push_str(&format!("exp(-square(Vm {side} {c:.2}) / 900.0) + "));
+    }
+    s.push_str("0.0");
+    s
+}
+
+fn model_src(kind: &str) -> String {
+    let body = match kind {
+        "branchless" => format!(
+            "w = {};\n",
+            heavy_body("+", 8)
+        ),
+        "light_branch" => format!(
+            "if (Vm > 0.0) {{ w = Vm / 50.0; }} else {{ w = -Vm / 80.0; }}\n"
+        ),
+        _ => format!(
+            "if (Vm > 0.0) {{ w = {}; }} else {{ w = {}; }}\n",
+            heavy_body("+", 8),
+            heavy_body("-", 8)
+        ),
+    };
+    format!(
+        "Vm; .external();\nIion; .external();\n\
+         diff_x = (0.5 - x) / 10.0;\n{body}Iion = 0.1 * w * x * (Vm + 80.0);"
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("if_conversion");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    let n_cells = 2048;
+    for kind in ["branchless", "light_branch", "heavy_branch"] {
+        let model = limpet_easyml::compile_model(kind, &model_src(kind)).unwrap();
+        for (label, config) in [
+            ("baseline", PipelineKind::Baseline),
+            ("limpetMLIR", PipelineKind::LimpetMlir(VectorIsa::Avx512)),
+        ] {
+            let wl = Workload {
+                n_cells,
+                steps: 0,
+                dt: 0.01,
+            };
+            let mut sim = Simulation::new(&model, config, &wl);
+            // Spread Vm across the branch threshold so both sides matter.
+            for cell in 0..n_cells {
+                sim.perturb_vm(cell, (cell as f64 % 100.0) - 50.0);
+            }
+            sim.run(2);
+            g.bench_with_input(BenchmarkId::new(label, kind), &(), |b, ()| {
+                b.iter(|| sim.step());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

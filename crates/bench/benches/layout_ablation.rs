@@ -1,0 +1,35 @@
+//! §4.4 bench: the data-layout transformation (AoS vs. AoSoA) at AVX-512.
+//! The paper reports the effect is strongest on models that "access more
+//! memory (state value)" — so this bench uses large many-state models
+//! (including Stress_Niederer, the model §4.4 quotes at 4.98x → 6.03x)
+//! plus a small model where the effect should be negligible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limpet_bench::bench_sim;
+use limpet_codegen::pipeline::VectorIsa;
+use limpet_harness::PipelineKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layout_ablation");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    let n_cells = 4096; // larger population: layout effects need traffic
+    for model in ["Plonsey", "Stress_Niederer", "IyerMazhariWinslow"] {
+        for (label, kind) in [
+            ("AoS", PipelineKind::LimpetMlirAos(VectorIsa::Avx512)),
+            ("AoSoA", PipelineKind::LimpetMlir(VectorIsa::Avx512)),
+        ] {
+            let mut sim = bench_sim(model, kind, n_cells);
+            sim.run(2);
+            g.bench_with_input(BenchmarkId::new(label, model), &(), |b, ()| {
+                b.iter(|| sim.step());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! §3.4.2 bench: lookup tables off / scalar interpolation / vectorized
+//! interpolation. The paper reports LUTs give >6x over non-LUT versions,
+//! and that leaving the interpolation scalar "degrades speedup
+//! considerably" — the motivation for the vectorized
+//! `LUT_interpRow_n_elements` implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limpet_bench::bench_sim;
+use limpet_codegen::pipeline::VectorIsa;
+use limpet_harness::PipelineKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lut_ablation");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    let n_cells = 1024;
+    // Rate-table-heavy classics: LUTs elide most transcendentals.
+    for model in ["HodgkinHuxley", "BeelerReuter", "LuoRudy91"] {
+        let configs = [
+            ("noLUT", PipelineKind::LimpetMlirNoLut(VectorIsa::Avx512)),
+            ("scalarLUT", PipelineKind::CompilerSimd(VectorIsa::Avx512)),
+            ("vectorLUT", PipelineKind::LimpetMlir(VectorIsa::Avx512)),
+        ];
+        for (label, kind) in configs {
+            let mut sim = bench_sim(model, kind, n_cells);
+            sim.run(2);
+            g.bench_with_input(BenchmarkId::new(label, model), &(), |b, ()| {
+                b.iter(|| sim.step());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! §7 extension bench: Catmull-Rom spline LUT interpolation on
+//! 4x-coarsened tables vs. linear interpolation on full-resolution tables
+//! — the future-work trade-off the paper proposes (same accuracy, quarter
+//! of the table memory, four-row stencil reads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limpet_bench::bench_sim;
+use limpet_codegen::pipeline::VectorIsa;
+use limpet_harness::PipelineKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spline_extension");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    let n_cells = 1024;
+    for model in ["HodgkinHuxley", "LuoRudy91", "Courtemanche"] {
+        for (label, kind) in [
+            ("linear", PipelineKind::LimpetMlir(VectorIsa::Avx512)),
+            ("spline4x", PipelineKind::LimpetMlirSpline(VectorIsa::Avx512)),
+        ] {
+            let mut sim = bench_sim(model, kind, n_cells);
+            sim.run(2);
+            g.bench_with_input(BenchmarkId::new(label, model), &(), |b, ()| {
+                b.iter(|| sim.step());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! # limpet-bench
+//!
+//! Criterion benchmarks regenerating every table and figure of the paper —
+//! see the `benches/` directory. This library only hosts shared helpers.
+
+#![warn(missing_docs)]
+
+use limpet_harness::{PipelineKind, Simulation, Workload};
+
+/// Builds a ready-to-run simulation for benchmarking.
+pub fn bench_sim(model_name: &str, config: PipelineKind, n_cells: usize) -> Simulation {
+    let m = limpet_models::model(model_name);
+    let wl = Workload {
+        n_cells,
+        steps: 0,
+        dt: 0.01,
+    };
+    Simulation::new(&m, config, &wl)
+}

@@ -1,0 +1,434 @@
+//! Lookup-table extraction (paper §3.4.2).
+//!
+//! A `.lookup(lo, hi, step)` markup on a variable `L` tells the code
+//! generator that expressions depending **only** on `L` (and parameters/
+//! constants) may be precomputed over the tabulated range and replaced by a
+//! linear interpolation at runtime. This mirrors openCARP's LUT machinery
+//! (`LUT_interpRow`), which the paper found to dominate runtime in many
+//! models and re-implemented as a vectorized MLIR function.
+//!
+//! The extraction pipeline:
+//!
+//! 1. find *L-pure* intermediates — variables whose defining expression
+//!    reads only `L`, parameters, constants, and other L-pure variables;
+//! 2. inline L-pure variables into every statement (their defining
+//!    statements are dropped);
+//! 3. walk each remaining expression top-down and replace every **maximal**
+//!    subexpression that references `L`, is closed over `{L} ∪ params`, and
+//!    contains at least one math call, by a reference to a fresh (or
+//!    deduplicated) table column.
+//!
+//! Column references are encoded as internal calls
+//! `__lut_col(table_index, col_index, L)` which only
+//! [`crate::lower`] understands; they never appear in user-facing ASTs.
+
+use limpet_easyml::{Expr, Lookup, Model, Stmt};
+use std::collections::{HashMap, HashSet};
+
+/// Internal marker function name for an extracted column reference.
+pub(crate) const LUT_COL_MARKER: &str = "__lut_col";
+
+/// One extracted lookup table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutTable {
+    /// The lookup key variable (e.g. `Vm`).
+    pub var: String,
+    /// Tabulated range and step from the markup.
+    pub lookup: Lookup,
+    /// Column expressions, closed over `{var} ∪ params`.
+    pub columns: Vec<Expr>,
+}
+
+/// Result of LUT extraction over a model body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutExtraction {
+    /// Rewritten statements with `__lut_col` references.
+    pub stmts: Vec<Stmt>,
+    /// Extracted tables, indexed by the `table_index` argument of
+    /// `__lut_col`.
+    pub tables: Vec<LutTable>,
+}
+
+/// Runs LUT extraction for every `.lookup()` markup of the model.
+///
+/// Returns the rewritten statement list and the extracted tables. When the
+/// model has no lookup markups (or nothing worth tabulating), the statements
+/// are returned unchanged and `tables` is empty.
+pub fn extract_luts(model: &Model) -> LutExtraction {
+    let mut stmts = model.stmts.clone();
+    let mut tables = Vec::new();
+
+    for lookup in &model.lookups {
+        let var = lookup.var.clone();
+        let param_names: HashSet<String> =
+            model.params.iter().map(|p| p.name.clone()).collect();
+
+        // Step 1: L-pure intermediates (top-level plain assignments only).
+        let mut pure: HashMap<String, Expr> = HashMap::new();
+        loop {
+            let mut grew = false;
+            for s in &stmts {
+                if let Stmt::Assign { lhs, expr, .. } = s {
+                    if lhs.starts_with("diff_")
+                        || pure.contains_key(lhs)
+                        || model.external(lhs).is_some()
+                    {
+                        continue;
+                    }
+                    if is_closed(expr, &var, &param_names, &pure) && expr.references_any(&var, &pure)
+                    {
+                        pure.insert(lhs.clone(), expr.clone());
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+
+        // Step 2: inline L-pure vars everywhere; drop their definitions.
+        let inlined: HashMap<String, Expr> = pure
+            .keys()
+            .map(|k| (k.clone(), inline_pure(&pure[k], &pure)))
+            .collect();
+        stmts = stmts
+            .into_iter()
+            .filter(|s| match s {
+                Stmt::Assign { lhs, .. } => !inlined.contains_key(lhs),
+                Stmt::If { .. } => true,
+            })
+            .map(|s| substitute_stmt(s, &inlined))
+            .collect();
+
+        // Step 3: extract maximal closed subexpressions containing calls.
+        let table_index = tables.len();
+        let mut columns: Vec<Expr> = Vec::new();
+        let mut col_keys: HashMap<String, usize> = HashMap::new();
+        stmts = stmts
+            .into_iter()
+            .map(|s| {
+                extract_stmt(
+                    s,
+                    &var,
+                    &param_names,
+                    table_index,
+                    &mut columns,
+                    &mut col_keys,
+                )
+            })
+            .collect();
+
+        if !columns.is_empty() {
+            tables.push(LutTable {
+                var,
+                lookup: lookup.clone(),
+                columns,
+            });
+        }
+    }
+
+    LutExtraction { stmts, tables }
+}
+
+trait ReferencesAny {
+    fn references_any(&self, var: &str, pure: &HashMap<String, Expr>) -> bool;
+}
+
+impl ReferencesAny for Expr {
+    /// Whether the expression references `var` directly or through an
+    /// already-classified L-pure intermediate.
+    fn references_any(&self, var: &str, pure: &HashMap<String, Expr>) -> bool {
+        let mut vars = Vec::new();
+        self.collect_vars(&mut vars);
+        vars.iter().any(|v| v == var || pure.contains_key(v))
+    }
+}
+
+/// Whether all free variables of `expr` are `var`, parameters, or
+/// already-known L-pure intermediates.
+fn is_closed(
+    expr: &Expr,
+    var: &str,
+    params: &HashSet<String>,
+    pure: &HashMap<String, Expr>,
+) -> bool {
+    let mut vars = Vec::new();
+    expr.collect_vars(&mut vars);
+    vars.iter()
+        .all(|v| v == var || params.contains(v) || pure.contains_key(v))
+}
+
+/// Recursively inlines L-pure variable references.
+fn inline_pure(expr: &Expr, pure: &HashMap<String, Expr>) -> Expr {
+    match expr {
+        Expr::Var(v) => match pure.get(v) {
+            Some(def) => inline_pure(def, pure),
+            None => expr.clone(),
+        },
+        Expr::Num(_) => expr.clone(),
+        Expr::Unary(op, e) => Expr::Unary(*op, Box::new(inline_pure(e, pure))),
+        Expr::Binary(op, l, r) => Expr::Binary(
+            *op,
+            Box::new(inline_pure(l, pure)),
+            Box::new(inline_pure(r, pure)),
+        ),
+        Expr::Call(name, args) => Expr::Call(
+            name.clone(),
+            args.iter().map(|a| inline_pure(a, pure)).collect(),
+        ),
+        Expr::Cond(c, t, e) => Expr::Cond(
+            Box::new(inline_pure(c, pure)),
+            Box::new(inline_pure(t, pure)),
+            Box::new(inline_pure(e, pure)),
+        ),
+    }
+}
+
+fn substitute_stmt(stmt: Stmt, defs: &HashMap<String, Expr>) -> Stmt {
+    match stmt {
+        Stmt::Assign { lhs, expr, line } => Stmt::Assign {
+            lhs,
+            expr: inline_pure(&expr, &to_pure_map(defs)),
+            line,
+        },
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            line,
+        } => Stmt::If {
+            cond: inline_pure(&cond, &to_pure_map(defs)),
+            then_body: then_body
+                .into_iter()
+                .map(|s| substitute_stmt(s, defs))
+                .collect(),
+            else_body: else_body
+                .into_iter()
+                .map(|s| substitute_stmt(s, defs))
+                .collect(),
+            line,
+        },
+    }
+}
+
+fn to_pure_map(defs: &HashMap<String, Expr>) -> HashMap<String, Expr> {
+    defs.clone()
+}
+
+fn extract_stmt(
+    stmt: Stmt,
+    var: &str,
+    params: &HashSet<String>,
+    table: usize,
+    columns: &mut Vec<Expr>,
+    col_keys: &mut HashMap<String, usize>,
+) -> Stmt {
+    match stmt {
+        Stmt::Assign { lhs, expr, line } => Stmt::Assign {
+            lhs,
+            expr: extract_expr(expr, var, params, table, columns, col_keys),
+            line,
+        },
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            line,
+        } => Stmt::If {
+            cond: extract_expr(cond, var, params, table, columns, col_keys),
+            then_body: then_body
+                .into_iter()
+                .map(|s| extract_stmt(s, var, params, table, columns, col_keys))
+                .collect(),
+            else_body: else_body
+                .into_iter()
+                .map(|s| extract_stmt(s, var, params, table, columns, col_keys))
+                .collect(),
+            line,
+        },
+    }
+}
+
+/// Whether the expression contains a math call (the "worth tabulating"
+/// criterion — LUTs pay off when they elide transcendental evaluations).
+fn contains_call(expr: &Expr) -> bool {
+    match expr {
+        Expr::Num(_) | Expr::Var(_) => false,
+        Expr::Unary(_, e) => contains_call(e),
+        Expr::Binary(_, l, r) => contains_call(l) || contains_call(r),
+        Expr::Call(..) => true,
+        Expr::Cond(c, t, e) => contains_call(c) || contains_call(t) || contains_call(e),
+    }
+}
+
+fn extract_expr(
+    expr: Expr,
+    var: &str,
+    params: &HashSet<String>,
+    table: usize,
+    columns: &mut Vec<Expr>,
+    col_keys: &mut HashMap<String, usize>,
+) -> Expr {
+    let empty = HashMap::new();
+    if expr.references(var) && is_closed(&expr, var, params, &empty) && contains_call(&expr) {
+        // Maximal eligible node: replace by a (deduplicated) column ref.
+        let key = expr.to_string();
+        let col = *col_keys.entry(key).or_insert_with(|| {
+            columns.push(expr.clone());
+            columns.len() - 1
+        });
+        return Expr::Call(
+            LUT_COL_MARKER.to_owned(),
+            vec![
+                Expr::Num(table as f64),
+                Expr::Num(col as f64),
+                Expr::Var(var.to_owned()),
+            ],
+        );
+    }
+    match expr {
+        Expr::Num(_) | Expr::Var(_) => expr,
+        Expr::Unary(op, e) => Expr::Unary(
+            op,
+            Box::new(extract_expr(*e, var, params, table, columns, col_keys)),
+        ),
+        Expr::Binary(op, l, r) => Expr::Binary(
+            op,
+            Box::new(extract_expr(*l, var, params, table, columns, col_keys)),
+            Box::new(extract_expr(*r, var, params, table, columns, col_keys)),
+        ),
+        Expr::Call(name, args) => Expr::Call(
+            name,
+            args.into_iter()
+                .map(|a| extract_expr(a, var, params, table, columns, col_keys))
+                .collect(),
+        ),
+        Expr::Cond(c, t, e) => Expr::Cond(
+            Box::new(extract_expr(*c, var, params, table, columns, col_keys)),
+            Box::new(extract_expr(*t, var, params, table, columns, col_keys)),
+            Box::new(extract_expr(*e, var, params, table, columns, col_keys)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limpet_easyml::compile_model;
+
+    fn model(src: &str) -> Model {
+        compile_model("m", src).unwrap()
+    }
+
+    #[test]
+    fn no_lookup_no_tables() {
+        let m = model("diff_x = exp(-x);");
+        let ex = extract_luts(&m);
+        assert!(ex.tables.is_empty());
+        assert_eq!(ex.stmts, m.stmts);
+    }
+
+    #[test]
+    fn extracts_direct_subexpression() {
+        let m = model(
+            "Vm; .external(); .lookup(-100, 100, 0.5);\n\
+             diff_x = exp(Vm / 10.0) * x;",
+        );
+        let ex = extract_luts(&m);
+        assert_eq!(ex.tables.len(), 1);
+        assert_eq!(ex.tables[0].columns.len(), 1);
+        assert_eq!(ex.tables[0].columns[0].to_string(), "exp((Vm/10))");
+        // The rewritten diff references the marker call.
+        let rewritten = format!("{:?}", ex.stmts);
+        assert!(rewritten.contains(LUT_COL_MARKER));
+    }
+
+    #[test]
+    fn inlines_pure_intermediates_into_columns() {
+        // `am` depends only on Vm: the whole chain becomes one column and
+        // the am assignment is dropped.
+        let m = model(
+            "Vm; .external(); .lookup(-100, 100, 0.5);\n\
+             am = 0.1 * (Vm + 40.0) / (1.0 - exp(-(Vm + 40.0) / 10.0));\n\
+             diff_x = am * (1.0 - x);",
+        );
+        let ex = extract_luts(&m);
+        assert_eq!(ex.tables[0].columns.len(), 1);
+        assert!(ex.tables[0].columns[0].to_string().contains("exp"));
+        // am's definition is gone.
+        assert!(ex.stmts.iter().all(|s| !matches!(
+            s,
+            Stmt::Assign { lhs, .. } if lhs == "am"
+        )));
+    }
+
+    #[test]
+    fn dedups_identical_columns() {
+        let m = model(
+            "Vm; .external(); .lookup(-100, 100, 0.5);\n\
+             diff_x = exp(Vm) * x;\n\
+             diff_y = exp(Vm) * y;",
+        );
+        let ex = extract_luts(&m);
+        assert_eq!(ex.tables[0].columns.len(), 1);
+    }
+
+    #[test]
+    fn call_free_expressions_not_tabulated() {
+        let m = model(
+            "Vm; .external(); .lookup(-100, 100, 0.5);\n\
+             diff_x = (Vm + 1.0) * x;",
+        );
+        let ex = extract_luts(&m);
+        assert!(ex.tables.is_empty());
+    }
+
+    #[test]
+    fn params_allowed_in_columns() {
+        let m = model(
+            "Vm; .external(); .lookup(-100, 100, 0.5);\n\
+             group{ k = 2.0; }.param();\n\
+             diff_x = exp(k * Vm) - x;",
+        );
+        let ex = extract_luts(&m);
+        assert_eq!(ex.tables[0].columns.len(), 1);
+        assert_eq!(ex.tables[0].columns[0].to_string(), "exp((k*Vm))");
+    }
+
+    #[test]
+    fn state_dependent_expressions_stay() {
+        let m = model(
+            "Vm; .external(); .lookup(-100, 100, 0.5);\n\
+             diff_x = exp(Vm * x);",
+        );
+        let ex = extract_luts(&m);
+        // exp(Vm * x) is not closed over {Vm, params}: x is state.
+        assert!(ex.tables.is_empty());
+    }
+
+    #[test]
+    fn extraction_inside_if_branches() {
+        let m = model(
+            "Vm; .external(); .lookup(-100, 100, 0.5);\n\
+             diff_x = a - x;\n\
+             if (Vm > 0.0) { a = exp(Vm); } else { a = 0.0; }",
+        );
+        let ex = extract_luts(&m);
+        assert_eq!(ex.tables.len(), 1);
+        assert_eq!(ex.tables[0].columns[0].to_string(), "exp(Vm)");
+    }
+
+    #[test]
+    fn multiple_lookup_vars_multiple_tables() {
+        let m = model(
+            "Vm; .external(); .lookup(-100, 100, 0.5);\n\
+             Ca; .external(); .lookup(0, 10, 0.01);\n\
+             diff_x = exp(Vm) + log(Ca + 1.0) - x;",
+        );
+        let ex = extract_luts(&m);
+        assert_eq!(ex.tables.len(), 2);
+        assert_eq!(ex.tables[0].var, "Vm");
+        assert_eq!(ex.tables[1].var, "Ca");
+    }
+}

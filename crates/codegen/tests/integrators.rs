@@ -1,0 +1,185 @@
+//! Numerical-order verification of the six integration methods
+//! (paper §3.3.2): each generated integrator must exhibit its textbook
+//! convergence order on problems with known exact solutions.
+//!
+//! * forward Euler — first order;
+//! * rk2 (midpoint) — second order;
+//! * rk4 — fourth order;
+//! * Rush-Larsen — *exact* for linear gate ODEs (any dt);
+//! * Sundnes — second order on gate problems with time-varying rates;
+//! * markov_be — stable where explicit Euler diverges.
+
+use limpet_codegen::pipeline;
+use limpet_vm::{Kernel, ModelInfo, SimContext, StateLayout};
+
+/// Integrates `diff_x` for `steps` of `dt` with the chosen method and
+/// returns x(T). `extra` appends model body lines (e.g. time-varying
+/// rates).
+fn integrate(method: &str, rhs: &str, x0: f64, dt: f64, t_end: f64, extra: &str) -> f64 {
+    let src = format!(
+        "diff_x = {rhs};\nx_init = {x0};\nx;.method({method});\n{extra}"
+    );
+    let model = limpet_easyml::compile_model("ode", &src).unwrap();
+    let lowered = pipeline::baseline(&model);
+    let info = ModelInfo {
+        state_names: vec!["x".into()],
+        state_inits: vec![x0],
+        ext_names: vec![],
+        ext_inits: vec![],
+        params: vec![],
+    };
+    let kernel = Kernel::from_module(&lowered.module, &info).unwrap();
+    let mut st = kernel.new_states(1, StateLayout::Aos);
+    let mut ext = kernel.new_ext(1);
+    let steps = (t_end / dt).round() as usize;
+    for s in 0..steps {
+        kernel.run_step(
+            &mut st,
+            &mut ext,
+            None,
+            SimContext { dt, t: s as f64 * dt },
+        );
+    }
+    st.get(0, 0)
+}
+
+/// Observed convergence order from errors at dt and dt/2.
+fn observed_order(method: &str, rhs: &str, exact: f64, dt: f64, t_end: f64) -> f64 {
+    let e1 = (integrate(method, rhs, 1.0, dt, t_end, "") - exact).abs();
+    let e2 = (integrate(method, rhs, 1.0, dt / 2.0, t_end, "") - exact).abs();
+    (e1 / e2).log2()
+}
+
+// dx/dt = -x with x(0) = 1 over t in [0, 1]: x(1) = e^{-1}. A *linear*
+// problem would be integrated exactly by Rush-Larsen, so the explicit
+// methods' orders are measured on the nonlinear dx = -x^2 instead:
+// x(t) = 1 / (1 + t).
+const NONLINEAR: &str = "-x * x";
+const NONLINEAR_EXACT: f64 = 0.5; // x(1) = 1/(1+1)
+
+#[test]
+fn forward_euler_is_first_order() {
+    let p = observed_order("fe", NONLINEAR, NONLINEAR_EXACT, 0.01, 1.0);
+    assert!((0.8..1.2).contains(&p), "observed order {p}");
+}
+
+#[test]
+fn rk2_is_second_order() {
+    let p = observed_order("rk2", NONLINEAR, NONLINEAR_EXACT, 0.02, 1.0);
+    assert!((1.8..2.3).contains(&p), "observed order {p}");
+}
+
+#[test]
+fn rk4_is_fourth_order() {
+    let p = observed_order("rk4", NONLINEAR, NONLINEAR_EXACT, 0.05, 1.0);
+    assert!((3.6..4.4).contains(&p), "observed order {p}");
+}
+
+#[test]
+fn rk4_beats_rk2_beats_fe_at_equal_dt() {
+    let dt = 0.02;
+    let err = |m: &str| (integrate(m, NONLINEAR, 1.0, dt, 1.0, "") - NONLINEAR_EXACT).abs();
+    let (e_fe, e_rk2, e_rk4) = (err("fe"), err("rk2"), err("rk4"));
+    assert!(e_rk2 < e_fe / 5.0, "rk2 {e_rk2} vs fe {e_fe}");
+    assert!(e_rk4 < e_rk2 / 5.0, "rk4 {e_rk4} vs rk2 {e_rk2}");
+}
+
+#[test]
+fn rush_larsen_is_exact_on_linear_gates() {
+    // dx = (0.8 - x) / 2  =>  x(t) = 0.8 + (x0 - 0.8) e^{-t/2}.
+    let exact = |t: f64| 0.8 + (1.0 - 0.8) * (-t / 2.0).exp();
+    // Exact regardless of step size: try a HUGE dt.
+    for dt in [0.01, 0.5, 2.0] {
+        let got = integrate("rush_larsen", "(0.8 - x) / 2.0", 1.0, dt, 4.0, "");
+        let want = exact(4.0);
+        assert!(
+            (got - want).abs() < 1e-12,
+            "dt {dt}: {got} vs exact {want}"
+        );
+    }
+}
+
+#[test]
+fn rush_larsen_beats_fe_on_stiff_gates() {
+    // Stiff gate: tau = 0.05, dt = 0.09 (fe's stability limit is 2*tau).
+    let rhs = "(0.5 - x) / 0.05";
+    let exact = 0.5 + (1.0 - 0.5) * (-2.0f64 / 0.05).exp(); // ~0.5
+    let fe = integrate("fe", rhs, 1.0, 0.09, 2.0, "");
+    let rl = integrate("rush_larsen", rhs, 1.0, 0.09, 2.0, "");
+    assert!(
+        (rl - exact).abs() < 1e-9,
+        "RL must nail the stiff gate: {rl} vs {exact}"
+    );
+    // fe at dt near the stability limit oscillates/diverges.
+    assert!((fe - exact).abs() > (rl - exact).abs());
+}
+
+#[test]
+fn sundnes_is_second_order_on_time_varying_gates() {
+    // Gate whose target depends on another state that itself evolves:
+    //   diff_y = -y          (y drives the rate)
+    //   diff_x = (y - x)/1.0 integrated by sundnes.
+    // Exact solution with x0=0, y0=1: x(t) = t e^{-t}.
+    let src = |method: &str, dt: f64| {
+        // y is integrated exactly (Rush-Larsen nails linear decay), so
+        // the measured error isolates x's integrator.
+        let source = format!(
+            "diff_y = -y;\ny_init = 1.0;\ny;.method(rush_larsen);\n\
+             diff_x = (y - x) / 1.0;\nx_init = 0.0;\nx;.method({method});"
+        );
+        let model = limpet_easyml::compile_model("ode2", &source).unwrap();
+        let lowered = pipeline::baseline(&model);
+        let info = ModelInfo {
+            state_names: model.states.iter().map(|s| s.name.clone()).collect(),
+            state_inits: model.states.iter().map(|s| s.init).collect(),
+            ext_names: vec![],
+            ext_inits: vec![],
+            params: vec![],
+        };
+        let kernel = Kernel::from_module(&lowered.module, &info).unwrap();
+        let mut st = kernel.new_states(1, StateLayout::Aos);
+        let mut ext = kernel.new_ext(1);
+        let steps = (1.0 / dt).round() as usize;
+        for s in 0..steps {
+            kernel.run_step(&mut st, &mut ext, None, SimContext { dt, t: s as f64 * dt });
+        }
+        let xi = info.state_names.iter().position(|n| n == "x").unwrap();
+        st.get(0, xi)
+    };
+    let exact = 1.0f64 * (-1.0f64).exp(); // t e^-t at t=1
+    let e1 = (src("sundnes", 0.05) - exact).abs();
+    let e2 = (src("sundnes", 0.025) - exact).abs();
+    let p = (e1 / e2).log2();
+    assert!((1.6..2.6).contains(&p), "sundnes observed order {p} (e1={e1:.3e}, e2={e2:.3e})");
+    // And it should beat plain Rush-Larsen (first-order in the coupling).
+    let e_rl = (src("rush_larsen", 0.05) - exact).abs();
+    assert!(e1 < e_rl, "sundnes {e1:.3e} should beat RL {e_rl:.3e}");
+}
+
+#[test]
+fn markov_be_is_stable_beyond_fe_limit() {
+    // Very stiff occupancy relaxation: tau = 0.01, dt = 0.05 (5x the fe
+    // stability bound). markov_be's damped fixed-point + clamp stays in
+    // [0, 1]; fe explodes.
+    let rhs = "(0.3 - x) / 0.01";
+    let be = integrate("markov_be", rhs, 1.0, 0.05, 1.0, "");
+    assert!((0.0..=1.0).contains(&be), "markov_be escaped: {be}");
+    assert!((be - 0.3).abs() < 0.05, "markov_be should approach 0.3: {be}");
+    let fe = integrate("fe", rhs, 1.0, 0.05, 1.0, "");
+    assert!(
+        !(0.0..=1.0).contains(&fe) || fe.abs() > 10.0 || fe.is_nan(),
+        "fe unexpectedly stable at 5x its limit: {fe}"
+    );
+}
+
+#[test]
+fn all_methods_agree_in_the_small_dt_limit() {
+    let exact = NONLINEAR_EXACT;
+    for method in ["fe", "rk2", "rk4", "rush_larsen", "sundnes", "markov_be"] {
+        let got = integrate(method, NONLINEAR, 1.0, 0.0005, 1.0, "");
+        assert!(
+            (got - exact).abs() < 5e-3,
+            "{method}: {got} vs exact {exact}"
+        );
+    }
+}

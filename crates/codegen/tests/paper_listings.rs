@@ -1,0 +1,126 @@
+//! Paper-listing parity: the exact model of the paper's Listing 1 must
+//! produce code with the structural hallmarks of Listings 2 and 3.
+
+use limpet_codegen::{emit_c, pipeline};
+use limpet_easyml::compile_model;
+use limpet_ir::print_module;
+
+/// Listing 1, verbatim.
+const LISTING_1: &str = r#"
+Vm; .external(); .nodal(); .lookup(-100,100,0.05);
+Iion; .external(); .nodal();
+group{ u1; u2; u3; }.nodal();
+
+group{ Cm = 200; beta = 1; xi = 3; }.param();
+u1_init = 0; u2_init = 0; u3_init = 0; Vm_init = 0;
+diff_u3 = 0;
+diff_u2 = -(u1+u3-Vm)*cube(u2);
+diff_u1 = square(u1+u3-Vm)*square(u2)+0.5*(u1+u3-Vm);
+u1;.method(rk2);
+
+Iion = (-(Cm/2.)*(u1+u3-Vm)*square(u2)*(Vm-u3)+beta);
+"#;
+
+#[test]
+fn listing_2_structure_from_baseline_c() {
+    // Listing 2: the openCARP-generated C. Check its structural landmarks.
+    let model = compile_model("Pathmanathan", LISTING_1).unwrap();
+    let c = emit_c(&pipeline::baseline(&model).module).unwrap();
+
+    // "#pragma omp parallel for schedule(static)" (Listing 2 line 1)
+    assert!(c.contains("#pragma omp parallel for schedule(static)"));
+    // "for (int __i=start; __i<end; __i++)" (line 2)
+    assert!(c.contains("for (int __i = start; __i < end; __i++)"));
+    // "Pathmanathan_state *sv = sv_base+__i" (line 3)
+    assert!(c.contains("Pathmanathan_state *sv = sv_base + __i;"));
+    // External variable initialization and save (lines 5, 31).
+    assert!(c.contains("Vm_ext[__i]"));
+    assert!(c.contains("Iion_ext[__i] ="));
+    // Parameter access via p-> (line 10: p->Cm, p->beta).
+    assert!(c.contains("p->Cm"));
+    assert!(c.contains("p->beta"));
+    // State updates for all three variables (lines 28-29).
+    assert!(c.contains("sv->u1 ="));
+    assert!(c.contains("sv->u2 ="));
+    assert!(c.contains("sv->u3 ="));
+}
+
+#[test]
+fn listing_3_structure_from_vectorized_ir() {
+    // Listing 3: the limpetMLIR-generated MLIR. Check its hallmarks on
+    // our vectorized IR at width 8 (the paper's `vector<8xf64>`).
+    let model = compile_model("Pathmanathan", LISTING_1).unwrap();
+    let lowered = pipeline::limpet_mlir(
+        &model,
+        pipeline::VectorIsa::Avx512,
+        pipeline::Layout::AoSoA { block: 8 },
+    );
+    let ir = print_module(&lowered.module);
+
+    // Every per-cell value is vector<8xf64> (Listing 3 throughout).
+    assert!(ir.contains("vector<8xf64>"), "{ir}");
+    // Splat constants like `arith.constant dense<2.0> : vector<8xf64>`
+    // (Listing 3 line 24) — our spelling drops `dense<>` but keeps the
+    // vector-typed constant.
+    assert!(
+        ir.contains("arith.constant 100.0 : vector<8xf64>")
+            || ir.contains(" : vector<8xf64>\n"),
+        "{ir}"
+    );
+    // `arith.divf ... : vector<8xf64>` / `arith.negf` (lines 25-26:
+    // the -(Cm/2.) computation).
+    assert!(ir.contains("arith.negf"), "{ir}");
+    // The rk2 method re-evaluates diff_u1 (Listing 2 lines 17-26): the
+    // intermediate state value feeds a second derivative computation.
+    let mul_count = ir.matches("arith.mulf").count();
+    assert!(mul_count >= 6, "rk2 re-evaluation missing: {mul_count} muls");
+    // dt/2 shows up as a uniform scalar computation (vectorizer keeps
+    // dt uniform).
+    assert!(ir.contains("limpet.dt"), "{ir}");
+}
+
+#[test]
+fn listing_1_lut_is_declared_but_unused() {
+    // The paper's example declares .lookup on Vm, but its equations are
+    // polynomial — nothing qualifies for tabulation (our extraction
+    // requires a transcendental call). The table is declared yet no
+    // lut.col op appears, matching LUT_interpRow being called for NROWS
+    // of zero useful columns.
+    let model = compile_model("Pathmanathan", LISTING_1).unwrap();
+    assert!(model.lookup("Vm").is_some());
+    let lowered = pipeline::limpet_mlir(
+        &model,
+        pipeline::VectorIsa::Avx512,
+        pipeline::Layout::AoSoA { block: 8 },
+    );
+    let ir = print_module(&lowered.module);
+    assert!(!ir.contains("lut.col"), "{ir}");
+}
+
+#[test]
+fn listing_1_simulates_to_finite_values_for_100k_steps_scaled() {
+    // The paper's bench runs 100 000 steps; scale to 5 000 here (same
+    // dynamics, 20x faster) and assert stability under pacing.
+    use limpet_harness::{PipelineKind, Simulation, Stimulus, Workload};
+    let model = compile_model("Pathmanathan", LISTING_1).unwrap();
+    let wl = Workload {
+        n_cells: 64,
+        steps: 0,
+        dt: 0.01,
+    };
+    let mut sim = Simulation::new(
+        &model,
+        PipelineKind::LimpetMlir(pipeline::VectorIsa::Avx512),
+        &wl,
+    );
+    sim.set_stimulus(Stimulus {
+        period: 10.0,
+        duration: 1.0,
+        amplitude: 10.0,
+    });
+    sim.run(5_000);
+    for c in 0..64 {
+        assert!(sim.vm(c).is_finite());
+        assert!(sim.iion(c).is_finite());
+    }
+}

@@ -1,0 +1,305 @@
+//! # limpet — MLIR-style optimizing code generation for cardiac ionic models
+//!
+//! A from-scratch Rust reproduction of **limpetMLIR** (Thangamani, Trevisan
+//! Jost, Loechner, Genaud, Bramas: *Lifting Code Generation of Cardiac
+//! Physiology Simulation to Novel Compiler Technology*, CGO 2023): a
+//! compiler that lifts ionic-model descriptions written in the EasyML DSL
+//! through a multi-dialect SSA IR into fully vectorized compute kernels,
+//! outperforming openCARP's naive scalar translation.
+//!
+//! This crate is the facade: it re-exports the subsystem crates and offers
+//! the high-level [`Compiler`] entry point.
+//!
+//! | layer | crate |
+//! |---|---|
+//! | EasyML frontend | [`easyml`] ([`limpet_easyml`]) |
+//! | mlir-lite IR | [`ir`] ([`limpet_ir`]) |
+//! | transformation passes | [`passes`] ([`limpet_passes`]) |
+//! | code generation & pipelines | [`codegen`] ([`limpet_codegen`]) |
+//! | bytecode VM + SIMD emulation | [`vm`] ([`limpet_vm`]) |
+//! | 43-model suite | [`models`] ([`limpet_models`]) |
+//! | linear solvers / monodomain | [`solver`] ([`limpet_solver`]) |
+//! | experiment harness | [`harness`] ([`limpet_harness`]) |
+//!
+//! # Examples
+//!
+//! Compile an ionic model and run a short simulation:
+//!
+//! ```
+//! use limpet::{Compiler, Isa};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "
+//!     Vm; .external(); .lookup(-100, 100, 0.05);
+//!     Iion; .external();
+//!     group{ g = 0.3; }.param();
+//!     diff_n = (n_inf - n) / 5.0;
+//!     n_inf = 1.0 / (1.0 + exp(-(Vm + 30.0) / 10.0));
+//!     n_init = 0.1;
+//!     n;.method(rush_larsen);
+//!     Iion = g * n * (Vm + 85.0);
+//! ";
+//! let compiled = Compiler::new().isa(Isa::Avx512).compile("demo", src)?;
+//! let mut sim = compiled.simulation(256, 0.01);
+//! sim.run(100);
+//! assert!(sim.vm(0).is_finite());
+//! println!("{}", compiled.ir_text());   // MLIR-style textual IR
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub use limpet_codegen as codegen;
+pub use limpet_easyml as easyml;
+pub use limpet_harness as harness;
+pub use limpet_ir as ir;
+pub use limpet_models as models;
+pub use limpet_passes as passes;
+pub use limpet_solver as solver;
+pub use limpet_vm as vm;
+
+use limpet_codegen::pipeline::{self, Layout, VectorIsa};
+use limpet_easyml::Model;
+use limpet_harness::{model_info, PipelineKind, Simulation, Workload};
+use limpet_ir::Module;
+use std::fmt;
+
+/// Target vector instruction set (paper §4 evaluates SSE/AVX2/AVX-512).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Isa {
+    /// Scalar baseline (openCARP limpetC++-style code generation).
+    Scalar,
+    /// SSE: 2 × f64.
+    Sse,
+    /// AVX2: 4 × f64.
+    Avx2,
+    /// AVX-512: 8 × f64 (the paper's headline configuration).
+    #[default]
+    Avx512,
+}
+
+impl Isa {
+    fn vector_isa(self) -> Option<VectorIsa> {
+        match self {
+            Isa::Scalar => None,
+            Isa::Sse => Some(VectorIsa::Sse),
+            Isa::Avx2 => Some(VectorIsa::Avx2),
+            Isa::Avx512 => Some(VectorIsa::Avx512),
+        }
+    }
+}
+
+/// Errors from the high-level API.
+#[derive(Debug)]
+pub enum CompileError {
+    /// The EasyML source failed to parse or analyze.
+    Frontend(Box<dyn std::error::Error>),
+    /// The generated module failed verification (a compiler bug).
+    Verify(limpet_ir::VerifyError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Frontend(e) => write!(f, "frontend error: {e}"),
+            CompileError::Verify(e) => write!(f, "verification error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// High-level compiler entry point: EasyML source → optimized, executable
+/// kernel.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    isa: Isa,
+    aos_layout: bool,
+    disable_lut: bool,
+}
+
+impl Compiler {
+    /// Creates a compiler with the default (AVX-512, AoSoA, LUT-enabled)
+    /// configuration.
+    pub fn new() -> Compiler {
+        Compiler::default()
+    }
+
+    /// Selects the target ISA ([`Isa::Scalar`] produces the openCARP-style
+    /// baseline).
+    pub fn isa(mut self, isa: Isa) -> Compiler {
+        self.isa = isa;
+        self
+    }
+
+    /// Disables the AoSoA data-layout transformation (paper §3.4.1).
+    pub fn without_layout_transform(mut self) -> Compiler {
+        self.aos_layout = true;
+        self
+    }
+
+    /// Disables lookup tables (paper §3.4.2).
+    pub fn without_lut(mut self) -> Compiler {
+        self.disable_lut = true;
+        self
+    }
+
+    /// Compiles an EasyML source string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Frontend`] for malformed models.
+    pub fn compile(&self, name: &str, source: &str) -> Result<Compiled, CompileError> {
+        let model =
+            limpet_easyml::compile_model(name, source).map_err(CompileError::Frontend)?;
+        self.compile_model(model)
+    }
+
+    /// Compiles an already-analyzed model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Verify`] if the generated IR fails
+    /// verification.
+    pub fn compile_model(&self, model: Model) -> Result<Compiled, CompileError> {
+        let (module, kind) = match self.isa.vector_isa() {
+            None => (pipeline::baseline(&model).module, PipelineKind::Baseline),
+            Some(isa) => {
+                let module = if self.disable_lut {
+                    pipeline::limpet_mlir_no_lut(&model, isa).module
+                } else if self.aos_layout {
+                    pipeline::limpet_mlir_aos(&model, isa).module
+                } else {
+                    let block = isa.lanes();
+                    pipeline::limpet_mlir(&model, isa, Layout::AoSoA { block }).module
+                };
+                let kind = if self.disable_lut {
+                    PipelineKind::LimpetMlirNoLut(isa)
+                } else if self.aos_layout {
+                    PipelineKind::LimpetMlirAos(isa)
+                } else {
+                    PipelineKind::LimpetMlir(isa)
+                };
+                (module, kind)
+            }
+        };
+        limpet_ir::verify_module(&module).map_err(CompileError::Verify)?;
+        Ok(Compiled {
+            model,
+            module,
+            kind,
+        })
+    }
+}
+
+/// A compiled model: checked frontend model + optimized IR module.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    model: Model,
+    module: Module,
+    kind: PipelineKind,
+}
+
+impl Compiled {
+    /// The analyzed frontend model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The optimized IR module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The MLIR-style textual IR (parseable by [`limpet_ir::parse_module`]).
+    pub fn ir_text(&self) -> String {
+        limpet_ir::print_module(&self.module)
+    }
+
+    /// Builds an executable kernel bound to this model's storage shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bytecode compilation fails (verified modules always
+    /// compile).
+    pub fn kernel(&self) -> limpet_vm::Kernel {
+        limpet_vm::Kernel::from_module(&self.module, &model_info(&self.model))
+            .expect("verified module must compile to bytecode")
+    }
+
+    /// Creates a ready-to-run simulation over `n_cells` cells.
+    pub fn simulation(&self, n_cells: usize, dt: f64) -> Simulation {
+        let wl = Workload {
+            n_cells,
+            steps: 0,
+            dt,
+        };
+        Simulation::new(&self.model, self.kind, &wl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+Vm; .external(); .lookup(-100, 100, 0.1);
+Iion; .external();
+diff_x = (1.0 / (1.0 + exp(-Vm / 10.0)) - x) / 4.0;
+Iion = 0.2 * x * (Vm + 80.0);
+";
+
+    #[test]
+    fn compile_all_isas() {
+        for isa in [Isa::Scalar, Isa::Sse, Isa::Avx2, Isa::Avx512] {
+            let c = Compiler::new().isa(isa).compile("m", SRC).unwrap();
+            let expected_width = match isa {
+                Isa::Scalar => None,
+                Isa::Sse => Some(2),
+                Isa::Avx2 => Some(4),
+                Isa::Avx512 => Some(8),
+            };
+            assert_eq!(c.module().attrs.i64_of("vector_width"), expected_width);
+        }
+    }
+
+    #[test]
+    fn ir_text_round_trips() {
+        let c = Compiler::new().compile("m", SRC).unwrap();
+        let text = c.ir_text();
+        let reparsed = limpet_ir::parse_module(&text).unwrap();
+        assert_eq!(limpet_ir::print_module(&reparsed), text);
+    }
+
+    #[test]
+    fn frontend_errors_surface() {
+        let err = Compiler::new().compile("m", "diff_x = undefined_var;");
+        assert!(matches!(err, Err(CompileError::Frontend(_))));
+    }
+
+    #[test]
+    fn builder_options_change_module() {
+        let with = Compiler::new().compile("m", SRC).unwrap();
+        let without = Compiler::new().without_lut().compile("m", SRC).unwrap();
+        assert!(with.ir_text().contains("lut.col"));
+        assert!(!without.ir_text().contains("lut.col"));
+        let aos = Compiler::new()
+            .without_layout_transform()
+            .compile("m", SRC)
+            .unwrap();
+        assert_eq!(aos.module().attrs.str_of("layout"), Some("aos"));
+    }
+
+    #[test]
+    fn simulation_runs() {
+        let c = Compiler::new().compile("m", SRC).unwrap();
+        let mut sim = c.simulation(64, 0.01);
+        sim.run(50);
+        assert!(sim.vm(0).is_finite());
+        assert!(sim.state_of(0, "x").unwrap().is_finite());
+    }
+}

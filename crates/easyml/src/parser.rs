@@ -1,0 +1,590 @@
+//! Recursive-descent parser for EasyML.
+//!
+//! The grammar follows openCARP's EasyML (paper §2.2): C-style expressions
+//! and `if` statements, single-assignment variables, `group { … }`
+//! declarations, and markup statements (`.external();`, `.lookup(lo,hi,step);`,
+//! `.method(rk2);`, …) that attach to the most recently declared variable or
+//! group.
+
+use crate::ast::{BinOp, Expr, GroupItem, Item, Markup, MarkupArg, ModelAst, Stmt, UnOp};
+use crate::token::{lex, Token, TokenKind};
+use std::fmt;
+
+/// A syntax error with source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::token::LexError> for ParseError {
+    fn from(e: crate::token::LexError) -> ParseError {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+/// Parses an EasyML model file.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on lexical or syntactic failure, including
+/// markup statements with no preceding declaration to attach to.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_easyml::parse_model;
+/// let ast = parse_model("Demo", "Vm; .external();\ndiff_u = -u * Vm;\nu_init = 1;").unwrap();
+/// assert_eq!(ast.name, "Demo");
+/// assert_eq!(ast.items.len(), 3);
+/// ```
+pub fn parse_model(name: &str, src: &str) -> Result<ModelAst> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut items: Vec<Item> = Vec::new();
+    while !p.at_end() {
+        p.parse_item(&mut items)?;
+    }
+    Ok(ModelAst {
+        name: name.to_owned(),
+        items,
+    })
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Result<TokenKind> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|t| t.kind.clone())
+            .ok_or_else(|| self.error("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat(&mut self, want: &TokenKind) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: &TokenKind) -> Result<()> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {want}, got {got}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next()? {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, got {other}"))),
+        }
+    }
+
+    fn parse_item(&mut self, items: &mut Vec<Item>) -> Result<()> {
+        let line = self.line();
+        match self.peek() {
+            Some(TokenKind::Ident(w)) if w == "group" => {
+                self.pos += 1;
+                let item = self.parse_group(line)?;
+                items.push(item);
+                Ok(())
+            }
+            Some(TokenKind::Ident(w)) if w == "if" => {
+                self.pos += 1;
+                let stmt = self.parse_if(line)?;
+                items.push(Item::Stmt(stmt));
+                Ok(())
+            }
+            Some(TokenKind::Ident(_)) => {
+                let name = self.expect_ident()?;
+                if self.eat(&TokenKind::Assign) {
+                    let expr = self.parse_expr()?;
+                    self.expect(&TokenKind::Semi)?;
+                    items.push(Item::Stmt(Stmt::Assign { lhs: name, expr, line }));
+                } else {
+                    self.expect(&TokenKind::Semi)?;
+                    items.push(Item::Decl {
+                        name,
+                        markups: Vec::new(),
+                        line,
+                    });
+                }
+                Ok(())
+            }
+            Some(TokenKind::Dot) => {
+                // Markup statement: one or more `.name(args)` then `;`,
+                // attaching to the last declaration or group.
+                let mut markups = Vec::new();
+                while self.eat(&TokenKind::Dot) {
+                    markups.push(self.parse_markup()?);
+                }
+                self.expect(&TokenKind::Semi)?;
+                let target = items.iter_mut().rev().find_map(|item| match item {
+                    Item::Decl { markups, .. } | Item::Group { markups, .. } => Some(markups),
+                    Item::Stmt(_) => None,
+                });
+                match target {
+                    Some(t) => {
+                        t.extend(markups);
+                        Ok(())
+                    }
+                    None => Err(ParseError {
+                        line,
+                        message: "markup with no preceding declaration".into(),
+                    }),
+                }
+            }
+            Some(other) => Err(self.error(format!("unexpected {other} at top level"))),
+            None => Ok(()),
+        }
+    }
+
+    fn parse_group(&mut self, line: usize) -> Result<Item> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut group_items = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let name = self.expect_ident()?;
+            let default = if self.eat(&TokenKind::Assign) {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            self.expect(&TokenKind::Semi)?;
+            group_items.push(GroupItem { name, default });
+        }
+        // Optional inline markup chain, then `;`.
+        let mut markups = Vec::new();
+        while self.eat(&TokenKind::Dot) {
+            markups.push(self.parse_markup()?);
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(Item::Group {
+            items: group_items,
+            markups,
+            line,
+        })
+    }
+
+    fn parse_markup(&mut self) -> Result<Markup> {
+        let line = self.line();
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let mut neg = false;
+                while self.eat(&TokenKind::Minus) {
+                    neg = !neg;
+                }
+                match self.next()? {
+                    TokenKind::Num(v) => args.push(MarkupArg::Num(if neg { -v } else { v })),
+                    TokenKind::Ident(s) if !neg => args.push(MarkupArg::Ident(s)),
+                    other => {
+                        return Err(self.error(format!("bad markup argument {other}")));
+                    }
+                }
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma)?;
+            }
+        }
+        Ok(Markup { name, args, line })
+    }
+
+    fn parse_if(&mut self, line: usize) -> Result<Stmt> {
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_body = self.parse_block()?;
+        let mut else_body = Vec::new();
+        if matches!(self.peek(), Some(TokenKind::Ident(w)) if w == "else") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenKind::Ident(w)) if w == "if") {
+                let line2 = self.line();
+                self.pos += 1;
+                else_body.push(self.parse_if(line2)?);
+            } else {
+                else_body = self.parse_block()?;
+            }
+        }
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            line,
+        })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let line = self.line();
+            if matches!(self.peek(), Some(TokenKind::Ident(w)) if w == "if") {
+                self.pos += 1;
+                stmts.push(self.parse_if(line)?);
+            } else {
+                let lhs = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let expr = self.parse_expr()?;
+                self.expect(&TokenKind::Semi)?;
+                stmts.push(Stmt::Assign { lhs, expr, line });
+            }
+        }
+        Ok(stmts)
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr> {
+        let cond = self.parse_or()?;
+        if self.eat(&TokenKind::Question) {
+            let t = self.parse_expr()?;
+            self.expect(&TokenKind::Colon)?;
+            let e = self.parse_ternary()?;
+            Ok(Expr::Cond(Box::new(cond), Box::new(t), Box::new(e)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.parse_and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_equality()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.parse_equality()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_relational()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::EqEq) => BinOp::Eq,
+                Some(TokenKind::NotEq) => BinOp::Ne,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_relational()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_additive()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Lt) => BinOp::Lt,
+                Some(TokenKind::Le) => BinOp::Le,
+                Some(TokenKind::Gt) => BinOp::Gt,
+                Some(TokenKind::Ge) => BinOp::Ge,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_additive()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                Some(TokenKind::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            let e = self.parse_unary()?;
+            Ok(Expr::Unary(UnOp::Neg, Box::new(e)))
+        } else if self.eat(&TokenKind::Not) {
+            let e = self.parse_unary()?;
+            Ok(Expr::Unary(UnOp::Not, Box::new(e)))
+        } else {
+            self.parse_primary()
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.next()? {
+            TokenKind::Num(v) => Ok(Expr::Num(v)),
+            TokenKind::Ident(name) => {
+                if self.peek() == Some(&TokenKind::LParen)
+                    && self.peek2().is_some()
+                {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(&TokenKind::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("expected expression, got {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Listing 1: the modified Pathmanathan model.
+    pub const PATHMANATHAN: &str = r#"
+Vm; .external(); .nodal(); .lookup(-100,100,0.05);
+Iion; .external(); .nodal();
+group{ u1; u2; u3; }.nodal();
+
+group{ Cm = 200; beta = 1; xi = 3; }.param();
+u1_init = 0; u2_init = 0; u3_init = 0; Vm_init = 0;
+diff_u3 = 0;
+diff_u2 = -(u1+u3-Vm)*cube(u2);
+diff_u1 = square(u1+u3-Vm)*square(u2)+0.5*(u1+u3-Vm);
+u1;.method(rk2);
+
+Iion = (-(Cm/2.)*(u1+u3-Vm)*square(u2)*(Vm-u3)+beta);
+"#;
+
+    #[test]
+    fn parses_paper_listing_1() {
+        let ast = parse_model("Pathmanathan", PATHMANATHAN).unwrap();
+        // Items: Vm decl, Iion decl, state group, param group, 4 inits,
+        // 3 diffs, u1 decl (for method), Iion assignment.
+        let decls: Vec<_> = ast
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::Decl { .. }))
+            .collect();
+        assert_eq!(decls.len(), 3); // Vm, Iion, u1
+        let groups: Vec<_> = ast
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::Group { .. }))
+            .collect();
+        assert_eq!(groups.len(), 2);
+        let stmts: Vec<_> = ast
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::Stmt(_)))
+            .collect();
+        assert_eq!(stmts.len(), 8);
+    }
+
+    #[test]
+    fn markups_attach_to_preceding_decl() {
+        let ast = parse_model("m", "Vm; .external(); .nodal(); .lookup(-100,100,0.05);").unwrap();
+        let Item::Decl { name, markups, .. } = &ast.items[0] else {
+            panic!("expected decl");
+        };
+        assert_eq!(name, "Vm");
+        assert_eq!(markups.len(), 3);
+        assert_eq!(markups[0].name, "external");
+        assert_eq!(markups[2].name, "lookup");
+        assert_eq!(markups[2].args[0].as_num(), Some(-100.0));
+        assert_eq!(markups[2].args[2].as_num(), Some(0.05));
+    }
+
+    #[test]
+    fn method_markup_ident_arg() {
+        let ast = parse_model("m", "u1;.method(rk2);").unwrap();
+        let Item::Decl { markups, .. } = &ast.items[0] else {
+            panic!();
+        };
+        assert_eq!(markups[0].args[0].as_ident(), Some("rk2"));
+    }
+
+    #[test]
+    fn group_with_defaults() {
+        let ast = parse_model("m", "group{ Cm = 200; beta = 1; }.param();").unwrap();
+        let Item::Group { items, markups, .. } = &ast.items[0] else {
+            panic!();
+        };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "Cm");
+        assert_eq!(items[0].default, Some(Expr::Num(200.0)));
+        assert_eq!(markups[0].name, "param");
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let ast = parse_model("m", "x = a + b * c;").unwrap();
+        let Item::Stmt(Stmt::Assign { expr, .. }) = &ast.items[0] else {
+            panic!();
+        };
+        assert_eq!(expr.to_string(), "(a+(b*c))");
+    }
+
+    #[test]
+    fn ternary_and_comparison() {
+        let ast = parse_model("m", "x = v < 0 ? -v : v;").unwrap();
+        let Item::Stmt(Stmt::Assign { expr, .. }) = &ast.items[0] else {
+            panic!();
+        };
+        assert_eq!(expr.to_string(), "((v<0)?(-v):v)");
+    }
+
+    #[test]
+    fn if_else_statement() {
+        let src = "if (Vm > 0) { a = 1; } else { a = 2; b = 3; }";
+        let ast = parse_model("m", src).unwrap();
+        let Item::Stmt(Stmt::If {
+            then_body,
+            else_body,
+            ..
+        }) = &ast.items[0]
+        else {
+            panic!();
+        };
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 2);
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = "if (a > 0) { x = 1; } else if (a < 0) { x = 2; } else { x = 3; }";
+        let ast = parse_model("m", src).unwrap();
+        let Item::Stmt(Stmt::If { else_body, .. }) = &ast.items[0] else {
+            panic!();
+        };
+        assert!(matches!(&else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn nested_calls() {
+        let ast = parse_model("m", "x = pow(exp(a), log(b + 1));").unwrap();
+        let Item::Stmt(Stmt::Assign { expr, .. }) = &ast.items[0] else {
+            panic!();
+        };
+        assert_eq!(expr.to_string(), "pow(exp(a),log((b+1)))");
+    }
+
+    #[test]
+    fn markup_without_decl_is_error() {
+        let err = parse_model("m", ".external();").unwrap_err();
+        assert!(err.message.contains("no preceding declaration"));
+    }
+
+    #[test]
+    fn markup_skips_statements_to_find_decl() {
+        // `u1; ... diff_u1 = …; u1;.method(rk2);` pattern: markup after an
+        // assignment attaches to the most recent decl.
+        let ast = parse_model("m", "u1;\ndiff_u1 = 1;\n.method(rk2);").unwrap();
+        let Item::Decl { markups, .. } = &ast.items[0] else {
+            panic!();
+        };
+        assert_eq!(markups[0].name, "method");
+    }
+
+    #[test]
+    fn error_line_numbers() {
+        let err = parse_model("m", "x = 1;\ny = ;\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,1117 @@
+//! Semantic analysis: turns a raw [`ModelAst`] into a checked [`Model`].
+//!
+//! Responsibilities (mirroring openCARP's `limpet_fe` frontend, paper §2.2):
+//!
+//! * classify variables into **state** (those with a `diff_X` equation),
+//!   **external** (`.external()` markup: `Vm`, `Iion`, …), **parameters**
+//!   (`.param()` groups), and intermediates;
+//! * resolve `X_init` assignments into constant initial values;
+//! * attach `.lookup(lo,hi,step)` and `.method(name)` markups;
+//! * enforce single assignment and both-branch conditional definitions;
+//! * topologically order the equation system (EasyML files may list
+//!   equations in any order);
+//! * provide the affine-form analysis used by the Rush-Larsen family of
+//!   integrators.
+
+use crate::ast::{BinOp, Expr, Item, Markup, ModelAst, Stmt, UnOp};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A temporal integration method (paper §3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Method {
+    /// Forward Euler — explicit first order, the openCARP default.
+    #[default]
+    Fe,
+    /// 2-stage Runge-Kutta (midpoint) — explicit second order.
+    Rk2,
+    /// 4-stage Runge-Kutta — explicit fourth order.
+    Rk4,
+    /// Rush-Larsen — exact exponential update for gate equations.
+    RushLarsen,
+    /// Sundnes — second-order Rush-Larsen generalization.
+    Sundnes,
+    /// Backward-Euler-inspired implicit update with refinement, clamped to
+    /// `[0, 1]`; used for Markov-chain state variables.
+    MarkovBe,
+}
+
+impl Method {
+    /// Parses the `.method(...)` markup spelling.
+    pub fn parse(s: &str) -> Option<Method> {
+        Some(match s {
+            "fe" => Method::Fe,
+            "rk2" => Method::Rk2,
+            "rk4" => Method::Rk4,
+            "rush_larsen" => Method::RushLarsen,
+            "sundnes" => Method::Sundnes,
+            "markov_be" => Method::MarkovBe,
+            _ => return None,
+        })
+    }
+
+    /// The markup spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Fe => "fe",
+            Method::Rk2 => "rk2",
+            Method::Rk4 => "rk4",
+            Method::RushLarsen => "rush_larsen",
+            Method::Sundnes => "sundnes",
+            Method::MarkovBe => "markov_be",
+        }
+    }
+
+    /// All methods, for exhaustive tests.
+    pub const ALL: [Method; 6] = [
+        Method::Fe,
+        Method::Rk2,
+        Method::Rk4,
+        Method::RushLarsen,
+        Method::Sundnes,
+        Method::MarkovBe,
+    ];
+}
+
+/// A state variable: it has a `diff_X` equation and is integrated in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVar {
+    /// Variable name.
+    pub name: String,
+    /// Initial value (from `X_init`, default 0).
+    pub init: f64,
+    /// Integration method (from `.method()`, default forward Euler).
+    pub method: Method,
+}
+
+/// An external variable (`.external()`): shared with the outside of the
+/// model (e.g. the transmembrane voltage `Vm` and current `Iion`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtVar {
+    /// Variable name.
+    pub name: String,
+    /// Initial value (from `X_init`, default 0).
+    pub init: f64,
+    /// Whether the model assigns this variable (output) or only reads it.
+    pub assigned: bool,
+    /// Whether reads should prefer an attached parent model's state
+    /// (`.parent()` markup — multimodel support, paper §3.3.2).
+    pub parent: bool,
+}
+
+/// A model parameter (`.param()` group member): uniform across cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Default value.
+    pub default: f64,
+}
+
+/// A `.lookup(lo, hi, step)` markup: expressions depending only on this
+/// variable may be tabulated and linearly interpolated (paper §3.4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lookup {
+    /// The lookup key variable.
+    pub var: String,
+    /// Lower bound of the tabulated range.
+    pub lo: f64,
+    /// Upper bound of the tabulated range.
+    pub hi: f64,
+    /// Tabulation step.
+    pub step: f64,
+}
+
+/// A semantically checked ionic model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// Model name.
+    pub name: String,
+    /// State variables, in declaration order.
+    pub states: Vec<StateVar>,
+    /// External variables.
+    pub externals: Vec<ExtVar>,
+    /// Parameters with defaults.
+    pub params: Vec<Param>,
+    /// Lookup-table markups.
+    pub lookups: Vec<Lookup>,
+    /// Body statements in dependency (topological) order. `X_init`
+    /// assignments are resolved into [`StateVar::init`] and removed.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Model {
+    /// Looks up a state variable by name.
+    pub fn state(&self, name: &str) -> Option<&StateVar> {
+        self.states.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up an external variable by name.
+    pub fn external(&self, name: &str) -> Option<&ExtVar> {
+        self.externals.iter().find(|e| e.name == name)
+    }
+
+    /// Looks up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up the lookup markup for a variable.
+    pub fn lookup(&self, var: &str) -> Option<&Lookup> {
+        self.lookups.iter().find(|l| l.var == var)
+    }
+
+    /// The `diff_X` expression for state `name`, when it is a plain
+    /// top-level assignment (conditional diff equations return `None`).
+    pub fn diff_expr(&self, name: &str) -> Option<&Expr> {
+        let want = format!("diff_{name}");
+        self.stmts.iter().find_map(|s| match s {
+            Stmt::Assign { lhs, expr, .. } if *lhs == want => Some(expr),
+            _ => None,
+        })
+    }
+
+    /// Total number of expression nodes, a complexity measure used for
+    /// model-class calibration.
+    pub fn complexity(&self) -> usize {
+        fn stmt_size(s: &Stmt) -> usize {
+            match s {
+                Stmt::Assign { expr, .. } => expr.size(),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    cond.size()
+                        + then_body.iter().map(stmt_size).sum::<usize>()
+                        + else_body.iter().map(stmt_size).sum::<usize>()
+                }
+            }
+        }
+        self.stmts.iter().map(stmt_size).sum()
+    }
+}
+
+/// A semantic error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemaError {
+    /// Source line, when known.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// All semantic errors found in one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemaErrors(pub Vec<SemaError>);
+
+impl fmt::Display for SemaErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SemaErrors {}
+
+/// Built-in function names and their arities.
+pub const BUILTINS: [(&str, usize); 28] = [
+    ("exp", 1),
+    ("expm1", 1),
+    ("log", 1),
+    ("log1p", 1),
+    ("log10", 1),
+    ("log2", 1),
+    ("sqrt", 1),
+    ("cbrt", 1),
+    ("sin", 1),
+    ("cos", 1),
+    ("tan", 1),
+    ("asin", 1),
+    ("acos", 1),
+    ("atan", 1),
+    ("sinh", 1),
+    ("cosh", 1),
+    ("tanh", 1),
+    ("fabs", 1),
+    ("abs", 1),
+    ("floor", 1),
+    ("ceil", 1),
+    ("round", 1),
+    ("square", 1),
+    ("cube", 1),
+    ("pow", 2),
+    ("atan2", 2),
+    ("copysign", 2),
+    ("fmod", 2),
+];
+
+/// Looks up a builtin's arity.
+pub fn builtin_arity(name: &str) -> Option<usize> {
+    BUILTINS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, arity)| *arity)
+}
+
+/// Names implicitly available in every model body.
+pub const IMPLICIT_SOURCES: [&str; 2] = ["t", "dt"];
+
+/// Evaluates an expression to a constant under `env` (typically the
+/// parameter defaults). Returns `None` when any referenced name is missing.
+pub fn eval_const(expr: &Expr, env: &HashMap<String, f64>) -> Option<f64> {
+    Some(match expr {
+        Expr::Num(v) => *v,
+        Expr::Var(name) => *env.get(name)?,
+        Expr::Unary(UnOp::Neg, e) => -eval_const(e, env)?,
+        Expr::Unary(UnOp::Not, e) => {
+            if eval_const(e, env)? != 0.0 {
+                0.0
+            } else {
+                1.0
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let (a, b) = (eval_const(l, env)?, eval_const(r, env)?);
+            match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Rem => a % b,
+                BinOp::Lt => (a < b) as i32 as f64,
+                BinOp::Le => (a <= b) as i32 as f64,
+                BinOp::Gt => (a > b) as i32 as f64,
+                BinOp::Ge => (a >= b) as i32 as f64,
+                BinOp::Eq => (a == b) as i32 as f64,
+                BinOp::Ne => (a != b) as i32 as f64,
+                BinOp::And => ((a != 0.0) && (b != 0.0)) as i32 as f64,
+                BinOp::Or => ((a != 0.0) || (b != 0.0)) as i32 as f64,
+            }
+        }
+        Expr::Call(name, args) => {
+            let vals: Option<Vec<f64>> = args.iter().map(|a| eval_const(a, env)).collect();
+            let vals = vals?;
+            match (name.as_str(), vals.as_slice()) {
+                ("exp", [a]) => a.exp(),
+                ("expm1", [a]) => a.exp_m1(),
+                ("log", [a]) => a.ln(),
+                ("log1p", [a]) => a.ln_1p(),
+                ("log10", [a]) => a.log10(),
+                ("log2", [a]) => a.log2(),
+                ("sqrt", [a]) => a.sqrt(),
+                ("cbrt", [a]) => a.cbrt(),
+                ("sin", [a]) => a.sin(),
+                ("cos", [a]) => a.cos(),
+                ("tan", [a]) => a.tan(),
+                ("asin", [a]) => a.asin(),
+                ("acos", [a]) => a.acos(),
+                ("atan", [a]) => a.atan(),
+                ("sinh", [a]) => a.sinh(),
+                ("cosh", [a]) => a.cosh(),
+                ("tanh", [a]) => a.tanh(),
+                ("fabs", [a]) | ("abs", [a]) => a.abs(),
+                ("floor", [a]) => a.floor(),
+                ("ceil", [a]) => a.ceil(),
+                ("round", [a]) => a.round(),
+                ("square", [a]) => a * a,
+                ("cube", [a]) => a * a * a,
+                ("pow", [a, b]) => a.powf(*b),
+                ("atan2", [a, b]) => a.atan2(*b),
+                ("copysign", [a, b]) => a.copysign(*b),
+                ("fmod", [a, b]) => a % b,
+                _ => return None,
+            }
+        }
+        Expr::Cond(c, t, e) => {
+            if eval_const(c, env)? != 0.0 {
+                eval_const(t, env)?
+            } else {
+                eval_const(e, env)?
+            }
+        }
+    })
+}
+
+/// Decomposes `expr` as affine in `var`: `expr = a + b * var`, returning
+/// `(a, b)` as expressions free of `var`. Returns `None` when `var` occurs
+/// non-affinely (inside calls, conditions, products with itself, …).
+///
+/// This is the gate-form analysis behind the Rush-Larsen integrators: a gate
+/// equation `dx/dt = (x_inf - x) / tau` is affine in `x` with
+/// `a = x_inf/tau`, `b = -1/tau`.
+pub fn affine_in(expr: &Expr, var: &str) -> Option<(Expr, Expr)> {
+    if !expr.references(var) {
+        return Some((expr.clone(), Expr::Num(0.0)));
+    }
+    match expr {
+        Expr::Var(v) if v == var => Some((Expr::Num(0.0), Expr::Num(1.0))),
+        Expr::Unary(UnOp::Neg, e) => {
+            let (a, b) = affine_in(e, var)?;
+            Some((
+                Expr::Unary(UnOp::Neg, Box::new(a)),
+                Expr::Unary(UnOp::Neg, Box::new(b)),
+            ))
+        }
+        Expr::Binary(BinOp::Add, l, r) => {
+            let (al, bl) = affine_in(l, var)?;
+            let (ar, br) = affine_in(r, var)?;
+            Some((Expr::bin(BinOp::Add, al, ar), Expr::bin(BinOp::Add, bl, br)))
+        }
+        Expr::Binary(BinOp::Sub, l, r) => {
+            let (al, bl) = affine_in(l, var)?;
+            let (ar, br) = affine_in(r, var)?;
+            Some((Expr::bin(BinOp::Sub, al, ar), Expr::bin(BinOp::Sub, bl, br)))
+        }
+        Expr::Binary(BinOp::Mul, l, r) => {
+            // Exactly one side may reference var.
+            if !r.references(var) {
+                let (a, b) = affine_in(l, var)?;
+                Some((
+                    Expr::bin(BinOp::Mul, a, (**r).clone()),
+                    Expr::bin(BinOp::Mul, b, (**r).clone()),
+                ))
+            } else if !l.references(var) {
+                let (a, b) = affine_in(r, var)?;
+                Some((
+                    Expr::bin(BinOp::Mul, (**l).clone(), a),
+                    Expr::bin(BinOp::Mul, (**l).clone(), b),
+                ))
+            } else {
+                None
+            }
+        }
+        Expr::Binary(BinOp::Div, l, r) => {
+            if r.references(var) {
+                return None;
+            }
+            let (a, b) = affine_in(l, var)?;
+            Some((
+                Expr::bin(BinOp::Div, a, (**r).clone()),
+                Expr::bin(BinOp::Div, b, (**r).clone()),
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Runs semantic analysis.
+///
+/// # Errors
+///
+/// Returns every [`SemaError`] found: unknown variables, double assignment,
+/// one-sided conditional definitions, bad markups, non-constant initial
+/// values, dependency cycles, and calls to unknown functions.
+pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
+    let mut errors: Vec<SemaError> = Vec::new();
+
+    // ---- collect declarations & markups ----
+    let mut external_names: Vec<String> = Vec::new();
+    let mut parent_names: Vec<String> = Vec::new();
+    let mut params: Vec<Param> = Vec::new();
+    let mut lookups: Vec<Lookup> = Vec::new();
+    let mut methods: HashMap<String, (Method, usize)> = HashMap::new();
+    let mut declared: Vec<String> = Vec::new();
+
+    let handle_markup =
+        |names: &[String], m: &Markup, errors: &mut Vec<SemaError>, lookups: &mut Vec<Lookup>, external_names: &mut Vec<String>, parent_names: &mut Vec<String>, methods: &mut HashMap<String, (Method, usize)>| {
+            match m.name.as_str() {
+                "external" => {
+                    for n in names {
+                        if !external_names.contains(n) {
+                            external_names.push(n.clone());
+                        }
+                    }
+                }
+                "parent" => {
+                    for n in names {
+                        if !parent_names.contains(n) {
+                            parent_names.push(n.clone());
+                        }
+                    }
+                }
+                "lookup" => {
+                    let nums: Vec<Option<f64>> = m.args.iter().map(|a| a.as_num()).collect();
+                    match nums.as_slice() {
+                        [Some(lo), Some(hi), Some(step)] if *step > 0.0 && hi > lo => {
+                            for n in names {
+                                lookups.push(Lookup {
+                                    var: n.clone(),
+                                    lo: *lo,
+                                    hi: *hi,
+                                    step: *step,
+                                });
+                            }
+                        }
+                        _ => errors.push(SemaError {
+                            line: m.line,
+                            message: ".lookup() needs (lo, hi, step) with step > 0 and hi > lo"
+                                .into(),
+                        }),
+                    }
+                }
+                "method" => {
+                    let arg = m.args.first().and_then(|a| a.as_ident());
+                    match arg.and_then(Method::parse) {
+                        Some(method) => {
+                            for n in names {
+                                methods.insert(n.clone(), (method, m.line));
+                            }
+                        }
+                        None => errors.push(SemaError {
+                            line: m.line,
+                            message: format!(
+                                "unknown integration method {:?} (expected one of fe, rk2, rk4, rush_larsen, sundnes, markov_be)",
+                                arg.unwrap_or("<missing>")
+                            ),
+                        }),
+                    }
+                }
+                // Markups that affect storage or tracing, not code shape.
+                "nodal" | "regional" | "units" | "trace" | "store" | "param" => {}
+                other => errors.push(SemaError {
+                    line: m.line,
+                    message: format!("unknown markup .{other}()"),
+                }),
+            }
+        };
+
+    for item in &ast.items {
+        match item {
+            Item::Decl { name, markups, .. } => {
+                declared.push(name.clone());
+                for m in markups {
+                    handle_markup(
+                        std::slice::from_ref(name),
+                        m,
+                        &mut errors,
+                        &mut lookups,
+                        &mut external_names,
+                        &mut parent_names,
+                        &mut methods,
+                    );
+                }
+            }
+            Item::Group {
+                items,
+                markups,
+                line,
+            } => {
+                let names: Vec<String> = items.iter().map(|i| i.name.clone()).collect();
+                declared.extend(names.iter().cloned());
+                let is_param = markups.iter().any(|m| m.name == "param");
+                if is_param {
+                    for gi in items {
+                        let default = match &gi.default {
+                            Some(e) => eval_const(e, &HashMap::new()).unwrap_or_else(|| {
+                                errors.push(SemaError {
+                                    line: *line,
+                                    message: format!(
+                                        "parameter {} default must be a constant",
+                                        gi.name
+                                    ),
+                                });
+                                0.0
+                            }),
+                            None => 0.0,
+                        };
+                        params.push(Param {
+                            name: gi.name.clone(),
+                            default,
+                        });
+                    }
+                } else {
+                    for gi in items {
+                        if gi.default.is_some() {
+                            errors.push(SemaError {
+                                line: *line,
+                                message: format!(
+                                    "group member {} has a default but the group is not .param()",
+                                    gi.name
+                                ),
+                            });
+                        }
+                    }
+                }
+                for m in markups {
+                    handle_markup(
+                        &names,
+                        m,
+                        &mut errors,
+                        &mut lookups,
+                        &mut external_names,
+                        &mut parent_names,
+                        &mut methods,
+                    );
+                }
+            }
+            Item::Stmt(_) => {}
+        }
+    }
+
+    // ---- partition statements ----
+    let mut body: Vec<Stmt> = Vec::new();
+    let mut inits: HashMap<String, (Expr, usize)> = HashMap::new();
+    for item in &ast.items {
+        if let Item::Stmt(stmt) = item {
+            match stmt {
+                Stmt::Assign { lhs, expr, line } if lhs.ends_with("_init") => {
+                    let base = lhs.trim_end_matches("_init").to_owned();
+                    if inits.insert(base, (expr.clone(), *line)).is_some() {
+                        errors.push(SemaError {
+                            line: *line,
+                            message: format!("{lhs} assigned more than once"),
+                        });
+                    }
+                }
+                s => body.push(s.clone()),
+            }
+        }
+    }
+
+    // ---- classify: state vars are those with diff_ equations ----
+    let mut assigned_names: Vec<(String, usize)> = Vec::new();
+    for s in &body {
+        collect_top_defs(s, &mut assigned_names, &mut errors);
+    }
+    // Single-assignment check.
+    {
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for (n, line) in &assigned_names {
+            if let Some(_first) = seen.insert(n.as_str(), *line) {
+                errors.push(SemaError {
+                    line: *line,
+                    message: format!("{n} assigned more than once (EasyML is single-assignment)"),
+                });
+            }
+        }
+    }
+
+    let state_names: Vec<String> = assigned_names
+        .iter()
+        .filter_map(|(n, _)| n.strip_prefix("diff_").map(str::to_owned))
+        .collect();
+
+    // Parameter environment for init evaluation.
+    let param_env: HashMap<String, f64> =
+        params.iter().map(|p| (p.name.clone(), p.default)).collect();
+
+    let init_of = |name: &str, errors: &mut Vec<SemaError>| -> f64 {
+        match inits.get(name) {
+            Some((expr, line)) => match eval_const(expr, &param_env) {
+                Some(v) => v,
+                None => {
+                    errors.push(SemaError {
+                        line: *line,
+                        message: format!(
+                            "{name}_init must be a constant expression over parameters"
+                        ),
+                    });
+                    0.0
+                }
+            },
+            None => 0.0,
+        }
+    };
+
+    let states: Vec<StateVar> = state_names
+        .iter()
+        .map(|n| StateVar {
+            name: n.clone(),
+            init: init_of(n, &mut errors),
+            method: methods.get(n).map(|(m, _)| *m).unwrap_or_default(),
+        })
+        .collect();
+
+    let externals: Vec<ExtVar> = external_names
+        .iter()
+        .map(|n| ExtVar {
+            name: n.clone(),
+            init: init_of(n, &mut errors),
+            assigned: assigned_names.iter().any(|(a, _)| a == n),
+            parent: parent_names.contains(n),
+        })
+        .collect();
+
+    for p in &parent_names {
+        if !external_names.contains(p) {
+            errors.push(SemaError {
+                line: 0,
+                message: format!(".parent() applied to {p}, which is not .external()"),
+            });
+        }
+    }
+
+    // ---- validity checks on names ----
+    let state_set: HashSet<&str> = states.iter().map(|s| s.name.as_str()).collect();
+    let ext_set: HashSet<&str> = externals.iter().map(|e| e.name.as_str()).collect();
+    let param_set: HashSet<&str> = params.iter().map(|p| p.name.as_str()).collect();
+
+    for (m, (_, line)) in &methods {
+        if !state_set.contains(m.as_str()) {
+            errors.push(SemaError {
+                line: *line,
+                message: format!(".method() applied to {m}, which has no diff_{m} equation"),
+            });
+        }
+    }
+    for l in &lookups {
+        let known = state_set.contains(l.var.as_str())
+            || ext_set.contains(l.var.as_str())
+            || assigned_names.iter().any(|(a, _)| *a == l.var);
+        if !known {
+            errors.push(SemaError {
+                line: 0,
+                message: format!(".lookup() applied to undefined variable {}", l.var),
+            });
+        }
+    }
+    for (n, line) in &assigned_names {
+        if state_set.contains(n.as_str()) {
+            errors.push(SemaError {
+                line: *line,
+                message: format!(
+                    "state variable {n} cannot be assigned directly; assign diff_{n} instead"
+                ),
+            });
+        }
+        if param_set.contains(n.as_str()) {
+            errors.push(SemaError {
+                line: *line,
+                message: format!("parameter {n} cannot be assigned in the model body"),
+            });
+        }
+    }
+
+    // Known sources readable without definition.
+    let mut sources: HashSet<String> = HashSet::new();
+    sources.extend(state_set.iter().map(|s| s.to_string()));
+    sources.extend(ext_set.iter().map(|s| s.to_string()));
+    sources.extend(param_set.iter().map(|s| s.to_string()));
+    sources.extend(IMPLICIT_SOURCES.iter().map(|s| s.to_string()));
+
+    // Check expressions: unknown names & calls.
+    let defined_names: HashSet<&str> = assigned_names.iter().map(|(n, _)| n.as_str()).collect();
+    for s in &body {
+        check_stmt(s, &sources, &defined_names, &mut errors);
+    }
+
+    // ---- topological order ----
+    let ordered = match topo_order(&body, &sources) {
+        Ok(o) => o,
+        Err(cycle) => {
+            errors.push(SemaError {
+                line: 0,
+                message: format!("dependency cycle through {cycle}"),
+            });
+            body.clone()
+        }
+    };
+
+    if errors.is_empty() {
+        Ok(Model {
+            name: ast.name.clone(),
+            states,
+            externals,
+            params,
+            lookups,
+            stmts: ordered,
+        })
+    } else {
+        Err(SemaErrors(errors))
+    }
+}
+
+/// Collects the names defined by a top-level statement. For `if` statements
+/// every name must be assigned in both branches.
+fn collect_top_defs(stmt: &Stmt, out: &mut Vec<(String, usize)>, errors: &mut Vec<SemaError>) {
+    match stmt {
+        Stmt::Assign { lhs, line, .. } => out.push((lhs.clone(), *line)),
+        Stmt::If {
+            then_body,
+            else_body,
+            line,
+            ..
+        } => {
+            let mut then_names = Vec::new();
+            let mut else_names = Vec::new();
+            for s in then_body {
+                s.assigned_names(&mut then_names);
+            }
+            for s in else_body {
+                s.assigned_names(&mut else_names);
+            }
+            let then_set: HashSet<&String> = then_names.iter().collect();
+            let else_set: HashSet<&String> = else_names.iter().collect();
+            for n in then_set.union(&else_set) {
+                if then_set.contains(*n) && else_set.contains(*n) {
+                    out.push(((*n).clone(), *line));
+                } else {
+                    errors.push(SemaError {
+                        line: *line,
+                        message: format!(
+                            "{n} is assigned in only one branch of a conditional; EasyML \
+                             requires both branches to define it"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_expr(
+    expr: &Expr,
+    sources: &HashSet<String>,
+    defined: &HashSet<&str>,
+    errors: &mut Vec<SemaError>,
+    line: usize,
+) {
+    match expr {
+        Expr::Num(_) => {}
+        Expr::Var(name) => {
+            if !sources.contains(name) && !defined.contains(name.as_str()) {
+                errors.push(SemaError {
+                    line,
+                    message: format!("use of undefined variable {name}"),
+                });
+            }
+        }
+        Expr::Unary(_, e) => check_expr(e, sources, defined, errors, line),
+        Expr::Binary(_, l, r) => {
+            check_expr(l, sources, defined, errors, line);
+            check_expr(r, sources, defined, errors, line);
+        }
+        Expr::Call(name, args) => {
+            match builtin_arity(name) {
+                None => errors.push(SemaError {
+                    line,
+                    message: format!("call to unknown function {name}()"),
+                }),
+                Some(arity) if arity != args.len() => errors.push(SemaError {
+                    line,
+                    message: format!(
+                        "{name}() expects {arity} argument(s), got {}",
+                        args.len()
+                    ),
+                }),
+                Some(_) => {}
+            }
+            for a in args {
+                check_expr(a, sources, defined, errors, line);
+            }
+        }
+        Expr::Cond(c, t, e) => {
+            check_expr(c, sources, defined, errors, line);
+            check_expr(t, sources, defined, errors, line);
+            check_expr(e, sources, defined, errors, line);
+        }
+    }
+}
+
+fn check_stmt(
+    stmt: &Stmt,
+    sources: &HashSet<String>,
+    defined: &HashSet<&str>,
+    errors: &mut Vec<SemaError>,
+) {
+    match stmt {
+        Stmt::Assign { expr, line, .. } => check_expr(expr, sources, defined, errors, *line),
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            line,
+        } => {
+            check_expr(cond, sources, defined, errors, *line);
+            for s in then_body.iter().chain(else_body) {
+                check_stmt(s, sources, defined, errors);
+            }
+        }
+    }
+}
+
+/// Kahn topological sort of statements by def-use dependencies. Reads of
+/// source names (state, external, parameter, `t`, `dt`) do not create edges;
+/// reads of names defined by another statement do — with the exception of
+/// assigned externals, whose *reads as sources* are allowed only if no
+/// statement defines them.
+fn topo_order(body: &[Stmt], sources: &HashSet<String>) -> Result<Vec<Stmt>, String> {
+    let n = body.len();
+    // def name -> statement index
+    let mut def_of: HashMap<String, usize> = HashMap::new();
+    for (i, s) in body.iter().enumerate() {
+        let mut defs = Vec::new();
+        s.assigned_names(&mut defs);
+        for d in defs {
+            def_of.insert(d, i);
+        }
+    }
+    let mut deps: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    for (i, s) in body.iter().enumerate() {
+        let mut reads = Vec::new();
+        s.read_names(&mut reads);
+        for r in reads {
+            if let Some(&j) = def_of.get(&r) {
+                if j != i {
+                    deps[i].insert(j);
+                }
+            } else if !sources.contains(&r) {
+                // Unknown name: reported by check_stmt; ignore here.
+            }
+        }
+    }
+    let mut indegree: Vec<usize> = vec![0; n];
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ds) in deps.iter().enumerate() {
+        indegree[i] = ds.len();
+        for &j in ds {
+            rev[j].push(i);
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    // Stable order: prefer original source order among ready nodes.
+    ready.sort_unstable();
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::BinaryHeap::new();
+    for i in ready {
+        queue.push(std::cmp::Reverse(i));
+    }
+    while let Some(std::cmp::Reverse(i)) = queue.pop() {
+        order.push(i);
+        for &k in &rev[i] {
+            indegree[k] -= 1;
+            if indegree[k] == 0 {
+                queue.push(std::cmp::Reverse(k));
+            }
+        }
+    }
+    if order.len() != n {
+        // Find a statement stuck in the cycle for the message.
+        let stuck = (0..n).find(|i| !order.contains(i)).unwrap();
+        let mut defs = Vec::new();
+        body[stuck].assigned_names(&mut defs);
+        return Err(defs.join(", "));
+    }
+    Ok(order.into_iter().map(|i| body[i].clone()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_model;
+
+    const PATHMANATHAN: &str = r#"
+Vm; .external(); .nodal(); .lookup(-100,100,0.05);
+Iion; .external(); .nodal();
+group{ u1; u2; u3; }.nodal();
+group{ Cm = 200; beta = 1; xi = 3; }.param();
+u1_init = 0; u2_init = 0; u3_init = 0; Vm_init = 0;
+diff_u3 = 0;
+diff_u2 = -(u1+u3-Vm)*cube(u2);
+diff_u1 = square(u1+u3-Vm)*square(u2)+0.5*(u1+u3-Vm);
+u1;.method(rk2);
+Iion = (-(Cm/2.)*(u1+u3-Vm)*square(u2)*(Vm-u3)+beta);
+"#;
+
+    fn pathmanathan() -> Model {
+        analyze(&parse_model("Pathmanathan", PATHMANATHAN).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn classifies_paper_model() {
+        let m = pathmanathan();
+        assert_eq!(
+            m.states.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["u3", "u2", "u1"]
+        );
+        assert_eq!(m.state("u1").unwrap().method, Method::Rk2);
+        assert_eq!(m.state("u2").unwrap().method, Method::Fe);
+        assert_eq!(m.externals.len(), 2);
+        assert!(m.external("Iion").unwrap().assigned);
+        assert!(!m.external("Vm").unwrap().assigned);
+        assert_eq!(m.params.len(), 3);
+        assert_eq!(m.param("Cm").unwrap().default, 200.0);
+        assert_eq!(m.lookup("Vm").unwrap().step, 0.05);
+    }
+
+    #[test]
+    fn init_values_resolved() {
+        let m = pathmanathan();
+        assert_eq!(m.state("u1").unwrap().init, 0.0);
+        let m2 = analyze(
+            &parse_model("m", "group{k = 2;}.param();\ndiff_x = -x;\nx_init = k * 3;").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(m2.state("x").unwrap().init, 6.0);
+    }
+
+    #[test]
+    fn topological_order() {
+        // b depends on a but is written first.
+        let src = "diff_x = b;\nb = a * 2;\na = x + 1;";
+        let m = analyze(&parse_model("m", src).unwrap()).unwrap();
+        let lhss: Vec<&str> = m
+            .stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Assign { lhs, .. } => lhs.as_str(),
+                _ => "?",
+            })
+            .collect();
+        let pos =
+            |n: &str| lhss.iter().position(|l| *l == n).unwrap_or_else(|| panic!("{n} missing"));
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("diff_x"));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let src = "a = b + x;\nb = a * 2;\ndiff_x = a;";
+        let err = analyze(&parse_model("m", src).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn double_assignment_rejected() {
+        let src = "a = 1;\na = 2;\ndiff_x = a + x;";
+        let err = analyze(&parse_model("m", src).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn direct_state_assignment_rejected() {
+        let src = "diff_x = -x;\nx = 3;";
+        let err = analyze(&parse_model("m", src).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("assign diff_x instead"));
+    }
+
+    #[test]
+    fn one_sided_conditional_rejected() {
+        let src = "diff_x = -x;\nif (x > 0) { a = 1; } else { b = 2; }";
+        let err = analyze(&parse_model("m", src).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("only one branch"));
+    }
+
+    #[test]
+    fn both_sided_conditional_ok() {
+        let src = "diff_x = -x * a;\nif (x > 0) { a = 1; } else { a = 2; }";
+        let m = analyze(&parse_model("m", src).unwrap()).unwrap();
+        assert_eq!(m.stmts.len(), 2);
+        assert!(matches!(m.stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let err = analyze(&parse_model("m", "diff_x = y;").unwrap()).unwrap_err();
+        assert!(err.to_string().contains("undefined variable y"));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let err = analyze(&parse_model("m", "diff_x = frobnicate(x);").unwrap()).unwrap_err();
+        assert!(err.to_string().contains("unknown function"));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let err = analyze(&parse_model("m", "diff_x = pow(x);").unwrap()).unwrap_err();
+        assert!(err.to_string().contains("expects 2 argument"));
+    }
+
+    #[test]
+    fn unknown_method_rejected() {
+        let err =
+            analyze(&parse_model("m", "diff_x = -x;\nx;.method(cvode);").unwrap()).unwrap_err();
+        assert!(err.to_string().contains("unknown integration method"));
+    }
+
+    #[test]
+    fn method_on_non_state_rejected() {
+        let err =
+            analyze(&parse_model("m", "a = 1;\nb = a;\ndiff_x = x;\na;.method(rk2);").unwrap())
+                .unwrap_err();
+        assert!(err.to_string().contains("no diff_a equation"));
+    }
+
+    #[test]
+    fn affine_gate_form() {
+        // dx = (x_inf - x)/tau: a = x_inf/tau, b = -1/tau.
+        let src = "diff_m = (m_inf - m) / tau;\nm_inf = 0.5;\ntau = 2.0;";
+        let m = analyze(&parse_model("m", src).unwrap()).unwrap();
+        let d = m.diff_expr("m").unwrap();
+        let (a, b) = affine_in(d, "m").expect("gate equation must be affine");
+        let env: HashMap<String, f64> =
+            [("m_inf".to_string(), 0.5), ("tau".to_string(), 2.0)].into();
+        assert_eq!(eval_const(&a, &env), Some(0.25));
+        assert_eq!(eval_const(&b, &env), Some(-0.5));
+    }
+
+    #[test]
+    fn affine_rejects_nonlinear() {
+        let e = Expr::bin(BinOp::Mul, Expr::Var("x".into()), Expr::Var("x".into()));
+        assert!(affine_in(&e, "x").is_none());
+        let c = Expr::Call("exp".into(), vec![Expr::Var("x".into())]);
+        assert!(affine_in(&c, "x").is_none());
+    }
+
+    #[test]
+    fn affine_alpha_beta_form() {
+        // dx = alpha*(1-x) - beta*x  -> a = alpha, b = -(alpha+beta)
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::bin(
+                BinOp::Mul,
+                Expr::Var("alpha".into()),
+                Expr::bin(BinOp::Sub, Expr::Num(1.0), Expr::Var("x".into())),
+            ),
+            Expr::bin(BinOp::Mul, Expr::Var("beta".into()), Expr::Var("x".into())),
+        );
+        let (a, b) = affine_in(&e, "x").unwrap();
+        let env: HashMap<String, f64> =
+            [("alpha".to_string(), 3.0), ("beta".to_string(), 5.0)].into();
+        assert_eq!(eval_const(&a, &env), Some(3.0));
+        assert_eq!(eval_const(&b, &env), Some(-8.0));
+    }
+
+    #[test]
+    fn eval_const_covers_all_builtins() {
+        let env = HashMap::new();
+        for (name, arity) in BUILTINS {
+            let args = vec![Expr::Num(0.5); arity];
+            let e = Expr::Call(name.to_string(), args);
+            assert!(
+                eval_const(&e, &env).is_some(),
+                "builtin {name} not const-evaluable"
+            );
+        }
+    }
+
+    #[test]
+    fn complexity_counts_nodes() {
+        let m = pathmanathan();
+        assert!(m.complexity() > 20);
+    }
+
+    #[test]
+    fn methods_all_parse() {
+        for meth in Method::ALL {
+            assert_eq!(Method::parse(meth.name()), Some(meth));
+        }
+        assert_eq!(Method::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,469 @@
+//! Lexer for the EasyML ionic-model description language.
+//!
+//! EasyML is the markup language used by openCARP to describe ionic models
+//! (see paper §2.2). Tokens follow C expression syntax plus the markup
+//! punctuation (`.markup(args);`) and the `group { … }` construct.
+
+use std::fmt;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds of EasyML.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`group`, `if`, `else` are recognized later).
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.` (markup introducer)
+    Dot,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Num(v) => write!(f, "number `{v}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Question => write!(f, "`?`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Not => write!(f, "`!`"),
+        }
+    }
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes EasyML source.
+///
+/// Comments run from `#` or `//` to end-of-line, and from `/*` to `*/`.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed numbers or unexpected characters.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_easyml::lex;
+/// let toks = lex("diff_u2 = -(u1+u3-Vm)*cube(u2);").unwrap();
+/// assert_eq!(toks.len(), 16);
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+
+    macro_rules! push {
+        ($kind:expr) => {
+            toks.push(Token { kind: $kind, line })
+        };
+    }
+
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        match c {
+            b'\n' => {
+                line += 1;
+                pos += 1;
+            }
+            b' ' | b'\t' | b'\r' => pos += 1,
+            b'#' => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'/' if bytes.get(pos + 1) == Some(&b'*') => {
+                pos += 2;
+                loop {
+                    if pos + 1 >= bytes.len() {
+                        return Err(LexError {
+                            line,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[pos] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[pos] == b'*' && bytes[pos + 1] == b'/' {
+                        pos += 2;
+                        break;
+                    }
+                    pos += 1;
+                }
+            }
+            b'(' => {
+                push!(TokenKind::LParen);
+                pos += 1;
+            }
+            b')' => {
+                push!(TokenKind::RParen);
+                pos += 1;
+            }
+            b'{' => {
+                push!(TokenKind::LBrace);
+                pos += 1;
+            }
+            b'}' => {
+                push!(TokenKind::RBrace);
+                pos += 1;
+            }
+            b';' => {
+                push!(TokenKind::Semi);
+                pos += 1;
+            }
+            b',' => {
+                push!(TokenKind::Comma);
+                pos += 1;
+            }
+            b'+' => {
+                push!(TokenKind::Plus);
+                pos += 1;
+            }
+            b'-' => {
+                push!(TokenKind::Minus);
+                pos += 1;
+            }
+            b'*' => {
+                push!(TokenKind::Star);
+                pos += 1;
+            }
+            b'/' => {
+                push!(TokenKind::Slash);
+                pos += 1;
+            }
+            b'%' => {
+                push!(TokenKind::Percent);
+                pos += 1;
+            }
+            b'?' => {
+                push!(TokenKind::Question);
+                pos += 1;
+            }
+            b':' => {
+                push!(TokenKind::Colon);
+                pos += 1;
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::Le);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Lt);
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::Ge);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Gt);
+                    pos += 1;
+                }
+            }
+            b'=' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::EqEq);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Assign);
+                    pos += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::NotEq);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Not);
+                    pos += 1;
+                }
+            }
+            b'&' => {
+                if bytes.get(pos + 1) == Some(&b'&') {
+                    push!(TokenKind::AndAnd);
+                    pos += 2;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "single `&` is not an EasyML operator".into(),
+                    });
+                }
+            }
+            b'|' => {
+                if bytes.get(pos + 1) == Some(&b'|') {
+                    push!(TokenKind::OrOr);
+                    pos += 2;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "single `|` is not an EasyML operator".into(),
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let start = pos;
+                let mut seen_e = false;
+                while pos < bytes.len() {
+                    match bytes[pos] {
+                        b'0'..=b'9' | b'.' => pos += 1,
+                        b'e' | b'E' if !seen_e => {
+                            seen_e = true;
+                            pos += 1;
+                            if matches!(bytes.get(pos), Some(b'+') | Some(b'-')) {
+                                pos += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).unwrap();
+                let v: f64 = text.parse().map_err(|_| LexError {
+                    line,
+                    message: format!("malformed number `{text}`"),
+                })?;
+                push!(TokenKind::Num(v));
+            }
+            b'.' => {
+                // Either a markup dot or a leading-dot float like `.05`.
+                if matches!(bytes.get(pos + 1), Some(b'0'..=b'9')) {
+                    let start = pos;
+                    pos += 1;
+                    let mut seen_e = false;
+                    while pos < bytes.len() {
+                        match bytes[pos] {
+                            b'0'..=b'9' => pos += 1,
+                            b'e' | b'E' if !seen_e => {
+                                seen_e = true;
+                                pos += 1;
+                                if matches!(bytes.get(pos), Some(b'+') | Some(b'-')) {
+                                    pos += 1;
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                    let text = std::str::from_utf8(&bytes[start..pos]).unwrap();
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("malformed number `{text}`"),
+                    })?;
+                    push!(TokenKind::Num(v));
+                } else {
+                    push!(TokenKind::Dot);
+                    pos += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).unwrap().to_owned();
+                push!(TokenKind::Ident(text));
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_markup_line() {
+        let k = kinds("Vm; .external(); .lookup(-100,100,0.05);");
+        assert_eq!(k[0], TokenKind::Ident("Vm".into()));
+        assert_eq!(k[1], TokenKind::Semi);
+        assert_eq!(k[2], TokenKind::Dot);
+        assert_eq!(k[3], TokenKind::Ident("external".into()));
+        assert!(k.contains(&TokenKind::Num(0.05)));
+        // -100 lexes as Minus then Num(100).
+        assert!(k.contains(&TokenKind::Minus));
+        assert!(k.contains(&TokenKind::Num(100.0)));
+    }
+
+    #[test]
+    fn lexes_leading_dot_float() {
+        let k = kinds("x = .5;");
+        assert!(k.contains(&TokenKind::Num(0.5)));
+    }
+
+    #[test]
+    fn trailing_dot_number_then_markup() {
+        // `2.` is a float; `2.);` from the paper's `(Cm/2.)` pattern.
+        let k = kinds("Iion = Cm/2.;");
+        assert!(k.contains(&TokenKind::Num(2.0)));
+    }
+
+    #[test]
+    fn lexes_comments() {
+        let k = kinds("# full line\nx = 1; // tail\n/* block\nspanning */ y = 2;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Num(1.0),
+                TokenKind::Semi,
+                TokenKind::Ident("y".into()),
+                TokenKind::Assign,
+                TokenKind::Num(2.0),
+                TokenKind::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let k = kinds("a<=b >= c != d == e && f || !g");
+        assert!(k.contains(&TokenKind::Le));
+        assert!(k.contains(&TokenKind::Ge));
+        assert!(k.contains(&TokenKind::NotEq));
+        assert!(k.contains(&TokenKind::EqEq));
+        assert!(k.contains(&TokenKind::AndAnd));
+        assert!(k.contains(&TokenKind::OrOr));
+        assert!(k.contains(&TokenKind::Not));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let k = kinds("x = 1.5e-3 + 2E+4;");
+        assert!(k.contains(&TokenKind::Num(1.5e-3)));
+        assert!(k.contains(&TokenKind::Num(2e4)));
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a = 1;\nb = 2;\n\nc = 3;").unwrap();
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.kind == TokenKind::Ident(name.into()))
+                .unwrap()
+                .line
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 2);
+        assert_eq!(line_of("c"), 4);
+    }
+
+    #[test]
+    fn error_on_stray_char() {
+        let err = lex("x = $;").unwrap_err();
+        assert!(err.message.contains('$'));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn error_on_unterminated_block_comment() {
+        assert!(lex("/* nope").is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! figures [--fig2] [--fig3] [--fig4] [--fig5] [--layout] [--lut]
+//!         [--icc] [--roofline] [--stats] [--all]
+//!         [--cells N] [--steps N] [--repeats N] [--models a,b,c]
+//! ```
+//!
+//! With no figure flag, `--fig2` runs (cheapest headline artifact).
+//! Results print as aligned text tables and are also written as CSV files
+//! under `output/`.
+
+use limpet_harness::{
+    fig2_single_thread, fig3_threads32, fig4_scaling, fig5_isa_threads, fig6_roofline,
+    icc_comparison, kernel_stats, layout_ablation, lut_ablation, ExperimentOptions, TimingModel,
+};
+use std::fs;
+use std::path::Path;
+
+#[derive(Debug)]
+struct Args {
+    fig2: bool,
+    fig3: bool,
+    fig4: bool,
+    fig5: bool,
+    layout: bool,
+    lut: bool,
+    icc: bool,
+    roofline: bool,
+    stats: bool,
+    opts: ExperimentOptions,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        opts: ExperimentOptions::default(),
+        fig2: false, fig3: false, fig4: false, fig5: false,
+        layout: false, lut: false, icc: false, roofline: false, stats: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fig2" => args.fig2 = true,
+            "--fig3" => args.fig3 = true,
+            "--fig4" => args.fig4 = true,
+            "--fig5" => args.fig5 = true,
+            "--layout" => args.layout = true,
+            "--lut" => args.lut = true,
+            "--icc" => args.icc = true,
+            "--roofline" => args.roofline = true,
+            "--stats" => args.stats = true,
+            "--all" => {
+                args.fig2 = true;
+                args.fig3 = true;
+                args.fig4 = true;
+                args.fig5 = true;
+                args.layout = true;
+                args.lut = true;
+                args.icc = true;
+                args.roofline = true;
+                args.stats = true;
+            }
+            "--cells" => {
+                args.opts.n_cells = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cells needs a number");
+            }
+            "--steps" => {
+                args.opts.steps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--steps needs a number");
+            }
+            "--repeats" => {
+                args.opts.repeats = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeats needs a number");
+            }
+            "--models" => {
+                args.opts.only = it
+                    .next()
+                    .expect("--models needs a comma list")
+                    .split(',')
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--fig2|--fig3|--fig4|--fig5|--layout|--lut|--icc|--roofline|--stats|--all]\n\
+                     \x20              [--cells N] [--steps N] [--repeats N] [--models a,b,c]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !(args.fig2
+        || args.fig3
+        || args.fig4
+        || args.fig5
+        || args.layout
+        || args.lut
+        || args.icc
+        || args.roofline
+        || args.stats)
+    {
+        args.fig2 = true;
+    }
+    args
+}
+
+fn save_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = Path::new("output");
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let mut s = String::from(header);
+    s.push('\n');
+    for r in rows {
+        s.push_str(r);
+        s.push('\n');
+    }
+    let path = dir.join(name);
+    if fs::write(&path, s).is_ok() {
+        println!("  [saved {}]", path.display());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "limpet-rs figure runner: {} cells, {} steps, {} repeats{}",
+        args.opts.n_cells,
+        args.opts.steps,
+        args.opts.repeats,
+        if args.opts.only.is_empty() {
+            ", full 43-model roster".to_owned()
+        } else {
+            format!(", models: {}", args.opts.only.join(","))
+        }
+    );
+    let tm = TimingModel::calibrate();
+    println!(
+        "calibrated timing model: stream bandwidth {:.2} GB/s (x{} socket saturation)\n",
+        tm.stream_bandwidth / 1e9,
+        tm.bandwidth_saturation
+    );
+
+    if args.fig2 {
+        println!("== Figure 2: single-thread speedup, limpetMLIR AVX-512 vs baseline ==");
+        let f = fig2_single_thread(&args.opts);
+        let mut rows = Vec::new();
+        for r in &f.rows {
+            println!(
+                "  {:24} {:7} baseline {:9.4}s  limpetMLIR {:9.4}s  speedup {:6.2}x",
+                r.model, r.class, r.baseline, r.limpet_mlir, r.speedup
+            );
+            rows.push(format!(
+                "{},{},{},{},{}",
+                r.model, r.class, r.baseline, r.limpet_mlir, r.speedup
+            ));
+        }
+        println!("  geomean speedup: {:.2}x   (paper: 5.25x)\n", f.geomean);
+        save_csv("fig2.csv", "model,class,baseline_s,limpetmlir_s,speedup", &rows);
+    }
+
+    if args.fig3 {
+        println!("== Figure 3: 32-thread speedup (simulated-parallel model) ==");
+        let f = fig3_threads32(&args.opts, &tm);
+        let mut rows = Vec::new();
+        for r in &f.rows {
+            println!(
+                "  {:24} {:7} speedup {:6.2}x",
+                r.model, r.class, r.speedup
+            );
+            rows.push(format!("{},{},{}", r.model, r.class, r.speedup));
+        }
+        for (c, g) in &f.class_geomeans {
+            println!("  {c:7} geomean: {g:.2}x");
+        }
+        println!(
+            "  overall geomean: {:.2}x   (paper: 1.93x; small 0.83x, medium 1.34x, large 6.03x)\n",
+            f.geomean
+        );
+        save_csv("fig3.csv", "model,class,speedup", &rows);
+    }
+
+    if args.fig4 {
+        println!("== Figure 4: class-average times vs threads (AVX-512) ==");
+        let f = fig4_scaling(&args.opts, &tm);
+        let mut rows = Vec::new();
+        for (class, t, tb, tl) in &f.series {
+            println!(
+                "  {class:7} T={t:2}  baseline {tb:10.5}s  limpetMLIR {tl:10.5}s"
+            );
+            rows.push(format!("{class},{t},{tb},{tl}"));
+        }
+        println!();
+        save_csv("fig4.csv", "class,threads,baseline_s,limpetmlir_s", &rows);
+    }
+
+    if args.fig5 {
+        println!("== Figure 5: geomean speedup per ISA x threads ==");
+        let f = fig5_isa_threads(&args.opts, &tm);
+        let mut rows = Vec::new();
+        for (isa, t, g) in &f.series {
+            println!("  {isa:8} T={t:2}  geomean {g:5.2}x");
+            rows.push(format!("{isa},{t},{g}"));
+        }
+        println!(
+            "  overall geomean (all models, ISAs, threads): {:.2}x   (paper: 2.90x)\n",
+            f.overall_geomean
+        );
+        save_csv("fig5.csv", "isa,threads,geomean_speedup", &rows);
+    }
+
+    if args.layout {
+        println!("== Section 4.4: data-layout ablation (AoS vs AoSoA, 1 thread) ==");
+        let f = layout_ablation(&args.opts);
+        let mut rows = Vec::new();
+        for (m, aos, aosoa) in &f.rows {
+            println!("  {m:24} AoS {aos:5.2}x   AoSoA {aosoa:5.2}x");
+            rows.push(format!("{m},{aos},{aosoa}"));
+        }
+        println!(
+            "  geomeans: AoS {:.2}x -> AoSoA {:.2}x   (paper: 3.12x -> 3.37x)\n",
+            f.geomeans.0, f.geomeans.1
+        );
+        save_csv("layout_ablation.csv", "model,speedup_aos,speedup_aosoa", &rows);
+    }
+
+    if args.lut {
+        println!("== Section 3.4.2: LUT ablation (speedups vs baseline) ==");
+        let f = lut_ablation(&args.opts);
+        let mut rows = Vec::new();
+        for (m, none, scalar, vec) in &f.rows {
+            println!(
+                "  {m:24} noLUT {none:5.2}x   scalarLUT {scalar:5.2}x   vecLUT {vec:5.2}x"
+            );
+            rows.push(format!("{m},{none},{scalar},{vec}"));
+        }
+        println!();
+        save_csv("lut_ablation.csv", "model,no_lut,scalar_lut,vector_lut", &rows);
+    }
+
+    if args.icc {
+        println!("== Section 5: compiler-simd (icc omp simd) vs limpetMLIR ==");
+        let f = icc_comparison(&args.opts, &tm);
+        println!(
+            "  compiler-simd geomean {:.2}x   limpetMLIR geomean {:.2}x   (paper: 2.19x vs 3.37x)\n",
+            f.compiler_simd, f.limpet_mlir
+        );
+        save_csv(
+            "icc_comparison.csv",
+            "config,geomean",
+            &[
+                format!("compiler-simd,{}", f.compiler_simd),
+                format!("limpetMLIR,{}", f.limpet_mlir),
+            ],
+        );
+    }
+
+    if args.roofline {
+        println!("== Figure 6: roofline (limpetMLIR AVX-512, 32 modeled threads) ==");
+        let f = fig6_roofline(&args.opts, &tm);
+        let mut rows = Vec::new();
+        for p in &f.points {
+            println!(
+                "  {:24} {:7} intensity {:7.3} F/B   {:9.2} GFlops/s",
+                p.model, p.class, p.intensity, p.gflops
+            );
+            rows.push(format!(
+                "{},{},{},{}",
+                p.model, p.class, p.intensity, p.gflops
+            ));
+        }
+        println!(
+            "  ceilings: peak {:.0} GFlops/s, DRAM {:.0} GB/s   (paper: 760 GFlops/s, 199 GB/s)\n",
+            f.peak_gflops, f.dram_gbps
+        );
+        save_csv("fig6_roofline.csv", "model,class,intensity,gflops", &rows);
+    }
+
+    if args.stats {
+        println!("== Kernel statistics ==");
+        let stats = kernel_stats(&args.opts);
+        let mut rows = Vec::new();
+        for s in &stats {
+            let mix: Vec<String> = s
+                .dialect_mix
+                .iter()
+                .map(|(d, n)| format!("{d}:{n}"))
+                .collect();
+            println!(
+                "  {:24} baseline {:5} instrs   limpetMLIR {:5} instrs   LUT {:8} bytes   [{}]",
+                s.model,
+                s.baseline_instrs,
+                s.mlir_instrs,
+                s.lut_bytes,
+                mix.join(" ")
+            );
+            rows.push(format!(
+                "{},{},{},{}",
+                s.model, s.baseline_instrs, s.mlir_instrs, s.lut_bytes
+            ));
+        }
+        println!();
+        save_csv(
+            "kernel_stats.csv",
+            "model,baseline_instrs,mlir_instrs,lut_bytes",
+            &rows,
+        );
+    }
+}

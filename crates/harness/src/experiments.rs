@@ -1,0 +1,633 @@
+//! Experiment runners regenerating every table and figure of the paper's
+//! evaluation (§4–§5). Each runner returns plain data structs; the
+//! `figures` binary prints them as the paper's rows/series.
+//!
+//! | runner | paper artifact |
+//! |---|---|
+//! | [`fig2_single_thread`] | Fig. 2 — 1-thread AVX-512 speedup per model |
+//! | [`fig3_threads32`] | Fig. 3 — 32-thread AVX-512 speedup per model |
+//! | [`fig4_scaling`] | Fig. 4 — class-average times vs. thread count |
+//! | [`fig5_isa_threads`] | Fig. 5 — geomean speedup per ISA × threads |
+//! | [`layout_ablation`] | §4.4 — AoS vs. AoSoA |
+//! | [`lut_ablation`] | §3.4.2 — LUT on/off, scalar/vector interp |
+//! | [`icc_comparison`] | §5 — compiler-simd vs. limpetMLIR geomean |
+//! | [`fig6_roofline`] | Fig. 6 — operational intensity vs. GFlops/s |
+
+use crate::sim::{model_info, PipelineKind, Simulation, Workload};
+use crate::threads::{measure_median, TimingModel};
+use limpet_codegen::pipeline::VectorIsa;
+use limpet_models::{model, ModelEntry, SizeClass, ROSTER};
+use limpet_vm::Kernel;
+use serde::Serialize;
+
+/// Thread counts evaluated by the paper (powers of two, 1..32).
+pub const THREAD_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Global experiment options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOptions {
+    /// Cells per model (paper: 8192).
+    pub n_cells: usize,
+    /// Steps per measurement (paper: 100 000; scaled down by default so
+    /// the suite finishes in minutes on a laptop).
+    pub steps: usize,
+    /// Timed repetitions per configuration (median taken).
+    pub repeats: usize,
+    /// Restrict to these model names (empty = full roster).
+    pub only: Vec<String>,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> ExperimentOptions {
+        ExperimentOptions {
+            n_cells: 1024,
+            steps: 30,
+            repeats: 3,
+            only: Vec::new(),
+        }
+    }
+}
+
+impl ExperimentOptions {
+    fn roster(&self) -> Vec<&'static ModelEntry> {
+        ROSTER
+            .iter()
+            .filter(|e| self.only.is_empty() || self.only.iter().any(|n| n == e.name))
+            .collect()
+    }
+}
+
+/// Measures the wall time of a full single-thread run of one configuration.
+pub fn measure_run(
+    m: &limpet_easyml::Model,
+    config: PipelineKind,
+    opts: &ExperimentOptions,
+) -> f64 {
+    let wl = Workload {
+        n_cells: opts.n_cells,
+        steps: opts.steps,
+        dt: 0.01,
+    };
+    let mut sim = Simulation::new(m, config, &wl);
+    // Warm up: tables built in `new`; run a couple of steps for caches.
+    sim.run(2);
+    measure_median(opts.repeats, || sim.run(opts.steps))
+}
+
+/// Bytes moved per step (for the timing model's memory floor) and the
+/// profile of one step.
+fn step_profile(m: &limpet_easyml::Model, config: PipelineKind, n_cells: usize) -> limpet_vm::Profile {
+    let wl = Workload {
+        n_cells,
+        steps: 0,
+        dt: 0.01,
+    };
+    let mut sim = Simulation::new(m, config, &wl);
+    sim.step_profiled()
+}
+
+/// One model's speedup measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedupRow {
+    /// Model name.
+    pub model: String,
+    /// Size class name.
+    pub class: String,
+    /// Baseline time (s).
+    pub baseline: f64,
+    /// limpetMLIR time (s).
+    pub limpet_mlir: f64,
+    /// Speedup (baseline / limpetMLIR).
+    pub speedup: f64,
+}
+
+/// Figure-2 result: per-model single-thread speedups, plus the geomean.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2 {
+    /// Per-model rows, roster (small→large) order.
+    pub rows: Vec<SpeedupRow>,
+    /// Geometric-mean speedup (paper: 5.25x on AVX-512).
+    pub geomean: f64,
+}
+
+/// Geometric mean helper.
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut logsum, mut n) = (0.0, 0usize);
+    for x in xs {
+        logsum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return f64::NAN;
+    }
+    (logsum / n as f64).exp()
+}
+
+/// Fig. 2: single-thread baseline vs. limpetMLIR AVX-512.
+pub fn fig2_single_thread(opts: &ExperimentOptions) -> Fig2 {
+    let mut rows = Vec::new();
+    for e in opts.roster() {
+        let m = model(e.name);
+        let tb = measure_run(&m, PipelineKind::Baseline, opts);
+        let tl = measure_run(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
+        rows.push(SpeedupRow {
+            model: e.name.to_owned(),
+            class: e.class.name().to_owned(),
+            baseline: tb,
+            limpet_mlir: tl,
+            speedup: tb / tl,
+        });
+    }
+    let geomean = geomean(rows.iter().map(|r| r.speedup));
+    Fig2 { rows, geomean }
+}
+
+/// Fig. 3 result: 32-thread per-model speedups with class geomeans.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3 {
+    /// Per-model rows.
+    pub rows: Vec<SpeedupRow>,
+    /// Overall geomean (paper: 1.93x).
+    pub geomean: f64,
+    /// Per-class geomeans (paper: small 0.83x, medium 1.34x, large 6.03x).
+    pub class_geomeans: Vec<(String, f64)>,
+}
+
+/// Fig. 3: both versions at 32 threads (simulated-parallel model).
+pub fn fig3_threads32(opts: &ExperimentOptions, tm: &TimingModel) -> Fig3 {
+    let mut rows = Vec::new();
+    for e in opts.roster() {
+        let m = model(e.name);
+        let (tb, tl) = estimate_pair(&m, opts, tm, 32);
+        rows.push(SpeedupRow {
+            model: e.name.to_owned(),
+            class: e.class.name().to_owned(),
+            baseline: tb,
+            limpet_mlir: tl,
+            speedup: tb / tl,
+        });
+    }
+    let geomean_all = geomean(rows.iter().map(|r| r.speedup));
+    let class_geomeans = SizeClass::ALL
+        .iter()
+        .map(|c| {
+            (
+                c.name().to_owned(),
+                geomean(
+                    rows.iter()
+                        .filter(|r| r.class == c.name())
+                        .map(|r| r.speedup),
+                ),
+            )
+        })
+        .collect();
+    Fig3 {
+        rows,
+        geomean: geomean_all,
+        class_geomeans,
+    }
+}
+
+/// Measured t1 + modeled t(T) for baseline and limpetMLIR AVX-512.
+fn estimate_pair(
+    m: &limpet_easyml::Model,
+    opts: &ExperimentOptions,
+    tm: &TimingModel,
+    threads: usize,
+) -> (f64, f64) {
+    let tb1 = measure_run(m, PipelineKind::Baseline, opts);
+    let tl1 = measure_run(m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
+    let pb = step_profile(m, PipelineKind::Baseline, opts.n_cells);
+    let pl = step_profile(m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts.n_cells);
+    let tb = tm.estimate(tb1, pb.bytes_read + pb.bytes_written, opts.steps, threads, 1);
+    let tl = tm.estimate(tl1, pl.bytes_read + pl.bytes_written, opts.steps, threads, 8);
+    (tb, tl)
+}
+
+/// Fig. 4: class-average execution times across thread counts.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4 {
+    /// `(class, threads, baseline avg secs, limpetMLIR avg secs)`.
+    pub series: Vec<(String, usize, f64, f64)>,
+}
+
+/// Fig. 4 runner (AVX-512).
+pub fn fig4_scaling(opts: &ExperimentOptions, tm: &TimingModel) -> Fig4 {
+    // Measure each model once, estimate each thread count.
+    struct M {
+        class: SizeClass,
+        tb1: f64,
+        tl1: f64,
+        bb: u64,
+        bl: u64,
+    }
+    let measured: Vec<M> = opts
+        .roster()
+        .iter()
+        .map(|e| {
+            let m = model(e.name);
+            let tb1 = measure_run(&m, PipelineKind::Baseline, opts);
+            let tl1 = measure_run(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
+            let pb = step_profile(&m, PipelineKind::Baseline, opts.n_cells);
+            let pl = step_profile(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts.n_cells);
+            M {
+                class: e.class,
+                tb1,
+                tl1,
+                bb: pb.bytes_read + pb.bytes_written,
+                bl: pl.bytes_read + pl.bytes_written,
+            }
+        })
+        .collect();
+    let mut series = Vec::new();
+    for class in SizeClass::ALL {
+        let of_class: Vec<&M> = measured.iter().filter(|m| m.class == class).collect();
+        if of_class.is_empty() {
+            continue;
+        }
+        for &t in &THREAD_COUNTS {
+            let avg_b = of_class
+                .iter()
+                .map(|m| tm.estimate(m.tb1, m.bb, opts.steps, t, 1))
+                .sum::<f64>()
+                / of_class.len() as f64;
+            let avg_l = of_class
+                .iter()
+                .map(|m| tm.estimate(m.tl1, m.bl, opts.steps, t, 8))
+                .sum::<f64>()
+                / of_class.len() as f64;
+            series.push((class.name().to_owned(), t, avg_b, avg_l));
+        }
+    }
+    Fig4 { series }
+}
+
+/// Fig. 5: geomean speedups per ISA per thread count.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5 {
+    /// `(isa name, threads, geomean speedup)`.
+    pub series: Vec<(String, usize, f64)>,
+    /// Overall geomean over all models, ISAs, and thread counts
+    /// (paper: 2.90x).
+    pub overall_geomean: f64,
+}
+
+/// Fig. 5 runner.
+pub fn fig5_isa_threads(opts: &ExperimentOptions, tm: &TimingModel) -> Fig5 {
+    struct M {
+        tb1: f64,
+        bb: u64,
+        per_isa: Vec<(f64, u64)>, // (t1, bytes) per ISA
+    }
+    let measured: Vec<M> = opts
+        .roster()
+        .iter()
+        .map(|e| {
+            let m = model(e.name);
+            let tb1 = measure_run(&m, PipelineKind::Baseline, opts);
+            let pb = step_profile(&m, PipelineKind::Baseline, opts.n_cells);
+            let per_isa = VectorIsa::ALL
+                .iter()
+                .map(|&isa| {
+                    let t = measure_run(&m, PipelineKind::LimpetMlir(isa), opts);
+                    let p = step_profile(&m, PipelineKind::LimpetMlir(isa), opts.n_cells);
+                    (t, p.bytes_read + p.bytes_written)
+                })
+                .collect();
+            M {
+                tb1,
+                bb: pb.bytes_read + pb.bytes_written,
+                per_isa,
+            }
+        })
+        .collect();
+
+    let mut series = Vec::new();
+    let mut all_speedups = Vec::new();
+    for (i, isa) in VectorIsa::ALL.iter().enumerate() {
+        for &t in &THREAD_COUNTS {
+            let speedups: Vec<f64> = measured
+                .iter()
+                .map(|m| {
+                    let tb = tm.estimate(m.tb1, m.bb, opts.steps, t, 1);
+                    let (tl1, bl) = m.per_isa[i];
+                    let tl =
+                        tm.estimate(tl1, bl, opts.steps, t, isa.lanes() as usize);
+                    tb / tl
+                })
+                .collect();
+            let g = geomean(speedups.iter().copied());
+            all_speedups.extend(speedups);
+            series.push((isa.name().to_owned(), t, g));
+        }
+    }
+    Fig5 {
+        series,
+        overall_geomean: geomean(all_speedups),
+    }
+}
+
+/// §4.4 layout ablation result.
+#[derive(Debug, Clone, Serialize)]
+pub struct LayoutAblation {
+    /// `(model, speedup with AoS, speedup with AoSoA)` at one thread.
+    pub rows: Vec<(String, f64, f64)>,
+    /// Geomeans `(AoS, AoSoA)` — the paper reports 3.12x → 3.37x.
+    pub geomeans: (f64, f64),
+}
+
+/// §4.4: the data-layout transformation's contribution.
+pub fn layout_ablation(opts: &ExperimentOptions) -> LayoutAblation {
+    let mut rows = Vec::new();
+    for e in opts.roster() {
+        let m = model(e.name);
+        let tb = measure_run(&m, PipelineKind::Baseline, opts);
+        let t_aos = measure_run(&m, PipelineKind::LimpetMlirAos(VectorIsa::Avx512), opts);
+        let t_aosoa = measure_run(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
+        rows.push((e.name.to_owned(), tb / t_aos, tb / t_aosoa));
+    }
+    let geomeans = (
+        geomean(rows.iter().map(|r| r.1)),
+        geomean(rows.iter().map(|r| r.2)),
+    );
+    LayoutAblation { rows, geomeans }
+}
+
+/// §3.4.2 LUT ablation result.
+#[derive(Debug, Clone, Serialize)]
+pub struct LutAblation {
+    /// `(model, speedup without LUT, speedup with scalar-interp LUT,
+    /// speedup with vectorized LUT)` relative to baseline.
+    pub rows: Vec<(String, f64, f64, f64)>,
+}
+
+/// §3.4.2: LUTs off / scalar interpolation / vectorized interpolation.
+pub fn lut_ablation(opts: &ExperimentOptions) -> LutAblation {
+    let mut rows = Vec::new();
+    for e in opts.roster() {
+        let m = model(e.name);
+        if m.lookups.is_empty() {
+            continue;
+        }
+        let tb = measure_run(&m, PipelineKind::Baseline, opts);
+        let t_none = measure_run(&m, PipelineKind::LimpetMlirNoLut(VectorIsa::Avx512), opts);
+        let t_scalar = measure_run(&m, PipelineKind::CompilerSimd(VectorIsa::Avx512), opts);
+        let t_vec = measure_run(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
+        rows.push((e.name.to_owned(), tb / t_none, tb / t_scalar, tb / t_vec));
+    }
+    LutAblation { rows }
+}
+
+/// §5 comparison result.
+#[derive(Debug, Clone, Serialize)]
+pub struct IccComparison {
+    /// Geomean speedup of compiler-simd (paper: icc 2.19x).
+    pub compiler_simd: f64,
+    /// Geomean speedup of limpetMLIR (paper: 3.37x).
+    pub limpet_mlir: f64,
+}
+
+/// §5: auto-vectorizing-compiler configuration vs. limpetMLIR, geomean
+/// over models and thread counts at AVX-512.
+pub fn icc_comparison(opts: &ExperimentOptions, tm: &TimingModel) -> IccComparison {
+    let mut s_icc = Vec::new();
+    let mut s_mlir = Vec::new();
+    for e in opts.roster() {
+        let m = model(e.name);
+        let tb1 = measure_run(&m, PipelineKind::Baseline, opts);
+        let ti1 = measure_run(&m, PipelineKind::CompilerSimd(VectorIsa::Avx512), opts);
+        let tl1 = measure_run(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
+        let pb = step_profile(&m, PipelineKind::Baseline, opts.n_cells);
+        let pi = step_profile(&m, PipelineKind::CompilerSimd(VectorIsa::Avx512), opts.n_cells);
+        let pl = step_profile(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts.n_cells);
+        for &t in &THREAD_COUNTS {
+            let tb = tm.estimate(tb1, pb.bytes_read + pb.bytes_written, opts.steps, t, 1);
+            let ti = tm.estimate(ti1, pi.bytes_read + pi.bytes_written, opts.steps, t, 8);
+            let tl = tm.estimate(tl1, pl.bytes_read + pl.bytes_written, opts.steps, t, 8);
+            s_icc.push(tb / ti);
+            s_mlir.push(tb / tl);
+        }
+    }
+    IccComparison {
+        compiler_simd: geomean(s_icc),
+        limpet_mlir: geomean(s_mlir),
+    }
+}
+
+/// One roofline point (Fig. 6).
+#[derive(Debug, Clone, Serialize)]
+pub struct RooflinePoint {
+    /// Model name.
+    pub model: String,
+    /// Size class.
+    pub class: String,
+    /// Operational intensity (Flops/Byte).
+    pub intensity: f64,
+    /// Achieved GFlops/s (32-thread modeled time).
+    pub gflops: f64,
+}
+
+/// Fig. 6 result: points plus machine ceilings.
+#[derive(Debug, Clone, Serialize)]
+pub struct Roofline {
+    /// One point per model (limpetMLIR AVX-512, 32 threads).
+    pub points: Vec<RooflinePoint>,
+    /// Peak compute ceiling (GFlops/s), ERT-style measured then scaled to
+    /// the modeled 32-core socket.
+    pub peak_gflops: f64,
+    /// DRAM bandwidth ceiling (GB/s) under the same scaling.
+    pub dram_gbps: f64,
+}
+
+/// Fig. 6: roofline points from instruction-level flop/byte counts
+/// (the paper instruments generated MLIR for memory operations and reads
+/// HW counters for flops; we count both in the executing kernel).
+pub fn fig6_roofline(opts: &ExperimentOptions, tm: &TimingModel) -> Roofline {
+    let threads = 32;
+    let mut points = Vec::new();
+    for e in opts.roster() {
+        let m = model(e.name);
+        let config = PipelineKind::LimpetMlir(VectorIsa::Avx512);
+        let p = step_profile(&m, config, opts.n_cells);
+        let t1 = measure_run(&m, config, opts);
+        let bytes = p.bytes_read + p.bytes_written;
+        let t32 = tm.estimate(t1, bytes, opts.steps, threads, 8);
+        let flops_total = p.flops as f64 * opts.steps as f64;
+        points.push(RooflinePoint {
+            model: e.name.to_owned(),
+            class: e.class.name().to_owned(),
+            intensity: p.intensity(),
+            gflops: flops_total / t32 / 1e9,
+        });
+    }
+    // ERT-style ceilings: measure single-thread FMA throughput & stream
+    // bandwidth, scale to the modeled socket (32 cores, saturating DRAM).
+    let peak1 = measure_peak_flops();
+    Roofline {
+        points,
+        peak_gflops: peak1 * threads as f64 / 1e9,
+        dram_gbps: tm.stream_bandwidth * tm.bandwidth_saturation / 1e9,
+    }
+}
+
+/// Measures single-thread peak flops with an unrolled FMA loop.
+pub fn measure_peak_flops() -> f64 {
+    let mut acc = [1.0f64, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7];
+    let (a, b) = (1.000_000_1f64, 1e-9f64);
+    let iters = 4_000_000u64;
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        for v in acc.iter_mut() {
+            *v = v.mul_add(a, b);
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&acc);
+    (iters * 8 * 2) as f64 / secs
+}
+
+/// Extracts instruction statistics of both kernels for one model
+/// (supplementary table: static op mix).
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelStats {
+    /// Model name.
+    pub model: String,
+    /// Static instruction count, baseline kernel.
+    pub baseline_instrs: usize,
+    /// Static instruction count, limpetMLIR kernel.
+    pub mlir_instrs: usize,
+    /// LUT memory in bytes.
+    pub lut_bytes: usize,
+    /// IR operation count per dialect in the optimized module, e.g.
+    /// `[("arith", 120), ("math", 14), ...]`.
+    pub dialect_mix: Vec<(String, usize)>,
+}
+
+/// Collects kernel statistics over the roster.
+pub fn kernel_stats(opts: &ExperimentOptions) -> Vec<KernelStats> {
+    opts.roster()
+        .iter()
+        .map(|e| {
+            let m = model(e.name);
+            let info = model_info(&m);
+            let kb = Kernel::from_module(&PipelineKind::Baseline.build(&m), &info).unwrap();
+            let opt_module = PipelineKind::LimpetMlir(VectorIsa::Avx512).build(&m);
+            let kl = Kernel::from_module(&opt_module, &info).unwrap();
+            let mut by_dialect: std::collections::BTreeMap<String, usize> =
+                std::collections::BTreeMap::new();
+            for (op, n) in opt_module.op_histogram() {
+                let dialect = op.split('.').next().unwrap_or("?").to_owned();
+                *by_dialect.entry(dialect).or_insert(0) += n;
+            }
+            KernelStats {
+                model: e.name.to_owned(),
+                baseline_instrs: kb.program().instrs.len(),
+                mlir_instrs: kl.program().instrs.len(),
+                lut_bytes: kl.lut_bytes(),
+                dialect_mix: by_dialect.into_iter().collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts(names: &[&str]) -> ExperimentOptions {
+        ExperimentOptions {
+            n_cells: 64,
+            steps: 4,
+            repeats: 1,
+            only: names.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean([8.0]) - 8.0).abs() < 1e-12);
+        assert!(geomean(std::iter::empty::<f64>()).is_nan());
+    }
+
+    #[test]
+    fn fig2_runs_on_subset() {
+        let f = fig2_single_thread(&tiny_opts(&["Plonsey", "BeelerReuter"]));
+        assert_eq!(f.rows.len(), 2);
+        for r in &f.rows {
+            assert!(r.baseline > 0.0 && r.limpet_mlir > 0.0);
+            assert!(r.speedup.is_finite());
+        }
+        assert!(f.geomean.is_finite());
+    }
+
+    #[test]
+    fn fig3_class_geomeans_present() {
+        let tm = TimingModel::default();
+        let f = fig3_threads32(&tiny_opts(&["Plonsey", "OHara"]), &tm);
+        assert_eq!(f.rows.len(), 2);
+        assert_eq!(f.class_geomeans.len(), 3);
+    }
+
+    #[test]
+    fn fig5_produces_all_series() {
+        let tm = TimingModel::default();
+        let f = fig5_isa_threads(&tiny_opts(&["Pathmanathan"]), &tm);
+        assert_eq!(f.series.len(), 3 * THREAD_COUNTS.len());
+        assert!(f.overall_geomean.is_finite());
+    }
+
+    #[test]
+    fn layout_ablation_runner_produces_both_columns() {
+        let f = layout_ablation(&tiny_opts(&["Stress_Niederer"]));
+        assert_eq!(f.rows.len(), 1);
+        let (_, aos, aosoa) = &f.rows[0];
+        assert!(*aos > 0.0 && *aosoa > 0.0);
+        assert!(f.geomeans.0.is_finite() && f.geomeans.1.is_finite());
+    }
+
+    #[test]
+    fn lut_ablation_runner_skips_lut_free_models() {
+        // ISAC_Hu has no lookup markup; it must not appear in the table.
+        let f = lut_ablation(&tiny_opts(&["ISAC_Hu", "HodgkinHuxley"]));
+        assert_eq!(f.rows.len(), 1);
+        assert_eq!(f.rows[0].0, "HodgkinHuxley");
+    }
+
+    #[test]
+    fn fig4_covers_every_class_and_thread_count() {
+        let tm = TimingModel::default();
+        let f = fig4_scaling(
+            &tiny_opts(&["Plonsey", "BeelerReuter", "OHara"]),
+            &tm,
+        );
+        assert_eq!(f.series.len(), 3 * THREAD_COUNTS.len());
+        // At this deliberately tiny test workload every class is
+        // barrier-dominated, so no monotonicity is asserted — only
+        // structure: positive times and limpetMLIR <= baseline at T=1.
+        for (class, t, tb, tl) in &f.series {
+            assert!(*tb > 0.0 && *tl > 0.0, "{class} T={t}");
+            if *t == 1 {
+                assert!(tl <= tb, "{class}: limpetMLIR slower at T=1");
+            }
+        }
+    }
+
+    #[test]
+    fn roofline_points_have_positive_intensity() {
+        let tm = TimingModel::default();
+        let r = fig6_roofline(&tiny_opts(&["BeelerReuter"]), &tm);
+        assert_eq!(r.points.len(), 1);
+        assert!(r.points[0].intensity > 0.0);
+        assert!(r.points[0].gflops > 0.0);
+        assert!(r.peak_gflops > r.dram_gbps / 100.0);
+    }
+
+    #[test]
+    fn kernel_stats_show_vector_kernel_is_smaller_or_equal() {
+        let stats = kernel_stats(&tiny_opts(&["HodgkinHuxley"]));
+        // CSE/const-prop should not make the optimized kernel larger.
+        assert!(stats[0].mlir_instrs <= stats[0].baseline_instrs * 2);
+        assert!(stats[0].lut_bytes > 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # limpet-harness
+//!
+//! The experiment platform of limpet-rs: the simulation driver matching
+//! openCARP's `bench` binary ([`sim`]), real-thread and simulated-parallel
+//! execution ([`threads`]), and one experiment runner per paper figure and
+//! table ([`experiments`]). The `figures` binary prints every artifact:
+//!
+//! ```text
+//! cargo run --release -p limpet-harness --bin figures -- --fig2
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod sim;
+pub mod threads;
+
+pub use experiments::{
+    fig2_single_thread, fig3_threads32, fig4_scaling, fig5_isa_threads, fig6_roofline, geomean,
+    icc_comparison, kernel_stats, layout_ablation, lut_ablation, ExperimentOptions, THREAD_COUNTS,
+};
+pub use sim::{model_info, storage_layout, PipelineKind, Simulation, Stimulus, Workload};
+pub use threads::{measure_median, measure_stream_bandwidth, ShardedSimulation, TimingModel};

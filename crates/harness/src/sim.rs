@@ -1,0 +1,461 @@
+//! The simulation driver: the counterpart of openCARP's `bench` binary
+//! (paper §4), which steps an ionic model over a population of cells.
+//!
+//! Each step runs the two-stage flow of §3.1:
+//!
+//! 1. **compute stage** — the compiled kernel advances every cell's state
+//!    and writes `Iion`;
+//! 2. **membrane update** — `Vm ← Vm + dt·(−Iion + I_stim)/Cm` per cell
+//!    (the `bench` single-cell protocol), or an implicit monodomain
+//!    diffusion solve when tissue coupling is enabled.
+
+use limpet_codegen::pipeline::{self, Layout, VectorIsa};
+use limpet_easyml::Model;
+use limpet_models::SizeClass;
+use limpet_solver::Monodomain;
+use limpet_vm::{CellStates, ExtArrays, Kernel, ModelInfo, Profile, SimContext, StateLayout};
+
+/// Extracts the storage-binding facts from a checked model.
+pub fn model_info(model: &Model) -> ModelInfo {
+    ModelInfo {
+        state_names: model.states.iter().map(|s| s.name.clone()).collect(),
+        state_inits: model.states.iter().map(|s| s.init).collect(),
+        ext_names: model.externals.iter().map(|e| e.name.clone()).collect(),
+        ext_inits: model.externals.iter().map(|e| e.init).collect(),
+        params: model
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.default))
+            .collect(),
+    }
+}
+
+/// The code-generation configurations compared in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineKind {
+    /// openCARP limpetC++-style scalar code (the 1x reference).
+    Baseline,
+    /// limpetMLIR at an ISA width with the AoSoA layout.
+    LimpetMlir(VectorIsa),
+    /// limpetMLIR without the data-layout transformation (§4.4).
+    LimpetMlirAos(VectorIsa),
+    /// limpetMLIR without LUTs (§3.4.2 ablation).
+    LimpetMlirNoLut(VectorIsa),
+    /// icc-style auto-vectorization: vector arith, scalar LUT, AoS (§5).
+    CompilerSimd(VectorIsa),
+    /// limpetMLIR with Catmull-Rom spline LUTs on 4x-coarser tables
+    /// (the paper's §7 future-work extension).
+    LimpetMlirSpline(VectorIsa),
+}
+
+impl PipelineKind {
+    /// Short label for tables.
+    pub fn label(self) -> String {
+        match self {
+            PipelineKind::Baseline => "baseline".into(),
+            PipelineKind::LimpetMlir(isa) => format!("limpetMLIR-{}", isa.name()),
+            PipelineKind::LimpetMlirAos(isa) => format!("limpetMLIR-AoS-{}", isa.name()),
+            PipelineKind::LimpetMlirNoLut(isa) => format!("limpetMLIR-noLUT-{}", isa.name()),
+            PipelineKind::CompilerSimd(isa) => format!("compiler-simd-{}", isa.name()),
+            PipelineKind::LimpetMlirSpline(isa) => {
+                format!("limpetMLIR-spline-{}", isa.name())
+            }
+        }
+    }
+
+    /// Builds the IR module for a model under this configuration.
+    pub fn build(self, model: &Model) -> limpet_ir::Module {
+        match self {
+            PipelineKind::Baseline => pipeline::baseline(model).module,
+            PipelineKind::LimpetMlir(isa) => {
+                let block = isa.lanes();
+                pipeline::limpet_mlir(model, isa, Layout::AoSoA { block }).module
+            }
+            PipelineKind::LimpetMlirAos(isa) => pipeline::limpet_mlir_aos(model, isa).module,
+            PipelineKind::LimpetMlirNoLut(isa) => pipeline::limpet_mlir_no_lut(model, isa).module,
+            PipelineKind::CompilerSimd(isa) => pipeline::compiler_simd(model, isa).module,
+            PipelineKind::LimpetMlirSpline(isa) => {
+                pipeline::limpet_mlir_spline(model, isa).module
+            }
+        }
+    }
+}
+
+/// Maps a module's layout attribute to the storage layout.
+pub fn storage_layout(module: &limpet_ir::Module) -> StateLayout {
+    match pipeline::parse_layout(module) {
+        Layout::Aos => StateLayout::Aos,
+        Layout::AoSoA { block } => StateLayout::AoSoA {
+            block: block as usize,
+        },
+    }
+}
+
+/// Workload parameters for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Number of cells (the paper uses 8192).
+    pub n_cells: usize,
+    /// Number of time steps (the paper's `bench` default is 100 000).
+    pub steps: usize,
+    /// Time step in ms (the paper uses 0.01).
+    pub dt: f64,
+}
+
+impl Default for Workload {
+    fn default() -> Workload {
+        Workload {
+            n_cells: 1024,
+            steps: 50,
+            dt: 0.01,
+        }
+    }
+}
+
+/// The periodic stimulus protocol of the `bench` binary: a depolarizing
+/// current pulse at a basic cycle length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stimulus {
+    /// Cycle length in ms.
+    pub period: f64,
+    /// Pulse duration in ms.
+    pub duration: f64,
+    /// Pulse amplitude added directly to dVm/dt (mV/ms).
+    pub amplitude: f64,
+}
+
+impl Default for Stimulus {
+    fn default() -> Stimulus {
+        Stimulus {
+            period: 500.0,
+            duration: 2.0,
+            amplitude: 60.0,
+        }
+    }
+}
+
+impl Stimulus {
+    /// The stimulus contribution to `dVm/dt` at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        if t % self.period < self.duration {
+            self.amplitude
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A ready-to-run simulation: compiled kernel plus storage.
+#[derive(Debug)]
+pub struct Simulation {
+    kernel: Kernel,
+    state: CellStates,
+    ext: ExtArrays,
+    /// Index of `Vm` in the external arrays, when present.
+    vm_index: Option<usize>,
+    /// Index of `Iion` in the external arrays, when present.
+    iion_index: Option<usize>,
+    stim: Stimulus,
+    dt: f64,
+    t: f64,
+    /// Optional tissue coupling.
+    tissue: Option<Monodomain>,
+}
+
+impl Simulation {
+    /// Compiles `model` under `config` and allocates storage for the
+    /// workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the module fails bytecode compilation (roster models
+    /// are tested not to).
+    pub fn new(model: &Model, config: PipelineKind, workload: &Workload) -> Simulation {
+        let module = config.build(model);
+        let info = model_info(model);
+        let kernel = Kernel::from_module(&module, &info)
+            .unwrap_or_else(|e| panic!("kernel compilation failed for {}: {e}", model.name));
+        let layout = storage_layout(&module);
+        let state = kernel.new_states(workload.n_cells, layout);
+        let ext = kernel.new_ext(workload.n_cells);
+        let vm_index = info.ext_names.iter().position(|n| n == "Vm");
+        let iion_index = info.ext_names.iter().position(|n| n == "Iion");
+        Simulation {
+            kernel,
+            state,
+            ext,
+            vm_index,
+            iion_index,
+            stim: Stimulus::default(),
+            dt: workload.dt,
+            t: 0.0,
+            tissue: None,
+        }
+    }
+
+    /// Replaces the stimulus protocol.
+    pub fn set_stimulus(&mut self, stim: Stimulus) {
+        self.stim = stim;
+    }
+
+    /// Enables 1-D monodomain tissue coupling with the given conductivity
+    /// (replacing the independent-cell membrane update).
+    pub fn enable_tissue(&mut self, sigma: f64) {
+        self.tissue = Some(Monodomain::new(
+            self.state.n_cells(),
+            sigma,
+            1.0,
+            self.dt,
+        ));
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Current simulation time (ms).
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Reads the membrane potential of a cell.
+    pub fn vm(&self, cell: usize) -> f64 {
+        self.vm_index.map_or(0.0, |i| self.ext.get(cell, i))
+    }
+
+    /// Reads the ionic current of a cell.
+    pub fn iion(&self, cell: usize) -> f64 {
+        self.iion_index.map_or(0.0, |i| self.ext.get(cell, i))
+    }
+
+    /// Reads a state variable by name.
+    pub fn state_of(&self, cell: usize, var: &str) -> Option<f64> {
+        let idx = self
+            .kernel
+            .info()
+            .state_names
+            .iter()
+            .position(|n| n == var)?;
+        Some(self.state.get(cell, idx))
+    }
+
+    /// Applies a voltage perturbation to one cell (e.g. a local stimulus
+    /// in tissue runs).
+    pub fn perturb_vm(&mut self, cell: usize, delta: f64) {
+        if let Some(i) = self.vm_index {
+            let v = self.ext.get(cell, i);
+            self.ext.set(cell, i, v + delta);
+        }
+    }
+
+    /// Advances one step: compute stage, then membrane/tissue update.
+    pub fn step(&mut self) {
+        let ctx = SimContext { dt: self.dt, t: self.t };
+        self.kernel.run_step(&mut self.state, &mut self.ext, None, ctx);
+        self.update_vm();
+        self.t += self.dt;
+    }
+
+    /// Advances one step over `[lo, hi)` cells only (compute stage), used
+    /// by the threaded driver; the membrane update must be applied
+    /// separately with [`Simulation::update_vm`].
+    pub fn step_range(&mut self, lo: usize, hi: usize) {
+        let ctx = SimContext { dt: self.dt, t: self.t };
+        self.kernel
+            .run_range(&mut self.state, &mut self.ext, None, ctx, lo, hi);
+    }
+
+    /// The membrane / tissue stage of a step.
+    pub fn update_vm(&mut self) {
+        let (Some(vm_i), Some(ii_i)) = (self.vm_index, self.iion_index) else {
+            return;
+        };
+        let stim = self.stim.at(self.t);
+        let dt = self.dt;
+        match &mut self.tissue {
+            None => {
+                let n = self.ext.n_cells();
+                for cell in 0..n {
+                    let v = self.ext.get(cell, vm_i);
+                    let i = self.ext.get(cell, ii_i);
+                    self.ext.set(cell, vm_i, v + dt * (-i + stim));
+                }
+            }
+            Some(md) => {
+                let n = md.n_cells();
+                let mut vm: Vec<f64> = (0..n).map(|c| self.ext.get(c, vm_i)).collect();
+                let iion: Vec<f64> = (0..n).map(|c| self.ext.get(c, ii_i)).collect();
+                // Reaction: explicit Iion + stimulus; diffusion: implicit.
+                for (v, i) in vm.iter_mut().zip(&iion) {
+                    *v += dt * (-i + stim);
+                }
+                md.step(&mut vm, &iion).expect("monodomain solve failed");
+                for (c, v) in vm.iter().enumerate() {
+                    self.ext.set(c, vm_i, *v);
+                }
+            }
+        }
+    }
+
+    /// Advances the clock without computing (used by the threaded driver,
+    /// which sequences the stages itself).
+    pub fn advance_time(&mut self) {
+        self.t += self.dt;
+    }
+
+    /// The padded cell count of the state storage (a multiple of the
+    /// kernel chunk width).
+    pub fn padded_cells(&self) -> usize {
+        self.state.padded_cells()
+    }
+
+    /// Runs `steps` steps.
+    pub fn run(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Runs one step with operation counting (for the roofline model).
+    pub fn step_profiled(&mut self) -> Profile {
+        let ctx = SimContext { dt: self.dt, t: self.t };
+        let p = self
+            .kernel
+            .run_step_profiled(&mut self.state, &mut self.ext, None, ctx);
+        self.update_vm();
+        self.t += self.dt;
+        p
+    }
+}
+
+/// Per-class default workloads: larger models get the same cell count but
+/// their kernels are intrinsically more expensive, mirroring the paper's
+/// fixed 8192-cell workload.
+pub fn class_workload(_class: SizeClass, n_cells: usize, steps: usize) -> Workload {
+    Workload {
+        n_cells,
+        steps,
+        dt: 0.01,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limpet_models::model;
+
+    #[test]
+    fn hodgkin_huxley_fires_action_potential() {
+        let m = model("HodgkinHuxley");
+        let wl = Workload {
+            n_cells: 8,
+            steps: 0,
+            dt: 0.01,
+        };
+        let mut sim = Simulation::new(&m, PipelineKind::Baseline, &wl);
+        sim.set_stimulus(Stimulus {
+            period: 50.0,
+            duration: 1.0,
+            amplitude: 80.0,
+        });
+        let mut peak = f64::MIN;
+        for _ in 0..4000 {
+            sim.step();
+            peak = peak.max(sim.vm(0));
+        }
+        // An HH action potential overshoots above +10 mV.
+        assert!(peak > 10.0, "no action potential: peak {peak}");
+        // And repolarizes back below -50 mV.
+        assert!(sim.vm(0) < -50.0, "did not repolarize: {}", sim.vm(0));
+    }
+
+    #[test]
+    fn baseline_and_mlir_trajectories_agree() {
+        let m = model("BeelerReuter");
+        let wl = Workload {
+            n_cells: 16,
+            steps: 0,
+            dt: 0.01,
+        };
+        let mut a = Simulation::new(&m, PipelineKind::Baseline, &wl);
+        let mut b = Simulation::new(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), &wl);
+        for _ in 0..2000 {
+            a.step();
+            b.step();
+        }
+        let (va, vb) = (a.vm(3), b.vm(3));
+        assert!(
+            (va - vb).abs() < 1e-4 * va.abs().max(1.0),
+            "trajectories diverged: {va} vs {vb}"
+        );
+    }
+
+    #[test]
+    fn tissue_propagates_excitation() {
+        let m = model("MitchellSchaeffer");
+        let wl = Workload {
+            n_cells: 64,
+            steps: 0,
+            dt: 0.05,
+        };
+        let mut sim = Simulation::new(&m, PipelineKind::Baseline, &wl);
+        sim.set_stimulus(Stimulus {
+            period: 1e9,
+            duration: 0.0,
+            amplitude: 0.0,
+        });
+        sim.enable_tissue(0.5);
+        // Excite the left end only.
+        for c in 0..4 {
+            sim.perturb_vm(c, 40.0);
+        }
+        let mut reached = false;
+        for _ in 0..20000 {
+            sim.step();
+            if sim.vm(32) > 30.0 {
+                reached = true;
+                break;
+            }
+        }
+        assert!(reached, "wave did not propagate to mid-cable");
+    }
+
+    #[test]
+    fn profiled_step_reports_work() {
+        let m = model("Pathmanathan");
+        let wl = Workload {
+            n_cells: 32,
+            steps: 0,
+            dt: 0.01,
+        };
+        let mut sim = Simulation::new(&m, PipelineKind::Baseline, &wl);
+        let p = sim.step_profiled();
+        assert!(p.flops > 0);
+        assert!(p.bytes_read > 0);
+        assert!(p.bytes_written > 0);
+    }
+
+    #[test]
+    fn all_pipeline_kinds_run_on_a_roster_model() {
+        let m = model("DrouhardRoberge");
+        let wl = Workload {
+            n_cells: 16,
+            steps: 10,
+            dt: 0.01,
+        };
+        for kind in [
+            PipelineKind::Baseline,
+            PipelineKind::LimpetMlir(VectorIsa::Sse),
+            PipelineKind::LimpetMlir(VectorIsa::Avx2),
+            PipelineKind::LimpetMlir(VectorIsa::Avx512),
+            PipelineKind::LimpetMlirAos(VectorIsa::Avx512),
+            PipelineKind::LimpetMlirNoLut(VectorIsa::Avx512),
+            PipelineKind::CompilerSimd(VectorIsa::Avx512),
+        ] {
+            let mut sim = Simulation::new(&m, kind, &wl);
+            sim.run(wl.steps);
+            assert!(sim.vm(0).is_finite(), "{:?} produced NaN", kind);
+        }
+    }
+}

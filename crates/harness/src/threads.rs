@@ -1,0 +1,290 @@
+//! Multi-threaded execution and the parallel timing model.
+//!
+//! Two ways to obtain multi-thread numbers:
+//!
+//! * [`ShardedSimulation`] — real `std::thread` execution: cells are
+//!   partitioned into per-thread shards (the compute stage of §3.1 has no
+//!   inter-cell communication), with a barrier separating compute and
+//!   membrane-update stages each step. Faithful when the host has that
+//!   many cores.
+//! * [`TimingModel`] — a deterministic *simulated-parallel* model used for
+//!   the paper's 32-core scaling figures on hosts with fewer cores (the
+//!   hardware substitution documented in DESIGN.md §3): per-step time at
+//!   `T` threads is
+//!   `max(t₁/T, bytes/BW(T)) + barrier(T)`,
+//!   where `BW(T) = stream_bw × min(T, saturation)` models DRAM
+//!   saturation and `barrier(T)` grows with both the thread count and the
+//!   vector width (synchronization + vector-state flush overhead — the
+//!   effect behind the paper's small-model slowdowns in Fig. 3).
+
+use crate::sim::{PipelineKind, Simulation, Workload};
+use limpet_easyml::Model;
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Real-thread execution over per-thread cell shards.
+#[derive(Debug)]
+pub struct ShardedSimulation {
+    shards: Vec<Simulation>,
+}
+
+impl ShardedSimulation {
+    /// Partitions `workload.n_cells` across `threads` shards (each padded
+    /// to the kernel's chunk width internally).
+    pub fn new(
+        model: &Model,
+        config: PipelineKind,
+        workload: &Workload,
+        threads: usize,
+    ) -> ShardedSimulation {
+        assert!(threads >= 1);
+        let per = workload.n_cells.div_ceil(threads);
+        let shards = (0..threads)
+            .map(|i| {
+                let cells = per.min(workload.n_cells - (per * i).min(workload.n_cells));
+                let wl = Workload {
+                    n_cells: cells.max(1),
+                    ..*workload
+                };
+                Simulation::new(model, config, &wl)
+            })
+            .collect();
+        ShardedSimulation { shards }
+    }
+
+    /// Number of shards (threads).
+    pub fn threads(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Runs `steps` steps with one OS thread per shard, barrier-separated
+    /// stages, and returns the wall-clock seconds.
+    pub fn run_threaded(&mut self, steps: usize) -> f64 {
+        let n = self.shards.len();
+        let barrier = Barrier::new(n);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for shard in &mut self.shards {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    for _ in 0..steps {
+                        // Compute stage over the shard's own cells.
+                        let cells = padded_cells(shard);
+                        shard.step_range(0, cells);
+                        barrier.wait();
+                        // Membrane stage.
+                        shard.update_vm();
+                        shard.advance_time();
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        start.elapsed().as_secs_f64()
+    }
+
+    /// Access to a shard (e.g. to read voltages after a run).
+    pub fn shard(&self, i: usize) -> &Simulation {
+        &self.shards[i]
+    }
+}
+
+fn padded_cells(sim: &Simulation) -> usize {
+    sim.padded_cells()
+}
+
+/// Machine constants for the simulated-parallel model, calibrated once
+/// per process by micro-benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// Single-thread sustainable memory bandwidth (bytes/s), measured
+    /// with a stream triad.
+    pub stream_bandwidth: f64,
+    /// How many threads' worth of bandwidth the socket sustains before
+    /// DRAM saturates (the paper's platform: 199 GB/s aggregate vs.
+    /// roughly 30 GB/s per-core demand).
+    pub bandwidth_saturation: f64,
+    /// Barrier cost per step per `log2(T)` in seconds.
+    pub barrier_base: f64,
+    /// Additional per-step synchronization cost per vector lane (vector
+    /// register state flush at the barrier).
+    pub lane_sync: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> TimingModel {
+        TimingModel {
+            stream_bandwidth: 8e9,
+            bandwidth_saturation: 6.0,
+            barrier_base: 1.2e-6,
+            lane_sync: 0.15e-6,
+        }
+    }
+}
+
+impl TimingModel {
+    /// Calibrates the stream bandwidth on the current host; other
+    /// constants keep representative defaults (documented in DESIGN.md).
+    pub fn calibrate() -> TimingModel {
+        TimingModel {
+            stream_bandwidth: measure_stream_bandwidth(),
+            ..TimingModel::default()
+        }
+    }
+
+    /// Estimated wall time of a `steps`-step run at `threads` threads,
+    /// given the measured single-thread time `t1` of the same run, the
+    /// kernel's bytes moved per step, and its vector width.
+    pub fn estimate(
+        &self,
+        t1: f64,
+        bytes_per_step: u64,
+        steps: usize,
+        threads: usize,
+        width: usize,
+    ) -> f64 {
+        assert!(threads >= 1 && steps >= 1);
+        let t1_step = t1 / steps as f64;
+        let compute = t1_step / threads as f64;
+        let bw = self.stream_bandwidth * (threads as f64).min(self.bandwidth_saturation);
+        let mem_floor = bytes_per_step as f64 / bw;
+        let barrier = if threads == 1 {
+            0.0
+        } else {
+            (self.barrier_base + self.lane_sync * width as f64)
+                * (threads as f64).log2()
+        };
+        steps as f64 * (compute.max(mem_floor) + barrier)
+    }
+}
+
+/// Measures single-thread stream-triad bandwidth (bytes/s).
+pub fn measure_stream_bandwidth() -> f64 {
+    let n = 4 << 20; // 4M doubles = 32 MiB, beyond LLC on most hosts
+    let a = vec![1.0f64; n];
+    let b = vec![2.0f64; n];
+    let mut c = vec![0.0f64; n];
+    // Warm up.
+    for i in 0..n {
+        c[i] = a[i] + 0.5 * b[i];
+    }
+    let reps = 5;
+    let start = Instant::now();
+    for r in 0..reps {
+        let s = 0.5 + r as f64 * 1e-9;
+        for i in 0..n {
+            c[i] = a[i] + s * b[i];
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(&c);
+    // 3 arrays × 8 bytes per element per iteration.
+    (reps * n * 24) as f64 / secs
+}
+
+/// Measures the median wall time of `runs` invocations of `f` (the paper
+/// runs five, drops the extrema, and averages three; the median of three
+/// has the same robustness at lower cost).
+pub fn measure_median(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limpet_models::model;
+
+    #[test]
+    fn timing_model_scales_compute_bound() {
+        let tm = TimingModel {
+            stream_bandwidth: 1e12, // effectively no memory floor
+            ..TimingModel::default()
+        };
+        let t1 = 10.0;
+        let t32 = tm.estimate(t1, 1000, 100, 32, 8);
+        // Large compute-bound run: near-ideal speedup.
+        assert!(t1 / t32 > 20.0, "speedup {}", t1 / t32);
+    }
+
+    #[test]
+    fn timing_model_saturates_memory_bound() {
+        let tm = TimingModel {
+            stream_bandwidth: 1e9,
+            bandwidth_saturation: 4.0,
+            ..TimingModel::default()
+        };
+        // 1 GB per step, t1 = 1.2 s/step: memory floor dominates beyond
+        // 4 threads.
+        let t1 = 120.0;
+        let t8 = tm.estimate(t1, 1_000_000_000, 100, 8, 8);
+        let t32 = tm.estimate(t1, 1_000_000_000, 100, 32, 8);
+        let s8 = t1 / t8;
+        let s32 = t1 / t32;
+        assert!((s8 - s32).abs() / s8 < 0.05, "saturated: {s8} vs {s32}");
+        assert!(s8 < 6.0);
+    }
+
+    #[test]
+    fn timing_model_barrier_hurts_tiny_work() {
+        let tm = TimingModel::default();
+        // 1 µs of work per step: barrier dominates at 32 threads.
+        let t1 = 1e-4;
+        let t32 = tm.estimate(t1, 100, 100, 32, 8);
+        assert!(t32 > t1, "tiny work must slow down: {t32} vs {t1}");
+    }
+
+    #[test]
+    fn timing_model_wider_vectors_pay_more_sync() {
+        let tm = TimingModel::default();
+        let t1 = 1e-3;
+        let narrow = tm.estimate(t1, 100, 100, 32, 1);
+        let wide = tm.estimate(t1, 100, 100, 32, 8);
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn sharded_simulation_matches_single() {
+        let m = model("Plonsey");
+        let wl = Workload {
+            n_cells: 64,
+            steps: 0,
+            dt: 0.01,
+        };
+        let mut single = Simulation::new(&m, PipelineKind::Baseline, &wl);
+        let mut sharded = ShardedSimulation::new(&m, PipelineKind::Baseline, &wl, 4);
+        for _ in 0..200 {
+            single.step();
+        }
+        sharded.run_threaded(200);
+        // Cell 0 of shard 0 sees the same history as cell 0 overall.
+        let v0 = single.vm(0);
+        let v1 = sharded.shard(0).vm(0);
+        assert!((v0 - v1).abs() < 1e-9, "{v0} vs {v1}");
+    }
+
+    #[test]
+    fn stream_bandwidth_is_plausible() {
+        let bw = measure_stream_bandwidth();
+        assert!(bw > 1e8, "implausibly low bandwidth {bw}");
+        assert!(bw < 1e12, "implausibly high bandwidth {bw}");
+    }
+
+    #[test]
+    fn measure_median_returns_middle() {
+        let mut i = 0;
+        let t = measure_median(3, || {
+            i += 1;
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        assert_eq!(i, 3);
+        assert!(t >= 0.001);
+    }
+}

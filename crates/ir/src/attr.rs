@@ -1,0 +1,267 @@
+//! Operation attributes.
+//!
+//! Attributes are compile-time constants attached to operations, mirroring
+//! MLIR's attribute dictionary (`{key = value}`).
+
+use crate::types::Type;
+use std::fmt;
+
+/// A single attribute value.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_ir::Attr;
+/// let a = Attr::F64(2.5);
+/// assert_eq!(a.as_f64(), Some(2.5));
+/// assert_eq!(a.to_string(), "2.5");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Attr {
+    /// A floating-point constant.
+    F64(f64),
+    /// An integer constant.
+    I64(i64),
+    /// A boolean constant.
+    Bool(bool),
+    /// A string, printed quoted.
+    Str(String),
+    /// A type attribute.
+    Ty(Type),
+}
+
+impl Attr {
+    /// Extracts the `f64` payload, if this is [`Attr::F64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Attr::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts the `i64` payload, if this is [`Attr::I64`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Attr::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts the `bool` payload, if this is [`Attr::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Attr::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts the string payload, if this is [`Attr::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Attr::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extracts the type payload, if this is [`Attr::Ty`].
+    pub fn as_type(&self) -> Option<Type> {
+        match self {
+            Attr::Ty(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attr::F64(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    // Keep integral floats distinguishable from Attr::I64.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Attr::I64(v) => write!(f, "{v}"),
+            Attr::Bool(v) => write!(f, "{v}"),
+            Attr::Str(s) => write!(f, "{s:?}"),
+            Attr::Ty(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<f64> for Attr {
+    fn from(v: f64) -> Attr {
+        Attr::F64(v)
+    }
+}
+impl From<i64> for Attr {
+    fn from(v: i64) -> Attr {
+        Attr::I64(v)
+    }
+}
+impl From<bool> for Attr {
+    fn from(v: bool) -> Attr {
+        Attr::Bool(v)
+    }
+}
+impl From<&str> for Attr {
+    fn from(v: &str) -> Attr {
+        Attr::Str(v.to_owned())
+    }
+}
+impl From<String> for Attr {
+    fn from(v: String) -> Attr {
+        Attr::Str(v)
+    }
+}
+impl From<Type> for Attr {
+    fn from(v: Type) -> Attr {
+        Attr::Ty(v)
+    }
+}
+
+/// An ordered key → value attribute dictionary.
+///
+/// Kept as a sorted `Vec` (operations carry few attributes) so that printing
+/// is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_ir::{Attr, Attrs};
+/// let mut attrs = Attrs::new();
+/// attrs.set("var", "u1");
+/// attrs.set("step", 0.05);
+/// assert_eq!(attrs.get("var").and_then(Attr::as_str), Some("u1"));
+/// assert_eq!(attrs.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Attrs {
+    entries: Vec<(String, Attr)>,
+}
+
+impl Attrs {
+    /// Creates an empty dictionary.
+    pub fn new() -> Attrs {
+        Attrs::default()
+    }
+
+    /// Inserts or replaces `key`, keeping entries sorted by key.
+    pub fn set(&mut self, key: &str, value: impl Into<Attr>) -> &mut Attrs {
+        let value = value.into();
+        match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (key.to_owned(), value)),
+        }
+        self
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&Attr> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Convenience accessor for string attributes.
+    pub fn str_of(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Attr::as_str)
+    }
+
+    /// Convenience accessor for integer attributes.
+    pub fn i64_of(&self, key: &str) -> Option<i64> {
+        self.get(key).and_then(Attr::as_i64)
+    }
+
+    /// Convenience accessor for float attributes.
+    pub fn f64_of(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Attr::as_f64)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Attr)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl fmt::Display for Attrs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k} = {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, Attr)> for Attrs {
+    fn from_iter<I: IntoIterator<Item = (String, Attr)>>(iter: I) -> Attrs {
+        let mut attrs = Attrs::new();
+        for (k, v) in iter {
+            attrs.set(&k, v);
+        }
+        attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_replace() {
+        let mut a = Attrs::new();
+        a.set("b", 1i64).set("a", 2i64).set("b", 3i64);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.i64_of("a"), Some(2));
+        assert_eq!(a.i64_of("b"), Some(3));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn sorted_display() {
+        let mut a = Attrs::new();
+        a.set("z", true).set("a", "hi");
+        assert_eq!(a.to_string(), "{a = \"hi\", z = true}");
+    }
+
+    #[test]
+    fn accessors() {
+        let mut a = Attrs::new();
+        a.set("f", 1.5).set("i", 7i64).set("s", "x").set("t", Type::F64);
+        assert_eq!(a.f64_of("f"), Some(1.5));
+        assert_eq!(a.i64_of("i"), Some(7));
+        assert_eq!(a.str_of("s"), Some("x"));
+        assert_eq!(a.get("t").and_then(Attr::as_type), Some(Type::F64));
+        assert_eq!(a.f64_of("i"), None);
+    }
+
+    #[test]
+    fn float_attr_display_keeps_decimal_point() {
+        assert_eq!(Attr::F64(2.0).to_string(), "2.0");
+        assert_eq!(Attr::F64(0.05).to_string(), "0.05");
+        assert_eq!(Attr::I64(2).to_string(), "2");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let a: Attrs = vec![("k".to_owned(), Attr::I64(1))].into_iter().collect();
+        assert_eq!(a.i64_of("k"), Some(1));
+    }
+}

@@ -1,0 +1,569 @@
+//! Ergonomic construction of IR.
+//!
+//! [`Builder`] appends operations to an insertion region of a [`Func`],
+//! computing result types from operand types and returning result values
+//! directly, so lowering code reads like the expressions it emits.
+
+use crate::attr::Attrs;
+use crate::module::{Func, RegionId, ValueId};
+use crate::ops::{CmpFPred, CmpIPred, MathFn, OpKind};
+use crate::types::{ScalarType, Type};
+
+/// Appends operations to one region of a function.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_ir::{Builder, Func, Type};
+/// let mut f = Func::new("f", &[Type::F64], &[Type::F64]);
+/// let arg = f.args()[0];
+/// let mut b = Builder::new(&mut f);
+/// let two = b.const_f(2.0);
+/// let doubled = b.mulf(arg, two);
+/// b.ret(&[doubled]);
+/// assert_eq!(f.region(f.body()).ops.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Builder<'a> {
+    func: &'a mut Func,
+    region: RegionId,
+}
+
+impl<'a> Builder<'a> {
+    /// Creates a builder inserting at the end of the function body.
+    pub fn new(func: &'a mut Func) -> Builder<'a> {
+        let region = func.body();
+        Builder { func, region }
+    }
+
+    /// Creates a builder inserting at the end of `region`.
+    pub fn at(func: &'a mut Func, region: RegionId) -> Builder<'a> {
+        Builder { func, region }
+    }
+
+    /// The function being built.
+    pub fn func(&mut self) -> &mut Func {
+        self.func
+    }
+
+    /// The current insertion region.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    fn ty(&self, v: ValueId) -> Type {
+        self.func.value_type(v)
+    }
+
+    fn push(
+        &mut self,
+        kind: OpKind,
+        operands: Vec<ValueId>,
+        result_types: &[Type],
+        attrs: Attrs,
+        regions: Vec<RegionId>,
+    ) -> Vec<ValueId> {
+        let op = self
+            .func
+            .push_op(self.region, kind, operands, result_types, attrs, regions);
+        self.func.op(op).results.clone()
+    }
+
+    fn push1(
+        &mut self,
+        kind: OpKind,
+        operands: Vec<ValueId>,
+        result_type: Type,
+        attrs: Attrs,
+    ) -> ValueId {
+        self.push(kind, operands, &[result_type], attrs, vec![])[0]
+    }
+
+    fn same_float(&self, a: ValueId, b: ValueId) -> Type {
+        let (ta, tb) = (self.ty(a), self.ty(b));
+        assert_eq!(ta, tb, "binary float op operand types must match");
+        assert!(ta.is_float_like(), "binary float op needs f64-like operands");
+        ta
+    }
+
+    // ---- constants ----
+
+    /// `arith.constant` f64.
+    pub fn const_f(&mut self, v: f64) -> ValueId {
+        self.push1(OpKind::ConstantF(v), vec![], Type::F64, Attrs::new())
+    }
+
+    /// `arith.constant` f64 splat across `lanes` (scalar when `lanes == 1`).
+    pub fn const_f_lanes(&mut self, v: f64, lanes: u32) -> ValueId {
+        self.push1(
+            OpKind::ConstantF(v),
+            vec![],
+            Type::F64.with_lanes(lanes),
+            Attrs::new(),
+        )
+    }
+
+    /// `arith.constant` i64.
+    pub fn const_i(&mut self, v: i64) -> ValueId {
+        self.push1(OpKind::ConstantInt(v), vec![], Type::I64, Attrs::new())
+    }
+
+    /// `arith.constant` index.
+    pub fn const_index(&mut self, v: i64) -> ValueId {
+        self.push1(OpKind::ConstantInt(v), vec![], Type::INDEX, Attrs::new())
+    }
+
+    /// `arith.constant` i1.
+    pub fn const_bool(&mut self, v: bool) -> ValueId {
+        self.push1(OpKind::ConstantBool(v), vec![], Type::I1, Attrs::new())
+    }
+
+    // ---- float arithmetic ----
+
+    /// `arith.addf`
+    pub fn addf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.same_float(a, b);
+        self.push1(OpKind::AddF, vec![a, b], t, Attrs::new())
+    }
+
+    /// `arith.subf`
+    pub fn subf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.same_float(a, b);
+        self.push1(OpKind::SubF, vec![a, b], t, Attrs::new())
+    }
+
+    /// `arith.mulf`
+    pub fn mulf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.same_float(a, b);
+        self.push1(OpKind::MulF, vec![a, b], t, Attrs::new())
+    }
+
+    /// `arith.divf`
+    pub fn divf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.same_float(a, b);
+        self.push1(OpKind::DivF, vec![a, b], t, Attrs::new())
+    }
+
+    /// `arith.remf`
+    pub fn remf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.same_float(a, b);
+        self.push1(OpKind::RemF, vec![a, b], t, Attrs::new())
+    }
+
+    /// `arith.negf`
+    pub fn negf(&mut self, a: ValueId) -> ValueId {
+        let t = self.ty(a);
+        self.push1(OpKind::NegF, vec![a], t, Attrs::new())
+    }
+
+    /// `arith.minimumf`
+    pub fn minf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.same_float(a, b);
+        self.push1(OpKind::MinF, vec![a, b], t, Attrs::new())
+    }
+
+    /// `arith.maximumf`
+    pub fn maxf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.same_float(a, b);
+        self.push1(OpKind::MaxF, vec![a, b], t, Attrs::new())
+    }
+
+    /// `math.fma`: `a * b + c`.
+    pub fn fma(&mut self, a: ValueId, b: ValueId, c: ValueId) -> ValueId {
+        let t = self.same_float(a, b);
+        assert_eq!(t, self.ty(c));
+        self.push1(OpKind::Fma, vec![a, b, c], t, Attrs::new())
+    }
+
+    // ---- integer arithmetic ----
+
+    /// `arith.addi`
+    pub fn addi(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.ty(a);
+        self.push1(OpKind::AddI, vec![a, b], t, Attrs::new())
+    }
+
+    /// `arith.subi`
+    pub fn subi(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.ty(a);
+        self.push1(OpKind::SubI, vec![a, b], t, Attrs::new())
+    }
+
+    /// `arith.muli`
+    pub fn muli(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.ty(a);
+        self.push1(OpKind::MulI, vec![a, b], t, Attrs::new())
+    }
+
+    // ---- comparisons, logic, select ----
+
+    /// `arith.cmpf` with predicate `pred`; result is `i1` at operand lanes.
+    pub fn cmpf(&mut self, pred: CmpFPred, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.same_float(a, b);
+        let rt = Type::Scalar(ScalarType::I1).with_lanes(t.lanes());
+        self.push1(OpKind::CmpF(pred), vec![a, b], rt, Attrs::new())
+    }
+
+    /// `arith.cmpi` with predicate `pred`.
+    pub fn cmpi(&mut self, pred: CmpIPred, a: ValueId, b: ValueId) -> ValueId {
+        self.push1(OpKind::CmpI(pred), vec![a, b], Type::I1, Attrs::new())
+    }
+
+    /// `arith.andi`
+    pub fn andi(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.ty(a);
+        self.push1(OpKind::AndI, vec![a, b], t, Attrs::new())
+    }
+
+    /// `arith.ori`
+    pub fn ori(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.ty(a);
+        self.push1(OpKind::OrI, vec![a, b], t, Attrs::new())
+    }
+
+    /// `arith.xori`
+    pub fn xori(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.ty(a);
+        self.push1(OpKind::XorI, vec![a, b], t, Attrs::new())
+    }
+
+    /// Boolean negation via `xori` with constant `true`.
+    pub fn not(&mut self, a: ValueId) -> ValueId {
+        let t = self.ty(a);
+        let one = self.push1(OpKind::ConstantBool(true), vec![], t, Attrs::new());
+        self.xori(a, one)
+    }
+
+    /// `arith.select cond, a, b`.
+    pub fn select(&mut self, cond: ValueId, a: ValueId, b: ValueId) -> ValueId {
+        let t = self.ty(a);
+        assert_eq!(t, self.ty(b), "select arms must have equal types");
+        self.push1(OpKind::Select, vec![cond, a, b], t, Attrs::new())
+    }
+
+    /// `arith.sitofp`
+    pub fn sitofp(&mut self, a: ValueId) -> ValueId {
+        self.push1(OpKind::SIToFP, vec![a], Type::F64, Attrs::new())
+    }
+
+    /// `arith.index_cast` to the given integer-like type.
+    pub fn index_cast(&mut self, a: ValueId, to: Type) -> ValueId {
+        self.push1(OpKind::IndexCast, vec![a], to, Attrs::new())
+    }
+
+    // ---- math ----
+
+    /// Applies a unary `math.*` function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is binary.
+    pub fn math1(&mut self, f: MathFn, a: ValueId) -> ValueId {
+        assert_eq!(f.arity(), 1, "{} is not unary", f.name());
+        let t = self.ty(a);
+        self.push1(OpKind::Math(f), vec![a], t, Attrs::new())
+    }
+
+    /// Applies a binary `math.*` function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is unary.
+    pub fn math2(&mut self, f: MathFn, a: ValueId, b: ValueId) -> ValueId {
+        assert_eq!(f.arity(), 2, "{} is not binary", f.name());
+        let t = self.same_float(a, b);
+        self.push1(OpKind::Math(f), vec![a, b], t, Attrs::new())
+    }
+
+    /// `math.exp`
+    pub fn exp(&mut self, a: ValueId) -> ValueId {
+        self.math1(MathFn::Exp, a)
+    }
+
+    /// `math.log`
+    pub fn log(&mut self, a: ValueId) -> ValueId {
+        self.math1(MathFn::Log, a)
+    }
+
+    /// `math.sqrt`
+    pub fn sqrt(&mut self, a: ValueId) -> ValueId {
+        self.math1(MathFn::Sqrt, a)
+    }
+
+    /// `math.powf`
+    pub fn pow(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.math2(MathFn::Pow, a, b)
+    }
+
+    // ---- vector ----
+
+    /// `vector.broadcast` of a scalar to `width` lanes.
+    pub fn broadcast(&mut self, a: ValueId, width: u32) -> ValueId {
+        let t = self.ty(a);
+        assert!(t.is_scalar(), "broadcast takes a scalar");
+        self.push1(OpKind::Broadcast, vec![a], t.with_lanes(width), Attrs::new())
+    }
+
+    // ---- limpet data access ----
+
+    fn named(kind: OpKind, key: &str, name: &str) -> (OpKind, Attrs) {
+        let mut attrs = Attrs::new();
+        attrs.set(key, name);
+        (kind, attrs)
+    }
+
+    /// `limpet.get_state "var"`.
+    pub fn get_state(&mut self, var: &str) -> ValueId {
+        let (k, a) = Self::named(OpKind::GetState, "var", var);
+        self.push1(k, vec![], Type::F64, a)
+    }
+
+    /// `limpet.set_state "var", %v`.
+    pub fn set_state(&mut self, var: &str, v: ValueId) {
+        let (k, a) = Self::named(OpKind::SetState, "var", var);
+        self.push(k, vec![v], &[], a, vec![]);
+    }
+
+    /// `limpet.get_ext "var"`.
+    pub fn get_ext(&mut self, var: &str) -> ValueId {
+        let (k, a) = Self::named(OpKind::GetExt, "var", var);
+        self.push1(k, vec![], Type::F64, a)
+    }
+
+    /// `limpet.set_ext "var", %v`.
+    pub fn set_ext(&mut self, var: &str, v: ValueId) {
+        let (k, a) = Self::named(OpKind::SetExt, "var", var);
+        self.push(k, vec![v], &[], a, vec![]);
+    }
+
+    /// `limpet.param "name"` — uniform scalar parameter.
+    pub fn param(&mut self, name: &str) -> ValueId {
+        let (k, a) = Self::named(OpKind::Param, "name", name);
+        self.push1(k, vec![], Type::F64, a)
+    }
+
+    /// `limpet.has_parent` — multimodel support.
+    pub fn has_parent(&mut self) -> ValueId {
+        self.push1(OpKind::HasParent, vec![], Type::I1, Attrs::new())
+    }
+
+    /// `limpet.get_parent_state "var", %fallback`.
+    pub fn get_parent_state(&mut self, var: &str, fallback: ValueId) -> ValueId {
+        let (k, a) = Self::named(OpKind::GetParentState, "var", var);
+        let t = self.ty(fallback);
+        self.push1(k, vec![fallback], t, a)
+    }
+
+    /// `limpet.set_parent_state "var", %v`.
+    pub fn set_parent_state(&mut self, var: &str, v: ValueId) {
+        let (k, a) = Self::named(OpKind::SetParentState, "var", var);
+        self.push(k, vec![v], &[], a, vec![]);
+    }
+
+    /// `limpet.dt` — the integration time step.
+    pub fn dt(&mut self) -> ValueId {
+        self.push1(OpKind::Dt, vec![], Type::F64, Attrs::new())
+    }
+
+    /// `limpet.time` — the current simulation time.
+    pub fn time(&mut self) -> ValueId {
+        self.push1(OpKind::Time, vec![], Type::F64, Attrs::new())
+    }
+
+    /// `limpet.cell_index`.
+    pub fn cell_index(&mut self) -> ValueId {
+        self.push1(OpKind::CellIndex, vec![], Type::INDEX, Attrs::new())
+    }
+
+    /// `lut.col "table", col, %key` — interpolated table column.
+    pub fn lut_col(&mut self, table: &str, col: i64, key: ValueId) -> ValueId {
+        let mut attrs = Attrs::new();
+        attrs.set("table", table);
+        attrs.set("col", col);
+        let t = self.ty(key);
+        self.push1(OpKind::LutCol, vec![key], t, attrs)
+    }
+
+    // ---- control flow ----
+
+    /// Builds `scf.if %cond -> (result_types)` with closure-built regions.
+    ///
+    /// Each closure receives a builder positioned in its region and must
+    /// terminate it with [`Builder::yield_`] (yielding `result_types`-typed
+    /// values).
+    pub fn if_op(
+        &mut self,
+        cond: ValueId,
+        result_types: &[Type],
+        then_f: impl FnOnce(&mut Builder<'_>),
+        else_f: impl FnOnce(&mut Builder<'_>),
+    ) -> Vec<ValueId> {
+        let then_r = self.func.new_region(&[]);
+        let else_r = self.func.new_region(&[]);
+        then_f(&mut Builder {
+            func: self.func,
+            region: then_r,
+        });
+        else_f(&mut Builder {
+            func: self.func,
+            region: else_r,
+        });
+        self.push(
+            OpKind::If,
+            vec![cond],
+            result_types,
+            Attrs::new(),
+            vec![then_r, else_r],
+        )
+    }
+
+    /// Builds `scf.for %lb to %ub step %s iter_args(init)`.
+    ///
+    /// The closure receives a builder positioned in the loop body, the
+    /// induction variable, and the iteration arguments; it must terminate the
+    /// body with [`Builder::yield_`] (yielding next-iteration values).
+    /// Returns the loop results (final iteration values).
+    pub fn for_op(
+        &mut self,
+        lb: ValueId,
+        ub: ValueId,
+        step: ValueId,
+        init: &[ValueId],
+        body_f: impl FnOnce(&mut Builder<'_>, ValueId, &[ValueId]),
+    ) -> Vec<ValueId> {
+        let mut region_arg_types = vec![Type::INDEX];
+        let iter_types: Vec<Type> = init.iter().map(|&v| self.ty(v)).collect();
+        region_arg_types.extend(iter_types.iter().copied());
+        let body_r = self.func.new_region(&region_arg_types);
+        let args = self.func.region(body_r).args.clone();
+        let (iv, iters) = args.split_first().expect("for region has induction arg");
+        body_f(
+            &mut Builder {
+                func: self.func,
+                region: body_r,
+            },
+            *iv,
+            iters,
+        );
+        let mut operands = vec![lb, ub, step];
+        operands.extend_from_slice(init);
+        self.push(OpKind::For, operands, &iter_types, Attrs::new(), vec![body_r])
+    }
+
+    /// `scf.yield` terminating the current region.
+    pub fn yield_(&mut self, values: &[ValueId]) {
+        self.push(OpKind::Yield, values.to_vec(), &[], Attrs::new(), vec![]);
+    }
+
+    /// `func.return`.
+    pub fn ret(&mut self, values: &[ValueId]) {
+        self.push(OpKind::Return, values.to_vec(), &[], Attrs::new(), vec![]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_types_propagate() {
+        let mut f = Func::new("f", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let x = b.const_f(1.0);
+        let y = b.const_f(2.0);
+        let s = b.addf(x, y);
+        let c = b.cmpf(CmpFPred::Olt, x, y);
+        let sel = b.select(c, s, x);
+        b.ret(&[]);
+        assert_eq!(f.value_type(s), Type::F64);
+        assert_eq!(f.value_type(c), Type::I1);
+        assert_eq!(f.value_type(sel), Type::F64);
+    }
+
+    #[test]
+    fn vector_types_propagate() {
+        let mut f = Func::new("f", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let x = b.const_f_lanes(1.0, 8);
+        let y = b.const_f_lanes(2.0, 8);
+        let s = b.mulf(x, y);
+        let c = b.cmpf(CmpFPred::Ogt, x, y);
+        assert_eq!(f.value_type(s).lanes(), 8);
+        assert!(f.value_type(c).is_bool_like());
+        assert_eq!(f.value_type(c).lanes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand types must match")]
+    fn mixed_lane_arith_panics() {
+        let mut f = Func::new("f", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let x = b.const_f(1.0);
+        let y = b.const_f_lanes(2.0, 4);
+        b.addf(x, y);
+    }
+
+    #[test]
+    fn if_op_builds_two_regions() {
+        let mut f = Func::new("f", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let c = b.const_bool(true);
+        let r = b.if_op(
+            c,
+            &[Type::F64],
+            |b| {
+                let v = b.const_f(1.0);
+                b.yield_(&[v]);
+            },
+            |b| {
+                let v = b.const_f(2.0);
+                b.yield_(&[v]);
+            },
+        );
+        b.ret(&[]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(f.value_type(r[0]), Type::F64);
+    }
+
+    #[test]
+    fn for_op_threads_iter_args() {
+        let mut f = Func::new("f", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let lb = b.const_index(0);
+        let ub = b.const_index(4);
+        let st = b.const_index(1);
+        let init = b.const_f(0.0);
+        let res = b.for_op(lb, ub, st, &[init], |b, _iv, iters| {
+            let one = b.const_f(1.0);
+            let next = b.addf(iters[0], one);
+            b.yield_(&[next]);
+        });
+        b.ret(&[]);
+        assert_eq!(res.len(), 1);
+        assert_eq!(f.value_type(res[0]), Type::F64);
+    }
+
+    #[test]
+    fn state_access_ops_carry_names() {
+        let mut f = Func::new("f", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let v = b.get_state("u1");
+        b.set_state("u1", v);
+        let e = b.get_ext("Vm");
+        b.set_ext("Iion", e);
+        b.ret(&[]);
+        let walked = f.walk_ops();
+        let get = f.op(walked[0].2);
+        assert_eq!(get.attrs.str_of("var"), Some("u1"));
+    }
+
+    #[test]
+    fn not_flips_const() {
+        let mut f = Func::new("f", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let t = b.const_bool(true);
+        let n = b.not(t);
+        b.ret(&[]);
+        assert_eq!(f.value_type(n), Type::I1);
+    }
+}

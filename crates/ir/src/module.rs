@@ -1,0 +1,693 @@
+//! IR containers: modules, functions, regions, operations, and SSA values.
+//!
+//! Storage is arena-based: a [`Func`] owns three arenas (values, operations,
+//! regions) addressed by small copyable ids. Operations live in exactly one
+//! region; regions belong to exactly one parent operation, except a
+//! function's body region.
+
+use crate::attr::Attrs;
+use crate::ops::OpKind;
+use crate::types::Type;
+
+/// Identifies an SSA value within one [`Func`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(u32);
+
+/// Identifies an operation within one [`Func`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(u32);
+
+/// Identifies a region within one [`Func`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(u32);
+
+impl ValueId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl OpId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl RegionId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where an SSA value is defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueDef {
+    /// The `index`-th result of operation `op`.
+    OpResult {
+        /// Defining operation.
+        op: OpId,
+        /// Result position.
+        index: u32,
+    },
+    /// The `index`-th argument of region `region` (function arguments are the
+    /// body region's arguments).
+    RegionArg {
+        /// Owning region.
+        region: RegionId,
+        /// Argument position.
+        index: u32,
+    },
+}
+
+/// Payload of one SSA value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueData {
+    /// The value's type.
+    pub ty: Type,
+    /// Where the value is defined.
+    pub def: ValueDef,
+}
+
+/// Payload of one operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpData {
+    /// The instruction kind.
+    pub kind: OpKind,
+    /// SSA operands.
+    pub operands: Vec<ValueId>,
+    /// SSA results.
+    pub results: Vec<ValueId>,
+    /// Attribute dictionary.
+    pub attrs: Attrs,
+    /// Nested regions (`scf.if` has two, `scf.for` one, others none).
+    pub regions: Vec<RegionId>,
+}
+
+impl OpData {
+    /// First (usually only) result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op has no results.
+    pub fn result(&self) -> ValueId {
+        self.results[0]
+    }
+}
+
+/// Payload of one region: a single block of operations with arguments.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegionData {
+    /// Block arguments (function args for the body region, `[iv, iters...]`
+    /// for `scf.for`).
+    pub args: Vec<ValueId>,
+    /// Operations in execution order.
+    pub ops: Vec<OpId>,
+}
+
+/// A function: a named body region with argument and result types.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_ir::{Func, Type};
+/// let f = Func::new("compute", &[Type::F64], &[Type::F64]);
+/// assert_eq!(f.name(), "compute");
+/// assert_eq!(f.arg_types(), &[Type::F64]);
+/// assert_eq!(f.args().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    name: String,
+    arg_types: Vec<Type>,
+    result_types: Vec<Type>,
+    values: Vec<ValueData>,
+    ops: Vec<OpData>,
+    regions: Vec<RegionData>,
+    body: RegionId,
+}
+
+impl Func {
+    /// Creates an empty function whose body region has one argument per
+    /// entry of `arg_types`.
+    pub fn new(name: &str, arg_types: &[Type], result_types: &[Type]) -> Func {
+        let mut f = Func {
+            name: name.to_owned(),
+            arg_types: arg_types.to_vec(),
+            result_types: result_types.to_vec(),
+            values: Vec::new(),
+            ops: Vec::new(),
+            regions: Vec::new(),
+            body: RegionId(0),
+        };
+        let body = f.new_region(arg_types);
+        f.body = body;
+        f
+    }
+
+    /// The function's symbol name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Argument types.
+    pub fn arg_types(&self) -> &[Type] {
+        &self.arg_types
+    }
+
+    /// Result types.
+    pub fn result_types(&self) -> &[Type] {
+        &self.result_types
+    }
+
+    /// The body region.
+    pub fn body(&self) -> RegionId {
+        self.body
+    }
+
+    /// The body region's arguments (the function arguments).
+    pub fn args(&self) -> &[ValueId] {
+        &self.regions[self.body.index()].args
+    }
+
+    /// Creates a new region with arguments of the given types.
+    pub fn new_region(&mut self, arg_types: &[Type]) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(RegionData::default());
+        let args: Vec<ValueId> = arg_types
+            .iter()
+            .enumerate()
+            .map(|(i, &ty)| {
+                self.new_value(
+                    ty,
+                    ValueDef::RegionArg {
+                        region: id,
+                        index: i as u32,
+                    },
+                )
+            })
+            .collect();
+        self.regions[id.index()].args = args;
+        id
+    }
+
+    /// Allocates a fresh SSA value.
+    pub fn new_value(&mut self, ty: Type, def: ValueDef) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueData { ty, def });
+        id
+    }
+
+    /// Appends an operation to `region` and returns its id.
+    ///
+    /// `regions` must have been created beforehand with [`Func::new_region`].
+    pub fn push_op(
+        &mut self,
+        region: RegionId,
+        kind: OpKind,
+        operands: Vec<ValueId>,
+        result_types: &[Type],
+        attrs: Attrs,
+        regions: Vec<RegionId>,
+    ) -> OpId {
+        let id = self.make_op(kind, operands, result_types, attrs, regions);
+        self.regions[region.index()].ops.push(id);
+        id
+    }
+
+    /// Inserts an operation at position `at` of `region`'s op list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > region.ops.len()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_op(
+        &mut self,
+        region: RegionId,
+        at: usize,
+        kind: OpKind,
+        operands: Vec<ValueId>,
+        result_types: &[Type],
+        attrs: Attrs,
+        regions: Vec<RegionId>,
+    ) -> OpId {
+        let id = self.make_op(kind, operands, result_types, attrs, regions);
+        self.regions[region.index()].ops.insert(at, id);
+        id
+    }
+
+    fn make_op(
+        &mut self,
+        kind: OpKind,
+        operands: Vec<ValueId>,
+        result_types: &[Type],
+        attrs: Attrs,
+        regions: Vec<RegionId>,
+    ) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        let results: Vec<ValueId> = result_types
+            .iter()
+            .enumerate()
+            .map(|(i, &ty)| {
+                self.new_value(
+                    ty,
+                    ValueDef::OpResult {
+                        op: id,
+                        index: i as u32,
+                    },
+                )
+            })
+            .collect();
+        self.ops.push(OpData {
+            kind,
+            operands,
+            results,
+            attrs,
+            regions,
+        });
+        id
+    }
+
+    /// Read access to an operation.
+    pub fn op(&self, id: OpId) -> &OpData {
+        &self.ops[id.index()]
+    }
+
+    /// Mutable access to an operation.
+    pub fn op_mut(&mut self, id: OpId) -> &mut OpData {
+        &mut self.ops[id.index()]
+    }
+
+    /// Read access to a region.
+    pub fn region(&self, id: RegionId) -> &RegionData {
+        &self.regions[id.index()]
+    }
+
+    /// Mutable access to a region.
+    pub fn region_mut(&mut self, id: RegionId) -> &mut RegionData {
+        &mut self.regions[id.index()]
+    }
+
+    /// Read access to a value.
+    pub fn value(&self, id: ValueId) -> &ValueData {
+        &self.values[id.index()]
+    }
+
+    /// The type of a value.
+    pub fn value_type(&self, id: ValueId) -> Type {
+        self.values[id.index()].ty
+    }
+
+    /// Changes a value's type in place (used by the vectorizer).
+    pub fn set_value_type(&mut self, id: ValueId, ty: Type) {
+        self.values[id.index()].ty = ty;
+    }
+
+    /// Number of values allocated (including dead ones).
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of operations allocated (including erased ones).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Replaces every use of `old` with `new` across all operations.
+    pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
+        for op in &mut self.ops {
+            for operand in &mut op.operands {
+                if *operand == old {
+                    *operand = new;
+                }
+            }
+        }
+    }
+
+    /// Removes `op` from `region`'s op list. The op's storage remains in the
+    /// arena (ids stay stable) but it will no longer execute or print.
+    pub fn erase_op(&mut self, region: RegionId, op: OpId) {
+        self.regions[region.index()].ops.retain(|&o| o != op);
+    }
+
+    /// Walks all operations reachable from the body region, depth-first,
+    /// in execution order, calling `f(region, position, op)`.
+    pub fn walk<F: FnMut(RegionId, usize, OpId)>(&self, f: &mut F) {
+        self.walk_region(self.body, f);
+    }
+
+    fn walk_region<F: FnMut(RegionId, usize, OpId)>(&self, region: RegionId, f: &mut F) {
+        // Clone indices to keep borrow local; op lists are small.
+        let ops = self.regions[region.index()].ops.clone();
+        for (i, op) in ops.into_iter().enumerate() {
+            f(region, i, op);
+            let nested = self.ops[op.index()].regions.clone();
+            for r in nested {
+                self.walk_region(r, f);
+            }
+        }
+    }
+
+    /// Collects all `(region, position, op)` triples in walk order.
+    pub fn walk_ops(&self) -> Vec<(RegionId, usize, OpId)> {
+        let mut out = Vec::new();
+        self.walk(&mut |r, i, o| out.push((r, i, o)));
+        out
+    }
+
+    /// Counts the uses of each value (indexed by [`ValueId::index`]),
+    /// considering only operations currently linked into regions.
+    pub fn use_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.values.len()];
+        self.walk(&mut |_, _, op| {
+            for &v in &self.ops[op.index()].operands {
+                counts[v.index()] += 1;
+            }
+        });
+        counts
+    }
+}
+
+/// A lookup table specification (paper §3.4.2).
+///
+/// Columns are computed by evaluating the module function `func` — which
+/// takes the key as its single argument and returns one value per column —
+/// over the inclusive range `[lo, hi]` at the given `step`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutSpec {
+    /// Table name; conventionally the lookup variable, e.g. `"Vm"`.
+    pub name: String,
+    /// Lower bound of the tabulated interval.
+    pub lo: f64,
+    /// Upper bound of the tabulated interval.
+    pub hi: f64,
+    /// Tabulation step.
+    pub step: f64,
+    /// Name of the module function that computes all columns from the key.
+    pub func: String,
+    /// Human-readable column labels.
+    pub cols: Vec<String>,
+}
+
+impl LutSpec {
+    /// Number of rows the tabulated range produces.
+    pub fn rows(&self) -> usize {
+        if self.step <= 0.0 || self.hi < self.lo {
+            return 0;
+        }
+        ((self.hi - self.lo) / self.step).floor() as usize + 2
+    }
+}
+
+/// A compilation unit: functions plus lookup-table specifications.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_ir::{Func, Module};
+/// let mut m = Module::new("Pathmanathan");
+/// m.add_func(Func::new("compute", &[], &[]));
+/// assert!(m.func("compute").is_some());
+/// assert_eq!(m.name(), "Pathmanathan");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    name: String,
+    funcs: Vec<Func>,
+    /// Lookup tables referenced by `lut.col` ops.
+    pub luts: Vec<LutSpec>,
+    /// Module-level attributes (e.g. `layout`, `vector_width`).
+    pub attrs: Attrs,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: &str) -> Module {
+        Module {
+            name: name.to_owned(),
+            funcs: Vec::new(),
+            luts: Vec::new(),
+            attrs: Attrs::new(),
+        }
+    }
+
+    /// The module (model) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a function; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name already exists.
+    pub fn add_func(&mut self, func: Func) -> usize {
+        assert!(
+            self.func(func.name()).is_none(),
+            "duplicate function {:?}",
+            func.name()
+        );
+        self.funcs.push(func);
+        self.funcs.len() - 1
+    }
+
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&Func> {
+        self.funcs.iter().find(|f| f.name() == name)
+    }
+
+    /// Mutable lookup by name.
+    pub fn func_mut(&mut self, name: &str) -> Option<&mut Func> {
+        self.funcs.iter_mut().find(|f| f.name() == name)
+    }
+
+    /// All functions in insertion order.
+    pub fn funcs(&self) -> &[Func] {
+        &self.funcs
+    }
+
+    /// Mutable access to all functions.
+    pub fn funcs_mut(&mut self) -> &mut [Func] {
+        &mut self.funcs
+    }
+
+    /// Looks up a LUT spec by table name.
+    pub fn lut(&self, name: &str) -> Option<&LutSpec> {
+        self.luts.iter().find(|l| l.name == name)
+    }
+
+    /// Histogram of operation names across all functions, e.g.
+    /// `{"arith.addf": 12, "math.exp": 3, ...}` — the per-dialect op mix
+    /// used in compiler statistics.
+    pub fn op_histogram(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut hist = std::collections::BTreeMap::new();
+        for f in &self.funcs {
+            for (_, _, op) in f.walk_ops() {
+                *hist.entry(f.op(op).kind.name().to_owned()).or_insert(0) += 1;
+            }
+        }
+        hist
+    }
+
+    /// Total operation count across all functions.
+    pub fn op_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.walk_ops().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpKind;
+
+    #[test]
+    fn build_simple_function() {
+        let mut f = Func::new("f", &[Type::F64], &[Type::F64]);
+        let body = f.body();
+        let arg = f.args()[0];
+        let c = f.push_op(
+            body,
+            OpKind::ConstantF(2.0),
+            vec![],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        let cval = f.op(c).result();
+        let mul = f.push_op(
+            body,
+            OpKind::MulF,
+            vec![arg, cval],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        let mval = f.op(mul).result();
+        f.push_op(body, OpKind::Return, vec![mval], &[], Attrs::new(), vec![]);
+
+        assert_eq!(f.region(body).ops.len(), 3);
+        assert_eq!(f.value_type(mval), Type::F64);
+        assert_eq!(f.op(mul).operands, vec![arg, cval]);
+    }
+
+    #[test]
+    fn replace_all_uses() {
+        let mut f = Func::new("f", &[Type::F64, Type::F64], &[]);
+        let body = f.body();
+        let (a, b) = (f.args()[0], f.args()[1]);
+        let add = f.push_op(
+            body,
+            OpKind::AddF,
+            vec![a, a],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        f.replace_all_uses(a, b);
+        assert_eq!(f.op(add).operands, vec![b, b]);
+    }
+
+    #[test]
+    fn erase_op_unlinks() {
+        let mut f = Func::new("f", &[], &[]);
+        let body = f.body();
+        let c = f.push_op(
+            body,
+            OpKind::ConstantF(1.0),
+            vec![],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        assert_eq!(f.region(body).ops.len(), 1);
+        f.erase_op(body, c);
+        assert!(f.region(body).ops.is_empty());
+        // Arena storage still there; ids remain valid.
+        assert_eq!(f.op(c).kind, OpKind::ConstantF(1.0));
+    }
+
+    #[test]
+    fn walk_descends_into_regions() {
+        let mut f = Func::new("f", &[], &[]);
+        let body = f.body();
+        let c = f.push_op(
+            body,
+            OpKind::ConstantBool(true),
+            vec![],
+            &[Type::I1],
+            Attrs::new(),
+            vec![],
+        );
+        let cond = f.op(c).result();
+        let then_r = f.new_region(&[]);
+        let else_r = f.new_region(&[]);
+        let k1 = f.push_op(
+            then_r,
+            OpKind::ConstantF(1.0),
+            vec![],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        let v1 = f.op(k1).result();
+        f.push_op(then_r, OpKind::Yield, vec![v1], &[], Attrs::new(), vec![]);
+        let k2 = f.push_op(
+            else_r,
+            OpKind::ConstantF(2.0),
+            vec![],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        let v2 = f.op(k2).result();
+        f.push_op(else_r, OpKind::Yield, vec![v2], &[], Attrs::new(), vec![]);
+        f.push_op(
+            body,
+            OpKind::If,
+            vec![cond],
+            &[Type::F64],
+            Attrs::new(),
+            vec![then_r, else_r],
+        );
+
+        let walked = f.walk_ops();
+        assert_eq!(walked.len(), 6); // const, then{const,yield}, else{const,yield}... plus if
+        let kinds: Vec<&str> = walked.iter().map(|&(_, _, o)| f.op(o).kind.name()).collect();
+        assert!(kinds.contains(&"scf.if"));
+        assert!(kinds.contains(&"scf.yield"));
+    }
+
+    #[test]
+    fn use_counts_only_linked_ops() {
+        let mut f = Func::new("f", &[Type::F64], &[]);
+        let body = f.body();
+        let a = f.args()[0];
+        let add = f.push_op(
+            body,
+            OpKind::AddF,
+            vec![a, a],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        assert_eq!(f.use_counts()[a.index()], 2);
+        f.erase_op(body, add);
+        assert_eq!(f.use_counts()[a.index()], 0);
+    }
+
+    #[test]
+    fn module_func_lookup() {
+        let mut m = Module::new("test");
+        m.add_func(Func::new("a", &[], &[]));
+        m.add_func(Func::new("b", &[], &[]));
+        assert!(m.func("a").is_some());
+        assert!(m.func("c").is_none());
+        assert_eq!(m.funcs().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function")]
+    fn duplicate_function_panics() {
+        let mut m = Module::new("test");
+        m.add_func(Func::new("a", &[], &[]));
+        m.add_func(Func::new("a", &[], &[]));
+    }
+
+    #[test]
+    fn op_histogram_counts_by_name() {
+        let mut m = Module::new("t");
+        let mut f = Func::new("f", &[], &[]);
+        let body = f.body();
+        for _ in 0..3 {
+            f.push_op(
+                body,
+                OpKind::ConstantF(1.0),
+                vec![],
+                &[Type::F64],
+                Attrs::new(),
+                vec![],
+            );
+        }
+        f.push_op(body, OpKind::Return, vec![], &[], Attrs::new(), vec![]);
+        m.add_func(f);
+        let h = m.op_histogram();
+        assert_eq!(h["arith.constant"], 3);
+        assert_eq!(h["func.return"], 1);
+        assert_eq!(m.op_count(), 4);
+    }
+
+    #[test]
+    fn lut_rows() {
+        let l = LutSpec {
+            name: "Vm".into(),
+            lo: -100.0,
+            hi: 100.0,
+            step: 0.05,
+            func: "lut_Vm".into(),
+            cols: vec!["e1".into()],
+        };
+        assert_eq!(l.rows(), 4002);
+        let bad = LutSpec { step: 0.0, ..l };
+        assert_eq!(bad.rows(), 0);
+    }
+}

@@ -1,0 +1,640 @@
+//! Operation kinds: the instruction vocabulary of mlir-lite.
+//!
+//! Operations are grouped into dialects following the MLIR dialects the paper
+//! uses (§3.3): `arith`, `math`, `scf`, `func`, `vector`, plus two
+//! domain dialects:
+//!
+//! * `limpet` — ionic-model data access (external variables, per-cell state,
+//!   parameters, simulation context), standing in for the memref views +
+//!   accessor functions of the original generated code;
+//! * `lut` — lookup-table linear interpolation (§3.4.2).
+
+use std::fmt;
+
+/// Floating-point comparison predicates (ordered comparisons only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpFPred {
+    /// Ordered equal.
+    Oeq,
+    /// Ordered not-equal.
+    One,
+    /// Ordered less-than.
+    Olt,
+    /// Ordered less-or-equal.
+    Ole,
+    /// Ordered greater-than.
+    Ogt,
+    /// Ordered greater-or-equal.
+    Oge,
+}
+
+impl CmpFPred {
+    /// The MLIR spelling, e.g. `"olt"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpFPred::Oeq => "oeq",
+            CmpFPred::One => "one",
+            CmpFPred::Olt => "olt",
+            CmpFPred::Ole => "ole",
+            CmpFPred::Ogt => "ogt",
+            CmpFPred::Oge => "oge",
+        }
+    }
+
+    /// Parses the MLIR spelling.
+    pub fn parse(s: &str) -> Option<CmpFPred> {
+        Some(match s {
+            "oeq" => CmpFPred::Oeq,
+            "one" => CmpFPred::One,
+            "olt" => CmpFPred::Olt,
+            "ole" => CmpFPred::Ole,
+            "ogt" => CmpFPred::Ogt,
+            "oge" => CmpFPred::Oge,
+            _ => return None,
+        })
+    }
+
+    /// Applies the predicate to two floats.
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpFPred::Oeq => a == b,
+            CmpFPred::One => a != b,
+            CmpFPred::Olt => a < b,
+            CmpFPred::Ole => a <= b,
+            CmpFPred::Ogt => a > b,
+            CmpFPred::Oge => a >= b,
+        }
+    }
+
+    /// The predicate with swapped operand order (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> CmpFPred {
+        match self {
+            CmpFPred::Olt => CmpFPred::Ogt,
+            CmpFPred::Ole => CmpFPred::Oge,
+            CmpFPred::Ogt => CmpFPred::Olt,
+            CmpFPred::Oge => CmpFPred::Ole,
+            p => p,
+        }
+    }
+}
+
+/// Integer comparison predicates (signed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpIPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+}
+
+impl CmpIPred {
+    /// The MLIR spelling, e.g. `"slt"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpIPred::Eq => "eq",
+            CmpIPred::Ne => "ne",
+            CmpIPred::Slt => "slt",
+            CmpIPred::Sle => "sle",
+            CmpIPred::Sgt => "sgt",
+            CmpIPred::Sge => "sge",
+        }
+    }
+
+    /// Parses the MLIR spelling.
+    pub fn parse(s: &str) -> Option<CmpIPred> {
+        Some(match s {
+            "eq" => CmpIPred::Eq,
+            "ne" => CmpIPred::Ne,
+            "slt" => CmpIPred::Slt,
+            "sle" => CmpIPred::Sle,
+            "sgt" => CmpIPred::Sgt,
+            "sge" => CmpIPred::Sge,
+            _ => return None,
+        })
+    }
+
+    /// Applies the predicate to two integers.
+    pub fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpIPred::Eq => a == b,
+            CmpIPred::Ne => a != b,
+            CmpIPred::Slt => a < b,
+            CmpIPred::Sle => a <= b,
+            CmpIPred::Sgt => a > b,
+            CmpIPred::Sge => a >= b,
+        }
+    }
+}
+
+/// Functions of the `math` dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum MathFn {
+    Exp,
+    Expm1,
+    Log,
+    Log1p,
+    Log10,
+    Log2,
+    Sqrt,
+    Cbrt,
+    Sin,
+    Cos,
+    Tan,
+    Asin,
+    Acos,
+    Atan,
+    Sinh,
+    Cosh,
+    Tanh,
+    Abs,
+    Floor,
+    Ceil,
+    Round,
+    Pow,
+    Atan2,
+    CopySign,
+}
+
+impl MathFn {
+    /// Number of operands (1 or 2).
+    pub fn arity(self) -> usize {
+        match self {
+            MathFn::Pow | MathFn::Atan2 | MathFn::CopySign => 2,
+            _ => 1,
+        }
+    }
+
+    /// The MLIR op suffix, e.g. `exp` for `math.exp`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MathFn::Exp => "exp",
+            MathFn::Expm1 => "expm1",
+            MathFn::Log => "log",
+            MathFn::Log1p => "log1p",
+            MathFn::Log10 => "log10",
+            MathFn::Log2 => "log2",
+            MathFn::Sqrt => "sqrt",
+            MathFn::Cbrt => "cbrt",
+            MathFn::Sin => "sin",
+            MathFn::Cos => "cos",
+            MathFn::Tan => "tan",
+            MathFn::Asin => "asin",
+            MathFn::Acos => "acos",
+            MathFn::Atan => "atan",
+            MathFn::Sinh => "sinh",
+            MathFn::Cosh => "cosh",
+            MathFn::Tanh => "tanh",
+            MathFn::Abs => "absf",
+            MathFn::Floor => "floor",
+            MathFn::Ceil => "ceil",
+            MathFn::Round => "round",
+            MathFn::Pow => "powf",
+            MathFn::Atan2 => "atan2",
+            MathFn::CopySign => "copysign",
+        }
+    }
+
+    /// Parses the MLIR op suffix.
+    pub fn parse(s: &str) -> Option<MathFn> {
+        Some(match s {
+            "exp" => MathFn::Exp,
+            "expm1" => MathFn::Expm1,
+            "log" => MathFn::Log,
+            "log1p" => MathFn::Log1p,
+            "log10" => MathFn::Log10,
+            "log2" => MathFn::Log2,
+            "sqrt" => MathFn::Sqrt,
+            "cbrt" => MathFn::Cbrt,
+            "sin" => MathFn::Sin,
+            "cos" => MathFn::Cos,
+            "tan" => MathFn::Tan,
+            "asin" => MathFn::Asin,
+            "acos" => MathFn::Acos,
+            "atan" => MathFn::Atan,
+            "sinh" => MathFn::Sinh,
+            "cosh" => MathFn::Cosh,
+            "tanh" => MathFn::Tanh,
+            "absf" => MathFn::Abs,
+            "floor" => MathFn::Floor,
+            "ceil" => MathFn::Ceil,
+            "round" => MathFn::Round,
+            "powf" => MathFn::Pow,
+            "atan2" => MathFn::Atan2,
+            "copysign" => MathFn::CopySign,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the function on constant scalars.
+    ///
+    /// For unary functions `b` is ignored.
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            MathFn::Exp => a.exp(),
+            MathFn::Expm1 => a.exp_m1(),
+            MathFn::Log => a.ln(),
+            MathFn::Log1p => a.ln_1p(),
+            MathFn::Log10 => a.log10(),
+            MathFn::Log2 => a.log2(),
+            MathFn::Sqrt => a.sqrt(),
+            MathFn::Cbrt => a.cbrt(),
+            MathFn::Sin => a.sin(),
+            MathFn::Cos => a.cos(),
+            MathFn::Tan => a.tan(),
+            MathFn::Asin => a.asin(),
+            MathFn::Acos => a.acos(),
+            MathFn::Atan => a.atan(),
+            MathFn::Sinh => a.sinh(),
+            MathFn::Cosh => a.cosh(),
+            MathFn::Tanh => a.tanh(),
+            MathFn::Abs => a.abs(),
+            MathFn::Floor => a.floor(),
+            MathFn::Ceil => a.ceil(),
+            MathFn::Round => a.round(),
+            MathFn::Pow => a.powf(b),
+            MathFn::Atan2 => a.atan2(b),
+            MathFn::CopySign => a.copysign(b),
+        }
+    }
+
+    /// All math functions, for exhaustive tests.
+    pub const ALL: [MathFn; 24] = [
+        MathFn::Exp,
+        MathFn::Expm1,
+        MathFn::Log,
+        MathFn::Log1p,
+        MathFn::Log10,
+        MathFn::Log2,
+        MathFn::Sqrt,
+        MathFn::Cbrt,
+        MathFn::Sin,
+        MathFn::Cos,
+        MathFn::Tan,
+        MathFn::Asin,
+        MathFn::Acos,
+        MathFn::Atan,
+        MathFn::Sinh,
+        MathFn::Cosh,
+        MathFn::Tanh,
+        MathFn::Abs,
+        MathFn::Floor,
+        MathFn::Ceil,
+        MathFn::Round,
+        MathFn::Pow,
+        MathFn::Atan2,
+        MathFn::CopySign,
+    ];
+}
+
+/// The operation kind.
+///
+/// Payload data that is semantically part of the instruction (constant
+/// values, predicates, math function selectors) lives in the variant; other
+/// static arguments (variable names, table names) live in the operation's
+/// attribute dictionary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    // ---- arith ----
+    /// `arith.constant` with an f64 (or splat vector f64) result.
+    ConstantF(f64),
+    /// `arith.constant` with an i64 or index result.
+    ConstantInt(i64),
+    /// `arith.constant` with an i1 result.
+    ConstantBool(bool),
+    /// `arith.addf`
+    AddF,
+    /// `arith.subf`
+    SubF,
+    /// `arith.mulf`
+    MulF,
+    /// `arith.divf`
+    DivF,
+    /// `arith.remf`
+    RemF,
+    /// `arith.negf`
+    NegF,
+    /// `arith.minimumf`
+    MinF,
+    /// `arith.maximumf`
+    MaxF,
+    /// `math.fma`-style fused multiply-add: `a*b + c`.
+    Fma,
+    /// `arith.addi`
+    AddI,
+    /// `arith.subi`
+    SubI,
+    /// `arith.muli`
+    MulI,
+    /// `arith.cmpf` with a predicate.
+    CmpF(CmpFPred),
+    /// `arith.cmpi` with a predicate.
+    CmpI(CmpIPred),
+    /// `arith.andi` on booleans.
+    AndI,
+    /// `arith.ori` on booleans.
+    OrI,
+    /// `arith.xori` on booleans.
+    XorI,
+    /// `arith.select cond, a, b`.
+    Select,
+    /// `arith.sitofp` i64 → f64.
+    SIToFP,
+    /// `arith.index_cast` index ↔ i64.
+    IndexCast,
+
+    // ---- math ----
+    /// A `math.*` function application.
+    Math(MathFn),
+
+    // ---- vector ----
+    /// `vector.broadcast` scalar → vector splat.
+    Broadcast,
+
+    // ---- scf ----
+    /// `scf.if cond -> (tys) { then } else { else }`; both regions end in
+    /// `scf.yield`.
+    If,
+    /// `scf.for lb to ub step s iter_args(...)`; region args are
+    /// `[induction, iter...]`, region ends in `scf.yield`.
+    For,
+    /// `scf.yield` region terminator.
+    Yield,
+
+    // ---- func ----
+    /// `func.return`.
+    Return,
+
+    // ---- limpet (data access) ----
+    /// Reads an external (inter-cell) variable for the current cell.
+    /// Attr `var`.
+    GetExt,
+    /// Writes an external variable. Attr `var`.
+    SetExt,
+    /// Reads a per-cell state variable. Attr `var`.
+    GetState,
+    /// Writes a per-cell state variable. Attr `var`.
+    SetState,
+    /// Reads a model parameter (uniform across cells). Attr `name`.
+    Param,
+    /// Whether a parent model is attached (multimodel support, §3.3.2).
+    HasParent,
+    /// Reads a parent-model state variable; falls back to the given operand
+    /// when no parent is attached. Attr `var`; operand 0 = fallback value.
+    GetParentState,
+    /// Writes a parent-model state variable; no-op without parent. Attr `var`.
+    SetParentState,
+    /// The integration time step `dt` (uniform f64).
+    Dt,
+    /// The current simulation time `t` (uniform f64).
+    Time,
+    /// The index of the current cell (index type).
+    CellIndex,
+
+    // ---- lut ----
+    /// Linearly interpolated lookup-table column read: attrs `table`
+    /// (string) and `col` (i64); operand 0 = key value.
+    LutCol,
+}
+
+impl OpKind {
+    /// The full dialect-qualified op name, e.g. `"arith.addf"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::ConstantF(_) | OpKind::ConstantInt(_) | OpKind::ConstantBool(_) => {
+                "arith.constant"
+            }
+            OpKind::AddF => "arith.addf",
+            OpKind::SubF => "arith.subf",
+            OpKind::MulF => "arith.mulf",
+            OpKind::DivF => "arith.divf",
+            OpKind::RemF => "arith.remf",
+            OpKind::NegF => "arith.negf",
+            OpKind::MinF => "arith.minimumf",
+            OpKind::MaxF => "arith.maximumf",
+            OpKind::Fma => "math.fma",
+            OpKind::AddI => "arith.addi",
+            OpKind::SubI => "arith.subi",
+            OpKind::MulI => "arith.muli",
+            OpKind::CmpF(_) => "arith.cmpf",
+            OpKind::CmpI(_) => "arith.cmpi",
+            OpKind::AndI => "arith.andi",
+            OpKind::OrI => "arith.ori",
+            OpKind::XorI => "arith.xori",
+            OpKind::Select => "arith.select",
+            OpKind::SIToFP => "arith.sitofp",
+            OpKind::IndexCast => "arith.index_cast",
+            OpKind::Math(f) => math_op_name(*f),
+            OpKind::Broadcast => "vector.broadcast",
+            OpKind::If => "scf.if",
+            OpKind::For => "scf.for",
+            OpKind::Yield => "scf.yield",
+            OpKind::Return => "func.return",
+            OpKind::GetExt => "limpet.get_ext",
+            OpKind::SetExt => "limpet.set_ext",
+            OpKind::GetState => "limpet.get_state",
+            OpKind::SetState => "limpet.set_state",
+            OpKind::Param => "limpet.param",
+            OpKind::HasParent => "limpet.has_parent",
+            OpKind::GetParentState => "limpet.get_parent_state",
+            OpKind::SetParentState => "limpet.set_parent_state",
+            OpKind::Dt => "limpet.dt",
+            OpKind::Time => "limpet.time",
+            OpKind::CellIndex => "limpet.cell_index",
+            OpKind::LutCol => "lut.col",
+        }
+    }
+
+    /// The dialect prefix of [`OpKind::name`], e.g. `"arith"`.
+    pub fn dialect(&self) -> &'static str {
+        let name = self.name();
+        &name[..name.find('.').expect("op names are dialect-qualified")]
+    }
+
+    /// Whether the op has no side effects (may be CSE'd, folded, or erased
+    /// when unused).
+    pub fn is_pure(&self) -> bool {
+        !matches!(
+            self,
+            OpKind::SetExt
+                | OpKind::SetState
+                | OpKind::SetParentState
+                | OpKind::Yield
+                | OpKind::Return
+                | OpKind::If
+                | OpKind::For
+        )
+    }
+
+    /// Whether the op is a region terminator.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, OpKind::Yield | OpKind::Return)
+    }
+
+    /// Whether the op is an `arith.constant` of any payload.
+    pub fn is_constant(&self) -> bool {
+        matches!(
+            self,
+            OpKind::ConstantF(_) | OpKind::ConstantInt(_) | OpKind::ConstantBool(_)
+        )
+    }
+
+    /// Whether this operation is commutative in its two operands.
+    pub fn is_commutative(&self) -> bool {
+        matches!(
+            self,
+            OpKind::AddF
+                | OpKind::MulF
+                | OpKind::MinF
+                | OpKind::MaxF
+                | OpKind::AddI
+                | OpKind::MulI
+                | OpKind::AndI
+                | OpKind::OrI
+                | OpKind::XorI
+        )
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+fn math_op_name(f: MathFn) -> &'static str {
+    match f {
+        MathFn::Exp => "math.exp",
+        MathFn::Expm1 => "math.expm1",
+        MathFn::Log => "math.log",
+        MathFn::Log1p => "math.log1p",
+        MathFn::Log10 => "math.log10",
+        MathFn::Log2 => "math.log2",
+        MathFn::Sqrt => "math.sqrt",
+        MathFn::Cbrt => "math.cbrt",
+        MathFn::Sin => "math.sin",
+        MathFn::Cos => "math.cos",
+        MathFn::Tan => "math.tan",
+        MathFn::Asin => "math.asin",
+        MathFn::Acos => "math.acos",
+        MathFn::Atan => "math.atan",
+        MathFn::Sinh => "math.sinh",
+        MathFn::Cosh => "math.cosh",
+        MathFn::Tanh => "math.tanh",
+        MathFn::Abs => "math.absf",
+        MathFn::Floor => "math.floor",
+        MathFn::Ceil => "math.ceil",
+        MathFn::Round => "math.round",
+        MathFn::Pow => "math.powf",
+        MathFn::Atan2 => "math.atan2",
+        MathFn::CopySign => "math.copysign",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmpf_pred_round_trip() {
+        for p in [
+            CmpFPred::Oeq,
+            CmpFPred::One,
+            CmpFPred::Olt,
+            CmpFPred::Ole,
+            CmpFPred::Ogt,
+            CmpFPred::Oge,
+        ] {
+            assert_eq!(CmpFPred::parse(p.name()), Some(p));
+        }
+        assert_eq!(CmpFPred::parse("ult"), None);
+    }
+
+    #[test]
+    fn cmpi_pred_round_trip() {
+        for p in [
+            CmpIPred::Eq,
+            CmpIPred::Ne,
+            CmpIPred::Slt,
+            CmpIPred::Sle,
+            CmpIPred::Sgt,
+            CmpIPred::Sge,
+        ] {
+            assert_eq!(CmpIPred::parse(p.name()), Some(p));
+        }
+    }
+
+    #[test]
+    fn cmpf_apply_and_swap() {
+        assert!(CmpFPred::Olt.apply(1.0, 2.0));
+        assert!(!CmpFPred::Olt.apply(2.0, 1.0));
+        assert!(CmpFPred::Oge.apply(2.0, 2.0));
+        // NaN fails every ordered comparison.
+        assert!(!CmpFPred::Oeq.apply(f64::NAN, f64::NAN));
+        for p in [CmpFPred::Olt, CmpFPred::Ole, CmpFPred::Ogt, CmpFPred::Oge] {
+            assert_eq!(p.apply(1.0, 2.0), p.swapped().apply(2.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn math_fn_round_trip_and_arity() {
+        for f in MathFn::ALL {
+            assert_eq!(MathFn::parse(f.name()), Some(f));
+            assert!(f.arity() == 1 || f.arity() == 2);
+        }
+        assert_eq!(MathFn::Pow.arity(), 2);
+        assert_eq!(MathFn::Exp.arity(), 1);
+    }
+
+    #[test]
+    fn math_fn_eval_matches_std() {
+        assert_eq!(MathFn::Exp.eval(0.0, 0.0), 1.0);
+        assert_eq!(MathFn::Pow.eval(2.0, 10.0), 1024.0);
+        assert_eq!(MathFn::Abs.eval(-3.5, 0.0), 3.5);
+        assert!((MathFn::Tanh.eval(100.0, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn op_kind_names_are_dialect_qualified() {
+        let kinds = [
+            OpKind::ConstantF(1.0),
+            OpKind::AddF,
+            OpKind::Math(MathFn::Exp),
+            OpKind::If,
+            OpKind::GetState,
+            OpKind::LutCol,
+            OpKind::Broadcast,
+        ];
+        for k in kinds {
+            assert!(k.name().contains('.'), "{k} should be dialect-qualified");
+            assert!(!k.dialect().is_empty());
+        }
+        assert_eq!(OpKind::AddF.dialect(), "arith");
+        assert_eq!(OpKind::GetState.dialect(), "limpet");
+    }
+
+    #[test]
+    fn purity() {
+        assert!(OpKind::AddF.is_pure());
+        assert!(OpKind::GetState.is_pure());
+        assert!(!OpKind::SetState.is_pure());
+        assert!(!OpKind::If.is_pure()); // regions may contain stores
+        assert!(!OpKind::Return.is_pure());
+    }
+
+    #[test]
+    fn commutativity() {
+        assert!(OpKind::AddF.is_commutative());
+        assert!(OpKind::MulF.is_commutative());
+        assert!(!OpKind::SubF.is_commutative());
+        assert!(!OpKind::DivF.is_commutative());
+    }
+}

@@ -1,0 +1,236 @@
+//! The type system of mlir-lite.
+//!
+//! Mirrors the subset of MLIR's builtin types that the limpetMLIR code
+//! generator needs: `f64`, `i1`, `i64`, `index`, fixed-width vectors of
+//! scalars, and 1-D memrefs of scalars.
+
+use std::fmt;
+
+/// A scalar (rank-0) type.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_ir::ScalarType;
+/// assert_eq!(ScalarType::F64.to_string(), "f64");
+/// assert!(ScalarType::F64.is_float());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarType {
+    /// 64-bit IEEE-754 floating point.
+    F64,
+    /// 1-bit boolean (MLIR `i1`).
+    I1,
+    /// 64-bit signless integer.
+    I64,
+    /// Target-width index type used for subscripts and loop bounds.
+    Index,
+}
+
+impl ScalarType {
+    /// Returns `true` for [`ScalarType::F64`].
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::F64)
+    }
+
+    /// Returns `true` for the integer-like types (`i1`, `i64`, `index`).
+    pub fn is_integer_like(self) -> bool {
+        !self.is_float()
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarType::F64 => write!(f, "f64"),
+            ScalarType::I1 => write!(f, "i1"),
+            ScalarType::I64 => write!(f, "i64"),
+            ScalarType::Index => write!(f, "index"),
+        }
+    }
+}
+
+/// An mlir-lite type: scalar, vector-of-scalar, or memref-of-scalar.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_ir::{ScalarType, Type};
+/// let v = Type::vector(8, ScalarType::F64);
+/// assert_eq!(v.to_string(), "vector<8xf64>");
+/// assert_eq!(v.lanes(), 8);
+/// assert_eq!(v.scalar(), Some(ScalarType::F64));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// A rank-0 scalar value.
+    Scalar(ScalarType),
+    /// A fixed-width 1-D vector, e.g. `vector<8xf64>`.
+    Vector {
+        /// Number of lanes. Always >= 1.
+        width: u32,
+        /// Element type.
+        elem: ScalarType,
+    },
+    /// A dynamically-sized 1-D memref, e.g. `memref<?xf64>`.
+    MemRef {
+        /// Element type.
+        elem: ScalarType,
+    },
+}
+
+impl Type {
+    /// The canonical `f64` type.
+    pub const F64: Type = Type::Scalar(ScalarType::F64);
+    /// The canonical `i1` type.
+    pub const I1: Type = Type::Scalar(ScalarType::I1);
+    /// The canonical `i64` type.
+    pub const I64: Type = Type::Scalar(ScalarType::I64);
+    /// The canonical `index` type.
+    pub const INDEX: Type = Type::Scalar(ScalarType::Index);
+
+    /// Builds a vector type of `width` lanes of `elem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn vector(width: u32, elem: ScalarType) -> Type {
+        assert!(width >= 1, "vector width must be at least 1");
+        Type::Vector { width, elem }
+    }
+
+    /// Builds a 1-D memref type of `elem`.
+    pub fn memref(elem: ScalarType) -> Type {
+        Type::MemRef { elem }
+    }
+
+    /// The number of lanes: 1 for scalars, `width` for vectors.
+    ///
+    /// Memrefs have no meaningful lane count and report 1.
+    pub fn lanes(&self) -> u32 {
+        match self {
+            Type::Vector { width, .. } => *width,
+            _ => 1,
+        }
+    }
+
+    /// The underlying scalar type for scalars and vectors, `None` for memrefs.
+    pub fn scalar(&self) -> Option<ScalarType> {
+        match self {
+            Type::Scalar(s) => Some(*s),
+            Type::Vector { elem, .. } => Some(*elem),
+            Type::MemRef { .. } => None,
+        }
+    }
+
+    /// Returns `true` if this is a scalar type.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Scalar(_))
+    }
+
+    /// Returns `true` if this is a vector type.
+    pub fn is_vector(&self) -> bool {
+        matches!(self, Type::Vector { .. })
+    }
+
+    /// Returns `true` if this is a memref type.
+    pub fn is_memref(&self) -> bool {
+        matches!(self, Type::MemRef { .. })
+    }
+
+    /// Returns `true` for scalar or vector `f64`.
+    pub fn is_float_like(&self) -> bool {
+        self.scalar().is_some_and(ScalarType::is_float)
+    }
+
+    /// Returns `true` for scalar or vector `i1`.
+    pub fn is_bool_like(&self) -> bool {
+        self.scalar() == Some(ScalarType::I1)
+    }
+
+    /// Re-wraps this type's scalar at a new lane count.
+    ///
+    /// `with_lanes(1)` yields the scalar type itself; larger counts yield a
+    /// vector. Memrefs are returned unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use limpet_ir::Type;
+    /// assert_eq!(Type::F64.with_lanes(4).to_string(), "vector<4xf64>");
+    /// assert_eq!(Type::F64.with_lanes(4).with_lanes(1), Type::F64);
+    /// ```
+    pub fn with_lanes(&self, lanes: u32) -> Type {
+        match self.scalar() {
+            None => *self,
+            Some(s) if lanes <= 1 => Type::Scalar(s),
+            Some(s) => Type::Vector { width: lanes, elem: s },
+        }
+    }
+}
+
+impl From<ScalarType> for Type {
+    fn from(s: ScalarType) -> Type {
+        Type::Scalar(s)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Scalar(s) => write!(f, "{s}"),
+            Type::Vector { width, elem } => write!(f, "vector<{width}x{elem}>"),
+            Type::MemRef { elem } => write!(f, "memref<?x{elem}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip_names() {
+        assert_eq!(Type::F64.to_string(), "f64");
+        assert_eq!(Type::I1.to_string(), "i1");
+        assert_eq!(Type::I64.to_string(), "i64");
+        assert_eq!(Type::INDEX.to_string(), "index");
+        assert_eq!(Type::vector(2, ScalarType::I1).to_string(), "vector<2xi1>");
+        assert_eq!(Type::memref(ScalarType::F64).to_string(), "memref<?xf64>");
+    }
+
+    #[test]
+    fn lanes_and_scalar() {
+        assert_eq!(Type::F64.lanes(), 1);
+        assert_eq!(Type::vector(8, ScalarType::F64).lanes(), 8);
+        assert_eq!(Type::vector(8, ScalarType::F64).scalar(), Some(ScalarType::F64));
+        assert_eq!(Type::memref(ScalarType::F64).scalar(), None);
+    }
+
+    #[test]
+    fn with_lanes_is_idempotent_on_scalars() {
+        let v = Type::F64.with_lanes(8);
+        assert!(v.is_vector());
+        assert_eq!(v.with_lanes(8), v);
+        assert_eq!(v.with_lanes(1), Type::F64);
+        let m = Type::memref(ScalarType::F64);
+        assert_eq!(m.with_lanes(8), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector width")]
+    fn zero_width_vector_panics() {
+        let _ = Type::vector(0, ScalarType::F64);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Type::F64.is_float_like());
+        assert!(Type::vector(4, ScalarType::F64).is_float_like());
+        assert!(!Type::I64.is_float_like());
+        assert!(Type::I1.is_bool_like());
+        assert!(Type::vector(4, ScalarType::I1).is_bool_like());
+        assert!(ScalarType::I64.is_integer_like());
+        assert!(ScalarType::Index.is_integer_like());
+    }
+}

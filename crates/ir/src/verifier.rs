@@ -1,0 +1,674 @@
+//! Structural and type verification of IR.
+//!
+//! [`verify_module`] checks SSA dominance (in the structured-region sense),
+//! per-op typing rules, terminator placement, and cross-references (LUT
+//! tables named by `lut.col` must exist).
+
+use crate::module::{Func, Module, OpId, RegionId, ValueId};
+use crate::ops::OpKind;
+use crate::types::Type;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The function in which the error occurred, if any.
+    pub func: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            Some(name) => write!(f, "in @{name}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_ir::{Builder, Func, Module, verify_module};
+/// let mut m = Module::new("m");
+/// let mut f = Func::new("f", &[], &[]);
+/// Builder::new(&mut f).ret(&[]);
+/// m.add_func(f);
+/// assert!(verify_module(&m).is_ok());
+/// ```
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for lut in &module.luts {
+        let func = module.func(&lut.func).ok_or_else(|| VerifyError {
+            func: None,
+            message: format!("lut @{} references missing function @{}", lut.name, lut.func),
+        })?;
+        if func.arg_types() != [Type::F64] {
+            return Err(VerifyError {
+                func: None,
+                message: format!("lut function @{} must take a single f64 key", lut.func),
+            });
+        }
+        if func.result_types().len() != lut.cols.len() {
+            return Err(VerifyError {
+                func: None,
+                message: format!(
+                    "lut @{} declares {} columns but @{} returns {} values",
+                    lut.name,
+                    lut.cols.len(),
+                    lut.func,
+                    func.result_types().len()
+                ),
+            });
+        }
+        if lut.step <= 0.0 || lut.hi <= lut.lo {
+            return Err(VerifyError {
+                func: None,
+                message: format!("lut @{} has an empty or inverted range", lut.name),
+            });
+        }
+    }
+    for func in module.funcs() {
+        verify_func(module, func).map_err(|message| VerifyError {
+            func: Some(func.name().to_owned()),
+            message,
+        })?;
+    }
+    Ok(())
+}
+
+fn verify_func(module: &Module, func: &Func) -> Result<(), String> {
+    let mut v = Verifier {
+        module,
+        func,
+        defined: HashSet::new(),
+    };
+    v.verify_region(func.body(), None)
+}
+
+struct Verifier<'a> {
+    module: &'a Module,
+    func: &'a Func,
+    defined: HashSet<ValueId>,
+}
+
+impl<'a> Verifier<'a> {
+    fn ty(&self, v: ValueId) -> Type {
+        self.func.value_type(v)
+    }
+
+    /// Verifies ops of `region`; `enclosing` is the op owning the region
+    /// (`None` for the function body). Values defined inside the region —
+    /// its arguments and every op result, including those of nested
+    /// regions — go out of scope when this returns, enforcing
+    /// structured-region dominance.
+    fn verify_region(&mut self, region: RegionId, enclosing: Option<OpId>) -> Result<(), String> {
+        let mut added: Vec<ValueId> = Vec::new();
+        // Region arguments are visible within the region only.
+        for &a in &self.func.region(region).args {
+            if self.defined.insert(a) {
+                added.push(a);
+            }
+        }
+        let result = self.verify_region_inner(region, enclosing, &mut added);
+        for v in added {
+            self.defined.remove(&v);
+        }
+        result
+    }
+
+    fn verify_region_inner(
+        &mut self,
+        region: RegionId,
+        enclosing: Option<OpId>,
+        added: &mut Vec<ValueId>,
+    ) -> Result<(), String> {
+        let ops = &self.func.region(region).ops;
+        for (i, &op_id) in ops.iter().enumerate() {
+            let op = self.func.op(op_id);
+            // Dominance: all operands already defined and in scope.
+            for &operand in &op.operands {
+                if !self.defined.contains(&operand) {
+                    return Err(format!(
+                        "{} uses value defined later or out of scope",
+                        op.kind
+                    ));
+                }
+            }
+            // Terminators must be last; last op of a sub-region must terminate.
+            if op.kind.is_terminator() && i + 1 != ops.len() {
+                return Err(format!("{} is not the last op of its region", op.kind));
+            }
+            self.verify_op(op_id, enclosing)?;
+            for &r in &op.regions {
+                self.verify_region(r, Some(op_id))?;
+            }
+            for &r in &op.results {
+                if self.defined.insert(r) {
+                    added.push(r);
+                }
+            }
+        }
+        // Sub-regions must end with a terminator.
+        if enclosing.is_some() {
+            match ops.last() {
+                Some(&last) if self.func.op(last).kind.is_terminator() => {}
+                _ => return Err("region does not end with a terminator".to_owned()),
+            }
+        }
+        Ok(())
+    }
+
+    fn verify_op(&self, op_id: OpId, enclosing: Option<OpId>) -> Result<(), String> {
+        let op = self.func.op(op_id);
+        let kind = &op.kind;
+        let arity_err = |want: usize| {
+            Err(format!(
+                "{} expects {} operands, has {}",
+                kind,
+                want,
+                op.operands.len()
+            ))
+        };
+        match kind {
+            OpKind::ConstantF(_) => {
+                if !op.results.iter().all(|&r| self.ty(r).is_float_like()) {
+                    return Err("float constant must have f64-like type".into());
+                }
+            }
+            OpKind::ConstantInt(_) => {
+                let ok = op.results.iter().all(|&r| {
+                    matches!(self.ty(r), Type::Scalar(s) if s.is_integer_like() && !self.ty(r).is_bool_like())
+                });
+                if !ok {
+                    return Err("int constant must have i64 or index type".into());
+                }
+            }
+            OpKind::ConstantBool(_) => {
+                if !op.results.iter().all(|&r| self.ty(r).is_bool_like()) {
+                    return Err("bool constant must have i1-like type".into());
+                }
+            }
+            OpKind::AddF
+            | OpKind::SubF
+            | OpKind::MulF
+            | OpKind::DivF
+            | OpKind::RemF
+            | OpKind::MinF
+            | OpKind::MaxF => {
+                if op.operands.len() != 2 {
+                    return arity_err(2);
+                }
+                let (a, b) = (self.ty(op.operands[0]), self.ty(op.operands[1]));
+                let r = self.ty(op.result());
+                if a != b || a != r || !a.is_float_like() {
+                    return Err(format!("{kind} type mismatch: {a}, {b} -> {r}"));
+                }
+            }
+            OpKind::NegF => {
+                if op.operands.len() != 1 {
+                    return arity_err(1);
+                }
+                let a = self.ty(op.operands[0]);
+                if a != self.ty(op.result()) || !a.is_float_like() {
+                    return Err("negf type mismatch".into());
+                }
+            }
+            OpKind::Fma => {
+                if op.operands.len() != 3 {
+                    return arity_err(3);
+                }
+                let t = self.ty(op.result());
+                if !t.is_float_like()
+                    || op.operands.iter().any(|&o| self.ty(o) != t)
+                {
+                    return Err("fma type mismatch".into());
+                }
+            }
+            OpKind::AddI | OpKind::SubI | OpKind::MulI => {
+                if op.operands.len() != 2 {
+                    return arity_err(2);
+                }
+                let a = self.ty(op.operands[0]);
+                if a != self.ty(op.operands[1]) || a != self.ty(op.result()) {
+                    return Err(format!("{kind} type mismatch"));
+                }
+                if a.is_float_like() || a.is_bool_like() {
+                    return Err(format!("{kind} needs integer operands"));
+                }
+            }
+            OpKind::CmpF(_) => {
+                if op.operands.len() != 2 {
+                    return arity_err(2);
+                }
+                let a = self.ty(op.operands[0]);
+                let r = self.ty(op.result());
+                if a != self.ty(op.operands[1]) || !a.is_float_like() {
+                    return Err("cmpf operands must be matching floats".into());
+                }
+                if !r.is_bool_like() || r.lanes() != a.lanes() {
+                    return Err("cmpf result must be i1 at operand lanes".into());
+                }
+            }
+            OpKind::CmpI(_) => {
+                if op.operands.len() != 2 {
+                    return arity_err(2);
+                }
+                let a = self.ty(op.operands[0]);
+                if a != self.ty(op.operands[1]) || a.is_float_like() {
+                    return Err("cmpi operands must be matching integers".into());
+                }
+                if !self.ty(op.result()).is_bool_like() {
+                    return Err("cmpi result must be i1".into());
+                }
+            }
+            OpKind::AndI | OpKind::OrI | OpKind::XorI => {
+                if op.operands.len() != 2 {
+                    return arity_err(2);
+                }
+                let a = self.ty(op.operands[0]);
+                if a != self.ty(op.operands[1]) || a != self.ty(op.result()) || !a.is_bool_like() {
+                    return Err(format!("{kind} needs matching i1-like operands"));
+                }
+            }
+            OpKind::Select => {
+                if op.operands.len() != 3 {
+                    return arity_err(3);
+                }
+                let c = self.ty(op.operands[0]);
+                let a = self.ty(op.operands[1]);
+                let b = self.ty(op.operands[2]);
+                let r = self.ty(op.result());
+                if !c.is_bool_like() || a != b || a != r {
+                    return Err("select type mismatch".into());
+                }
+                if c.lanes() != 1 && c.lanes() != a.lanes() {
+                    return Err("select condition lanes must be 1 or match arms".into());
+                }
+            }
+            OpKind::SIToFP => {
+                if op.operands.len() != 1 {
+                    return arity_err(1);
+                }
+                if !self.ty(op.result()).is_float_like() {
+                    return Err("sitofp result must be float".into());
+                }
+            }
+            OpKind::IndexCast => {
+                if op.operands.len() != 1 {
+                    return arity_err(1);
+                }
+            }
+            OpKind::Math(f) => {
+                if op.operands.len() != f.arity() {
+                    return arity_err(f.arity());
+                }
+                let t = self.ty(op.result());
+                if !t.is_float_like() || op.operands.iter().any(|&o| self.ty(o) != t) {
+                    return Err(format!("{kind} type mismatch"));
+                }
+            }
+            OpKind::Broadcast => {
+                if op.operands.len() != 1 {
+                    return arity_err(1);
+                }
+                let a = self.ty(op.operands[0]);
+                let r = self.ty(op.result());
+                if !a.is_scalar() || !r.is_vector() || a.scalar() != r.scalar() {
+                    return Err("broadcast must widen a scalar to a vector".into());
+                }
+            }
+            OpKind::If => {
+                if op.operands.len() != 1 {
+                    return arity_err(1);
+                }
+                if !self.ty(op.operands[0]).is_bool_like()
+                    || self.ty(op.operands[0]).lanes() != 1
+                {
+                    return Err("scf.if condition must be scalar i1".into());
+                }
+                if op.regions.len() != 2 {
+                    return Err("scf.if needs then and else regions".into());
+                }
+            }
+            OpKind::For => {
+                if op.operands.len() < 3 {
+                    return arity_err(3);
+                }
+                for &b in &op.operands[..3] {
+                    if self.ty(b) != Type::INDEX {
+                        return Err("scf.for bounds must be index-typed".into());
+                    }
+                }
+                let iters = &op.operands[3..];
+                if iters.len() != op.results.len() {
+                    return Err("scf.for iter_args/results count mismatch".into());
+                }
+                let body = op.regions.first().ok_or("scf.for needs a body region")?;
+                let args = &self.func.region(*body).args;
+                if args.len() != iters.len() + 1 {
+                    return Err("scf.for body must have [iv, iters...] args".into());
+                }
+                for (i, &init) in iters.iter().enumerate() {
+                    if self.ty(init) != self.ty(args[i + 1]) || self.ty(init) != self.ty(op.results[i]) {
+                        return Err("scf.for iter type mismatch".into());
+                    }
+                }
+            }
+            OpKind::Yield => {
+                let parent = enclosing.ok_or("scf.yield outside a region")?;
+                let parent_op = self.func.op(parent);
+                match parent_op.kind {
+                    OpKind::If | OpKind::For => {}
+                    _ => return Err("scf.yield must terminate an scf region".into()),
+                }
+                if op.operands.len() != parent_op.results.len() {
+                    return Err(format!(
+                        "scf.yield yields {} values but parent produces {}",
+                        op.operands.len(),
+                        parent_op.results.len()
+                    ));
+                }
+                for (&y, &r) in op.operands.iter().zip(&parent_op.results) {
+                    if self.ty(y) != self.ty(r) {
+                        return Err("scf.yield type mismatch with parent results".into());
+                    }
+                }
+            }
+            OpKind::Return => {
+                if enclosing.is_some() {
+                    return Err("func.return inside a nested region".into());
+                }
+                let want = self.func.result_types();
+                if op.operands.len() != want.len() {
+                    return Err(format!(
+                        "return has {} operands, function declares {} results",
+                        op.operands.len(),
+                        want.len()
+                    ));
+                }
+                for (&o, &t) in op.operands.iter().zip(want) {
+                    if self.ty(o) != t {
+                        return Err("return operand type mismatch".into());
+                    }
+                }
+            }
+            OpKind::GetExt | OpKind::GetState => {
+                if op.attrs.str_of("var").is_none() {
+                    return Err(format!("{kind} missing `var` attribute"));
+                }
+                if !self.ty(op.result()).is_float_like() {
+                    return Err(format!("{kind} result must be f64-like"));
+                }
+            }
+            OpKind::SetExt | OpKind::SetState | OpKind::SetParentState => {
+                if op.operands.len() != 1 {
+                    return arity_err(1);
+                }
+                if op.attrs.str_of("var").is_none() {
+                    return Err(format!("{kind} missing `var` attribute"));
+                }
+            }
+            OpKind::GetParentState => {
+                if op.operands.len() != 1 {
+                    return arity_err(1);
+                }
+                if op.attrs.str_of("var").is_none() {
+                    return Err(format!("{kind} missing `var` attribute"));
+                }
+                if self.ty(op.operands[0]) != self.ty(op.result()) {
+                    return Err("get_parent_state fallback type mismatch".into());
+                }
+            }
+            OpKind::Param => {
+                if op.attrs.str_of("name").is_none() {
+                    return Err("limpet.param missing `name` attribute".into());
+                }
+                if self.ty(op.result()) != Type::F64 {
+                    return Err("limpet.param result must be scalar f64".into());
+                }
+            }
+            OpKind::HasParent => {
+                if self.ty(op.result()) != Type::I1 {
+                    return Err("has_parent result must be i1".into());
+                }
+            }
+            OpKind::Dt | OpKind::Time => {
+                if self.ty(op.result()) != Type::F64 {
+                    return Err(format!("{kind} result must be scalar f64"));
+                }
+            }
+            OpKind::CellIndex => {
+                if self.ty(op.result()) != Type::INDEX {
+                    return Err("cell_index result must be index".into());
+                }
+            }
+            OpKind::LutCol => {
+                if op.operands.len() != 1 {
+                    return arity_err(1);
+                }
+                let table = op
+                    .attrs
+                    .str_of("table")
+                    .ok_or("lut.col missing `table` attribute")?;
+                let col = op.attrs.i64_of("col").ok_or("lut.col missing `col` attribute")?;
+                let spec = self
+                    .module
+                    .lut(table)
+                    .ok_or_else(|| format!("lut.col references unknown table {table:?}"))?;
+                if col < 0 || col as usize >= spec.cols.len() {
+                    return Err(format!(
+                        "lut.col column {col} out of range for table {table:?}"
+                    ));
+                }
+                let k = self.ty(op.operands[0]);
+                let r = self.ty(op.result());
+                if !k.is_float_like() || k != r {
+                    return Err("lut.col key/result must be matching f64-like".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attrs;
+    use crate::builder::Builder;
+    use crate::ops::CmpFPred;
+
+    fn empty_module_with(f: Func) -> Module {
+        let mut m = Module::new("m");
+        m.add_func(f);
+        m
+    }
+
+    #[test]
+    fn valid_function_passes() {
+        let mut f = Func::new("f", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let x = b.const_f(1.0);
+        let y = b.exp(x);
+        let c = b.cmpf(CmpFPred::Ogt, y, x);
+        let s = b.select(c, x, y);
+        b.set_state("u", s);
+        b.ret(&[]);
+        assert!(verify_module(&empty_module_with(f)).is_ok());
+    }
+
+    #[test]
+    fn use_before_def_fails() {
+        let mut f = Func::new("f", &[], &[]);
+        let body = f.body();
+        // Manually construct a forward reference.
+        let c1 = f.push_op(
+            body,
+            OpKind::ConstantF(1.0),
+            vec![],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        let v1 = f.op(c1).result();
+        let add = f.push_op(
+            body,
+            OpKind::AddF,
+            vec![v1, v1],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        let vadd = f.op(add).result();
+        f.push_op(body, OpKind::Return, vec![], &[], Attrs::new(), vec![]);
+        // Swap order: add now precedes its operand's definition.
+        f.region_mut(body).ops.swap(0, 1);
+        let err = verify_module(&empty_module_with(f)).unwrap_err();
+        assert!(err.message.contains("defined later"), "{err}");
+        let _ = vadd;
+    }
+
+    #[test]
+    fn type_mismatch_fails() {
+        let mut f = Func::new("f", &[], &[]);
+        let body = f.body();
+        let c1 = f.push_op(
+            body,
+            OpKind::ConstantF(1.0),
+            vec![],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        let c2 = f.push_op(
+            body,
+            OpKind::ConstantInt(1),
+            vec![],
+            &[Type::I64],
+            Attrs::new(),
+            vec![],
+        );
+        let (v1, v2) = (f.op(c1).result(), f.op(c2).result());
+        f.push_op(
+            body,
+            OpKind::AddF,
+            vec![v1, v2],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        f.push_op(body, OpKind::Return, vec![], &[], Attrs::new(), vec![]);
+        assert!(verify_module(&empty_module_with(f)).is_err());
+    }
+
+    #[test]
+    fn yield_count_mismatch_fails() {
+        let mut f = Func::new("f", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let c = b.const_bool(true);
+        b.if_op(
+            c,
+            &[Type::F64],
+            |b| b.yield_(&[]), // wrong: parent produces 1 result
+            |b| {
+                let v = b.const_f(0.0);
+                b.yield_(&[v]);
+            },
+        );
+        b.ret(&[]);
+        let err = verify_module(&empty_module_with(f)).unwrap_err();
+        assert!(err.message.contains("yield"), "{err}");
+    }
+
+    #[test]
+    fn missing_terminator_fails() {
+        let mut f = Func::new("f", &[], &[]);
+        let body = f.body();
+        let c = f.push_op(
+            body,
+            OpKind::ConstantBool(true),
+            vec![],
+            &[Type::I1],
+            Attrs::new(),
+            vec![],
+        );
+        let cond = f.op(c).result();
+        let then_r = f.new_region(&[]);
+        let else_r = f.new_region(&[]);
+        // then region left empty: no terminator.
+        f.push_op(else_r, OpKind::Yield, vec![], &[], Attrs::new(), vec![]);
+        f.push_op(
+            body,
+            OpKind::If,
+            vec![cond],
+            &[],
+            Attrs::new(),
+            vec![then_r, else_r],
+        );
+        f.push_op(body, OpKind::Return, vec![], &[], Attrs::new(), vec![]);
+        let err = verify_module(&empty_module_with(f)).unwrap_err();
+        assert!(err.message.contains("terminator"), "{err}");
+    }
+
+    #[test]
+    fn lut_reference_checked() {
+        let mut f = Func::new("f", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let k = b.const_f(0.0);
+        let v = b.lut_col("Vm", 0, k);
+        b.set_state("u", v);
+        b.ret(&[]);
+        let m = empty_module_with(f);
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("unknown table"), "{err}");
+    }
+
+    #[test]
+    fn return_type_checked() {
+        let mut f = Func::new("f", &[], &[Type::F64]);
+        let mut b = Builder::new(&mut f);
+        b.ret(&[]);
+        let err = verify_module(&empty_module_with(f)).unwrap_err();
+        assert!(err.message.contains("return"), "{err}");
+    }
+
+    #[test]
+    fn vector_if_condition_rejected() {
+        let mut f = Func::new("f", &[], &[]);
+        let body = f.body();
+        let c = f.push_op(
+            body,
+            OpKind::ConstantBool(true),
+            vec![],
+            &[Type::vector(4, crate::types::ScalarType::I1)],
+            Attrs::new(),
+            vec![],
+        );
+        let cond = f.op(c).result();
+        let then_r = f.new_region(&[]);
+        let else_r = f.new_region(&[]);
+        f.push_op(then_r, OpKind::Yield, vec![], &[], Attrs::new(), vec![]);
+        f.push_op(else_r, OpKind::Yield, vec![], &[], Attrs::new(), vec![]);
+        f.push_op(
+            body,
+            OpKind::If,
+            vec![cond],
+            &[],
+            Attrs::new(),
+            vec![then_r, else_r],
+        );
+        f.push_op(body, OpKind::Return, vec![], &[], Attrs::new(), vec![]);
+        let err = verify_module(&empty_module_with(f)).unwrap_err();
+        assert!(err.message.contains("scalar i1"), "{err}");
+    }
+}

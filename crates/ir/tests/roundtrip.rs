@@ -1,0 +1,257 @@
+//! Property test: printing a randomly generated module and parsing it back
+//! yields a module that prints identically (print∘parse fixpoint), verifies,
+//! and has the same op count.
+
+use limpet_ir::{
+    parse_module, print_module, verify_module, Builder, CmpFPred, Func, LutSpec, MathFn, Module,
+    Type, ValueId,
+};
+use proptest::prelude::*;
+
+/// A recipe for one generated operation.
+#[derive(Debug, Clone)]
+enum OpRecipe {
+    ConstF(f64),
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+    Min,
+    Max,
+    Math(u8),
+    GetState(u8),
+    SetState(u8),
+    GetExt(u8),
+    Param(u8),
+    LutCol,
+    If(Vec<OpRecipe>, Vec<OpRecipe>),
+    For(u8, Vec<OpRecipe>),
+    Cmp(u8),
+    Select,
+}
+
+fn leaf_recipe() -> impl Strategy<Value = OpRecipe> {
+    prop_oneof![
+        (-1e6f64..1e6f64).prop_map(OpRecipe::ConstF),
+        Just(OpRecipe::Add),
+        Just(OpRecipe::Sub),
+        Just(OpRecipe::Mul),
+        Just(OpRecipe::Div),
+        Just(OpRecipe::Neg),
+        Just(OpRecipe::Min),
+        Just(OpRecipe::Max),
+        (0u8..24).prop_map(OpRecipe::Math),
+        (0u8..4).prop_map(OpRecipe::GetState),
+        (0u8..4).prop_map(OpRecipe::SetState),
+        (0u8..2).prop_map(OpRecipe::GetExt),
+        (0u8..3).prop_map(OpRecipe::Param),
+        Just(OpRecipe::LutCol),
+        (0u8..6).prop_map(OpRecipe::Cmp),
+        Just(OpRecipe::Select),
+    ]
+}
+
+fn recipe() -> impl Strategy<Value = OpRecipe> {
+    leaf_recipe().prop_recursive(2, 24, 6, |inner| {
+        prop_oneof![
+            (
+                prop::collection::vec(inner.clone(), 1..4),
+                prop::collection::vec(inner.clone(), 1..4)
+            )
+                .prop_map(|(t, e)| OpRecipe::If(t, e)),
+            ((1u8..4), prop::collection::vec(inner, 1..4)).prop_map(|(n, b)| OpRecipe::For(n, b)),
+        ]
+    })
+}
+
+const STATE_VARS: [&str; 4] = ["u1", "u2", "u3", "m_gate"];
+const EXT_VARS: [&str; 2] = ["Vm", "Iion"];
+const PARAMS: [&str; 3] = ["Cm", "beta", "xi"];
+
+/// Builds ops from recipes; maintains a stack of available f64 values and a
+/// stack of i1 values so every generated program is verifier-valid.
+fn build(b: &mut Builder<'_>, recipes: &[OpRecipe], floats: &mut Vec<ValueId>, bools: &mut Vec<ValueId>) {
+    for r in recipes {
+        match r {
+            OpRecipe::ConstF(v) => floats.push(b.const_f(*v)),
+            OpRecipe::Add | OpRecipe::Sub | OpRecipe::Mul | OpRecipe::Div
+            | OpRecipe::Min | OpRecipe::Max => {
+                if floats.len() >= 2 {
+                    let y = floats.pop().unwrap();
+                    let x = *floats.last().unwrap();
+                    let v = match r {
+                        OpRecipe::Add => b.addf(x, y),
+                        OpRecipe::Sub => b.subf(x, y),
+                        OpRecipe::Mul => b.mulf(x, y),
+                        OpRecipe::Div => b.divf(x, y),
+                        OpRecipe::Min => b.minf(x, y),
+                        _ => b.maxf(x, y),
+                    };
+                    floats.push(v);
+                }
+            }
+            OpRecipe::Neg => {
+                if let Some(&x) = floats.last() {
+                    let v = b.negf(x);
+                    floats.push(v);
+                }
+            }
+            OpRecipe::Math(i) => {
+                let f = MathFn::ALL[*i as usize % MathFn::ALL.len()];
+                if f.arity() == 1 {
+                    if let Some(&x) = floats.last() {
+                        let v = b.math1(f, x);
+                        floats.push(v);
+                    }
+                } else if floats.len() >= 2 {
+                    let y = floats.pop().unwrap();
+                    let x = *floats.last().unwrap();
+                    let v = b.math2(f, x, y);
+                    floats.push(v);
+                }
+            }
+            OpRecipe::GetState(i) => {
+                floats.push(b.get_state(STATE_VARS[*i as usize % STATE_VARS.len()]))
+            }
+            OpRecipe::SetState(i) => {
+                if let Some(&x) = floats.last() {
+                    b.set_state(STATE_VARS[*i as usize % STATE_VARS.len()], x);
+                }
+            }
+            OpRecipe::GetExt(i) => floats.push(b.get_ext(EXT_VARS[*i as usize % EXT_VARS.len()])),
+            OpRecipe::Param(i) => floats.push(b.param(PARAMS[*i as usize % PARAMS.len()])),
+            OpRecipe::LutCol => {
+                if let Some(&x) = floats.last() {
+                    let v = b.lut_col("Vm", 0, x);
+                    floats.push(v);
+                }
+            }
+            OpRecipe::Cmp(i) => {
+                if floats.len() >= 2 {
+                    let preds = [
+                        CmpFPred::Oeq,
+                        CmpFPred::One,
+                        CmpFPred::Olt,
+                        CmpFPred::Ole,
+                        CmpFPred::Ogt,
+                        CmpFPred::Oge,
+                    ];
+                    let y = floats[floats.len() - 1];
+                    let x = floats[floats.len() - 2];
+                    bools.push(b.cmpf(preds[*i as usize % 6], x, y));
+                }
+            }
+            OpRecipe::Select => {
+                if floats.len() >= 2 && !bools.is_empty() {
+                    let c = *bools.last().unwrap();
+                    let y = floats.pop().unwrap();
+                    let x = *floats.last().unwrap();
+                    let v = b.select(c, x, y);
+                    floats.push(v);
+                }
+            }
+            OpRecipe::If(then_r, else_r) => {
+                if let Some(&c) = bools.last() {
+                    // Yield one float from each branch.
+                    let seed = match floats.last() {
+                        Some(&v) => v,
+                        None => {
+                            let v = b.const_f(0.0);
+                            floats.push(v);
+                            v
+                        }
+                    };
+                    let res = b.if_op(
+                        c,
+                        &[Type::F64],
+                        |b| {
+                            let mut fs = vec![seed];
+                            let mut bs = vec![];
+                            build(b, then_r, &mut fs, &mut bs);
+                            let last = *fs.last().unwrap();
+                            b.yield_(&[last]);
+                        },
+                        |b| {
+                            let mut fs = vec![seed];
+                            let mut bs = vec![];
+                            build(b, else_r, &mut fs, &mut bs);
+                            let last = *fs.last().unwrap();
+                            b.yield_(&[last]);
+                        },
+                    );
+                    floats.push(res[0]);
+                }
+            }
+            OpRecipe::For(n, body) => {
+                let seed = match floats.last() {
+                    Some(&v) => v,
+                    None => {
+                        let v = b.const_f(0.0);
+                        floats.push(v);
+                        v
+                    }
+                };
+                let lb = b.const_index(0);
+                let ub = b.const_index(*n as i64);
+                let st = b.const_index(1);
+                let res = b.for_op(lb, ub, st, &[seed], |b, _iv, iters| {
+                    let mut fs = vec![iters[0]];
+                    let mut bs = vec![];
+                    build(b, body, &mut fs, &mut bs);
+                    let last = *fs.last().unwrap();
+                    b.yield_(&[last]);
+                });
+                floats.push(res[0]);
+            }
+        }
+    }
+}
+
+fn module_from(recipes: &[OpRecipe]) -> Module {
+    let mut m = Module::new("prop");
+    // LUT table + its column function so lut.col verifies.
+    let mut lf = Func::new("lut_Vm", &[Type::F64], &[Type::F64]);
+    let arg = lf.args()[0];
+    let mut lb = Builder::new(&mut lf);
+    let e = lb.exp(arg);
+    lb.ret(&[e]);
+    m.add_func(lf);
+    m.luts.push(LutSpec {
+        name: "Vm".into(),
+        lo: -100.0,
+        hi: 100.0,
+        step: 0.5,
+        func: "lut_Vm".into(),
+        cols: vec!["e0".into()],
+    });
+
+    let mut f = Func::new("compute", &[], &[]);
+    let mut b = Builder::new(&mut f);
+    let mut floats = Vec::new();
+    let mut bools = Vec::new();
+    build(&mut b, recipes, &mut floats, &mut bools);
+    b.ret(&[]);
+    m.add_func(f);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn print_parse_print_fixpoint(recipes in prop::collection::vec(recipe(), 0..40)) {
+        let m = module_from(&recipes);
+        verify_module(&m).expect("generated module must verify");
+        let text = print_module(&m);
+        let reparsed = parse_module(&text).expect("printer output must parse");
+        verify_module(&reparsed).expect("reparsed module must verify");
+        let text2 = print_module(&reparsed);
+        prop_assert_eq!(&text, &text2);
+        // Same structural op counts.
+        let count = |m: &Module| -> usize {
+            m.funcs().iter().map(|f| f.walk_ops().len()).sum()
+        };
+        prop_assert_eq!(count(&m), count(&reparsed));
+    }
+}

@@ -1,0 +1,127 @@
+//! Loading and exporting `.model` files.
+//!
+//! openCARP models live in `physics/limpet/models/*.model` and the paper's
+//! artifact tells users to add their own files there (§A.7). This module
+//! gives limpet-rs the same workflow: load any EasyML `.model` file from
+//! disk, or export the built-in 43-model roster as a directory of `.model`
+//! files for inspection and editing.
+
+use crate::registry::{source, ROSTER};
+use limpet_easyml::Model;
+use std::fmt;
+use std::path::Path;
+
+/// An error loading a model file.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file failed to parse or analyze.
+    Compile(Box<dyn std::error::Error>),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Compile(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Loads and analyzes an EasyML `.model` file; the model name is the file
+/// stem.
+///
+/// # Errors
+///
+/// Returns [`LoadError::Io`] when the file cannot be read and
+/// [`LoadError::Compile`] when its contents are not a valid model.
+///
+/// # Examples
+///
+/// ```no_run
+/// let model = limpet_models::load_file("my_model.model")?;
+/// println!("{} states", model.states.len());
+/// # Ok::<(), limpet_models::LoadError>(())
+/// ```
+pub fn load_file(path: impl AsRef<Path>) -> Result<Model, LoadError> {
+    let path = path.as_ref();
+    let src = std::fs::read_to_string(path).map_err(LoadError::Io)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("model")
+        .to_owned();
+    limpet_easyml::compile_model(&name, &src).map_err(LoadError::Compile)
+}
+
+/// Writes every roster model's EasyML source as `<name>.model` into `dir`
+/// (created if needed). Returns the number of files written.
+///
+/// # Errors
+///
+/// Returns the first filesystem error encountered.
+pub fn export_roster(dir: impl AsRef<Path>) -> std::io::Result<usize> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    for e in &ROSTER {
+        std::fs::write(dir.join(format!("{}.model", e.name)), source(e.name))?;
+    }
+    Ok(ROSTER.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("limpet-models-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn export_then_load_round_trips_all_43() {
+        let dir = tmpdir("roundtrip");
+        assert_eq!(export_roster(&dir).unwrap(), 43);
+        for e in &ROSTER {
+            let m = load_file(dir.join(format!("{}.model", e.name)))
+                .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+            assert_eq!(m.name, e.name);
+            let reference = crate::registry::model(e.name);
+            assert_eq!(m.states.len(), reference.states.len(), "{}", e.name);
+            assert_eq!(m.stmts.len(), reference.stmts.len(), "{}", e.name);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_file("/nonexistent/nothing.model").unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+    }
+
+    #[test]
+    fn load_invalid_model_is_compile_error() {
+        let dir = tmpdir("invalid");
+        let p = dir.join("bad.model");
+        std::fs::write(&p, "diff_x = undefined_name;").unwrap();
+        let err = load_file(&p).unwrap_err();
+        assert!(matches!(err, LoadError::Compile(_)));
+        assert!(err.to_string().contains("undefined"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn model_name_comes_from_file_stem() {
+        let dir = tmpdir("stem");
+        let p = dir.join("MyCustomModel.model");
+        std::fs::write(&p, "diff_x = -x;").unwrap();
+        let m = load_file(&p).unwrap();
+        assert_eq!(m.name, "MyCustomModel");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

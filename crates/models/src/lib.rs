@@ -1,0 +1,32 @@
+//! # limpet-models
+//!
+//! The 43-ionic-model suite of the paper's evaluation (§4.1): ten
+//! hand-written classic models ([`classics`]) and thirty-three
+//! class-calibrated synthetic models ([`synthetic`]), organized into the
+//! small/medium/large roster of [`registry`].
+//!
+//! # Examples
+//!
+//! ```
+//! use limpet_models::{all_names, model, SizeClass, names_in_class};
+//!
+//! assert_eq!(all_names().len(), 43);
+//! assert_eq!(names_in_class(SizeClass::Large).len(), 13);
+//!
+//! let hh = model("HodgkinHuxley");
+//! assert_eq!(hh.states.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod classics;
+pub mod files;
+pub mod registry;
+pub mod synthetic;
+
+pub use files::{export_roster, load_file, LoadError};
+pub use registry::{
+    all_names, entry, model, names_in_class, source, ModelEntry, ModelKind, SizeClass, ROSTER,
+};
+pub use synthetic::{generate, SynthSpec};

@@ -1,0 +1,247 @@
+//! Algebraic canonicalization.
+//!
+//! Rewrites identity patterns so later passes see simpler IR:
+//! `x+0 → x`, `x*1 → x`, `x*0 → 0`, `x-0 → x`, `x/1 → x`,
+//! `neg(neg(x)) → x`, `select(c, a, a) → a`, `x - x → 0`.
+
+use crate::Pass;
+use limpet_ir::{Func, Module, OpId, OpKind, RegionId, ValueId};
+use std::collections::HashMap;
+
+/// Canonicalization pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Canonicalize;
+
+impl Pass for Canonicalize {
+    fn name(&self) -> &'static str {
+        "canonicalize"
+    }
+
+    fn run_on(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for func in module.funcs_mut() {
+            loop {
+                let mut ctx = Ctx {
+                    fconsts: HashMap::new(),
+                    neg_of: HashMap::new(),
+                };
+                if !run_region(func, func.body(), &mut ctx) {
+                    break;
+                }
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+struct Ctx {
+    /// f64 constants seen so far.
+    fconsts: HashMap<ValueId, f64>,
+    /// result of `negf` → its operand.
+    neg_of: HashMap<ValueId, ValueId>,
+}
+
+fn run_region(func: &mut Func, region: RegionId, ctx: &mut Ctx) -> bool {
+    let mut changed = false;
+    let ops = func.region(region).ops.clone();
+    for op_id in ops {
+        let nested = func.op(op_id).regions.clone();
+        for r in nested {
+            changed |= run_region(func, r, ctx);
+        }
+        changed |= simplify(func, region, op_id, ctx);
+    }
+    changed
+}
+
+fn simplify(func: &mut Func, region: RegionId, op_id: OpId, ctx: &mut Ctx) -> bool {
+    let op = func.op(op_id).clone();
+    let is = |v: ValueId, k: f64| ctx.fconsts.get(&v) == Some(&k);
+
+    match op.kind {
+        OpKind::ConstantF(v) => {
+            ctx.fconsts.insert(op.result(), v);
+            false
+        }
+        OpKind::NegF => {
+            let a = op.operands[0];
+            ctx.neg_of.insert(op.result(), a);
+            if let Some(&inner) = ctx.neg_of.get(&a) {
+                // neg(neg(x)) = x — but only when `a` is itself a neg result.
+                if func.value(a).def != func.value(op.result()).def {
+                    replace_with(func, region, op_id, inner);
+                    return true;
+                }
+            }
+            false
+        }
+        OpKind::AddF => {
+            let (a, b) = (op.operands[0], op.operands[1]);
+            if is(b, 0.0) {
+                replace_with(func, region, op_id, a);
+                true
+            } else if is(a, 0.0) {
+                replace_with(func, region, op_id, b);
+                true
+            } else {
+                false
+            }
+        }
+        OpKind::SubF => {
+            let (a, b) = (op.operands[0], op.operands[1]);
+            if is(b, 0.0) {
+                replace_with(func, region, op_id, a);
+                true
+            } else if a == b {
+                let op_mut = func.op_mut(op_id);
+                op_mut.kind = OpKind::ConstantF(0.0);
+                op_mut.operands.clear();
+                true
+            } else {
+                false
+            }
+        }
+        OpKind::MulF => {
+            let (a, b) = (op.operands[0], op.operands[1]);
+            if is(b, 1.0) {
+                replace_with(func, region, op_id, a);
+                true
+            } else if is(a, 1.0) {
+                replace_with(func, region, op_id, b);
+                true
+            } else if is(a, 0.0) || is(b, 0.0) {
+                let op_mut = func.op_mut(op_id);
+                op_mut.kind = OpKind::ConstantF(0.0);
+                op_mut.operands.clear();
+                true
+            } else {
+                false
+            }
+        }
+        OpKind::DivF => {
+            let (a, b) = (op.operands[0], op.operands[1]);
+            if is(b, 1.0) {
+                replace_with(func, region, op_id, a);
+                true
+            } else {
+                false
+            }
+        }
+        OpKind::Select => {
+            let (t, e) = (op.operands[1], op.operands[2]);
+            if t == e {
+                replace_with(func, region, op_id, t);
+                true
+            } else {
+                false
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Replaces all uses of the op's result with `v` and unlinks the op.
+fn replace_with(func: &mut Func, region: RegionId, op_id: OpId, v: ValueId) {
+    let result = func.op(op_id).result();
+    func.replace_all_uses(result, v);
+    func.erase_op(region, op_id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limpet_ir::{print_module, verify_module, Builder, Func, Module};
+
+    fn prepare(build: impl FnOnce(&mut Builder<'_>)) -> Module {
+        let mut m = Module::new("t");
+        let mut f = Func::new("compute", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        build(&mut b);
+        m.add_func(f);
+        m
+    }
+
+    #[test]
+    fn add_zero_removed() {
+        let mut m = prepare(|b| {
+            let x = b.get_state("x");
+            let z = b.const_f(0.0);
+            let s = b.addf(x, z);
+            b.set_state("x", s);
+            b.ret(&[]);
+        });
+        assert!(Canonicalize.run_on(&mut m));
+        assert!(!print_module(&m).contains("arith.addf"));
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn mul_one_and_zero() {
+        let mut m = prepare(|b| {
+            let x = b.get_state("x");
+            let one = b.const_f(1.0);
+            let zero = b.const_f(0.0);
+            let a = b.mulf(x, one);
+            let bb = b.mulf(a, zero);
+            b.set_state("x", bb);
+            b.ret(&[]);
+        });
+        assert!(Canonicalize.run_on(&mut m));
+        let text = print_module(&m);
+        assert!(!text.contains("arith.mulf"), "{text}");
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn sub_self_is_zero() {
+        let mut m = prepare(|b| {
+            let x = b.get_state("x");
+            let d = b.subf(x, x);
+            b.set_state("x", d);
+            b.ret(&[]);
+        });
+        assert!(Canonicalize.run_on(&mut m));
+        assert!(!print_module(&m).contains("arith.subf"));
+    }
+
+    #[test]
+    fn select_same_arms() {
+        let mut m = prepare(|b| {
+            let x = b.get_state("x");
+            let c = b.const_bool(true);
+            let s = b.select(c, x, x);
+            b.set_state("x", s);
+            b.ret(&[]);
+        });
+        assert!(Canonicalize.run_on(&mut m));
+        assert!(!print_module(&m).contains("arith.select"));
+    }
+
+    #[test]
+    fn double_negation() {
+        let mut m = prepare(|b| {
+            let x = b.get_state("x");
+            let n1 = b.negf(x);
+            let n2 = b.negf(n1);
+            b.set_state("x", n2);
+            b.ret(&[]);
+        });
+        assert!(Canonicalize.run_on(&mut m));
+        let text = print_module(&m);
+        // One dead negf may remain (DCE removes it); the store uses x.
+        assert!(text.contains("limpet.set_state %0"), "{text}");
+    }
+
+    #[test]
+    fn no_change_reports_false() {
+        let mut m = prepare(|b| {
+            let x = b.get_state("x");
+            let y = b.get_state("y");
+            let s = b.addf(x, y);
+            b.set_state("x", s);
+            b.ret(&[]);
+        });
+        assert!(!Canonicalize.run_on(&mut m));
+    }
+}

@@ -1,0 +1,323 @@
+//! Constant folding and propagation — the paper's "preprocessor" (§3.2).
+//!
+//! Evaluates operations whose operands are all compile-time constants:
+//! arithmetic, math-library calls, comparisons, selects, and whole
+//! `scf.if` operations with constant conditions (the chosen region is
+//! spliced into the parent).
+
+use crate::Pass;
+use limpet_ir::{Func, Module, OpId, OpKind, RegionId, ScalarType, Type, ValueId};
+use std::collections::HashMap;
+
+/// Constant folding and propagation pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstProp;
+
+/// A known compile-time constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Const {
+    F(f64),
+    I(i64),
+    B(bool),
+}
+
+impl Pass for ConstProp {
+    fn name(&self) -> &'static str {
+        "const-prop"
+    }
+
+    fn run_on(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for func in module.funcs_mut() {
+            // Iterate to a fixpoint: splicing ifs exposes new constants.
+            loop {
+                let mut consts: HashMap<ValueId, Const> = HashMap::new();
+                if !run_region(func, func.body(), &mut consts) {
+                    break;
+                }
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Folds one region; returns `true` on any change.
+fn run_region(func: &mut Func, region: RegionId, consts: &mut HashMap<ValueId, Const>) -> bool {
+    let mut changed = false;
+    let mut idx = 0;
+    while idx < func.region(region).ops.len() {
+        let op_id = func.region(region).ops[idx];
+        let kind = func.op(op_id).kind.clone();
+
+        // Record constants produced by constant ops.
+        match kind {
+            OpKind::ConstantF(v) => {
+                consts.insert(func.op(op_id).result(), Const::F(v));
+                idx += 1;
+                continue;
+            }
+            OpKind::ConstantInt(v) => {
+                consts.insert(func.op(op_id).result(), Const::I(v));
+                idx += 1;
+                continue;
+            }
+            OpKind::ConstantBool(v) => {
+                consts.insert(func.op(op_id).result(), Const::B(v));
+                idx += 1;
+                continue;
+            }
+            _ => {}
+        }
+
+        // scf.if with a constant condition: splice the chosen region.
+        if kind == OpKind::If {
+            let cond = func.op(op_id).operands[0];
+            if let Some(Const::B(flag)) = consts.get(&cond).copied() {
+                splice_if(func, region, idx, op_id, flag);
+                changed = true;
+                // Re-examine from the same index (spliced ops land here).
+                continue;
+            }
+        }
+
+        // Fold nested regions first.
+        let nested = func.op(op_id).regions.clone();
+        for r in nested {
+            changed |= run_region(func, r, consts);
+        }
+
+        if let Some(c) = fold(func, op_id, consts) {
+            let result = func.op(op_id).result();
+            consts.insert(result, c);
+            let ty = func.value_type(result);
+            let new_kind = match c {
+                Const::F(v) => OpKind::ConstantF(v),
+                Const::I(v) => OpKind::ConstantInt(v),
+                Const::B(v) => OpKind::ConstantBool(v),
+            };
+            // A vector-typed fold becomes a splat constant; scalars stay.
+            let _ = ty;
+            let op = func.op_mut(op_id);
+            op.kind = new_kind;
+            op.operands.clear();
+            changed = true;
+        } else if kind == OpKind::Select {
+            // select with constant condition chooses an operand.
+            let cond = func.op(op_id).operands[0];
+            if let Some(Const::B(flag)) = consts.get(&cond).copied() {
+                let chosen = func.op(op_id).operands[if flag { 1 } else { 2 }];
+                let result = func.op(op_id).result();
+                func.replace_all_uses(result, chosen);
+                func.erase_op(region, op_id);
+                changed = true;
+                continue; // the next op now sits at `idx`
+            }
+        }
+        idx += 1;
+    }
+    changed
+}
+
+/// Replaces `scf.if` at `region[idx]` by the ops of its taken branch.
+fn splice_if(func: &mut Func, region: RegionId, idx: usize, op_id: OpId, flag: bool) {
+    let taken = func.op(op_id).regions[if flag { 0 } else { 1 }];
+    let mut inner_ops = func.region(taken).ops.clone();
+    // The terminator yields the if results.
+    let yields: Vec<ValueId> = match inner_ops.pop() {
+        Some(term) => func.op(term).operands.clone(),
+        None => Vec::new(),
+    };
+    let results = func.op(op_id).results.clone();
+    for (r, y) in results.iter().zip(&yields) {
+        func.replace_all_uses(*r, *y);
+    }
+    let ops = &mut func.region_mut(region).ops;
+    ops.splice(idx..=idx, inner_ops);
+}
+
+fn fold(func: &Func, op_id: OpId, consts: &HashMap<ValueId, Const>) -> Option<Const> {
+    let op = func.op(op_id);
+    if op.results.len() != 1 || !op.kind.is_pure() || !op.regions.is_empty() {
+        return None;
+    }
+    let c = |i: usize| consts.get(&op.operands[i]).copied();
+    let f = |i: usize| match c(i) {
+        Some(Const::F(v)) => Some(v),
+        _ => None,
+    };
+    let int = |i: usize| match c(i) {
+        Some(Const::I(v)) => Some(v),
+        _ => None,
+    };
+    let b = |i: usize| match c(i) {
+        Some(Const::B(v)) => Some(v),
+        _ => None,
+    };
+    Some(match &op.kind {
+        OpKind::AddF => Const::F(f(0)? + f(1)?),
+        OpKind::SubF => Const::F(f(0)? - f(1)?),
+        OpKind::MulF => Const::F(f(0)? * f(1)?),
+        OpKind::DivF => Const::F(f(0)? / f(1)?),
+        OpKind::RemF => Const::F(f(0)? % f(1)?),
+        OpKind::NegF => Const::F(-f(0)?),
+        OpKind::MinF => Const::F(f(0)?.min(f(1)?)),
+        OpKind::MaxF => Const::F(f(0)?.max(f(1)?)),
+        OpKind::Fma => Const::F(f(0)? * f(1)? + f(2)?),
+        OpKind::AddI => Const::I(int(0)?.wrapping_add(int(1)?)),
+        OpKind::SubI => Const::I(int(0)?.wrapping_sub(int(1)?)),
+        OpKind::MulI => Const::I(int(0)?.wrapping_mul(int(1)?)),
+        OpKind::CmpF(p) => Const::B(p.apply(f(0)?, f(1)?)),
+        OpKind::CmpI(p) => Const::B(p.apply(int(0)?, int(1)?)),
+        OpKind::AndI => Const::B(b(0)? && b(1)?),
+        OpKind::OrI => Const::B(b(0)? || b(1)?),
+        OpKind::XorI => Const::B(b(0)? ^ b(1)?),
+        OpKind::SIToFP => Const::F(int(0)? as f64),
+        OpKind::IndexCast => Const::I(int(0)?),
+        OpKind::Math(m) => {
+            let a = f(0)?;
+            let bb = if m.arity() == 2 { f(1)? } else { 0.0 };
+            Const::F(m.eval(a, bb))
+        }
+        OpKind::Select => {
+            // Handled as use-replacement; only fold when everything const.
+            let cond = b(0)?;
+            let result_ty = func.value_type(op.results[0]);
+            match result_ty {
+                Type::Scalar(ScalarType::F64) | Type::Vector { elem: ScalarType::F64, .. } => {
+                    Const::F(if cond { f(1)? } else { f(2)? })
+                }
+                Type::Scalar(ScalarType::I1) | Type::Vector { elem: ScalarType::I1, .. } => {
+                    Const::B(if cond { b(1)? } else { b(2)? })
+                }
+                _ => Const::I(if cond { int(1)? } else { int(2)? }),
+            }
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limpet_ir::{print_module, verify_module, Builder, CmpFPred, Func, Module};
+
+    fn prepare(build: impl FnOnce(&mut Builder<'_>)) -> Module {
+        let mut m = Module::new("t");
+        let mut f = Func::new("compute", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        build(&mut b);
+        m.add_func(f);
+        m
+    }
+
+    #[test]
+    fn folds_arith_chain() {
+        let mut m = prepare(|b| {
+            let x = b.const_f(200.0);
+            let two = b.const_f(2.0);
+            let half = b.divf(x, two); // 100
+            let neg = b.negf(half); // -100
+            b.set_state("u", neg);
+            b.ret(&[]);
+        });
+        assert!(ConstProp.run_on(&mut m));
+        let text = print_module(&m);
+        assert!(text.contains("arith.constant -100.0"), "{text}");
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn folds_math_calls() {
+        let mut m = prepare(|b| {
+            let x = b.const_f(0.0);
+            let e = b.exp(x);
+            b.set_state("u", e);
+            b.ret(&[]);
+        });
+        ConstProp.run_on(&mut m);
+        let text = print_module(&m);
+        assert!(text.contains("arith.constant 1.0"), "{text}");
+    }
+
+    #[test]
+    fn splices_constant_if() {
+        let mut m = prepare(|b| {
+            let t = b.const_bool(true);
+            let r = b.if_op(
+                t,
+                &[limpet_ir::Type::F64],
+                |b| {
+                    let v = b.const_f(7.0);
+                    b.yield_(&[v]);
+                },
+                |b| {
+                    let v = b.const_f(9.0);
+                    b.yield_(&[v]);
+                },
+            );
+            b.set_state("u", r[0]);
+            b.ret(&[]);
+        });
+        assert!(ConstProp.run_on(&mut m));
+        let text = print_module(&m);
+        assert!(!text.contains("scf.if"), "{text}");
+        assert!(text.contains("7.0"), "{text}");
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn propagates_const_select() {
+        let mut m = prepare(|b| {
+            let x = b.const_f(1.0);
+            let y = b.const_f(2.0);
+            let c = b.cmpf(CmpFPred::Olt, x, y); // true
+            let live = b.get_state("s");
+            let sel = b.select(c, live, y);
+            b.set_state("u", sel);
+            b.ret(&[]);
+        });
+        assert!(ConstProp.run_on(&mut m));
+        // select's result replaced by the live state read.
+        let text = print_module(&m);
+        assert!(text.contains("limpet.set_state %"), "{text}");
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn leaves_dynamic_ops_alone() {
+        let mut m = prepare(|b| {
+            let x = b.get_state("x");
+            let two = b.const_f(2.0);
+            let y = b.mulf(x, two);
+            b.set_state("u", y);
+            b.ret(&[]);
+        });
+        assert!(!ConstProp.run_on(&mut m));
+        let text = print_module(&m);
+        assert!(text.contains("arith.mulf"));
+    }
+
+    #[test]
+    fn folds_inside_loops() {
+        let mut m = prepare(|b| {
+            let lb = b.const_index(0);
+            let ub = b.const_index(2);
+            let st = b.const_index(1);
+            let x0 = b.get_state("x");
+            let r = b.for_op(lb, ub, st, &[x0], |b, _iv, iters| {
+                let one = b.const_f(1.0);
+                let two = b.const_f(2.0);
+                let three = b.addf(one, two);
+                let next = b.addf(iters[0], three);
+                b.yield_(&[next]);
+            });
+            b.set_state("x", r[0]);
+            b.ret(&[]);
+        });
+        assert!(ConstProp.run_on(&mut m));
+        let text = print_module(&m);
+        assert!(text.contains("arith.constant 3.0"), "{text}");
+        verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,271 @@
+//! Common subexpression elimination.
+//!
+//! The paper calls out CSE as one of the in-tree MLIR transformations that
+//! benefit generated ionic-model code (§3.4.2) — the integration methods
+//! re-lower the derivative cone several times, producing many duplicates.
+//!
+//! Pure, region-free operations with identical `(kind, operands,
+//! attributes)` are deduplicated. Scoping follows the region tree: an op in
+//! a nested region may reuse a dominating op from an ancestor region, but
+//! not vice versa, and sibling regions do not share.
+
+use crate::Pass;
+use limpet_ir::{Attr, Func, Module, RegionId};
+use std::collections::HashMap;
+
+/// Common subexpression elimination pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cse;
+
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run_on(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for func in module.funcs_mut() {
+            let mut scope = Vec::new();
+            changed |= run_region(func, func.body(), &mut scope);
+        }
+        changed
+    }
+}
+
+type Scope = Vec<HashMap<String, limpet_ir::ValueId>>;
+
+fn key_of(func: &Func, op_id: limpet_ir::OpId) -> Option<String> {
+    let op = func.op(op_id);
+    if !op.kind.is_pure() || !op.regions.is_empty() || op.results.len() != 1 {
+        return None;
+    }
+    // State reads are pure but must not be deduplicated across stores; in
+    // our kernels stores only happen at the end, so reads are safe. Parent
+    // reads are also safe. Constants, arithmetic, math, lut reads: safe.
+    let mut key = String::with_capacity(64);
+    key.push_str(&format!("{:?}|", op.kind));
+    // Commutative ops: sort operands for a canonical key.
+    let mut operands = op.operands.clone();
+    if op.kind.is_commutative() {
+        operands.sort();
+    }
+    for o in operands {
+        key.push_str(&format!("{},", o.index()));
+    }
+    key.push('|');
+    for (k, v) in op.attrs.iter() {
+        key.push_str(k);
+        key.push('=');
+        match v {
+            Attr::F64(x) => key.push_str(&format!("{x}")),
+            Attr::I64(x) => key.push_str(&format!("{x}")),
+            Attr::Bool(x) => key.push_str(&format!("{x}")),
+            Attr::Str(s) => key.push_str(s),
+            Attr::Ty(t) => key.push_str(&format!("{t}")),
+        }
+        key.push(';');
+    }
+    // Result type distinguishes scalar from splat constants.
+    key.push_str(&format!("|{}", func.value_type(op.results[0])));
+    Some(key)
+}
+
+fn run_region(func: &mut Func, region: RegionId, scope: &mut Scope) -> bool {
+    scope.push(HashMap::new());
+    let mut changed = false;
+    let ops = func.region(region).ops.clone();
+    for op_id in ops {
+        if let Some(key) = key_of(func, op_id) {
+            let existing = scope.iter().rev().find_map(|m| m.get(&key)).copied();
+            match existing {
+                Some(prev) => {
+                    let result = func.op(op_id).result();
+                    func.replace_all_uses(result, prev);
+                    func.erase_op(region, op_id);
+                    changed = true;
+                    continue;
+                }
+                None => {
+                    let result = func.op(op_id).result();
+                    scope.last_mut().unwrap().insert(key, result);
+                }
+            }
+        }
+        let nested = func.op(op_id).regions.clone();
+        for r in nested {
+            changed |= run_region(func, r, scope);
+        }
+    }
+    scope.pop();
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limpet_ir::{print_module, verify_module, Builder, Func, Module, OpKind, Type};
+
+    fn prepare(build: impl FnOnce(&mut Builder<'_>)) -> Module {
+        let mut m = Module::new("t");
+        let mut f = Func::new("compute", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        build(&mut b);
+        m.add_func(f);
+        m
+    }
+
+    fn count(m: &Module, op: &str) -> usize {
+        print_module(m).matches(op).count()
+    }
+
+    #[test]
+    fn dedups_identical_constants() {
+        let mut m = prepare(|b| {
+            let a = b.const_f(2.0);
+            let c = b.const_f(2.0);
+            let s = b.addf(a, c);
+            b.set_state("x", s);
+            b.ret(&[]);
+        });
+        assert!(Cse.run_on(&mut m));
+        assert_eq!(count(&m, "arith.constant"), 1);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn dedups_arith_with_commutativity() {
+        let mut m = prepare(|b| {
+            let x = b.get_state("x");
+            let y = b.get_state("y");
+            let s1 = b.addf(x, y);
+            let s2 = b.addf(y, x); // commuted duplicate
+            let p = b.mulf(s1, s2);
+            b.set_state("x", p);
+            b.ret(&[]);
+        });
+        assert!(Cse.run_on(&mut m));
+        assert_eq!(count(&m, "arith.addf"), 1);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn dedups_state_reads() {
+        let mut m = prepare(|b| {
+            let a = b.get_state("x");
+            let c = b.get_state("x");
+            let s = b.addf(a, c);
+            b.set_state("x", s);
+            b.ret(&[]);
+        });
+        assert!(Cse.run_on(&mut m));
+        assert_eq!(count(&m, "limpet.get_state"), 1);
+    }
+
+    #[test]
+    fn distinct_vars_not_merged() {
+        let mut m = prepare(|b| {
+            let a = b.get_state("x");
+            let c = b.get_state("y");
+            let s = b.addf(a, c);
+            b.set_state("x", s);
+            b.ret(&[]);
+        });
+        assert!(!Cse.run_on(&mut m));
+        assert_eq!(count(&m, "limpet.get_state"), 2);
+    }
+
+    #[test]
+    fn nested_region_reuses_outer_value() {
+        let mut m = prepare(|b| {
+            let x = b.get_state("x");
+            let two = b.const_f(2.0);
+            let outer = b.mulf(x, two);
+            let c = b.const_bool(true);
+            let r = b.if_op(
+                c,
+                &[Type::F64],
+                |b| {
+                    let x2 = b.get_state("x");
+                    let two2 = b.const_f(2.0);
+                    let dup = b.mulf(x2, two2);
+                    b.yield_(&[dup]);
+                },
+                |b| {
+                    let z = b.const_f(0.0);
+                    b.yield_(&[z]);
+                },
+            );
+            let s = b.addf(outer, r[0]);
+            b.set_state("x", s);
+            b.ret(&[]);
+        });
+        assert!(Cse.run_on(&mut m));
+        // The inner mulf collapses onto the outer one.
+        assert_eq!(count(&m, "arith.mulf"), 1);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn sibling_regions_do_not_share() {
+        let mut m = prepare(|b| {
+            let c = b.const_bool(true);
+            let r = b.if_op(
+                c,
+                &[Type::F64],
+                |b| {
+                    let x = b.get_state("x");
+                    let e = b.exp(x);
+                    b.yield_(&[e]);
+                },
+                |b| {
+                    let x = b.get_state("x");
+                    let e = b.exp(x);
+                    b.yield_(&[e]);
+                },
+            );
+            b.set_state("x", r[0]);
+            b.ret(&[]);
+        });
+        // Identical exprs in sibling branches cannot be merged (neither
+        // dominates the other).
+        assert!(!Cse.run_on(&mut m));
+        assert_eq!(count(&m, "math.exp"), 2);
+    }
+
+    #[test]
+    fn stores_never_touched() {
+        let mut m = prepare(|b| {
+            let x = b.get_state("x");
+            b.set_state("a", x);
+            b.set_state("a", x);
+            b.ret(&[]);
+        });
+        Cse.run_on(&mut m);
+        assert_eq!(count(&m, "limpet.set_state"), 2);
+    }
+
+    #[test]
+    fn keys_distinguish_kinds() {
+        let mut f = Func::new("f", &[], &[]);
+        let body = f.body();
+        let a = f.push_op(
+            body,
+            OpKind::ConstantF(1.0),
+            vec![],
+            &[Type::F64],
+            limpet_ir::Attrs::new(),
+            vec![],
+        );
+        let b_ = f.push_op(
+            body,
+            OpKind::ConstantInt(1),
+            vec![],
+            &[Type::I64],
+            limpet_ir::Attrs::new(),
+            vec![],
+        );
+        let ka = key_of(&f, a).unwrap();
+        let kb = key_of(&f, b_).unwrap();
+        assert_ne!(ka, kb);
+    }
+}

@@ -1,0 +1,174 @@
+//! Dead code elimination.
+//!
+//! Removes pure operations whose results are unused, iterating to a
+//! fixpoint (removing one op may orphan its operands' producers).
+//! `scf.if`/`scf.for` are removed only when their results are unused *and*
+//! their regions contain no side-effecting ops.
+
+use crate::Pass;
+use limpet_ir::{Func, Module, OpId, OpKind, RegionId};
+
+/// Dead code elimination pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run_on(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for func in module.funcs_mut() {
+            while sweep(func) {
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Whether an op (including its regions, transitively) has side effects.
+fn has_side_effects(func: &Func, op_id: OpId) -> bool {
+    let op = func.op(op_id);
+    if !op.kind.is_pure() && !matches!(op.kind, OpKind::If | OpKind::For | OpKind::Yield) {
+        return true;
+    }
+    for &r in &op.regions {
+        for &inner in &func.region(r).ops {
+            if has_side_effects(func, inner) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn sweep(func: &mut Func) -> bool {
+    let uses = func.use_counts();
+    let mut dead: Vec<(RegionId, OpId)> = Vec::new();
+    func.walk(&mut |region, _, op_id| {
+        let op = func.op(op_id);
+        if op.kind.is_terminator() {
+            return;
+        }
+        let unused = op.results.iter().all(|r| uses[r.index()] == 0);
+        if !unused {
+            return;
+        }
+        let removable = match op.kind {
+            OpKind::If | OpKind::For => !has_side_effects(func, op_id),
+            _ => op.kind.is_pure(),
+        };
+        if removable {
+            dead.push((region, op_id));
+        }
+    });
+    let changed = !dead.is_empty();
+    for (region, op_id) in dead {
+        func.erase_op(region, op_id);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limpet_ir::{print_module, verify_module, Builder, Module, Type};
+
+    fn prepare(build: impl FnOnce(&mut Builder<'_>)) -> Module {
+        let mut m = Module::new("t");
+        let mut f = Func::new("compute", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        build(&mut b);
+        m.add_func(f);
+        m
+    }
+    use limpet_ir::Func;
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut m = prepare(|b| {
+            let x = b.const_f(1.0);
+            let y = b.exp(x); // dead
+            let _z = b.mulf(y, y); // dead
+            let live = b.get_state("s");
+            b.set_state("s", live);
+            b.ret(&[]);
+        });
+        assert!(Dce.run_on(&mut m));
+        let text = print_module(&m);
+        assert!(!text.contains("math.exp"), "{text}");
+        assert!(!text.contains("arith.mulf"), "{text}");
+        assert!(!text.contains("arith.constant"), "{text}");
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn keeps_stores() {
+        let mut m = prepare(|b| {
+            let x = b.const_f(1.0);
+            b.set_state("s", x);
+            b.ret(&[]);
+        });
+        assert!(!Dce.run_on(&mut m));
+        assert!(print_module(&m).contains("limpet.set_state"));
+    }
+
+    #[test]
+    fn removes_pure_if_with_unused_result() {
+        let mut m = prepare(|b| {
+            let c = b.const_bool(true);
+            let _r = b.if_op(
+                c,
+                &[Type::F64],
+                |b| {
+                    let v = b.const_f(1.0);
+                    b.yield_(&[v]);
+                },
+                |b| {
+                    let v = b.const_f(2.0);
+                    b.yield_(&[v]);
+                },
+            );
+            b.ret(&[]);
+        });
+        assert!(Dce.run_on(&mut m));
+        assert!(!print_module(&m).contains("scf.if"));
+    }
+
+    #[test]
+    fn keeps_if_with_store_inside() {
+        let mut m = prepare(|b| {
+            let c = b.const_bool(true);
+            b.if_op(
+                c,
+                &[],
+                |b| {
+                    let v = b.const_f(1.0);
+                    b.set_state("s", v);
+                    b.yield_(&[]);
+                },
+                |b| b.yield_(&[]),
+            );
+            b.ret(&[]);
+        });
+        assert!(!Dce.run_on(&mut m));
+        assert!(print_module(&m).contains("scf.if"));
+    }
+
+    #[test]
+    fn fixpoint_cascades() {
+        let mut m = prepare(|b| {
+            let a = b.const_f(1.0);
+            let c = b.exp(a);
+            let d = b.exp(c);
+            let _e = b.exp(d); // only this is directly unused
+            b.ret(&[]);
+        });
+        assert!(Dce.run_on(&mut m));
+        let text = print_module(&m);
+        assert!(!text.contains("math.exp"), "{text}");
+        assert!(!text.contains("arith.constant"), "{text}");
+    }
+}

@@ -1,0 +1,150 @@
+//! # limpet-passes
+//!
+//! IR transformation passes for limpet-rs, mirroring the MLIR
+//! transformations the paper relies on (§3.2–§3.4):
+//!
+//! * [`ConstProp`] — the paper's "preprocessor": compile-time evaluation and
+//!   propagation of constant arithmetic, math calls, and conditions;
+//! * [`Canonicalize`] — algebraic identities (`x+0`, `x*1`, `x*0`, …);
+//! * [`Cse`] — common subexpression elimination;
+//! * [`Licm`] — loop-invariant code motion out of `scf.for`;
+//! * [`Dce`] — dead code elimination;
+//! * [`Vectorize`] — the core limpetMLIR rewrite: scalar per-cell kernels
+//!   become `vector<Wxf64>` kernels processing W cells per instruction,
+//!   with if-conversion of varying `scf.if` into `arith.select`;
+//! * [`FmaContract`] — fuses multiply-add chains into `math.fma`;
+//! * [`ScalarLutMode`] — marks `lut.col` ops for per-lane scalar
+//!   interpolation (models the icc-style "auto-vectorized arithmetic but
+//!   scalar LUT calls" configuration of paper §5).
+//!
+//! # Examples
+//!
+//! ```
+//! use limpet_passes::{standard_pipeline, PassManager, Vectorize};
+//! use limpet_codegen::{lower_model, CodegenOptions};
+//!
+//! let model = limpet_easyml::compile_model("M", "diff_x = -0.5 * x;").unwrap();
+//! let mut lowered = lower_model(&model, &CodegenOptions::default());
+//! let pm = standard_pipeline(8);
+//! pm.run(&mut lowered.module);
+//! assert_eq!(lowered.module.attrs.i64_of("vector_width"), Some(8));
+//! limpet_ir::verify_module(&lowered.module).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod canonicalize;
+mod const_prop;
+mod cse;
+mod dce;
+mod fma;
+mod licm;
+mod lut_mode;
+mod vectorize;
+
+pub use canonicalize::Canonicalize;
+pub use const_prop::ConstProp;
+pub use cse::Cse;
+pub use dce::Dce;
+pub use fma::FmaContract;
+pub use licm::Licm;
+pub use lut_mode::{CubicLutMode, ScalarLutMode};
+pub use vectorize::Vectorize;
+
+use limpet_ir::Module;
+use std::fmt;
+
+/// A module-level transformation.
+pub trait Pass: fmt::Debug {
+    /// The pass name, for statistics and debugging.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass; returns `true` if the module changed.
+    fn run_on(&self, module: &mut Module) -> bool;
+}
+
+/// Statistics from one [`PassManager::run`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// `(pass name, changed)` per executed pass, in order.
+    pub executed: Vec<(&'static str, bool)>,
+}
+
+impl PassStats {
+    /// Whether any pass reported a change.
+    pub fn any_changed(&self) -> bool {
+        self.executed.iter().any(|(_, c)| *c)
+    }
+}
+
+/// Runs a sequence of passes over a module.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_passes::{ConstProp, Dce, PassManager};
+/// let mut pm = PassManager::new();
+/// pm.add(ConstProp).add(Dce);
+/// assert_eq!(pm.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// Creates an empty pass manager.
+    pub fn new() -> PassManager {
+        PassManager::default()
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Number of registered passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether no passes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Runs all passes in order, once.
+    pub fn run(&self, module: &mut Module) -> PassStats {
+        let mut stats = PassStats::default();
+        for p in &self.passes {
+            let changed = p.run_on(module);
+            stats.executed.push((p.name(), changed));
+        }
+        stats
+    }
+}
+
+/// The limpetMLIR optimization pipeline at vector width `width`:
+/// preprocessor (constant propagation), canonicalization, CSE, LICM, DCE,
+/// then vectorization followed by a cleanup round.
+///
+/// Width 1 yields a scalar-optimized module (no vectorization).
+pub fn standard_pipeline(width: u32) -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(ConstProp)
+        .add(Canonicalize)
+        .add(Cse)
+        .add(Licm)
+        .add(Dce);
+    if width > 1 {
+        pm.add(Vectorize::new(width));
+        // Vectorization introduces splat constants and broadcasts that fold.
+        pm.add(Cse);
+        pm.add(Dce);
+    }
+    // Contract multiply-add chains into fused ops (bit-exact here).
+    pm.add(FmaContract);
+    pm
+}

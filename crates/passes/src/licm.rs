@@ -1,0 +1,181 @@
+//! Loop-invariant code motion.
+//!
+//! Hoists pure, region-free operations out of `scf.for` bodies when all
+//! their operands are defined outside the loop. The paper lists LICM among
+//! the in-tree MLIR transformations that benefit the generated code
+//! (§3.4.2); in our kernels it fires on the `markov_be` refinement loops,
+//! whose `limpet.dt` reads and rate constants are iteration-invariant.
+
+use crate::Pass;
+use limpet_ir::{Func, Module, OpId, OpKind, RegionId, ValueId};
+use std::collections::HashSet;
+
+/// Loop-invariant code motion pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Licm;
+
+impl Pass for Licm {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run_on(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for func in module.funcs_mut() {
+            changed |= run_region(func, func.body());
+        }
+        changed
+    }
+}
+
+fn run_region(func: &mut Func, region: RegionId) -> bool {
+    let mut changed = false;
+    let mut idx = 0;
+    while idx < func.region(region).ops.len() {
+        let op_id = func.region(region).ops[idx];
+        let kind = func.op(op_id).kind.clone();
+        if kind == OpKind::For {
+            // Hoist from the loop body into this region, before the loop.
+            let body = func.op(op_id).regions[0];
+            loop {
+                let hoisted = hoist_once(func, region, idx, body);
+                if hoisted == 0 {
+                    break;
+                }
+                idx += hoisted;
+                changed = true;
+            }
+        }
+        // Recurse into any nested regions (including the loop body after
+        // hoisting, and if branches).
+        let nested = func.op(op_id).regions.clone();
+        for r in nested {
+            changed |= run_region(func, r);
+        }
+        idx += 1;
+    }
+    changed
+}
+
+/// Values defined inside `region` (args + all op results, transitively).
+fn values_defined_in(func: &Func, region: RegionId, out: &mut HashSet<ValueId>) {
+    out.extend(func.region(region).args.iter().copied());
+    for &op in &func.region(region).ops {
+        out.extend(func.op(op).results.iter().copied());
+        for &r in &func.op(op).regions {
+            values_defined_in(func, r, out);
+        }
+    }
+}
+
+/// Moves every hoistable op of `body` before position `at` of `parent`;
+/// returns how many ops were moved.
+fn hoist_once(func: &mut Func, parent: RegionId, at: usize, body: RegionId) -> usize {
+    let mut inside = HashSet::new();
+    values_defined_in(func, body, &mut inside);
+
+    let body_ops = func.region(body).ops.clone();
+    let mut to_hoist: Vec<OpId> = Vec::new();
+    for op_id in body_ops {
+        let op = func.op(op_id);
+        let hoistable = op.kind.is_pure()
+            && op.regions.is_empty()
+            && !op.kind.is_terminator()
+            && op.operands.iter().all(|o| !inside.contains(o));
+        if hoistable {
+            to_hoist.push(op_id);
+            // Its results become outside-defined for later ops.
+            let results: Vec<ValueId> = op.results.clone();
+            for r in results {
+                inside.remove(&r);
+            }
+        }
+    }
+    for (k, &op_id) in to_hoist.iter().enumerate() {
+        func.erase_op(body, op_id);
+        func.region_mut(parent).ops.insert(at + k, op_id);
+    }
+    to_hoist.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limpet_ir::{print_module, verify_module, Builder, Module};
+
+    #[test]
+    fn hoists_invariant_ops() {
+        let mut m = Module::new("t");
+        let mut f = Func::new("compute", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let lb = b.const_index(0);
+        let ub = b.const_index(3);
+        let st = b.const_index(1);
+        let x0 = b.get_state("x");
+        let r = b.for_op(lb, ub, st, &[x0], |b, _iv, iters| {
+            let dt = b.dt(); // invariant
+            let k = b.const_f(0.5); // invariant
+            let kd = b.mulf(dt, k); // invariant
+            let next = b.addf(iters[0], kd); // NOT invariant
+            b.yield_(&[next]);
+        });
+        b.set_state("x", r[0]);
+        b.ret(&[]);
+        m.add_func(f);
+
+        assert!(Licm.run_on(&mut m));
+        verify_module(&m).unwrap();
+        let text = print_module(&m);
+        // dt/const/mulf now appear before the loop: the loop body holds
+        // only addf + yield.
+        let loop_pos = text.find("scf.for").unwrap();
+        assert!(text.find("limpet.dt").unwrap() < loop_pos, "{text}");
+        assert!(text.find("arith.mulf").unwrap() < loop_pos, "{text}");
+        assert!(text.find("arith.addf").unwrap() > loop_pos, "{text}");
+    }
+
+    #[test]
+    fn leaves_variant_ops() {
+        let mut m = Module::new("t");
+        let mut f = Func::new("compute", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let lb = b.const_index(0);
+        let ub = b.const_index(3);
+        let st = b.const_index(1);
+        let x0 = b.get_state("x");
+        let r = b.for_op(lb, ub, st, &[x0], |b, _iv, iters| {
+            let sq = b.mulf(iters[0], iters[0]);
+            b.yield_(&[sq]);
+        });
+        b.set_state("x", r[0]);
+        b.ret(&[]);
+        m.add_func(f);
+
+        assert!(!Licm.run_on(&mut m));
+        let text = print_module(&m);
+        assert!(text.find("arith.mulf").unwrap() > text.find("scf.for").unwrap());
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut m = Module::new("t");
+        let mut f = Func::new("compute", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let lb = b.const_index(0);
+        let ub = b.const_index(3);
+        let st = b.const_index(1);
+        let x0 = b.get_state("x");
+        let r = b.for_op(lb, ub, st, &[x0], |b, _iv, iters| {
+            let dt = b.dt();
+            let next = b.addf(iters[0], dt);
+            b.yield_(&[next]);
+        });
+        b.set_state("x", r[0]);
+        b.ret(&[]);
+        m.add_func(f);
+
+        assert!(Licm.run_on(&mut m));
+        assert!(!Licm.run_on(&mut m));
+        verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,671 @@
+//! Vectorization — the core limpetMLIR rewrite (paper §3.3).
+//!
+//! Rewrites the scalar per-cell `@compute` kernel into a kernel that
+//! processes `W` cells per operation: every *varying* `f64` value (one that
+//! differs between cells) becomes `vector<Wxf64>`, comparisons become
+//! `vector<Wxi1>`, and *uniform* values (parameters, `dt`, `t`, loop
+//! indices) stay scalar and are broadcast — or materialized as splat
+//! constants, as in paper Listing 3 — exactly where a varying op consumes
+//! them.
+//!
+//! Control flow follows §5's SIMD-friendliness discussion:
+//!
+//! * `scf.if` with a **varying** condition is if-converted: both regions
+//!   are inlined (they must be pure) and each result becomes an
+//!   `arith.select` under the vector mask;
+//! * `scf.if` with a **uniform** condition keeps its structure;
+//! * `scf.for` keeps its structure (bounds are uniform); `f64` iteration
+//!   arguments are promoted to vectors.
+
+use crate::Pass;
+use limpet_ir::{
+    Attrs, Func, Module, OpKind, RegionId, ScalarType, Type, ValueDef, ValueId,
+};
+use std::collections::HashMap;
+
+/// The vectorization pass; `width` is the lane count (2 = SSE, 4 = AVX2,
+/// 8 = AVX-512 in the paper's evaluation).
+#[derive(Debug, Clone, Copy)]
+pub struct Vectorize {
+    width: u32,
+}
+
+impl Vectorize {
+    /// Creates the pass for the given lane count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 2`.
+    pub fn new(width: u32) -> Vectorize {
+        assert!(width >= 2, "vectorization needs at least 2 lanes");
+        Vectorize { width }
+    }
+}
+
+impl Pass for Vectorize {
+    fn name(&self) -> &'static str {
+        "vectorize"
+    }
+
+    fn run_on(&self, module: &mut Module) -> bool {
+        let Some(old) = module.func("compute") else {
+            return false;
+        };
+        if module.attrs.i64_of("vector_width").is_some() {
+            return false; // already vectorized
+        }
+        let old = old.clone();
+        let mut vz = Vectorizer {
+            width: self.width,
+            old: &old,
+            new: Func::new("compute", old.arg_types(), old.result_types()),
+            map: HashMap::new(),
+            splat_cache: HashMap::new(),
+        };
+        let new_body = vz.new.body();
+        let ret = vz.emit_ops(old.body(), new_body);
+        let rets: Vec<ValueId> = ret.iter().map(|m| m.v).collect();
+        vz.new.push_op(
+            new_body,
+            OpKind::Return,
+            rets,
+            &[],
+            Attrs::new(),
+            vec![],
+        );
+        let new = vz.new;
+        for f in module.funcs_mut() {
+            if f.name() == "compute" {
+                *f = new;
+                break;
+            }
+        }
+        module.attrs.set("vector_width", self.width as i64);
+        true
+    }
+}
+
+/// A value in the new function plus whether it is uniform across lanes.
+#[derive(Debug, Clone, Copy)]
+struct Mapped {
+    v: ValueId,
+    uniform: bool,
+}
+
+struct Vectorizer<'a> {
+    width: u32,
+    old: &'a Func,
+    new: Func,
+    /// old value → new value.
+    map: HashMap<ValueId, Mapped>,
+    /// (uniform new value, region) → its splat/broadcast in that region.
+    splat_cache: HashMap<(ValueId, RegionId), ValueId>,
+}
+
+impl<'a> Vectorizer<'a> {
+    fn mapped(&self, old: ValueId) -> Mapped {
+        *self
+            .map
+            .get(&old)
+            .unwrap_or_else(|| panic!("value used before definition during vectorization"))
+    }
+
+    /// Returns a `W`-lane version of a mapped value, inserting a splat
+    /// constant or broadcast in `region` when the value is uniform.
+    fn as_varying(&mut self, m: Mapped, region: RegionId) -> ValueId {
+        if !m.uniform {
+            return m.v;
+        }
+        if let Some(&cached) = self.splat_cache.get(&(m.v, region)) {
+            return cached;
+        }
+        let ty = self.new.value_type(m.v);
+        let vec_ty = ty.with_lanes(self.width);
+        // Constants become splat constants (`arith.constant dense<…>`),
+        // everything else is broadcast.
+        let def = self.new.value(m.v).def;
+        let widened = if let ValueDef::OpResult { op, .. } = def {
+            match self.new.op(op).kind.clone() {
+                k @ (OpKind::ConstantF(_) | OpKind::ConstantBool(_)) => {
+                    let new_op =
+                        self.new
+                            .push_op(region, k, vec![], &[vec_ty], Attrs::new(), vec![]);
+                    self.new.op(new_op).result()
+                }
+                _ => {
+                    let new_op = self.new.push_op(
+                        region,
+                        OpKind::Broadcast,
+                        vec![m.v],
+                        &[vec_ty],
+                        Attrs::new(),
+                        vec![],
+                    );
+                    self.new.op(new_op).result()
+                }
+            }
+        } else {
+            let new_op = self.new.push_op(
+                region,
+                OpKind::Broadcast,
+                vec![m.v],
+                &[vec_ty],
+                Attrs::new(),
+                vec![],
+            );
+            self.new.op(new_op).result()
+        };
+        self.splat_cache.insert((m.v, region), widened);
+        widened
+    }
+
+    /// Emits all ops of `old_region` (except its terminator) into
+    /// `new_region`; returns the mapped terminator operands.
+    fn emit_ops(&mut self, old_region: RegionId, new_region: RegionId) -> Vec<Mapped> {
+        let ops = self.old.region(old_region).ops.clone();
+        for (i, op_id) in ops.iter().enumerate() {
+            let op = self.old.op(*op_id).clone();
+            if op.kind.is_terminator() {
+                assert_eq!(i + 1, ops.len(), "terminator must be last");
+                return op.operands.iter().map(|&o| self.mapped(o)).collect();
+            }
+            self.emit_op(*op_id, new_region);
+        }
+        Vec::new()
+    }
+
+    fn emit_op(&mut self, op_id: limpet_ir::OpId, region: RegionId) {
+        let op = self.old.op(op_id).clone();
+        match op.kind.clone() {
+            OpKind::If => self.emit_if(op_id, region),
+            OpKind::For => self.emit_for(op_id, region),
+            // Per-cell data accesses: always varying.
+            OpKind::GetExt | OpKind::GetState => {
+                let ty = self
+                    .old
+                    .value_type(op.result())
+                    .with_lanes(self.width);
+                let new_op =
+                    self.new
+                        .push_op(region, op.kind.clone(), vec![], &[ty], op.attrs.clone(), vec![]);
+                let v = self.new.op(new_op).result();
+                self.map.insert(op.result(), Mapped { v, uniform: false });
+            }
+            OpKind::GetParentState => {
+                let fb = self.mapped(op.operands[0]);
+                let fb_v = self.as_varying(fb, region);
+                let ty = self.old.value_type(op.result()).with_lanes(self.width);
+                let new_op = self.new.push_op(
+                    region,
+                    OpKind::GetParentState,
+                    vec![fb_v],
+                    &[ty],
+                    op.attrs.clone(),
+                    vec![],
+                );
+                let v = self.new.op(new_op).result();
+                self.map.insert(op.result(), Mapped { v, uniform: false });
+            }
+            OpKind::LutCol => {
+                let key = self.mapped(op.operands[0]);
+                let key_v = self.as_varying(key, region);
+                let ty = self.old.value_type(op.result()).with_lanes(self.width);
+                let new_op = self.new.push_op(
+                    region,
+                    OpKind::LutCol,
+                    vec![key_v],
+                    &[ty],
+                    op.attrs.clone(),
+                    vec![],
+                );
+                let v = self.new.op(new_op).result();
+                self.map.insert(op.result(), Mapped { v, uniform: false });
+            }
+            // Stores take varying operands.
+            OpKind::SetExt | OpKind::SetState | OpKind::SetParentState => {
+                let m = self.mapped(op.operands[0]);
+                let v = self.as_varying(m, region);
+                self.new
+                    .push_op(region, op.kind.clone(), vec![v], &[], op.attrs.clone(), vec![]);
+            }
+            // Uniform context reads.
+            OpKind::Param | OpKind::Dt | OpKind::Time | OpKind::CellIndex | OpKind::HasParent => {
+                let tys: Vec<Type> = op
+                    .results
+                    .iter()
+                    .map(|&r| self.old.value_type(r))
+                    .collect();
+                let new_op = self.new.push_op(
+                    region,
+                    op.kind.clone(),
+                    vec![],
+                    &tys,
+                    op.attrs.clone(),
+                    vec![],
+                );
+                let v = self.new.op(new_op).result();
+                self.map.insert(op.result(), Mapped { v, uniform: true });
+            }
+            // Everything else: varying iff any operand is varying.
+            kind => {
+                let mapped: Vec<Mapped> = op.operands.iter().map(|&o| self.mapped(o)).collect();
+                let varying = mapped.iter().any(|m| !m.uniform);
+                let operands: Vec<ValueId> = if varying {
+                    match kind {
+                        // select's condition may stay a uniform scalar i1
+                        // (the verifier allows lanes 1 or matching); only
+                        // the value arms are widened.
+                        OpKind::Select => {
+                            let a = self.as_varying(mapped[1], region);
+                            let b = self.as_varying(mapped[2], region);
+                            vec![mapped[0].v, a, b]
+                        }
+                        _ => mapped
+                            .iter()
+                            .map(|&m| self.as_varying(m, region))
+                            .collect(),
+                    }
+                } else {
+                    mapped.iter().map(|m| m.v).collect()
+                };
+                let tys: Vec<Type> = op
+                    .results
+                    .iter()
+                    .map(|&r| {
+                        let t = self.old.value_type(r);
+                        if varying {
+                            t.with_lanes(self.width)
+                        } else {
+                            t
+                        }
+                    })
+                    .collect();
+                let new_op =
+                    self.new
+                        .push_op(region, kind, operands, &tys, op.attrs.clone(), vec![]);
+                let results = self.new.op(new_op).results.clone();
+                for (old_r, new_r) in op.results.iter().zip(results) {
+                    self.map.insert(
+                        *old_r,
+                        Mapped {
+                            v: new_r,
+                            uniform: !varying,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn emit_if(&mut self, op_id: limpet_ir::OpId, region: RegionId) {
+        let op = self.old.op(op_id).clone();
+        let cond = self.mapped(op.operands[0]);
+        let (old_then, old_else) = (op.regions[0], op.regions[1]);
+
+        if cond.uniform {
+            // Keep structured control flow.
+            let new_then = self.new.new_region(&[]);
+            let new_else = self.new.new_region(&[]);
+            let then_yields = self.emit_ops(old_then, new_then);
+            let else_yields = self.emit_ops(old_else, new_else);
+            let n = op.results.len();
+            let mut result_tys = Vec::with_capacity(n);
+            let mut then_vals = Vec::with_capacity(n);
+            let mut else_vals = Vec::with_capacity(n);
+            let mut varyings = Vec::with_capacity(n);
+            for i in 0..n {
+                let varying = !then_yields[i].uniform || !else_yields[i].uniform;
+                let tv = if varying {
+                    self.as_varying(then_yields[i], new_then)
+                } else {
+                    then_yields[i].v
+                };
+                let ev = if varying {
+                    self.as_varying(else_yields[i], new_else)
+                } else {
+                    else_yields[i].v
+                };
+                result_tys.push(self.new.value_type(tv));
+                then_vals.push(tv);
+                else_vals.push(ev);
+                varyings.push(varying);
+            }
+            self.new
+                .push_op(new_then, OpKind::Yield, then_vals, &[], Attrs::new(), vec![]);
+            self.new
+                .push_op(new_else, OpKind::Yield, else_vals, &[], Attrs::new(), vec![]);
+            let new_op = self.new.push_op(
+                region,
+                OpKind::If,
+                vec![cond.v],
+                &result_tys,
+                op.attrs.clone(),
+                vec![new_then, new_else],
+            );
+            let results = self.new.op(new_op).results.clone();
+            for ((old_r, new_r), varying) in op.results.iter().zip(results).zip(varyings) {
+                self.map.insert(
+                    *old_r,
+                    Mapped {
+                        v: new_r,
+                        uniform: !varying,
+                    },
+                );
+            }
+        } else {
+            // If-conversion: inline both (pure) regions, select results.
+            assert!(
+                self.region_is_pure(old_then) && self.region_is_pure(old_else),
+                "cannot if-convert a region with side effects"
+            );
+            let then_yields = self.emit_ops(old_then, region);
+            let else_yields = self.emit_ops(old_else, region);
+            for (i, old_r) in op.results.iter().enumerate() {
+                let a = self.as_varying(then_yields[i], region);
+                let b = self.as_varying(else_yields[i], region);
+                let ty = self.new.value_type(a);
+                let sel = self.new.push_op(
+                    region,
+                    OpKind::Select,
+                    vec![cond.v, a, b],
+                    &[ty],
+                    Attrs::new(),
+                    vec![],
+                );
+                let v = self.new.op(sel).result();
+                self.map.insert(*old_r, Mapped { v, uniform: false });
+            }
+        }
+    }
+
+    fn emit_for(&mut self, op_id: limpet_ir::OpId, region: RegionId) {
+        let op = self.old.op(op_id).clone();
+        let bounds: Vec<Mapped> = op.operands[..3].iter().map(|&o| self.mapped(o)).collect();
+        assert!(
+            bounds.iter().all(|m| m.uniform),
+            "scf.for bounds must be uniform for vectorization"
+        );
+        // f64/i1 iteration values are promoted to vectors; index stays.
+        let inits: Vec<Mapped> = op.operands[3..].iter().map(|&o| self.mapped(o)).collect();
+        let mut arg_tys = vec![Type::INDEX];
+        let mut new_inits = Vec::with_capacity(inits.len());
+        let mut promote = Vec::with_capacity(inits.len());
+        for m in &inits {
+            let ty = self.new.value_type(m.v);
+            let p = ty.scalar() != Some(ScalarType::Index) && !ty.is_memref();
+            promote.push(p);
+            if p {
+                let v = self.as_varying(*m, region);
+                arg_tys.push(self.new.value_type(v));
+                new_inits.push(v);
+            } else {
+                arg_tys.push(ty);
+                new_inits.push(m.v);
+            }
+        }
+        let body_new = self.new.new_region(&arg_tys);
+        let body_old = op.regions[0];
+        // Map old region args.
+        let old_args = self.old.region(body_old).args.clone();
+        let new_args = self.new.region(body_new).args.clone();
+        self.map.insert(
+            old_args[0],
+            Mapped {
+                v: new_args[0],
+                uniform: true,
+            },
+        );
+        for ((old_a, new_a), p) in old_args[1..].iter().zip(&new_args[1..]).zip(&promote) {
+            self.map.insert(
+                *old_a,
+                Mapped {
+                    v: *new_a,
+                    uniform: !p,
+                },
+            );
+        }
+        let yields = self.emit_ops(body_old, body_new);
+        let yield_vals: Vec<ValueId> = yields
+            .iter()
+            .zip(&promote)
+            .map(|(m, &p)| {
+                if p {
+                    self.as_varying(*m, body_new)
+                } else {
+                    m.v
+                }
+            })
+            .collect();
+        self.new
+            .push_op(body_new, OpKind::Yield, yield_vals, &[], Attrs::new(), vec![]);
+
+        let mut operands = vec![bounds[0].v, bounds[1].v, bounds[2].v];
+        operands.extend(new_inits);
+        let result_tys: Vec<Type> = arg_tys[1..].to_vec();
+        let new_op = self.new.push_op(
+            region,
+            OpKind::For,
+            operands,
+            &result_tys,
+            op.attrs.clone(),
+            vec![body_new],
+        );
+        let results = self.new.op(new_op).results.clone();
+        for ((old_r, new_r), p) in op.results.iter().zip(results).zip(promote) {
+            self.map.insert(
+                *old_r,
+                Mapped {
+                    v: new_r,
+                    uniform: !p,
+                },
+            );
+        }
+    }
+
+    fn region_is_pure(&self, region: RegionId) -> bool {
+        self.old.region(region).ops.iter().all(|&op| {
+            let o = self.old.op(op);
+            let self_ok = o.kind.is_pure() || o.kind.is_terminator() || o.kind == OpKind::If;
+            self_ok && o.regions.iter().all(|&r| self.region_is_pure(r))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pass;
+    use limpet_ir::{print_module, verify_module, Builder, CmpFPred, Module};
+
+    fn vectorized(build: impl FnOnce(&mut Builder<'_>)) -> Module {
+        let mut m = Module::new("t");
+        let mut f = Func::new("compute", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        build(&mut b);
+        m.add_func(f);
+        assert!(Vectorize::new(8).run_on(&mut m));
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+        m
+    }
+
+    #[test]
+    fn state_reads_become_vectors() {
+        let m = vectorized(|b| {
+            let x = b.get_state("x");
+            let y = b.negf(x);
+            b.set_state("x", y);
+            b.ret(&[]);
+        });
+        let text = print_module(&m);
+        assert!(text.contains("limpet.get_state {var = \"x\"} : vector<8xf64>"), "{text}");
+        assert!(text.contains("arith.negf %0 : vector<8xf64>"), "{text}");
+        assert_eq!(m.attrs.i64_of("vector_width"), Some(8));
+    }
+
+    #[test]
+    fn params_stay_uniform_and_splat_at_use() {
+        let m = vectorized(|b| {
+            let p = b.param("Cm");
+            let x = b.get_state("x");
+            let y = b.mulf(x, p);
+            b.set_state("x", y);
+            b.ret(&[]);
+        });
+        let text = print_module(&m);
+        assert!(text.contains("limpet.param {name = \"Cm\"} : f64"), "{text}");
+        assert!(text.contains("vector.broadcast"), "{text}");
+    }
+
+    #[test]
+    fn constants_become_splats() {
+        let m = vectorized(|b| {
+            let x = b.get_state("x");
+            let two = b.const_f(2.0);
+            let y = b.divf(x, two);
+            b.set_state("x", y);
+            b.ret(&[]);
+        });
+        let text = print_module(&m);
+        assert!(text.contains("arith.constant 2.0 : vector<8xf64>"), "{text}");
+    }
+
+    #[test]
+    fn uniform_computation_stays_scalar() {
+        let m = vectorized(|b| {
+            let dt = b.dt();
+            let half = b.const_f(0.5);
+            let hdt = b.mulf(dt, half); // uniform
+            let x = b.get_state("x");
+            let upd = b.mulf(x, hdt);
+            b.set_state("x", upd);
+            b.ret(&[]);
+        });
+        let text = print_module(&m);
+        // The dt*0.5 multiply stays scalar; only the state multiply is wide.
+        assert!(text.contains("arith.mulf %0, %1 : f64"), "{text}");
+    }
+
+    #[test]
+    fn varying_if_is_converted_to_select() {
+        let m = vectorized(|b| {
+            let x = b.get_state("x");
+            let z = b.const_f(0.0);
+            let c = b.cmpf(CmpFPred::Ogt, x, z);
+            let r = b.if_op(
+                c,
+                &[Type::F64],
+                |b| {
+                    let v = b.const_f(1.0);
+                    b.yield_(&[v]);
+                },
+                |b| {
+                    let v = b.const_f(2.0);
+                    b.yield_(&[v]);
+                },
+            );
+            b.set_state("x", r[0]);
+            b.ret(&[]);
+        });
+        let text = print_module(&m);
+        assert!(!text.contains("scf.if"), "{text}");
+        assert!(text.contains("arith.select"), "{text}");
+        assert!(text.contains("vector<8xi1>"), "{text}");
+    }
+
+    #[test]
+    fn uniform_if_keeps_structure() {
+        let m = vectorized(|b| {
+            let p = b.param("flag");
+            let z = b.const_f(0.0);
+            let c = b.cmpf(CmpFPred::Ogt, p, z); // uniform condition
+            let r = b.if_op(
+                c,
+                &[Type::F64],
+                |b| {
+                    let v = b.get_state("a");
+                    b.yield_(&[v]);
+                },
+                |b| {
+                    let v = b.const_f(0.0);
+                    b.yield_(&[v]);
+                },
+            );
+            b.set_state("x", r[0]);
+            b.ret(&[]);
+        });
+        let text = print_module(&m);
+        assert!(text.contains("scf.if"), "{text}");
+        // Mixed yields: the uniform else-yield is widened to match.
+        assert!(text.contains("-> (vector<8xf64>)"), "{text}");
+    }
+
+    #[test]
+    fn for_loop_promotes_float_iters() {
+        let m = vectorized(|b| {
+            let lb = b.const_index(0);
+            let ub = b.const_index(3);
+            let st = b.const_index(1);
+            let x0 = b.get_state("x");
+            let r = b.for_op(lb, ub, st, &[x0], |b, _iv, iters| {
+                let k = b.const_f(0.9);
+                let next = b.mulf(iters[0], k);
+                b.yield_(&[next]);
+            });
+            b.set_state("x", r[0]);
+            b.ret(&[]);
+        });
+        let text = print_module(&m);
+        assert!(text.contains("iter_args"), "{text}");
+        assert!(text.contains("-> (vector<8xf64>)"), "{text}");
+        // Bounds stay index-typed scalars.
+        assert!(text.contains("arith.constant 0 : index"), "{text}");
+    }
+
+    #[test]
+    fn lut_cols_vectorize() {
+        let mut m = Module::new("t");
+        let mut f = Func::new("compute", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let vm = b.get_ext("Vm");
+        let v = b.lut_col("Vm", 0, vm);
+        b.set_state("x", v);
+        b.ret(&[]);
+        m.add_func(f);
+        // lut spec + function so the module verifies.
+        let mut lf = Func::new("lut_Vm", &[Type::F64], &[Type::F64]);
+        let arg = lf.args()[0];
+        let mut lb = Builder::new(&mut lf);
+        let e = lb.exp(arg);
+        lb.ret(&[e]);
+        m.add_func(lf);
+        m.luts.push(limpet_ir::LutSpec {
+            name: "Vm".into(),
+            lo: -10.0,
+            hi: 10.0,
+            step: 0.5,
+            func: "lut_Vm".into(),
+            cols: vec!["c0".into()],
+        });
+        assert!(Vectorize::new(4).run_on(&mut m));
+        verify_module(&m).unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("lut.col %0 {col = 0, table = \"Vm\"} : vector<4xf64>"), "{text}");
+        // The lut function itself stays scalar (it runs at table-init time).
+        assert!(text.contains("func.func @lut_Vm(%arg0: f64)"), "{text}");
+    }
+
+    #[test]
+    fn idempotent_via_module_attr() {
+        let mut m = Module::new("t");
+        let mut f = Func::new("compute", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let x = b.get_state("x");
+        b.set_state("x", x);
+        b.ret(&[]);
+        m.add_func(f);
+        assert!(Vectorize::new(8).run_on(&mut m));
+        assert!(!Vectorize::new(8).run_on(&mut m));
+    }
+
+    use limpet_ir::Type;
+}

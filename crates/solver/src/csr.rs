@@ -1,0 +1,205 @@
+//! Compressed sparse row matrices.
+
+use std::fmt;
+
+/// An immutable CSR sparse matrix.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_solver::CsrMatrix;
+/// // [2 -1; -1 2]
+/// let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0)]);
+/// let y = m.mul_vec(&[1.0, 1.0]);
+/// assert_eq!(y, vec![1.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+/// Error building a matrix from triplets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError(pub String);
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl CsrMatrix {
+    /// Builds from `(row, col, value)` triplets; duplicates are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> CsrMatrix {
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        for &(r, c, _) in &sorted {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+        }
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        // Row pointers by counting, then prefix sums.
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = merged.iter().map(|&(_, c, _)| c).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Reads entry `(r, c)` (zero when absent).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        for k in lo..hi {
+            if self.col_idx[k] == c {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+
+    /// Matrix-vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product into a preallocated buffer.
+    #[allow(clippy::needless_range_loop)]
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        for r in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// The main diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+}
+
+/// Builds the 1-D cable (tridiagonal Laplacian) stiffness matrix with
+/// Neumann boundaries: row i has `[-1, 2, -1]` (boundary rows `[1, -1]`),
+/// scaled by `sigma`.
+pub fn cable_laplacian(n: usize, sigma: f64) -> CsrMatrix {
+    let mut t = Vec::with_capacity(3 * n);
+    for i in 0..n {
+        let mut diag = 0.0;
+        if i > 0 {
+            t.push((i, i - 1, -sigma));
+            diag += sigma;
+        }
+        if i + 1 < n {
+            t.push((i, i + 1, -sigma));
+            diag += sigma;
+        }
+        t.push((i, i, diag));
+    }
+    CsrMatrix::from_triplets(n, n, &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_round_trip() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 2, 5.0), (2, 1, -2.0)]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.get(2, 1), -2.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn duplicates_summed() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0)]);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let m = CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (3, 3, 1.0)]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0, 1.0]), vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = CsrMatrix::from_triplets(
+            2,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)],
+        );
+        assert_eq!(m.mul_vec(&[1.0, 2.0, 3.0]), vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn cable_laplacian_rows_sum_to_zero() {
+        let m = cable_laplacian(10, 0.5);
+        let ones = vec![1.0; 10];
+        let y = m.mul_vec(&ones);
+        for v in y {
+            assert!(v.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_triplet_panics() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

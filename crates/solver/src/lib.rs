@@ -1,0 +1,21 @@
+//! # limpet-solver
+//!
+//! Sparse linear algebra and monodomain tissue coupling: the "solver
+//! stage" substrate of the two-stage simulation flow (paper §3.1). The
+//! paper treats the linear solver as out of scope; we build it anyway so
+//! the examples exercise a complete compute→solve loop.
+//!
+//! * [`CsrMatrix`] — compressed sparse row matrices;
+//! * [`cg_solve`] / [`jacobi_solve`] — iterative solvers;
+//! * [`Monodomain`] — implicit 1-D cable diffusion stepping.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod csr;
+mod linear;
+mod monodomain;
+
+pub use csr::{cable_laplacian, CsrMatrix, ShapeError};
+pub use linear::{cg_solve, jacobi_solve, SolveError, SolveStats};
+pub use monodomain::Monodomain;

@@ -1,0 +1,261 @@
+//! Iterative linear solvers: conjugate gradient (with optional Jacobi
+//! preconditioning) and plain Jacobi iteration.
+//!
+//! These back the solver stage of the simulation flow (paper §3.1, stage
+//! 2): the ionic kernel fills the right-hand side, and the potential
+//! update solves a diffusion system `(M + dt·K) V = rhs`.
+
+use crate::csr::CsrMatrix;
+use std::fmt;
+
+/// Result statistics of an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual 2-norm.
+    pub residual: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+/// A solver failure (invalid shapes or breakdown).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveError(pub String);
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "solver error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Solves `A x = b` by conjugate gradients with Jacobi preconditioning.
+/// `x` holds the initial guess on entry and the solution on exit.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] on shape mismatch, a non-square matrix, a zero
+/// diagonal entry, or numerical breakdown.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_solver::{cable_laplacian, cg_solve, CsrMatrix};
+/// // SPD system: Laplacian + I.
+/// let n = 32;
+/// let lap = cable_laplacian(n, 1.0);
+/// let mut t: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 1.0)).collect();
+/// for r in 0..n { for c in 0..n { let v = lap.get(r, c); if v != 0.0 { t.push((r, c, v)); } } }
+/// let a = CsrMatrix::from_triplets(n, n, &t);
+/// let b = vec![1.0; n];
+/// let mut x = vec![0.0; n];
+/// let stats = cg_solve(&a, &b, &mut x, 1e-10, 200).unwrap();
+/// assert!(stats.converged);
+/// ```
+pub fn cg_solve(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<SolveStats, SolveError> {
+    let n = b.len();
+    if a.rows() != a.cols() {
+        return Err(SolveError("matrix must be square".into()));
+    }
+    if a.rows() != n || x.len() != n {
+        return Err(SolveError(format!(
+            "shape mismatch: A is {}x{}, b has {}, x has {}",
+            a.rows(),
+            a.cols(),
+            n,
+            x.len()
+        )));
+    }
+    let diag = a.diagonal();
+    if diag.contains(&0.0) {
+        return Err(SolveError("zero diagonal entry (Jacobi preconditioner)".into()));
+    }
+    let b_norm = norm2(b).max(1e-300);
+
+    let mut r = vec![0.0; n];
+    a.mul_vec_into(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let mut z: Vec<f64> = r.iter().zip(&diag).map(|(ri, di)| ri / di).collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for it in 0..max_iter {
+        let res = norm2(&r) / b_norm;
+        if res < tol {
+            return Ok(SolveStats {
+                iterations: it,
+                residual: res,
+                converged: true,
+            });
+        }
+        a.mul_vec_into(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            return Err(SolveError(format!(
+                "breakdown: p'Ap = {pap} (matrix not SPD?)"
+            )));
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        for i in 0..n {
+            z[i] = r[i] / diag[i];
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    let res = norm2(&r) / b_norm;
+    Ok(SolveStats {
+        iterations: max_iter,
+        residual: res,
+        converged: res < tol,
+    })
+}
+
+/// Solves `A x = b` by (damped) Jacobi iteration; slower than CG but
+/// embarrassingly parallel — included as the baseline solver.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] on shape mismatch or zero diagonal.
+pub fn jacobi_solve(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<SolveStats, SolveError> {
+    let n = b.len();
+    if a.rows() != n || x.len() != n {
+        return Err(SolveError("shape mismatch".into()));
+    }
+    let diag = a.diagonal();
+    if diag.contains(&0.0) {
+        return Err(SolveError("zero diagonal entry".into()));
+    }
+    let b_norm = norm2(b).max(1e-300);
+    let mut ax = vec![0.0; n];
+    for it in 0..max_iter {
+        a.mul_vec_into(x, &mut ax);
+        let mut res2 = 0.0;
+        for i in 0..n {
+            let r = b[i] - ax[i];
+            res2 += r * r;
+            x[i] += r / diag[i];
+        }
+        let res = res2.sqrt() / b_norm;
+        if res < tol {
+            return Ok(SolveStats {
+                iterations: it + 1,
+                residual: res,
+                converged: true,
+            });
+        }
+    }
+    a.mul_vec_into(x, &mut ax);
+    let res = (0..n).map(|i| (b[i] - ax[i]).powi(2)).sum::<f64>().sqrt() / b_norm;
+    Ok(SolveStats {
+        iterations: max_iter,
+        residual: res,
+        converged: res < tol,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::cable_laplacian;
+
+    fn spd_system(n: usize) -> (CsrMatrix, Vec<f64>) {
+        // I + dt*K: the implicit diffusion matrix.
+        let lap = cable_laplacian(n, 1.0);
+        let mut t = Vec::new();
+        for r in 0..n {
+            t.push((r, r, 1.0));
+            for c in r.saturating_sub(1)..(r + 2).min(n) {
+                let v = lap.get(r, c);
+                if v != 0.0 {
+                    t.push((r, c, 0.5 * v));
+                }
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &t);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn cg_converges_on_spd() {
+        let (a, b) = spd_system(64);
+        let mut x = vec![0.0; 64];
+        let stats = cg_solve(&a, &b, &mut x, 1e-12, 500).unwrap();
+        assert!(stats.converged, "residual {}", stats.residual);
+        let ax = a.mul_vec(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jacobi_converges_slower_than_cg() {
+        let (a, b) = spd_system(64);
+        let mut xc = vec![0.0; 64];
+        let mut xj = vec![0.0; 64];
+        let sc = cg_solve(&a, &b, &mut xc, 1e-10, 1000).unwrap();
+        let sj = jacobi_solve(&a, &b, &mut xj, 1e-10, 10000).unwrap();
+        assert!(sc.converged && sj.converged);
+        assert!(sc.iterations < sj.iterations, "{} vs {}", sc.iterations, sj.iterations);
+        for (a_, b_) in xc.iter().zip(&xj) {
+            assert!((a_ - b_).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cg_shape_errors() {
+        let (a, b) = spd_system(8);
+        let mut x = vec![0.0; 4];
+        assert!(cg_solve(&a, &b, &mut x, 1e-10, 10).is_err());
+    }
+
+    #[test]
+    fn zero_diagonal_rejected() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let mut x = vec![0.0; 2];
+        assert!(cg_solve(&a, &[1.0, 1.0], &mut x, 1e-10, 10).is_err());
+    }
+
+    #[test]
+    fn warm_start_takes_fewer_iterations() {
+        let (a, b) = spd_system(64);
+        let mut x = vec![0.0; 64];
+        let s1 = cg_solve(&a, &b, &mut x, 1e-12, 500).unwrap();
+        // Re-solve from the solution: should converge immediately.
+        let s2 = cg_solve(&a, &b, &mut x, 1e-12, 500).unwrap();
+        assert!(s2.iterations <= 1, "{} vs {}", s1.iterations, s2.iterations);
+    }
+}

@@ -1,0 +1,176 @@
+//! Monodomain tissue coupling: the "solver stage" of the two-stage
+//! simulation flow (paper §3.1).
+//!
+//! The monodomain equation `Cm ∂V/∂t = −Iion + ∇·(σ∇V)` is discretized on
+//! a 1-D cable with an operator split: the ionic kernel (compute stage)
+//! advances cell states and produces `Iion`; this module advances the
+//! potential with an implicit diffusion step
+//! `(M + dt/Cm · K) V^{n+1} = V^n − dt/Cm · Iion`, solved by CG.
+
+use crate::csr::{cable_laplacian, CsrMatrix};
+use crate::linear::{cg_solve, SolveError, SolveStats};
+
+/// An implicit 1-D monodomain diffusion stepper.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_solver::Monodomain;
+/// let mut md = Monodomain::new(64, 0.1, 1.0, 0.01);
+/// let mut vm = vec![-85.0; 64];
+/// vm[0] = 20.0; // stimulated end
+/// let iion = vec![0.0; 64];
+/// md.step(&mut vm, &iion).unwrap();
+/// // Diffusion pulls the neighbour up and the peak down.
+/// assert!(vm[0] < 20.0);
+/// assert!(vm[1] > -85.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Monodomain {
+    n: usize,
+    system: CsrMatrix,
+    dt_over_cm: f64,
+    rhs: Vec<f64>,
+    tol: f64,
+    max_iter: usize,
+    last_stats: Option<SolveStats>,
+}
+
+impl Monodomain {
+    /// Creates a stepper for `n` cells on a cable with conductivity
+    /// `sigma`, membrane capacitance `cm`, and time step `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `cm <= 0`, or `dt <= 0`.
+    pub fn new(n: usize, sigma: f64, cm: f64, dt: f64) -> Monodomain {
+        assert!(n > 0 && cm > 0.0 && dt > 0.0);
+        let dt_over_cm = dt / cm;
+        let lap = cable_laplacian(n, sigma);
+        // A = I + dt/Cm * K   (symmetric positive definite)
+        let mut t = Vec::with_capacity(3 * n);
+        for r in 0..n {
+            t.push((r, r, 1.0 + dt_over_cm * lap.get(r, r)));
+            if r > 0 {
+                t.push((r, r - 1, dt_over_cm * lap.get(r, r - 1)));
+            }
+            if r + 1 < n {
+                t.push((r, r + 1, dt_over_cm * lap.get(r, r + 1)));
+            }
+        }
+        Monodomain {
+            n,
+            system: CsrMatrix::from_triplets(n, n, &t),
+            dt_over_cm,
+            rhs: vec![0.0; n],
+            tol: 1e-10,
+            max_iter: 500,
+            last_stats: None,
+        }
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.n
+    }
+
+    /// CG statistics of the most recent step.
+    pub fn last_stats(&self) -> Option<SolveStats> {
+        self.last_stats
+    }
+
+    /// Advances the potential one step in place, given the ionic currents
+    /// produced by the compute stage. `vm` is both the previous potential
+    /// (input) and the new potential (output) — CG warm-starts from it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] on shape mismatch or CG breakdown.
+    pub fn step(&mut self, vm: &mut [f64], iion: &[f64]) -> Result<SolveStats, SolveError> {
+        if vm.len() != self.n || iion.len() != self.n {
+            return Err(SolveError(format!(
+                "expected {} cells, got vm={} iion={}",
+                self.n,
+                vm.len(),
+                iion.len()
+            )));
+        }
+        for i in 0..self.n {
+            self.rhs[i] = vm[i] - self.dt_over_cm * iion[i];
+        }
+        let rhs = std::mem::take(&mut self.rhs);
+        let stats = cg_solve(&self.system, &rhs, vm, self.tol, self.max_iter)?;
+        self.rhs = rhs;
+        self.last_stats = Some(stats);
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resting_tissue_stays_at_rest() {
+        let mut md = Monodomain::new(32, 0.2, 1.0, 0.02);
+        let mut vm = vec![-85.0; 32];
+        let iion = vec![0.0; 32];
+        for _ in 0..50 {
+            md.step(&mut vm, &iion).unwrap();
+        }
+        for v in &vm {
+            assert!((v + 85.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn diffusion_conserves_mean_without_current() {
+        let mut md = Monodomain::new(32, 0.3, 1.0, 0.02);
+        let mut vm = vec![-85.0; 32];
+        vm[16] = 35.0; // single localized spike
+        let mean0: f64 = vm.iter().sum::<f64>() / 32.0;
+        let iion = vec![0.0; 32];
+        for _ in 0..500 {
+            md.step(&mut vm, &iion).unwrap();
+        }
+        let mean1: f64 = vm.iter().sum::<f64>() / 32.0;
+        // Neumann boundaries: total charge conserved.
+        assert!((mean0 - mean1).abs() < 1e-6, "{mean0} vs {mean1}");
+        // And the profile flattens: the 120 mV spike decays to the
+        // diffusive Gaussian peak (~120/√(4πDt) ≈ 8 mV at Dt = 3).
+        let spread = vm.iter().cloned().fold(f64::MIN, f64::max)
+            - vm.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 25.0, "spread {spread}");
+    }
+
+    #[test]
+    fn inward_current_depolarizes() {
+        let mut md = Monodomain::new(16, 0.1, 1.0, 0.05);
+        let mut vm = vec![-85.0; 16];
+        // Negative Iion = inward (depolarizing) current.
+        let iion = vec![-10.0; 16];
+        md.step(&mut vm, &iion).unwrap();
+        for v in &vm {
+            assert!(*v > -85.0);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let mut md = Monodomain::new(16, 0.1, 1.0, 0.05);
+        let mut vm = vec![-85.0; 8];
+        assert!(md.step(&mut vm, &[0.0; 16]).is_err());
+    }
+
+    #[test]
+    fn warm_started_cg_is_fast() {
+        let mut md = Monodomain::new(128, 0.2, 1.0, 0.01);
+        let mut vm = vec![-85.0; 128];
+        vm[64] = 30.0;
+        let iion = vec![0.0; 128];
+        md.step(&mut vm, &iion).unwrap();
+        let s = md.last_stats().unwrap();
+        assert!(s.converged);
+        assert!(s.iterations < 100);
+    }
+}

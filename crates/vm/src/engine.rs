@@ -1,0 +1,968 @@
+//! The execution engine: a `W`-lane register virtual machine.
+//!
+//! Each bytecode instruction processes `W` cells in a tight lane loop the
+//! Rust compiler auto-vectorizes, so a kernel compiled at width 8
+//! ("AVX-512") amortizes per-instruction dispatch over eight cells while
+//! the baseline width-1 kernel pays it per cell — reproducing the
+//! mechanism behind the paper's speedups. Uniform work (parameters, `dt`,
+//! loop counters) costs the same at any width, which is why small models
+//! gain less, as in the paper's Fig. 2.
+//!
+//! Math calls use [`crate::vmath`] block kernels at `W > 1` (the SVML
+//! stand-in) and plain `std` scalar calls at `W == 1` (the unvectorized
+//! libm of the baseline).
+
+use crate::bytecode::{compile_program, BBin, CompileError, FBin, IBin, Instr, Program};
+use crate::eval::{eval_func, ParamOnlyContext, Val};
+use crate::lut::LutData;
+use crate::state::{CellStates, ExtArrays};
+use limpet_ir::{MathFn, Module};
+use std::collections::HashMap;
+
+/// Static model facts the kernel needs to bind storage: names, order, and
+/// initial values of state variables, external variables, and parameters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelInfo {
+    /// State variable names in storage order.
+    pub state_names: Vec<String>,
+    /// Initial state values (same order).
+    pub state_inits: Vec<f64>,
+    /// External variable names in storage order.
+    pub ext_names: Vec<String>,
+    /// Initial external values (same order).
+    pub ext_inits: Vec<f64>,
+    /// Parameter `(name, value)` pairs.
+    pub params: Vec<(String, f64)>,
+}
+
+/// Per-step simulation context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimContext {
+    /// Integration time step (ms).
+    pub dt: f64,
+    /// Current simulation time (ms).
+    pub t: f64,
+}
+
+/// Dynamic operation counts for the roofline model (paper §4.5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Floating-point operations (transcendental calls weighted).
+    pub flops: u64,
+    /// Bytes read from state/external/LUT memory.
+    pub bytes_read: u64,
+    /// Bytes written to state/external memory.
+    pub bytes_written: u64,
+    /// Math-library call count (per lane).
+    pub math_calls: u64,
+    /// Executed instruction count.
+    pub instrs: u64,
+}
+
+impl Profile {
+    /// Operational intensity in Flops/Byte.
+    pub fn intensity(&self) -> f64 {
+        self.flops as f64 / (self.bytes_read + self.bytes_written).max(1) as f64
+    }
+
+    /// Accumulates another profile.
+    pub fn add(&mut self, other: &Profile) {
+        self.flops += other.flops;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.math_calls += other.math_calls;
+        self.instrs += other.instrs;
+    }
+}
+
+/// Access to an attached parent model's state (multimodel support).
+#[derive(Debug)]
+pub struct ParentView<'a> {
+    /// The parent model's cell states (same cell count).
+    pub states: &'a mut CellStates,
+    /// Maps the kernel's parent-variable slots to state indices in
+    /// `states`.
+    pub var_map: Vec<usize>,
+}
+
+/// A compiled, executable ionic-model kernel.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_vm::{Kernel, ModelInfo, SimContext, CellStates, ExtArrays, StateLayout};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = limpet_easyml::compile_model("decay", "diff_x = -x;")?;
+/// let lowered = limpet_codegen::pipeline::baseline(&model);
+/// let info = ModelInfo {
+///     state_names: vec!["x".into()],
+///     state_inits: vec![1.0],
+///     ..Default::default()
+/// };
+/// let kernel = Kernel::from_module(&lowered.module, &info)?;
+/// let mut state = CellStates::new(8, &[1.0], StateLayout::Aos);
+/// let mut ext = ExtArrays::new(8, &[]);
+/// let ctx = SimContext { dt: 0.01, t: 0.0 };
+/// kernel.run_step(&mut state, &mut ext, None, ctx);
+/// assert!((state.get(0, 0) - 0.99).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    name: String,
+    program: Program,
+    width: usize,
+    param_values: Vec<f64>,
+    luts: Vec<LutData>,
+    info: ModelInfo,
+}
+
+impl Kernel {
+    /// Compiles a lowered module against the given model facts,
+    /// precomputing all lookup tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when the module cannot be expressed in
+    /// bytecode or a LUT function fails to evaluate.
+    pub fn from_module(module: &Module, info: &ModelInfo) -> Result<Kernel, CompileError> {
+        let width = module.attrs.i64_of("vector_width").unwrap_or(1) as usize;
+        if !matches!(width, 1 | 2 | 4 | 8) {
+            return Err(CompileError(format!("unsupported vector width {width}")));
+        }
+        let param_names: Vec<String> = info.params.iter().map(|(n, _)| n.clone()).collect();
+        let program = compile_program(
+            module,
+            &info.state_names,
+            &info.ext_names,
+            &param_names,
+        )?;
+        // The kernel must only touch variables the storage binding covers;
+        // extra names would index out of bounds at runtime.
+        if program.state_vars.len() > info.state_names.len() {
+            let unknown = &program.state_vars[info.state_names.len()..];
+            return Err(CompileError(format!(
+                "kernel references state variable(s) {unknown:?} not in the model binding"
+            )));
+        }
+        if program.ext_vars.len() > info.ext_names.len() {
+            let unknown = &program.ext_vars[info.ext_names.len()..];
+            return Err(CompileError(format!(
+                "kernel references external variable(s) {unknown:?} not in the model binding"
+            )));
+        }
+        let param_map: HashMap<&str, f64> = info
+            .params
+            .iter()
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect();
+        let param_values: Vec<f64> = program
+            .params
+            .iter()
+            .map(|n| *param_map.get(n.as_str()).unwrap_or(&0.0))
+            .collect();
+
+        // Precompute lookup tables by evaluating the @lut_* functions.
+        let mut ctx = ParamOnlyContext {
+            params: info.params.iter().cloned().collect(),
+        };
+        let mut luts = Vec::with_capacity(module.luts.len());
+        for spec in &module.luts {
+            let cols = spec.cols.len().max(1);
+            let mut error = None;
+            let table = LutData::build(spec.lo, spec.hi, spec.step, cols, |key, out| {
+                match eval_func(module, &spec.func, &[Val::F(key)], &mut ctx) {
+                    Ok(vals) => {
+                        for (o, v) in out.iter_mut().zip(vals) {
+                            *o = v.f();
+                        }
+                    }
+                    Err(e) => error = Some(e),
+                }
+            });
+            if let Some(e) = error {
+                return Err(CompileError(format!(
+                    "failed to evaluate @{}: {e}",
+                    spec.func
+                )));
+            }
+            luts.push(table);
+        }
+
+        Ok(Kernel {
+            name: module.name().to_owned(),
+            program,
+            width,
+            param_values,
+            luts,
+            info: info.clone(),
+        })
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The lane count this kernel was compiled at.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The model facts the kernel was compiled against.
+    pub fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    /// The compiled program (for inspection and instruction statistics).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Total LUT memory in bytes.
+    pub fn lut_bytes(&self) -> usize {
+        self.luts.iter().map(LutData::bytes).sum()
+    }
+
+    /// Allocates state storage for `n_cells` with the given layout.
+    pub fn new_states(&self, n_cells: usize, layout: crate::StateLayout) -> CellStates {
+        CellStates::new(n_cells, &self.info.state_inits, layout)
+    }
+
+    /// Allocates external arrays for `n_cells`.
+    pub fn new_ext(&self, n_cells: usize) -> ExtArrays {
+        ExtArrays::new(n_cells, &self.info.ext_inits)
+    }
+
+    /// Runs one compute step over all cells.
+    pub fn run_step(
+        &self,
+        state: &mut CellStates,
+        ext: &mut ExtArrays,
+        parent: Option<&mut ParentView<'_>>,
+        ctx: SimContext,
+    ) {
+        let n = state.padded_cells();
+        self.run_range(state, ext, parent, ctx, 0, n);
+    }
+
+    /// Runs one compute step over cells `[lo, hi)` (both multiples of the
+    /// kernel width; used by the threaded driver to partition cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo`/`hi` are not chunk-aligned.
+    pub fn run_range(
+        &self,
+        state: &mut CellStates,
+        ext: &mut ExtArrays,
+        mut parent: Option<&mut ParentView<'_>>,
+        ctx: SimContext,
+        lo: usize,
+        hi: usize,
+    ) {
+        assert!(lo.is_multiple_of(self.width) && hi.is_multiple_of(self.width), "unaligned range");
+        let mut prof = Profile::default();
+        let mut regs = RegFile::new(&self.program, self.width);
+        match self.width {
+            1 => self.run_loop::<1, false>(&mut regs, state, ext, &mut parent, ctx, lo, hi, &mut prof),
+            2 => self.run_loop::<2, false>(&mut regs, state, ext, &mut parent, ctx, lo, hi, &mut prof),
+            4 => self.run_loop::<4, false>(&mut regs, state, ext, &mut parent, ctx, lo, hi, &mut prof),
+            8 => self.run_loop::<8, false>(&mut regs, state, ext, &mut parent, ctx, lo, hi, &mut prof),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Runs one step over all cells while counting operations.
+    pub fn run_step_profiled(
+        &self,
+        state: &mut CellStates,
+        ext: &mut ExtArrays,
+        parent: Option<&mut ParentView<'_>>,
+        ctx: SimContext,
+    ) -> Profile {
+        let mut prof = Profile::default();
+        let mut regs = RegFile::new(&self.program, self.width);
+        let n = state.padded_cells();
+        let mut parent = parent;
+        match self.width {
+            1 => self.run_loop::<1, true>(&mut regs, state, ext, &mut parent, ctx, 0, n, &mut prof),
+            2 => self.run_loop::<2, true>(&mut regs, state, ext, &mut parent, ctx, 0, n, &mut prof),
+            4 => self.run_loop::<4, true>(&mut regs, state, ext, &mut parent, ctx, 0, n, &mut prof),
+            8 => self.run_loop::<8, true>(&mut regs, state, ext, &mut parent, ctx, 0, n, &mut prof),
+            _ => unreachable!(),
+        }
+        prof
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_loop<const W: usize, const COUNT: bool>(
+        &self,
+        regs: &mut RegFile,
+        state: &mut CellStates,
+        ext: &mut ExtArrays,
+        parent: &mut Option<&mut ParentView<'_>>,
+        ctx: SimContext,
+        lo: usize,
+        hi: usize,
+        prof: &mut Profile,
+    ) {
+        let mut cell0 = lo;
+        while cell0 < hi {
+            self.exec_chunk::<W, COUNT>(regs, cell0, state, ext, parent, ctx, prof);
+            cell0 += W;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_chunk<const W: usize, const COUNT: bool>(
+        &self,
+        regs: &mut RegFile,
+        cell0: usize,
+        state: &mut CellStates,
+        ext: &mut ExtArrays,
+        parent: &mut Option<&mut ParentView<'_>>,
+        ctx: SimContext,
+        prof: &mut Profile,
+    ) {
+        let f = &mut regs.f;
+        let bbuf = &mut regs.b;
+        let ibuf = &mut regs.i;
+        let instrs = &self.program.instrs;
+        let mut pc = 0usize;
+
+        macro_rules! fb {
+            ($r:expr) => {{
+                let base = $r as usize * W;
+                let mut out = [0.0f64; W];
+                out.copy_from_slice(&f[base..base + W]);
+                out
+            }};
+        }
+        macro_rules! fw {
+            ($r:expr, $v:expr) => {{
+                let base = $r as usize * W;
+                f[base..base + W].copy_from_slice(&$v);
+            }};
+        }
+        macro_rules! bb {
+            ($r:expr) => {{
+                let base = $r as usize * W;
+                let mut out = [false; W];
+                out.copy_from_slice(&bbuf[base..base + W]);
+                out
+            }};
+        }
+        macro_rules! bw {
+            ($r:expr, $v:expr) => {{
+                let base = $r as usize * W;
+                bbuf[base..base + W].copy_from_slice(&$v);
+            }};
+        }
+
+        loop {
+            if COUNT {
+                prof.instrs += 1;
+            }
+            match &instrs[pc] {
+                Instr::ConstF { dst, v } => fw!(*dst, [*v; W]),
+                Instr::ConstI { dst, v } => ibuf[*dst as usize] = *v,
+                Instr::ConstB { dst, v } => bw!(*dst, [*v; W]),
+                Instr::MovF { dst, src } => {
+                    let v = fb!(*src);
+                    fw!(*dst, v);
+                }
+                Instr::MovB { dst, src } => {
+                    let v = bb!(*src);
+                    bw!(*dst, v);
+                }
+                Instr::MovI { dst, src } => ibuf[*dst as usize] = ibuf[*src as usize],
+                Instr::LoadParam { dst, idx } => {
+                    fw!(*dst, [self.param_values[*idx as usize]; W])
+                }
+                Instr::LoadDt { dst } => fw!(*dst, [ctx.dt; W]),
+                Instr::LoadTime { dst } => fw!(*dst, [ctx.t; W]),
+                Instr::CellIndex { dst } => ibuf[*dst as usize] = cell0 as i64,
+                Instr::LoadState { dst, var } => {
+                    let base = *dst as usize * W;
+                    state.load_block(cell0, *var as usize, &mut f[base..base + W]);
+                    if COUNT {
+                        prof.bytes_read += 8 * W as u64;
+                    }
+                }
+                Instr::StoreState { src, var } => {
+                    let v = fb!(*src);
+                    state.store_block(cell0, *var as usize, &v);
+                    if COUNT {
+                        prof.bytes_written += 8 * W as u64;
+                    }
+                }
+                Instr::LoadExt { dst, var } => {
+                    let base = *dst as usize * W;
+                    ext.load_block(cell0, *var as usize, &mut f[base..base + W]);
+                    if COUNT {
+                        prof.bytes_read += 8 * W as u64;
+                    }
+                }
+                Instr::StoreExt { src, var } => {
+                    let v = fb!(*src);
+                    ext.store_block(cell0, *var as usize, &v);
+                    if COUNT {
+                        prof.bytes_written += 8 * W as u64;
+                    }
+                }
+                Instr::HasParent { dst } => bw!(*dst, [parent.is_some(); W]),
+                Instr::LoadParentState { dst, var, fallback } => {
+                    match parent {
+                        Some(p) => {
+                            let base = *dst as usize * W;
+                            let pv = p.var_map[*var as usize];
+                            p.states.load_block(cell0, pv, &mut f[base..base + W]);
+                        }
+                        None => {
+                            let v = fb!(*fallback);
+                            fw!(*dst, v);
+                        }
+                    }
+                    if COUNT {
+                        prof.bytes_read += 8 * W as u64;
+                    }
+                }
+                Instr::StoreParentState { src, var } => {
+                    if let Some(p) = parent {
+                        let v = fb!(*src);
+                        let pv = p.var_map[*var as usize];
+                        p.states.store_block(cell0, pv, &v);
+                        if COUNT {
+                            prof.bytes_written += 8 * W as u64;
+                        }
+                    }
+                }
+                Instr::BinF { op, dst, a, b } => {
+                    let av = fb!(*a);
+                    let bv = fb!(*b);
+                    let mut out = [0.0f64; W];
+                    match op {
+                        FBin::Add => {
+                            for i in 0..W {
+                                out[i] = av[i] + bv[i];
+                            }
+                        }
+                        FBin::Sub => {
+                            for i in 0..W {
+                                out[i] = av[i] - bv[i];
+                            }
+                        }
+                        FBin::Mul => {
+                            for i in 0..W {
+                                out[i] = av[i] * bv[i];
+                            }
+                        }
+                        FBin::Div => {
+                            for i in 0..W {
+                                out[i] = av[i] / bv[i];
+                            }
+                        }
+                        FBin::Rem => {
+                            for i in 0..W {
+                                out[i] = av[i] % bv[i];
+                            }
+                        }
+                        FBin::Min => {
+                            for i in 0..W {
+                                out[i] = av[i].min(bv[i]);
+                            }
+                        }
+                        FBin::Max => {
+                            for i in 0..W {
+                                out[i] = av[i].max(bv[i]);
+                            }
+                        }
+                    }
+                    fw!(*dst, out);
+                    if COUNT {
+                        prof.flops += W as u64;
+                    }
+                }
+                Instr::NegF { dst, a } => {
+                    let mut av = fb!(*a);
+                    for v in av.iter_mut() {
+                        *v = -*v;
+                    }
+                    fw!(*dst, av);
+                    if COUNT {
+                        prof.flops += W as u64;
+                    }
+                }
+                Instr::FmaF { dst, a, b, c } => {
+                    let av = fb!(*a);
+                    let bv = fb!(*b);
+                    let cv = fb!(*c);
+                    let mut out = [0.0f64; W];
+                    for i in 0..W {
+                        out[i] = av[i] * bv[i] + cv[i];
+                    }
+                    fw!(*dst, out);
+                    if COUNT {
+                        prof.flops += 2 * W as u64;
+                    }
+                }
+                Instr::Math1 { f: mf, dst, a } => {
+                    let mut v = fb!(*a);
+                    apply_math1::<W>(*mf, &mut v);
+                    fw!(*dst, v);
+                    if COUNT {
+                        prof.flops += math_flops(*mf) * W as u64;
+                        prof.math_calls += W as u64;
+                    }
+                }
+                Instr::Math2 { f: mf, dst, a, b } => {
+                    let mut av = fb!(*a);
+                    let bv = fb!(*b);
+                    apply_math2::<W>(*mf, &mut av, &bv);
+                    fw!(*dst, av);
+                    if COUNT {
+                        prof.flops += math_flops(*mf) * W as u64;
+                        prof.math_calls += W as u64;
+                    }
+                }
+                Instr::CmpF { pred, dst, a, b } => {
+                    let av = fb!(*a);
+                    let bv = fb!(*b);
+                    let mut out = [false; W];
+                    for i in 0..W {
+                        out[i] = pred.apply(av[i], bv[i]);
+                    }
+                    bw!(*dst, out);
+                    if COUNT {
+                        prof.flops += W as u64;
+                    }
+                }
+                Instr::CmpI { pred, dst, a, b } => {
+                    let r = pred.apply(ibuf[*a as usize], ibuf[*b as usize]);
+                    bw!(*dst, [r; W]);
+                }
+                Instr::BinB { op, dst, a, b } => {
+                    let av = bb!(*a);
+                    let bv = bb!(*b);
+                    let mut out = [false; W];
+                    match op {
+                        BBin::And => {
+                            for i in 0..W {
+                                out[i] = av[i] && bv[i];
+                            }
+                        }
+                        BBin::Or => {
+                            for i in 0..W {
+                                out[i] = av[i] || bv[i];
+                            }
+                        }
+                        BBin::Xor => {
+                            for i in 0..W {
+                                out[i] = av[i] ^ bv[i];
+                            }
+                        }
+                    }
+                    bw!(*dst, out);
+                }
+                Instr::SelectF { dst, cond, a, b } => {
+                    let cv = bb!(*cond);
+                    let av = fb!(*a);
+                    let bv = fb!(*b);
+                    let mut out = [0.0f64; W];
+                    for i in 0..W {
+                        out[i] = if cv[i] { av[i] } else { bv[i] };
+                    }
+                    fw!(*dst, out);
+                    if COUNT {
+                        prof.flops += W as u64;
+                    }
+                }
+                Instr::SelectB { dst, cond, a, b } => {
+                    let cv = bb!(*cond);
+                    let av = bb!(*a);
+                    let bv = bb!(*b);
+                    let mut out = [false; W];
+                    for i in 0..W {
+                        out[i] = if cv[i] { av[i] } else { bv[i] };
+                    }
+                    bw!(*dst, out);
+                }
+                Instr::SIToFP { dst, a } => {
+                    fw!(*dst, [ibuf[*a as usize] as f64; W]);
+                }
+                Instr::BinI { op, dst, a, b } => {
+                    let (av, bv) = (ibuf[*a as usize], ibuf[*b as usize]);
+                    ibuf[*dst as usize] = match op {
+                        IBin::Add => av.wrapping_add(bv),
+                        IBin::Sub => av.wrapping_sub(bv),
+                        IBin::Mul => av.wrapping_mul(bv),
+                    };
+                }
+                Instr::LutVec { table, col, dst, key } => {
+                    let keys = fb!(*key);
+                    let mut out = [0.0f64; W];
+                    self.luts[*table as usize].interp_block(&keys, *col as usize, &mut out);
+                    fw!(*dst, out);
+                    if COUNT {
+                        prof.bytes_read += 16 * W as u64;
+                        prof.flops += 5 * W as u64;
+                    }
+                }
+                Instr::LutScalar { table, col, dst, key } => {
+                    let keys = fb!(*key);
+                    let mut out = [0.0f64; W];
+                    self.luts[*table as usize].interp_scalar_calls(
+                        &keys,
+                        *col as usize,
+                        &mut out,
+                    );
+                    fw!(*dst, out);
+                    if COUNT {
+                        prof.bytes_read += 16 * W as u64;
+                        prof.flops += 5 * W as u64;
+                    }
+                }
+                Instr::LutCubic { table, col, dst, key } => {
+                    let keys = fb!(*key);
+                    let mut out = [0.0f64; W];
+                    self.luts[*table as usize].interp_block_cubic(
+                        &keys,
+                        *col as usize,
+                        &mut out,
+                    );
+                    fw!(*dst, out);
+                    if COUNT {
+                        prof.bytes_read += 32 * W as u64;
+                        prof.flops += 14 * W as u64;
+                    }
+                }
+                Instr::Jump { target } => {
+                    pc = *target as usize;
+                    continue;
+                }
+                Instr::JumpIfNot { cond, target } => {
+                    if !bbuf[*cond as usize * W] {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Instr::Ret => return,
+            }
+            pc += 1;
+        }
+    }
+}
+
+/// Per-invocation register storage.
+#[derive(Debug)]
+struct RegFile {
+    f: Vec<f64>,
+    b: Vec<bool>,
+    i: Vec<i64>,
+}
+
+impl RegFile {
+    fn new(p: &Program, width: usize) -> RegFile {
+        RegFile {
+            f: vec![0.0; p.n_fregs.max(1) * width],
+            b: vec![false; p.n_bregs.max(1) * width],
+            i: vec![0; p.n_iregs.max(1)],
+        }
+    }
+}
+
+/// Applies a unary math function to a lane block: `std` per lane at
+/// width 1 (baseline libm), block kernels otherwise (SVML stand-in).
+#[inline]
+fn apply_math1<const W: usize>(f: MathFn, v: &mut [f64; W]) {
+    if W == 1 {
+        v[0] = f.eval(v[0], 0.0);
+        return;
+    }
+    match f {
+        MathFn::Exp => crate::vmath::exp_block(v),
+        MathFn::Expm1 => crate::vmath::expm1_block(v),
+        MathFn::Log => crate::vmath::log_block(v),
+        MathFn::Log1p => crate::vmath::log1p_block(v),
+        MathFn::Log10 => crate::vmath::log10_block(v),
+        MathFn::Log2 => crate::vmath::log2_block(v),
+        MathFn::Sqrt => crate::vmath::sqrt_block(v),
+        MathFn::Cbrt => crate::vmath::cbrt_block(v),
+        MathFn::Sin => crate::vmath::sin_block(v),
+        MathFn::Cos => crate::vmath::cos_block(v),
+        MathFn::Tan => crate::vmath::tan_block(v),
+        MathFn::Asin => crate::vmath::asin_block(v),
+        MathFn::Acos => crate::vmath::acos_block(v),
+        MathFn::Atan => crate::vmath::atan_block(v),
+        MathFn::Sinh => crate::vmath::sinh_block(v),
+        MathFn::Cosh => crate::vmath::cosh_block(v),
+        MathFn::Tanh => crate::vmath::tanh_block(v),
+        MathFn::Abs => crate::vmath::abs_block(v),
+        MathFn::Floor => crate::vmath::floor_block(v),
+        MathFn::Ceil => crate::vmath::ceil_block(v),
+        MathFn::Round => crate::vmath::round_block(v),
+        MathFn::Pow | MathFn::Atan2 | MathFn::CopySign => unreachable!("binary"),
+    }
+}
+
+/// Applies a binary math function (result in `a`).
+#[inline]
+fn apply_math2<const W: usize>(f: MathFn, a: &mut [f64; W], b: &[f64; W]) {
+    if W == 1 {
+        a[0] = f.eval(a[0], b[0]);
+        return;
+    }
+    match f {
+        MathFn::Pow => crate::vmath::pow_block(a, b),
+        MathFn::Atan2 => crate::vmath::atan2_block(a, b),
+        MathFn::CopySign => crate::vmath::copysign_block(a, b),
+        _ => unreachable!("unary"),
+    }
+}
+
+/// Flop weight per math call for the roofline counts (transcendentals cost
+/// a polynomial's worth of arithmetic, cheap functions one op).
+fn math_flops(f: MathFn) -> u64 {
+    match f {
+        MathFn::Abs | MathFn::Floor | MathFn::Ceil | MathFn::Round | MathFn::CopySign => 1,
+        MathFn::Sqrt => 4,
+        MathFn::Pow => 40,
+        _ => 20,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateLayout;
+    use limpet_ir::{Builder, Func, Module};
+
+    /// Compiles a hand-built module into a kernel with states x, y.
+    fn kernel(width: Option<u32>, build: impl FnOnce(&mut Builder<'_>)) -> Kernel {
+        let mut m = Module::new("t");
+        let mut f = Func::new("compute", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        build(&mut b);
+        m.add_func(f);
+        if let Some(w) = width {
+            m.attrs.set("vector_width", w as i64);
+        }
+        let info = ModelInfo {
+            state_names: vec!["x".into(), "y".into()],
+            state_inits: vec![1.0, 2.0],
+            ext_names: vec!["Vm".into()],
+            ext_inits: vec![-85.0],
+            params: vec![("Cm".into(), 200.0)],
+        };
+        Kernel::from_module(&m, &info).unwrap()
+    }
+
+    #[test]
+    fn decay_step_updates_state() {
+        // x <- x + dt * (-x)
+        let k = kernel(None, |b| {
+            let x = b.get_state("x");
+            let d = b.negf(x);
+            let dt = b.dt();
+            let upd = b.mulf(d, dt);
+            let new = b.addf(x, upd);
+            b.set_state("x", new);
+            b.ret(&[]);
+        });
+        let mut st = k.new_states(10, StateLayout::Aos);
+        let mut ext = k.new_ext(10);
+        k.run_step(&mut st, &mut ext, None, SimContext { dt: 0.1, t: 0.0 });
+        for cell in 0..10 {
+            assert!((st.get(cell, 0) - 0.9).abs() < 1e-15);
+            assert_eq!(st.get(cell, 1), 2.0); // untouched
+        }
+    }
+
+    #[test]
+    fn widths_agree_with_scalar() {
+        // A kernel with branch-free mixed math.
+        let build = |b: &mut Builder<'_>| {
+            let x = b.get_state("x");
+            let vm = b.get_ext("Vm");
+            let p = b.param("Cm");
+            let e = b.exp(x);
+            let l = {
+                let absx = b.math1(limpet_ir::MathFn::Abs, vm);
+                let one = b.const_f(1.0);
+                let xp1 = b.addf(absx, one);
+                b.log(xp1)
+            };
+            let s = b.addf(e, l);
+            let scaled = b.divf(s, p);
+            b.set_state("y", scaled);
+            b.ret(&[]);
+        };
+        let mut results: Vec<Vec<f64>> = Vec::new();
+        for width in [None, Some(2), Some(4), Some(8)] {
+            let k = kernel(width, build);
+            let mut st = k.new_states(16, StateLayout::Aos);
+            for cell in 0..16 {
+                st.set(cell, 0, 0.1 * cell as f64);
+            }
+            let mut ext = k.new_ext(16);
+            for cell in 0..16 {
+                ext.set(cell, 0, -85.0 + cell as f64);
+            }
+            k.run_step(&mut st, &mut ext, None, SimContext { dt: 0.01, t: 0.0 });
+            results.push((0..16).map(|c| st.get(c, 1)).collect());
+        }
+        for w in 1..results.len() {
+            for c in 0..16 {
+                let rel = (results[w][c] - results[0][c]).abs()
+                    / results[0][c].abs().max(1e-300);
+                assert!(
+                    rel < 1e-11,
+                    "width idx {w} cell {c}: {} vs {}",
+                    results[w][c],
+                    results[0][c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_if_takes_correct_branch() {
+        let k = kernel(None, |b| {
+            let p = b.param("Cm");
+            let hundred = b.const_f(100.0);
+            let c = b.cmpf(limpet_ir::CmpFPred::Ogt, p, hundred); // 200 > 100
+            let r = b.if_op(
+                c,
+                &[limpet_ir::Type::F64],
+                |b| {
+                    let v = b.const_f(7.0);
+                    b.yield_(&[v]);
+                },
+                |b| {
+                    let v = b.const_f(9.0);
+                    b.yield_(&[v]);
+                },
+            );
+            b.set_state("x", r[0]);
+            b.ret(&[]);
+        });
+        let mut st = k.new_states(8, StateLayout::Aos);
+        let mut ext = k.new_ext(8);
+        k.run_step(&mut st, &mut ext, None, SimContext { dt: 0.1, t: 0.0 });
+        assert_eq!(st.get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn for_loop_iterates() {
+        // x <- x * 2^4 via a loop.
+        let k = kernel(None, |b| {
+            let x = b.get_state("x");
+            let lb = b.const_index(0);
+            let ub = b.const_index(4);
+            let stp = b.const_index(1);
+            let r = b.for_op(lb, ub, stp, &[x], |b, _iv, iters| {
+                let two = b.const_f(2.0);
+                let n = b.mulf(iters[0], two);
+                b.yield_(&[n]);
+            });
+            b.set_state("x", r[0]);
+            b.ret(&[]);
+        });
+        let mut st = k.new_states(8, StateLayout::Aos);
+        let mut ext = k.new_ext(8);
+        k.run_step(&mut st, &mut ext, None, SimContext { dt: 0.1, t: 0.0 });
+        assert_eq!(st.get(0, 0), 16.0);
+    }
+
+    #[test]
+    fn aos_and_aosoa_produce_identical_results() {
+        let build = |b: &mut Builder<'_>| {
+            let x = b.get_state("x");
+            let y = b.get_state("y");
+            let s = b.addf(x, y);
+            let e = b.exp(s);
+            b.set_state("x", e);
+            b.ret(&[]);
+        };
+        let k = kernel(Some(8), build);
+        let mut a = k.new_states(24, StateLayout::Aos);
+        let mut b_ = k.new_states(24, StateLayout::AoSoA { block: 8 });
+        for cell in 0..24 {
+            a.set(cell, 0, cell as f64 * 0.01);
+            b_.set(cell, 0, cell as f64 * 0.01);
+        }
+        let mut ext1 = k.new_ext(24);
+        let mut ext2 = k.new_ext(24);
+        let ctx = SimContext { dt: 0.1, t: 0.0 };
+        k.run_step(&mut a, &mut ext1, None, ctx);
+        k.run_step(&mut b_, &mut ext2, None, ctx);
+        for cell in 0..24 {
+            assert_eq!(a.get(cell, 0), b_.get(cell, 0), "cell {cell}");
+        }
+    }
+
+    #[test]
+    fn parent_view_reads_parent_state() {
+        let k = kernel(None, |b| {
+            let fb = b.const_f(-1.0);
+            let v = b.get_parent_state("Vp", fb);
+            b.set_state("x", v);
+            b.ret(&[]);
+        });
+        let mut st = k.new_states(8, StateLayout::Aos);
+        let mut ext = k.new_ext(8);
+        let ctx = SimContext { dt: 0.1, t: 0.0 };
+
+        // Without a parent: fallback.
+        k.run_step(&mut st, &mut ext, None, ctx);
+        assert_eq!(st.get(0, 0), -1.0);
+
+        // With a parent: its state value.
+        let mut pstates = CellStates::new(8, &[42.0], StateLayout::Aos);
+        let mut pv = ParentView {
+            states: &mut pstates,
+            var_map: vec![0],
+        };
+        k.run_step(&mut st, &mut ext, Some(&mut pv), ctx);
+        assert_eq!(st.get(0, 0), 42.0);
+    }
+
+    #[test]
+    fn profile_counts_plausible() {
+        let k = kernel(None, |b| {
+            let x = b.get_state("x");
+            let e = b.exp(x);
+            b.set_state("x", e);
+            b.ret(&[]);
+        });
+        let mut st = k.new_states(8, StateLayout::Aos);
+        let mut ext = k.new_ext(8);
+        let p = k.run_step_profiled(&mut st, &mut ext, None, SimContext { dt: 0.1, t: 0.0 });
+        assert_eq!(p.bytes_read, 8 * 8);
+        assert_eq!(p.bytes_written, 8 * 8);
+        assert_eq!(p.math_calls, 8);
+        assert!(p.flops >= 8 * 20);
+        assert!(p.intensity() > 0.0);
+    }
+
+    #[test]
+    fn run_range_partitions_cells() {
+        let k = kernel(None, |b| {
+            let x = b.get_state("x");
+            let one = b.const_f(1.0);
+            let n = b.addf(x, one);
+            b.set_state("x", n);
+            b.ret(&[]);
+        });
+        let mut st = k.new_states(16, StateLayout::Aos);
+        let mut ext = k.new_ext(16);
+        let ctx = SimContext { dt: 0.1, t: 0.0 };
+        // Only the first half.
+        k.run_range(&mut st, &mut ext, None, ctx, 0, 8);
+        assert_eq!(st.get(0, 0), 2.0);
+        assert_eq!(st.get(8, 0), 1.0);
+    }
+}

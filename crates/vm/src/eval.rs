@@ -1,0 +1,387 @@
+//! Reference tree-walking evaluator for IR functions.
+//!
+//! Used to (1) precompute LUT columns by evaluating the `@lut_*` functions
+//! over the tabulated range, and (2) serve as the semantic oracle in
+//! differential tests of the bytecode engine: both must compute identical
+//! results for one cell.
+
+use limpet_ir::{Func, Module, OpKind, RegionId, ValueId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A runtime value during evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    /// A float (scalar lane).
+    F(f64),
+    /// An integer or index.
+    I(i64),
+    /// A boolean.
+    B(bool),
+}
+
+impl Val {
+    /// The float payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a float.
+    pub fn f(self) -> f64 {
+        match self {
+            Val::F(v) => v,
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not an integer.
+    pub fn i(self) -> i64 {
+        match self {
+            Val::I(v) => v,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    /// The boolean payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a boolean.
+    pub fn b(self) -> bool {
+        match self {
+            Val::B(v) => v,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+}
+
+/// The environment an evaluated kernel runs against: one cell's data.
+pub trait EvalContext {
+    /// Reads a model parameter.
+    fn param(&self, name: &str) -> f64;
+    /// Reads a state variable of the current cell.
+    fn get_state(&mut self, var: &str) -> f64;
+    /// Writes a state variable of the current cell.
+    fn set_state(&mut self, var: &str, v: f64);
+    /// Reads an external variable of the current cell.
+    fn get_ext(&mut self, var: &str) -> f64;
+    /// Writes an external variable of the current cell.
+    fn set_ext(&mut self, var: &str, v: f64);
+    /// The integration time step.
+    fn dt(&self) -> f64;
+    /// The current simulation time.
+    fn time(&self) -> f64;
+    /// The current cell index.
+    fn cell_index(&self) -> i64 {
+        0
+    }
+    /// Whether a parent model is attached.
+    fn has_parent(&self) -> bool {
+        false
+    }
+    /// Reads a parent state variable; `fallback` when no parent.
+    fn get_parent_state(&mut self, _var: &str, fallback: f64) -> f64 {
+        fallback
+    }
+    /// Writes a parent state variable (no-op without parent).
+    fn set_parent_state(&mut self, _var: &str, _v: f64) {}
+    /// Interpolated lookup-table column read.
+    fn lut_col(&mut self, table: &str, col: usize, key: f64) -> f64;
+}
+
+/// An evaluation error (malformed IR reaching the evaluator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates function `name` of `module` on `args`, returning its results.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] for missing functions or arity mismatches.
+pub fn eval_func(
+    module: &Module,
+    name: &str,
+    args: &[Val],
+    ctx: &mut dyn EvalContext,
+) -> Result<Vec<Val>, EvalError> {
+    let func = module
+        .func(name)
+        .ok_or_else(|| EvalError(format!("no function @{name}")))?;
+    if args.len() != func.args().len() {
+        return Err(EvalError(format!(
+            "@{name} takes {} args, got {}",
+            func.args().len(),
+            args.len()
+        )));
+    }
+    let mut env: HashMap<ValueId, Val> = HashMap::new();
+    for (&a, &v) in func.args().iter().zip(args) {
+        env.insert(a, v);
+    }
+    let mut ev = Evaluator { func, ctx };
+    Ok(ev.region(func.body(), &mut env))
+}
+
+struct Evaluator<'a> {
+    func: &'a Func,
+    ctx: &'a mut dyn EvalContext,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Executes a region; returns the terminator's operand values.
+    fn region(&mut self, region: RegionId, env: &mut HashMap<ValueId, Val>) -> Vec<Val> {
+        let ops = self.func.region(region).ops.clone();
+        for op_id in ops {
+            let op = self.func.op(op_id).clone();
+            if op.kind.is_terminator() {
+                return op.operands.iter().map(|o| env[o]).collect();
+            }
+            match op.kind.clone() {
+                OpKind::If => {
+                    let cond = env[&op.operands[0]].b();
+                    let taken = op.regions[if cond { 0 } else { 1 }];
+                    let yields = self.region(taken, env);
+                    for (r, v) in op.results.iter().zip(yields) {
+                        env.insert(*r, v);
+                    }
+                }
+                OpKind::For => {
+                    let lb = env[&op.operands[0]].i();
+                    let ub = env[&op.operands[1]].i();
+                    let step = env[&op.operands[2]].i().max(1);
+                    let mut iters: Vec<Val> =
+                        op.operands[3..].iter().map(|o| env[o]).collect();
+                    let body = op.regions[0];
+                    let args = self.func.region(body).args.clone();
+                    let mut iv = lb;
+                    while iv < ub {
+                        env.insert(args[0], Val::I(iv));
+                        for (a, v) in args[1..].iter().zip(&iters) {
+                            env.insert(*a, *v);
+                        }
+                        iters = self.region(body, env);
+                        iv += step;
+                    }
+                    for (r, v) in op.results.iter().zip(iters) {
+                        env.insert(*r, v);
+                    }
+                }
+                kind => {
+                    let vals: Vec<Val> = op.operands.iter().map(|o| env[o]).collect();
+                    if let Some(v) = self.eval_simple(&kind, &op.attrs, &vals) {
+                        if let Some(&r) = op.results.first() {
+                            env.insert(r, v);
+                        }
+                    }
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn eval_simple(
+        &mut self,
+        kind: &OpKind,
+        attrs: &limpet_ir::Attrs,
+        v: &[Val],
+    ) -> Option<Val> {
+        Some(match kind {
+            OpKind::ConstantF(c) => Val::F(*c),
+            OpKind::ConstantInt(c) => Val::I(*c),
+            OpKind::ConstantBool(c) => Val::B(*c),
+            OpKind::AddF => Val::F(v[0].f() + v[1].f()),
+            OpKind::SubF => Val::F(v[0].f() - v[1].f()),
+            OpKind::MulF => Val::F(v[0].f() * v[1].f()),
+            OpKind::DivF => Val::F(v[0].f() / v[1].f()),
+            OpKind::RemF => Val::F(v[0].f() % v[1].f()),
+            OpKind::NegF => Val::F(-v[0].f()),
+            OpKind::MinF => Val::F(v[0].f().min(v[1].f())),
+            OpKind::MaxF => Val::F(v[0].f().max(v[1].f())),
+            OpKind::Fma => Val::F(v[0].f() * v[1].f() + v[2].f()),
+            OpKind::AddI => Val::I(v[0].i() + v[1].i()),
+            OpKind::SubI => Val::I(v[0].i() - v[1].i()),
+            OpKind::MulI => Val::I(v[0].i() * v[1].i()),
+            OpKind::CmpF(p) => Val::B(p.apply(v[0].f(), v[1].f())),
+            OpKind::CmpI(p) => Val::B(p.apply(v[0].i(), v[1].i())),
+            OpKind::AndI => Val::B(v[0].b() && v[1].b()),
+            OpKind::OrI => Val::B(v[0].b() || v[1].b()),
+            OpKind::XorI => Val::B(v[0].b() ^ v[1].b()),
+            OpKind::Select => {
+                if v[0].b() {
+                    v[1]
+                } else {
+                    v[2]
+                }
+            }
+            OpKind::SIToFP => Val::F(v[0].i() as f64),
+            OpKind::IndexCast => v[0],
+            OpKind::Math(f) => {
+                let b = if f.arity() == 2 { v[1].f() } else { 0.0 };
+                Val::F(f.eval(v[0].f(), b))
+            }
+            OpKind::Broadcast => v[0],
+            OpKind::Param => Val::F(self.ctx.param(attrs.str_of("name").unwrap_or(""))),
+            OpKind::GetState => Val::F(self.ctx.get_state(attrs.str_of("var").unwrap_or(""))),
+            OpKind::SetState => {
+                self.ctx.set_state(attrs.str_of("var").unwrap_or(""), v[0].f());
+                return None;
+            }
+            OpKind::GetExt => Val::F(self.ctx.get_ext(attrs.str_of("var").unwrap_or(""))),
+            OpKind::SetExt => {
+                self.ctx.set_ext(attrs.str_of("var").unwrap_or(""), v[0].f());
+                return None;
+            }
+            OpKind::HasParent => Val::B(self.ctx.has_parent()),
+            OpKind::GetParentState => Val::F(
+                self.ctx
+                    .get_parent_state(attrs.str_of("var").unwrap_or(""), v[0].f()),
+            ),
+            OpKind::SetParentState => {
+                self.ctx
+                    .set_parent_state(attrs.str_of("var").unwrap_or(""), v[0].f());
+                return None;
+            }
+            OpKind::Dt => Val::F(self.ctx.dt()),
+            OpKind::Time => Val::F(self.ctx.time()),
+            OpKind::CellIndex => Val::I(self.ctx.cell_index()),
+            OpKind::LutCol => Val::F(self.ctx.lut_col(
+                attrs.str_of("table").unwrap_or(""),
+                attrs.i64_of("col").unwrap_or(0) as usize,
+                v[0].f(),
+            )),
+            OpKind::If | OpKind::For | OpKind::Yield | OpKind::Return => {
+                unreachable!("handled structurally")
+            }
+        })
+    }
+}
+
+/// A context with no cell data: parameters only. Suitable for evaluating
+/// `@lut_*` column functions.
+#[derive(Debug, Clone, Default)]
+pub struct ParamOnlyContext {
+    /// Parameter values by name.
+    pub params: HashMap<String, f64>,
+}
+
+impl EvalContext for ParamOnlyContext {
+    fn param(&self, name: &str) -> f64 {
+        *self.params.get(name).unwrap_or(&0.0)
+    }
+    fn get_state(&mut self, var: &str) -> f64 {
+        panic!("LUT column function must not read state {var:?}")
+    }
+    fn set_state(&mut self, var: &str, _v: f64) {
+        panic!("LUT column function must not write state {var:?}")
+    }
+    fn get_ext(&mut self, var: &str) -> f64 {
+        panic!("LUT column function must not read external {var:?}")
+    }
+    fn set_ext(&mut self, var: &str, _v: f64) {
+        panic!("LUT column function must not write external {var:?}")
+    }
+    fn dt(&self) -> f64 {
+        0.0
+    }
+    fn time(&self) -> f64 {
+        0.0
+    }
+    fn lut_col(&mut self, table: &str, _col: usize, _key: f64) -> f64 {
+        panic!("LUT column function must not read table {table:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limpet_ir::{Builder, Func as IrFunc, Module, Type};
+
+    #[test]
+    fn evaluates_arithmetic_function() {
+        let mut m = Module::new("t");
+        let mut f = IrFunc::new("f", &[Type::F64], &[Type::F64]);
+        let arg = f.args()[0];
+        let mut b = Builder::new(&mut f);
+        let two = b.const_f(2.0);
+        let d = b.mulf(arg, two);
+        let e = b.exp(d);
+        b.ret(&[e]);
+        m.add_func(f);
+        let mut ctx = ParamOnlyContext::default();
+        let r = eval_func(&m, "f", &[Val::F(1.0)], &mut ctx).unwrap();
+        assert!((r[0].f() - 2.0f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluates_if_and_for() {
+        let mut m = Module::new("t");
+        let mut f = IrFunc::new("f", &[Type::F64], &[Type::F64]);
+        let arg = f.args()[0];
+        let mut b = Builder::new(&mut f);
+        let zero = b.const_f(0.0);
+        let pos = b.cmpf(limpet_ir::CmpFPred::Ogt, arg, zero);
+        let sign = b.if_op(
+            pos,
+            &[Type::F64],
+            |b| {
+                let v = b.const_f(1.0);
+                b.yield_(&[v]);
+            },
+            |b| {
+                let v = b.const_f(-1.0);
+                b.yield_(&[v]);
+            },
+        );
+        // Multiply sign by 2, four times, in a loop: sign * 16.
+        let lb = b.const_index(0);
+        let ub = b.const_index(4);
+        let st = b.const_index(1);
+        let r = b.for_op(lb, ub, st, &[sign[0]], |b, _iv, iters| {
+            let two = b.const_f(2.0);
+            let next = b.mulf(iters[0], two);
+            b.yield_(&[next]);
+        });
+        b.ret(&[r[0]]);
+        m.add_func(f);
+        let mut ctx = ParamOnlyContext::default();
+        assert_eq!(
+            eval_func(&m, "f", &[Val::F(3.0)], &mut ctx).unwrap()[0].f(),
+            16.0
+        );
+        assert_eq!(
+            eval_func(&m, "f", &[Val::F(-3.0)], &mut ctx).unwrap()[0].f(),
+            -16.0
+        );
+    }
+
+    #[test]
+    fn params_read_from_context() {
+        let mut m = Module::new("t");
+        let mut f = IrFunc::new("f", &[], &[Type::F64]);
+        let mut b = Builder::new(&mut f);
+        let p = b.param("Cm");
+        b.ret(&[p]);
+        m.add_func(f);
+        let mut ctx = ParamOnlyContext::default();
+        ctx.params.insert("Cm".into(), 200.0);
+        assert_eq!(eval_func(&m, "f", &[], &mut ctx).unwrap()[0].f(), 200.0);
+    }
+
+    #[test]
+    fn missing_function_is_error() {
+        let m = Module::new("t");
+        let mut ctx = ParamOnlyContext::default();
+        assert!(eval_func(&m, "nope", &[], &mut ctx).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # limpet-vm
+//!
+//! The execution substrate of limpet-rs: a bytecode compiler and `W`-lane
+//! register virtual machine that plays the role of the LLVM JIT + CPU SIMD
+//! units in the original limpetMLIR system.
+//!
+//! * [`Kernel`] compiles a lowered IR module ([`limpet_ir::Module`]) into
+//!   flat bytecode and executes it over cell populations.
+//! * The lane count (1, 2, 4, 8) emulates scalar, SSE, AVX2, and AVX-512
+//!   execution: one instruction dispatch covers `W` cells, and the `W`-lane
+//!   inner loops auto-vectorize.
+//! * [`CellStates`] provides the AoS / AoSoA data layouts of paper §3.4.1;
+//!   [`ExtArrays`] the external-variable arrays of Listing 2.
+//! * [`LutData`] implements lookup-table interpolation with both the
+//!   vectorized path (paper §3.4.2) and the baseline scalar-call path.
+//! * [`vmath`] is the Intel SVML stand-in: block math kernels.
+//! * [`Profile`] counts flops and bytes for the roofline model (paper §4.5).
+//!
+//! # Examples
+//!
+//! Compile and run one forward-Euler step of a decay model:
+//!
+//! ```
+//! use limpet_vm::{Kernel, ModelInfo, SimContext, StateLayout};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = limpet_easyml::compile_model("decay", "diff_x = -x;")?;
+//! let lowered = limpet_codegen::pipeline::baseline(&model);
+//! let info = ModelInfo {
+//!     state_names: vec!["x".into()],
+//!     state_inits: vec![1.0],
+//!     ..Default::default()
+//! };
+//! let kernel = Kernel::from_module(&lowered.module, &info)?;
+//! let mut state = kernel.new_states(100, StateLayout::Aos);
+//! let mut ext = kernel.new_ext(100);
+//! kernel.run_step(&mut state, &mut ext, None, SimContext { dt: 0.01, t: 0.0 });
+//! assert!((state.get(0, 0) - 0.99).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bytecode;
+mod engine;
+mod eval;
+mod lut;
+mod state;
+pub mod vmath;
+
+pub use bytecode::{compile_program, BBin, CompileError, FBin, IBin, Instr, Program};
+pub use engine::{Kernel, ModelInfo, ParentView, Profile, SimContext};
+pub use eval::{eval_func, EvalContext, EvalError, ParamOnlyContext, Val};
+pub use lut::LutData;
+pub use state::{CellStates, ExtArrays, StateLayout};

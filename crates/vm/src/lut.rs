@@ -1,0 +1,287 @@
+//! Lookup-table storage and interpolation (paper §3.4.2).
+//!
+//! A table holds `rows × cols` precomputed values over `[lo, hi]` at step
+//! `step`. Runtime reads interpolate linearly between adjacent rows.
+//! Two interpolation paths exist:
+//!
+//! * [`LutData::interp_block`] — the paper's vectorized
+//!   `LUT_interpRow_n_elements_vec`: index computation, clamping, and the
+//!   two-point blend run as branch-free lane loops;
+//! * [`LutData::interp_scalar_calls`] — the original openCARP scalar
+//!   `LUT_interpRow`, modeled as one non-inlined call per lane (this is
+//!   the code the paper found general compilers could not vectorize).
+
+/// One precomputed lookup table.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_vm::LutData;
+/// // Tabulate f(x) = 2x over [0, 10], one column.
+/// let data = LutData::build(0.0, 10.0, 1.0, 1, |x, out| out[0] = 2.0 * x);
+/// let mut keys = [2.5];
+/// let mut out = [0.0];
+/// data.interp_block(&keys, 0, &mut out);
+/// assert!((out[0] - 5.0).abs() < 1e-12);
+/// # let _ = &mut keys;
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutData {
+    lo: f64,
+    hi: f64,
+    step: f64,
+    inv_step: f64,
+    rows: usize,
+    cols: usize,
+    /// Row-major: `data[row * cols + col]`.
+    data: Vec<f64>,
+}
+
+impl LutData {
+    /// Builds a table by evaluating `fill(key, row)` for every tabulated
+    /// key. `fill` writes one value per column into its output slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step <= 0`, `hi <= lo`, or `cols == 0`.
+    pub fn build(
+        lo: f64,
+        hi: f64,
+        step: f64,
+        cols: usize,
+        mut fill: impl FnMut(f64, &mut [f64]),
+    ) -> LutData {
+        assert!(step > 0.0 && hi > lo, "empty lookup range");
+        assert!(cols > 0, "lookup table needs at least one column");
+        let rows = ((hi - lo) / step).floor() as usize + 2;
+        let mut data = vec![0.0; rows * cols];
+        for row in 0..rows {
+            let key = lo + row as f64 * step;
+            fill(key, &mut data[row * cols..(row + 1) * cols]);
+        }
+        LutData {
+            lo,
+            hi,
+            step,
+            inv_step: 1.0 / step,
+            rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Memory footprint of the table payload in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    #[inline]
+    fn row_frac(&self, key: f64) -> (usize, f64) {
+        let t = (key - self.lo) * self.inv_step;
+        // Clamp into the table (openCARP clamps out-of-range keys too).
+        let t = t.clamp(0.0, (self.rows - 2) as f64);
+        let i = t as usize;
+        (i, t - i as f64)
+    }
+
+    /// Vectorized interpolation: for each lane `keys[i]`, writes the
+    /// interpolated value of `col` into `out[i]`. Branch-free per lane.
+    #[inline]
+    pub fn interp_block(&self, keys: &[f64], col: usize, out: &mut [f64]) {
+        debug_assert!(col < self.cols);
+        let cols = self.cols;
+        let maxi = (self.rows - 2) as f64;
+        for (o, &k) in out.iter_mut().zip(keys) {
+            let t = ((k - self.lo) * self.inv_step).clamp(0.0, maxi);
+            let i = t as usize;
+            let frac = t - i as f64;
+            let a = self.data[i * cols + col];
+            let b = self.data[(i + 1) * cols + col];
+            *o = a + (b - a) * frac;
+        }
+    }
+
+    /// Vectorized Catmull–Rom cubic interpolation — the spline variant the
+    /// paper lists as future work (§7): third-order accurate, so a table
+    /// with a 4x coarser step matches linear interpolation's accuracy at a
+    /// quarter of the memory (at the cost of reading four rows per key).
+    ///
+    /// Edge intervals fall back to linear interpolation (no outer
+    /// neighbours to form the stencil).
+    #[inline]
+    pub fn interp_block_cubic(&self, keys: &[f64], col: usize, out: &mut [f64]) {
+        debug_assert!(col < self.cols);
+        let cols = self.cols;
+        let maxi = (self.rows - 2) as f64;
+        for (o, &k) in out.iter_mut().zip(keys) {
+            let t = ((k - self.lo) * self.inv_step).clamp(0.0, maxi);
+            let i = t as usize;
+            let frac = t - i as f64;
+            if i == 0 || i + 2 >= self.rows {
+                let a = self.data[i * cols + col];
+                let b = self.data[(i + 1) * cols + col];
+                *o = a + (b - a) * frac;
+                continue;
+            }
+            let p0 = self.data[(i - 1) * cols + col];
+            let p1 = self.data[i * cols + col];
+            let p2 = self.data[(i + 1) * cols + col];
+            let p3 = self.data[(i + 2) * cols + col];
+            // Catmull-Rom basis.
+            let f2 = frac * frac;
+            let f3 = f2 * frac;
+            *o = 0.5
+                * ((2.0 * p1)
+                    + (-p0 + p2) * frac
+                    + (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3) * f2
+                    + (-p0 + 3.0 * p1 - 3.0 * p2 + p3) * f3);
+        }
+    }
+
+    /// Scalar-call interpolation: same results as [`Self::interp_block`],
+    /// but through one opaque (non-inlinable) call per lane, reproducing
+    /// the function-call structure of openCARP's `LUT_interpRow` that
+    /// blocks auto-vectorization.
+    #[inline]
+    pub fn interp_scalar_calls(&self, keys: &[f64], col: usize, out: &mut [f64]) {
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = self.interp_one(k, col);
+        }
+    }
+
+    /// One scalar interpolation (the per-call body of the baseline path).
+    #[inline(never)]
+    pub fn interp_one(&self, key: f64, col: usize) -> f64 {
+        let (i, frac) = self.row_frac(key);
+        let a = self.data[i * self.cols + col];
+        let b = self.data[(i + 1) * self.cols + col];
+        a + (b - a) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> LutData {
+        // Two columns: exp(x/10) and x².
+        LutData::build(-100.0, 100.0, 0.05, 2, |x, out| {
+            out[0] = (x / 10.0).exp();
+            out[1] = x * x;
+        })
+    }
+
+    #[test]
+    fn rows_match_paper_listing() {
+        // Paper Listing 1 uses lookup(-100, 100, 0.05): 4002 rows.
+        let t = table();
+        assert_eq!(t.rows(), 4002);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.bytes(), 4002 * 2 * 8);
+    }
+
+    #[test]
+    fn interpolation_is_accurate() {
+        let t = table();
+        let keys = [-99.97, -50.02, 0.013, 42.42, 99.99, 0.0, 77.7, -1.0];
+        let mut out = [0.0; 8];
+        t.interp_block(&keys, 0, &mut out);
+        for (k, o) in keys.iter().zip(&out) {
+            let want = (k / 10.0).exp();
+            let rel = (o - want).abs() / want;
+            // Linear interpolation at step 0.05: error ~ (step²/8)·f''.
+            assert!(rel < 1e-4, "key {k}: got {o}, want {want}");
+        }
+    }
+
+    #[test]
+    fn exact_at_grid_points() {
+        let t = table();
+        let keys = [-100.0, -50.0, 0.0, 50.0];
+        let mut out = [0.0; 4];
+        t.interp_block(&keys, 1, &mut out);
+        for (k, o) in keys.iter().zip(&out) {
+            assert!((o - k * k).abs() < 1e-9, "key {k}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_keys_clamp() {
+        let t = table();
+        let keys = [-1e9, 1e9, f64::NEG_INFINITY];
+        let mut out = [0.0; 3];
+        t.interp_block(&keys, 1, &mut out);
+        assert!((out[0] - 10_000.0).abs() < 10.0); // ≈ (−100)²
+        assert!((out[1] - 10_000.0).abs() < 10.0);
+        assert!(out[2].is_finite());
+    }
+
+    #[test]
+    fn scalar_and_vector_paths_agree() {
+        let t = table();
+        let keys: Vec<f64> = (0..64).map(|i| -90.0 + i as f64 * 2.7).collect();
+        let mut a = vec![0.0; 64];
+        let mut b = vec![0.0; 64];
+        t.interp_block(&keys, 0, &mut a);
+        t.interp_scalar_calls(&keys, 0, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty lookup range")]
+    fn bad_range_panics() {
+        let _ = LutData::build(1.0, 0.0, 0.1, 1, |_, _| {});
+    }
+
+    #[test]
+    fn cubic_is_exact_at_grid_points() {
+        let t = table();
+        let keys = [-50.0, 0.0, 50.0];
+        let mut out = [0.0; 3];
+        t.interp_block_cubic(&keys, 1, &mut out);
+        for (k, o) in keys.iter().zip(&out) {
+            assert!((o - k * k).abs() < 1e-9, "key {k}: {o}");
+        }
+    }
+
+    #[test]
+    fn cubic_beats_linear_on_smooth_functions() {
+        // Coarse table of exp(x/10): cubic at step 1.0 should beat linear
+        // at the same step by orders of magnitude.
+        let t = LutData::build(-50.0, 50.0, 1.0, 1, |x, out| out[0] = (x / 10.0).exp());
+        let keys: Vec<f64> = (0..97).map(|i| -47.5 + i as f64).collect();
+        let mut lin = vec![0.0; keys.len()];
+        let mut cub = vec![0.0; keys.len()];
+        t.interp_block(&keys, 0, &mut lin);
+        t.interp_block_cubic(&keys, 0, &mut cub);
+        let (mut err_lin, mut err_cub) = (0.0f64, 0.0f64);
+        for ((k, l), c) in keys.iter().zip(&lin).zip(&cub) {
+            let want = (k / 10.0).exp();
+            err_lin = err_lin.max((l - want).abs() / want);
+            err_cub = err_cub.max((c - want).abs() / want);
+        }
+        assert!(
+            err_cub < err_lin / 20.0,
+            "cubic {err_cub:.3e} not much better than linear {err_lin:.3e}"
+        );
+    }
+
+    #[test]
+    fn cubic_clamps_out_of_range() {
+        let t = table();
+        let keys = [-1e6, 1e6];
+        let mut out = [0.0; 2];
+        t.interp_block_cubic(&keys, 0, &mut out);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+}

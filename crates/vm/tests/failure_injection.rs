@@ -1,0 +1,124 @@
+//! Failure-injection tests: malformed inputs must produce errors, not
+//! panics or silent memory corruption.
+
+use limpet_ir::{Builder, Func, Module};
+use limpet_vm::{Kernel, ModelInfo};
+
+fn module_touching(state: &str, ext: &str) -> Module {
+    let mut m = Module::new("t");
+    let mut f = Func::new("compute", &[], &[]);
+    let mut b = Builder::new(&mut f);
+    let x = b.get_state(state);
+    let v = b.get_ext(ext);
+    let s = b.addf(x, v);
+    b.set_state(state, s);
+    b.ret(&[]);
+    m.add_func(f);
+    m
+}
+
+#[test]
+fn unknown_state_variable_is_a_compile_error() {
+    let m = module_touching("ghost", "Vm");
+    let info = ModelInfo {
+        state_names: vec!["x".into()],
+        state_inits: vec![0.0],
+        ext_names: vec!["Vm".into()],
+        ext_inits: vec![0.0],
+        params: vec![],
+    };
+    let err = Kernel::from_module(&m, &info).unwrap_err();
+    assert!(err.to_string().contains("ghost"), "{err}");
+}
+
+#[test]
+fn unknown_external_variable_is_a_compile_error() {
+    let m = module_touching("x", "phantom");
+    let info = ModelInfo {
+        state_names: vec!["x".into()],
+        state_inits: vec![0.0],
+        ext_names: vec!["Vm".into()],
+        ext_inits: vec![0.0],
+        params: vec![],
+    };
+    let err = Kernel::from_module(&m, &info).unwrap_err();
+    assert!(err.to_string().contains("phantom"), "{err}");
+}
+
+#[test]
+fn unknown_parameter_defaults_to_zero() {
+    // Parameters are uniform scalars; an unbound one reads 0.0 (openCARP
+    // treats unset parameters as zero-initialized), not an error.
+    let mut m = Module::new("t");
+    let mut f = Func::new("compute", &[], &[]);
+    let mut b = Builder::new(&mut f);
+    let p = b.param("unbound");
+    b.set_state("x", p);
+    b.ret(&[]);
+    m.add_func(f);
+    let info = ModelInfo {
+        state_names: vec!["x".into()],
+        state_inits: vec![1.0],
+        ext_names: vec![],
+        ext_inits: vec![],
+        params: vec![],
+    };
+    let kernel = Kernel::from_module(&m, &info).unwrap();
+    let mut st = kernel.new_states(8, limpet_vm::StateLayout::Aos);
+    let mut ext = kernel.new_ext(8);
+    kernel.run_step(&mut st, &mut ext, None, limpet_vm::SimContext { dt: 0.01, t: 0.0 });
+    assert_eq!(st.get(0, 0), 0.0);
+}
+
+#[test]
+fn module_without_compute_is_a_compile_error() {
+    let m = Module::new("empty");
+    let err = Kernel::from_module(&m, &ModelInfo::default()).unwrap_err();
+    assert!(err.to_string().contains("compute"), "{err}");
+}
+
+#[test]
+fn unsupported_vector_width_is_a_compile_error() {
+    let mut m = Module::new("t");
+    let mut f = Func::new("compute", &[], &[]);
+    Builder::new(&mut f).ret(&[]);
+    m.add_func(f);
+    m.attrs.set("vector_width", 3i64);
+    let err = Kernel::from_module(&m, &ModelInfo::default()).unwrap_err();
+    assert!(err.to_string().contains("width"), "{err}");
+}
+
+#[test]
+fn lut_function_reading_state_is_a_compile_error() {
+    // A LUT column function must be closed over its key + params; one
+    // that reads cell state cannot be tabulated.
+    let mut m = Module::new("t");
+    let mut lf = Func::new("lut_Vm", &[limpet_ir::Type::F64], &[limpet_ir::Type::F64]);
+    let mut lb = Builder::new(&mut lf);
+    let bad = lb.get_state("x"); // illegal inside a LUT function
+    lb.ret(&[bad]);
+    m.add_func(lf);
+    m.luts.push(limpet_ir::LutSpec {
+        name: "Vm".into(),
+        lo: 0.0,
+        hi: 1.0,
+        step: 0.5,
+        func: "lut_Vm".into(),
+        cols: vec!["c0".into()],
+    });
+    let mut f = Func::new("compute", &[], &[]);
+    Builder::new(&mut f).ret(&[]);
+    m.add_func(f);
+    let info = ModelInfo {
+        state_names: vec!["x".into()],
+        state_inits: vec![0.0],
+        ..Default::default()
+    };
+    let result = std::panic::catch_unwind(|| Kernel::from_module(&m, &info));
+    // Either a clean CompileError or a deliberate panic from the
+    // ParamOnlyContext guard; never silent acceptance.
+    match result {
+        Ok(Ok(_)) => panic!("state-reading LUT function must not compile"),
+        Ok(Err(_)) | Err(_) => {}
+    }
+}

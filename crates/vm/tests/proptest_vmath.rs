@@ -1,0 +1,89 @@
+//! Property tests for the vmath (SVML stand-in) kernels: block results
+//! agree with `std` within the advertised tolerance over random inputs in
+//! each function's full domain, and lane results are independent of
+//! position and block size.
+
+use limpet_vm::vmath;
+use proptest::prelude::*;
+
+fn rel_err(got: f64, want: f64) -> f64 {
+    if got == want || (got.is_nan() && want.is_nan()) {
+        return 0.0;
+    }
+    (got - want).abs() / want.abs().max(1e-300)
+}
+
+macro_rules! unary_matches_std {
+    ($test:ident, $block:path, $std:path, $range:expr, $tol:expr) => {
+        proptest! {
+            #[test]
+            fn $test(xs in prop::collection::vec($range, 1..16)) {
+                let mut got = xs.clone();
+                $block(&mut got);
+                for (g, x) in got.iter().zip(&xs) {
+                    let want = $std(*x);
+                    prop_assert!(
+                        rel_err(*g, want) < $tol || (g - want).abs() < 1e-280,
+                        "f({x}) = {g}, want {want}"
+                    );
+                }
+            }
+        }
+    };
+}
+
+unary_matches_std!(exp_random, vmath::exp_block, f64::exp, -700.0f64..700.0, 1e-12);
+unary_matches_std!(log_random, vmath::log_block, f64::ln, 1e-12f64..1e12, 1e-12);
+unary_matches_std!(tanh_random, vmath::tanh_block, f64::tanh, -40.0f64..40.0, 1e-11);
+unary_matches_std!(sinh_random, vmath::sinh_block, f64::sinh, -40.0f64..40.0, 1e-10);
+unary_matches_std!(cosh_random, vmath::cosh_block, f64::cosh, -40.0f64..40.0, 1e-11);
+unary_matches_std!(sin_random, vmath::sin_block, f64::sin, -1000.0f64..1000.0, 1e-9);
+unary_matches_std!(cos_random, vmath::cos_block, f64::cos, -1000.0f64..1000.0, 1e-9);
+unary_matches_std!(expm1_random, vmath::expm1_block, f64::exp_m1, -20.0f64..20.0, 1e-10);
+unary_matches_std!(log1p_random, vmath::log1p_block, f64::ln_1p, -0.999f64..1e6, 1e-10);
+unary_matches_std!(log10_random, vmath::log10_block, f64::log10, 1e-12f64..1e12, 1e-12);
+
+proptest! {
+    #[test]
+    fn pow_random(
+        bases in prop::collection::vec(1e-6f64..1e3, 1..16),
+        expo in -20.0f64..20.0,
+    ) {
+        let mut got = bases.clone();
+        let ys = vec![expo; got.len()];
+        vmath::pow_block(&mut got, &ys);
+        for (g, b) in got.iter().zip(&bases) {
+            let want = b.powf(expo);
+            prop_assert!(
+                rel_err(*g, want) < 1e-10 || (g - want).abs() < 1e-280,
+                "pow({b}, {expo}) = {g}, want {want}"
+            );
+        }
+    }
+
+    /// Lane independence: a value's result must not depend on its
+    /// neighbours or its position in the block.
+    #[test]
+    fn lane_independence(x in -50.0f64..50.0, noise in prop::collection::vec(-50.0f64..50.0, 7)) {
+        let mut alone = [x];
+        vmath::exp_block(&mut alone);
+        for pos in 0..8 {
+            let mut block: Vec<f64> = noise.clone();
+            block.insert(pos, x);
+            vmath::exp_block(&mut block);
+            prop_assert_eq!(block[pos], alone[0], "position {}", pos);
+        }
+    }
+
+    /// Monotonicity of exp on sorted random inputs (a structural property
+    /// polynomial approximations can silently break at split boundaries).
+    #[test]
+    fn exp_is_monotone(mut xs in prop::collection::vec(-700.0f64..700.0, 2..32)) {
+        xs.sort_by(f64::total_cmp);
+        let mut ys = xs.clone();
+        vmath::exp_block(&mut ys);
+        for w in ys.windows(2) {
+            prop_assert!(w[0] <= w[1] * (1.0 + 1e-12), "{} > {}", w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Action potential: paces the Hodgkin–Huxley model from the built-in
+//! 43-model suite and renders the membrane potential as an ASCII trace —
+//! the single-cell workload the paper's intro motivates (virtual
+//! electrophysiology).
+//!
+//! ```text
+//! cargo run --release --example action_potential
+//! ```
+
+use limpet::harness::{PipelineKind, Simulation, Stimulus, Workload};
+use limpet::models;
+
+fn main() {
+    let model = models::model("HodgkinHuxley");
+    let wl = Workload {
+        n_cells: 8,
+        steps: 0,
+        dt: 0.01,
+    };
+    let mut sim = Simulation::new(
+        &model,
+        PipelineKind::LimpetMlir(limpet::codegen::pipeline::VectorIsa::Avx512),
+        &wl,
+    );
+    sim.set_stimulus(Stimulus {
+        period: 25.0,
+        duration: 1.0,
+        amplitude: 80.0,
+    });
+
+    // 40 ms of activity, sampled every 0.2 ms.
+    let total_ms = 40.0;
+    let sample_every = 20; // steps
+    let mut trace: Vec<(f64, f64)> = Vec::new();
+    let steps = (total_ms / wl.dt) as usize;
+    for step in 0..steps {
+        sim.step();
+        if step % sample_every == 0 {
+            trace.push((sim.time(), sim.vm(0)));
+        }
+    }
+
+    // ASCII plot: 60 rows of time, voltage across columns.
+    let (vmin, vmax) = (-90.0, 50.0);
+    let width = 64usize;
+    println!("Hodgkin-Huxley action potential (Vm of cell 0)");
+    println!("t [ms]   {vmin:>6.0} mV {dashes} {vmax:>4.0} mV", dashes = "-".repeat(width - 22));
+    for (t, v) in trace.iter().step_by(2) {
+        let x = ((v - vmin) / (vmax - vmin) * (width as f64 - 1.0))
+            .clamp(0.0, width as f64 - 1.0) as usize;
+        let mut line = vec![b' '; width];
+        line[x] = b'*';
+        println!("{t:7.2}  |{}|", String::from_utf8(line).unwrap());
+    }
+
+    let peak = trace.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let rest = trace.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
+    println!("\npeak overshoot: {peak:+.1} mV, maximum repolarization: {rest:+.1} mV");
+    println!(
+        "gates at end: m = {:.4}, h = {:.4}, n = {:.4}",
+        sim.state_of(0, "m").unwrap(),
+        sim.state_of(0, "h").unwrap(),
+        sim.state_of(0, "n").unwrap(),
+    );
+}

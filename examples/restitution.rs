@@ -1,0 +1,146 @@
+//! APD restitution: the classic S1–S2 pacing protocol of cardiac
+//! electrophysiology, run on the Beeler–Reuter model — the kind of
+//! virtual-physiology experiment (arrhythmia research, drug testing) the
+//! paper's introduction motivates as needing fast kernels.
+//!
+//! The cell is paced to steady state (S1 train), then probed with a
+//! premature stimulus (S2) at decreasing coupling intervals; the action
+//! potential duration (APD90) is plotted against the preceding diastolic
+//! interval (DI). Restitution-curve steepness is a standard arrhythmia
+//! marker.
+//!
+//! ```text
+//! cargo run --release --example restitution
+//! ```
+
+use limpet::codegen::pipeline::VectorIsa;
+use limpet::harness::{PipelineKind, Simulation, Stimulus, Workload};
+use limpet::models;
+
+/// Runs until `t_end`, returning (activation time, APD90) of the last AP.
+fn measure_last_ap(sim: &mut Simulation, t_end: f64, dt: f64) -> Option<(f64, f64)> {
+    let rest = -84.0;
+    let threshold = rest + 0.1 * (20.0 - rest); // ~10% above rest
+    let mut above = sim.vm(0) > threshold;
+    // If the cell is already depolarized (e.g. an S2 pulse fired just
+    // before measurement), count the ongoing AP from now.
+    let mut last_up: Option<f64> = if above { Some(sim.time()) } else { None };
+    let mut last_apd: Option<(f64, f64)> = None;
+    while sim.time() < t_end {
+        sim.step();
+        let v = sim.vm(0);
+        let now_above = v > threshold;
+        if now_above && !above {
+            last_up = Some(sim.time());
+        }
+        if !now_above && above {
+            if let Some(up) = last_up {
+                last_apd = Some((up, sim.time() - up));
+            }
+        }
+        above = now_above;
+        let _ = dt;
+    }
+    last_apd
+}
+
+fn main() {
+    let model = models::model("BeelerReuter");
+    let s1_bcl = 500.0; // ms basic cycle length
+    let s1_beats = 4;
+    let dt = 0.02;
+    let threshold = -73.0; // ~10% above BR rest toward peak
+
+    println!("S1-S2 restitution, BeelerReuter, S1 BCL {s1_bcl} ms x{s1_beats}");
+    println!("{:>8} {:>10} {:>10}", "S2 (ms)", "DI (ms)", "APD90 (ms)");
+
+    let mut curve: Vec<(f64, f64)> = Vec::new();
+    for s2 in [420.0, 380.0, 340.0, 310.0, 290.0, 275.0, 265.0, 258.0] {
+        let wl = Workload {
+            n_cells: 8,
+            steps: 0,
+            dt,
+        };
+        let mut sim = Simulation::new(
+            &model,
+            PipelineKind::LimpetMlir(VectorIsa::Avx512),
+            &wl,
+        );
+        sim.set_stimulus(Stimulus {
+            period: s1_bcl,
+            duration: 2.0,
+            amplitude: 40.0,
+        });
+        // S1 train: run just past the last S1 pulse (fires at t = 1500).
+        let last_s1 = s1_bcl * (s1_beats - 1) as f64;
+        while sim.time() < last_s1 + 3.0 {
+            sim.step();
+        }
+        sim.set_stimulus(Stimulus {
+            period: 1e12,
+            duration: 0.0,
+            amplitude: 0.0,
+        });
+
+        // Track the last S1 action potential up to the S2 moment.
+        let s2_time = last_s1 + s2;
+        let mut t_repol: Option<f64> = None; // end of the S1 AP
+        let mut above = sim.vm(0) > threshold;
+        while sim.time() < s2_time {
+            sim.step();
+            let now_above = sim.vm(0) > threshold;
+            if above && !now_above {
+                t_repol = Some(sim.time());
+            }
+            above = now_above;
+        }
+
+        let Some(t_repol) = t_repol else {
+            // Still in the S1 plateau: premature S2 lands in refractory.
+            println!("{s2:>8.0} {:>10} {:>10}", "<0", "block");
+            continue;
+        };
+        let di = s2_time - t_repol;
+
+        // Fire the 2 ms S2 pulse.
+        let pulse_end = sim.time() + 2.0;
+        sim.set_stimulus(Stimulus {
+            period: 1e12,
+            duration: pulse_end, // on until pulse_end (t % 1e12 == t)
+            amplitude: 40.0,
+        });
+        while sim.time() < pulse_end {
+            sim.step();
+        }
+        sim.set_stimulus(Stimulus {
+            period: 1e12,
+            duration: 0.0,
+            amplitude: 0.0,
+        });
+
+        // Observe the S2 response.
+        let observe_until = sim.time() + 450.0;
+        match measure_last_ap(&mut sim, observe_until, dt) {
+            Some((_, apd2)) if apd2 > 20.0 => {
+                println!("{s2:>8.0} {di:>10.1} {apd2:>10.1}");
+                curve.push((di, apd2));
+            }
+            _ => println!("{s2:>8.0} {di:>10.1} {:>10}", "block"),
+        }
+    }
+
+    // Restitution properties: APD90 shortens as DI shortens.
+    if curve.len() >= 3 {
+        let span = curve.first().unwrap().1 - curve.last().unwrap().1;
+        println!("\nrestitution: APD90 shortens by {span:.1} ms from longest to shortest DI");
+        let mut max_slope: f64 = 0.0;
+        for w in curve.windows(2) {
+            let ddi = w[0].0 - w[1].0;
+            if ddi.abs() > 1.0 {
+                max_slope = max_slope.max((w[0].1 - w[1].1) / ddi);
+            }
+        }
+        println!("maximum restitution slope: {max_slope:.2}");
+        assert!(span > 0.0, "restitution curve must shorten at short DI");
+    }
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Artifact-style evaluation script (counterpart of the paper's
+# evaluation.sh, appendix A.5): builds the workspace and regenerates the
+# requested figures into output/.
+#
+#   ./scripts/evaluation.sh -fig2 true     # Figure 2 experiments
+#   ./scripts/evaluation.sh -fig3 true     # Figure 3 experiments (default)
+#   ./scripts/evaluation.sh -fig5 true     # Figures 2-5 (everything)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIG2=false; FIG3=false; FIG5=false
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -fig2) FIG2="$2"; shift 2 ;;
+    -fig3) FIG3="$2"; shift 2 ;;
+    -fig5) FIG5="$2"; shift 2 ;;
+    *) echo "unknown option $1"; exit 2 ;;
+  esac
+done
+if [[ "$FIG2" != true && "$FIG3" != true && "$FIG5" != true ]]; then
+  FIG3=true  # the paper's default
+fi
+
+cargo build --release -p limpet-harness
+
+FLAGS=()
+[[ "$FIG2" == true ]] && FLAGS+=(--fig2)
+[[ "$FIG3" == true ]] && FLAGS+=(--fig3)
+if [[ "$FIG5" == true ]]; then
+  FLAGS=(--fig2 --fig3 --fig4 --fig5)
+fi
+
+exec cargo run --release -p limpet-harness --bin figures -- "${FLAGS[@]}"

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Counterpart of the paper's res.sh (appendix A.6): summarizes the
+# speedups recorded in output/*.csv.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+for f in output/*.csv; do
+  [[ -e "$f" ]] || { echo "no results in output/; run scripts/evaluation.sh first"; exit 1; }
+  echo "== $f =="
+  if command -v column >/dev/null; then
+    column -s, -t < "$f" | head -50
+  else
+    head -50 "$f" | tr ',' '\t'
+  fi
+  echo
+done

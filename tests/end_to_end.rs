@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: EasyML source → frontend → codegen →
+//! passes → bytecode → execution, across the whole 43-model suite.
+
+use limpet::codegen::pipeline::VectorIsa;
+use limpet::harness::{model_info, PipelineKind, Simulation, Stimulus, Workload};
+use limpet::models::{self, SizeClass, ROSTER};
+use limpet::vm::Kernel;
+use limpet::{Compiler, Isa};
+
+/// Every roster model must flow through the complete stack and remain
+/// finite over a paced simulation, under both pipelines.
+#[test]
+fn all_43_models_simulate_stably_both_pipelines() {
+    let wl = Workload {
+        n_cells: 16,
+        steps: 0,
+        dt: 0.01,
+    };
+    for e in &ROSTER {
+        let m = models::model(e.name);
+        for kind in [
+            PipelineKind::Baseline,
+            PipelineKind::LimpetMlir(VectorIsa::Avx512),
+        ] {
+            let mut sim = Simulation::new(&m, kind, &wl);
+            sim.set_stimulus(Stimulus {
+                period: 3.0,
+                duration: 0.5,
+                amplitude: 40.0,
+            });
+            sim.run(500);
+            for cell in [0usize, 7, 15] {
+                let v = sim.vm(cell);
+                assert!(
+                    v.is_finite(),
+                    "{} / {:?}: Vm diverged at cell {cell}: {v}",
+                    e.name,
+                    kind
+                );
+            }
+            for s in &m.states {
+                let v = sim.state_of(0, &s.name).unwrap();
+                assert!(
+                    v.is_finite(),
+                    "{} / {:?}: state {} diverged: {v}",
+                    e.name,
+                    kind,
+                    s.name
+                );
+            }
+        }
+    }
+}
+
+/// Baseline and limpetMLIR trajectories agree for every model (the
+/// optimizations are semantics-preserving). Tolerance covers the vmath
+/// (SVML stand-in) accuracy and LUT interpolation differences between the
+/// scalar and vectorized interpolators (none — same tables — so only
+/// vmath matters).
+#[test]
+fn all_43_models_pipelines_agree() {
+    let wl = Workload {
+        n_cells: 8,
+        steps: 0,
+        dt: 0.01,
+    };
+    for e in &ROSTER {
+        let m = models::model(e.name);
+        let mut a = Simulation::new(&m, PipelineKind::Baseline, &wl);
+        let mut b = Simulation::new(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), &wl);
+        let stim = Stimulus {
+            period: 5.0,
+            duration: 0.5,
+            amplitude: 30.0,
+        };
+        a.set_stimulus(stim);
+        b.set_stimulus(stim);
+        for _ in 0..300 {
+            a.step();
+            b.step();
+        }
+        let (va, vb) = (a.vm(0), b.vm(0));
+        let denom = va.abs().max(1.0);
+        assert!(
+            (va - vb).abs() / denom < 1e-5,
+            "{}: baseline Vm {va} vs limpetMLIR Vm {vb}",
+            e.name
+        );
+    }
+}
+
+/// The textual IR of every roster model round-trips through the parser.
+#[test]
+fn all_43_models_ir_round_trips() {
+    for e in &ROSTER {
+        let m = models::model(e.name);
+        let c = Compiler::new()
+            .isa(Isa::Avx512)
+            .compile_model(m)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        let text = c.ir_text();
+        let reparsed = limpet::ir::parse_module(&text)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        assert_eq!(
+            limpet::ir::print_module(&reparsed),
+            text,
+            "{} IR not a fixpoint",
+            e.name
+        );
+        limpet::ir::verify_module(&reparsed).unwrap();
+    }
+}
+
+/// Kernel programs grow with model class: the bytecode length ordering
+/// must match small < medium < large on class averages.
+#[test]
+fn kernel_size_tracks_model_class() {
+    let avg_instrs = |class: SizeClass| {
+        let names = models::names_in_class(class);
+        let total: usize = names
+            .iter()
+            .map(|n| {
+                let m = models::model(n);
+                let module = PipelineKind::Baseline.build(&m);
+                Kernel::from_module(&module, &model_info(&m))
+                    .unwrap()
+                    .program()
+                    .instrs
+                    .len()
+            })
+            .sum();
+        total / names.len()
+    };
+    let s = avg_instrs(SizeClass::Small);
+    let m = avg_instrs(SizeClass::Medium);
+    let l = avg_instrs(SizeClass::Large);
+    assert!(s < m && m < l, "instruction counts not ordered: {s} {m} {l}");
+}
+
+/// The sharded (threaded) driver produces the same result as the
+/// single-thread driver for a real model.
+#[test]
+fn threaded_execution_matches_single_thread() {
+    use limpet::harness::ShardedSimulation;
+    let m = models::model("BeelerReuter");
+    let wl = Workload {
+        n_cells: 32,
+        steps: 0,
+        dt: 0.01,
+    };
+    let mut single = Simulation::new(&m, PipelineKind::LimpetMlir(VectorIsa::Avx2), &wl);
+    let mut sharded =
+        ShardedSimulation::new(&m, PipelineKind::LimpetMlir(VectorIsa::Avx2), &wl, 4);
+    for _ in 0..200 {
+        single.step();
+    }
+    sharded.run_threaded(200);
+    let v_single = single.vm(0);
+    let v_sharded = sharded.shard(0).vm(0);
+    assert!(
+        (v_single - v_sharded).abs() < 1e-9,
+        "{v_single} vs {v_sharded}"
+    );
+}
+
+/// The full two-stage loop (ionic kernel + CG monodomain solve) conserves
+/// stability over a long tissue run.
+#[test]
+fn tissue_two_stage_loop_is_stable() {
+    let m = models::model("AlievPanfilov");
+    let wl = Workload {
+        n_cells: 64,
+        steps: 0,
+        dt: 0.05,
+    };
+    let mut sim = Simulation::new(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), &wl);
+    sim.set_stimulus(Stimulus {
+        period: 1e12,
+        duration: 0.0,
+        amplitude: 0.0,
+    });
+    sim.enable_tissue(0.4);
+    for c in 0..6 {
+        sim.perturb_vm(c, 40.0);
+    }
+    for _ in 0..5000 {
+        sim.step();
+    }
+    for c in 0..64 {
+        assert!(sim.vm(c).is_finite(), "cell {c} diverged");
+    }
+}

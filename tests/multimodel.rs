@@ -1,0 +1,105 @@
+//! Multimodel support (paper §3.3.2, "Multimodel support"): offspring
+//! models may read and modify the state of a parent model; without an
+//! attached parent, accesses fall through to the local storage.
+
+use limpet::harness::model_info;
+use limpet::vm::{Kernel, ParentView, SimContext, StateLayout};
+use limpet::{Compiler, Isa};
+
+/// An offspring model whose conductance modulation comes from the parent
+/// model's `f_mod` state (falling back to the external `Vm` path when no
+/// parent is attached).
+const OFFSPRING: &str = "
+Vm; .external(); .parent();
+Iion; .external();
+group{ g = 0.25; }.param();
+diff_x = (0.5 - x) / 10.0;
+x_init = 0.1;
+Iion = g * x * (Vm + 80.0);
+";
+
+#[test]
+fn offspring_reads_parent_state_when_attached() {
+    for isa in [Isa::Scalar, Isa::Avx512] {
+        let compiled = Compiler::new().isa(isa).compile("Offspring", OFFSPRING).unwrap();
+        let info = model_info(compiled.model());
+        let kernel = Kernel::from_module(compiled.module(), &info).unwrap();
+
+        let n = 16;
+        let layout = match isa {
+            Isa::Scalar => StateLayout::Aos,
+            _ => StateLayout::AoSoA { block: 8 },
+        };
+        let ctx = SimContext { dt: 0.01, t: 0.0 };
+
+        // Run 1: no parent. Vm reads fall back to the external array (0s).
+        let mut st1 = kernel.new_states(n, layout);
+        let mut ext1 = kernel.new_ext(n);
+        kernel.run_step(&mut st1, &mut ext1, None, ctx);
+        let iion_no_parent = ext1.get(0, 1);
+
+        // Run 2: parent attached, with its Vm-like state at +20.
+        let mut st2 = kernel.new_states(n, layout);
+        let mut ext2 = kernel.new_ext(n);
+        let mut parent_states =
+            limpet::vm::CellStates::new(n, &[20.0], StateLayout::Aos);
+        let mut pv = ParentView {
+            states: &mut parent_states,
+            var_map: vec![0],
+        };
+        kernel.run_step(&mut st2, &mut ext2, Some(&mut pv), ctx);
+        let iion_with_parent = ext2.get(0, 1);
+
+        // Iion = g·x·(Vm+80): Vm=0 (fallback) vs Vm=20 (parent).
+        let expected_ratio = (20.0 + 80.0) / 80.0;
+        let ratio = iion_with_parent / iion_no_parent;
+        assert!(
+            (ratio - expected_ratio).abs() < 1e-9,
+            "{isa:?}: ratio {ratio} vs expected {expected_ratio}"
+        );
+    }
+}
+
+#[test]
+fn parent_and_no_parent_agree_across_widths() {
+    // The parent path must vectorize identically to the scalar path.
+    let scalar = Compiler::new().isa(Isa::Scalar).compile("O", OFFSPRING).unwrap();
+    let vector = Compiler::new().isa(Isa::Avx512).compile("O", OFFSPRING).unwrap();
+    let info = model_info(scalar.model());
+    let ks = Kernel::from_module(scalar.module(), &info).unwrap();
+    let kv = Kernel::from_module(vector.module(), &info).unwrap();
+
+    let n = 16;
+    let ctx = SimContext { dt: 0.01, t: 0.0 };
+    let mut results = Vec::new();
+    for k in [&ks, &kv] {
+        let layout = if k.width() == 1 {
+            StateLayout::Aos
+        } else {
+            StateLayout::AoSoA { block: 8 }
+        };
+        let mut st = k.new_states(n, layout);
+        let mut ext = k.new_ext(n);
+        let mut pstates = limpet::vm::CellStates::new(n, &[13.5], StateLayout::Aos);
+        let mut pv = ParentView {
+            states: &mut pstates,
+            var_map: vec![0],
+        };
+        for step in 0..50 {
+            let c = SimContext { dt: ctx.dt, t: step as f64 * ctx.dt };
+            k.run_step(&mut st, &mut ext, Some(&mut pv), c);
+        }
+        results.push((st.get(3, 0), ext.get(3, 1)));
+    }
+    let (s, v) = (results[0], results[1]);
+    assert!((s.0 - v.0).abs() < 1e-12, "state: {} vs {}", s.0, v.0);
+    assert!((s.1 - v.1).abs() < 1e-12, "Iion: {} vs {}", s.1, v.1);
+}
+
+#[test]
+fn parent_markup_requires_external() {
+    // `.parent()` on a non-external variable is a semantic error.
+    let err = limpet::easyml::compile_model("Bad", "a; .parent();\ndiff_x = -x * a;\na = 0;")
+        .unwrap_err();
+    assert!(err.to_string().contains("parent"), "{err}");
+}

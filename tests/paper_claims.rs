@@ -1,0 +1,236 @@
+//! Shape-level checks of the paper's performance claims (§4–§5), run at a
+//! reduced workload. Absolute numbers differ from the paper (our substrate
+//! is a bytecode VM, not a Cascade Lake testbed); the *orderings* the
+//! paper reports must hold:
+//!
+//! * AVX-512 ≥ AVX2 ≥ SSE ≥ 1 (Fig. 5);
+//! * limpetMLIR beats the compiler-simd configuration (§5);
+//! * vectorized-LUT beats no-LUT on LUT-heavy models (§3.4.2);
+//! * large models speed up at least as much as small ones (Fig. 2);
+//! * at 32 modeled threads, large models keep large speedups while small
+//!   models collapse toward (or below) 1x (Fig. 3).
+
+use limpet::harness::{
+    fig5_isa_threads, geomean, icc_comparison, measure_median, ExperimentOptions, PipelineKind,
+    Simulation, TimingModel, Workload,
+};
+use limpet::codegen::pipeline::VectorIsa;
+use limpet::models;
+
+fn time_config(model: &str, kind: PipelineKind, n_cells: usize, steps: usize) -> f64 {
+    let m = models::model(model);
+    let wl = Workload {
+        n_cells,
+        steps: 0,
+        dt: 0.01,
+    };
+    let mut sim = Simulation::new(&m, kind, &wl);
+    sim.run(2); // warm-up
+    measure_median(3, || sim.run(steps))
+}
+
+/// Fig. 5 ordering on a representative medium model: wider ISAs win.
+#[test]
+fn isa_ordering_holds() {
+    let (cells, steps) = (2048, 12);
+    let base = time_config("BeelerReuter", PipelineKind::Baseline, cells, steps);
+    let sse = time_config(
+        "BeelerReuter",
+        PipelineKind::LimpetMlir(VectorIsa::Sse),
+        cells,
+        steps,
+    );
+    let avx2 = time_config(
+        "BeelerReuter",
+        PipelineKind::LimpetMlir(VectorIsa::Avx2),
+        cells,
+        steps,
+    );
+    let avx512 = time_config(
+        "BeelerReuter",
+        PipelineKind::LimpetMlir(VectorIsa::Avx512),
+        cells,
+        steps,
+    );
+    let (s2, s4, s8) = (base / sse, base / avx2, base / avx512);
+    assert!(s2 > 1.0, "SSE did not beat baseline: {s2:.2}");
+    // Allow 10% timing noise in the pairwise ordering.
+    assert!(s4 > s2 * 0.9, "AVX2 {s4:.2} not above SSE {s2:.2}");
+    assert!(s8 > s4 * 0.9, "AVX-512 {s8:.2} not above AVX2 {s4:.2}");
+}
+
+/// §5: limpetMLIR beats the icc-style configuration on a LUT-heavy model.
+#[test]
+fn limpet_mlir_beats_compiler_simd() {
+    let (cells, steps) = (2048, 12);
+    let base = time_config("LuoRudy91", PipelineKind::Baseline, cells, steps);
+    let icc = time_config(
+        "LuoRudy91",
+        PipelineKind::CompilerSimd(VectorIsa::Avx512),
+        cells,
+        steps,
+    );
+    let mlir = time_config(
+        "LuoRudy91",
+        PipelineKind::LimpetMlir(VectorIsa::Avx512),
+        cells,
+        steps,
+    );
+    let (s_icc, s_mlir) = (base / icc, base / mlir);
+    assert!(
+        s_mlir > s_icc,
+        "limpetMLIR {s_mlir:.2}x must beat compiler-simd {s_icc:.2}x"
+    );
+}
+
+/// §3.4.2: on a rate-table-heavy model, the LUT version beats no-LUT.
+#[test]
+fn lut_beats_no_lut() {
+    let (cells, steps) = (2048, 12);
+    let with = time_config(
+        "HodgkinHuxley",
+        PipelineKind::LimpetMlir(VectorIsa::Avx512),
+        cells,
+        steps,
+    );
+    let without = time_config(
+        "HodgkinHuxley",
+        PipelineKind::LimpetMlirNoLut(VectorIsa::Avx512),
+        cells,
+        steps,
+    );
+    assert!(
+        without > with,
+        "no-LUT {without:.4}s should be slower than LUT {with:.4}s"
+    );
+}
+
+/// Fig. 2 trend: large-model speedups exceed small-model speedups
+/// (geomean over two representatives each).
+#[test]
+fn large_models_speed_up_more_than_small() {
+    let (cells, steps) = (1024, 8);
+    let speedup = |name: &str| {
+        let b = time_config(name, PipelineKind::Baseline, cells, steps);
+        let l = time_config(name, PipelineKind::LimpetMlir(VectorIsa::Avx512), cells, steps);
+        b / l
+    };
+    let small = geomean(["Plonsey", "AlievPanfilov"].iter().map(|n| speedup(n)));
+    let large = geomean(["OHara", "GrandiPanditVoigt"].iter().map(|n| speedup(n)));
+    assert!(
+        large > small * 0.95,
+        "large geomean {large:.2}x below small {small:.2}x"
+    );
+}
+
+/// Fig. 3 shape via the timing model: at 32 threads, a large model keeps a
+/// substantial speedup while a small model collapses toward 1x (or below).
+#[test]
+fn thread_scaling_shape_matches_fig3() {
+    let tm = TimingModel::default();
+    let opts = ExperimentOptions {
+        n_cells: 1024,
+        steps: 8,
+        repeats: 1,
+        only: vec!["Plonsey".into(), "OHara".into()],
+    };
+    let f = limpet::harness::fig3_threads32(&opts, &tm);
+    let small = f.rows.iter().find(|r| r.model == "Plonsey").unwrap();
+    let large = f.rows.iter().find(|r| r.model == "OHara").unwrap();
+    assert!(
+        large.speedup > small.speedup,
+        "Fig3 shape: large {:.2}x must exceed small {:.2}x",
+        large.speedup,
+        small.speedup
+    );
+    assert!(
+        small.speedup < large.speedup * 0.8,
+        "small-model speedup should collapse at 32 threads"
+    );
+}
+
+/// Fig. 5 shape via the full runner on a small roster subset.
+#[test]
+fn fig5_runner_preserves_isa_ordering_at_one_thread() {
+    let tm = TimingModel::default();
+    let opts = ExperimentOptions {
+        n_cells: 1024,
+        steps: 8,
+        repeats: 1,
+        only: vec!["BeelerReuter".into(), "LuoRudy91".into()],
+    };
+    let f = fig5_isa_threads(&opts, &tm);
+    let get = |isa: &str, t: usize| {
+        f.series
+            .iter()
+            .find(|(i, tt, _)| i == isa && *tt == t)
+            .map(|(_, _, g)| *g)
+            .unwrap()
+    };
+    let (sse, avx2, avx512) = (get("SSE", 1), get("AVX2", 1), get("AVX-512", 1));
+    assert!(avx512 > avx2 * 0.9 && avx2 > sse * 0.9,
+        "ISA ordering violated: {sse:.2} {avx2:.2} {avx512:.2}");
+    assert!(f.overall_geomean > 1.0);
+}
+
+/// §5 comparison through the runner.
+#[test]
+fn icc_comparison_runner_shape() {
+    let tm = TimingModel::default();
+    let opts = ExperimentOptions {
+        n_cells: 1024,
+        steps: 8,
+        repeats: 1,
+        only: vec!["HodgkinHuxley".into()],
+    };
+    let f = icc_comparison(&opts, &tm);
+    assert!(f.limpet_mlir > f.compiler_simd,
+        "limpetMLIR {:.2} vs compiler-simd {:.2}", f.limpet_mlir, f.compiler_simd);
+}
+
+/// §7 extension: spline LUTs on 4x-coarser tables track the
+/// full-resolution linear-LUT trajectory closely while using a quarter of
+/// the table memory.
+#[test]
+fn spline_luts_save_memory_and_preserve_accuracy() {
+    use limpet::harness::model_info;
+    use limpet::vm::Kernel;
+    let m = models::model("HodgkinHuxley");
+    let info = model_info(&m);
+    let lin = Kernel::from_module(
+        &PipelineKind::LimpetMlir(VectorIsa::Avx512).build(&m),
+        &info,
+    )
+    .unwrap();
+    let spl = Kernel::from_module(
+        &PipelineKind::LimpetMlirSpline(VectorIsa::Avx512).build(&m),
+        &info,
+    )
+    .unwrap();
+    // Memory: 4x coarser step -> about a quarter of the bytes.
+    let ratio = lin.lut_bytes() as f64 / spl.lut_bytes() as f64;
+    assert!(
+        (3.5..4.5).contains(&ratio),
+        "table memory ratio {ratio} not ~4x ({} vs {})",
+        lin.lut_bytes(),
+        spl.lut_bytes()
+    );
+
+    // Accuracy: trajectories agree through a full paced action potential.
+    let wl = Workload { n_cells: 8, steps: 0, dt: 0.01 };
+    let mut a = Simulation::new(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), &wl);
+    let mut b = Simulation::new(&m, PipelineKind::LimpetMlirSpline(VectorIsa::Avx512), &wl);
+    let stim = limpet::harness::Stimulus { period: 25.0, duration: 1.0, amplitude: 80.0 };
+    a.set_stimulus(stim);
+    b.set_stimulus(stim);
+    let mut max_dv: f64 = 0.0;
+    for _ in 0..3000 {
+        a.step();
+        b.step();
+        max_dv = max_dv.max((a.vm(0) - b.vm(0)).abs());
+    }
+    assert!(
+        max_dv < 1.0,
+        "spline trajectory deviates by {max_dv} mV over an AP"
+    );
+}
