@@ -3,11 +3,18 @@
 //! vectorization, and bytecode emission — on a small and a large model.
 //! The paper's flow runs at model-build time, so compile speed bounds the
 //! edit-run loop of model developers.
+//!
+//! The `kernel_cold` / `kernel_warm` pair measures kernel *acquisition*
+//! through the compilation service: cold is a full compile (lowering +
+//! bytecode + LUT tabulation), warm is a cache lookup that clones the
+//! `Arc`-shared kernel. Warm should be several orders of magnitude
+//! faster — that gap is what the cache saves on every repeated
+//! `(model, config)` use across the figure runners.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use limpet_codegen::pipeline::{limpet_mlir, Layout, VectorIsa};
 use limpet_codegen::{lower_model, CodegenOptions};
-use limpet_harness::model_info;
+use limpet_harness::{model_info, KernelCache, PipelineKind};
 use limpet_vm::Kernel;
 use std::time::Duration;
 
@@ -32,6 +39,21 @@ fn bench(c: &mut Criterion) {
         let info = model_info(&model);
         g.bench_with_input(BenchmarkId::new("bytecode+luts", name), &(), |b, ()| {
             b.iter(|| Kernel::from_module(&module, &info).unwrap());
+        });
+
+        // Kernel acquisition: cold (full compile, cache bypassed via a
+        // fresh per-iteration miss) vs. warm (hit on a populated cache).
+        let config = PipelineKind::LimpetMlir(VectorIsa::Avx512);
+        g.bench_with_input(BenchmarkId::new("kernel_cold", name), &(), |b, ()| {
+            b.iter(|| {
+                let cache = KernelCache::new();
+                cache.get_or_compile(&model, config)
+            });
+        });
+        let warm_cache = KernelCache::new();
+        warm_cache.get_or_compile(&model, config);
+        g.bench_with_input(BenchmarkId::new("kernel_warm", name), &(), |b, ()| {
+            b.iter(|| warm_cache.get_or_compile(&model, config));
         });
     }
     g.finish();

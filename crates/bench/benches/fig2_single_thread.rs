@@ -11,12 +11,12 @@ use limpet_harness::PipelineKind;
 use std::time::Duration;
 
 const MODELS: [&str; 6] = [
-    "Plonsey",          // small
-    "ISAC_Hu",          // small, LUT-free math-heavy outlier
-    "HodgkinHuxley",    // medium (classic)
-    "Courtemanche",     // medium
-    "OHara",            // large
-    "GrandiPanditVoigt",// large, most compute-bound (Fig. 6)
+    "Plonsey",           // small
+    "ISAC_Hu",           // small, LUT-free math-heavy outlier
+    "HodgkinHuxley",     // medium (classic)
+    "Courtemanche",      // medium
+    "OHara",             // large
+    "GrandiPanditVoigt", // large, most compute-bound (Fig. 6)
 ];
 
 fn bench(c: &mut Criterion) {
@@ -28,7 +28,10 @@ fn bench(c: &mut Criterion) {
     for model in MODELS {
         for (label, kind) in [
             ("baseline", PipelineKind::Baseline),
-            ("limpetMLIR-AVX512", PipelineKind::LimpetMlir(VectorIsa::Avx512)),
+            (
+                "limpetMLIR-AVX512",
+                PipelineKind::LimpetMlir(VectorIsa::Avx512),
+            ),
         ] {
             let mut sim = bench_sim(model, kind, n_cells);
             sim.run(2);

@@ -22,7 +22,10 @@ fn bench(c: &mut Criterion) {
     for model in ["Plonsey", "Courtemanche", "OHara"] {
         for (label, kind) in [
             ("baseline", PipelineKind::Baseline),
-            ("limpetMLIR-AVX512", PipelineKind::LimpetMlir(VectorIsa::Avx512)),
+            (
+                "limpetMLIR-AVX512",
+                PipelineKind::LimpetMlir(VectorIsa::Avx512),
+            ),
         ] {
             let mut sim = bench_sim(model, kind, shard);
             sim.run(2);

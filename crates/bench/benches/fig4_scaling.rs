@@ -17,15 +17,15 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(700));
-    for (class, model) in [("small", "Plonsey"), ("medium", "BeelerReuter"), ("large", "OHara")] {
+    for (class, model) in [
+        ("small", "Plonsey"),
+        ("medium", "BeelerReuter"),
+        ("large", "OHara"),
+    ] {
         for threads in [1usize, 4, 16, 32] {
             let shard = (TOTAL_CELLS / threads).max(8);
             g.throughput(Throughput::Elements(shard as u64));
-            let mut sim = bench_sim(
-                model,
-                PipelineKind::LimpetMlir(VectorIsa::Avx512),
-                shard,
-            );
+            let mut sim = bench_sim(model, PipelineKind::LimpetMlir(VectorIsa::Avx512), shard);
             sim.run(2);
             g.bench_with_input(
                 BenchmarkId::new(format!("{class}-{model}"), threads),

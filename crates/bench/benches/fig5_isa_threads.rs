@@ -20,7 +20,10 @@ fn bench(c: &mut Criterion) {
             ("scalar".to_owned(), PipelineKind::Baseline),
             ("SSE".to_owned(), PipelineKind::LimpetMlir(VectorIsa::Sse)),
             ("AVX2".to_owned(), PipelineKind::LimpetMlir(VectorIsa::Avx2)),
-            ("AVX-512".to_owned(), PipelineKind::LimpetMlir(VectorIsa::Avx512)),
+            (
+                "AVX-512".to_owned(),
+                PipelineKind::LimpetMlir(VectorIsa::Avx512),
+            ),
         ];
         for (label, kind) in configs {
             let mut sim = bench_sim(model, kind, n_cells);

@@ -48,9 +48,7 @@ fn bench(c: &mut Criterion) {
     for model in ["DrouhardRoberge", "GrandiPanditVoigt"] {
         let mut sim = limpet_bench::bench_sim(
             model,
-            limpet_harness::PipelineKind::LimpetMlir(
-                limpet_codegen::pipeline::VectorIsa::Avx512,
-            ),
+            limpet_harness::PipelineKind::LimpetMlir(limpet_codegen::pipeline::VectorIsa::Avx512),
             1024,
         );
         sim.run(2);

@@ -27,11 +27,9 @@ fn bench(c: &mut Criterion) {
         .module;
 
         // Without: rebuild the pipeline minus FmaContract.
-        let mut without = limpet_codegen::lower_model(
-            &model,
-            &limpet_codegen::CodegenOptions { use_lut: true },
-        )
-        .module;
+        let mut without =
+            limpet_codegen::lower_model(&model, &limpet_codegen::CodegenOptions { use_lut: true })
+                .module;
         {
             use limpet_passes::*;
             let mut pm = PassManager::new();

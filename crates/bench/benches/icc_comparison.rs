@@ -19,7 +19,10 @@ fn bench(c: &mut Criterion) {
     for model in ["HodgkinHuxley", "DrouhardRoberge", "OHara"] {
         let configs = [
             ("baseline", PipelineKind::Baseline),
-            ("compiler-simd", PipelineKind::CompilerSimd(VectorIsa::Avx512)),
+            (
+                "compiler-simd",
+                PipelineKind::CompilerSimd(VectorIsa::Avx512),
+            ),
             ("limpetMLIR", PipelineKind::LimpetMlir(VectorIsa::Avx512)),
         ];
         for (label, kind) in configs {

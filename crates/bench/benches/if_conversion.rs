@@ -31,13 +31,8 @@ fn heavy_body(side: &str, n_terms: usize) -> String {
 
 fn model_src(kind: &str) -> String {
     let body = match kind {
-        "branchless" => format!(
-            "w = {};\n",
-            heavy_body("+", 8)
-        ),
-        "light_branch" => format!(
-            "if (Vm > 0.0) {{ w = Vm / 50.0; }} else {{ w = -Vm / 80.0; }}\n"
-        ),
+        "branchless" => format!("w = {};\n", heavy_body("+", 8)),
+        "light_branch" => "if (Vm > 0.0) { w = Vm / 50.0; } else { w = -Vm / 80.0; }\n".to_string(),
         _ => format!(
             "if (Vm > 0.0) {{ w = {}; }} else {{ w = {}; }}\n",
             heavy_body("+", 8),

@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
     for model in ["HodgkinHuxley", "LuoRudy91", "Courtemanche"] {
         for (label, kind) in [
             ("linear", PipelineKind::LimpetMlir(VectorIsa::Avx512)),
-            ("spline4x", PipelineKind::LimpetMlirSpline(VectorIsa::Avx512)),
+            (
+                "spline4x",
+                PipelineKind::LimpetMlirSpline(VectorIsa::Avx512),
+            ),
         ] {
             let mut sim = bench_sim(model, kind, n_cells);
             sim.run(2);

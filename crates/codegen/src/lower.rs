@@ -11,9 +11,7 @@
 
 use crate::lut::{extract_luts, LutTable, LUT_COL_MARKER};
 use limpet_easyml::{affine_in, BinOp, Expr, Method, Model, Stmt, UnOp};
-use limpet_ir::{
-    Builder, CmpFPred, Func, LutSpec, MathFn, Module, Type, ValueId,
-};
+use limpet_ir::{Builder, CmpFPred, Func, LutSpec, MathFn, Module, Type, ValueId};
 use std::collections::HashMap;
 
 /// Options controlling code generation.
@@ -206,18 +204,14 @@ impl<'m> Lowerer<'m> {
                         &result_types,
                         |bb| {
                             self.lower_stmts(bb, then_body, &mut env_then, ov);
-                            let vals: Vec<ValueId> = names_then
-                                .iter()
-                                .map(|n| env_then[n.as_str()])
-                                .collect();
+                            let vals: Vec<ValueId> =
+                                names_then.iter().map(|n| env_then[n.as_str()]).collect();
                             bb.yield_(&vals);
                         },
                         |bb| {
                             self.lower_stmts(bb, else_body, &mut env_else, ov);
-                            let vals: Vec<ValueId> = names_else
-                                .iter()
-                                .map(|n| env_else[n.as_str()])
-                                .collect();
+                            let vals: Vec<ValueId> =
+                                names_else.iter().map(|n| env_else[n.as_str()]).collect();
                             bb.yield_(&vals);
                         },
                     )
@@ -365,10 +359,7 @@ impl<'m> Lowerer<'m> {
         env: &mut Env,
         ov: &Env,
     ) -> ValueId {
-        let vals: Vec<ValueId> = args
-            .iter()
-            .map(|a| self.lower_num(b, a, env, ov))
-            .collect();
+        let vals: Vec<ValueId> = args.iter().map(|a| self.lower_num(b, a, env, ov)).collect();
         match (name, vals.as_slice()) {
             ("square", [x]) => b.mulf(*x, *x),
             ("cube", [x]) => {
@@ -676,8 +667,7 @@ mod tests {
         for m in Method::ALL {
             let src = format!("diff_x = 0.5 - 0.25 * x;\nx;.method({});", m.name());
             let l = lower(&src);
-            verify_module(&l.module)
-                .unwrap_or_else(|e| panic!("method {} failed: {e}", m.name()));
+            verify_module(&l.module).unwrap_or_else(|e| panic!("method {} failed: {e}", m.name()));
         }
     }
 

@@ -60,8 +60,7 @@ pub fn extract_luts(model: &Model) -> LutExtraction {
 
     for lookup in &model.lookups {
         let var = lookup.var.clone();
-        let param_names: HashSet<String> =
-            model.params.iter().map(|p| p.name.clone()).collect();
+        let param_names: HashSet<String> = model.params.iter().map(|p| p.name.clone()).collect();
 
         // Step 1: L-pure intermediates (top-level plain assignments only).
         let mut pure: HashMap<String, Expr> = HashMap::new();
@@ -75,7 +74,8 @@ pub fn extract_luts(model: &Model) -> LutExtraction {
                     {
                         continue;
                     }
-                    if is_closed(expr, &var, &param_names, &pure) && expr.references_any(&var, &pure)
+                    if is_closed(expr, &var, &param_names, &pure)
+                        && expr.references_any(&var, &pure)
                     {
                         pure.insert(lhs.clone(), expr.clone());
                         grew = true;

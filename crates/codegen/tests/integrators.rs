@@ -16,9 +16,7 @@ use limpet_vm::{Kernel, ModelInfo, SimContext, StateLayout};
 /// returns x(T). `extra` appends model body lines (e.g. time-varying
 /// rates).
 fn integrate(method: &str, rhs: &str, x0: f64, dt: f64, t_end: f64, extra: &str) -> f64 {
-    let src = format!(
-        "diff_x = {rhs};\nx_init = {x0};\nx;.method({method});\n{extra}"
-    );
+    let src = format!("diff_x = {rhs};\nx_init = {x0};\nx;.method({method});\n{extra}");
     let model = limpet_easyml::compile_model("ode", &src).unwrap();
     let lowered = pipeline::baseline(&model);
     let info = ModelInfo {
@@ -37,7 +35,10 @@ fn integrate(method: &str, rhs: &str, x0: f64, dt: f64, t_end: f64, extra: &str)
             &mut st,
             &mut ext,
             None,
-            SimContext { dt, t: s as f64 * dt },
+            SimContext {
+                dt,
+                t: s as f64 * dt,
+            },
         );
     }
     st.get(0, 0)
@@ -92,10 +93,7 @@ fn rush_larsen_is_exact_on_linear_gates() {
     for dt in [0.01, 0.5, 2.0] {
         let got = integrate("rush_larsen", "(0.8 - x) / 2.0", 1.0, dt, 4.0, "");
         let want = exact(4.0);
-        assert!(
-            (got - want).abs() < 1e-12,
-            "dt {dt}: {got} vs exact {want}"
-        );
+        assert!((got - want).abs() < 1e-12, "dt {dt}: {got} vs exact {want}");
     }
 }
 
@@ -141,7 +139,15 @@ fn sundnes_is_second_order_on_time_varying_gates() {
         let mut ext = kernel.new_ext(1);
         let steps = (1.0 / dt).round() as usize;
         for s in 0..steps {
-            kernel.run_step(&mut st, &mut ext, None, SimContext { dt, t: s as f64 * dt });
+            kernel.run_step(
+                &mut st,
+                &mut ext,
+                None,
+                SimContext {
+                    dt,
+                    t: s as f64 * dt,
+                },
+            );
         }
         let xi = info.state_names.iter().position(|n| n == "x").unwrap();
         st.get(0, xi)
@@ -150,7 +156,10 @@ fn sundnes_is_second_order_on_time_varying_gates() {
     let e1 = (src("sundnes", 0.05) - exact).abs();
     let e2 = (src("sundnes", 0.025) - exact).abs();
     let p = (e1 / e2).log2();
-    assert!((1.6..2.6).contains(&p), "sundnes observed order {p} (e1={e1:.3e}, e2={e2:.3e})");
+    assert!(
+        (1.6..2.6).contains(&p),
+        "sundnes observed order {p} (e1={e1:.3e}, e2={e2:.3e})"
+    );
     // And it should beat plain Rush-Larsen (first-order in the coupling).
     let e_rl = (src("rush_larsen", 0.05) - exact).abs();
     assert!(e1 < e_rl, "sundnes {e1:.3e} should beat RL {e_rl:.3e}");
@@ -164,7 +173,10 @@ fn markov_be_is_stable_beyond_fe_limit() {
     let rhs = "(0.3 - x) / 0.01";
     let be = integrate("markov_be", rhs, 1.0, 0.05, 1.0, "");
     assert!((0.0..=1.0).contains(&be), "markov_be escaped: {be}");
-    assert!((be - 0.3).abs() < 0.05, "markov_be should approach 0.3: {be}");
+    assert!(
+        (be - 0.3).abs() < 0.05,
+        "markov_be should approach 0.3: {be}"
+    );
     let fe = integrate("fe", rhs, 1.0, 0.05, 1.0, "");
     assert!(
         !(0.0..=1.0).contains(&fe) || fe.abs() > 10.0 || fe.is_nan(),

@@ -63,8 +63,7 @@ fn listing_3_structure_from_vectorized_ir() {
     // (Listing 3 line 24) — our spelling drops `dense<>` but keeps the
     // vector-typed constant.
     assert!(
-        ir.contains("arith.constant 100.0 : vector<8xf64>")
-            || ir.contains(" : vector<8xf64>\n"),
+        ir.contains("arith.constant 100.0 : vector<8xf64>") || ir.contains(" : vector<8xf64>\n"),
         "{ir}"
     );
     // `arith.divf ... : vector<8xf64>` / `arith.negf` (lines 25-26:
@@ -73,7 +72,10 @@ fn listing_3_structure_from_vectorized_ir() {
     // The rk2 method re-evaluates diff_u1 (Listing 2 lines 17-26): the
     // intermediate state value feeds a second derivative computation.
     let mul_count = ir.matches("arith.mulf").count();
-    assert!(mul_count >= 6, "rk2 re-evaluation missing: {mul_count} muls");
+    assert!(
+        mul_count >= 6,
+        "rk2 re-evaluation missing: {mul_count} muls"
+    );
     // dt/2 shows up as a uniform scalar computation (vectorizer keeps
     // dt uniform).
     assert!(ir.contains("limpet.dt"), "{ir}");

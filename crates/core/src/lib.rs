@@ -62,9 +62,10 @@ pub use limpet_vm as vm;
 
 use limpet_codegen::pipeline::{self, Layout, VectorIsa};
 use limpet_easyml::Model;
-use limpet_harness::{model_info, PipelineKind, Simulation, Workload};
+use limpet_harness::{model_info, storage_layout, PipelineKind, Simulation, Workload};
 use limpet_ir::Module;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Target vector instruction set (paper §4 evaluates SSE/AVX2/AVX-512).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -154,8 +155,7 @@ impl Compiler {
     ///
     /// Returns [`CompileError::Frontend`] for malformed models.
     pub fn compile(&self, name: &str, source: &str) -> Result<Compiled, CompileError> {
-        let model =
-            limpet_easyml::compile_model(name, source).map_err(CompileError::Frontend)?;
+        let model = limpet_easyml::compile_model(name, source).map_err(CompileError::Frontend)?;
         self.compile_model(model)
     }
 
@@ -192,16 +192,21 @@ impl Compiler {
             model,
             module,
             kind,
+            kernel: OnceLock::new(),
         })
     }
 }
 
-/// A compiled model: checked frontend model + optimized IR module.
+/// A compiled model: checked frontend model + optimized IR module, with
+/// the executable kernel built lazily and memoized — repeated
+/// [`Compiled::kernel`] / [`Compiled::simulation`] calls share one
+/// bytecode compilation instead of re-lowering per call.
 #[derive(Debug, Clone)]
 pub struct Compiled {
     model: Model,
     module: Module,
     kind: PipelineKind,
+    kernel: OnceLock<limpet_vm::Kernel>,
 }
 
 impl Compiled {
@@ -215,30 +220,44 @@ impl Compiled {
         &self.module
     }
 
+    /// The pipeline configuration this model was compiled under.
+    pub fn pipeline_kind(&self) -> PipelineKind {
+        self.kind
+    }
+
     /// The MLIR-style textual IR (parseable by [`limpet_ir::parse_module`]).
     pub fn ir_text(&self) -> String {
         limpet_ir::print_module(&self.module)
     }
 
-    /// Builds an executable kernel bound to this model's storage shape.
+    /// The executable kernel bound to this model's storage shape.
+    ///
+    /// Built on first call from the already-optimized module and
+    /// memoized; the returned value is a cheap clone sharing that one
+    /// compilation (programs and LUTs live behind `Arc`).
     ///
     /// # Panics
     ///
     /// Panics if bytecode compilation fails (verified modules always
     /// compile).
     pub fn kernel(&self) -> limpet_vm::Kernel {
-        limpet_vm::Kernel::from_module(&self.module, &model_info(&self.model))
-            .expect("verified module must compile to bytecode")
+        self.kernel
+            .get_or_init(|| {
+                limpet_vm::Kernel::from_module(&self.module, &model_info(&self.model))
+                    .expect("verified module must compile to bytecode")
+            })
+            .clone()
     }
 
-    /// Creates a ready-to-run simulation over `n_cells` cells.
+    /// Creates a ready-to-run simulation over `n_cells` cells, reusing
+    /// this compilation (no re-lowering).
     pub fn simulation(&self, n_cells: usize, dt: f64) -> Simulation {
         let wl = Workload {
             n_cells,
             steps: 0,
             dt,
         };
-        Simulation::new(&self.model, self.kind, &wl)
+        Simulation::with_kernel(self.kernel(), storage_layout(&self.module), &wl)
     }
 }
 
@@ -301,5 +320,23 @@ Iion = 0.2 * x * (Vm + 80.0);
         sim.run(50);
         assert!(sim.vm(0).is_finite());
         assert!(sim.state_of(0, "x").unwrap().is_finite());
+    }
+
+    #[test]
+    fn kernel_is_memoized() {
+        let c = Compiler::new().compile("m", SRC).unwrap();
+        assert_eq!(
+            c.pipeline_kind(),
+            PipelineKind::LimpetMlir(VectorIsa::Avx512)
+        );
+        let a = c.kernel();
+        let b = c.kernel();
+        assert!(
+            a.shares_compilation(&b),
+            "repeated kernel() calls must share one compilation"
+        );
+        // Simulations reuse that same compilation too.
+        let sim = c.simulation(8, 0.01);
+        assert!(sim.kernel().shares_compilation(&a));
     }
 }

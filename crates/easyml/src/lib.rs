@@ -49,8 +49,8 @@ mod token;
 pub use ast::{BinOp, Expr, GroupItem, Item, Markup, MarkupArg, ModelAst, Stmt, UnOp};
 pub use parser::{parse_model, ParseError};
 pub use sema::{
-    affine_in, analyze, builtin_arity, eval_const, ExtVar, Lookup, Method, Model, Param,
-    SemaError, SemaErrors, StateVar, BUILTINS, IMPLICIT_SOURCES,
+    affine_in, analyze, builtin_arity, eval_const, ExtVar, Lookup, Method, Model, Param, SemaError,
+    SemaErrors, StateVar, BUILTINS, IMPLICIT_SOURCES,
 };
 pub use token::{lex, LexError, Token, TokenKind};
 

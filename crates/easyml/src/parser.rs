@@ -153,7 +153,11 @@ impl Parser {
                 if self.eat(&TokenKind::Assign) {
                     let expr = self.parse_expr()?;
                     self.expect(&TokenKind::Semi)?;
-                    items.push(Item::Stmt(Stmt::Assign { lhs: name, expr, line }));
+                    items.push(Item::Stmt(Stmt::Assign {
+                        lhs: name,
+                        expr,
+                        line,
+                    }));
                 } else {
                     self.expect(&TokenKind::Semi)?;
                     items.push(Item::Decl {
@@ -403,9 +407,7 @@ impl Parser {
         match self.next()? {
             TokenKind::Num(v) => Ok(Expr::Num(v)),
             TokenKind::Ident(name) => {
-                if self.peek() == Some(&TokenKind::LParen)
-                    && self.peek2().is_some()
-                {
+                if self.peek() == Some(&TokenKind::LParen) && self.peek2().is_some() {
                     self.pos += 1;
                     let mut args = Vec::new();
                     if !self.eat(&TokenKind::RParen) {

@@ -427,46 +427,50 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
     let mut methods: HashMap<String, (Method, usize)> = HashMap::new();
     let mut declared: Vec<String> = Vec::new();
 
-    let handle_markup =
-        |names: &[String], m: &Markup, errors: &mut Vec<SemaError>, lookups: &mut Vec<Lookup>, external_names: &mut Vec<String>, parent_names: &mut Vec<String>, methods: &mut HashMap<String, (Method, usize)>| {
-            match m.name.as_str() {
-                "external" => {
-                    for n in names {
-                        if !external_names.contains(n) {
-                            external_names.push(n.clone());
-                        }
+    let handle_markup = |names: &[String],
+                         m: &Markup,
+                         errors: &mut Vec<SemaError>,
+                         lookups: &mut Vec<Lookup>,
+                         external_names: &mut Vec<String>,
+                         parent_names: &mut Vec<String>,
+                         methods: &mut HashMap<String, (Method, usize)>| {
+        match m.name.as_str() {
+            "external" => {
+                for n in names {
+                    if !external_names.contains(n) {
+                        external_names.push(n.clone());
                     }
                 }
-                "parent" => {
-                    for n in names {
-                        if !parent_names.contains(n) {
-                            parent_names.push(n.clone());
-                        }
+            }
+            "parent" => {
+                for n in names {
+                    if !parent_names.contains(n) {
+                        parent_names.push(n.clone());
                     }
                 }
-                "lookup" => {
-                    let nums: Vec<Option<f64>> = m.args.iter().map(|a| a.as_num()).collect();
-                    match nums.as_slice() {
-                        [Some(lo), Some(hi), Some(step)] if *step > 0.0 && hi > lo => {
-                            for n in names {
-                                lookups.push(Lookup {
-                                    var: n.clone(),
-                                    lo: *lo,
-                                    hi: *hi,
-                                    step: *step,
-                                });
-                            }
+            }
+            "lookup" => {
+                let nums: Vec<Option<f64>> = m.args.iter().map(|a| a.as_num()).collect();
+                match nums.as_slice() {
+                    [Some(lo), Some(hi), Some(step)] if *step > 0.0 && hi > lo => {
+                        for n in names {
+                            lookups.push(Lookup {
+                                var: n.clone(),
+                                lo: *lo,
+                                hi: *hi,
+                                step: *step,
+                            });
                         }
-                        _ => errors.push(SemaError {
-                            line: m.line,
-                            message: ".lookup() needs (lo, hi, step) with step > 0 and hi > lo"
-                                .into(),
-                        }),
                     }
+                    _ => errors.push(SemaError {
+                        line: m.line,
+                        message: ".lookup() needs (lo, hi, step) with step > 0 and hi > lo".into(),
+                    }),
                 }
-                "method" => {
-                    let arg = m.args.first().and_then(|a| a.as_ident());
-                    match arg.and_then(Method::parse) {
+            }
+            "method" => {
+                let arg = m.args.first().and_then(|a| a.as_ident());
+                match arg.and_then(Method::parse) {
                         Some(method) => {
                             for n in names {
                                 methods.insert(n.clone(), (method, m.line));
@@ -480,15 +484,15 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
                             ),
                         }),
                     }
-                }
-                // Markups that affect storage or tracing, not code shape.
-                "nodal" | "regional" | "units" | "trace" | "store" | "param" => {}
-                other => errors.push(SemaError {
-                    line: m.line,
-                    message: format!("unknown markup .{other}()"),
-                }),
             }
-        };
+            // Markups that affect storage or tracing, not code shape.
+            "nodal" | "regional" | "units" | "trace" | "store" | "param" => {}
+            other => errors.push(SemaError {
+                line: m.line,
+                message: format!("unknown markup .{other}()"),
+            }),
+        }
+    };
 
     for item in &ast.items {
         match item {
@@ -804,10 +808,7 @@ fn check_expr(
                 }),
                 Some(arity) if arity != args.len() => errors.push(SemaError {
                     line,
-                    message: format!(
-                        "{name}() expects {arity} argument(s), got {}",
-                        args.len()
-                    ),
+                    message: format!("{name}() expects {arity} argument(s), got {}", args.len()),
                 }),
                 Some(_) => {}
             }
@@ -973,8 +974,11 @@ Iion = (-(Cm/2.)*(u1+u3-Vm)*square(u2)*(Vm-u3)+beta);
                 _ => "?",
             })
             .collect();
-        let pos =
-            |n: &str| lhss.iter().position(|l| *l == n).unwrap_or_else(|| panic!("{n} missing"));
+        let pos = |n: &str| {
+            lhss.iter()
+                .position(|l| *l == n)
+                .unwrap_or_else(|| panic!("{n} missing"))
+        };
         assert!(pos("a") < pos("b"));
         assert!(pos("b") < pos("diff_x"));
     }

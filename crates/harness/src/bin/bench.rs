@@ -9,7 +9,7 @@
 //! ```
 
 use limpet_codegen::pipeline::VectorIsa;
-use limpet_harness::{PipelineKind, Simulation, Stimulus, Workload};
+use limpet_harness::{KernelCache, PipelineKind, Simulation, Stimulus, Workload};
 use std::time::Instant;
 
 fn usage() -> ! {
@@ -73,11 +73,36 @@ fn main() {
             "--model-file" => {
                 let _ = it.next();
             }
-            "--duration" => duration = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--dt" => dt = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--cells" => cells = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--bcl" => bcl = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--threads" => threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--duration" => {
+                duration = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--dt" => {
+                dt = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--cells" => {
+                cells = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--bcl" => {
+                bcl = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--emit-ir" => emit_ir = true,
             "--emit-c" => emit_c = true,
             "--validate" => validate = true,
@@ -102,10 +127,9 @@ fn main() {
         Some(m) => m.clone(),
         None => limpet_models::model(model_name),
     };
-    let module = config.build(&model);
 
     if emit_ir {
-        println!("{}", limpet_ir::print_module(&module));
+        println!("{}", limpet_ir::print_module(&config.build(&model)));
         return;
     }
     if emit_c {
@@ -127,11 +151,20 @@ fn main() {
         config.label(),
     );
 
-    let wl = Workload { n_cells: cells, steps: 0, dt };
+    // Compile once through the shared cache: the sharded path below and
+    // any --validate re-run reuse this kernel instead of re-lowering.
+    let t0 = Instant::now();
+    KernelCache::global().get_or_compile(&model, config);
+    println!("compile: {:?} (cached for reuse)", t0.elapsed());
+
+    let wl = Workload {
+        n_cells: cells,
+        steps: 0,
+        dt,
+    };
     if threads > 1 {
         // Real-thread sharded execution (one OS thread per shard).
-        let mut sharded =
-            limpet_harness::ShardedSimulation::new(&model, config, &wl, threads);
+        let mut sharded = limpet_harness::ShardedSimulation::new(&model, config, &wl, threads);
         let secs = sharded.run_threaded(steps);
         println!(
             "threads={threads}: {secs:.4}s wall ({:.3} us/step)",
@@ -152,15 +185,11 @@ fn main() {
     let elapsed = t0.elapsed();
     let per_step = elapsed.as_secs_f64() / steps as f64;
     println!(
-        "setup+run: {elapsed:?}  ({:.3} us/step, {:.1} Mcell-steps/s)",
+        "run: {elapsed:?}  ({:.3} us/step, {:.1} Mcell-steps/s)",
         per_step * 1e6,
         (cells as f64 * steps as f64) / elapsed.as_secs_f64() / 1e6
     );
-    println!(
-        "final: Vm = {:.4} mV, Iion = {:.6}",
-        sim.vm(0),
-        sim.iion(0)
-    );
+    println!("final: Vm = {:.4} mV, Iion = {:.6}", sim.vm(0), sim.iion(0));
 
     if validate {
         // Re-run under the baseline pipeline and compare end states.

@@ -4,18 +4,28 @@
 //! figures [--fig2] [--fig3] [--fig4] [--fig5] [--layout] [--lut]
 //!         [--icc] [--roofline] [--stats] [--all]
 //!         [--cells N] [--steps N] [--repeats N] [--models a,b,c]
+//!         [--jobs N] [--no-cache]
 //! ```
 //!
 //! With no figure flag, `--fig2` runs (cheapest headline artifact).
 //! Results print as aligned text tables and are also written as CSV files
 //! under `output/`.
+//!
+//! `--jobs N` precompiles the selected roster across every pipeline
+//! configuration on N worker threads before any experiment runs, so the
+//! (serial) measurements start from a warm kernel cache. `--no-cache`
+//! disables the cache entirely — every simulation compiles from scratch,
+//! as the harness did before the compilation service existed — which is
+//! useful for validating that cached runs produce identical results.
 
 use limpet_harness::{
-    fig2_single_thread, fig3_threads32, fig4_scaling, fig5_isa_threads, fig6_roofline,
-    icc_comparison, kernel_stats, layout_ablation, lut_ablation, ExperimentOptions, TimingModel,
+    all_pipeline_kinds, fig2_single_thread, fig3_threads32, fig4_scaling, fig5_isa_threads,
+    fig6_roofline, icc_comparison, kernel_stats, layout_ablation, lut_ablation, ExperimentOptions,
+    KernelCache, TimingModel,
 };
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 #[derive(Debug)]
 struct Args {
@@ -28,14 +38,25 @@ struct Args {
     icc: bool,
     roofline: bool,
     stats: bool,
+    jobs: usize,
+    no_cache: bool,
     opts: ExperimentOptions,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         opts: ExperimentOptions::default(),
-        fig2: false, fig3: false, fig4: false, fig5: false,
-        layout: false, lut: false, icc: false, roofline: false, stats: false,
+        fig2: false,
+        fig3: false,
+        fig4: false,
+        fig5: false,
+        layout: false,
+        lut: false,
+        icc: false,
+        roofline: false,
+        stats: false,
+        jobs: 0,
+        no_cache: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -86,10 +107,18 @@ fn parse_args() -> Args {
                     .map(str::to_owned)
                     .collect();
             }
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs needs a number");
+            }
+            "--no-cache" => args.no_cache = true,
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--fig2|--fig3|--fig4|--fig5|--layout|--lut|--icc|--roofline|--stats|--all]\n\
-                     \x20              [--cells N] [--steps N] [--repeats N] [--models a,b,c]"
+                     \x20              [--cells N] [--steps N] [--repeats N] [--models a,b,c]\n\
+                     \x20              [--jobs N] [--no-cache]"
                 );
                 std::process::exit(0);
             }
@@ -146,10 +175,34 @@ fn main() {
     );
     let tm = TimingModel::calibrate();
     println!(
-        "calibrated timing model: stream bandwidth {:.2} GB/s (x{} socket saturation)\n",
+        "calibrated timing model: stream bandwidth {:.2} GB/s (x{} socket saturation)",
         tm.stream_bandwidth / 1e9,
         tm.bandwidth_saturation
     );
+
+    if args.no_cache {
+        KernelCache::global().set_enabled(false);
+        println!("kernel cache disabled (--no-cache): every run compiles from scratch\n");
+    } else if args.jobs > 0 {
+        let models: Vec<_> = args
+            .opts
+            .roster()
+            .iter()
+            .map(|e| limpet_models::model(e.name))
+            .collect();
+        let kinds = all_pipeline_kinds();
+        let t0 = Instant::now();
+        let compiled = KernelCache::global().precompile(&models, &kinds, args.jobs);
+        println!(
+            "precompiled {compiled} kernels ({} models x {} configs) on {} threads in {:.2}s\n",
+            models.len(),
+            kinds.len(),
+            args.jobs,
+            t0.elapsed().as_secs_f64()
+        );
+    } else {
+        println!();
+    }
 
     if args.fig2 {
         println!("== Figure 2: single-thread speedup, limpetMLIR AVX-512 vs baseline ==");
@@ -166,7 +219,11 @@ fn main() {
             ));
         }
         println!("  geomean speedup: {:.2}x   (paper: 5.25x)\n", f.geomean);
-        save_csv("fig2.csv", "model,class,baseline_s,limpetmlir_s,speedup", &rows);
+        save_csv(
+            "fig2.csv",
+            "model,class,baseline_s,limpetmlir_s,speedup",
+            &rows,
+        );
     }
 
     if args.fig3 {
@@ -174,10 +231,7 @@ fn main() {
         let f = fig3_threads32(&args.opts, &tm);
         let mut rows = Vec::new();
         for r in &f.rows {
-            println!(
-                "  {:24} {:7} speedup {:6.2}x",
-                r.model, r.class, r.speedup
-            );
+            println!("  {:24} {:7} speedup {:6.2}x", r.model, r.class, r.speedup);
             rows.push(format!("{},{},{}", r.model, r.class, r.speedup));
         }
         for (c, g) in &f.class_geomeans {
@@ -195,9 +249,7 @@ fn main() {
         let f = fig4_scaling(&args.opts, &tm);
         let mut rows = Vec::new();
         for (class, t, tb, tl) in &f.series {
-            println!(
-                "  {class:7} T={t:2}  baseline {tb:10.5}s  limpetMLIR {tl:10.5}s"
-            );
+            println!("  {class:7} T={t:2}  baseline {tb:10.5}s  limpetMLIR {tl:10.5}s");
             rows.push(format!("{class},{t},{tb},{tl}"));
         }
         println!();
@@ -231,7 +283,11 @@ fn main() {
             "  geomeans: AoS {:.2}x -> AoSoA {:.2}x   (paper: 3.12x -> 3.37x)\n",
             f.geomeans.0, f.geomeans.1
         );
-        save_csv("layout_ablation.csv", "model,speedup_aos,speedup_aosoa", &rows);
+        save_csv(
+            "layout_ablation.csv",
+            "model,speedup_aos,speedup_aosoa",
+            &rows,
+        );
     }
 
     if args.lut {
@@ -239,13 +295,15 @@ fn main() {
         let f = lut_ablation(&args.opts);
         let mut rows = Vec::new();
         for (m, none, scalar, vec) in &f.rows {
-            println!(
-                "  {m:24} noLUT {none:5.2}x   scalarLUT {scalar:5.2}x   vecLUT {vec:5.2}x"
-            );
+            println!("  {m:24} noLUT {none:5.2}x   scalarLUT {scalar:5.2}x   vecLUT {vec:5.2}x");
             rows.push(format!("{m},{none},{scalar},{vec}"));
         }
         println!();
-        save_csv("lut_ablation.csv", "model,no_lut,scalar_lut,vector_lut", &rows);
+        save_csv(
+            "lut_ablation.csv",
+            "model,no_lut,scalar_lut,vector_lut",
+            &rows,
+        );
     }
 
     if args.icc {
@@ -316,4 +374,10 @@ fn main() {
             &rows,
         );
     }
+
+    let cs = KernelCache::global().stats();
+    println!(
+        "kernel cache: {} entries, {} hits, {} compilations",
+        cs.entries, cs.hits, cs.misses
+    );
 }

@@ -1,0 +1,306 @@
+//! The compilation service: a shared, thread-safe cache of compiled
+//! kernels, plus parallel roster precompilation.
+//!
+//! Every figure runner used to re-lower and re-tabulate the same
+//! `(model, pipeline)` pair once per measurement repeat — for the full
+//! `--all` run that is thousands of redundant compilations of 43 models.
+//! [`KernelCache`] compiles each pair once and hands out [`Kernel`]
+//! clones, which are a few refcount bumps since the kernel's program and
+//! LUTs sit behind `Arc` (see `limpet_vm::Kernel`).
+//!
+//! Keys are `(model fingerprint, PipelineKind)`. The fingerprint hashes
+//! the model's full checked structure (name, states, parameters,
+//! statements), so two models that happen to share a name but differ in
+//! content — e.g. synthetic specs with different knobs — occupy distinct
+//! entries.
+
+use crate::sim::{model_info, storage_layout, PipelineKind};
+use limpet_easyml::Model;
+use limpet_vm::{Kernel, StateLayout};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::sync::{Mutex, OnceLock};
+
+/// One cached compilation: the lowered IR module, the executable kernel,
+/// and the storage layout the module mandates.
+#[derive(Debug)]
+pub struct CompiledKernel {
+    module: limpet_ir::Module,
+    kernel: Kernel,
+    layout: StateLayout,
+}
+
+impl CompiledKernel {
+    /// Compiles `model` under `config` from scratch (no cache involved).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the module fails bytecode compilation (roster models
+    /// are tested not to).
+    pub fn compile(model: &Model, config: PipelineKind) -> CompiledKernel {
+        let module = config.build(model);
+        let info = model_info(model);
+        let kernel = Kernel::from_module(&module, &info)
+            .unwrap_or_else(|e| panic!("kernel compilation failed for {}: {e}", model.name));
+        let layout = storage_layout(&module);
+        CompiledKernel {
+            module,
+            kernel,
+            layout,
+        }
+    }
+
+    /// The lowered IR module.
+    pub fn module(&self) -> &limpet_ir::Module {
+        &self.module
+    }
+
+    /// The executable kernel (clone it to run — clones share the
+    /// compilation).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The state storage layout the module mandates.
+    pub fn layout(&self) -> StateLayout {
+        self.layout
+    }
+}
+
+/// FNV-1a accumulator that consumes formatted text directly, so hashing
+/// a model's debug representation allocates nothing.
+struct FnvWriter(u64);
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for b in s.bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Ok(())
+    }
+}
+
+/// A content fingerprint of a checked model: stable within a process and
+/// across identical sources, sensitive to any structural change (the
+/// debug representation covers the name, every state/external/parameter,
+/// and the full statement bodies).
+pub fn model_fingerprint(model: &Model) -> u64 {
+    use std::fmt::Write;
+    let mut w = FnvWriter(0xcbf2_9ce4_8422_2325);
+    write!(w, "{model:?}").expect("fmt to hasher cannot fail");
+    w.0
+}
+
+/// Cache hit/miss counters (monotonic over the cache's lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled a new entry.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A thread-safe map from `(model fingerprint, PipelineKind)` to compiled
+/// kernels.
+///
+/// Compilation happens outside the map lock, so concurrent misses on
+/// *different* keys compile in parallel; concurrent misses on the *same*
+/// key race benignly (first insert wins, the loser's work is dropped).
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    map: Mutex<HashMap<(u64, PipelineKind), Arc<CompiledKernel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// When set, every lookup compiles fresh and nothing is stored
+    /// (`figures --no-cache`, A/B validation).
+    bypass: std::sync::atomic::AtomicBool,
+}
+
+impl KernelCache {
+    /// An empty cache.
+    pub fn new() -> KernelCache {
+        KernelCache::default()
+    }
+
+    /// The process-wide shared cache (what [`crate::Simulation::new`]
+    /// uses).
+    pub fn global() -> &'static KernelCache {
+        static GLOBAL: OnceLock<KernelCache> = OnceLock::new();
+        GLOBAL.get_or_init(KernelCache::new)
+    }
+
+    /// Turns caching off (every lookup compiles fresh, nothing is
+    /// stored) or back on. Off is the `figures --no-cache` mode, kept
+    /// for A/B-validating that cached and cold runs agree.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.bypass.store(!enabled, Ordering::Relaxed);
+    }
+
+    /// Returns the cached compilation for `(model, config)`, compiling it
+    /// on first use.
+    pub fn get_or_compile(&self, model: &Model, config: PipelineKind) -> Arc<CompiledKernel> {
+        if self.bypass.load(Ordering::Relaxed) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(CompiledKernel::compile(model, config));
+        }
+        let key = (model_fingerprint(model), config);
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Miss: compile without holding the lock.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(CompiledKernel::compile(model, config));
+        Arc::clone(self.map.lock().unwrap().entry(key).or_insert(built))
+    }
+
+    /// Hit/miss/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().unwrap().len(),
+        }
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+    }
+
+    /// Compiles every `(model, config)` pair on `jobs` worker threads,
+    /// populating the cache. Returns the number of pairs compiled (cache
+    /// misses); pairs already resident are counted as skipped work and
+    /// cost one lookup.
+    ///
+    /// Work is distributed dynamically (an atomic cursor over the cross
+    /// product), so a thread that drew small models keeps pulling work
+    /// while another chews through TenTusscher-class ones.
+    pub fn precompile(&self, models: &[Model], configs: &[PipelineKind], jobs: usize) -> usize {
+        let jobs = jobs.max(1);
+        let pairs: Vec<(&Model, PipelineKind)> = models
+            .iter()
+            .flat_map(|m| configs.iter().map(move |&c| (m, c)))
+            .collect();
+        let before = self.stats().misses;
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(pairs.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(model, config)) = pairs.get(i) else {
+                        break;
+                    };
+                    self.get_or_compile(model, config);
+                });
+            }
+        });
+        (self.stats().misses - before) as usize
+    }
+}
+
+/// Every pipeline configuration the experiments exercise, across the
+/// three vector ISAs — the "whole roster" precompilation set.
+pub fn all_pipeline_kinds() -> Vec<PipelineKind> {
+    use limpet_codegen::pipeline::VectorIsa;
+    let mut kinds = vec![PipelineKind::Baseline];
+    for isa in [VectorIsa::Sse, VectorIsa::Avx2, VectorIsa::Avx512] {
+        kinds.extend([
+            PipelineKind::LimpetMlir(isa),
+            PipelineKind::LimpetMlirAos(isa),
+            PipelineKind::LimpetMlirNoLut(isa),
+            PipelineKind::CompilerSimd(isa),
+            PipelineKind::LimpetMlirSpline(isa),
+        ]);
+    }
+    kinds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Simulation, Workload};
+    use limpet_codegen::pipeline::VectorIsa;
+    use limpet_models::model;
+
+    #[test]
+    fn cache_hits_share_one_compilation() {
+        let cache = KernelCache::new();
+        let m = model("BeelerReuter");
+        let a = cache.get_or_compile(&m, PipelineKind::Baseline);
+        let b = cache.get_or_compile(&m, PipelineKind::Baseline);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be the same entry");
+        assert!(a.kernel().shares_compilation(b.kernel()));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+
+        // A different pipeline is a different entry.
+        let c = cache.get_or_compile(&m, PipelineKind::LimpetMlir(VectorIsa::Avx2));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure_not_identity() {
+        let m1 = model("HodgkinHuxley");
+        let m2 = model("HodgkinHuxley");
+        assert_eq!(model_fingerprint(&m1), model_fingerprint(&m2));
+        let other = model("BeelerReuter");
+        assert_ne!(model_fingerprint(&m1), model_fingerprint(&other));
+    }
+
+    #[test]
+    fn cached_and_cold_kernels_produce_identical_trajectories() {
+        let m = model("MitchellSchaeffer");
+        let config = PipelineKind::LimpetMlir(VectorIsa::Avx512);
+        let wl = Workload {
+            n_cells: 16,
+            steps: 0,
+            dt: 0.05,
+        };
+        // Cold: compiled directly, bypassing every cache.
+        let mut cold = Simulation::new_uncached(&m, config, &wl);
+        // Warm: served from a cache entry.
+        let cache = KernelCache::new();
+        cache.get_or_compile(&m, config); // populate
+        let entry = cache.get_or_compile(&m, config);
+        let mut warm = Simulation::with_kernel(entry.kernel().clone(), entry.layout(), &wl);
+        assert_eq!(cache.stats().hits, 1);
+
+        for _ in 0..500 {
+            cold.step();
+            warm.step();
+        }
+        for cell in 0..wl.n_cells {
+            // Bit-identical, not approximately equal: the cached kernel is
+            // the same compilation, so the arithmetic is the same.
+            assert_eq!(
+                cold.vm(cell).to_bits(),
+                warm.vm(cell).to_bits(),
+                "cell {cell} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_precompile_populates_every_pair() {
+        let cache = KernelCache::new();
+        let models: Vec<_> = ["HodgkinHuxley", "MitchellSchaeffer", "FentonKarma"]
+            .iter()
+            .map(|n| model(n))
+            .collect();
+        let kinds = [
+            PipelineKind::Baseline,
+            PipelineKind::LimpetMlir(VectorIsa::Avx2),
+        ];
+        let compiled = cache.precompile(&models, &kinds, 4);
+        assert_eq!(compiled, 6);
+        assert_eq!(cache.stats().entries, 6);
+        // Re-running compiles nothing new.
+        assert_eq!(cache.precompile(&models, &kinds, 4), 0);
+    }
+}

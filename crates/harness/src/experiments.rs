@@ -13,12 +13,11 @@
 //! | [`icc_comparison`] | §5 — compiler-simd vs. limpetMLIR geomean |
 //! | [`fig6_roofline`] | Fig. 6 — operational intensity vs. GFlops/s |
 
-use crate::sim::{model_info, PipelineKind, Simulation, Workload};
+use crate::cache::KernelCache;
+use crate::sim::{PipelineKind, Simulation, Workload};
 use crate::threads::{measure_median, TimingModel};
 use limpet_codegen::pipeline::VectorIsa;
 use limpet_models::{model, ModelEntry, SizeClass, ROSTER};
-use limpet_vm::Kernel;
-use serde::Serialize;
 
 /// Thread counts evaluated by the paper (powers of two, 1..32).
 pub const THREAD_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
@@ -49,7 +48,8 @@ impl Default for ExperimentOptions {
 }
 
 impl ExperimentOptions {
-    fn roster(&self) -> Vec<&'static ModelEntry> {
+    /// The roster entries these options select (respecting `only`).
+    pub fn roster(&self) -> Vec<&'static ModelEntry> {
         ROSTER
             .iter()
             .filter(|e| self.only.is_empty() || self.only.iter().any(|n| n == e.name))
@@ -76,7 +76,11 @@ pub fn measure_run(
 
 /// Bytes moved per step (for the timing model's memory floor) and the
 /// profile of one step.
-fn step_profile(m: &limpet_easyml::Model, config: PipelineKind, n_cells: usize) -> limpet_vm::Profile {
+fn step_profile(
+    m: &limpet_easyml::Model,
+    config: PipelineKind,
+    n_cells: usize,
+) -> limpet_vm::Profile {
     let wl = Workload {
         n_cells,
         steps: 0,
@@ -87,7 +91,7 @@ fn step_profile(m: &limpet_easyml::Model, config: PipelineKind, n_cells: usize) 
 }
 
 /// One model's speedup measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SpeedupRow {
     /// Model name.
     pub model: String,
@@ -102,7 +106,7 @@ pub struct SpeedupRow {
 }
 
 /// Figure-2 result: per-model single-thread speedups, plus the geomean.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2 {
     /// Per-model rows, roster (small→large) order.
     pub rows: Vec<SpeedupRow>,
@@ -111,9 +115,21 @@ pub struct Fig2 {
 }
 
 /// Geometric mean helper.
+///
+/// Only finite, strictly positive values contribute: a zero or negative
+/// ratio has no logarithm, and one poisoned row (e.g. a timer returning
+/// 0 on a degenerate run) would otherwise drag the whole mean to 0 or
+/// NaN. Such values are skipped with a warning on stderr (and trip a
+/// debug assertion, since they always indicate a measurement bug).
+/// Returns NaN when no valid value remains.
 pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
     let (mut logsum, mut n) = (0.0, 0usize);
     for x in xs {
+        if !(x.is_finite() && x > 0.0) {
+            debug_assert!(false, "geomean: non-positive or non-finite value {x}");
+            eprintln!("warning: geomean skipping non-positive value {x}");
+            continue;
+        }
         logsum += x.ln();
         n += 1;
     }
@@ -143,7 +159,7 @@ pub fn fig2_single_thread(opts: &ExperimentOptions) -> Fig2 {
 }
 
 /// Fig. 3 result: 32-thread per-model speedups with class geomeans.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3 {
     /// Per-model rows.
     pub rows: Vec<SpeedupRow>,
@@ -199,13 +215,25 @@ fn estimate_pair(
     let tl1 = measure_run(m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
     let pb = step_profile(m, PipelineKind::Baseline, opts.n_cells);
     let pl = step_profile(m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts.n_cells);
-    let tb = tm.estimate(tb1, pb.bytes_read + pb.bytes_written, opts.steps, threads, 1);
-    let tl = tm.estimate(tl1, pl.bytes_read + pl.bytes_written, opts.steps, threads, 8);
+    let tb = tm.estimate(
+        tb1,
+        pb.bytes_read + pb.bytes_written,
+        opts.steps,
+        threads,
+        1,
+    );
+    let tl = tm.estimate(
+        tl1,
+        pl.bytes_read + pl.bytes_written,
+        opts.steps,
+        threads,
+        8,
+    );
     (tb, tl)
 }
 
 /// Fig. 4: class-average execution times across thread counts.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4 {
     /// `(class, threads, baseline avg secs, limpetMLIR avg secs)`.
     pub series: Vec<(String, usize, f64, f64)>,
@@ -229,7 +257,11 @@ pub fn fig4_scaling(opts: &ExperimentOptions, tm: &TimingModel) -> Fig4 {
             let tb1 = measure_run(&m, PipelineKind::Baseline, opts);
             let tl1 = measure_run(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
             let pb = step_profile(&m, PipelineKind::Baseline, opts.n_cells);
-            let pl = step_profile(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts.n_cells);
+            let pl = step_profile(
+                &m,
+                PipelineKind::LimpetMlir(VectorIsa::Avx512),
+                opts.n_cells,
+            );
             M {
                 class: e.class,
                 tb1,
@@ -263,7 +295,7 @@ pub fn fig4_scaling(opts: &ExperimentOptions, tm: &TimingModel) -> Fig4 {
 }
 
 /// Fig. 5: geomean speedups per ISA per thread count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5 {
     /// `(isa name, threads, geomean speedup)`.
     pub series: Vec<(String, usize, f64)>,
@@ -311,8 +343,7 @@ pub fn fig5_isa_threads(opts: &ExperimentOptions, tm: &TimingModel) -> Fig5 {
                 .map(|m| {
                     let tb = tm.estimate(m.tb1, m.bb, opts.steps, t, 1);
                     let (tl1, bl) = m.per_isa[i];
-                    let tl =
-                        tm.estimate(tl1, bl, opts.steps, t, isa.lanes() as usize);
+                    let tl = tm.estimate(tl1, bl, opts.steps, t, isa.lanes() as usize);
                     tb / tl
                 })
                 .collect();
@@ -328,7 +359,7 @@ pub fn fig5_isa_threads(opts: &ExperimentOptions, tm: &TimingModel) -> Fig5 {
 }
 
 /// §4.4 layout ablation result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LayoutAblation {
     /// `(model, speedup with AoS, speedup with AoSoA)` at one thread.
     pub rows: Vec<(String, f64, f64)>,
@@ -354,7 +385,7 @@ pub fn layout_ablation(opts: &ExperimentOptions) -> LayoutAblation {
 }
 
 /// §3.4.2 LUT ablation result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LutAblation {
     /// `(model, speedup without LUT, speedup with scalar-interp LUT,
     /// speedup with vectorized LUT)` relative to baseline.
@@ -379,7 +410,7 @@ pub fn lut_ablation(opts: &ExperimentOptions) -> LutAblation {
 }
 
 /// §5 comparison result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IccComparison {
     /// Geomean speedup of compiler-simd (paper: icc 2.19x).
     pub compiler_simd: f64,
@@ -398,8 +429,16 @@ pub fn icc_comparison(opts: &ExperimentOptions, tm: &TimingModel) -> IccComparis
         let ti1 = measure_run(&m, PipelineKind::CompilerSimd(VectorIsa::Avx512), opts);
         let tl1 = measure_run(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
         let pb = step_profile(&m, PipelineKind::Baseline, opts.n_cells);
-        let pi = step_profile(&m, PipelineKind::CompilerSimd(VectorIsa::Avx512), opts.n_cells);
-        let pl = step_profile(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts.n_cells);
+        let pi = step_profile(
+            &m,
+            PipelineKind::CompilerSimd(VectorIsa::Avx512),
+            opts.n_cells,
+        );
+        let pl = step_profile(
+            &m,
+            PipelineKind::LimpetMlir(VectorIsa::Avx512),
+            opts.n_cells,
+        );
         for &t in &THREAD_COUNTS {
             let tb = tm.estimate(tb1, pb.bytes_read + pb.bytes_written, opts.steps, t, 1);
             let ti = tm.estimate(ti1, pi.bytes_read + pi.bytes_written, opts.steps, t, 8);
@@ -415,7 +454,7 @@ pub fn icc_comparison(opts: &ExperimentOptions, tm: &TimingModel) -> IccComparis
 }
 
 /// One roofline point (Fig. 6).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RooflinePoint {
     /// Model name.
     pub model: String,
@@ -428,7 +467,7 @@ pub struct RooflinePoint {
 }
 
 /// Fig. 6 result: points plus machine ceilings.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Roofline {
     /// One point per model (limpetMLIR AVX-512, 32 threads).
     pub points: Vec<RooflinePoint>,
@@ -488,7 +527,7 @@ pub fn measure_peak_flops() -> f64 {
 
 /// Extracts instruction statistics of both kernels for one model
 /// (supplementary table: static op mix).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct KernelStats {
     /// Model name.
     pub model: String,
@@ -505,14 +544,14 @@ pub struct KernelStats {
 
 /// Collects kernel statistics over the roster.
 pub fn kernel_stats(opts: &ExperimentOptions) -> Vec<KernelStats> {
+    let cache = KernelCache::global();
     opts.roster()
         .iter()
         .map(|e| {
             let m = model(e.name);
-            let info = model_info(&m);
-            let kb = Kernel::from_module(&PipelineKind::Baseline.build(&m), &info).unwrap();
-            let opt_module = PipelineKind::LimpetMlir(VectorIsa::Avx512).build(&m);
-            let kl = Kernel::from_module(&opt_module, &info).unwrap();
+            let kb = cache.get_or_compile(&m, PipelineKind::Baseline);
+            let opt = cache.get_or_compile(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512));
+            let (kb, kl, opt_module) = (kb.kernel(), opt.kernel(), opt.module());
             let mut by_dialect: std::collections::BTreeMap<String, usize> =
                 std::collections::BTreeMap::new();
             for (op, n) in opt_module.op_histogram() {
@@ -548,6 +587,22 @@ mod tests {
         assert!((geomean([4.0, 1.0]) - 2.0).abs() < 1e-12);
         assert!((geomean([8.0]) - 8.0).abs() < 1e-12);
         assert!(geomean(std::iter::empty::<f64>()).is_nan());
+    }
+
+    #[test]
+    fn geomean_guards_non_positive_rows() {
+        // A zero/negative/NaN row trips a debug assertion (it always
+        // means a measurement bug); in release it is skipped with a
+        // warning instead of zeroing or NaN-ing the whole mean.
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let r = std::panic::catch_unwind(|| geomean([4.0, bad, 1.0]));
+            if cfg!(debug_assertions) {
+                assert!(r.is_err(), "debug build must trip the assertion for {bad}");
+            } else {
+                let g = r.expect("release build must skip the bad row");
+                assert!((g - 2.0).abs() < 1e-12, "bad={bad} g={g}");
+            }
+        }
     }
 
     #[test]
@@ -597,10 +652,7 @@ mod tests {
     #[test]
     fn fig4_covers_every_class_and_thread_count() {
         let tm = TimingModel::default();
-        let f = fig4_scaling(
-            &tiny_opts(&["Plonsey", "BeelerReuter", "OHara"]),
-            &tm,
-        );
+        let f = fig4_scaling(&tiny_opts(&["Plonsey", "BeelerReuter", "OHara"]), &tm);
         assert_eq!(f.series.len(), 3 * THREAD_COUNTS.len());
         // At this deliberately tiny test workload every class is
         // barrier-dominated, so no monotonicity is asserted — only

@@ -74,9 +74,7 @@ impl PipelineKind {
             PipelineKind::LimpetMlirAos(isa) => pipeline::limpet_mlir_aos(model, isa).module,
             PipelineKind::LimpetMlirNoLut(isa) => pipeline::limpet_mlir_no_lut(model, isa).module,
             PipelineKind::CompilerSimd(isa) => pipeline::compiler_simd(model, isa).module,
-            PipelineKind::LimpetMlirSpline(isa) => {
-                pipeline::limpet_mlir_spline(model, isa).module
-            }
+            PipelineKind::LimpetMlirSpline(isa) => pipeline::limpet_mlir_spline(model, isa).module,
         }
     }
 }
@@ -163,23 +161,45 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Compiles `model` under `config` and allocates storage for the
-    /// workload.
+    /// Builds a simulation for `model` under `config`, compiling through
+    /// the process-wide [`crate::KernelCache`]: the first call for a
+    /// `(model, config)` pair compiles, every later call reuses that
+    /// compilation and only allocates fresh cell storage.
     ///
     /// # Panics
     ///
     /// Panics when the module fails bytecode compilation (roster models
     /// are tested not to).
     pub fn new(model: &Model, config: PipelineKind, workload: &Workload) -> Simulation {
+        let entry = crate::KernelCache::global().get_or_compile(model, config);
+        Simulation::with_kernel(entry.kernel().clone(), entry.layout(), workload)
+    }
+
+    /// Builds a simulation with a fresh compilation, bypassing every
+    /// cache (the cold path: compile-time benchmarks, cache-validation
+    /// tests, `figures --no-cache`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the module fails bytecode compilation.
+    pub fn new_uncached(model: &Model, config: PipelineKind, workload: &Workload) -> Simulation {
         let module = config.build(model);
         let info = model_info(model);
         let kernel = Kernel::from_module(&module, &info)
             .unwrap_or_else(|e| panic!("kernel compilation failed for {}: {e}", model.name));
         let layout = storage_layout(&module);
+        Simulation::with_kernel(kernel, layout, workload)
+    }
+
+    /// Builds a simulation from an already-compiled kernel (e.g. a
+    /// [`crate::KernelCache`] entry), allocating storage for the
+    /// workload. The kernel clone is cheap: compiled programs and LUTs
+    /// are shared behind `Arc`.
+    pub fn with_kernel(kernel: Kernel, layout: StateLayout, workload: &Workload) -> Simulation {
         let state = kernel.new_states(workload.n_cells, layout);
         let ext = kernel.new_ext(workload.n_cells);
-        let vm_index = info.ext_names.iter().position(|n| n == "Vm");
-        let iion_index = info.ext_names.iter().position(|n| n == "Iion");
+        let vm_index = kernel.info().ext_names.iter().position(|n| n == "Vm");
+        let iion_index = kernel.info().ext_names.iter().position(|n| n == "Iion");
         Simulation {
             kernel,
             state,
@@ -201,12 +221,7 @@ impl Simulation {
     /// Enables 1-D monodomain tissue coupling with the given conductivity
     /// (replacing the independent-cell membrane update).
     pub fn enable_tissue(&mut self, sigma: f64) {
-        self.tissue = Some(Monodomain::new(
-            self.state.n_cells(),
-            sigma,
-            1.0,
-            self.dt,
-        ));
+        self.tissue = Some(Monodomain::new(self.state.n_cells(), sigma, 1.0, self.dt));
     }
 
     /// The compiled kernel.
@@ -251,8 +266,12 @@ impl Simulation {
 
     /// Advances one step: compute stage, then membrane/tissue update.
     pub fn step(&mut self) {
-        let ctx = SimContext { dt: self.dt, t: self.t };
-        self.kernel.run_step(&mut self.state, &mut self.ext, None, ctx);
+        let ctx = SimContext {
+            dt: self.dt,
+            t: self.t,
+        };
+        self.kernel
+            .run_step(&mut self.state, &mut self.ext, None, ctx);
         self.update_vm();
         self.t += self.dt;
     }
@@ -261,7 +280,10 @@ impl Simulation {
     /// by the threaded driver; the membrane update must be applied
     /// separately with [`Simulation::update_vm`].
     pub fn step_range(&mut self, lo: usize, hi: usize) {
-        let ctx = SimContext { dt: self.dt, t: self.t };
+        let ctx = SimContext {
+            dt: self.dt,
+            t: self.t,
+        };
         self.kernel
             .run_range(&mut self.state, &mut self.ext, None, ctx, lo, hi);
     }
@@ -304,6 +326,11 @@ impl Simulation {
         self.t += self.dt;
     }
 
+    /// The logical cell count of this simulation.
+    pub fn n_cells(&self) -> usize {
+        self.state.n_cells()
+    }
+
     /// The padded cell count of the state storage (a multiple of the
     /// kernel chunk width).
     pub fn padded_cells(&self) -> usize {
@@ -319,7 +346,10 @@ impl Simulation {
 
     /// Runs one step with operation counting (for the roofline model).
     pub fn step_profiled(&mut self) -> Profile {
-        let ctx = SimContext { dt: self.dt, t: self.t };
+        let ctx = SimContext {
+            dt: self.dt,
+            t: self.t,
+        };
         let p = self
             .kernel
             .run_step_profiled(&mut self.state, &mut self.ext, None, ctx);

@@ -29,8 +29,13 @@ pub struct ShardedSimulation {
 }
 
 impl ShardedSimulation {
-    /// Partitions `workload.n_cells` across `threads` shards (each padded
-    /// to the kernel's chunk width internally).
+    /// Partitions `workload.n_cells` across at most `threads` shards
+    /// (each padded to the kernel's chunk width internally).
+    ///
+    /// Shard sizes always sum to exactly `workload.n_cells`: when the
+    /// cell count does not fill every requested thread, the empty shards
+    /// are dropped rather than padded with phantom cells, and
+    /// [`ShardedSimulation::threads`] reports the real shard count.
     pub fn new(
         model: &Model,
         config: PipelineKind,
@@ -38,12 +43,12 @@ impl ShardedSimulation {
         threads: usize,
     ) -> ShardedSimulation {
         assert!(threads >= 1);
-        let per = workload.n_cells.div_ceil(threads);
-        let shards = (0..threads)
-            .map(|i| {
-                let cells = per.min(workload.n_cells - (per * i).min(workload.n_cells));
+        assert!(workload.n_cells >= 1, "cannot shard an empty workload");
+        let shards = shard_sizes(workload.n_cells, threads)
+            .into_iter()
+            .map(|cells| {
                 let wl = Workload {
-                    n_cells: cells.max(1),
+                    n_cells: cells,
                     ..*workload
                 };
                 Simulation::new(model, config, &wl)
@@ -52,9 +57,14 @@ impl ShardedSimulation {
         ShardedSimulation { shards }
     }
 
-    /// Number of shards (threads).
+    /// Number of shards actually created (≤ the requested thread count).
     pub fn threads(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Total cells across all shards.
+    pub fn n_cells(&self) -> usize {
+        self.shards.iter().map(|s| s.n_cells()).sum()
     }
 
     /// Runs `steps` steps with one OS thread per shard, barrier-separated
@@ -91,6 +101,20 @@ impl ShardedSimulation {
 
 fn padded_cells(sim: &Simulation) -> usize {
     sim.padded_cells()
+}
+
+/// Balanced partition of `n_cells` into at most `threads` non-empty
+/// shards: the first `n_cells % threads` shards get one extra cell, and
+/// shards that would be empty (more threads than cells) are not created.
+/// The returned sizes always sum to exactly `n_cells`.
+pub fn shard_sizes(n_cells: usize, threads: usize) -> Vec<usize> {
+    assert!(threads >= 1);
+    let threads = threads.min(n_cells).max(1);
+    let (base, extra) = (n_cells / threads, n_cells % threads);
+    (0..threads)
+        .map(|i| base + usize::from(i < extra))
+        .filter(|&c| c > 0)
+        .collect()
 }
 
 /// Machine constants for the simulated-parallel model, calibrated once
@@ -151,8 +175,7 @@ impl TimingModel {
         let barrier = if threads == 1 {
             0.0
         } else {
-            (self.barrier_base + self.lane_sync * width as f64)
-                * (threads as f64).log2()
+            (self.barrier_base + self.lane_sync * width as f64) * (threads as f64).log2()
         };
         steps as f64 * (compute.max(mem_floor) + barrier)
     }
@@ -268,6 +291,50 @@ mod tests {
         let v0 = single.vm(0);
         let v1 = sharded.shard(0).vm(0);
         assert!((v0 - v1).abs() < 1e-9, "{v0} vs {v1}");
+    }
+
+    #[test]
+    fn shard_sizes_sum_exactly_for_all_shapes() {
+        // Every (n_cells, threads) pair: totals must equal the workload,
+        // no shard may be empty, and sizes must be balanced (max-min ≤ 1).
+        for n_cells in 1..=40 {
+            for threads in 1..=10 {
+                let sizes = shard_sizes(n_cells, threads);
+                assert_eq!(
+                    sizes.iter().sum::<usize>(),
+                    n_cells,
+                    "phantom or lost cells at n_cells={n_cells}, threads={threads}: {sizes:?}"
+                );
+                assert!(sizes.len() <= threads);
+                assert!(sizes.iter().all(|&c| c > 0), "empty shard: {sizes:?}");
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_simulation_has_no_phantom_cells() {
+        let m = model("Plonsey");
+        // The original bug: 5 cells over 4 threads made shards of
+        // 2+2+1+1 = 6 cells. Check that shape and a few other uneven ones.
+        for (n_cells, threads) in [(5, 4), (3, 8), (7, 3), (64, 5), (1, 4)] {
+            let wl = Workload {
+                n_cells,
+                steps: 0,
+                dt: 0.01,
+            };
+            let sharded = ShardedSimulation::new(&m, PipelineKind::Baseline, &wl, threads);
+            assert_eq!(
+                sharded.n_cells(),
+                n_cells,
+                "total cells wrong for n_cells={n_cells}, threads={threads}"
+            );
+            assert!(sharded.threads() <= threads);
+            for i in 0..sharded.threads() {
+                assert!(sharded.shard(i).n_cells() > 0);
+            }
+        }
     }
 
     #[test]

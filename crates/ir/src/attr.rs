@@ -244,7 +244,10 @@ mod tests {
     #[test]
     fn accessors() {
         let mut a = Attrs::new();
-        a.set("f", 1.5).set("i", 7i64).set("s", "x").set("t", Type::F64);
+        a.set("f", 1.5)
+            .set("i", 7i64)
+            .set("s", "x")
+            .set("t", Type::F64);
         assert_eq!(a.f64_of("f"), Some(1.5));
         assert_eq!(a.i64_of("i"), Some(7));
         assert_eq!(a.str_of("s"), Some("x"));

@@ -82,7 +82,10 @@ impl<'a> Builder<'a> {
     fn same_float(&self, a: ValueId, b: ValueId) -> Type {
         let (ta, tb) = (self.ty(a), self.ty(b));
         assert_eq!(ta, tb, "binary float op operand types must match");
-        assert!(ta.is_float_like(), "binary float op needs f64-like operands");
+        assert!(
+            ta.is_float_like(),
+            "binary float op needs f64-like operands"
+        );
         ta
     }
 
@@ -301,7 +304,12 @@ impl<'a> Builder<'a> {
     pub fn broadcast(&mut self, a: ValueId, width: u32) -> ValueId {
         let t = self.ty(a);
         assert!(t.is_scalar(), "broadcast takes a scalar");
-        self.push1(OpKind::Broadcast, vec![a], t.with_lanes(width), Attrs::new())
+        self.push1(
+            OpKind::Broadcast,
+            vec![a],
+            t.with_lanes(width),
+            Attrs::new(),
+        )
     }
 
     // ---- limpet data access ----
@@ -447,7 +455,13 @@ impl<'a> Builder<'a> {
         );
         let mut operands = vec![lb, ub, step];
         operands.extend_from_slice(init);
-        self.push(OpKind::For, operands, &iter_types, Attrs::new(), vec![body_r])
+        self.push(
+            OpKind::For,
+            operands,
+            &iter_types,
+            Attrs::new(),
+            vec![body_r],
+        )
     }
 
     /// `scf.yield` terminating the current region.

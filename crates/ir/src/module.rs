@@ -612,7 +612,10 @@ mod tests {
 
         let walked = f.walk_ops();
         assert_eq!(walked.len(), 6); // const, then{const,yield}, else{const,yield}... plus if
-        let kinds: Vec<&str> = walked.iter().map(|&(_, _, o)| f.op(o).kind.name()).collect();
+        let kinds: Vec<&str> = walked
+            .iter()
+            .map(|&(_, _, o)| f.op(o).kind.name())
+            .collect();
         assert!(kinds.contains(&"scf.if"));
         assert!(kinds.contains(&"scf.yield"));
     }

@@ -202,8 +202,9 @@ impl<'a> Lexer<'a> {
                                 Some(b'\\') => s.push('\\'),
                                 Some(b'n') => s.push('\n'),
                                 other => {
-                                    return Err(self
-                                        .error(format!("bad escape {:?} in string", other)))
+                                    return Err(
+                                        self.error(format!("bad escape {:?} in string", other))
+                                    )
                                 }
                             }
                             self.pos += 1;
@@ -369,9 +370,10 @@ impl Parser {
                         self.error(format!("bad float literal {n}"))
                     })?))
                 } else {
-                    Ok(Attr::I64(n.parse().map_err(|_| {
-                        self.error(format!("bad int literal {n}"))
-                    })?))
+                    Ok(Attr::I64(
+                        n.parse()
+                            .map_err(|_| self.error(format!("bad int literal {n}")))?,
+                    ))
                 }
             }
             Tok::Str(s) => Ok(Attr::Str(s)),
@@ -939,8 +941,8 @@ mod tests {
 
     #[test]
     fn error_has_line_number() {
-        let err = parse_module("module @m {\n  func.func @f() {\n    %0 = bogus.op : f64\n")
-            .unwrap_err();
+        let err =
+            parse_module("module @m {\n  func.func @f() {\n    %0 = bogus.op : f64\n").unwrap_err();
         assert_eq!(err.line, 3);
         assert!(err.to_string().contains("bogus.op"));
     }
@@ -957,9 +959,38 @@ mod tests {
         // Every op name emitted by OpKind::name must be recognized.
         use crate::ops::OpKind::*;
         let kinds = [
-            AddF, SubF, MulF, DivF, RemF, NegF, MinF, MaxF, Fma, AddI, SubI, MulI, AndI, OrI,
-            XorI, Select, SIToFP, IndexCast, Broadcast, Yield, Return, GetExt, SetExt, GetState,
-            SetState, Param, HasParent, GetParentState, SetParentState, Dt, Time, CellIndex,
+            AddF,
+            SubF,
+            MulF,
+            DivF,
+            RemF,
+            NegF,
+            MinF,
+            MaxF,
+            Fma,
+            AddI,
+            SubI,
+            MulI,
+            AndI,
+            OrI,
+            XorI,
+            Select,
+            SIToFP,
+            IndexCast,
+            Broadcast,
+            Yield,
+            Return,
+            GetExt,
+            SetExt,
+            GetState,
+            SetState,
+            Param,
+            HasParent,
+            GetParentState,
+            SetParentState,
+            Dt,
+            Time,
+            CellIndex,
             LutCol,
         ];
         for k in kinds {

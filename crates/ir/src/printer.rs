@@ -200,8 +200,7 @@ impl<'a> FuncPrinter<'a> {
                 // Operands.
                 if !op.operands.is_empty() {
                     out.push(' ');
-                    let names: Vec<String> =
-                        op.operands.iter().map(|&v| self.name_of(v)).collect();
+                    let names: Vec<String> = op.operands.iter().map(|&v| self.name_of(v)).collect();
                     out.push_str(&names.join(", "));
                 }
                 // Attributes.

@@ -164,7 +164,10 @@ impl Type {
         match self.scalar() {
             None => *self,
             Some(s) if lanes <= 1 => Type::Scalar(s),
-            Some(s) => Type::Vector { width: lanes, elem: s },
+            Some(s) => Type::Vector {
+                width: lanes,
+                elem: s,
+            },
         }
     }
 }
@@ -203,7 +206,10 @@ mod tests {
     fn lanes_and_scalar() {
         assert_eq!(Type::F64.lanes(), 1);
         assert_eq!(Type::vector(8, ScalarType::F64).lanes(), 8);
-        assert_eq!(Type::vector(8, ScalarType::F64).scalar(), Some(ScalarType::F64));
+        assert_eq!(
+            Type::vector(8, ScalarType::F64).scalar(),
+            Some(ScalarType::F64)
+        );
         assert_eq!(Type::memref(ScalarType::F64).scalar(), None);
     }
 

@@ -50,7 +50,10 @@ pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
     for lut in &module.luts {
         let func = module.func(&lut.func).ok_or_else(|| VerifyError {
             func: None,
-            message: format!("lut @{} references missing function @{}", lut.name, lut.func),
+            message: format!(
+                "lut @{} references missing function @{}",
+                lut.name, lut.func
+            ),
         })?;
         if func.arg_types() != [Type::F64] {
             return Err(VerifyError {
@@ -228,9 +231,7 @@ impl<'a> Verifier<'a> {
                     return arity_err(3);
                 }
                 let t = self.ty(op.result());
-                if !t.is_float_like()
-                    || op.operands.iter().any(|&o| self.ty(o) != t)
-                {
+                if !t.is_float_like() || op.operands.iter().any(|&o| self.ty(o) != t) {
                     return Err("fma type mismatch".into());
                 }
             }
@@ -331,9 +332,7 @@ impl<'a> Verifier<'a> {
                 if op.operands.len() != 1 {
                     return arity_err(1);
                 }
-                if !self.ty(op.operands[0]).is_bool_like()
-                    || self.ty(op.operands[0]).lanes() != 1
-                {
+                if !self.ty(op.operands[0]).is_bool_like() || self.ty(op.operands[0]).lanes() != 1 {
                     return Err("scf.if condition must be scalar i1".into());
                 }
                 if op.regions.len() != 2 {
@@ -359,7 +358,9 @@ impl<'a> Verifier<'a> {
                     return Err("scf.for body must have [iv, iters...] args".into());
                 }
                 for (i, &init) in iters.iter().enumerate() {
-                    if self.ty(init) != self.ty(args[i + 1]) || self.ty(init) != self.ty(op.results[i]) {
+                    if self.ty(init) != self.ty(args[i + 1])
+                        || self.ty(init) != self.ty(op.results[i])
+                    {
                         return Err("scf.for iter type mismatch".into());
                     }
                 }
@@ -460,7 +461,10 @@ impl<'a> Verifier<'a> {
                     .attrs
                     .str_of("table")
                     .ok_or("lut.col missing `table` attribute")?;
-                let col = op.attrs.i64_of("col").ok_or("lut.col missing `col` attribute")?;
+                let col = op
+                    .attrs
+                    .i64_of("col")
+                    .ok_or("lut.col missing `col` attribute")?;
                 let spec = self
                     .module
                     .lut(table)

@@ -71,12 +71,21 @@ const PARAMS: [&str; 3] = ["Cm", "beta", "xi"];
 
 /// Builds ops from recipes; maintains a stack of available f64 values and a
 /// stack of i1 values so every generated program is verifier-valid.
-fn build(b: &mut Builder<'_>, recipes: &[OpRecipe], floats: &mut Vec<ValueId>, bools: &mut Vec<ValueId>) {
+fn build(
+    b: &mut Builder<'_>,
+    recipes: &[OpRecipe],
+    floats: &mut Vec<ValueId>,
+    bools: &mut Vec<ValueId>,
+) {
     for r in recipes {
         match r {
             OpRecipe::ConstF(v) => floats.push(b.const_f(*v)),
-            OpRecipe::Add | OpRecipe::Sub | OpRecipe::Mul | OpRecipe::Div
-            | OpRecipe::Min | OpRecipe::Max => {
+            OpRecipe::Add
+            | OpRecipe::Sub
+            | OpRecipe::Mul
+            | OpRecipe::Div
+            | OpRecipe::Min
+            | OpRecipe::Max => {
                 if floats.len() >= 2 {
                     let y = floats.pop().unwrap();
                     let x = *floats.last().unwrap();

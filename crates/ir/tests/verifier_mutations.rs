@@ -6,9 +6,7 @@
 //! detected by the `verify_module` calls the test suites run after each
 //! pipeline.
 
-use limpet_ir::{
-    verify_module, Attrs, Builder, CmpFPred, Func, Module, OpKind, Type, ValueId,
-};
+use limpet_ir::{verify_module, Attrs, Builder, CmpFPred, Func, Module, OpKind, Type, ValueId};
 
 /// A valid module with arithmetic, an if, a loop, and state access.
 fn valid_module() -> (Module, Vec<ValueId>) {

@@ -1,0 +1,337 @@
+//! # limpet-microbench
+//!
+//! A self-contained, offline re-implementation of the subset of the
+//! [Criterion](https://docs.rs/criterion) API that the `limpet-bench`
+//! suite uses. The build environment has no network access to crates.io,
+//! so bench sources keep their original `use criterion::...;` form via a
+//! Cargo dependency rename (`criterion = { package = "limpet-microbench",
+//! ... }`).
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, sizes an
+//! iteration batch so one sample lasts roughly `measurement_time /
+//! sample_size`, collects `sample_size` samples, and reports the median,
+//! min, and max nanoseconds per iteration (plus derived throughput when
+//! [`BenchmarkGroup::throughput`] was set). There are no plots, no saved
+//! baselines, and no statistical regression analysis — this is a
+//! comparator, not a statistician.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (a stand-in for `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(BenchmarkId::from(id.into()), f);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Only a parameter (no function name).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Work-per-iteration annotation used to derive rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        self.run_one(&id.id, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value (passed by reference).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; prints nothing).
+    pub fn finish(self) {}
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: run with growing batches until the budget is spent,
+        // learning the per-iteration cost along the way.
+        let warm_start = Instant::now();
+        let mut per_iter = loop {
+            f(&mut b);
+            let spent = warm_start.elapsed();
+            if spent >= self.warm_up_time {
+                break b.elapsed.as_secs_f64() / b.iters as f64;
+            }
+            b.iters = (b.iters * 2).min(1 << 30);
+        };
+        if !(per_iter.is_finite() && per_iter > 0.0) {
+            per_iter = 1e-9;
+        }
+
+        // Sampling: size each batch so sample_size samples fill the
+        // measurement budget.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter) as u64).clamp(1, 1 << 30);
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                b.iters = batch;
+                f(&mut b);
+                b.elapsed.as_secs_f64() / batch as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12}/s", si(n as f64 / median, "elem"))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12}/s", si(n as f64 / median, "B"))
+            }
+            None => String::new(),
+        };
+        let label = if self.name.is_empty() {
+            id.to_owned()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        println!(
+            "{label:<56} {:>12} [{} .. {}]{rate}",
+            fmt_time(median),
+            fmt_time(lo),
+            fmt_time(hi),
+        );
+    }
+}
+
+/// The iteration driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the harness asks.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn si(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.2} {unit}")
+    }
+}
+
+/// Declares a group-runner function from benchmark functions
+/// (`criterion_group!(benches, bench_a, bench_b);`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; `cargo test --benches` passes
+            // `--test-threads` etc. Run everything either way.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_plausible() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("selftest");
+        g.sample_size(5)
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(50));
+        let mut count = 0u64;
+        g.bench_function("counter", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.id, "plain");
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+        assert!(si(2.5e9, "B").starts_with("2.50 G"));
+    }
+}

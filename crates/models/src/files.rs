@@ -77,7 +77,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!("limpet-models-test-{tag}-{}", std::process::id()));
+        let d =
+            std::env::temp_dir().join(format!("limpet-models-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         std::fs::create_dir_all(&d).unwrap();
         d

@@ -12,8 +12,7 @@
 //! relaxation toward sigmoidal targets), so simulations remain stable over
 //! arbitrarily many steps for any `Vm ∈ [-100, 100]`.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use limpet_rng::SmallRng;
 use std::fmt::Write;
 
 /// Structural knobs for one synthetic model.
@@ -39,15 +38,10 @@ pub struct SynthSpec {
 }
 
 impl SynthSpec {
-    /// Derives a deterministic RNG for this spec.
+    /// Derives a deterministic RNG for this spec (FNV-1a over the name:
+    /// stable across platforms and runs).
     fn rng(&self) -> SmallRng {
-        // FNV-1a over the name: stable across platforms and runs.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.name.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        SmallRng::seed_from_u64(h)
+        SmallRng::seed_from_str(&self.name)
     }
 }
 
@@ -55,7 +49,12 @@ impl SynthSpec {
 pub fn generate(spec: &SynthSpec) -> String {
     let mut rng = spec.rng();
     let mut s = String::with_capacity(4096);
-    writeln!(s, "# synthetic model {} (see DESIGN.md section 3)", spec.name).unwrap();
+    writeln!(
+        s,
+        "# synthetic model {} (see DESIGN.md section 3)",
+        spec.name
+    )
+    .unwrap();
     write!(s, "Vm; .external(); .nodal();").unwrap();
     if spec.use_lut {
         write!(s, " .lookup(-100, 100, 0.05);").unwrap();
@@ -90,7 +89,11 @@ pub fn generate(spec: &SynthSpec) -> String {
         )
         .unwrap();
         writeln!(s, "{name}_init = {:.3};", rng.gen_range(0.01..0.99)).unwrap();
-        let method = if rng.gen_bool(0.7) { "rush_larsen" } else { "sundnes" };
+        let method = if rng.gen_bool(0.7) {
+            "rush_larsen"
+        } else {
+            "sundnes"
+        };
         writeln!(s, "{name};.method({method});").unwrap();
         states.push(name);
     }
@@ -243,8 +246,8 @@ mod tests {
     fn generated_models_compile() {
         for name in ["A", "B", "C", "OHara", "WangSobie"] {
             let src = generate(&spec(name));
-            let m = compile_model(name, &src)
-                .unwrap_or_else(|e| panic!("{name} failed:\n{e}\n{src}"));
+            let m =
+                compile_model(name, &src).unwrap_or_else(|e| panic!("{name} failed:\n{e}\n{src}"));
             assert_eq!(m.states.len(), 10); // 4 gates + 5 relax + 1 markov
             assert!(m.external("Iion").unwrap().assigned);
             assert!(m.lookup("Vm").is_some());

@@ -184,12 +184,16 @@ fn fold(func: &Func, op_id: OpId, consts: &HashMap<ValueId, Const>) -> Option<Co
             let cond = b(0)?;
             let result_ty = func.value_type(op.results[0]);
             match result_ty {
-                Type::Scalar(ScalarType::F64) | Type::Vector { elem: ScalarType::F64, .. } => {
-                    Const::F(if cond { f(1)? } else { f(2)? })
-                }
-                Type::Scalar(ScalarType::I1) | Type::Vector { elem: ScalarType::I1, .. } => {
-                    Const::B(if cond { b(1)? } else { b(2)? })
-                }
+                Type::Scalar(ScalarType::F64)
+                | Type::Vector {
+                    elem: ScalarType::F64,
+                    ..
+                } => Const::F(if cond { f(1)? } else { f(2)? }),
+                Type::Scalar(ScalarType::I1)
+                | Type::Vector {
+                    elem: ScalarType::I1,
+                    ..
+                } => Const::B(if cond { b(1)? } else { b(2)? }),
                 _ => Const::I(if cond { int(1)? } else { int(2)? }),
             }
         }

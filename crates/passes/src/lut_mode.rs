@@ -105,7 +105,11 @@ mod tests {
             .walk_ops()
             .iter()
             .filter(|&&(_, _, op)| {
-                f.op(op).attrs.get("scalar_interp").and_then(|a| a.as_bool()) == Some(true)
+                f.op(op)
+                    .attrs
+                    .get("scalar_interp")
+                    .and_then(|a| a.as_bool())
+                    == Some(true)
             })
             .count();
         assert_eq!(marked, 2);

@@ -18,9 +18,7 @@
 //!   arguments are promoted to vectors.
 
 use crate::Pass;
-use limpet_ir::{
-    Attrs, Func, Module, OpKind, RegionId, ScalarType, Type, ValueDef, ValueId,
-};
+use limpet_ir::{Attrs, Func, Module, OpKind, RegionId, ScalarType, Type, ValueDef, ValueId};
 use std::collections::HashMap;
 
 /// The vectorization pass; `width` is the lane count (2 = SSE, 4 = AVX2,
@@ -65,14 +63,8 @@ impl Pass for Vectorize {
         let new_body = vz.new.body();
         let ret = vz.emit_ops(old.body(), new_body);
         let rets: Vec<ValueId> = ret.iter().map(|m| m.v).collect();
-        vz.new.push_op(
-            new_body,
-            OpKind::Return,
-            rets,
-            &[],
-            Attrs::new(),
-            vec![],
-        );
+        vz.new
+            .push_op(new_body, OpKind::Return, rets, &[], Attrs::new(), vec![]);
         let new = vz.new;
         for f in module.funcs_mut() {
             if f.name() == "compute" {
@@ -181,13 +173,15 @@ impl<'a> Vectorizer<'a> {
             OpKind::For => self.emit_for(op_id, region),
             // Per-cell data accesses: always varying.
             OpKind::GetExt | OpKind::GetState => {
-                let ty = self
-                    .old
-                    .value_type(op.result())
-                    .with_lanes(self.width);
-                let new_op =
-                    self.new
-                        .push_op(region, op.kind.clone(), vec![], &[ty], op.attrs.clone(), vec![]);
+                let ty = self.old.value_type(op.result()).with_lanes(self.width);
+                let new_op = self.new.push_op(
+                    region,
+                    op.kind.clone(),
+                    vec![],
+                    &[ty],
+                    op.attrs.clone(),
+                    vec![],
+                );
                 let v = self.new.op(new_op).result();
                 self.map.insert(op.result(), Mapped { v, uniform: false });
             }
@@ -225,16 +219,18 @@ impl<'a> Vectorizer<'a> {
             OpKind::SetExt | OpKind::SetState | OpKind::SetParentState => {
                 let m = self.mapped(op.operands[0]);
                 let v = self.as_varying(m, region);
-                self.new
-                    .push_op(region, op.kind.clone(), vec![v], &[], op.attrs.clone(), vec![]);
+                self.new.push_op(
+                    region,
+                    op.kind.clone(),
+                    vec![v],
+                    &[],
+                    op.attrs.clone(),
+                    vec![],
+                );
             }
             // Uniform context reads.
             OpKind::Param | OpKind::Dt | OpKind::Time | OpKind::CellIndex | OpKind::HasParent => {
-                let tys: Vec<Type> = op
-                    .results
-                    .iter()
-                    .map(|&r| self.old.value_type(r))
-                    .collect();
+                let tys: Vec<Type> = op.results.iter().map(|&r| self.old.value_type(r)).collect();
                 let new_op = self.new.push_op(
                     region,
                     op.kind.clone(),
@@ -260,10 +256,7 @@ impl<'a> Vectorizer<'a> {
                             let b = self.as_varying(mapped[2], region);
                             vec![mapped[0].v, a, b]
                         }
-                        _ => mapped
-                            .iter()
-                            .map(|&m| self.as_varying(m, region))
-                            .collect(),
+                        _ => mapped.iter().map(|&m| self.as_varying(m, region)).collect(),
                     }
                 } else {
                     mapped.iter().map(|m| m.v).collect()
@@ -330,10 +323,22 @@ impl<'a> Vectorizer<'a> {
                 else_vals.push(ev);
                 varyings.push(varying);
             }
-            self.new
-                .push_op(new_then, OpKind::Yield, then_vals, &[], Attrs::new(), vec![]);
-            self.new
-                .push_op(new_else, OpKind::Yield, else_vals, &[], Attrs::new(), vec![]);
+            self.new.push_op(
+                new_then,
+                OpKind::Yield,
+                then_vals,
+                &[],
+                Attrs::new(),
+                vec![],
+            );
+            self.new.push_op(
+                new_else,
+                OpKind::Yield,
+                else_vals,
+                &[],
+                Attrs::new(),
+                vec![],
+            );
             let new_op = self.new.push_op(
                 region,
                 OpKind::If,
@@ -436,8 +441,14 @@ impl<'a> Vectorizer<'a> {
                 }
             })
             .collect();
-        self.new
-            .push_op(body_new, OpKind::Yield, yield_vals, &[], Attrs::new(), vec![]);
+        self.new.push_op(
+            body_new,
+            OpKind::Yield,
+            yield_vals,
+            &[],
+            Attrs::new(),
+            vec![],
+        );
 
         let mut operands = vec![bounds[0].v, bounds[1].v, bounds[2].v];
         operands.extend(new_inits);
@@ -497,7 +508,10 @@ mod tests {
             b.ret(&[]);
         });
         let text = print_module(&m);
-        assert!(text.contains("limpet.get_state {var = \"x\"} : vector<8xf64>"), "{text}");
+        assert!(
+            text.contains("limpet.get_state {var = \"x\"} : vector<8xf64>"),
+            "{text}"
+        );
         assert!(text.contains("arith.negf %0 : vector<8xf64>"), "{text}");
         assert_eq!(m.attrs.i64_of("vector_width"), Some(8));
     }
@@ -512,7 +526,10 @@ mod tests {
             b.ret(&[]);
         });
         let text = print_module(&m);
-        assert!(text.contains("limpet.param {name = \"Cm\"} : f64"), "{text}");
+        assert!(
+            text.contains("limpet.param {name = \"Cm\"} : f64"),
+            "{text}"
+        );
         assert!(text.contains("vector.broadcast"), "{text}");
     }
 
@@ -526,7 +543,10 @@ mod tests {
             b.ret(&[]);
         });
         let text = print_module(&m);
-        assert!(text.contains("arith.constant 2.0 : vector<8xf64>"), "{text}");
+        assert!(
+            text.contains("arith.constant 2.0 : vector<8xf64>"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -649,7 +669,10 @@ mod tests {
         assert!(Vectorize::new(4).run_on(&mut m));
         verify_module(&m).unwrap();
         let text = print_module(&m);
-        assert!(text.contains("lut.col %0 {col = 0, table = \"Vm\"} : vector<4xf64>"), "{text}");
+        assert!(
+            text.contains("lut.col %0 {col = 0, table = \"Vm\"} : vector<4xf64>"),
+            "{text}"
+        );
         // The lut function itself stays scalar (it runs at table-init time).
         assert!(text.contains("func.func @lut_Vm(%arg0: f64)"), "{text}");
     }

@@ -1,0 +1,691 @@
+//! # limpet-proptest
+//!
+//! A self-contained, offline re-implementation of the subset of the
+//! [proptest](https://docs.rs/proptest) API that this workspace's property
+//! tests use. The build environment has no network access to crates.io,
+//! so the real crate cannot be vendored; test sources keep their original
+//! `use proptest::prelude::*;` form via a Cargo dependency rename
+//! (`proptest = { package = "limpet-proptest", ... }`).
+//!
+//! Supported surface:
+//!
+//! * [`Strategy`] with `prop_map`, `prop_recursive`, `prop_filter_map`,
+//!   and [`Strategy::boxed`];
+//! * range strategies (`-5.0f64..5.0`, `0u8..4`, `1usize..30`, …),
+//!   [`Just`], tuple strategies (arity 2–10), [`any::<bool>()`](any),
+//!   and string-pattern strategies (a small character-class + repetition
+//!   subset of regex syntax, e.g. `"[A-Z][a-z]{2,8}"` and `"\\PC{0,200}"`);
+//! * `prop::collection::vec`;
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`], and
+//!   [`prop_assert_eq!`] macros and [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed (derived from the test's module path and
+//! name, so failures reproduce exactly), and there is **no shrinking** —
+//! a failing case reports its generated inputs via `Debug` instead.
+
+#![warn(missing_docs)]
+
+use limpet_rng::SmallRng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property inside a `proptest!` body (produced by
+/// [`prop_assert!`]/[`prop_assert_eq!`]).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Derives the deterministic RNG for one test (seeded by its full path).
+pub fn test_rng(test_path: &str) -> SmallRng {
+    SmallRng::seed_from_str(test_path)
+}
+
+/// A generator of random values — the trait the `in` clauses of
+/// [`proptest!`] consume.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates values, keeping only those `f` maps to `Some`.
+    ///
+    /// Gives up (panics) after 1000 consecutive rejections, mirroring
+    /// proptest's global rejection limit.
+    fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `recurse`
+    /// wraps a strategy into one level of nesting, applied up to `depth`
+    /// times. The `_desired_size`/`_expected_branch_size` tuning knobs of
+    /// the real crate are accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut cur = base.clone();
+        for _ in 0..depth {
+            let rec = recurse(cur).boxed();
+            let leaf = base.clone();
+            cur = BoxedStrategy {
+                gen: Arc::new(move |rng: &mut SmallRng| {
+                    if rng.gen_bool(0.5) {
+                        rec.generate(rng)
+                    } else {
+                        leaf.generate(rng)
+                    }
+                }),
+            };
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            gen: Arc::new(move |rng: &mut SmallRng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V> {
+    gen: Arc<dyn Fn(&mut SmallRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Arc::clone(&self.gen),
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut SmallRng) -> V {
+        (self.gen)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut SmallRng) -> U {
+        for _ in 0..1000 {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map rejected 1000 consecutive cases: {}",
+            self.whence
+        );
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: limpet_rng::SampleUniform + PartialOrd + Clone> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// A uniform choice among boxed alternatives (the [`prop_oneof!`] target).
+#[derive(Debug, Clone)]
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut SmallRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical strategy, usable via [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy behind `any::<bool>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+// --- string pattern strategies ------------------------------------------
+
+/// One parsed atom of the mini pattern language.
+#[derive(Debug, Clone)]
+enum PatAtom {
+    /// Explicit set of characters (from `[...]` classes or literals).
+    Class(Vec<char>),
+    /// `\PC`: any printable (non-control) character.
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct PatPiece {
+    atom: PatAtom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<PatPiece> {
+    let mut pieces = Vec::new();
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                // Only the `\PC` (printable) escape plus literal escapes.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    PatAtom::Printable
+                } else {
+                    let c = *chars.get(i + 1).unwrap_or(&'\\');
+                    i += 2;
+                    PatAtom::Class(vec![c])
+                }
+            }
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() && chars[i + 2] != ']'
+                    {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                PatAtom::Class(set)
+            }
+            c => {
+                i += 1;
+                PatAtom::Class(vec![c])
+            }
+        };
+        // Optional {n} / {m,n} quantifier.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i)
+                .expect("unterminated {} quantifier");
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(PatPiece { atom, min, max });
+    }
+    pieces
+}
+
+/// Pool for `\PC`: ASCII printables plus a few multibyte characters so
+/// UTF-8 boundary handling gets exercised.
+fn printable_char(rng: &mut SmallRng) -> char {
+    const EXTRA: [char; 8] = ['é', 'λ', 'ß', '→', '中', '🦀', '\u{AD}', 'Ω'];
+    if rng.gen_bool(0.9) {
+        char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap()
+    } else {
+        EXTRA[rng.gen_range(0..EXTRA.len())]
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let n = if piece.min == piece.max {
+                piece.min
+            } else {
+                rng.gen_range(piece.min..piece.max + 1)
+            };
+            for _ in 0..n {
+                match &piece.atom {
+                    PatAtom::Printable => out.push(printable_char(rng)),
+                    PatAtom::Class(set) => {
+                        assert!(!set.is_empty(), "empty character class in {self:?}");
+                        out.push(set[rng.gen_range(0..set.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The `prop::` facade module (`prop::collection::vec`, `prop::num`, …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, SmallRng, Strategy};
+
+        /// A strategy for `Vec`s whose length is drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors of `element` values with a length in `size`
+        /// (a `usize` for exact length, or a `Range<usize>`).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+                let n = if self.size.min == self.size.max {
+                    self.size.min
+                } else {
+                    rng.gen_range(self.size.min..self.size.max)
+                };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Length specification for [`prop::collection::vec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (exclusive, unless equal to `min`).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+/// Defines property tests. See the crate docs for the supported forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let mut __inputs: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $(
+                    let __value = $crate::Strategy::generate(&($strat), &mut __rng);
+                    __inputs.push(::std::format!("{:?}", __value));
+                    let $pat = __value;
+                )+
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __result {
+                    ::std::panic!(
+                        "proptest case {}/{} failed: {}\ninputs: [{}]",
+                        __case + 1,
+                        __cfg.cases,
+                        e,
+                        __inputs.join(", "),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniformly picks one of several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Like `assert!`, but fails the surrounding property instead of
+/// panicking directly (so the harness can report the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: {:?} != {:?}",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "{}: {:?} != {:?}",
+            ::std::format!($($fmt)+),
+            __a,
+            __b
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_rng("t1");
+        let s = (0u8..4, -2.0f64..2.0, 1usize..5);
+        for _ in 0..200 {
+            let (a, b, c) = s.generate(&mut rng);
+            assert!(a < 4);
+            assert!((-2.0..2.0).contains(&b));
+            assert!((1..5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = crate::test_rng("t2");
+        let ranged = prop::collection::vec(0.0f64..1.0, 1..16);
+        let exact = prop::collection::vec(0.0f64..1.0, 7);
+        for _ in 0..100 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..16).contains(&v.len()));
+            assert_eq!(exact.generate(&mut rng).len(), 7);
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::test_rng("t3");
+        for _ in 0..100 {
+            let name = "[A-Z][a-z]{2,8}".generate(&mut rng);
+            let mut cs = name.chars();
+            assert!(cs.next().unwrap().is_ascii_uppercase(), "{name}");
+            let rest: Vec<char> = cs.collect();
+            assert!((2..=8).contains(&rest.len()), "{name}");
+            assert!(rest.iter().all(|c| c.is_ascii_lowercase()), "{name}");
+
+            let junk = "\\PC{0,200}".generate(&mut rng);
+            assert!(junk.chars().count() <= 200);
+            assert!(junk.chars().all(|c| !c.is_control()), "{junk:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = crate::test_rng("t4");
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)] // value only read via Debug on failure
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = (0u8..10).prop_map(Tree::Leaf);
+        let s = leaf.prop_recursive(3, 16, 4, |inner| {
+            prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::test_rng("t5");
+        for _ in 0..100 {
+            assert!(depth(&s.generate(&mut rng)) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, mut patterns, and assertions.
+        #[test]
+        fn macro_end_to_end(mut xs in prop::collection::vec(0.0f64..10.0, 1..8), k in 1u8..5) {
+            xs.sort_by(f64::total_cmp);
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]), "not sorted: {xs:?}");
+            prop_assert_eq!(k as usize * 2 / 2, k as usize);
+        }
+    }
+}

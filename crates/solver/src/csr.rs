@@ -126,7 +126,9 @@ impl CsrMatrix {
 
     /// The main diagonal.
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 }
 
@@ -179,11 +181,7 @@ mod tests {
 
     #[test]
     fn matvec_matches_dense() {
-        let m = CsrMatrix::from_triplets(
-            2,
-            3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)],
-        );
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
         assert_eq!(m.mul_vec(&[1.0, 2.0, 3.0]), vec![7.0, 6.0]);
     }
 

@@ -84,7 +84,9 @@ pub fn cg_solve(
     }
     let diag = a.diagonal();
     if diag.contains(&0.0) {
-        return Err(SolveError("zero diagonal entry (Jacobi preconditioner)".into()));
+        return Err(SolveError(
+            "zero diagonal entry (Jacobi preconditioner)".into(),
+        ));
     }
     let b_norm = norm2(b).max(1e-300);
 
@@ -229,7 +231,12 @@ mod tests {
         let sc = cg_solve(&a, &b, &mut xc, 1e-10, 1000).unwrap();
         let sj = jacobi_solve(&a, &b, &mut xj, 1e-10, 10000).unwrap();
         assert!(sc.converged && sj.converged);
-        assert!(sc.iterations < sj.iterations, "{} vs {}", sc.iterations, sj.iterations);
+        assert!(
+            sc.iterations < sj.iterations,
+            "{} vs {}",
+            sc.iterations,
+            sj.iterations
+        );
         for (a_, b_) in xc.iter().zip(&xj) {
             assert!((a_ - b_).abs() < 1e-6);
         }

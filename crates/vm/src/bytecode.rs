@@ -92,9 +92,19 @@ pub enum Instr {
     /// `f[dst] = fn(f[a], f[b])`
     Math2 { f: MathFn, dst: u16, a: u16, b: u16 },
     /// `b[dst] = f[a] cmp f[b]`
-    CmpF { pred: CmpFPred, dst: u16, a: u16, b: u16 },
+    CmpF {
+        pred: CmpFPred,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
     /// `b[dst] = splat(i[a] cmp i[b])`
-    CmpI { pred: CmpIPred, dst: u16, a: u16, b: u16 },
+    CmpI {
+        pred: CmpIPred,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
     /// `b[dst] = b[a] ⊕ b[b]`
     BinB { op: BBin, dst: u16, a: u16, b: u16 },
     /// `f[dst] = b[cond] ? f[a] : f[b] (per lane)`
@@ -106,12 +116,27 @@ pub enum Instr {
     /// `i[dst] = i[a] ⊕ i[b]`
     BinI { op: IBin, dst: u16, a: u16, b: u16 },
     /// `f[dst][lane] = interp(luts[table], col, f[key][lane]) — vectorized.`
-    LutVec { table: u16, col: u16, dst: u16, key: u16 },
+    LutVec {
+        table: u16,
+        col: u16,
+        dst: u16,
+        key: u16,
+    },
     /// Same semantics through one opaque call per lane (baseline path).
-    LutScalar { table: u16, col: u16, dst: u16, key: u16 },
+    LutScalar {
+        table: u16,
+        col: u16,
+        dst: u16,
+        key: u16,
+    },
     /// Catmull-Rom cubic interpolation (the paper's future-work spline
     /// variant): four-row stencil, third-order accurate.
-    LutCubic { table: u16, col: u16, dst: u16, key: u16 },
+    LutCubic {
+        table: u16,
+        col: u16,
+        dst: u16,
+        key: u16,
+    },
     /// Unconditional jump to instruction index.
     Jump { target: u32 },
     /// `Jump when lane 0 of b[cond] is false (uniform conditions only).`
@@ -193,7 +218,10 @@ impl Program {
                 Instr::LoadParam { dst, idx } => writeln!(
                     out,
                     "f{dst} = param {}",
-                    self.params.get(*idx as usize).map(String::as_str).unwrap_or("?")
+                    self.params
+                        .get(*idx as usize)
+                        .map(String::as_str)
+                        .unwrap_or("?")
                 ),
                 Instr::LoadDt { dst } => writeln!(out, "f{dst} = dt"),
                 Instr::LoadTime { dst } => writeln!(out, "f{dst} = t"),
@@ -210,12 +238,18 @@ impl Program {
                 Instr::LoadParentState { dst, var, fallback } => writeln!(
                     out,
                     "f{dst} = load parent.{} (fallback f{fallback})",
-                    self.parent_vars.get(*var as usize).map(String::as_str).unwrap_or("?")
+                    self.parent_vars
+                        .get(*var as usize)
+                        .map(String::as_str)
+                        .unwrap_or("?")
                 ),
                 Instr::StoreParentState { src, var } => writeln!(
                     out,
                     "store parent.{} = f{src}",
-                    self.parent_vars.get(*var as usize).map(String::as_str).unwrap_or("?")
+                    self.parent_vars
+                        .get(*var as usize)
+                        .map(String::as_str)
+                        .unwrap_or("?")
                 ),
                 Instr::BinF { op, dst, a, b } => {
                     writeln!(out, "f{dst} = {op:?}(f{a}, f{b})")
@@ -247,20 +281,44 @@ impl Program {
                 Instr::BinI { op, dst, a, b } => {
                     writeln!(out, "i{dst} = {op:?}(i{a}, i{b})")
                 }
-                Instr::LutVec { table, col, dst, key } => writeln!(
+                Instr::LutVec {
+                    table,
+                    col,
+                    dst,
+                    key,
+                } => writeln!(
                     out,
                     "f{dst} = lut_vec {}[{col}](f{key})",
-                    self.lut_tables.get(*table as usize).map(String::as_str).unwrap_or("?")
+                    self.lut_tables
+                        .get(*table as usize)
+                        .map(String::as_str)
+                        .unwrap_or("?")
                 ),
-                Instr::LutScalar { table, col, dst, key } => writeln!(
+                Instr::LutScalar {
+                    table,
+                    col,
+                    dst,
+                    key,
+                } => writeln!(
                     out,
                     "f{dst} = lut_scalar {}[{col}](f{key})",
-                    self.lut_tables.get(*table as usize).map(String::as_str).unwrap_or("?")
+                    self.lut_tables
+                        .get(*table as usize)
+                        .map(String::as_str)
+                        .unwrap_or("?")
                 ),
-                Instr::LutCubic { table, col, dst, key } => writeln!(
+                Instr::LutCubic {
+                    table,
+                    col,
+                    dst,
+                    key,
+                } => writeln!(
                     out,
                     "f{dst} = lut_cubic {}[{col}](f{key})",
-                    self.lut_tables.get(*table as usize).map(String::as_str).unwrap_or("?")
+                    self.lut_tables
+                        .get(*table as usize)
+                        .map(String::as_str)
+                        .unwrap_or("?")
                 ),
                 Instr::Jump { target } => writeln!(out, "jump -> {target}"),
                 Instr::JumpIfNot { cond, target } => {
@@ -413,8 +471,13 @@ impl<'a> Compiler<'a> {
                 let dst = self.reg(op.result());
                 self.instrs.push(Instr::ConstB { dst, v });
             }
-            OpKind::AddF | OpKind::SubF | OpKind::MulF | OpKind::DivF | OpKind::RemF
-            | OpKind::MinF | OpKind::MaxF => {
+            OpKind::AddF
+            | OpKind::SubF
+            | OpKind::MulF
+            | OpKind::DivF
+            | OpKind::RemF
+            | OpKind::MinF
+            | OpKind::MaxF => {
                 let a = self.reg(op.operands[0]);
                 let b = self.reg(op.operands[1]);
                 let dst = self.reg(op.result());
@@ -600,11 +663,26 @@ impl<'a> Compiler<'a> {
                 let key = self.reg(op.operands[0]);
                 let dst = self.reg(op.result());
                 self.instrs.push(if scalar {
-                    Instr::LutScalar { table, col, dst, key }
+                    Instr::LutScalar {
+                        table,
+                        col,
+                        dst,
+                        key,
+                    }
                 } else if cubic {
-                    Instr::LutCubic { table, col, dst, key }
+                    Instr::LutCubic {
+                        table,
+                        col,
+                        dst,
+                        key,
+                    }
                 } else {
-                    Instr::LutVec { table, col, dst, key }
+                    Instr::LutVec {
+                        table,
+                        col,
+                        dst,
+                        key,
+                    }
                 });
             }
             OpKind::If => {
@@ -618,8 +696,7 @@ impl<'a> Compiler<'a> {
                 }
                 let cond = self.reg(cond_val);
                 // Result registers.
-                let result_regs: Vec<u16> =
-                    op.results.iter().map(|&r| self.reg(r)).collect();
+                let result_regs: Vec<u16> = op.results.iter().map(|&r| self.reg(r)).collect();
                 let jump_to_else = self.instrs.len();
                 self.instrs.push(Instr::JumpIfNot { cond, target: 0 });
                 // then
@@ -693,11 +770,7 @@ impl<'a> Compiler<'a> {
                     self.push_mov(self.class_of(*res), res_reg, arg_reg);
                 }
             }
-            OpKind::Yield => {
-                return Err(CompileError(
-                    "scf.yield outside a handled region".into(),
-                ))
-            }
+            OpKind::Yield => return Err(CompileError("scf.yield outside a handled region".into())),
             OpKind::Return => {}
         }
         Ok(())
@@ -759,7 +832,13 @@ mod tests {
         let mut b = Builder::new(&mut f);
         build(&mut b);
         m.add_func(f);
-        compile_program(&m, &["x".into(), "y".into()], &["Vm".into()], &["Cm".into()]).unwrap()
+        compile_program(
+            &m,
+            &["x".into(), "y".into()],
+            &["Vm".into()],
+            &["Cm".into()],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -772,8 +851,14 @@ mod tests {
             b.ret(&[]);
         });
         assert_eq!(p.instrs.last(), Some(&Instr::Ret));
-        assert!(p.instrs.iter().any(|i| matches!(i, Instr::LoadState { var: 0, .. })));
-        assert!(p.instrs.iter().any(|i| matches!(i, Instr::StoreState { var: 1, .. })));
+        assert!(p
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::LoadState { var: 0, .. })));
+        assert!(p
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::StoreState { var: 1, .. })));
         assert_eq!(p.n_fregs, 3);
     }
 
@@ -784,8 +869,14 @@ mod tests {
             b.set_state("x", y);
             b.ret(&[]);
         });
-        assert!(p.instrs.iter().any(|i| matches!(i, Instr::LoadState { var: 1, .. })));
-        assert!(p.instrs.iter().any(|i| matches!(i, Instr::StoreState { var: 0, .. })));
+        assert!(p
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::LoadState { var: 1, .. })));
+        assert!(p
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::StoreState { var: 0, .. })));
         assert_eq!(p.state_vars, vec!["x", "y"]);
     }
 
@@ -844,8 +935,22 @@ mod tests {
             let cv = f.op(c).result();
             let then_r = f.new_region(&[]);
             let else_r = f.new_region(&[]);
-            f.push_op(then_r, limpet_ir::OpKind::Yield, vec![], &[], limpet_ir::Attrs::new(), vec![]);
-            f.push_op(else_r, limpet_ir::OpKind::Yield, vec![], &[], limpet_ir::Attrs::new(), vec![]);
+            f.push_op(
+                then_r,
+                limpet_ir::OpKind::Yield,
+                vec![],
+                &[],
+                limpet_ir::Attrs::new(),
+                vec![],
+            );
+            f.push_op(
+                else_r,
+                limpet_ir::OpKind::Yield,
+                vec![],
+                &[],
+                limpet_ir::Attrs::new(),
+                vec![],
+            );
             f.push_op(
                 body,
                 limpet_ir::OpKind::If,
@@ -854,7 +959,14 @@ mod tests {
                 limpet_ir::Attrs::new(),
                 vec![then_r, else_r],
             );
-            f.push_op(body, limpet_ir::OpKind::Return, vec![], &[], limpet_ir::Attrs::new(), vec![]);
+            f.push_op(
+                body,
+                limpet_ir::OpKind::Return,
+                vec![],
+                &[],
+                limpet_ir::Attrs::new(),
+                vec![],
+            );
         }
         m.add_func(f);
         let err = compile_program(&m, &[], &[], &[]).unwrap_err();
@@ -936,6 +1048,9 @@ mod tests {
             f.op_mut(t).attrs.set("scalar_interp", true);
         }
         let p2 = compile_program(&m, &["x".into()], &["Vm".into()], &[]).unwrap();
-        assert!(p2.instrs.iter().any(|i| matches!(i, Instr::LutScalar { .. })));
+        assert!(p2
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::LutScalar { .. })));
     }
 }

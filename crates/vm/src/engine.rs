@@ -18,6 +18,7 @@ use crate::lut::LutData;
 use crate::state::{CellStates, ExtArrays};
 use limpet_ir::{MathFn, Module};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Static model facts the kernel needs to bind storage: names, order, and
 /// initial values of state variables, external variables, and parameters.
@@ -109,14 +110,19 @@ pub struct ParentView<'a> {
 /// # Ok(())
 /// # }
 /// ```
+/// All heap-allocated parts (program, parameter snapshot, lookup tables,
+/// model facts) sit behind [`Arc`], so `Clone` is a handful of refcount
+/// bumps: clones share one compiled program and one set of LUT buffers.
+/// This is what lets a kernel cache hand the same compilation to many
+/// simulations (and many threads) without re-lowering or re-tabulating.
 #[derive(Debug, Clone)]
 pub struct Kernel {
-    name: String,
-    program: Program,
+    name: Arc<str>,
+    program: Arc<Program>,
     width: usize,
-    param_values: Vec<f64>,
-    luts: Vec<LutData>,
-    info: ModelInfo,
+    param_values: Arc<[f64]>,
+    luts: Arc<[LutData]>,
+    info: Arc<ModelInfo>,
 }
 
 impl Kernel {
@@ -133,12 +139,7 @@ impl Kernel {
             return Err(CompileError(format!("unsupported vector width {width}")));
         }
         let param_names: Vec<String> = info.params.iter().map(|(n, _)| n.clone()).collect();
-        let program = compile_program(
-            module,
-            &info.state_names,
-            &info.ext_names,
-            &param_names,
-        )?;
+        let program = compile_program(module, &info.state_names, &info.ext_names, &param_names)?;
         // The kernel must only touch variables the storage binding covers;
         // extra names would index out of bounds at runtime.
         if program.state_vars.len() > info.state_names.len() {
@@ -153,11 +154,8 @@ impl Kernel {
                 "kernel references external variable(s) {unknown:?} not in the model binding"
             )));
         }
-        let param_map: HashMap<&str, f64> = info
-            .params
-            .iter()
-            .map(|(n, v)| (n.as_str(), *v))
-            .collect();
+        let param_map: HashMap<&str, f64> =
+            info.params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
         let param_values: Vec<f64> = program
             .params
             .iter()
@@ -172,16 +170,20 @@ impl Kernel {
         for spec in &module.luts {
             let cols = spec.cols.len().max(1);
             let mut error = None;
-            let table = LutData::build(spec.lo, spec.hi, spec.step, cols, |key, out| {
-                match eval_func(module, &spec.func, &[Val::F(key)], &mut ctx) {
+            let table = LutData::build(
+                spec.lo,
+                spec.hi,
+                spec.step,
+                cols,
+                |key, out| match eval_func(module, &spec.func, &[Val::F(key)], &mut ctx) {
                     Ok(vals) => {
                         for (o, v) in out.iter_mut().zip(vals) {
                             *o = v.f();
                         }
                     }
                     Err(e) => error = Some(e),
-                }
-            });
+                },
+            );
             if let Some(e) = error {
                 return Err(CompileError(format!(
                     "failed to evaluate @{}: {e}",
@@ -192,13 +194,19 @@ impl Kernel {
         }
 
         Ok(Kernel {
-            name: module.name().to_owned(),
-            program,
+            name: module.name().into(),
+            program: Arc::new(program),
             width,
-            param_values,
-            luts,
-            info: info.clone(),
+            param_values: param_values.into(),
+            luts: luts.into(),
+            info: Arc::new(info.clone()),
         })
+    }
+
+    /// Whether two kernels share the same underlying compilation (the
+    /// same `Arc`'d program), i.e. one is a cheap clone of the other.
+    pub fn shares_compilation(&self, other: &Kernel) -> bool {
+        Arc::ptr_eq(&self.program, &other.program)
     }
 
     /// The model name.
@@ -263,14 +271,53 @@ impl Kernel {
         lo: usize,
         hi: usize,
     ) {
-        assert!(lo.is_multiple_of(self.width) && hi.is_multiple_of(self.width), "unaligned range");
+        assert!(
+            lo.is_multiple_of(self.width) && hi.is_multiple_of(self.width),
+            "unaligned range"
+        );
         let mut prof = Profile::default();
         let mut regs = RegFile::new(&self.program, self.width);
         match self.width {
-            1 => self.run_loop::<1, false>(&mut regs, state, ext, &mut parent, ctx, lo, hi, &mut prof),
-            2 => self.run_loop::<2, false>(&mut regs, state, ext, &mut parent, ctx, lo, hi, &mut prof),
-            4 => self.run_loop::<4, false>(&mut regs, state, ext, &mut parent, ctx, lo, hi, &mut prof),
-            8 => self.run_loop::<8, false>(&mut regs, state, ext, &mut parent, ctx, lo, hi, &mut prof),
+            1 => self.run_loop::<1, false>(
+                &mut regs,
+                state,
+                ext,
+                &mut parent,
+                ctx,
+                lo,
+                hi,
+                &mut prof,
+            ),
+            2 => self.run_loop::<2, false>(
+                &mut regs,
+                state,
+                ext,
+                &mut parent,
+                ctx,
+                lo,
+                hi,
+                &mut prof,
+            ),
+            4 => self.run_loop::<4, false>(
+                &mut regs,
+                state,
+                ext,
+                &mut parent,
+                ctx,
+                lo,
+                hi,
+                &mut prof,
+            ),
+            8 => self.run_loop::<8, false>(
+                &mut regs,
+                state,
+                ext,
+                &mut parent,
+                ctx,
+                lo,
+                hi,
+                &mut prof,
+            ),
             _ => unreachable!(),
         }
     }
@@ -601,7 +648,12 @@ impl Kernel {
                         IBin::Mul => av.wrapping_mul(bv),
                     };
                 }
-                Instr::LutVec { table, col, dst, key } => {
+                Instr::LutVec {
+                    table,
+                    col,
+                    dst,
+                    key,
+                } => {
                     let keys = fb!(*key);
                     let mut out = [0.0f64; W];
                     self.luts[*table as usize].interp_block(&keys, *col as usize, &mut out);
@@ -611,28 +663,30 @@ impl Kernel {
                         prof.flops += 5 * W as u64;
                     }
                 }
-                Instr::LutScalar { table, col, dst, key } => {
+                Instr::LutScalar {
+                    table,
+                    col,
+                    dst,
+                    key,
+                } => {
                     let keys = fb!(*key);
                     let mut out = [0.0f64; W];
-                    self.luts[*table as usize].interp_scalar_calls(
-                        &keys,
-                        *col as usize,
-                        &mut out,
-                    );
+                    self.luts[*table as usize].interp_scalar_calls(&keys, *col as usize, &mut out);
                     fw!(*dst, out);
                     if COUNT {
                         prof.bytes_read += 16 * W as u64;
                         prof.flops += 5 * W as u64;
                     }
                 }
-                Instr::LutCubic { table, col, dst, key } => {
+                Instr::LutCubic {
+                    table,
+                    col,
+                    dst,
+                    key,
+                } => {
                     let keys = fb!(*key);
                     let mut out = [0.0f64; W];
-                    self.luts[*table as usize].interp_block_cubic(
-                        &keys,
-                        *col as usize,
-                        &mut out,
-                    );
+                    self.luts[*table as usize].interp_block_cubic(&keys, *col as usize, &mut out);
                     fw!(*dst, out);
                     if COUNT {
                         prof.bytes_read += 32 * W as u64;
@@ -815,15 +869,9 @@ mod tests {
             results.push((0..16).map(|c| st.get(c, 1)).collect());
         }
         for w in 1..results.len() {
-            for c in 0..16 {
-                let rel = (results[w][c] - results[0][c]).abs()
-                    / results[0][c].abs().max(1e-300);
-                assert!(
-                    rel < 1e-11,
-                    "width idx {w} cell {c}: {} vs {}",
-                    results[w][c],
-                    results[0][c]
-                );
+            for (c, (got, want)) in results[w].iter().zip(&results[0]).enumerate() {
+                let rel = (got - want).abs() / want.abs().max(1e-300);
+                assert!(rel < 1e-11, "width idx {w} cell {c}: {got} vs {want}");
             }
         }
     }

@@ -160,8 +160,7 @@ impl<'a> Evaluator<'a> {
                     let lb = env[&op.operands[0]].i();
                     let ub = env[&op.operands[1]].i();
                     let step = env[&op.operands[2]].i().max(1);
-                    let mut iters: Vec<Val> =
-                        op.operands[3..].iter().map(|o| env[o]).collect();
+                    let mut iters: Vec<Val> = op.operands[3..].iter().map(|o| env[o]).collect();
                     let body = op.regions[0];
                     let args = self.func.region(body).args.clone();
                     let mut iv = lb;
@@ -190,12 +189,7 @@ impl<'a> Evaluator<'a> {
         Vec::new()
     }
 
-    fn eval_simple(
-        &mut self,
-        kind: &OpKind,
-        attrs: &limpet_ir::Attrs,
-        v: &[Val],
-    ) -> Option<Val> {
+    fn eval_simple(&mut self, kind: &OpKind, attrs: &limpet_ir::Attrs, v: &[Val]) -> Option<Val> {
         Some(match kind {
             OpKind::ConstantF(c) => Val::F(*c),
             OpKind::ConstantInt(c) => Val::I(*c),
@@ -234,12 +228,14 @@ impl<'a> Evaluator<'a> {
             OpKind::Param => Val::F(self.ctx.param(attrs.str_of("name").unwrap_or(""))),
             OpKind::GetState => Val::F(self.ctx.get_state(attrs.str_of("var").unwrap_or(""))),
             OpKind::SetState => {
-                self.ctx.set_state(attrs.str_of("var").unwrap_or(""), v[0].f());
+                self.ctx
+                    .set_state(attrs.str_of("var").unwrap_or(""), v[0].f());
                 return None;
             }
             OpKind::GetExt => Val::F(self.ctx.get_ext(attrs.str_of("var").unwrap_or(""))),
             OpKind::SetExt => {
-                self.ctx.set_ext(attrs.str_of("var").unwrap_or(""), v[0].f());
+                self.ctx
+                    .set_ext(attrs.str_of("var").unwrap_or(""), v[0].f());
                 return None;
             }
             OpKind::HasParent => Val::B(self.ctx.has_parent()),

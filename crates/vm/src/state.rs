@@ -155,7 +155,9 @@ impl CellStates {
         debug_assert!(cell0 + out.len() <= self.padded);
         match self.layout {
             StateLayout::AoSoA { block }
-                if out.len() <= block && cell0.is_multiple_of(block) && block % out.len().max(1) == 0 =>
+                if out.len() <= block
+                    && cell0.is_multiple_of(block)
+                    && block % out.len().max(1) == 0 =>
             {
                 let base = self.index(cell0, var);
                 out.copy_from_slice(&self.data[base..base + out.len()]);
@@ -176,7 +178,9 @@ impl CellStates {
         debug_assert!(cell0 + vals.len() <= self.padded);
         match self.layout {
             StateLayout::AoSoA { block }
-                if vals.len() <= block && cell0.is_multiple_of(block) && block % vals.len().max(1) == 0 =>
+                if vals.len() <= block
+                    && cell0.is_multiple_of(block)
+                    && block % vals.len().max(1) == 0 =>
             {
                 let base = self.index(cell0, var);
                 self.data[base..base + vals.len()].copy_from_slice(vals);

@@ -295,15 +295,13 @@ fn sincos_block(x: &mut [f64], want_cos: bool) {
                     + r2 * (1.0 / 120.0
                         + r2 * (-1.0 / 5040.0
                             + r2 * (1.0 / 362880.0
-                                + r2 * (-1.0 / 39916800.0
-                                    + r2 * (1.0 / 6227020800.0)))))));
+                                + r2 * (-1.0 / 39916800.0 + r2 * (1.0 / 6227020800.0)))))));
         let cos_r = 1.0
             + r2 * (-0.5
                 + r2 * (1.0 / 24.0
                     + r2 * (-1.0 / 720.0
                         + r2 * (1.0 / 40320.0
-                            + r2 * (-1.0 / 3628800.0
-                                + r2 * (1.0 / 479001600.0))))));
+                            + r2 * (-1.0 / 3628800.0 + r2 * (1.0 / 479001600.0))))));
         let eff = if want_cos { quadrant + 1 } else { quadrant } % 4;
         *v = match eff {
             0 => sin_r,
@@ -416,7 +414,14 @@ mod tests {
 
     #[test]
     fn exp_edge_cases() {
-        let mut v = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, 800.0, -800.0];
+        let mut v = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            800.0,
+            -800.0,
+        ];
         exp_block(&mut v);
         assert!(v[0].is_nan());
         assert_eq!(v[1], f64::INFINITY);

@@ -43,7 +43,11 @@ fn info(m: &Model) -> ModelInfo {
         state_inits: m.states.iter().map(|s| s.init).collect(),
         ext_names: m.externals.iter().map(|e| e.name.clone()).collect(),
         ext_inits: m.externals.iter().map(|e| e.init).collect(),
-        params: m.params.iter().map(|p| (p.name.clone(), p.default)).collect(),
+        params: m
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.default))
+            .collect(),
     }
 }
 
@@ -108,7 +112,9 @@ fn all_pipelines_agree_on_trajectory() {
         let got = simulate(
             &opt.module,
             &mi,
-            StateLayout::AoSoA { block: block as usize },
+            StateLayout::AoSoA {
+                block: block as usize,
+            },
             steps,
         );
         assert_close(&reference, &got, 1e-6, isa.name());
@@ -159,7 +165,8 @@ fn scalar_optimized_agrees_bitwise_modulo_reassociation() {
     let base = pipeline::baseline(&m);
     let reference = simulate(&base.module, &mi, StateLayout::Aos, 200);
 
-    let mut opt = limpet_codegen::lower_model(&m, &limpet_codegen::CodegenOptions { use_lut: true });
+    let mut opt =
+        limpet_codegen::lower_model(&m, &limpet_codegen::CodegenOptions { use_lut: true });
     let pm = limpet_passes::standard_pipeline(1);
     pm.run(&mut opt.module);
     opt.module.attrs.set("layout", "aos");
@@ -198,7 +205,10 @@ fn all_integration_methods_run_stably() {
                     &mut state,
                     &mut ext,
                     None,
-                    SimContext { dt: 0.01, t: step as f64 * 0.01 },
+                    SimContext {
+                        dt: 0.01,
+                        t: step as f64 * 0.01,
+                    },
                 );
             }
             // A gate must stay within [0, 1] under every method.

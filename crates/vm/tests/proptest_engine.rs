@@ -11,9 +11,7 @@
 
 #![allow(clippy::needless_range_loop)]
 
-use limpet_ir::{
-    Builder, CmpFPred, Func, LutSpec, MathFn, Module, Type, ValueId,
-};
+use limpet_ir::{Builder, CmpFPred, Func, LutSpec, MathFn, Module, Type, ValueId};
 use limpet_vm::{
     eval_func, CellStates, EvalContext, ExtArrays, Kernel, LutData, ModelInfo, SimContext,
     StateLayout,
@@ -106,7 +104,7 @@ fn build(
         match r {
             Recipe::Const(v) => floats.push(b.const_f(*v)),
             Recipe::GetState(i) => floats.push(b.get_state(STATE_VARS[*i as usize % 4])),
-            Recipe::GetExt(i) => floats.push(b.get_ext(EXT_VARS[*i as usize % 1])),
+            Recipe::GetExt(i) => floats.push(b.get_ext(EXT_VARS[*i as usize % EXT_VARS.len()])),
             Recipe::Param(i) => floats.push(b.param(PARAMS[*i as usize % 2].0)),
             Recipe::Dt => floats.push(b.dt()),
             Recipe::Neg => {

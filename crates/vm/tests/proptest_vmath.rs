@@ -32,16 +32,70 @@ macro_rules! unary_matches_std {
     };
 }
 
-unary_matches_std!(exp_random, vmath::exp_block, f64::exp, -700.0f64..700.0, 1e-12);
+unary_matches_std!(
+    exp_random,
+    vmath::exp_block,
+    f64::exp,
+    -700.0f64..700.0,
+    1e-12
+);
 unary_matches_std!(log_random, vmath::log_block, f64::ln, 1e-12f64..1e12, 1e-12);
-unary_matches_std!(tanh_random, vmath::tanh_block, f64::tanh, -40.0f64..40.0, 1e-11);
-unary_matches_std!(sinh_random, vmath::sinh_block, f64::sinh, -40.0f64..40.0, 1e-10);
-unary_matches_std!(cosh_random, vmath::cosh_block, f64::cosh, -40.0f64..40.0, 1e-11);
-unary_matches_std!(sin_random, vmath::sin_block, f64::sin, -1000.0f64..1000.0, 1e-9);
-unary_matches_std!(cos_random, vmath::cos_block, f64::cos, -1000.0f64..1000.0, 1e-9);
-unary_matches_std!(expm1_random, vmath::expm1_block, f64::exp_m1, -20.0f64..20.0, 1e-10);
-unary_matches_std!(log1p_random, vmath::log1p_block, f64::ln_1p, -0.999f64..1e6, 1e-10);
-unary_matches_std!(log10_random, vmath::log10_block, f64::log10, 1e-12f64..1e12, 1e-12);
+unary_matches_std!(
+    tanh_random,
+    vmath::tanh_block,
+    f64::tanh,
+    -40.0f64..40.0,
+    1e-11
+);
+unary_matches_std!(
+    sinh_random,
+    vmath::sinh_block,
+    f64::sinh,
+    -40.0f64..40.0,
+    1e-10
+);
+unary_matches_std!(
+    cosh_random,
+    vmath::cosh_block,
+    f64::cosh,
+    -40.0f64..40.0,
+    1e-11
+);
+unary_matches_std!(
+    sin_random,
+    vmath::sin_block,
+    f64::sin,
+    -1000.0f64..1000.0,
+    1e-9
+);
+unary_matches_std!(
+    cos_random,
+    vmath::cos_block,
+    f64::cos,
+    -1000.0f64..1000.0,
+    1e-9
+);
+unary_matches_std!(
+    expm1_random,
+    vmath::expm1_block,
+    f64::exp_m1,
+    -20.0f64..20.0,
+    1e-10
+);
+unary_matches_std!(
+    log1p_random,
+    vmath::log1p_block,
+    f64::ln_1p,
+    -0.999f64..1e6,
+    1e-10
+);
+unary_matches_std!(
+    log10_random,
+    vmath::log10_block,
+    f64::log10,
+    1e-12f64..1e12,
+    1e-12
+);
 
 proptest! {
     #[test]

@@ -44,10 +44,13 @@ fn main() {
     let (vmin, vmax) = (-90.0, 50.0);
     let width = 64usize;
     println!("Hodgkin-Huxley action potential (Vm of cell 0)");
-    println!("t [ms]   {vmin:>6.0} mV {dashes} {vmax:>4.0} mV", dashes = "-".repeat(width - 22));
+    println!(
+        "t [ms]   {vmin:>6.0} mV {dashes} {vmax:>4.0} mV",
+        dashes = "-".repeat(width - 22)
+    );
     for (t, v) in trace.iter().step_by(2) {
-        let x = ((v - vmin) / (vmax - vmin) * (width as f64 - 1.0))
-            .clamp(0.0, width as f64 - 1.0) as usize;
+        let x = ((v - vmin) / (vmax - vmin) * (width as f64 - 1.0)).clamp(0.0, width as f64 - 1.0)
+            as usize;
         let mut line = vec![b' '; width];
         line[x] = b'*';
         println!("{t:7.2}  |{}|", String::from_utf8(line).unwrap());

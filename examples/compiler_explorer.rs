@@ -28,7 +28,12 @@ fn main() {
         model.complexity()
     );
     for s in &model.states {
-        println!("  state {:10} init {:>10.4}  method {}", s.name, s.init, s.method.name());
+        println!(
+            "  state {:10} init {:>10.4}  method {}",
+            s.name,
+            s.init,
+            s.method.name()
+        );
     }
 
     // Stage 1: lowering (AST -> IR), LUT extraction included.
@@ -75,7 +80,10 @@ fn main() {
     Vectorize::new(8).run_on(&mut module);
     Cse.run_on(&mut module);
     Dce.run_on(&mut module);
-    println!("== after vectorize(8) + cleanup: {} ops ==", op_count(&module));
+    println!(
+        "== after vectorize(8) + cleanup: {} ops ==",
+        op_count(&module)
+    );
     limpet::ir::verify_module(&module).expect("pipeline must preserve validity");
 
     println!("\n==== final vectorized IR ====");

@@ -9,8 +9,8 @@
 //! Without an argument, a demonstration model is written to a temporary
 //! file first.
 
-use limpet::harness::{model_info, PipelineKind, Simulation, Workload};
 use limpet::codegen::pipeline::VectorIsa;
+use limpet::harness::{model_info, PipelineKind, Simulation, Workload};
 use limpet::vm::Kernel;
 
 const DEMO: &str = "
@@ -57,7 +57,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.lookups.len()
     );
     for s in &model.states {
-        println!("  state {:8} init {:>8.4}  method {}", s.name, s.init, s.method.name());
+        println!(
+            "  state {:8} init {:>8.4}  method {}",
+            s.name,
+            s.init,
+            s.method.name()
+        );
     }
 
     // 2. What openCARP's limpetC++ would have produced (paper Listing 2).
@@ -67,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in c.lines().take(18) {
         println!("{line}");
     }
-    println!("    ... ({} more lines)", c.lines().count().saturating_sub(18));
+    println!(
+        "    ... ({} more lines)",
+        c.lines().count().saturating_sub(18)
+    );
 
     // 3. What limpetMLIR produces instead.
     let opt_module = PipelineKind::LimpetMlir(VectorIsa::Avx512).build(&model);

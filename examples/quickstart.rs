@@ -28,8 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compile twice: the openCARP-style scalar baseline and the
     // limpetMLIR AVX-512 pipeline.
-    let baseline = Compiler::new().isa(Isa::Scalar).compile("quickstart", src)?;
-    let optimized = Compiler::new().isa(Isa::Avx512).compile("quickstart", src)?;
+    let baseline = Compiler::new()
+        .isa(Isa::Scalar)
+        .compile("quickstart", src)?;
+    let optimized = Compiler::new()
+        .isa(Isa::Avx512)
+        .compile("quickstart", src)?;
 
     println!("=== limpetMLIR IR (AVX-512, AoSoA, vectorized LUT) ===");
     println!("{}", optimized.ir_text());

@@ -61,11 +61,7 @@ fn main() {
             steps: 0,
             dt,
         };
-        let mut sim = Simulation::new(
-            &model,
-            PipelineKind::LimpetMlir(VectorIsa::Avx512),
-            &wl,
-        );
+        let mut sim = Simulation::new(&model, PipelineKind::LimpetMlir(VectorIsa::Avx512), &wl);
         sim.set_stimulus(Stimulus {
             period: s1_bcl,
             duration: 2.0,

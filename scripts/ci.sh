@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate in one command.
+#
+# Usage: scripts/ci.sh
+# Runs from the repository root regardless of the caller's cwd.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI: all gates passed"

@@ -99,8 +99,8 @@ fn all_43_models_ir_round_trips() {
             .compile_model(m)
             .unwrap_or_else(|err| panic!("{}: {err}", e.name));
         let text = c.ir_text();
-        let reparsed = limpet::ir::parse_module(&text)
-            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        let reparsed =
+            limpet::ir::parse_module(&text).unwrap_or_else(|err| panic!("{}: {err}", e.name));
         assert_eq!(
             limpet::ir::print_module(&reparsed),
             text,
@@ -134,7 +134,10 @@ fn kernel_size_tracks_model_class() {
     let s = avg_instrs(SizeClass::Small);
     let m = avg_instrs(SizeClass::Medium);
     let l = avg_instrs(SizeClass::Large);
-    assert!(s < m && m < l, "instruction counts not ordered: {s} {m} {l}");
+    assert!(
+        s < m && m < l,
+        "instruction counts not ordered: {s} {m} {l}"
+    );
 }
 
 /// The sharded (threaded) driver produces the same result as the
@@ -149,8 +152,7 @@ fn threaded_execution_matches_single_thread() {
         dt: 0.01,
     };
     let mut single = Simulation::new(&m, PipelineKind::LimpetMlir(VectorIsa::Avx2), &wl);
-    let mut sharded =
-        ShardedSimulation::new(&m, PipelineKind::LimpetMlir(VectorIsa::Avx2), &wl, 4);
+    let mut sharded = ShardedSimulation::new(&m, PipelineKind::LimpetMlir(VectorIsa::Avx2), &wl, 4);
     for _ in 0..200 {
         single.step();
     }

@@ -21,7 +21,10 @@ Iion = g * x * (Vm + 80.0);
 #[test]
 fn offspring_reads_parent_state_when_attached() {
     for isa in [Isa::Scalar, Isa::Avx512] {
-        let compiled = Compiler::new().isa(isa).compile("Offspring", OFFSPRING).unwrap();
+        let compiled = Compiler::new()
+            .isa(isa)
+            .compile("Offspring", OFFSPRING)
+            .unwrap();
         let info = model_info(compiled.model());
         let kernel = Kernel::from_module(compiled.module(), &info).unwrap();
 
@@ -41,8 +44,7 @@ fn offspring_reads_parent_state_when_attached() {
         // Run 2: parent attached, with its Vm-like state at +20.
         let mut st2 = kernel.new_states(n, layout);
         let mut ext2 = kernel.new_ext(n);
-        let mut parent_states =
-            limpet::vm::CellStates::new(n, &[20.0], StateLayout::Aos);
+        let mut parent_states = limpet::vm::CellStates::new(n, &[20.0], StateLayout::Aos);
         let mut pv = ParentView {
             states: &mut parent_states,
             var_map: vec![0],
@@ -63,8 +65,14 @@ fn offspring_reads_parent_state_when_attached() {
 #[test]
 fn parent_and_no_parent_agree_across_widths() {
     // The parent path must vectorize identically to the scalar path.
-    let scalar = Compiler::new().isa(Isa::Scalar).compile("O", OFFSPRING).unwrap();
-    let vector = Compiler::new().isa(Isa::Avx512).compile("O", OFFSPRING).unwrap();
+    let scalar = Compiler::new()
+        .isa(Isa::Scalar)
+        .compile("O", OFFSPRING)
+        .unwrap();
+    let vector = Compiler::new()
+        .isa(Isa::Avx512)
+        .compile("O", OFFSPRING)
+        .unwrap();
     let info = model_info(scalar.model());
     let ks = Kernel::from_module(scalar.module(), &info).unwrap();
     let kv = Kernel::from_module(vector.module(), &info).unwrap();
@@ -86,7 +94,10 @@ fn parent_and_no_parent_agree_across_widths() {
             var_map: vec![0],
         };
         for step in 0..50 {
-            let c = SimContext { dt: ctx.dt, t: step as f64 * ctx.dt };
+            let c = SimContext {
+                dt: ctx.dt,
+                t: step as f64 * ctx.dt,
+            };
             k.run_step(&mut st, &mut ext, Some(&mut pv), c);
         }
         results.push((st.get(3, 0), ext.get(3, 1)));

@@ -10,11 +10,11 @@
 //! * at 32 modeled threads, large models keep large speedups while small
 //!   models collapse toward (or below) 1x (Fig. 3).
 
+use limpet::codegen::pipeline::VectorIsa;
 use limpet::harness::{
     fig5_isa_threads, geomean, icc_comparison, measure_median, ExperimentOptions, PipelineKind,
     Simulation, TimingModel, Workload,
 };
-use limpet::codegen::pipeline::VectorIsa;
 use limpet::models;
 
 fn time_config(model: &str, kind: PipelineKind, n_cells: usize, steps: usize) -> f64 {
@@ -112,7 +112,12 @@ fn large_models_speed_up_more_than_small() {
     let (cells, steps) = (1024, 8);
     let speedup = |name: &str| {
         let b = time_config(name, PipelineKind::Baseline, cells, steps);
-        let l = time_config(name, PipelineKind::LimpetMlir(VectorIsa::Avx512), cells, steps);
+        let l = time_config(
+            name,
+            PipelineKind::LimpetMlir(VectorIsa::Avx512),
+            cells,
+            steps,
+        );
         b / l
     };
     let small = geomean(["Plonsey", "AlievPanfilov"].iter().map(|n| speedup(n)));
@@ -168,8 +173,10 @@ fn fig5_runner_preserves_isa_ordering_at_one_thread() {
             .unwrap()
     };
     let (sse, avx2, avx512) = (get("SSE", 1), get("AVX2", 1), get("AVX-512", 1));
-    assert!(avx512 > avx2 * 0.9 && avx2 > sse * 0.9,
-        "ISA ordering violated: {sse:.2} {avx2:.2} {avx512:.2}");
+    assert!(
+        avx512 > avx2 * 0.9 && avx2 > sse * 0.9,
+        "ISA ordering violated: {sse:.2} {avx2:.2} {avx512:.2}"
+    );
     assert!(f.overall_geomean > 1.0);
 }
 
@@ -184,8 +191,12 @@ fn icc_comparison_runner_shape() {
         only: vec!["HodgkinHuxley".into()],
     };
     let f = icc_comparison(&opts, &tm);
-    assert!(f.limpet_mlir > f.compiler_simd,
-        "limpetMLIR {:.2} vs compiler-simd {:.2}", f.limpet_mlir, f.compiler_simd);
+    assert!(
+        f.limpet_mlir > f.compiler_simd,
+        "limpetMLIR {:.2} vs compiler-simd {:.2}",
+        f.limpet_mlir,
+        f.compiler_simd
+    );
 }
 
 /// §7 extension: spline LUTs on 4x-coarser tables track the
@@ -217,10 +228,18 @@ fn spline_luts_save_memory_and_preserve_accuracy() {
     );
 
     // Accuracy: trajectories agree through a full paced action potential.
-    let wl = Workload { n_cells: 8, steps: 0, dt: 0.01 };
+    let wl = Workload {
+        n_cells: 8,
+        steps: 0,
+        dt: 0.01,
+    };
     let mut a = Simulation::new(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), &wl);
     let mut b = Simulation::new(&m, PipelineKind::LimpetMlirSpline(VectorIsa::Avx512), &wl);
-    let stim = limpet::harness::Stimulus { period: 25.0, duration: 1.0, amplitude: 80.0 };
+    let stim = limpet::harness::Stimulus {
+        period: 25.0,
+        duration: 1.0,
+        amplitude: 80.0,
+    };
     a.set_stimulus(stim);
     b.set_stimulus(stim);
     let mut max_dv: f64 = 0.0;
