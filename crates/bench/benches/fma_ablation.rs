@@ -41,7 +41,7 @@ fn bench(c: &mut Criterion) {
                 .add(Vectorize::new(8));
             pm.add(Cse);
             pm.add(Dce);
-            pm.run(&mut without);
+            pm.run(&mut without).expect("pipeline runs");
             without.attrs.set("layout", "aosoa8");
         }
 

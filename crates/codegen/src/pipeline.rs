@@ -15,7 +15,7 @@
 use crate::lower::{lower_model, CodegenOptions, Lowered};
 use limpet_easyml::Model;
 use limpet_ir::Module;
-use limpet_passes::{standard_pipeline, Pass, PassManager, ScalarLutMode};
+use limpet_passes::{standard_pipeline_text, RunReport};
 
 /// A vector instruction set of the evaluation platform (paper §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,11 +88,32 @@ impl Layout {
 /// limpet_ir::verify_module(&lowered.module).unwrap();
 /// ```
 pub fn baseline(model: &Model) -> Lowered {
+    baseline_with_report(model).0
+}
+
+/// [`baseline`], also returning the pass manager's execution report.
+pub fn baseline_with_report(model: &Model) -> (Lowered, RunReport) {
     let mut lowered = lower_model(model, &CodegenOptions { use_lut: true });
-    ScalarLutMode.run_on(&mut lowered.module);
+    let report = apply_pipeline(&mut lowered.module, "scalar-lut-mode");
     lowered.module.attrs.set("layout", Layout::Aos.attr_value());
     lowered.module.attrs.set("pipeline", "baseline");
-    lowered
+    (lowered, report)
+}
+
+/// Parses `text` through the workspace pass registry and runs it over the
+/// module with verify-after-each-pass enabled.
+///
+/// # Panics
+///
+/// Panics when the text does not parse (in-tree pipeline descriptions are
+/// constants) or when a pass breaks IR invariants — a compiler bug, not a
+/// user error.
+fn apply_pipeline(module: &mut Module, text: &str) -> RunReport {
+    let mut pm = limpet_passes::parse_pipeline(text)
+        .unwrap_or_else(|e| panic!("in-tree pipeline '{text}' failed to parse: {e}"));
+    pm.verify_each(true);
+    pm.run(module)
+        .unwrap_or_else(|e| panic!("pipeline '{text}' failed: {e}"))
 }
 
 /// Builds the limpetMLIR module at the given ISA width and layout.
@@ -107,27 +128,38 @@ pub fn baseline(model: &Model) -> Lowered {
 /// limpet_ir::verify_module(&lowered.module).unwrap();
 /// ```
 pub fn limpet_mlir(model: &Model, isa: VectorIsa, layout: Layout) -> Lowered {
+    limpet_mlir_with_report(model, isa, layout).0
+}
+
+/// [`limpet_mlir`], also returning the pass manager's execution report.
+pub fn limpet_mlir_with_report(
+    model: &Model,
+    isa: VectorIsa,
+    layout: Layout,
+) -> (Lowered, RunReport) {
     let mut lowered = lower_model(model, &CodegenOptions { use_lut: true });
-    let pm = standard_pipeline(isa.lanes());
-    pm.run(&mut lowered.module);
+    let report = apply_pipeline(&mut lowered.module, &standard_pipeline_text(isa.lanes()));
     lowered.module.attrs.set("layout", layout.attr_value());
     lowered.module.attrs.set("pipeline", "limpetMLIR");
-    lowered
+    (lowered, report)
 }
 
 /// Builds the "compiler auto-SIMD" module of §5 (icc with `omp simd`):
 /// vectorized arithmetic, but scalar LUT interpolation and AoS layout.
 pub fn compiler_simd(model: &Model, isa: VectorIsa) -> Lowered {
+    compiler_simd_with_report(model, isa).0
+}
+
+/// [`compiler_simd`], also returning the pass manager's execution report.
+pub fn compiler_simd_with_report(model: &Model, isa: VectorIsa) -> (Lowered, RunReport) {
     let mut lowered = lower_model(model, &CodegenOptions { use_lut: true });
-    let mut pm = PassManager::new();
     // No preprocessor/CSE/LICM beyond what a general compiler would see;
-    // vectorization only.
-    pm.add(limpet_passes::Vectorize::new(isa.lanes()));
-    pm.run(&mut lowered.module);
-    ScalarLutMode.run_on(&mut lowered.module);
+    // vectorization only, then scalar LUT calls.
+    let text = format!("vectorize{{width={}}},scalar-lut-mode", isa.lanes());
+    let report = apply_pipeline(&mut lowered.module, &text);
     lowered.module.attrs.set("layout", Layout::Aos.attr_value());
     lowered.module.attrs.set("pipeline", "compiler-simd");
-    lowered
+    (lowered, report)
 }
 
 /// Builds a limpetMLIR module without the data-layout transformation
@@ -139,16 +171,21 @@ pub fn limpet_mlir_aos(model: &Model, isa: VectorIsa) -> Lowered {
 /// Builds a limpetMLIR module with LUTs disabled entirely — the ablation
 /// of §3.4.2 ("reaching more than 6x from the non-LUT version").
 pub fn limpet_mlir_no_lut(model: &Model, isa: VectorIsa) -> Lowered {
+    limpet_mlir_no_lut_with_report(model, isa).0
+}
+
+/// [`limpet_mlir_no_lut`], also returning the pass manager's execution
+/// report.
+pub fn limpet_mlir_no_lut_with_report(model: &Model, isa: VectorIsa) -> (Lowered, RunReport) {
     let mut lowered = lower_model(model, &CodegenOptions { use_lut: false });
-    let pm = standard_pipeline(isa.lanes());
-    pm.run(&mut lowered.module);
+    let report = apply_pipeline(&mut lowered.module, &standard_pipeline_text(isa.lanes()));
     let block = isa.lanes();
     lowered
         .module
         .attrs
         .set("layout", Layout::AoSoA { block }.attr_value());
     lowered.module.attrs.set("pipeline", "limpetMLIR-noLUT");
-    lowered
+    (lowered, report)
 }
 
 /// Builds a limpetMLIR module using Catmull-Rom **spline** LUT
@@ -157,11 +194,19 @@ pub fn limpet_mlir_no_lut(model: &Model, isa: VectorIsa) -> Lowered {
 /// complement ... the currently used linear interpolation"). Same
 /// interpolation error at a quarter of the table memory.
 pub fn limpet_mlir_spline(model: &Model, isa: VectorIsa) -> Lowered {
+    limpet_mlir_spline_with_report(model, isa).0
+}
+
+/// [`limpet_mlir_spline`], also returning the pass manager's execution
+/// report (the standard pipeline's passes followed by `cubic-lut-mode`).
+pub fn limpet_mlir_spline_with_report(model: &Model, isa: VectorIsa) -> (Lowered, RunReport) {
     let block = isa.lanes();
-    let mut lowered = limpet_mlir(model, isa, Layout::AoSoA { block });
-    limpet_passes::CubicLutMode.run_on(&mut lowered.module);
+    let (mut lowered, mut report) = limpet_mlir_with_report(model, isa, Layout::AoSoA { block });
+    let tail = apply_pipeline(&mut lowered.module, "cubic-lut-mode");
+    report.passes.extend(tail.passes);
+    report.dumps.extend(tail.dumps);
     lowered.module.attrs.set("pipeline", "limpetMLIR-spline");
-    lowered
+    (lowered, report)
 }
 
 /// Parses a layout attribute back (inverse of [`Layout::attr_value`]).
@@ -268,7 +313,7 @@ Iion = g * n * (Vm + 85.0);
         let base = lower_model(&m, &CodegenOptions { use_lut: true });
         let mut opt = lower_model(&m, &CodegenOptions { use_lut: true });
         let pm = limpet_passes::standard_pipeline(1);
-        pm.run(&mut opt.module);
+        pm.run(&mut opt.module).unwrap();
         let count = |md: &Module| md.func("compute").unwrap().walk_ops().len();
         assert!(
             count(&opt.module) <= count(&base.module),

@@ -60,12 +60,13 @@ pub use limpet_passes as passes;
 pub use limpet_solver as solver;
 pub use limpet_vm as vm;
 
-use limpet_codegen::pipeline::{self, Layout, VectorIsa};
+use limpet_codegen::pipeline::VectorIsa;
 use limpet_easyml::Model;
-use limpet_harness::{model_info, storage_layout, PipelineKind, Simulation, Workload};
+use limpet_harness::{CompiledKernel, KernelCache, PipelineKind, Simulation, Workload};
 use limpet_ir::Module;
+use limpet_passes::RunReport;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::Arc;
 
 /// Target vector instruction set (paper §4 evaluates SSE/AVX2/AVX-512).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -161,52 +162,47 @@ impl Compiler {
 
     /// Compiles an already-analyzed model.
     ///
+    /// Compilation goes through the process-wide
+    /// [`limpet_harness::KernelCache`]: the first compile of a
+    /// `(model, configuration)` pair lowers, optimizes, and
+    /// bytecode-compiles; every later compile of the same pair (from this
+    /// facade or from [`limpet_harness::Simulation::new`]) shares that
+    /// entry. The per-pass timing of the cold compile is available via
+    /// [`Compiled::pass_report`].
+    ///
     /// # Errors
     ///
     /// Returns [`CompileError::Verify`] if the generated IR fails
     /// verification.
     pub fn compile_model(&self, model: Model) -> Result<Compiled, CompileError> {
-        let (module, kind) = match self.isa.vector_isa() {
-            None => (pipeline::baseline(&model).module, PipelineKind::Baseline),
+        let kind = match self.isa.vector_isa() {
+            None => PipelineKind::Baseline,
             Some(isa) => {
-                let module = if self.disable_lut {
-                    pipeline::limpet_mlir_no_lut(&model, isa).module
-                } else if self.aos_layout {
-                    pipeline::limpet_mlir_aos(&model, isa).module
-                } else {
-                    let block = isa.lanes();
-                    pipeline::limpet_mlir(&model, isa, Layout::AoSoA { block }).module
-                };
-                let kind = if self.disable_lut {
+                if self.disable_lut {
                     PipelineKind::LimpetMlirNoLut(isa)
                 } else if self.aos_layout {
                     PipelineKind::LimpetMlirAos(isa)
                 } else {
                     PipelineKind::LimpetMlir(isa)
-                };
-                (module, kind)
+                }
             }
         };
-        limpet_ir::verify_module(&module).map_err(CompileError::Verify)?;
-        Ok(Compiled {
-            model,
-            module,
-            kind,
-            kernel: OnceLock::new(),
-        })
+        let entry = KernelCache::global().get_or_compile(&model, kind);
+        limpet_ir::verify_module(entry.module()).map_err(CompileError::Verify)?;
+        Ok(Compiled { model, kind, entry })
     }
 }
 
-/// A compiled model: checked frontend model + optimized IR module, with
-/// the executable kernel built lazily and memoized — repeated
-/// [`Compiled::kernel`] / [`Compiled::simulation`] calls share one
-/// bytecode compilation instead of re-lowering per call.
+/// A compiled model: the checked frontend model plus a shared
+/// [`KernelCache`] entry holding the optimized IR module and the
+/// executable kernel — repeated [`Compiled::kernel`] /
+/// [`Compiled::simulation`] calls (and clones of this value) all share
+/// one compilation instead of re-lowering per call.
 #[derive(Debug, Clone)]
 pub struct Compiled {
     model: Model,
-    module: Module,
     kind: PipelineKind,
-    kernel: OnceLock<limpet_vm::Kernel>,
+    entry: Arc<CompiledKernel>,
 }
 
 impl Compiled {
@@ -217,7 +213,7 @@ impl Compiled {
 
     /// The optimized IR module.
     pub fn module(&self) -> &Module {
-        &self.module
+        self.entry.module()
     }
 
     /// The pipeline configuration this model was compiled under.
@@ -225,28 +221,26 @@ impl Compiled {
         self.kind
     }
 
+    /// The pass manager's execution report for the cold compile that
+    /// produced this kernel: one entry per pipeline pass with wall time
+    /// and counters (`report.timing_table()` renders it like
+    /// `mlir-opt -mlir-timing`). Cache hits reuse the entry, so the
+    /// report always describes the compile that actually ran.
+    pub fn pass_report(&self) -> &RunReport {
+        self.entry.pass_report()
+    }
+
     /// The MLIR-style textual IR (parseable by [`limpet_ir::parse_module`]).
     pub fn ir_text(&self) -> String {
-        limpet_ir::print_module(&self.module)
+        limpet_ir::print_module(self.entry.module())
     }
 
     /// The executable kernel bound to this model's storage shape.
     ///
-    /// Built on first call from the already-optimized module and
-    /// memoized; the returned value is a cheap clone sharing that one
-    /// compilation (programs and LUTs live behind `Arc`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if bytecode compilation fails (verified modules always
-    /// compile).
+    /// A cheap clone of the cached compilation (programs and LUTs live
+    /// behind `Arc`), so repeated calls share one compilation.
     pub fn kernel(&self) -> limpet_vm::Kernel {
-        self.kernel
-            .get_or_init(|| {
-                limpet_vm::Kernel::from_module(&self.module, &model_info(&self.model))
-                    .expect("verified module must compile to bytecode")
-            })
-            .clone()
+        self.entry.kernel().clone()
     }
 
     /// Creates a ready-to-run simulation over `n_cells` cells, reusing
@@ -257,7 +251,7 @@ impl Compiled {
             steps: 0,
             dt,
         };
-        Simulation::with_kernel(self.kernel(), storage_layout(&self.module), &wl)
+        Simulation::with_kernel(self.kernel(), self.entry.layout(), &wl)
     }
 }
 
@@ -320,6 +314,35 @@ Iion = 0.2 * x * (Vm + 80.0);
         sim.run(50);
         assert!(sim.vm(0).is_finite());
         assert!(sim.state_of(0, "x").unwrap().is_finite());
+    }
+
+    #[test]
+    fn facade_shares_the_global_kernel_cache() {
+        let c1 = Compiler::new().compile("m", SRC).unwrap();
+        let c2 = Compiler::new().compile("m", SRC).unwrap();
+        // Two independent compiles of the same source land on the same
+        // cache entry, hence the same bytecode compilation.
+        assert!(c1.kernel().shares_compilation(&c2.kernel()));
+        // And harness simulations for the equivalent configuration too.
+        let model = limpet_easyml::compile_model("m", SRC).unwrap();
+        let sim = Simulation::new(&model, c1.pipeline_kind(), &Workload::default());
+        assert!(sim.kernel().shares_compilation(&c1.kernel()));
+    }
+
+    #[test]
+    fn pass_report_describes_the_cold_compile() {
+        let c = Compiler::new().compile("m", SRC).unwrap();
+        let report = c.pass_report();
+        assert!(
+            report.passes.iter().any(|p| p.name == "vectorize"),
+            "limpetMLIR pipeline must record its vectorize pass"
+        );
+        assert_eq!(report.counter("vectorize", "kernels-vectorized"), Some(1));
+        let table = c.pass_report().timing_table();
+        assert!(
+            table.contains("vectorize"),
+            "timing table lists passes:\n{table}"
+        );
     }
 
     #[test]

@@ -23,12 +23,14 @@ use std::sync::Arc;
 use std::sync::{Mutex, OnceLock};
 
 /// One cached compilation: the lowered IR module, the executable kernel,
-/// and the storage layout the module mandates.
+/// the storage layout the module mandates, and the pass manager's
+/// execution report from the cold compile that produced it.
 #[derive(Debug)]
 pub struct CompiledKernel {
     module: limpet_ir::Module,
     kernel: Kernel,
     layout: StateLayout,
+    pass_report: limpet_passes::RunReport,
 }
 
 impl CompiledKernel {
@@ -39,7 +41,7 @@ impl CompiledKernel {
     /// Panics when the module fails bytecode compilation (roster models
     /// are tested not to).
     pub fn compile(model: &Model, config: PipelineKind) -> CompiledKernel {
-        let module = config.build(model);
+        let (module, pass_report) = config.build_with_report(model);
         let info = model_info(model);
         let kernel = Kernel::from_module(&module, &info)
             .unwrap_or_else(|e| panic!("kernel compilation failed for {}: {e}", model.name));
@@ -48,6 +50,7 @@ impl CompiledKernel {
             module,
             kernel,
             layout,
+            pass_report,
         }
     }
 
@@ -65,6 +68,14 @@ impl CompiledKernel {
     /// The state storage layout the module mandates.
     pub fn layout(&self) -> StateLayout {
         self.layout
+    }
+
+    /// The pass manager's execution report from the cold compile: one
+    /// [`limpet_passes::PassRun`] per pipeline pass, with wall time and
+    /// counters. Cache hits share the entry, so this is always the
+    /// timing of the compile that actually ran.
+    pub fn pass_report(&self) -> &limpet_passes::RunReport {
+        &self.pass_report
     }
 }
 

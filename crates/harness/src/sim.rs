@@ -12,6 +12,7 @@
 use limpet_codegen::pipeline::{self, Layout, VectorIsa};
 use limpet_easyml::Model;
 use limpet_models::SizeClass;
+use limpet_passes::RunReport;
 use limpet_solver::Monodomain;
 use limpet_vm::{CellStates, ExtArrays, Kernel, ModelInfo, Profile, SimContext, StateLayout};
 
@@ -65,17 +66,31 @@ impl PipelineKind {
 
     /// Builds the IR module for a model under this configuration.
     pub fn build(self, model: &Model) -> limpet_ir::Module {
-        match self {
-            PipelineKind::Baseline => pipeline::baseline(model).module,
+        self.build_with_report(model).0
+    }
+
+    /// Builds the IR module and returns the pass manager's execution
+    /// report alongside it (per-pass wall time and counters — what a
+    /// cold compile actually spent).
+    pub fn build_with_report(self, model: &Model) -> (limpet_ir::Module, RunReport) {
+        let (lowered, report) = match self {
+            PipelineKind::Baseline => pipeline::baseline_with_report(model),
             PipelineKind::LimpetMlir(isa) => {
                 let block = isa.lanes();
-                pipeline::limpet_mlir(model, isa, Layout::AoSoA { block }).module
+                pipeline::limpet_mlir_with_report(model, isa, Layout::AoSoA { block })
             }
-            PipelineKind::LimpetMlirAos(isa) => pipeline::limpet_mlir_aos(model, isa).module,
-            PipelineKind::LimpetMlirNoLut(isa) => pipeline::limpet_mlir_no_lut(model, isa).module,
-            PipelineKind::CompilerSimd(isa) => pipeline::compiler_simd(model, isa).module,
-            PipelineKind::LimpetMlirSpline(isa) => pipeline::limpet_mlir_spline(model, isa).module,
-        }
+            PipelineKind::LimpetMlirAos(isa) => {
+                pipeline::limpet_mlir_with_report(model, isa, Layout::Aos)
+            }
+            PipelineKind::LimpetMlirNoLut(isa) => {
+                pipeline::limpet_mlir_no_lut_with_report(model, isa)
+            }
+            PipelineKind::CompilerSimd(isa) => pipeline::compiler_simd_with_report(model, isa),
+            PipelineKind::LimpetMlirSpline(isa) => {
+                pipeline::limpet_mlir_spline_with_report(model, isa)
+            }
+        };
+        (lowered.module, report)
     }
 }
 

@@ -51,6 +51,7 @@ mod module;
 mod ops;
 mod parser;
 mod printer;
+pub mod testing;
 mod types;
 mod verifier;
 

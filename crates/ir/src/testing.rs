@@ -1,0 +1,193 @@
+//! Shared test corpus: a known-valid kernel module plus a catalogue of
+//! invalidating mutations.
+//!
+//! Two suites consume this corpus:
+//!
+//! * `limpet-ir`'s `verifier_mutations` integration test asserts
+//!   [`verify_module`](crate::verify_module) rejects every mutation;
+//! * `limpet-pm`'s verify-instrumentation test wraps each mutation as a
+//!   pass and asserts the pass manager's verify-after-each-pass mode
+//!   attributes the failure to the offending pass by name.
+//!
+//! Each [`Mutation`] is a named function applied to a *fresh*
+//! [`corpus_module`]; value handles are deterministic, so the `values`
+//! returned at construction stay valid.
+
+use crate::{Attrs, Builder, CmpFPred, Func, Module, OpKind, Type, ValueId};
+
+/// A valid module with arithmetic, an if, a loop, and state access, plus
+/// handles to a few of its values (`x`, the constant `2.0`, the multiply
+/// result, and the `i1` comparison result, in that order).
+pub fn corpus_module() -> (Module, Vec<ValueId>) {
+    let mut m = Module::new("m");
+    let mut f = Func::new("compute", &[], &[]);
+    let mut b = Builder::new(&mut f);
+    let x = b.get_state("x");
+    let two = b.const_f(2.0);
+    let y = b.mulf(x, two);
+    let z = b.const_f(0.0);
+    let c = b.cmpf(CmpFPred::Ogt, y, z);
+    let sel = b.if_op(
+        c,
+        &[Type::F64],
+        |bb| {
+            let e = bb.exp(y);
+            bb.yield_(&[e]);
+        },
+        |bb| {
+            bb.yield_(&[y]);
+        },
+    );
+    let lb = b.const_index(0);
+    let ub = b.const_index(3);
+    let st = b.const_index(1);
+    let looped = b.for_op(lb, ub, st, &[sel[0]], |bb, _iv, iters| {
+        let h = bb.const_f(0.5);
+        let n = bb.mulf(iters[0], h);
+        bb.yield_(&[n]);
+    });
+    b.set_state("x", looped[0]);
+    b.ret(&[]);
+    m.add_func(f);
+    let values = vec![x, two, y, c];
+    (m, values)
+}
+
+/// One way of breaking a [`corpus_module`]: a distinct class of structural
+/// invalidity the verifier must detect.
+#[derive(Debug, Clone, Copy)]
+pub struct Mutation {
+    /// A stable, kebab-case identifier (doubles as a pass name in the
+    /// pass-manager instrumentation test).
+    pub name: &'static str,
+    /// Applies the mutation. `values` is the handle vector returned by
+    /// [`corpus_module`] for the same module instance.
+    pub apply: fn(&mut Module, &[ValueId]),
+}
+
+fn find_op(f: &Func, want: impl Fn(&OpKind) -> bool) -> crate::OpId {
+    f.walk_ops()
+        .into_iter()
+        .find(|&(_, _, op)| want(&f.op(op).kind))
+        .expect("corpus module contains the op")
+        .2
+}
+
+/// The catalogue of invalidating mutations, each rejected by
+/// [`verify_module`](crate::verify_module).
+pub fn mutations() -> Vec<Mutation> {
+    vec![
+        Mutation {
+            name: "type-mismatched-operand",
+            apply: |m, vals| {
+                let f = m.func_mut("compute").unwrap();
+                // Make mulf consume the i1 comparison result: type error.
+                let target = find_op(f, |k| *k == OpKind::MulF);
+                f.op_mut(target).operands[1] = vals[3];
+            },
+        },
+        Mutation {
+            name: "use-before-def",
+            apply: |m, _| {
+                let f = m.func_mut("compute").unwrap();
+                let body = f.body();
+                // Move the first op (get_state) to the end, after its uses.
+                let ops = &mut f.region_mut(body).ops;
+                let first = ops.remove(0);
+                let len = ops.len();
+                ops.insert(len - 1, first);
+            },
+        },
+        Mutation {
+            name: "removed-region-terminator",
+            apply: |m, _| {
+                let f = m.func_mut("compute").unwrap();
+                // Find the if's then-region and pop its yield.
+                let if_op = find_op(f, |k| *k == OpKind::If);
+                let then_r = f.op(if_op).regions[0];
+                f.region_mut(then_r).ops.pop();
+            },
+        },
+        Mutation {
+            name: "yield-arity-change",
+            apply: |m, _| {
+                let f = m.func_mut("compute").unwrap();
+                let if_op = find_op(f, |k| *k == OpKind::If);
+                let then_r = f.op(if_op).regions[0];
+                let yield_op = *f.region(then_r).ops.last().unwrap();
+                f.op_mut(yield_op).operands.clear();
+            },
+        },
+        Mutation {
+            name: "cross-region-escape",
+            apply: |m, _| {
+                let f = m.func_mut("compute").unwrap();
+                // Use a value defined inside the if's then-region from the
+                // body.
+                let if_op = find_op(f, |k| *k == OpKind::If);
+                let then_r = f.op(if_op).regions[0];
+                let inner_val = f.op(f.region(then_r).ops[0]).result();
+                let store = find_op(f, |k| *k == OpKind::SetState);
+                f.op_mut(store).operands[0] = inner_val;
+            },
+        },
+        Mutation {
+            name: "missing-var-attribute",
+            apply: |m, _| {
+                let f = m.func_mut("compute").unwrap();
+                let store = find_op(f, |k| *k == OpKind::SetState);
+                f.op_mut(store).attrs = Attrs::new();
+            },
+        },
+        Mutation {
+            name: "for-with-float-bounds",
+            apply: |m, _| {
+                let f = m.func_mut("compute").unwrap();
+                let for_op = find_op(f, |k| *k == OpKind::For);
+                // Replace the lower bound with an f64 value.
+                let some_float = find_op(f, |k| matches!(k, OpKind::ConstantF(_)));
+                let some_float = f.op(some_float).result();
+                f.op_mut(for_op).operands[0] = some_float;
+            },
+        },
+        Mutation {
+            name: "lut-col-missing-table",
+            apply: |m, vals| {
+                let f = m.func_mut("compute").unwrap();
+                let body = f.body();
+                let mut attrs = Attrs::new();
+                attrs.set("table", "NoSuchTable");
+                attrs.set("col", 0i64);
+                // vals[0] is defined by op 0; inserting at index 0 also
+                // makes the read precede the definition — either error is
+                // acceptable, but an error there must be.
+                f.insert_op(
+                    body,
+                    0,
+                    OpKind::LutCol,
+                    vec![vals[0]],
+                    &[Type::F64],
+                    attrs,
+                    vec![],
+                );
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_module;
+
+    #[test]
+    fn corpus_module_is_valid_and_mutation_names_unique() {
+        let (m, _) = corpus_module();
+        verify_module(&m).unwrap();
+        let muts = mutations();
+        let mut names: Vec<_> = muts.iter().map(|mu| mu.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), muts.len(), "duplicate mutation names");
+    }
+}

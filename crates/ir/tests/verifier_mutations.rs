@@ -1,197 +1,34 @@
 //! Verifier robustness: structurally *broken* modules must be rejected.
 //!
-//! Starting from a known-valid kernel, each mutation introduces a distinct
-//! class of invalidity; the verifier must catch every one. This guards the
-//! passes: any rewrite that corrupts the IR in one of these ways is
+//! The corpus — a known-valid kernel plus one mutation per class of
+//! invalidity — lives in `limpet_ir::testing` and is shared with the
+//! pass-manager's verify-instrumentation test (which additionally asserts
+//! the failure is *attributed* to the pass that introduced it). Here the
+//! verifier itself is on trial: it must catch every mutation. This guards
+//! the passes: any rewrite that corrupts the IR in one of these ways is
 //! detected by the `verify_module` calls the test suites run after each
 //! pipeline.
 
-use limpet_ir::{verify_module, Attrs, Builder, CmpFPred, Func, Module, OpKind, Type, ValueId};
-
-/// A valid module with arithmetic, an if, a loop, and state access.
-fn valid_module() -> (Module, Vec<ValueId>) {
-    let mut m = Module::new("m");
-    let mut f = Func::new("compute", &[], &[]);
-    let mut b = Builder::new(&mut f);
-    let x = b.get_state("x");
-    let two = b.const_f(2.0);
-    let y = b.mulf(x, two);
-    let z = b.const_f(0.0);
-    let c = b.cmpf(CmpFPred::Ogt, y, z);
-    let sel = b.if_op(
-        c,
-        &[Type::F64],
-        |bb| {
-            let e = bb.exp(y);
-            bb.yield_(&[e]);
-        },
-        |bb| {
-            bb.yield_(&[y]);
-        },
-    );
-    let lb = b.const_index(0);
-    let ub = b.const_index(3);
-    let st = b.const_index(1);
-    let looped = b.for_op(lb, ub, st, &[sel[0]], |bb, _iv, iters| {
-        let h = bb.const_f(0.5);
-        let n = bb.mulf(iters[0], h);
-        bb.yield_(&[n]);
-    });
-    b.set_state("x", looped[0]);
-    b.ret(&[]);
-    m.add_func(f);
-    let values = vec![x, two, y, c];
-    (m, values)
-}
+use limpet_ir::testing::{corpus_module, mutations};
+use limpet_ir::{verify_module, OpKind};
 
 #[test]
 fn baseline_is_valid() {
-    let (m, _) = valid_module();
+    let (m, _) = corpus_module();
     verify_module(&m).unwrap();
 }
 
 #[test]
-fn rejects_type_mismatched_operand() {
-    let (mut m, vals) = valid_module();
-    let f = m.func_mut("compute").unwrap();
-    // Make mulf consume the i1 comparison result: type error.
-    let target = f
-        .walk_ops()
-        .into_iter()
-        .find(|&(_, _, op)| f.op(op).kind == OpKind::MulF)
-        .unwrap()
-        .2;
-    f.op_mut(target).operands[1] = vals[3]; // the i1 value
-    assert!(verify_module(&m).is_err());
-}
-
-#[test]
-fn rejects_use_before_def() {
-    let (mut m, _) = valid_module();
-    let f = m.func_mut("compute").unwrap();
-    let body = f.body();
-    // Move the first op (get_state) to the end, after its uses.
-    let ops = &mut f.region_mut(body).ops;
-    let first = ops.remove(0);
-    let len = ops.len();
-    ops.insert(len - 1, first);
-    assert!(verify_module(&m).is_err());
-}
-
-#[test]
-fn rejects_removed_region_terminator() {
-    let (mut m, _) = valid_module();
-    let f = m.func_mut("compute").unwrap();
-    // Find the if's then-region and pop its yield.
-    let if_op = f
-        .walk_ops()
-        .into_iter()
-        .find(|&(_, _, op)| f.op(op).kind == OpKind::If)
-        .unwrap()
-        .2;
-    let then_r = f.op(if_op).regions[0];
-    f.region_mut(then_r).ops.pop();
-    assert!(verify_module(&m).is_err());
-}
-
-#[test]
-fn rejects_yield_arity_change() {
-    let (mut m, _) = valid_module();
-    let f = m.func_mut("compute").unwrap();
-    let if_op = f
-        .walk_ops()
-        .into_iter()
-        .find(|&(_, _, op)| f.op(op).kind == OpKind::If)
-        .unwrap()
-        .2;
-    let then_r = f.op(if_op).regions[0];
-    let yield_op = *f.region(then_r).ops.last().unwrap();
-    f.op_mut(yield_op).operands.clear();
-    assert!(verify_module(&m).is_err());
-}
-
-#[test]
-fn rejects_cross_region_escape() {
-    let (mut m, _) = valid_module();
-    let f = m.func_mut("compute").unwrap();
-    // Use a value defined inside the if's then-region from the body.
-    let if_op = f
-        .walk_ops()
-        .into_iter()
-        .find(|&(_, _, op)| f.op(op).kind == OpKind::If)
-        .unwrap()
-        .2;
-    let then_r = f.op(if_op).regions[0];
-    let inner_val = f.op(f.region(then_r).ops[0]).result();
-    let store = f
-        .walk_ops()
-        .into_iter()
-        .find(|&(_, _, op)| f.op(op).kind == OpKind::SetState)
-        .unwrap()
-        .2;
-    f.op_mut(store).operands[0] = inner_val;
-    assert!(
-        verify_module(&m).is_err(),
-        "region-local value used outside its region must be rejected"
-    );
-}
-
-#[test]
-fn rejects_missing_var_attribute() {
-    let (mut m, _) = valid_module();
-    let f = m.func_mut("compute").unwrap();
-    let store = f
-        .walk_ops()
-        .into_iter()
-        .find(|&(_, _, op)| f.op(op).kind == OpKind::SetState)
-        .unwrap()
-        .2;
-    f.op_mut(store).attrs = Attrs::new();
-    assert!(verify_module(&m).is_err());
-}
-
-#[test]
-fn rejects_for_with_float_bounds() {
-    let (mut m, _) = valid_module();
-    let f = m.func_mut("compute").unwrap();
-    let for_op = f
-        .walk_ops()
-        .into_iter()
-        .find(|&(_, _, op)| f.op(op).kind == OpKind::For)
-        .unwrap()
-        .2;
-    // Replace the lower bound with an f64 value.
-    let some_float = f
-        .walk_ops()
-        .into_iter()
-        .find(|&(_, _, op)| matches!(f.op(op).kind, OpKind::ConstantF(_)))
-        .map(|(_, _, op)| f.op(op).result())
-        .unwrap();
-    f.op_mut(for_op).operands[0] = some_float;
-    assert!(verify_module(&m).is_err());
-}
-
-#[test]
-fn rejects_lut_col_against_missing_table() {
-    let (mut m, vals) = valid_module();
-    let f = m.func_mut("compute").unwrap();
-    let body = f.body();
-    let mut attrs = Attrs::new();
-    attrs.set("table", "NoSuchTable");
-    attrs.set("col", 0i64);
-    f.insert_op(
-        body,
-        0,
-        OpKind::LutCol,
-        vec![vals[0]],
-        &[Type::F64],
-        attrs,
-        vec![],
-    );
-    // vals[0] is defined by op 0 originally; after insertion at 0 the
-    // lut.col reads it before definition — either error is acceptable,
-    // but an error there must be.
-    assert!(verify_module(&m).is_err());
+fn rejects_every_corpus_mutation() {
+    for mutation in mutations() {
+        let (mut m, vals) = corpus_module();
+        (mutation.apply)(&mut m, &vals);
+        assert!(
+            verify_module(&m).is_err(),
+            "mutation '{}' was not rejected",
+            mutation.name
+        );
+    }
 }
 
 /// Every mutation the optimization passes could plausibly make when buggy
@@ -199,7 +36,7 @@ fn rejects_lut_col_against_missing_table() {
 /// checks *structure*, not semantics.
 #[test]
 fn same_type_operand_swap_remains_structurally_valid() {
-    let (mut m, _) = valid_module();
+    let (mut m, _) = corpus_module();
     let f = m.func_mut("compute").unwrap();
     let target = f
         .walk_ops()

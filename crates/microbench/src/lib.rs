@@ -11,9 +11,12 @@
 //! iteration batch so one sample lasts roughly `measurement_time /
 //! sample_size`, collects `sample_size` samples, and reports the median,
 //! min, and max nanoseconds per iteration (plus derived throughput when
-//! [`BenchmarkGroup::throughput`] was set). There are no plots, no saved
-//! baselines, and no statistical regression analysis — this is a
-//! comparator, not a statistician.
+//! [`BenchmarkGroup::throughput`] was set). Samples whose deviation from
+//! the median exceeds 3.5x the median absolute deviation are rejected as
+//! outliers (scheduler preemptions, frequency ramps) before the stats
+//! are computed, and the rejection count is reported. There are no
+//! plots, no saved baselines, and no statistical regression analysis —
+//! this is a comparator, not a statistician.
 
 #![warn(missing_docs)]
 
@@ -204,8 +207,9 @@ impl BenchmarkGroup {
             })
             .collect();
         samples.sort_by(f64::total_cmp);
-        let median = samples[samples.len() / 2];
-        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+        let (kept, rejected) = reject_outliers(&samples);
+        let median = kept[kept.len() / 2];
+        let (lo, hi) = (kept[0], kept[kept.len() - 1]);
 
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) => {
@@ -221,13 +225,42 @@ impl BenchmarkGroup {
         } else {
             format!("{}/{}", self.name, id)
         };
+        let outliers = if rejected > 0 {
+            format!("  ({rejected} outliers)")
+        } else {
+            String::new()
+        };
         println!(
-            "{label:<56} {:>12} [{} .. {}]{rate}",
+            "{label:<56} {:>12} [{} .. {}]{rate}{outliers}",
             fmt_time(median),
             fmt_time(lo),
             fmt_time(hi),
         );
     }
+}
+
+/// Rejects outliers by the modified Z-score rule: a sample is kept when
+/// its absolute deviation from the median is at most 3.5x the median
+/// absolute deviation (MAD). When the MAD is zero (more than half the
+/// samples identical — common for very fast, quantized timings) every
+/// sample is kept, since any deviation test would then reject all noise
+/// indiscriminately. `samples` must be sorted; the kept slice stays
+/// sorted. Returns the kept samples and the rejection count.
+fn reject_outliers(samples: &[f64]) -> (Vec<f64>, usize) {
+    let median = samples[samples.len() / 2];
+    let mut deviations: Vec<f64> = samples.iter().map(|s| (s - median).abs()).collect();
+    deviations.sort_by(f64::total_cmp);
+    let mad = deviations[deviations.len() / 2];
+    if mad == 0.0 {
+        return (samples.to_vec(), 0);
+    }
+    let kept: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|s| (s - median).abs() <= 3.5 * mad)
+        .collect();
+    let rejected = samples.len() - kept.len();
+    (kept, rejected)
 }
 
 /// The iteration driver handed to benchmark closures.
@@ -324,6 +357,36 @@ mod tests {
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
         let from_str: BenchmarkId = "plain".into();
         assert_eq!(from_str.id, "plain");
+    }
+
+    #[test]
+    fn mad_rejection_drops_spikes_only() {
+        // A tight cluster plus one scheduler spike: the spike goes.
+        let samples = [1.00, 1.01, 1.02, 1.03, 1.04, 1.05, 9.0];
+        let (kept, rejected) = reject_outliers(&samples);
+        assert_eq!(rejected, 1);
+        assert_eq!(kept.len(), 6);
+        assert!(kept.iter().all(|&s| s < 2.0));
+    }
+
+    #[test]
+    fn mad_zero_keeps_everything() {
+        // Quantized timings: most samples identical, MAD == 0. Rejecting
+        // by any deviation threshold would drop all noise samples, so
+        // nothing is rejected.
+        let samples = [1.0, 1.0, 1.0, 1.0, 1.0, 3.0];
+        let (kept, rejected) = reject_outliers(&samples);
+        assert_eq!(rejected, 0);
+        assert_eq!(kept.len(), samples.len());
+    }
+
+    #[test]
+    fn mad_keeps_ordinary_spread() {
+        // A plausible spread with no spike: nothing should be rejected.
+        let samples = [0.9, 0.95, 1.0, 1.05, 1.1, 1.15, 1.2];
+        let (kept, rejected) = reject_outliers(&samples);
+        assert_eq!(rejected, 0);
+        assert_eq!(kept, samples.to_vec());
     }
 
     #[test]

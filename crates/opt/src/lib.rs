@@ -1,0 +1,301 @@
+//! # limpet-opt — the `mlir-opt` analogue for the mlir-lite IR
+//!
+//! Parses a textual IR module, runs a `--pipeline` of registered passes
+//! through the instrumented `limpet-pm` pass manager, and prints the
+//! resulting module — the same round-trip workflow `mlir-opt` gives the
+//! paper's MLIR pipeline, and the backbone of the FileCheck-lite pass
+//! tests.
+//!
+//! ```text
+//! limpet-opt --pipeline "const-prop,lut-mode,vectorize{width=4}" kernel.mlir
+//! cat kernel.mlir | limpet-opt --pipeline "cse,dce" -
+//! limpet-opt --list-passes
+//! ```
+//!
+//! The CLI surface lives in [`run`] so it is testable without spawning a
+//! process; `main.rs` is a thin wrapper.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use limpet_pm::{PassManager, PrintIr};
+use std::io::Read;
+
+/// The usage text (`--help`).
+pub const USAGE: &str = "\
+limpet-opt: run a pass pipeline over textual IR and print the result
+
+USAGE:
+    limpet-opt [OPTIONS] <input.mlir | ->
+
+ARGS:
+    <input>                   Input file, or '-' to read from stdin
+
+OPTIONS:
+    --pipeline <desc>         Passes to run, e.g. 'const-prop,lut-mode,vectorize{width=4}'
+                              (default: empty pipeline — parse, verify, reprint)
+    --list-passes             Print the registered pass names and exit
+    --no-verify               Skip IR verification of the input and after each pass
+    --print-ir-before[=pass]  Dump IR to stderr before every pass (or one pass)
+    --print-ir-after[=pass]   Dump IR to stderr after every pass (or one pass)
+    --timing                  Print a per-pass wall-time/counter table to stderr
+    -h, --help                Show this text
+";
+
+/// A parsed command line.
+#[derive(Debug, Default)]
+struct Options {
+    input: Option<String>,
+    pipeline: String,
+    list_passes: bool,
+    no_verify: bool,
+    print_before: Option<PrintIr>,
+    print_after: Option<PrintIr>,
+    timing: bool,
+    help: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => opts.help = true,
+            "--list-passes" => opts.list_passes = true,
+            "--no-verify" => opts.no_verify = true,
+            "--timing" => opts.timing = true,
+            "--pipeline" => {
+                opts.pipeline = it
+                    .next()
+                    .ok_or("--pipeline requires a value".to_owned())?
+                    .clone();
+            }
+            _ if arg.starts_with("--pipeline=") => {
+                opts.pipeline = arg["--pipeline=".len()..].to_owned();
+            }
+            "--print-ir-before" => opts.print_before = Some(PrintIr::All),
+            "--print-ir-after" => opts.print_after = Some(PrintIr::All),
+            _ if arg.starts_with("--print-ir-before=") => {
+                opts.print_before =
+                    Some(PrintIr::Only(arg["--print-ir-before=".len()..].to_owned()));
+            }
+            _ if arg.starts_with("--print-ir-after=") => {
+                opts.print_after = Some(PrintIr::Only(arg["--print-ir-after=".len()..].to_owned()));
+            }
+            _ if arg.starts_with("--") => {
+                return Err(format!("unknown option '{arg}' (see --help)"));
+            }
+            _ => {
+                if opts.input.replace(arg.clone()).is_some() {
+                    return Err("more than one input file given".to_owned());
+                }
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs the driver. `args` excludes the program name; the printed module
+/// goes to `stdout`, diagnostics/dumps/timing to `stderr`.
+///
+/// Returns the process exit code: 0 on success, 1 on any error (bad
+/// arguments, unreadable input, parse failure, unknown pass,
+/// verification failure).
+pub fn run(
+    args: &[String],
+    stdout: &mut impl std::io::Write,
+    stderr: &mut impl std::io::Write,
+) -> i32 {
+    match try_run(args, stdout, stderr) {
+        Ok(()) => 0,
+        Err(message) => {
+            let _ = writeln!(stderr, "limpet-opt: {message}");
+            1
+        }
+    }
+}
+
+fn try_run(
+    args: &[String],
+    stdout: &mut impl std::io::Write,
+    stderr: &mut impl std::io::Write,
+) -> Result<(), String> {
+    let opts = parse_args(args)?;
+    if opts.help {
+        write!(stdout, "{USAGE}").map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    let registry = limpet_passes::registry();
+    if opts.list_passes {
+        for name in registry.names() {
+            writeln!(stdout, "{name}").map_err(|e| e.to_string())?;
+        }
+        return Ok(());
+    }
+
+    let input = opts
+        .input
+        .as_deref()
+        .ok_or_else(|| "no input file (pass a path or '-' for stdin; see --help)".to_owned())?;
+    let text = if input == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(input).map_err(|e| format!("reading '{input}': {e}"))?
+    };
+
+    let mut module =
+        limpet_ir::parse_module(&text).map_err(|e| format!("parsing '{input}': {e}"))?;
+
+    let mut pm: PassManager = registry
+        .parse_pipeline(&opts.pipeline)
+        .map_err(|e| e.to_string())?;
+    pm.verify_each(!opts.no_verify);
+    if let Some(filter) = opts.print_before.clone() {
+        pm.print_ir_before(filter);
+    }
+    if let Some(filter) = opts.print_after.clone() {
+        pm.print_ir_after(filter);
+    }
+
+    let report = pm.run(&mut module).map_err(|e| e.to_string())?;
+
+    for dump in &report.dumps {
+        writeln!(
+            stderr,
+            "// ----- IR {} pass '{}' -----",
+            dump.when, dump.pass
+        )
+        .map_err(|e| e.to_string())?;
+        write!(stderr, "{}", dump.text).map_err(|e| e.to_string())?;
+    }
+    if opts.timing {
+        write!(stderr, "{}", report.timing_table()).map_err(|e| e.to_string())?;
+    }
+    write!(stdout, "{}", limpet_ir::print_module(&module)).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_capture(list: &[&str]) -> (i32, String, String) {
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = run(&args(list), &mut out, &mut err);
+        (
+            code,
+            String::from_utf8(out).unwrap(),
+            String::from_utf8(err).unwrap(),
+        )
+    }
+
+    const INPUT: &str = r#"
+module @t {
+  func.func @compute() {
+    %0 = arith.constant 2.0 : f64
+    %1 = arith.constant 3.0 : f64
+    %2 = arith.mulf %0, %1 : f64
+    limpet.set_state %2 {var = "x"} : f64
+    func.return
+  }
+}
+"#;
+
+    fn with_input_file(body: &str, f: impl FnOnce(&str)) {
+        let path = std::env::temp_dir().join(format!(
+            "limpet-opt-test-{}-{:?}.mlir",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, body).unwrap();
+        f(path.to_str().unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn round_trips_and_folds() {
+        with_input_file(INPUT, |path| {
+            let (code, out, err) = run_capture(&["--pipeline", "const-prop,dce", path]);
+            assert_eq!(code, 0, "stderr: {err}");
+            assert!(out.contains("arith.constant 6"), "{out}");
+            assert!(!out.contains("arith.mulf"), "{out}");
+        });
+    }
+
+    #[test]
+    fn empty_pipeline_reprints_verbatim_module() {
+        with_input_file(INPUT, |path| {
+            let (code, out, _) = run_capture(&[path]);
+            assert_eq!(code, 0);
+            // Reprint parses back: a full round-trip.
+            let reparsed = limpet_ir::parse_module(&out).unwrap();
+            assert_eq!(limpet_ir::print_module(&reparsed), out);
+        });
+    }
+
+    #[test]
+    fn timing_and_dumps_go_to_stderr() {
+        with_input_file(INPUT, |path| {
+            let (code, out, err) = run_capture(&[
+                "--pipeline",
+                "const-prop",
+                "--timing",
+                "--print-ir-after=const-prop",
+                path,
+            ]);
+            assert_eq!(code, 0);
+            assert!(err.contains("IR after pass 'const-prop'"), "{err}");
+            assert!(err.contains("ops-folded"), "{err}");
+            assert!(err.contains("total"), "{err}");
+            assert!(!out.contains("total"), "stdout polluted: {out}");
+        });
+    }
+
+    #[test]
+    fn list_passes_includes_alias() {
+        let (code, out, _) = run_capture(&["--list-passes"]);
+        assert_eq!(code, 0);
+        assert!(out.lines().any(|l| l == "lut-mode"), "{out}");
+        assert!(out.lines().any(|l| l == "vectorize"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_with_exit_one() {
+        // Unknown pass.
+        with_input_file(INPUT, |path| {
+            let (code, _, err) = run_capture(&["--pipeline", "nope", path]);
+            assert_eq!(code, 1);
+            assert!(err.contains("unknown pass 'nope'"), "{err}");
+        });
+        // Unparseable input.
+        with_input_file("not ir at all", |path| {
+            let (code, _, err) = run_capture(&[path]);
+            assert_eq!(code, 1);
+            assert!(err.contains("parsing"), "{err}");
+        });
+        // Missing input.
+        let (code, _, err) = run_capture(&["--pipeline", "dce"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("no input file"), "{err}");
+        // Unknown flag.
+        let (code, _, err) = run_capture(&["--bogus"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("unknown option"), "{err}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out, _) = run_capture(&["--help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"), "{out}");
+    }
+}

@@ -1,0 +1,5 @@
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = limpet_opt::run(&args, &mut std::io::stdout(), &mut std::io::stderr());
+    std::process::exit(code);
+}

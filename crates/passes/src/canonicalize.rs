@@ -4,7 +4,7 @@
 //! `x+0 → x`, `x*1 → x`, `x*0 → 0`, `x-0 → x`, `x/1 → x`,
 //! `neg(neg(x)) → x`, `select(c, a, a) → a`, `x - x → 0`.
 
-use crate::Pass;
+use crate::{Pass, PassCtx};
 use limpet_ir::{Func, Module, OpId, OpKind, RegionId, ValueId};
 use std::collections::HashMap;
 
@@ -17,20 +17,22 @@ impl Pass for Canonicalize {
         "canonicalize"
     }
 
-    fn run_on(&self, module: &mut Module) -> bool {
+    fn run(&self, module: &mut Module, pass_ctx: &mut PassCtx) -> bool {
         let mut changed = false;
+        let mut simplified = 0u64;
         for func in module.funcs_mut() {
             loop {
                 let mut ctx = Ctx {
                     fconsts: HashMap::new(),
                     neg_of: HashMap::new(),
                 };
-                if !run_region(func, func.body(), &mut ctx) {
+                if run_region(func, func.body(), &mut ctx, &mut simplified) == 0 {
                     break;
                 }
                 changed = true;
             }
         }
+        pass_ctx.count("ops-simplified", simplified);
         changed
     }
 }
@@ -42,15 +44,18 @@ struct Ctx {
     neg_of: HashMap<ValueId, ValueId>,
 }
 
-fn run_region(func: &mut Func, region: RegionId, ctx: &mut Ctx) -> bool {
-    let mut changed = false;
+fn run_region(func: &mut Func, region: RegionId, ctx: &mut Ctx, simplified: &mut u64) -> u64 {
+    let mut changed = 0u64;
     let ops = func.region(region).ops.clone();
     for op_id in ops {
         let nested = func.op(op_id).regions.clone();
         for r in nested {
-            changed |= run_region(func, r, ctx);
+            changed += run_region(func, r, ctx, simplified);
         }
-        changed |= simplify(func, region, op_id, ctx);
+        if simplify(func, region, op_id, ctx) {
+            changed += 1;
+            *simplified += 1;
+        }
     }
     changed
 }

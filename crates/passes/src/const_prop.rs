@@ -5,7 +5,7 @@
 //! `scf.if` operations with constant conditions (the chosen region is
 //! spliced into the parent).
 
-use crate::Pass;
+use crate::{Pass, PassCtx};
 use limpet_ir::{Func, Module, OpId, OpKind, RegionId, ScalarType, Type, ValueId};
 use std::collections::HashMap;
 
@@ -26,24 +26,31 @@ impl Pass for ConstProp {
         "const-prop"
     }
 
-    fn run_on(&self, module: &mut Module) -> bool {
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx) -> bool {
         let mut changed = false;
+        let mut folded = 0u64;
         for func in module.funcs_mut() {
             // Iterate to a fixpoint: splicing ifs exposes new constants.
             loop {
                 let mut consts: HashMap<ValueId, Const> = HashMap::new();
-                if !run_region(func, func.body(), &mut consts) {
+                if !run_region(func, func.body(), &mut consts, &mut folded) {
                     break;
                 }
                 changed = true;
             }
         }
+        ctx.count("ops-folded", folded);
         changed
     }
 }
 
 /// Folds one region; returns `true` on any change.
-fn run_region(func: &mut Func, region: RegionId, consts: &mut HashMap<ValueId, Const>) -> bool {
+fn run_region(
+    func: &mut Func,
+    region: RegionId,
+    consts: &mut HashMap<ValueId, Const>,
+    folded: &mut u64,
+) -> bool {
     let mut changed = false;
     let mut idx = 0;
     while idx < func.region(region).ops.len() {
@@ -75,6 +82,7 @@ fn run_region(func: &mut Func, region: RegionId, consts: &mut HashMap<ValueId, C
             let cond = func.op(op_id).operands[0];
             if let Some(Const::B(flag)) = consts.get(&cond).copied() {
                 splice_if(func, region, idx, op_id, flag);
+                *folded += 1;
                 changed = true;
                 // Re-examine from the same index (spliced ops land here).
                 continue;
@@ -84,7 +92,7 @@ fn run_region(func: &mut Func, region: RegionId, consts: &mut HashMap<ValueId, C
         // Fold nested regions first.
         let nested = func.op(op_id).regions.clone();
         for r in nested {
-            changed |= run_region(func, r, consts);
+            changed |= run_region(func, r, consts, folded);
         }
 
         if let Some(c) = fold(func, op_id, consts) {
@@ -101,6 +109,7 @@ fn run_region(func: &mut Func, region: RegionId, consts: &mut HashMap<ValueId, C
             let op = func.op_mut(op_id);
             op.kind = new_kind;
             op.operands.clear();
+            *folded += 1;
             changed = true;
         } else if kind == OpKind::Select {
             // select with constant condition chooses an operand.
@@ -110,6 +119,7 @@ fn run_region(func: &mut Func, region: RegionId, consts: &mut HashMap<ValueId, C
                 let result = func.op(op_id).result();
                 func.replace_all_uses(result, chosen);
                 func.erase_op(region, op_id);
+                *folded += 1;
                 changed = true;
                 continue; // the next op now sits at `idx`
             }

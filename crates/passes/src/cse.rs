@@ -9,7 +9,7 @@
 //! a nested region may reuse a dominating op from an ancestor region, but
 //! not vice versa, and sibling regions do not share.
 
-use crate::Pass;
+use crate::{Pass, PassCtx};
 use limpet_ir::{Attr, Func, Module, RegionId};
 use std::collections::HashMap;
 
@@ -22,13 +22,14 @@ impl Pass for Cse {
         "cse"
     }
 
-    fn run_on(&self, module: &mut Module) -> bool {
-        let mut changed = false;
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx) -> bool {
+        let mut deduped = 0u64;
         for func in module.funcs_mut() {
             let mut scope = Vec::new();
-            changed |= run_region(func, func.body(), &mut scope);
+            deduped += run_region(func, func.body(), &mut scope);
         }
-        changed
+        ctx.count("ops-deduped", deduped);
+        deduped > 0
     }
 }
 
@@ -70,9 +71,9 @@ fn key_of(func: &Func, op_id: limpet_ir::OpId) -> Option<String> {
     Some(key)
 }
 
-fn run_region(func: &mut Func, region: RegionId, scope: &mut Scope) -> bool {
+fn run_region(func: &mut Func, region: RegionId, scope: &mut Scope) -> u64 {
     scope.push(HashMap::new());
-    let mut changed = false;
+    let mut changed = 0u64;
     let ops = func.region(region).ops.clone();
     for op_id in ops {
         if let Some(key) = key_of(func, op_id) {
@@ -82,7 +83,7 @@ fn run_region(func: &mut Func, region: RegionId, scope: &mut Scope) -> bool {
                     let result = func.op(op_id).result();
                     func.replace_all_uses(result, prev);
                     func.erase_op(region, op_id);
-                    changed = true;
+                    changed += 1;
                     continue;
                 }
                 None => {
@@ -93,7 +94,7 @@ fn run_region(func: &mut Func, region: RegionId, scope: &mut Scope) -> bool {
         }
         let nested = func.op(op_id).regions.clone();
         for r in nested {
-            changed |= run_region(func, r, scope);
+            changed += run_region(func, r, scope);
         }
     }
     scope.pop();

@@ -5,7 +5,7 @@
 //! `scf.if`/`scf.for` are removed only when their results are unused *and*
 //! their regions contain no side-effecting ops.
 
-use crate::Pass;
+use crate::{Pass, PassCtx};
 use limpet_ir::{Func, Module, OpId, OpKind, RegionId};
 
 /// Dead code elimination pass.
@@ -17,14 +17,19 @@ impl Pass for Dce {
         "dce"
     }
 
-    fn run_on(&self, module: &mut Module) -> bool {
-        let mut changed = false;
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx) -> bool {
+        let mut removed = 0u64;
         for func in module.funcs_mut() {
-            while sweep(func) {
-                changed = true;
+            loop {
+                let n = sweep(func);
+                if n == 0 {
+                    break;
+                }
+                removed += n;
             }
         }
-        changed
+        ctx.count("ops-removed", removed);
+        removed > 0
     }
 }
 
@@ -44,7 +49,7 @@ fn has_side_effects(func: &Func, op_id: OpId) -> bool {
     false
 }
 
-fn sweep(func: &mut Func) -> bool {
+fn sweep(func: &mut Func) -> u64 {
     let uses = func.use_counts();
     let mut dead: Vec<(RegionId, OpId)> = Vec::new();
     func.walk(&mut |region, _, op_id| {
@@ -64,11 +69,11 @@ fn sweep(func: &mut Func) -> bool {
             dead.push((region, op_id));
         }
     });
-    let changed = !dead.is_empty();
+    let removed = dead.len() as u64;
     for (region, op_id) in dead {
         func.erase_op(region, op_id);
     }
-    changed
+    removed
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! The engine evaluates `fma` as `a*b + c` with intermediate rounding, so
 //! contraction is bit-exact here (no fused-rounding semantics change).
 
-use crate::Pass;
+use crate::{Pass, PassCtx};
 use limpet_ir::{Func, Module, OpId, OpKind, RegionId, ValueId};
 use std::collections::HashMap;
 
@@ -23,16 +23,17 @@ impl Pass for FmaContract {
         "fma-contract"
     }
 
-    fn run_on(&self, module: &mut Module) -> bool {
-        let mut changed = false;
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx) -> bool {
+        let mut fused = 0u64;
         for func in module.funcs_mut() {
-            changed |= run_func(func);
+            fused += run_func(func);
         }
-        changed
+        ctx.count("fmas-fused", fused);
+        fused > 0
     }
 }
 
-fn run_func(func: &mut Func) -> bool {
+fn run_func(func: &mut Func) -> u64 {
     // Map: value -> defining op, for linked ops only, plus region of each op.
     let mut def_of: HashMap<ValueId, (RegionId, OpId)> = HashMap::new();
     func.walk(&mut |region, _, op| {
@@ -83,7 +84,7 @@ fn run_func(func: &mut Func) -> bool {
         }
     });
 
-    let changed = !rewrites.is_empty();
+    let fused = rewrites.len() as u64;
     for rw in rewrites {
         // Turn the add into an fma in place (keeps its position and
         // result id), then unlink the multiply.
@@ -92,7 +93,7 @@ fn run_func(func: &mut Func) -> bool {
         op.operands = vec![rw.a, rw.b, rw.c];
         func.erase_op(rw.mul_region, rw.mul_op);
     }
-    changed
+    fused
 }
 
 #[cfg(test)]

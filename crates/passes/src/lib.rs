@@ -17,6 +17,13 @@
 //!   interpolation (models the icc-style "auto-vectorized arithmetic but
 //!   scalar LUT calls" configuration of paper §5).
 //!
+//! The pass-management infrastructure — the [`Pass`] trait, the
+//! instrumented [`PassManager`], the textual pipeline parser, and the
+//! [`PassRegistry`] — lives in `limpet-pm` and is re-exported here. This
+//! crate contributes the pass implementations and the workspace's
+//! canonical [`registry()`] mapping names (plus aliases such as
+//! `lut-mode`) to factories.
+//!
 //! # Examples
 //!
 //! ```
@@ -26,9 +33,22 @@
 //! let model = limpet_easyml::compile_model("M", "diff_x = -0.5 * x;").unwrap();
 //! let mut lowered = lower_model(&model, &CodegenOptions::default());
 //! let pm = standard_pipeline(8);
-//! pm.run(&mut lowered.module);
+//! pm.run(&mut lowered.module).unwrap();
 //! assert_eq!(lowered.module.attrs.i64_of("vector_width"), Some(8));
 //! limpet_ir::verify_module(&lowered.module).unwrap();
+//! ```
+//!
+//! Pipelines can equally be built from text through the registry:
+//!
+//! ```
+//! use limpet_passes::registry;
+//! let pm = registry()
+//!     .parse_pipeline("const-prop,lut-mode,vectorize{width=4}")
+//!     .unwrap();
+//! assert_eq!(
+//!     pm.pass_names(),
+//!     ["const-prop", "scalar-lut-mode", "vectorize"]
+//! );
 //! ```
 
 #![warn(missing_docs)]
@@ -52,77 +72,72 @@ pub use licm::Licm;
 pub use lut_mode::{CubicLutMode, ScalarLutMode};
 pub use vectorize::Vectorize;
 
-use limpet_ir::Module;
-use std::fmt;
+pub use limpet_pm::{
+    parse_pipeline_spec, DumpPoint, IrDump, Pass, PassCtx, PassManager, PassOptions, PassRegistry,
+    PassRun, PassSpec, PipelineError, PipelineParseError, PrintIr, RunReport,
+};
 
-/// A module-level transformation.
-pub trait Pass: fmt::Debug {
-    /// The pass name, for statistics and debugging.
-    fn name(&self) -> &'static str;
+use std::sync::OnceLock;
 
-    /// Runs the pass; returns `true` if the module changed.
-    fn run_on(&self, module: &mut Module) -> bool;
-}
-
-/// Statistics from one [`PassManager::run`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct PassStats {
-    /// `(pass name, changed)` per executed pass, in order.
-    pub executed: Vec<(&'static str, bool)>,
-}
-
-impl PassStats {
-    /// Whether any pass reported a change.
-    pub fn any_changed(&self) -> bool {
-        self.executed.iter().any(|(_, c)| *c)
-    }
-}
-
-/// Runs a sequence of passes over a module.
+/// The workspace's canonical pass registry: every pass in this crate,
+/// registered under its [`Pass::name`], plus the `lut-mode` alias for
+/// [`ScalarLutMode`] (the spelling the paper's pipeline descriptions use).
 ///
-/// # Examples
-///
-/// ```
-/// use limpet_passes::{ConstProp, Dce, PassManager};
-/// let mut pm = PassManager::new();
-/// pm.add(ConstProp).add(Dce);
-/// assert_eq!(pm.len(), 2);
-/// ```
-#[derive(Debug, Default)]
-pub struct PassManager {
-    passes: Vec<Box<dyn Pass>>,
-}
-
-impl PassManager {
-    /// Creates an empty pass manager.
-    pub fn new() -> PassManager {
-        PassManager::default()
-    }
-
-    /// Appends a pass.
-    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut PassManager {
-        self.passes.push(Box::new(pass));
-        self
-    }
-
-    /// Number of registered passes.
-    pub fn len(&self) -> usize {
-        self.passes.len()
-    }
-
-    /// Whether no passes are registered.
-    pub fn is_empty(&self) -> bool {
-        self.passes.is_empty()
-    }
-
-    /// Runs all passes in order, once.
-    pub fn run(&self, module: &mut Module) -> PassStats {
-        let mut stats = PassStats::default();
-        for p in &self.passes {
-            let changed = p.run_on(module);
-            stats.executed.push((p.name(), changed));
+/// `vectorize` takes a required `width` option (`vectorize{width=4}`);
+/// every other pass takes none.
+pub fn registry() -> &'static PassRegistry {
+    static REGISTRY: OnceLock<PassRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut r = PassRegistry::new();
+        macro_rules! simple {
+            ($name:literal, $pass:expr) => {
+                r.register($name, |opts| {
+                    opts.expect_only($name, &[])?;
+                    Ok(Box::new($pass))
+                });
+            };
         }
-        stats
+        simple!("const-prop", ConstProp);
+        simple!("canonicalize", Canonicalize);
+        simple!("cse", Cse);
+        simple!("licm", Licm);
+        simple!("dce", Dce);
+        simple!("fma-contract", FmaContract);
+        simple!("scalar-lut-mode", ScalarLutMode);
+        simple!("lut-mode", ScalarLutMode); // alias
+        simple!("cubic-lut-mode", CubicLutMode);
+        r.register("vectorize", |opts| {
+            opts.expect_only("vectorize", &["width"])?;
+            let width = opts.u32_of("vectorize", "width")?;
+            if width < 2 {
+                return Err(PipelineParseError::new(format!(
+                    "pass 'vectorize': width must be >= 2, got {width}"
+                )));
+            }
+            Ok(Box::new(Vectorize::new(width)))
+        });
+        r
+    })
+}
+
+/// Builds a [`PassManager`] from a textual pipeline description using the
+/// workspace [`registry()`], e.g. `"const-prop,lut-mode,vectorize{width=4}"`.
+///
+/// # Errors
+///
+/// Errors on malformed text, unknown passes, or bad options.
+pub fn parse_pipeline(text: &str) -> Result<PassManager, PipelineParseError> {
+    registry().parse_pipeline(text)
+}
+
+/// The textual form of [`standard_pipeline`] at vector width `width`.
+pub fn standard_pipeline_text(width: u32) -> String {
+    if width > 1 {
+        format!(
+            "const-prop,canonicalize,cse,licm,dce,vectorize{{width={width}}},cse,dce,fma-contract"
+        )
+    } else {
+        "const-prop,canonicalize,cse,licm,dce,fma-contract".to_owned()
     }
 }
 
@@ -130,21 +145,61 @@ impl PassManager {
 /// preprocessor (constant propagation), canonicalization, CSE, LICM, DCE,
 /// then vectorization followed by a cleanup round.
 ///
-/// Width 1 yields a scalar-optimized module (no vectorization).
+/// Width 1 yields a scalar-optimized module (no vectorization). The
+/// pipeline is built through the textual parser and [`registry()`], so it
+/// is exactly what `limpet-opt --pipeline` produces for the same text.
 pub fn standard_pipeline(width: u32) -> PassManager {
-    let mut pm = PassManager::new();
-    pm.add(ConstProp)
-        .add(Canonicalize)
-        .add(Cse)
-        .add(Licm)
-        .add(Dce);
-    if width > 1 {
-        pm.add(Vectorize::new(width));
-        // Vectorization introduces splat constants and broadcasts that fold.
-        pm.add(Cse);
-        pm.add(Dce);
+    parse_pipeline(&standard_pipeline_text(width)).expect("in-tree pipeline text is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_every_pass_and_alias() {
+        let r = registry();
+        for name in [
+            "const-prop",
+            "canonicalize",
+            "cse",
+            "licm",
+            "dce",
+            "vectorize",
+            "fma-contract",
+            "scalar-lut-mode",
+            "lut-mode",
+            "cubic-lut-mode",
+        ] {
+            assert!(r.contains(name), "missing pass '{name}'");
+        }
     }
-    // Contract multiply-add chains into fused ops (bit-exact here).
-    pm.add(FmaContract);
-    pm
+
+    #[test]
+    fn standard_pipeline_round_trips_through_text() {
+        let pm = standard_pipeline(4);
+        assert_eq!(
+            pm.pass_names(),
+            [
+                "const-prop",
+                "canonicalize",
+                "cse",
+                "licm",
+                "dce",
+                "vectorize",
+                "cse",
+                "dce",
+                "fma-contract"
+            ]
+        );
+        let scalar = standard_pipeline(1);
+        assert!(!scalar.pass_names().contains(&"vectorize"));
+    }
+
+    #[test]
+    fn vectorize_width_validated_at_parse_time() {
+        assert!(parse_pipeline("vectorize").is_err());
+        assert!(parse_pipeline("vectorize{width=1}").is_err());
+        assert!(parse_pipeline("vectorize{width=4}").is_ok());
+    }
 }

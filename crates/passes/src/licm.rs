@@ -6,7 +6,7 @@
 //! (§3.4.2); in our kernels it fires on the `markov_be` refinement loops,
 //! whose `limpet.dt` reads and rate constants are iteration-invariant.
 
-use crate::Pass;
+use crate::{Pass, PassCtx};
 use limpet_ir::{Func, Module, OpId, OpKind, RegionId, ValueId};
 use std::collections::HashSet;
 
@@ -19,17 +19,18 @@ impl Pass for Licm {
         "licm"
     }
 
-    fn run_on(&self, module: &mut Module) -> bool {
-        let mut changed = false;
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx) -> bool {
+        let mut hoisted = 0u64;
         for func in module.funcs_mut() {
-            changed |= run_region(func, func.body());
+            hoisted += run_region(func, func.body());
         }
-        changed
+        ctx.count("ops-hoisted", hoisted);
+        hoisted > 0
     }
 }
 
-fn run_region(func: &mut Func, region: RegionId) -> bool {
-    let mut changed = false;
+fn run_region(func: &mut Func, region: RegionId) -> u64 {
+    let mut changed = 0u64;
     let mut idx = 0;
     while idx < func.region(region).ops.len() {
         let op_id = func.region(region).ops[idx];
@@ -43,14 +44,14 @@ fn run_region(func: &mut Func, region: RegionId) -> bool {
                     break;
                 }
                 idx += hoisted;
-                changed = true;
+                changed += hoisted as u64;
             }
         }
         // Recurse into any nested regions (including the loop body after
         // hoisting, and if branches).
         let nested = func.op(op_id).regions.clone();
         for r in nested {
-            changed |= run_region(func, r);
+            changed += run_region(func, r);
         }
         idx += 1;
     }

@@ -10,7 +10,7 @@
 //! (2.19x vs. limpetMLIR's 3.37x geomean). The `icc_comparison` bench uses
 //! this pass to reproduce that gap.
 
-use crate::Pass;
+use crate::{Pass, PassCtx};
 use limpet_ir::{Module, OpKind};
 
 /// Marks `lut.col` ops for per-lane scalar interpolation.
@@ -22,8 +22,8 @@ impl Pass for ScalarLutMode {
         "scalar-lut-mode"
     }
 
-    fn run_on(&self, module: &mut Module) -> bool {
-        let mut changed = false;
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx) -> bool {
+        let mut marked = 0u64;
         for func in module.funcs_mut() {
             let targets: Vec<_> = func
                 .walk_ops()
@@ -33,13 +33,14 @@ impl Pass for ScalarLutMode {
                 .collect();
             for op in targets {
                 func.op_mut(op).attrs.set("scalar_interp", true);
-                changed = true;
+                marked += 1;
             }
         }
-        if changed {
+        if marked > 0 {
             module.attrs.set("lut_mode", "scalar");
         }
-        changed
+        ctx.count("lut-cols-marked", marked);
+        marked > 0
     }
 }
 
@@ -54,8 +55,8 @@ impl Pass for CubicLutMode {
         "cubic-lut-mode"
     }
 
-    fn run_on(&self, module: &mut Module) -> bool {
-        let mut changed = false;
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx) -> bool {
+        let mut marked = 0u64;
         for func in module.funcs_mut() {
             let targets: Vec<_> = func
                 .walk_ops()
@@ -65,10 +66,10 @@ impl Pass for CubicLutMode {
                 .collect();
             for op in targets {
                 func.op_mut(op).attrs.set("interp", "cubic");
-                changed = true;
+                marked += 1;
             }
         }
-        if changed {
+        if marked > 0 {
             module.attrs.set("lut_mode", "cubic");
             // Cubic accuracy allows a 4x coarser tabulation for the same
             // interpolation error; widen every table's step accordingly.
@@ -76,7 +77,8 @@ impl Pass for CubicLutMode {
                 lut.step *= 4.0;
             }
         }
-        changed
+        ctx.count("lut-cols-marked", marked);
+        marked > 0
     }
 }
 

@@ -17,7 +17,7 @@
 //! * `scf.for` keeps its structure (bounds are uniform); `f64` iteration
 //!   arguments are promoted to vectors.
 
-use crate::Pass;
+use crate::{Pass, PassCtx};
 use limpet_ir::{Attrs, Func, Module, OpKind, RegionId, ScalarType, Type, ValueDef, ValueId};
 use std::collections::HashMap;
 
@@ -45,7 +45,7 @@ impl Pass for Vectorize {
         "vectorize"
     }
 
-    fn run_on(&self, module: &mut Module) -> bool {
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx) -> bool {
         let Some(old) = module.func("compute") else {
             return false;
         };
@@ -73,6 +73,7 @@ impl Pass for Vectorize {
             }
         }
         module.attrs.set("vector_width", self.width as i64);
+        ctx.count("kernels-vectorized", 1);
         true
     }
 }

@@ -1,0 +1,282 @@
+//! FileCheck-lite: golden-output matching for pass tests.
+//!
+//! A tiny, in-tree subset of LLVM's FileCheck, enough for IR-to-IR pass
+//! tests: check directives are written as `//`-comments next to the input
+//! IR (the IR lexer skips comments, so one `.mlir` file carries both),
+//! and the matcher walks the pass output line by line.
+//!
+//! Supported directives (substring matching, leading/trailing whitespace
+//! of the pattern ignored):
+//!
+//! * `// CHECK: pat` — some line at or after the current position
+//!   contains `pat`; the position advances past it.
+//! * `// CHECK-NEXT: pat` — the line immediately after the previous match
+//!   contains `pat`.
+//! * `// CHECK-NOT: pat` — `pat` does not occur between the previous
+//!   match and the next `CHECK`/`CHECK-NEXT` match (or the end of the
+//!   output when no further positive directive follows).
+//!
+//! # Examples
+//!
+//! ```
+//! use limpet_pm::filecheck::check;
+//! let output = "a = 1\nb = 2\nc = 3\n";
+//! let checks = "
+//!     // CHECK: a = 1
+//!     // CHECK-NOT: dead
+//!     // CHECK-NEXT: b = 2
+//! ";
+//! check(output, checks).unwrap();
+//! assert!(check(output, "// CHECK: z = 9").is_err());
+//! ```
+
+use std::fmt;
+
+/// The kind of one check directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// `// CHECK:` — match anywhere at or after the cursor.
+    Check,
+    /// `// CHECK-NEXT:` — match on the line right after the previous one.
+    CheckNext,
+    /// `// CHECK-NOT:` — forbid a match before the next positive check.
+    CheckNot,
+}
+
+impl fmt::Display for Directive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Directive::Check => "CHECK",
+            Directive::CheckNext => "CHECK-NEXT",
+            Directive::CheckNot => "CHECK-NOT",
+        })
+    }
+}
+
+/// One parsed check directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckLine {
+    /// The directive kind.
+    pub directive: Directive,
+    /// The pattern text (trimmed).
+    pub pattern: String,
+    /// 1-based line number in the check source (for diagnostics).
+    pub line: usize,
+}
+
+/// A failed check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileCheckError {
+    /// Human-readable description with directive and output context.
+    pub message: String,
+}
+
+impl fmt::Display for FileCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for FileCheckError {}
+
+/// Extracts the check directives from a test source, in order.
+pub fn extract_checks(source: &str) -> Vec<CheckLine> {
+    let mut checks = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let Some(pos) = raw.find("//") else { continue };
+        let comment = raw[pos + 2..].trim_start();
+        for (prefix, directive) in [
+            ("CHECK-NEXT:", Directive::CheckNext),
+            ("CHECK-NOT:", Directive::CheckNot),
+            ("CHECK:", Directive::Check),
+        ] {
+            if let Some(rest) = comment.strip_prefix(prefix) {
+                checks.push(CheckLine {
+                    directive,
+                    pattern: rest.trim().to_owned(),
+                    line: idx + 1,
+                });
+                break;
+            }
+        }
+    }
+    checks
+}
+
+/// Runs extracted directives against an output text.
+///
+/// # Errors
+///
+/// Returns the first failing directive with surrounding output context.
+pub fn run_checks(output: &str, checks: &[CheckLine]) -> Result<(), FileCheckError> {
+    let lines: Vec<&str> = output.lines().collect();
+    // Index of the first line not yet consumed by a positive match.
+    let mut cursor = 0usize;
+    // CHECK-NOT patterns awaiting the next positive match (or EOF).
+    let mut pending_not: Vec<&CheckLine> = Vec::new();
+
+    let fail = |check: &CheckLine, detail: String| -> FileCheckError {
+        FileCheckError {
+            message: format!(
+                "{} (directive '// {}: {}' at check line {})\noutput was:\n{}",
+                detail,
+                check.directive,
+                check.pattern,
+                check.line,
+                excerpt(&lines)
+            ),
+        }
+    };
+
+    for check in checks {
+        match check.directive {
+            Directive::CheckNot => pending_not.push(check),
+            Directive::Check | Directive::CheckNext => {
+                let matched = if check.directive == Directive::CheckNext {
+                    if cursor == 0 {
+                        return Err(fail(
+                            check,
+                            "CHECK-NEXT cannot be the first positive directive".to_owned(),
+                        ));
+                    }
+                    if cursor < lines.len() && lines[cursor].contains(check.pattern.as_str()) {
+                        cursor
+                    } else {
+                        return Err(fail(
+                            check,
+                            format!(
+                                "expected the next line (output line {}) to contain the pattern, got {}",
+                                cursor + 1,
+                                lines
+                                    .get(cursor)
+                                    .map(|l| format!("'{l}'"))
+                                    .unwrap_or_else(|| "end of output".to_owned()),
+                            ),
+                        ));
+                    }
+                } else {
+                    match (cursor..lines.len()).find(|&i| lines[i].contains(check.pattern.as_str()))
+                    {
+                        Some(i) => i,
+                        None => {
+                            return Err(fail(
+                                check,
+                                format!("pattern not found at or after output line {}", cursor + 1),
+                            ))
+                        }
+                    }
+                };
+                // The skipped span must be free of pending CHECK-NOTs.
+                for not in pending_not.drain(..) {
+                    if let Some(bad) =
+                        (cursor..matched).find(|&i| lines[i].contains(not.pattern.as_str()))
+                    {
+                        return Err(fail(
+                            not,
+                            format!(
+                                "forbidden pattern found on output line {}: '{}'",
+                                bad + 1,
+                                lines[bad]
+                            ),
+                        ));
+                    }
+                }
+                cursor = matched + 1;
+            }
+        }
+    }
+    // Trailing CHECK-NOTs guard until the end of the output.
+    for not in pending_not {
+        if let Some(bad) = (cursor..lines.len()).find(|&i| lines[i].contains(not.pattern.as_str()))
+        {
+            return Err(fail(
+                not,
+                format!(
+                    "forbidden pattern found on output line {}: '{}'",
+                    bad + 1,
+                    lines[bad]
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: extract directives from `check_source` and run them
+/// against `output`.
+///
+/// # Errors
+///
+/// See [`run_checks`]; additionally errors when no directives are found
+/// (an empty check file would vacuously pass).
+pub fn check(output: &str, check_source: &str) -> Result<(), FileCheckError> {
+    let checks = extract_checks(check_source);
+    if checks.is_empty() {
+        return Err(FileCheckError {
+            message: "no CHECK directives found in check source".to_owned(),
+        });
+    }
+    run_checks(output, &checks)
+}
+
+fn excerpt(lines: &[&str]) -> String {
+    const MAX: usize = 40;
+    let mut out: String = lines
+        .iter()
+        .take(MAX)
+        .map(|l| format!("  | {l}\n"))
+        .collect();
+    if lines.len() > MAX {
+        out.push_str(&format!("  | ... ({} more lines)\n", lines.len() - MAX));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OUT: &str = "alpha\nbeta\ngamma\ndelta\n";
+
+    #[test]
+    fn in_order_matching() {
+        check(OUT, "// CHECK: alpha\n// CHECK: gamma").unwrap();
+        // Out of order fails.
+        assert!(check(OUT, "// CHECK: gamma\n// CHECK: alpha").is_err());
+        // Same line cannot match twice.
+        assert!(check(OUT, "// CHECK: alpha\n// CHECK: alpha").is_err());
+    }
+
+    #[test]
+    fn check_next_is_strict() {
+        check(OUT, "// CHECK: alpha\n// CHECK-NEXT: beta").unwrap();
+        assert!(check(OUT, "// CHECK: alpha\n// CHECK-NEXT: gamma").is_err());
+        assert!(check(OUT, "// CHECK-NEXT: alpha").is_err());
+    }
+
+    #[test]
+    fn check_not_guards_spans() {
+        // `beta` sits strictly between the `alpha` and `gamma` matches.
+        check(OUT, "// CHECK: alpha\n// CHECK-NOT: beta\n// CHECK: gamma").unwrap_err();
+        check(OUT, "// CHECK: alpha\n// CHECK-NOT: zeta\n// CHECK: delta").unwrap();
+        // Trailing NOT guards to EOF.
+        assert!(check(OUT, "// CHECK: beta\n// CHECK-NOT: delta").is_err());
+        check(OUT, "// CHECK: delta\n// CHECK-NOT: beta").unwrap();
+    }
+
+    #[test]
+    fn directives_extracted_with_lines() {
+        let src = "%0 = op // CHECK: x\n//  CHECK-NOT:  y\n// not a directive";
+        let checks = extract_checks(src);
+        assert_eq!(checks.len(), 2);
+        assert_eq!(checks[0].directive, Directive::Check);
+        assert_eq!(checks[0].line, 1);
+        assert_eq!(checks[1].directive, Directive::CheckNot);
+        assert_eq!(checks[1].pattern, "y");
+    }
+
+    #[test]
+    fn empty_checks_rejected() {
+        assert!(check(OUT, "nothing here").is_err());
+    }
+}

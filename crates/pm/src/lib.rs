@@ -1,0 +1,513 @@
+//! # limpet-pm — the pass-management subsystem
+//!
+//! An MLIR-style pass manager for the mlir-lite IR: the infrastructure
+//! layer that turns the workspace's transformation passes into *managed
+//! pipelines* with ordering control, inter-pass verification, and
+//! observability — mirroring how limpetMLIR itself gains leverage from
+//! MLIR's `PassManager` + `mlir-opt` tooling rather than ad-hoc
+//! translation calls.
+//!
+//! The crate provides four pieces:
+//!
+//! * [`Pass`] — the transformation interface (name, run-on-module, and
+//!   counter reporting through [`PassCtx`]);
+//! * [`PassManager`] — an ordered pipeline with configurable
+//!   verify-after-each-pass (failures name the offending pass), per-pass
+//!   wall-time and counter collection ([`RunReport`]), and
+//!   `print_ir_before`/`print_ir_after` IR snapshots;
+//! * [`PassRegistry`] + the textual pipeline parser — passes register by
+//!   name and pipelines are built from strings such as
+//!   `"const-prop,lut-mode,vectorize{width=4}"` (the `limpet-opt`
+//!   driver's `--pipeline` argument);
+//! * [`filecheck`] — a FileCheck-lite matcher (`// CHECK:`,
+//!   `// CHECK-NEXT:`, `// CHECK-NOT:`) for golden IR-to-IR pass tests.
+//!
+//! The pass *implementations* live in `limpet-passes`, which depends on
+//! this crate and registers every pass in its
+//! `limpet_passes::registry()`.
+//!
+//! # Examples
+//!
+//! ```
+//! use limpet_ir::{Builder, Func, Module};
+//! use limpet_pm::{Pass, PassCtx, PassManager};
+//!
+//! /// A toy pass that tags the module.
+//! #[derive(Debug)]
+//! struct Tag;
+//! impl Pass for Tag {
+//!     fn name(&self) -> &'static str {
+//!         "tag"
+//!     }
+//!     fn run(&self, module: &mut Module, ctx: &mut PassCtx) -> bool {
+//!         module.attrs.set("tagged", 1i64);
+//!         ctx.count("modules-tagged", 1);
+//!         true
+//!     }
+//! }
+//!
+//! let mut module = Module::new("demo");
+//! let mut f = Func::new("compute", &[], &[]);
+//! let mut b = Builder::new(&mut f);
+//! b.ret(&[]);
+//! module.add_func(f);
+//!
+//! let mut pm = PassManager::new();
+//! pm.add(Tag).verify_each(true);
+//! let report = pm.run(&mut module).unwrap();
+//! assert!(report.any_changed());
+//! assert_eq!(report.counter("tag", "modules-tagged"), Some(1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod filecheck;
+mod parse;
+mod registry;
+
+pub use parse::{parse_pipeline_spec, PassOptions, PassSpec, PipelineParseError};
+pub use registry::{PassFactory, PassRegistry};
+
+use limpet_ir::{print_module, verify_module, Module, VerifyError};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A module-level transformation.
+///
+/// Implementations mutate the module in place and report whether anything
+/// changed; optional statistics go through the [`PassCtx`] counter sink.
+pub trait Pass: fmt::Debug {
+    /// The pass name, used for registry lookup, statistics, verification
+    /// error attribution, and `print_ir_*` filters.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass; returns `true` if the module changed. Counters
+    /// (e.g. `ops-folded`) are accumulated on `ctx`.
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx) -> bool;
+
+    /// Runs the pass without instrumentation (convenience for direct
+    /// invocation and tests).
+    fn run_on(&self, module: &mut Module) -> bool {
+        let mut ctx = PassCtx::default();
+        self.run(module, &mut ctx)
+    }
+}
+
+/// Per-run mutable context handed to a pass: the counter sink.
+#[derive(Debug, Default)]
+pub struct PassCtx {
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl PassCtx {
+    /// Adds `n` to the named counter (created at zero on first use).
+    pub fn count(&mut self, stat: &'static str, n: u64) {
+        if let Some(entry) = self.counters.iter_mut().find(|(k, _)| *k == stat) {
+            entry.1 += n;
+        } else {
+            self.counters.push((stat, n));
+        }
+    }
+
+    /// The counters accumulated so far, in first-use order.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+}
+
+/// Which passes an IR dump applies to.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PrintIr {
+    /// No dumps.
+    #[default]
+    Never,
+    /// Dump around every pass.
+    All,
+    /// Dump only around the named pass.
+    Only(String),
+}
+
+impl PrintIr {
+    fn matches(&self, pass: &str) -> bool {
+        match self {
+            PrintIr::Never => false,
+            PrintIr::All => true,
+            PrintIr::Only(name) => name == pass,
+        }
+    }
+}
+
+/// Whether an [`IrDump`] was taken before or after its pass ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DumpPoint {
+    /// Snapshot taken before the pass.
+    Before,
+    /// Snapshot taken after the pass.
+    After,
+}
+
+impl fmt::Display for DumpPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DumpPoint::Before => "before",
+            DumpPoint::After => "after",
+        })
+    }
+}
+
+/// One IR snapshot captured by `print_ir_before`/`print_ir_after`.
+#[derive(Debug, Clone)]
+pub struct IrDump {
+    /// The pass the snapshot brackets.
+    pub pass: &'static str,
+    /// Before or after that pass.
+    pub when: DumpPoint,
+    /// The printed module text.
+    pub text: String,
+}
+
+/// Execution record of one pass within a [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct PassRun {
+    /// The pass name.
+    pub name: &'static str,
+    /// Whether the pass reported a change.
+    pub changed: bool,
+    /// Wall-clock time spent inside the pass (excludes verification).
+    pub duration: Duration,
+    /// Counters the pass reported, in first-use order.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// Everything one [`PassManager::run`] observed: per-pass execution
+/// records plus any requested IR dumps.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// One record per executed pass, in pipeline order.
+    pub passes: Vec<PassRun>,
+    /// IR snapshots, in capture order.
+    pub dumps: Vec<IrDump>,
+}
+
+impl RunReport {
+    /// Whether any pass reported a change.
+    pub fn any_changed(&self) -> bool {
+        self.passes.iter().any(|p| p.changed)
+    }
+
+    /// Total wall-clock time across all passes.
+    pub fn total_time(&self) -> Duration {
+        self.passes.iter().map(|p| p.duration).sum()
+    }
+
+    /// The value of `stat` reported by the first execution of `pass`.
+    pub fn counter(&self, pass: &str, stat: &str) -> Option<u64> {
+        self.passes
+            .iter()
+            .find(|p| p.name == pass)
+            .and_then(|p| p.counters.iter().find(|(k, _)| *k == stat))
+            .map(|&(_, v)| v)
+    }
+
+    /// A human-readable per-pass timing/counter table (the `--timing`
+    /// output of `limpet-opt`).
+    pub fn timing_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("  pass                  time        counters\n");
+        for p in &self.passes {
+            let counters = p
+                .counters
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let mark = if p.changed { "*" } else { " " };
+            out.push_str(&format!(
+                "  {mark}{:<20} {:>9.3?}   {counters}\n",
+                p.name, p.duration
+            ));
+        }
+        out.push_str(&format!(
+            "  total                {:>9.3?}   ({} passes, * = changed)\n",
+            self.total_time(),
+            self.passes.len()
+        ));
+        out
+    }
+}
+
+/// An error produced while running a pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The module failed IR verification. `pass` is the pass after which
+    /// verification failed, or [`PassManager::INPUT`] when the input
+    /// module was already invalid.
+    VerifyFailed {
+        /// The offending pass (or `"<input>"`).
+        pass: String,
+        /// The underlying verifier diagnostic.
+        error: VerifyError,
+    },
+}
+
+impl PipelineError {
+    /// The pass the error is attributed to.
+    pub fn pass_name(&self) -> &str {
+        match self {
+            PipelineError::VerifyFailed { pass, .. } => pass,
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::VerifyFailed { pass, error } if pass == PassManager::INPUT => {
+                write!(
+                    f,
+                    "input module failed verification before any pass ran: {error}"
+                )
+            }
+            PipelineError::VerifyFailed { pass, error } => {
+                write!(f, "IR verification failed after pass '{pass}': {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Runs an ordered sequence of passes over a module, with optional
+/// inter-pass verification and instrumentation.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_pm::PassManager;
+/// let pm = PassManager::new();
+/// assert!(pm.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each: bool,
+    print_before: PrintIr,
+    print_after: PrintIr,
+}
+
+impl PassManager {
+    /// The pseudo-pass name verification errors on the *input* module are
+    /// attributed to.
+    pub const INPUT: &'static str = "<input>";
+
+    /// Creates an empty pass manager (verification and dumps off).
+    pub fn new() -> PassManager {
+        PassManager::default()
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Appends an already-boxed pass (what the registry produces).
+    pub fn add_boxed(&mut self, pass: Box<dyn Pass>) -> &mut PassManager {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Enables or disables running the IR verifier on the input module
+    /// and after every pass. A failure aborts the pipeline with an error
+    /// naming the offending pass.
+    pub fn verify_each(&mut self, on: bool) -> &mut PassManager {
+        self.verify_each = on;
+        self
+    }
+
+    /// Captures an IR snapshot before matching passes (see [`PrintIr`]).
+    pub fn print_ir_before(&mut self, filter: PrintIr) -> &mut PassManager {
+        self.print_before = filter;
+        self
+    }
+
+    /// Captures an IR snapshot after matching passes (see [`PrintIr`]).
+    pub fn print_ir_after(&mut self, filter: PrintIr) -> &mut PassManager {
+        self.print_after = filter;
+        self
+    }
+
+    /// Number of registered passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether no passes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// The names of the registered passes, in pipeline order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs all passes in order, once.
+    ///
+    /// # Errors
+    ///
+    /// With [`verify_each`](PassManager::verify_each) enabled, returns
+    /// [`PipelineError::VerifyFailed`] naming the pass after which the
+    /// module first failed verification (or [`PassManager::INPUT`] for an
+    /// invalid input module).
+    pub fn run(&self, module: &mut Module) -> Result<RunReport, PipelineError> {
+        let mut report = RunReport::default();
+        if self.verify_each {
+            verify_module(module).map_err(|error| PipelineError::VerifyFailed {
+                pass: PassManager::INPUT.to_owned(),
+                error,
+            })?;
+        }
+        for pass in &self.passes {
+            let name = pass.name();
+            if self.print_before.matches(name) {
+                report.dumps.push(IrDump {
+                    pass: name,
+                    when: DumpPoint::Before,
+                    text: print_module(module),
+                });
+            }
+            let mut ctx = PassCtx::default();
+            let start = Instant::now();
+            let changed = pass.run(module, &mut ctx);
+            let duration = start.elapsed();
+            if self.print_after.matches(name) {
+                report.dumps.push(IrDump {
+                    pass: name,
+                    when: DumpPoint::After,
+                    text: print_module(module),
+                });
+            }
+            if self.verify_each {
+                verify_module(module).map_err(|error| PipelineError::VerifyFailed {
+                    pass: name.to_owned(),
+                    error,
+                })?;
+            }
+            report.passes.push(PassRun {
+                name,
+                changed,
+                duration,
+                counters: ctx.counters,
+            });
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limpet_ir::{Builder, Func};
+
+    fn tiny_module() -> Module {
+        let mut m = Module::new("t");
+        let mut f = Func::new("compute", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let x = b.get_state("x");
+        let two = b.const_f(2.0);
+        let y = b.mulf(x, two);
+        b.set_state("x", y);
+        b.ret(&[]);
+        m.add_func(f);
+        m
+    }
+
+    #[derive(Debug)]
+    struct CountOps;
+    impl Pass for CountOps {
+        fn name(&self) -> &'static str {
+            "count-ops"
+        }
+        fn run(&self, module: &mut Module, ctx: &mut PassCtx) -> bool {
+            let n = module.func("compute").unwrap().walk_ops().len() as u64;
+            ctx.count("ops-seen", n);
+            false
+        }
+    }
+
+    #[derive(Debug)]
+    struct Corrupt;
+    impl Pass for Corrupt {
+        fn name(&self) -> &'static str {
+            "corrupt"
+        }
+        fn run(&self, module: &mut Module, _ctx: &mut PassCtx) -> bool {
+            // Unlink the constant while `mulf` still uses its result:
+            // the dominance check fails.
+            let f = module.func_mut("compute").unwrap();
+            let body = f.body();
+            f.region_mut(body).ops.remove(1);
+            true
+        }
+    }
+
+    #[test]
+    fn reports_timing_counters_and_change_flags() {
+        let mut m = tiny_module();
+        let mut pm = PassManager::new();
+        pm.add(CountOps);
+        let report = pm.run(&mut m).unwrap();
+        assert_eq!(report.passes.len(), 1);
+        assert!(!report.any_changed());
+        assert_eq!(report.counter("count-ops", "ops-seen"), Some(5));
+        assert!(report.timing_table().contains("count-ops"));
+    }
+
+    #[test]
+    fn verify_each_names_the_offending_pass() {
+        let mut m = tiny_module();
+        let mut pm = PassManager::new();
+        pm.add(CountOps).add(Corrupt).verify_each(true);
+        let err = pm.run(&mut m).unwrap_err();
+        assert_eq!(err.pass_name(), "corrupt");
+        assert!(err.to_string().contains("after pass 'corrupt'"), "{err}");
+    }
+
+    #[test]
+    fn verify_each_rejects_invalid_input() {
+        let mut m = tiny_module();
+        // Pre-corrupt the module.
+        Corrupt.run_on(&mut m);
+        let mut pm = PassManager::new();
+        pm.add(CountOps).verify_each(true);
+        let err = pm.run(&mut m).unwrap_err();
+        assert_eq!(err.pass_name(), PassManager::INPUT);
+        assert!(err.to_string().contains("input module"), "{err}");
+    }
+
+    #[test]
+    fn dumps_capture_before_and_after() {
+        let mut m = tiny_module();
+        let mut pm = PassManager::new();
+        pm.add(Corrupt)
+            .print_ir_before(PrintIr::All)
+            .print_ir_after(PrintIr::Only("corrupt".to_owned()));
+        let report = pm.run(&mut m).unwrap();
+        assert_eq!(report.dumps.len(), 2);
+        assert_eq!(report.dumps[0].when, DumpPoint::Before);
+        assert!(report.dumps[0].text.contains("arith.constant"));
+        assert_eq!(report.dumps[1].when, DumpPoint::After);
+        assert!(!report.dumps[1].text.contains("arith.constant"));
+    }
+
+    #[test]
+    fn counters_accumulate_by_key() {
+        let mut ctx = PassCtx::default();
+        ctx.count("a", 2);
+        ctx.count("b", 1);
+        ctx.count("a", 3);
+        assert_eq!(ctx.counters(), &[("a", 5), ("b", 1)]);
+    }
+}

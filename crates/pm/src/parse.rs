@@ -1,0 +1,258 @@
+//! Textual pipeline descriptions.
+//!
+//! The grammar mirrors MLIR's `--pass-pipeline` at the granularity this
+//! workspace needs:
+//!
+//! ```text
+//! pipeline := pass ("," pass)*            (empty text = empty pipeline)
+//! pass     := name ("{" opt ("," opt)* "}")?
+//! name     := [A-Za-z0-9_-]+
+//! opt      := key "=" value
+//! ```
+//!
+//! e.g. `"const-prop,lut-mode,vectorize{width=4}"`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An error from parsing a pipeline description or constructing a pass
+/// from one (unknown pass, bad or missing option).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl PipelineParseError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> PipelineParseError {
+        PipelineParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PipelineParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipeline error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PipelineParseError {}
+
+/// The `{key=value,...}` options attached to one pass in a pipeline
+/// description.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassOptions {
+    entries: BTreeMap<String, String>,
+}
+
+impl PassOptions {
+    /// Options with no entries.
+    pub fn empty() -> PassOptions {
+        PassOptions::default()
+    }
+
+    /// Inserts an option (used by the parser and by tests).
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.entries.insert(key.into(), value.into());
+    }
+
+    /// Whether no options were given.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The raw value of `key`, if present.
+    pub fn str_of(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// The value of a required `u32` option.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the key is absent or not an unsigned integer.
+    pub fn u32_of(&self, pass: &str, key: &str) -> Result<u32, PipelineParseError> {
+        let raw = self.str_of(key).ok_or_else(|| {
+            PipelineParseError::new(format!("pass '{pass}' requires option '{key}'"))
+        })?;
+        raw.parse().map_err(|_| {
+            PipelineParseError::new(format!(
+                "pass '{pass}': option '{key}' must be an unsigned integer, got '{raw}'"
+            ))
+        })
+    }
+
+    /// Rejects any option key outside `allowed` (pass factories call this
+    /// so typos fail loudly instead of being ignored).
+    ///
+    /// # Errors
+    ///
+    /// Errors naming the first unexpected key.
+    pub fn expect_only(&self, pass: &str, allowed: &[&str]) -> Result<(), PipelineParseError> {
+        for key in self.entries.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(PipelineParseError::new(format!(
+                    "pass '{pass}' does not take option '{key}' (allowed: {})",
+                    if allowed.is_empty() {
+                        "none".to_owned()
+                    } else {
+                        allowed.join(", ")
+                    }
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One parsed element of a pipeline description: a pass name plus its
+/// options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassSpec {
+    /// The pass name as written.
+    pub name: String,
+    /// The `{...}` options (empty when none were written).
+    pub options: PassOptions,
+}
+
+/// Parses a pipeline description into pass specs (no registry lookup).
+///
+/// # Errors
+///
+/// Errors on empty pass names, malformed `{key=value}` blocks, and
+/// trailing garbage.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_pm::parse_pipeline_spec;
+/// let specs = parse_pipeline_spec("const-prop, vectorize{width=4}").unwrap();
+/// assert_eq!(specs.len(), 2);
+/// assert_eq!(specs[1].name, "vectorize");
+/// assert_eq!(specs[1].options.str_of("width"), Some("4"));
+/// ```
+pub fn parse_pipeline_spec(text: &str) -> Result<Vec<PassSpec>, PipelineParseError> {
+    let mut specs = Vec::new();
+    let mut rest = text.trim();
+    if rest.is_empty() {
+        return Ok(specs);
+    }
+    loop {
+        let (spec, tail) = parse_one_pass(rest)?;
+        specs.push(spec);
+        rest = tail.trim_start();
+        if rest.is_empty() {
+            return Ok(specs);
+        }
+        rest = rest.strip_prefix(',').ok_or_else(|| {
+            PipelineParseError::new(format!("expected ',' between passes near '{rest}'"))
+        })?;
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            return Err(PipelineParseError::new("trailing ',' in pipeline"));
+        }
+    }
+}
+
+fn is_name_byte(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '-' || c == '_'
+}
+
+fn parse_one_pass(text: &str) -> Result<(PassSpec, &str), PipelineParseError> {
+    let name_end = text.find(|c| !is_name_byte(c)).unwrap_or(text.len());
+    let name = &text[..name_end];
+    if name.is_empty() {
+        return Err(PipelineParseError::new(format!(
+            "expected a pass name near '{text}'"
+        )));
+    }
+    let mut options = PassOptions::empty();
+    let rest = text[name_end..].trim_start();
+    let tail = if let Some(body) = rest.strip_prefix('{') {
+        let close = body.find('}').ok_or_else(|| {
+            PipelineParseError::new(format!("unterminated '{{' in options of pass '{name}'"))
+        })?;
+        for item in body[..close].split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (k, v) = item.split_once('=').ok_or_else(|| {
+                PipelineParseError::new(format!(
+                    "option '{item}' of pass '{name}' must be key=value"
+                ))
+            })?;
+            let (k, v) = (k.trim(), v.trim());
+            if k.is_empty() || v.is_empty() {
+                return Err(PipelineParseError::new(format!(
+                    "option '{item}' of pass '{name}' must be key=value"
+                )));
+            }
+            options.set(k, v);
+        }
+        &body[close + 1..]
+    } else {
+        rest
+    };
+    Ok((
+        PassSpec {
+            name: name.to_owned(),
+            options,
+        },
+        tail,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_sequence() {
+        let specs = parse_pipeline_spec("const-prop,cse,dce").unwrap();
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["const-prop", "cse", "dce"]);
+        assert!(specs.iter().all(|s| s.options.is_empty()));
+    }
+
+    #[test]
+    fn parses_options_and_whitespace() {
+        let specs = parse_pipeline_spec("  vectorize { width = 8 } , dce ").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "vectorize");
+        assert_eq!(specs[0].options.str_of("width"), Some("8"));
+        assert_eq!(specs[0].options.u32_of("vectorize", "width").unwrap(), 8);
+    }
+
+    #[test]
+    fn empty_text_is_empty_pipeline() {
+        assert!(parse_pipeline_spec("").unwrap().is_empty());
+        assert!(parse_pipeline_spec("   ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_text() {
+        for bad in [
+            ",cse",
+            "cse,",
+            "vectorize{width}",
+            "vectorize{width=4",
+            "a b",
+        ] {
+            assert!(parse_pipeline_spec(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn option_validation_helpers() {
+        let specs = parse_pipeline_spec("vectorize{width=4,bogus=1}").unwrap();
+        let opts = &specs[0].options;
+        assert!(opts.expect_only("vectorize", &["width"]).is_err());
+        assert!(opts.expect_only("vectorize", &["width", "bogus"]).is_ok());
+        assert!(opts.u32_of("vectorize", "missing").is_err());
+        let specs = parse_pipeline_spec("vectorize{width=wide}").unwrap();
+        assert!(specs[0].options.u32_of("vectorize", "width").is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! The pass registry: passes self-register by name so pipelines can be
+//! built from textual descriptions (`limpet-opt --pipeline "..."`).
+
+use crate::parse::{parse_pipeline_spec, PassOptions, PipelineParseError};
+use crate::{Pass, PassManager};
+use std::collections::BTreeMap;
+
+/// Constructs one pass instance from its parsed options.
+pub type PassFactory = fn(&PassOptions) -> Result<Box<dyn Pass>, PipelineParseError>;
+
+/// A name → factory table for building pipelines from text.
+///
+/// The workspace's canonical instance (every `limpet-passes` pass plus
+/// aliases) is `limpet_passes::registry()`.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_ir::Module;
+/// use limpet_pm::{Pass, PassCtx, PassOptions, PassRegistry};
+///
+/// #[derive(Debug)]
+/// struct Nop;
+/// impl Pass for Nop {
+///     fn name(&self) -> &'static str {
+///         "nop"
+///     }
+///     fn run(&self, _m: &mut Module, _ctx: &mut PassCtx) -> bool {
+///         false
+///     }
+/// }
+///
+/// let mut registry = PassRegistry::new();
+/// registry.register("nop", |opts| {
+///     opts.expect_only("nop", &[])?;
+///     Ok(Box::new(Nop))
+/// });
+/// let pm = registry.parse_pipeline("nop,nop").unwrap();
+/// assert_eq!(pm.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct PassRegistry {
+    factories: BTreeMap<&'static str, PassFactory>,
+}
+
+impl PassRegistry {
+    /// An empty registry.
+    pub fn new() -> PassRegistry {
+        PassRegistry::default()
+    }
+
+    /// Registers a factory under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name is already taken (registration is a
+    /// startup-time programming act, not a runtime input).
+    pub fn register(&mut self, name: &'static str, factory: PassFactory) {
+        let prev = self.factories.insert(name, factory);
+        assert!(prev.is_none(), "pass '{name}' registered twice");
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.factories.keys().copied().collect()
+    }
+
+    /// Instantiates the named pass.
+    ///
+    /// # Errors
+    ///
+    /// Errors on unknown names or option validation failures.
+    pub fn create(
+        &self,
+        name: &str,
+        options: &PassOptions,
+    ) -> Result<Box<dyn Pass>, PipelineParseError> {
+        let factory = self.factories.get(name).ok_or_else(|| {
+            PipelineParseError::new(format!(
+                "unknown pass '{name}' (registered: {})",
+                self.names().join(", ")
+            ))
+        })?;
+        factory(options)
+    }
+
+    /// Parses a textual pipeline description into a ready-to-run
+    /// [`PassManager`] (verification and dumps at their defaults; callers
+    /// configure the returned manager).
+    ///
+    /// # Errors
+    ///
+    /// Errors on malformed text, unknown passes, or bad options.
+    pub fn parse_pipeline(&self, text: &str) -> Result<PassManager, PipelineParseError> {
+        let mut pm = PassManager::new();
+        for spec in parse_pipeline_spec(text)? {
+            pm.add_boxed(self.create(&spec.name, &spec.options)?);
+        }
+        Ok(pm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PassCtx;
+    use limpet_ir::Module;
+
+    #[derive(Debug)]
+    struct Widen(u32);
+    impl Pass for Widen {
+        fn name(&self) -> &'static str {
+            "widen"
+        }
+        fn run(&self, module: &mut Module, _ctx: &mut PassCtx) -> bool {
+            module.attrs.set("width", self.0 as i64);
+            true
+        }
+    }
+
+    fn registry() -> PassRegistry {
+        let mut r = PassRegistry::new();
+        r.register("widen", |opts| {
+            opts.expect_only("widen", &["width"])?;
+            Ok(Box::new(Widen(opts.u32_of("widen", "width")?)))
+        });
+        r
+    }
+
+    #[test]
+    fn builds_passes_with_options() {
+        let r = registry();
+        let pm = r.parse_pipeline("widen{width=4}").unwrap();
+        let mut m = Module::new("t");
+        pm.run(&mut m).unwrap();
+        assert_eq!(m.attrs.i64_of("width"), Some(4));
+    }
+
+    #[test]
+    fn unknown_pass_and_bad_options_error() {
+        let r = registry();
+        let err = r.parse_pipeline("nope").unwrap_err();
+        assert!(err.to_string().contains("unknown pass 'nope'"), "{err}");
+        assert!(r.parse_pipeline("widen").is_err(), "missing width accepted");
+        assert!(r.parse_pipeline("widen{width=4,x=1}").is_err());
+    }
+
+    #[test]
+    fn duplicate_registration_panics() {
+        let mut r = registry();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.register("widen", |_| unreachable!());
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,19 @@
+// RUN: limpet-opt --pipeline "canonicalize,dce" %s
+// x + 0 and x * 1 are identities: the store reads the state directly.
+
+module @canon {
+  func.func @compute() {
+    %0 = limpet.get_state {var = "x"} : f64
+    %1 = arith.constant 0.0 : f64
+    %2 = arith.addf %0, %1 : f64
+    %3 = arith.constant 1.0 : f64
+    %4 = arith.mulf %2, %3 : f64
+    limpet.set_state %4 {var = "x"} : f64
+    func.return
+  }
+}
+
+// CHECK: %0 = limpet.get_state {var = "x"} : f64
+// CHECK-NEXT: limpet.set_state %0 {var = "x"} : f64
+// CHECK-NOT: arith.addf
+// CHECK-NOT: arith.mulf

@@ -1,0 +1,20 @@
+// RUN: limpet-opt --pipeline "const-prop,dce" %s
+// The constant multiply folds to 6.0 and the operand constants die.
+
+module @const_prop {
+  func.func @compute() {
+    %0 = arith.constant 2.0 : f64
+    %1 = arith.constant 3.0 : f64
+    %2 = arith.mulf %0, %1 : f64
+    %3 = limpet.get_state {var = "x"} : f64
+    %4 = arith.addf %3, %2 : f64
+    limpet.set_state %4 {var = "x"} : f64
+    func.return
+  }
+}
+
+// CHECK: func.func @compute() {
+// CHECK-NEXT: %0 = arith.constant 6.0 : f64
+// CHECK-NEXT: %1 = limpet.get_state {var = "x"} : f64
+// CHECK-NEXT: %2 = arith.addf %1, %0 : f64
+// CHECK-NOT: arith.mulf

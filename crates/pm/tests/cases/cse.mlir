@@ -1,0 +1,17 @@
+// RUN: limpet-opt --pipeline "cse" %s
+// The duplicated square is computed once; both addf operands share it.
+
+module @cse {
+  func.func @compute() {
+    %0 = limpet.get_state {var = "v"} : f64
+    %1 = arith.mulf %0, %0 : f64
+    %2 = arith.mulf %0, %0 : f64
+    %3 = arith.addf %1, %2 : f64
+    limpet.set_state %3 {var = "v"} : f64
+    func.return
+  }
+}
+
+// CHECK: %1 = arith.mulf %0, %0 : f64
+// CHECK-NOT: arith.mulf
+// CHECK-NEXT: %2 = arith.addf %1, %1 : f64

@@ -1,0 +1,17 @@
+// RUN: limpet-opt --pipeline "dce" %s
+// The exp chain feeds nothing: both calls are removed, the store stays.
+
+module @dce {
+  func.func @compute() {
+    %0 = limpet.get_state {var = "x"} : f64
+    %1 = math.exp %0 : f64
+    %2 = math.exp %1 : f64
+    limpet.set_state %0 {var = "x"} : f64
+    func.return
+  }
+}
+
+// CHECK: func.func @compute() {
+// CHECK-NOT: math.exp
+// CHECK: limpet.set_state %0 {var = "x"} : f64
+// CHECK-NEXT: func.return

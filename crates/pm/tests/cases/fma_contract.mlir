@@ -1,0 +1,18 @@
+// RUN: limpet-opt --pipeline "fma-contract" %s
+// mul feeding a single add contracts into math.fma (bit-exact here).
+
+module @fma {
+  func.func @compute() {
+    %0 = limpet.get_state {var = "a"} : f64
+    %1 = limpet.get_state {var = "b"} : f64
+    %2 = limpet.get_state {var = "c"} : f64
+    %3 = arith.mulf %0, %1 : f64
+    %4 = arith.addf %3, %2 : f64
+    limpet.set_state %4 {var = "c"} : f64
+    func.return
+  }
+}
+
+// CHECK: %3 = math.fma %0, %1, %2 : f64
+// CHECK-NOT: arith.mulf
+// CHECK-NOT: arith.addf

@@ -1,0 +1,25 @@
+// RUN: limpet-opt --pipeline "licm" %s
+// The dt square is iteration-invariant: it hoists out of the loop; the
+// accumulating addf (uses the iter_arg) must stay inside.
+
+module @licm {
+  func.func @compute() {
+    %0 = arith.constant 0 : index
+    %1 = arith.constant 4 : index
+    %2 = arith.constant 1 : index
+    %3 = limpet.get_state {var = "x"} : f64
+    %4 = limpet.dt : f64
+    %5 = scf.for %arg0 = %0 to %1 step %2 iter_args(%arg1 = %3) -> (f64) {
+      %6 = arith.mulf %4, %4 : f64
+      %7 = arith.addf %arg1, %6 : f64
+      scf.yield %7 : f64
+    }
+    limpet.set_state %5 {var = "x"} : f64
+    func.return
+  }
+}
+
+// CHECK: %5 = arith.mulf %4, %4 : f64
+// CHECK-NEXT: %6 = scf.for
+// CHECK-NEXT: %7 = arith.addf %arg1, %5 : f64
+// CHECK-NEXT: scf.yield %7 : f64

@@ -1,0 +1,24 @@
+// RUN: limpet-opt --pipeline "lut-mode" %s
+// The `lut-mode` registry alias resolves to scalar-lut-mode: every
+// lut.col gains scalar_interp = true and the module records the mode.
+
+module @lut {
+  lut @Vm {cols = "c0,c1", func = "lut_Vm", hi = 100.0, lo = -100.0, step = 0.5}
+  func.func @lut_Vm(%arg0: f64) -> (f64, f64) {
+    %0 = arith.constant 1.0 : f64
+    %1 = arith.addf %arg0, %0 : f64
+    func.return %1, %arg0 : f64
+  }
+  func.func @compute() {
+    %0 = limpet.get_ext {var = "Vm"} : f64
+    %1 = lut.col %0 {col = 0, table = "Vm"} : f64
+    %2 = lut.col %0 {col = 1, table = "Vm"} : f64
+    %3 = arith.addf %1, %2 : f64
+    limpet.set_ext %3 {var = "Iion"} : f64
+    func.return
+  }
+}
+
+// CHECK: module @lut attributes {lut_mode = "scalar"} {
+// CHECK: %1 = lut.col %0 {col = 0, scalar_interp = true, table = "Vm"} : f64
+// CHECK-NEXT: %2 = lut.col %0 {col = 1, scalar_interp = true, table = "Vm"} : f64

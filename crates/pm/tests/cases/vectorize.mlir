@@ -1,0 +1,21 @@
+// RUN: limpet-opt --pipeline "vectorize{width=4}" %s
+// The scalar kernel becomes a 4-lane vector kernel: varying state loads
+// widen, the uniform dt is broadcast where the varying multiply uses it.
+
+module @vec {
+  func.func @compute() {
+    %0 = limpet.get_state {var = "x"} : f64
+    %1 = limpet.dt : f64
+    %2 = arith.mulf %0, %1 : f64
+    limpet.set_state %2 {var = "x"} : f64
+    func.return
+  }
+}
+
+// CHECK: module @vec attributes {vector_width = 4} {
+// CHECK: %0 = limpet.get_state {var = "x"} : vector<4xf64>
+// CHECK: limpet.dt : f64
+// CHECK: vector.broadcast
+// CHECK: arith.mulf
+// CHECK: limpet.set_state
+// CHECK-NOT: : f64

@@ -1,0 +1,84 @@
+//! FileCheck-lite golden pass tests.
+//!
+//! Each `.mlir` file under `tests/cases/` is self-contained: a `// RUN:`
+//! line naming the pipeline, the input IR (the IR lexer skips `//`
+//! comments), and `// CHECK` directives matched against the module as
+//! printed after the pipeline runs (verify-after-each-pass enabled).
+//!
+//! This is the same workflow `limpet-opt` performs from the shell — the
+//! `RUN:` lines are its exact command lines — kept in-process here so
+//! `cargo test` needs no binary plumbing.
+
+use limpet_pm::filecheck;
+
+/// Extracts the `--pipeline "..."` argument of the `// RUN:` line.
+fn pipeline_of(source: &str, file: &str) -> String {
+    let run = source
+        .lines()
+        .find_map(|l| l.split("RUN:").nth(1))
+        .unwrap_or_else(|| panic!("{file}: no '// RUN:' line"));
+    match run.split('"').nth(1) {
+        Some(p) => p.to_owned(),
+        None => {
+            assert!(
+                !run.contains("--pipeline"),
+                "{file}: unquoted --pipeline value in RUN line"
+            );
+            String::new() // no pipeline: parse, verify, reprint
+        }
+    }
+}
+
+fn run_case(source: &str, file: &str) {
+    let pipeline = pipeline_of(source, file);
+    let mut module = limpet_ir::parse_module(source)
+        .unwrap_or_else(|e| panic!("{file}: input does not parse: {e}"));
+    let mut pm = limpet_passes::registry()
+        .parse_pipeline(&pipeline)
+        .unwrap_or_else(|e| panic!("{file}: bad RUN pipeline: {e}"));
+    pm.verify_each(true);
+    pm.run(&mut module)
+        .unwrap_or_else(|e| panic!("{file}: pipeline failed: {e}"));
+    let output = limpet_ir::print_module(&module);
+    filecheck::check(&output, source).unwrap_or_else(|e| panic!("{file}: {e}"));
+}
+
+macro_rules! golden {
+    ($($name:ident => $file:literal),* $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                run_case(
+                    include_str!(concat!("cases/", $file)),
+                    $file,
+                );
+            }
+        )*
+
+        /// Every file in `tests/cases/` must be wired up above — a new
+        /// case that is not listed would silently never run.
+        #[test]
+        fn all_case_files_are_registered() {
+            let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/cases");
+            let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().into_string().unwrap())
+                .collect();
+            on_disk.sort();
+            let mut registered = vec![$($file.to_owned()),*];
+            registered.sort();
+            assert_eq!(on_disk, registered);
+        }
+    };
+}
+
+golden! {
+    canonicalize_identities => "canonicalize.mlir",
+    const_prop_folds => "const_prop.mlir",
+    cse_dedups => "cse.mlir",
+    dce_removes_dead_chain => "dce.mlir",
+    fma_contracts => "fma_contract.mlir",
+    licm_hoists_invariants => "licm.mlir",
+    lut_mode_alias_marks_cols => "lut_mode.mlir",
+    vectorize_widens_kernel => "vectorize.mlir",
+}

@@ -1,0 +1,82 @@
+//! Verify-after-each-pass attribution: every corpus mutation, wrapped as
+//! a pass, must be caught by the pass manager with the offending pass
+//! named in the error.
+//!
+//! The mutation catalogue lives in `limpet_ir::testing` and is shared
+//! with `limpet-ir`'s `verifier_mutations` test; here the point under
+//! test is the *pass manager*: a buggy rewrite anywhere in a pipeline is
+//! pinned to the pass that introduced it, not merely detected at the end.
+
+use limpet_ir::testing::{corpus_module, mutations, Mutation};
+use limpet_ir::{Module, ValueId};
+use limpet_pm::{Pass, PassCtx, PassManager};
+
+/// A deliberately buggy pass: applies one corpus mutation.
+#[derive(Debug)]
+struct MutatingPass {
+    mutation: Mutation,
+    values: Vec<ValueId>,
+}
+
+impl Pass for MutatingPass {
+    fn name(&self) -> &'static str {
+        self.mutation.name
+    }
+    fn run(&self, module: &mut Module, _ctx: &mut PassCtx) -> bool {
+        (self.mutation.apply)(module, &self.values);
+        true
+    }
+}
+
+/// A well-behaved pass that changes nothing.
+#[derive(Debug)]
+struct Benign;
+
+impl Pass for Benign {
+    fn name(&self) -> &'static str {
+        "benign"
+    }
+    fn run(&self, _module: &mut Module, _ctx: &mut PassCtx) -> bool {
+        false
+    }
+}
+
+#[test]
+fn every_mutation_is_caught_and_attributed() {
+    let all = mutations();
+    assert!(all.len() >= 8, "corpus shrank: {} mutations", all.len());
+    for mutation in all {
+        let (mut module, values) = corpus_module();
+        let mut pm = PassManager::new();
+        // Sandwich the buggy pass between healthy ones: the error must
+        // name the buggy pass, not a neighbor, and the pipeline must stop
+        // before the trailing pass runs on corrupt IR.
+        pm.add(Benign)
+            .add(MutatingPass { mutation, values })
+            .add(Benign)
+            .verify_each(true);
+        let err = pm
+            .run(&mut module)
+            .expect_err(&format!("mutation '{}' slipped through", mutation.name));
+        assert_eq!(
+            err.pass_name(),
+            mutation.name,
+            "wrong attribution for '{}': {err}",
+            mutation.name
+        );
+        assert!(
+            err.to_string().contains(mutation.name),
+            "error text does not name the pass: {err}"
+        );
+    }
+}
+
+#[test]
+fn clean_pipeline_passes_verification() {
+    let (mut module, _) = corpus_module();
+    let mut pm = PassManager::new();
+    pm.add(Benign).verify_each(true);
+    let report = pm.run(&mut module).unwrap();
+    assert_eq!(report.passes.len(), 1);
+    assert!(!report.any_changed());
+}

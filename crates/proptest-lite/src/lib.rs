@@ -21,8 +21,13 @@
 //!
 //! Differences from the real crate: cases are generated from a
 //! deterministic per-test seed (derived from the test's module path and
-//! name, so failures reproduce exactly), and there is **no shrinking** —
-//! a failing case reports its generated inputs via `Debug` instead.
+//! name, so failures reproduce exactly), and shrinking is **greedy**
+//! rather than exhaustive — a failing case is minimized by repeatedly
+//! halving numeric inputs toward their range start and truncating
+//! collections/strings ([`Strategy::shrink`]), keeping any candidate
+//! that still fails, and the panic reports both the original and the
+//! minimized inputs. Strategies built through `prop_map` /
+//! `prop_filter_map` do not shrink (the mapping cannot be inverted).
 
 #![warn(missing_docs)]
 
@@ -66,6 +71,54 @@ pub fn test_rng(test_path: &str) -> SmallRng {
     SmallRng::seed_from_str(test_path)
 }
 
+/// Ties a case-runner closure's argument type to a strategy's value type
+/// (the `proptest!` macro cannot name that type). Identity otherwise.
+#[doc(hidden)]
+pub fn bind_runner<S, F>(_strategy: &S, run: F) -> F
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    run
+}
+
+/// Greedily minimizes a failing input: walks the strategy's
+/// [`Strategy::shrink`] candidates, restarting from the first candidate
+/// that still fails, until no candidate fails or the step budget (1024
+/// re-runs) is exhausted. Returns the minimized value, the error it
+/// produced, and the number of candidates tried. Called by the
+/// [`proptest!`] harness; public so custom harnesses can reuse it.
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    mut best: S::Value,
+    mut best_err: TestCaseError,
+    run: &F,
+) -> (S::Value, TestCaseError, usize)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    const MAX_STEPS: usize = 1024;
+    let mut steps = 0;
+    'outer: while steps < MAX_STEPS {
+        for cand in strategy.shrink(&best) {
+            steps += 1;
+            if let Err(e) = run(&cand) {
+                // Still failing: adopt the smaller input and restart from
+                // its own candidates.
+                best = cand;
+                best_err = e;
+                continue 'outer;
+            }
+            if steps >= MAX_STEPS {
+                break 'outer;
+            }
+        }
+        break; // every candidate passed: `best` is locally minimal
+    }
+    (best, best_err, steps)
+}
+
 /// A generator of random values — the trait the `in` clauses of
 /// [`proptest!`] consume.
 pub trait Strategy {
@@ -74,6 +127,14 @@ pub trait Strategy {
 
     /// Generates one value.
     fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" candidates for a failing `value`,
+    /// most aggressive first (e.g. the range start before the halfway
+    /// point). The default — for strategies that cannot shrink, such as
+    /// mapped ones — proposes nothing.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -122,6 +183,9 @@ pub trait Strategy {
         for _ in 0..depth {
             let rec = recurse(cur).boxed();
             let leaf = base.clone();
+            // A generated value carries no record of which arm produced
+            // it, so offer both arms' shrink candidates.
+            let (shrink_rec, shrink_leaf) = (rec.clone(), leaf.clone());
             cur = BoxedStrategy {
                 gen: Arc::new(move |rng: &mut SmallRng| {
                     if rng.gen_bool(0.5) {
@@ -130,32 +194,44 @@ pub trait Strategy {
                         leaf.generate(rng)
                     }
                 }),
+                shrinker: Arc::new(move |v| {
+                    let mut out = shrink_leaf.shrink(v);
+                    out.extend(shrink_rec.shrink(v));
+                    out
+                }),
             };
         }
         cur
     }
 
-    /// Type-erases the strategy.
+    /// Type-erases the strategy (shrinking is preserved).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + 'static,
         Self::Value: 'static,
     {
+        let inner = Arc::new(self);
+        let gen_inner = Arc::clone(&inner);
         BoxedStrategy {
-            gen: Arc::new(move |rng: &mut SmallRng| self.generate(rng)),
+            gen: Arc::new(move |rng: &mut SmallRng| gen_inner.generate(rng)),
+            shrinker: Arc::new(move |v: &Self::Value| inner.shrink(v)),
         }
     }
 }
 
+type Shrinker<V> = Arc<dyn Fn(&V) -> Vec<V>>;
+
 /// A type-erased, cheaply clonable strategy.
 pub struct BoxedStrategy<V> {
     gen: Arc<dyn Fn(&mut SmallRng) -> V>,
+    shrinker: Shrinker<V>,
 }
 
 impl<V> Clone for BoxedStrategy<V> {
     fn clone(&self) -> Self {
         BoxedStrategy {
             gen: Arc::clone(&self.gen),
+            shrinker: Arc::clone(&self.shrinker),
         }
     }
 }
@@ -170,6 +246,9 @@ impl<V> Strategy for BoxedStrategy<V> {
     type Value = V;
     fn generate(&self, rng: &mut SmallRng) -> V {
         (self.gen)(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (self.shrinker)(value)
     }
 }
 
@@ -221,35 +300,115 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-impl<T: limpet_rng::SampleUniform + PartialOrd + Clone> Strategy for Range<T> {
+/// Numeric types whose range strategies know how to shrink: step a
+/// failing value halfway back toward the range start.
+pub trait ShrinkHalf: Sized {
+    /// The point halfway between `start` and `v` (rounding toward
+    /// `start`; `v` is always within the generating range, so `v >=
+    /// start`).
+    fn halfway(start: &Self, v: &Self) -> Self;
+}
+
+impl ShrinkHalf for f64 {
+    fn halfway(start: &f64, v: &f64) -> f64 {
+        start + (v - start) / 2.0
+    }
+}
+
+macro_rules! impl_shrink_half_int {
+    ($($t:ty),*) => {$(
+        impl ShrinkHalf for $t {
+            fn halfway(start: &$t, v: &$t) -> $t {
+                start + (v - start) / 2
+            }
+        }
+    )*};
+}
+
+impl_shrink_half_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: limpet_rng::SampleUniform + ShrinkHalf + PartialOrd + Clone> Strategy for Range<T> {
     type Value = T;
     fn generate(&self, rng: &mut SmallRng) -> T {
         rng.gen_range(self.clone())
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        let mut out = Vec::new();
+        for cand in [self.start.clone(), T::halfway(&self.start, value)] {
+            if cand != *value && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn generate(&self, rng: &mut SmallRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+            /// Shrinks one coordinate at a time, the others unchanged.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
-impl_tuple_strategy!(A, B, C, D, E, F, G);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8),
+    (J, 9)
+);
 
 /// A uniform choice among boxed alternatives (the [`prop_oneof!`] target).
 #[derive(Debug, Clone)]
@@ -275,6 +434,12 @@ impl<V> Strategy for Union<V> {
         let i = rng.gen_range(0..self.arms.len());
         self.arms[i].generate(rng)
     }
+    /// A generated value carries no record of its arm, so every arm's
+    /// candidates are offered (failing ones are simply not kept by the
+    /// greedy loop).
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.arms.iter().flat_map(|arm| arm.shrink(value)).collect()
+    }
 }
 
 /// Types with a canonical strategy, usable via [`any`].
@@ -298,6 +463,13 @@ impl Strategy for AnyBool {
     type Value = bool;
     fn generate(&self, rng: &mut SmallRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -427,6 +599,23 @@ impl Strategy for &'static str {
         }
         out
     }
+
+    /// Truncates toward the pattern's minimum length (half, then one
+    /// char shorter), always on a `char` boundary.
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let min_chars: usize = parse_pattern(self).iter().map(|p| p.min).sum();
+        let len = value.chars().count();
+        let mut out: Vec<String> = Vec::new();
+        for keep in [min_chars.max(len / 2), len.saturating_sub(1).max(min_chars)] {
+            if keep < len {
+                let cand: String = value.chars().take(keep).collect();
+                if !out.contains(&cand) {
+                    out.push(cand);
+                }
+            }
+        }
+        out
+    }
 }
 
 /// The `prop::` facade module (`prop::collection::vec`, `prop::num`, …).
@@ -451,7 +640,10 @@ pub mod prop {
             }
         }
 
-        impl<S: Strategy> Strategy for VecStrategy<S> {
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Clone,
+        {
             type Value = Vec<S::Value>;
             fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
                 let n = if self.size.min == self.size.max {
@@ -460,6 +652,32 @@ pub mod prop {
                     rng.gen_range(self.size.min..self.size.max)
                 };
                 (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+
+            /// Truncates (half, then one element shorter, never below the
+            /// minimum length), then shrinks elements in place one at a
+            /// time (most aggressive candidate per slot).
+            fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+                let mut out = Vec::new();
+                let len = value.len();
+                let mut lens_seen = Vec::new();
+                for keep in [
+                    self.size.min.max(len / 2),
+                    len.saturating_sub(1).max(self.size.min),
+                ] {
+                    if keep < len && !lens_seen.contains(&keep) {
+                        lens_seen.push(keep);
+                        out.push(value[..keep].to_vec());
+                    }
+                }
+                for (i, v) in value.iter().enumerate() {
+                    if let Some(cand) = self.element.shrink(v).into_iter().next() {
+                        let mut next = value.clone();
+                        next[i] = cand;
+                        out.push(next);
+                    }
+                }
+                out
             }
         }
     }
@@ -522,26 +740,29 @@ macro_rules! __proptest_tests {
             let __cfg: $crate::ProptestConfig = $cfg;
             let mut __rng =
                 $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            // All bindings combine into one tuple strategy so the greedy
+            // shrinker can minimize the whole failing input at once.
+            let __strategy = ($($strat,)+);
+            let __run = $crate::bind_runner(&__strategy, |__vals| {
+                let ($($pat,)+) = ::std::clone::Clone::clone(__vals);
+                $body
+                ::std::result::Result::Ok(())
+            });
             for __case in 0..__cfg.cases {
-                let mut __inputs: ::std::vec::Vec<::std::string::String> =
-                    ::std::vec::Vec::new();
-                $(
-                    let __value = $crate::Strategy::generate(&($strat), &mut __rng);
-                    __inputs.push(::std::format!("{:?}", __value));
-                    let $pat = __value;
-                )+
-                let __result: ::std::result::Result<(), $crate::TestCaseError> =
-                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                if let ::std::result::Result::Err(e) = __result {
+                let __value = $crate::Strategy::generate(&__strategy, &mut __rng);
+                if let ::std::result::Result::Err(__err) = __run(&__value) {
+                    let (__min, __min_err, __steps) =
+                        $crate::shrink_failure(&__strategy, __value.clone(), __err.clone(), &__run);
                     ::std::panic!(
-                        "proptest case {}/{} failed: {}\ninputs: [{}]",
+                        "proptest case {}/{} failed: {}\ninputs: {:?}\n\
+                         minimized ({} shrink steps): {}\nminimized inputs: {:?}",
                         __case + 1,
                         __cfg.cases,
-                        e,
-                        __inputs.join(", "),
+                        __err,
+                        __value,
+                        __steps,
+                        __min_err,
+                        __min,
                     );
                 }
             }
@@ -687,5 +908,97 @@ mod tests {
             prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]), "not sorted: {xs:?}");
             prop_assert_eq!(k as usize * 2 / 2, k as usize);
         }
+    }
+
+    #[test]
+    fn range_shrink_halves_toward_start() {
+        let s = 0u64..1000;
+        assert_eq!(s.shrink(&800), vec![0, 400]);
+        assert_eq!(s.shrink(&1), vec![0]); // halfway rounds onto start
+        assert!(s.shrink(&0).is_empty());
+        let f = -4.0f64..4.0;
+        assert_eq!(f.shrink(&4.0), vec![-4.0, 0.0]);
+    }
+
+    #[test]
+    fn vec_shrink_truncates_then_shrinks_elements() {
+        let s = prop::collection::vec(0u8..100, 2..10);
+        let cands = s.shrink(&vec![80, 60, 40, 20]);
+        // Half-truncation and drop-last first, then element halving.
+        assert!(cands.contains(&vec![80, 60]));
+        assert!(cands.contains(&vec![80, 60, 40]));
+        assert!(cands.contains(&vec![0, 60, 40, 20]));
+        // Never below the minimum length.
+        assert!(s.shrink(&vec![1, 2]).iter().all(|v| v.len() >= 2));
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_coordinate() {
+        let s = (0u8..10, 0u8..10);
+        let cands = s.shrink(&(8, 6));
+        assert!(cands.contains(&(0, 6)));
+        assert!(cands.contains(&(4, 6)));
+        assert!(cands.contains(&(8, 0)));
+        assert!(cands.contains(&(8, 3)));
+        assert!(!cands.contains(&(0, 0)), "one coordinate at a time");
+    }
+
+    #[test]
+    fn string_shrink_truncates_on_char_boundaries() {
+        let pat = "\\PC{0,200}";
+        let cands = pat.shrink(&"ab🦀d".to_owned());
+        assert!(cands.iter().all(|c| c.chars().count() < 4));
+        assert!(cands.contains(&"ab".to_owned()));
+        assert!(cands.contains(&"ab🦀".to_owned()));
+        assert!(pat.shrink(&String::new()).is_empty());
+    }
+
+    #[test]
+    fn greedy_shrink_minimizes_failures() {
+        // Property: x < 10 — fails for any x >= 10; the minimal failing
+        // input is 10, and halving from anywhere in 0..1000 must land in
+        // the locally-minimal band [10, 19] (one more halving from 19
+        // reaches 9, which passes).
+        let strategy = (0u64..1000,);
+        let run = |v: &(u64,)| -> Result<(), TestCaseError> {
+            if v.0 < 10 {
+                Ok(())
+            } else {
+                Err(TestCaseError(format!("{} too big", v.0)))
+            }
+        };
+        let (min, err, steps) =
+            crate::shrink_failure(&strategy, (800,), TestCaseError("seed".into()), &run);
+        assert!((10..20).contains(&min.0), "got {min:?}");
+        assert!(err.0.contains("too big"));
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn failing_proptest_reports_minimized_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            fn sum_stays_small(xs in prop::collection::vec(0u32..100, 0..20)) {
+                prop_assert!(xs.iter().sum::<u32>() < 50, "sum too big: {xs:?}");
+            }
+        }
+        let msg = *std::panic::catch_unwind(sum_stays_small)
+            .expect_err("property must fail")
+            .downcast::<String>()
+            .expect("panic payload is the formatted report");
+        assert!(msg.contains("minimized inputs:"), "report: {msg}");
+        // The minimized vector still violates the property but cannot be
+        // shrunk further: parse it back out and check it is small.
+        let min = msg.split("minimized inputs: (").nth(1).unwrap();
+        let elems: Vec<u32> = min
+            .trim_end_matches(|c| !char::is_numeric(c))
+            .trim_start_matches('[')
+            .split(|c: char| !c.is_numeric())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let sum: u32 = elems.iter().sum();
+        assert!(sum >= 50, "minimized case must still fail: {elems:?}");
+        assert!(sum < 200, "shrinking should reduce the sum: {elems:?}");
     }
 }

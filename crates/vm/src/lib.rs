@@ -48,6 +48,10 @@ mod engine;
 mod eval;
 mod lut;
 mod state;
+// rustfmt's width-fitting is superlinear on this file as a whole (minutes of
+// CPU on 500 lines, though any subset formats instantly); skip it so
+// `cargo fmt --check` terminates.
+#[rustfmt::skip]
 pub mod vmath;
 
 pub use bytecode::{compile_program, BBin, CompileError, FBin, IBin, Instr, Program};

@@ -168,7 +168,7 @@ fn scalar_optimized_agrees_bitwise_modulo_reassociation() {
     let mut opt =
         limpet_codegen::lower_model(&m, &limpet_codegen::CodegenOptions { use_lut: true });
     let pm = limpet_passes::standard_pipeline(1);
-    pm.run(&mut opt.module);
+    pm.run(&mut opt.module).expect("pipeline runs");
     opt.module.attrs.set("layout", "aos");
     let got = simulate(&opt.module, &mi, StateLayout::Aos, 200);
     assert_close(&reference, &got, 1e-9, "scalar-optimized");

@@ -338,7 +338,7 @@ proptest! {
         for width in [1u32, 2, 4, 8] {
             let mut m = module.clone();
             let pm = limpet_passes::standard_pipeline(width);
-            pm.run(&mut m);
+            pm.run(&mut m).expect("pipeline runs");
             limpet_ir::verify_module(&m).expect("optimized module verifies");
             let kernel = Kernel::from_module(&m, &info).expect("bytecode compiles");
 

@@ -9,8 +9,19 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --release -p limpet-opt"
+cargo build --release -p limpet-opt
+
+echo "==> limpet-opt smoke (pipeline round-trip)"
+./target/release/limpet-opt --list-passes > /dev/null
+printf 'module @m {\n  func.func @compute() {\n    func.return\n  }\n}\n' \
+  | ./target/release/limpet-opt --pipeline "const-prop,cse,dce" - > /dev/null
+
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> FileCheck-lite golden pass tests"
+cargo test -q -p limpet-pm --test filecheck_golden
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
