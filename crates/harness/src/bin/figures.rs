@@ -4,7 +4,7 @@
 //! figures [--fig2] [--fig3] [--fig4] [--fig5] [--layout] [--lut]
 //!         [--icc] [--roofline] [--stats] [--all]
 //!         [--cells N] [--steps N] [--repeats N] [--models a,b,c]
-//!         [--jobs N] [--no-cache]
+//!         [--jobs N] [--no-cache] [--no-bytecode-opt]
 //! ```
 //!
 //! With no figure flag, `--fig2` runs (cheapest headline artifact).
@@ -12,14 +12,18 @@
 //! under `output/`.
 //!
 //! `--jobs N` precompiles the selected roster across every pipeline
-//! configuration on N worker threads before any experiment runs, so the
-//! (serial) measurements start from a warm kernel cache. `--no-cache`
-//! disables the cache entirely — every simulation compiles from scratch,
-//! as the harness did before the compilation service existed — which is
-//! useful for validating that cached runs produce identical results.
+//! configuration on N worker threads before any experiment runs, and
+//! additionally shards the Fig. 2 measurement loop itself across those
+//! workers (one model per work cell, rows kept in roster order; the
+//! other figures still measure serially from the warm cache).
+//! `--no-cache` disables the cache entirely — every simulation compiles
+//! from scratch, as the harness did before the compilation service
+//! existed — which is useful for validating that cached runs produce
+//! identical results. `--no-bytecode-opt` disables the VM's post-compile
+//! bytecode optimizer, the ablation switch for its dispatch-overhead win.
 
 use limpet_harness::{
-    all_pipeline_kinds, fig2_single_thread, fig3_threads32, fig4_scaling, fig5_isa_threads,
+    all_pipeline_kinds, fig2_with_jobs, fig3_threads32, fig4_scaling, fig5_isa_threads,
     fig6_roofline, icc_comparison, kernel_stats, layout_ablation, lut_ablation, ExperimentOptions,
     KernelCache, TimingModel,
 };
@@ -114,11 +118,12 @@ fn parse_args() -> Args {
                     .expect("--jobs needs a number");
             }
             "--no-cache" => args.no_cache = true,
+            "--no-bytecode-opt" => limpet_vm::set_bytecode_opt(false),
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--fig2|--fig3|--fig4|--fig5|--layout|--lut|--icc|--roofline|--stats|--all]\n\
                      \x20              [--cells N] [--steps N] [--repeats N] [--models a,b,c]\n\
-                     \x20              [--jobs N] [--no-cache]"
+                     \x20              [--jobs N] [--no-cache] [--no-bytecode-opt]"
                 );
                 std::process::exit(0);
             }
@@ -206,7 +211,7 @@ fn main() {
 
     if args.fig2 {
         println!("== Figure 2: single-thread speedup, limpetMLIR AVX-512 vs baseline ==");
-        let f = fig2_single_thread(&args.opts);
+        let f = fig2_with_jobs(&args.opts, args.jobs.max(1));
         let mut rows = Vec::new();
         for r in &f.rows {
             println!(

@@ -1,0 +1,336 @@
+//! Dispatch-overhead microbenchmark of the W-lane VM: per-model executed
+//! instructions per step and wall-clock ns per step, with the bytecode
+//! optimizer on vs. off, over the baseline width-1 configuration (where
+//! dispatch overhead dominates — every saved instruction is a saved
+//! `match` round-trip).
+//!
+//! ```text
+//! vm_dispatch [--models a,b,c] [--cells N] [--steps N] [--repeats N]
+//!             [--out FILE] [--check [FILE]]
+//! ```
+//!
+//! Default run regenerates `BENCH_vm_dispatch.json` (hand-written JSON —
+//! the workspace has no serializer dependency). `--check` recomputes the
+//! *deterministic* half of the benchmark — optimized executed
+//! instructions per step, which depend only on the compiler, never on
+//! machine load — and fails (exit 1) if any selected model regressed
+//! above the committed file. CI runs the check on a 3-model subset.
+//!
+//! Executed-instruction counts come from the profiled interpreter loop on
+//! a fresh initial state (branches are trajectory-dependent, and both
+//! kernels follow bit-identical trajectories, so the counts are exact).
+//! Times are the median of `--repeats` timed runs.
+
+use limpet_harness::{geomean, measure_median, model_info, storage_layout, PipelineKind};
+use limpet_models::{ModelEntry, ROSTER};
+use limpet_vm::{Kernel, SimContext, StateLayout};
+
+/// Steps summed for the deterministic instruction profile.
+const PROFILE_STEPS: usize = 8;
+
+#[derive(Debug)]
+struct Args {
+    models: Vec<String>,
+    cells: usize,
+    steps: usize,
+    repeats: usize,
+    out: String,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vm_dispatch [--models a,b,c] [--cells N] [--steps N] [--repeats N]\n\
+         \x20                  [--out FILE] [--check [FILE]]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        models: Vec::new(),
+        cells: 256,
+        steps: 200,
+        repeats: 5,
+        out: "BENCH_vm_dispatch.json".to_owned(),
+        check: false,
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--models" => {
+                args.models = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--cells" => {
+                args.cells = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--steps" => {
+                args.steps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--repeats" => {
+                args.repeats = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => args.out = it.next().unwrap_or_else(|| usage()),
+            "--check" => {
+                args.check = true;
+                if let Some(path) = it.peek() {
+                    if !path.starts_with("--") {
+                        args.out = it.next().unwrap();
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// One model's measurement, optimizer on and off.
+#[derive(Debug)]
+struct Row {
+    model: &'static str,
+    class: &'static str,
+    static_raw: usize,
+    static_opt: usize,
+    instrs_raw: f64,
+    instrs_opt: f64,
+    ns_raw: f64,
+    ns_opt: f64,
+}
+
+/// Sum of executed instructions over [`PROFILE_STEPS`] steps from a fresh
+/// initial state, divided back to per-step (deterministic).
+fn instrs_per_step(kernel: &Kernel, layout: StateLayout, cells: usize, dt: f64) -> f64 {
+    let mut state = kernel.new_states(cells, layout);
+    let mut ext = kernel.new_ext(cells);
+    let mut total = 0u64;
+    for s in 0..PROFILE_STEPS {
+        let ctx = SimContext {
+            dt,
+            t: s as f64 * dt,
+        };
+        total += kernel
+            .run_step_profiled(&mut state, &mut ext, None, ctx)
+            .instrs;
+    }
+    total as f64 / PROFILE_STEPS as f64
+}
+
+/// Median wall time of `steps` un-profiled steps, in ns per step.
+fn ns_per_step(
+    kernel: &Kernel,
+    layout: StateLayout,
+    cells: usize,
+    steps: usize,
+    repeats: usize,
+    dt: f64,
+) -> f64 {
+    let mut state = kernel.new_states(cells, layout);
+    let mut ext = kernel.new_ext(cells);
+    let mut t = 0.0;
+    for _ in 0..2 {
+        kernel.run_step(&mut state, &mut ext, None, SimContext { dt, t });
+        t += dt;
+    }
+    let median = measure_median(repeats, || {
+        for _ in 0..steps {
+            kernel.run_step(&mut state, &mut ext, None, SimContext { dt, t });
+            t += dt;
+        }
+    });
+    median * 1e9 / steps as f64
+}
+
+fn measure(entry: &ModelEntry, args: &Args) -> Row {
+    let dt = 0.01;
+    let m = limpet_models::model(entry.name);
+    let module = PipelineKind::Baseline.build(&m);
+    let info = model_info(&m);
+    let layout = storage_layout(&module);
+    let (k_opt, _, k_raw) = Kernel::from_module_both(&module, &info)
+        .unwrap_or_else(|e| panic!("compiling {}: {e}", entry.name));
+    Row {
+        model: entry.name,
+        class: entry.class.name(),
+        static_raw: k_raw.program().instrs.len(),
+        static_opt: k_opt.program().instrs.len(),
+        instrs_raw: instrs_per_step(&k_raw, layout, args.cells, dt),
+        instrs_opt: instrs_per_step(&k_opt, layout, args.cells, dt),
+        ns_raw: ns_per_step(&k_raw, layout, args.cells, args.steps, args.repeats, dt),
+        ns_opt: ns_per_step(&k_opt, layout, args.cells, args.steps, args.repeats, dt),
+    }
+}
+
+fn selected(args: &Args) -> Vec<&'static ModelEntry> {
+    let sel: Vec<&ModelEntry> = ROSTER
+        .iter()
+        .filter(|e| args.models.is_empty() || args.models.iter().any(|n| n == e.name))
+        .collect();
+    if sel.is_empty() {
+        eprintln!("no roster model matches --models {}", args.models.join(","));
+        std::process::exit(2);
+    }
+    sel
+}
+
+/// Extracts the committed `instrs_per_step_opt` of one model by string
+/// scanning (the workspace has no JSON parser dependency).
+fn committed_instrs_opt(json: &str, model: &str) -> Option<f64> {
+    let at = json.find(&format!("\"model\": \"{model}\""))?;
+    let tail = &json[at..];
+    let key = "\"instrs_per_step_opt\": ";
+    let rest = &tail[tail.find(key)? + key.len()..];
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// `--check`: recompute the deterministic instruction counts and compare
+/// against the committed file. Timing is not checked (machine-dependent).
+fn run_check(args: &Args) -> i32 {
+    let json = match std::fs::read_to_string(&args.out) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vm_dispatch --check: cannot read {}: {e}", args.out);
+            return 1;
+        }
+    };
+    let dt = 0.01;
+    let mut failed = false;
+    for entry in selected(args) {
+        let m = limpet_models::model(entry.name);
+        let module = PipelineKind::Baseline.build(&m);
+        let info = model_info(&m);
+        let layout = storage_layout(&module);
+        let kernel = Kernel::from_module_opt(&module, &info, true)
+            .unwrap_or_else(|e| panic!("compiling {}: {e}", entry.name))
+            .0;
+        let now = instrs_per_step(&kernel, layout, args.cells, dt);
+        match committed_instrs_opt(&json, entry.name) {
+            None => {
+                println!("  {:24} not in {} — skipped", entry.name, args.out);
+            }
+            // Epsilon absorbs decimal formatting, not real regressions.
+            Some(committed) if now > committed + 0.51 => {
+                println!(
+                    "  {:24} REGRESSED: {now:.1} instrs/step vs committed {committed:.1}",
+                    entry.name
+                );
+                failed = true;
+            }
+            Some(committed) => {
+                println!(
+                    "  {:24} ok: {now:.1} instrs/step (committed {committed:.1})",
+                    entry.name
+                );
+            }
+        }
+    }
+    if failed {
+        eprintln!("vm_dispatch --check: optimized instrs/step regressed (see above)");
+        1
+    } else {
+        println!("vm_dispatch --check: no instruction-count regression");
+        0
+    }
+}
+
+fn write_json(rows: &[Row], args: &Args, path: &str) {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"vm_dispatch\",");
+    let _ = writeln!(
+        s,
+        "  \"config\": \"baseline pipeline, width 1 (interpreter dispatch overhead)\","
+    );
+    let _ = writeln!(s, "  \"cells\": {},", args.cells);
+    let _ = writeln!(s, "  \"profile_steps\": {PROFILE_STEPS},");
+    let _ = writeln!(s, "  \"timed_steps\": {},", args.steps);
+    let _ = writeln!(s, "  \"repeats\": {},", args.repeats);
+    let _ = writeln!(s, "  \"models\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"model\": \"{}\",", r.model);
+        let _ = writeln!(s, "      \"class\": \"{}\",", r.class);
+        let _ = writeln!(s, "      \"static_instrs_raw\": {},", r.static_raw);
+        let _ = writeln!(s, "      \"static_instrs_opt\": {},", r.static_opt);
+        let _ = writeln!(s, "      \"instrs_per_step_raw\": {:.1},", r.instrs_raw);
+        let _ = writeln!(s, "      \"instrs_per_step_opt\": {:.1},", r.instrs_opt);
+        let _ = writeln!(
+            s,
+            "      \"instr_ratio\": {:.4},",
+            r.instrs_opt / r.instrs_raw
+        );
+        let _ = writeln!(s, "      \"ns_per_step_raw\": {:.1},", r.ns_raw);
+        let _ = writeln!(s, "      \"ns_per_step_opt\": {:.1},", r.ns_opt);
+        let _ = writeln!(s, "      \"time_speedup\": {:.4}", r.ns_raw / r.ns_opt);
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ],");
+    let instr_ratio = geomean(rows.iter().map(|r| r.instrs_opt / r.instrs_raw));
+    let speedup = geomean(rows.iter().map(|r| r.ns_raw / r.ns_opt));
+    let _ = writeln!(
+        s,
+        "  \"geomean_instr_reduction\": {:.4},",
+        1.0 - instr_ratio
+    );
+    let _ = writeln!(s, "  \"geomean_time_speedup\": {speedup:.4}");
+    let _ = writeln!(s, "}}");
+    match std::fs::write(path, s) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.check {
+        std::process::exit(run_check(&args));
+    }
+    println!(
+        "vm_dispatch: baseline width-1 VM, {} cells, {} timed steps x{} repeats",
+        args.cells, args.steps, args.repeats
+    );
+    let mut rows = Vec::new();
+    for entry in selected(&args) {
+        let r = measure(entry, &args);
+        println!(
+            "  {:24} {:7} instrs/step {:9.0} -> {:9.0} ({:5.1}% fewer)   ns/step {:10.0} -> {:10.0} ({:4.2}x)",
+            r.model,
+            r.class,
+            r.instrs_raw,
+            r.instrs_opt,
+            (1.0 - r.instrs_opt / r.instrs_raw) * 100.0,
+            r.ns_raw,
+            r.ns_opt,
+            r.ns_raw / r.ns_opt,
+        );
+        rows.push(r);
+    }
+    let instr_ratio = geomean(rows.iter().map(|r| r.instrs_opt / r.instrs_raw));
+    let speedup = geomean(rows.iter().map(|r| r.ns_raw / r.ns_opt));
+    println!(
+        "geomean: {:.1}% fewer executed instrs/step, {speedup:.2}x wall-clock",
+        (1.0 - instr_ratio) * 100.0
+    );
+    write_json(&rows, &args, &args.out);
+}

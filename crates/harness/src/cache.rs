@@ -8,11 +8,14 @@
 //! clones, which are a few refcount bumps since the kernel's program and
 //! LUTs sit behind `Arc` (see `limpet_vm::Kernel`).
 //!
-//! Keys are `(model fingerprint, PipelineKind)`. The fingerprint hashes
-//! the model's full checked structure (name, states, parameters,
-//! statements), so two models that happen to share a name but differ in
-//! content — e.g. synthetic specs with different knobs — occupy distinct
-//! entries.
+//! Keys are `(model fingerprint, PipelineKind, bytecode-opt toggle)`.
+//! The fingerprint hashes the model's full checked structure (name,
+//! states, parameters, statements), so two models that happen to share a
+//! name but differ in content — e.g. synthetic specs with different
+//! knobs — occupy distinct entries. The bytecode-optimizer toggle is
+//! part of the key because `--no-bytecode-opt` changes the compiled
+//! program: an ablation run must not be served a cached optimized
+//! kernel (or vice versa).
 
 use crate::sim::{model_info, storage_layout, PipelineKind};
 use limpet_easyml::Model;
@@ -41,10 +44,26 @@ impl CompiledKernel {
     /// Panics when the module fails bytecode compilation (roster models
     /// are tested not to).
     pub fn compile(model: &Model, config: PipelineKind) -> CompiledKernel {
-        let (module, pass_report) = config.build_with_report(model);
+        let (module, mut pass_report) = config.build_with_report(model);
         let info = model_info(model);
-        let kernel = Kernel::from_module(&module, &info)
+        let opt = limpet_vm::bytecode_opt_enabled();
+        let started = std::time::Instant::now();
+        let (kernel, opt_stats) = Kernel::from_module_opt(&module, &info, opt)
             .unwrap_or_else(|e| panic!("kernel compilation failed for {}: {e}", model.name));
+        // Surface the bytecode optimizer as one more (synthetic) pass so
+        // `Compiled::pass_report()` shows its counters next to the IR
+        // passes. When disabled it still appears, with zero counters, so
+        // ablation reports are visibly "optimizer off" rather than silent.
+        pass_report.passes.push(limpet_pm::PassRun {
+            name: "bytecode-opt",
+            changed: opt_stats.changed(),
+            duration: started.elapsed(),
+            counters: if opt {
+                opt_stats.counters()
+            } else {
+                Vec::new()
+            },
+        });
         let layout = storage_layout(&module);
         CompiledKernel {
             module,
@@ -115,15 +134,15 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// A thread-safe map from `(model fingerprint, PipelineKind)` to compiled
-/// kernels.
+/// A thread-safe map from `(model fingerprint, PipelineKind,
+/// bytecode-opt toggle)` to compiled kernels.
 ///
 /// Compilation happens outside the map lock, so concurrent misses on
 /// *different* keys compile in parallel; concurrent misses on the *same*
 /// key race benignly (first insert wins, the loser's work is dropped).
 #[derive(Debug, Default)]
 pub struct KernelCache {
-    map: Mutex<HashMap<(u64, PipelineKind), Arc<CompiledKernel>>>,
+    map: Mutex<HashMap<(u64, PipelineKind, bool), Arc<CompiledKernel>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     /// When set, every lookup compiles fresh and nothing is stored
@@ -158,7 +177,11 @@ impl KernelCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Arc::new(CompiledKernel::compile(model, config));
         }
-        let key = (model_fingerprint(model), config);
+        let key = (
+            model_fingerprint(model),
+            config,
+            limpet_vm::bytecode_opt_enabled(),
+        );
         if let Some(hit) = self.map.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
@@ -253,6 +276,33 @@ mod tests {
         let c = cache.get_or_compile(&m, PipelineKind::LimpetMlir(VectorIsa::Avx2));
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn bytecode_opt_toggle_is_part_of_the_key() {
+        let cache = KernelCache::new();
+        let m = model("Plonsey");
+        let optimized = cache.get_or_compile(&m, PipelineKind::Baseline);
+        limpet_vm::set_bytecode_opt(false);
+        let plain = cache.get_or_compile(&m, PipelineKind::Baseline);
+        limpet_vm::set_bytecode_opt(true);
+        assert!(
+            !Arc::ptr_eq(&optimized, &plain),
+            "ablation must not reuse the optimized entry"
+        );
+        assert_eq!(cache.stats().entries, 2);
+        // The optimizer shows up as a synthetic pass in the report, with
+        // counters only when it ran.
+        let run = |ck: &CompiledKernel| {
+            ck.pass_report()
+                .passes
+                .iter()
+                .find(|p| p.name == "bytecode-opt")
+                .expect("bytecode-opt pass recorded")
+                .clone()
+        };
+        assert!(!run(&optimized).counters.is_empty());
+        assert!(run(&plain).counters.is_empty());
     }
 
     #[test]

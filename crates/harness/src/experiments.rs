@@ -141,19 +141,54 @@ pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
 
 /// Fig. 2: single-thread baseline vs. limpetMLIR AVX-512.
 pub fn fig2_single_thread(opts: &ExperimentOptions) -> Fig2 {
-    let mut rows = Vec::new();
-    for e in opts.roster() {
-        let m = model(e.name);
-        let tb = measure_run(&m, PipelineKind::Baseline, opts);
-        let tl = measure_run(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
-        rows.push(SpeedupRow {
-            model: e.name.to_owned(),
-            class: e.class.name().to_owned(),
-            baseline: tb,
-            limpet_mlir: tl,
-            speedup: tb / tl,
-        });
-    }
+    fig2_with_jobs(opts, 1)
+}
+
+/// [`fig2_single_thread`] with its measurement loop sharded across
+/// `jobs` worker threads: each roster model is one work cell (compile +
+/// baseline and limpetMLIR timings), pulled from an atomic cursor so a
+/// thread that drew small models keeps working while another chews
+/// through a TenTusscher-class one. Rows land in fixed roster slots, so
+/// the output order (and the CSV) is identical whatever the completion
+/// order; `jobs = 1` is exactly the serial harness.
+///
+/// Concurrent timing trades some isolation for throughput (worker
+/// threads share memory bandwidth), which cancels in the speedup ratio —
+/// both configurations of one model are measured on the same thread —
+/// but use `jobs = 1` when absolute seconds matter.
+pub fn fig2_with_jobs(opts: &ExperimentOptions, jobs: usize) -> Fig2 {
+    let entries = opts.roster();
+    let jobs = jobs.clamp(1, entries.len().max(1));
+    let mut slots: Vec<Option<SpeedupRow>> = Vec::new();
+    slots.resize_with(entries.len(), || None);
+    let slots = std::sync::Mutex::new(slots);
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(e) = entries.get(i) else {
+                    break;
+                };
+                let m = model(e.name);
+                let tb = measure_run(&m, PipelineKind::Baseline, opts);
+                let tl = measure_run(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
+                slots.lock().unwrap()[i] = Some(SpeedupRow {
+                    model: e.name.to_owned(),
+                    class: e.class.name().to_owned(),
+                    baseline: tb,
+                    limpet_mlir: tl,
+                    speedup: tb / tl,
+                });
+            });
+        }
+    });
+    let rows: Vec<SpeedupRow> = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every roster slot measured"))
+        .collect();
     let geomean = geomean(rows.iter().map(|r| r.speedup));
     Fig2 { rows, geomean }
 }
@@ -614,6 +649,32 @@ mod tests {
             assert!(r.speedup.is_finite());
         }
         assert!(f.geomean.is_finite());
+    }
+
+    #[test]
+    fn fig2_parallel_keeps_roster_row_order() {
+        // Three models across three workers: whatever order the threads
+        // finish in, rows come back in roster (small -> large) order with
+        // every slot filled.
+        let opts = tiny_opts(&["Plonsey", "BeelerReuter", "OHara"]);
+        let serial = fig2_with_jobs(&opts, 1);
+        let parallel = fig2_with_jobs(&opts, 3);
+        let expected: Vec<&str> = opts.roster().iter().map(|e| e.name).collect();
+        let got: Vec<&str> = parallel.rows.iter().map(|r| r.model.as_str()).collect();
+        assert_eq!(got, expected);
+        assert_eq!(
+            serial
+                .rows
+                .iter()
+                .map(|r| r.model.as_str())
+                .collect::<Vec<_>>(),
+            expected
+        );
+        for r in &parallel.rows {
+            assert!(r.baseline > 0.0 && r.limpet_mlir > 0.0);
+            assert!(r.speedup.is_finite());
+        }
+        assert!(parallel.geomean.is_finite());
     }
 
     #[test]

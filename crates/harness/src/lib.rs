@@ -19,8 +19,9 @@ pub mod threads;
 
 pub use cache::{all_pipeline_kinds, model_fingerprint, CacheStats, CompiledKernel, KernelCache};
 pub use experiments::{
-    fig2_single_thread, fig3_threads32, fig4_scaling, fig5_isa_threads, fig6_roofline, geomean,
-    icc_comparison, kernel_stats, layout_ablation, lut_ablation, ExperimentOptions, THREAD_COUNTS,
+    fig2_single_thread, fig2_with_jobs, fig3_threads32, fig4_scaling, fig5_isa_threads,
+    fig6_roofline, geomean, icc_comparison, kernel_stats, layout_ablation, lut_ablation,
+    ExperimentOptions, THREAD_COUNTS,
 };
 pub use sim::{model_info, storage_layout, PipelineKind, Simulation, Stimulus, Workload};
 pub use threads::{

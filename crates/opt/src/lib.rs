@@ -39,6 +39,11 @@ OPTIONS:
     --print-ir-before[=pass]  Dump IR to stderr before every pass (or one pass)
     --print-ir-after[=pass]   Dump IR to stderr after every pass (or one pass)
     --timing                  Print a per-pass wall-time/counter table to stderr
+    --emit-bytecode           Print the VM bytecode disassembly of @compute instead
+                              of the module (after the pipeline and the VM's
+                              post-compile bytecode optimizer)
+    --no-bytecode-opt         With --emit-bytecode: skip the bytecode optimizer,
+                              showing the compiler's raw instruction stream
     -h, --help                Show this text
 ";
 
@@ -52,6 +57,8 @@ struct Options {
     print_before: Option<PrintIr>,
     print_after: Option<PrintIr>,
     timing: bool,
+    emit_bytecode: bool,
+    no_bytecode_opt: bool,
     help: bool,
 }
 
@@ -64,6 +71,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--list-passes" => opts.list_passes = true,
             "--no-verify" => opts.no_verify = true,
             "--timing" => opts.timing = true,
+            "--emit-bytecode" => opts.emit_bytecode = true,
+            "--no-bytecode-opt" => opts.no_bytecode_opt = true,
             "--pipeline" => {
                 opts.pipeline = it
                     .next()
@@ -175,7 +184,44 @@ fn try_run(
     if opts.timing {
         write!(stderr, "{}", report.timing_table()).map_err(|e| e.to_string())?;
     }
+    if opts.emit_bytecode {
+        return emit_bytecode(&module, !opts.no_bytecode_opt, stdout);
+    }
     write!(stdout, "{}", limpet_ir::print_module(&module)).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Compiles `@compute` to VM bytecode (variable orders discovered from
+/// the module, as the standalone driver has no model to dictate them),
+/// optionally runs the post-compile bytecode optimizer, and prints the
+/// disassembly with a `// bytecode:` summary header (and the optimizer's
+/// counters when it ran).
+fn emit_bytecode(
+    module: &limpet_ir::Module,
+    optimize: bool,
+    stdout: &mut impl std::io::Write,
+) -> Result<(), String> {
+    let mut program = limpet_vm::compile_program(module, &[], &[], &[])
+        .map_err(|e| format!("bytecode compilation: {e}"))?;
+    if optimize {
+        let stats = limpet_vm::optimize_program(&mut program);
+        let counters: Vec<String> = stats
+            .counters()
+            .iter()
+            .map(|(name, n)| format!("{name}={n}"))
+            .collect();
+        writeln!(stdout, "// bytecode-opt: {}", counters.join(" ")).map_err(|e| e.to_string())?;
+    }
+    writeln!(
+        stdout,
+        "// bytecode: {} instrs, {} f-regs, {} b-regs, {} i-regs",
+        program.instrs.len(),
+        program.n_fregs,
+        program.n_bregs,
+        program.n_iregs
+    )
+    .map_err(|e| e.to_string())?;
+    write!(stdout, "{}", program.disassemble()).map_err(|e| e.to_string())?;
     Ok(())
 }
 

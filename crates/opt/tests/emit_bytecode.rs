@@ -1,0 +1,71 @@
+//! FileCheck-lite golden test for `limpet-opt --emit-bytecode`: the VM's
+//! post-compile bytecode optimizer must fuse a mul feeding a single add
+//! into one `fma` superinstruction, and `--no-bytecode-opt` must show the
+//! compiler's raw mul/add stream.
+
+use limpet_pm::filecheck;
+
+/// A kernel whose bytecode is three state loads, a mul, an add, and a
+/// store — the canonical Fma fusion shape.
+const INPUT: &str = r#"
+module @fma_kernel {
+  func.func @compute() {
+    %0 = limpet.get_state {var = "a"} : f64
+    %1 = limpet.get_state {var = "b"} : f64
+    %2 = limpet.get_state {var = "c"} : f64
+    %3 = arith.mulf %0, %1 : f64
+    %4 = arith.addf %3, %2 : f64
+    limpet.set_state %4 {var = "c"} : f64
+    func.return
+  }
+}
+"#;
+
+/// CHECK directives against the optimized disassembly: the counter line
+/// reports one fusion, the listing holds an `fma`, and no separate
+/// mul/add instruction survives.
+const CHECKS_OPT: &str = "
+// CHECK: fma-fused=1
+// CHECK: // bytecode:
+// CHECK: = fma(
+// CHECK-NOT: = Mul(
+// CHECK-NOT: = Add(
+";
+
+/// With the optimizer off the raw stream keeps the mul and add and no
+/// `fma` or counter line appears.
+const CHECKS_RAW: &str = "
+// CHECK: // bytecode:
+// CHECK: = Mul(
+// CHECK-NEXT: = Add(
+// CHECK-NOT: = fma(
+// CHECK-NOT: bytecode-opt:
+";
+
+fn emit(extra: &[&str]) -> String {
+    let path = std::env::temp_dir().join(format!(
+        "limpet-opt-emit-bytecode-{}-{:?}.mlir",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, INPUT).unwrap();
+    let mut args: Vec<String> = vec!["--emit-bytecode".into(), path.display().to_string()];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let (mut out, mut err) = (Vec::new(), Vec::new());
+    let code = limpet_opt::run(&args, &mut out, &mut err);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(code, 0, "stderr: {}", String::from_utf8_lossy(&err));
+    String::from_utf8(out).unwrap()
+}
+
+#[test]
+fn optimizer_fuses_mul_add_into_fma() {
+    let output = emit(&[]);
+    filecheck::check(&output, CHECKS_OPT).unwrap_or_else(|e| panic!("{e}\noutput:\n{output}"));
+}
+
+#[test]
+fn no_bytecode_opt_shows_raw_mul_add_stream() {
+    let output = emit(&["--no-bytecode-opt"]);
+    filecheck::check(&output, CHECKS_RAW).unwrap_or_else(|e| panic!("{e}\noutput:\n{output}"));
+}

@@ -131,10 +131,16 @@ pub fn parse_pipeline(text: &str) -> Result<PassManager, PipelineParseError> {
 }
 
 /// The textual form of [`standard_pipeline`] at vector width `width`.
+///
+/// The post-vectorization cleanup runs under `fixpoint(...)` — each of
+/// `const-prop`, `cse`, and `dce` can expose work for the others, so the
+/// group reruns until no pass reports a change instead of hand-sequencing
+/// one extra `cse,dce` round and hoping that was enough.
 pub fn standard_pipeline_text(width: u32) -> String {
     if width > 1 {
         format!(
-            "const-prop,canonicalize,cse,licm,dce,vectorize{{width={width}}},cse,dce,fma-contract"
+            "const-prop,canonicalize,cse,licm,dce,vectorize{{width={width}}},\
+             fixpoint(const-prop,cse,dce),fma-contract"
         )
     } else {
         "const-prop,canonicalize,cse,licm,dce,fma-contract".to_owned()
@@ -143,7 +149,8 @@ pub fn standard_pipeline_text(width: u32) -> String {
 
 /// The limpetMLIR optimization pipeline at vector width `width`:
 /// preprocessor (constant propagation), canonicalization, CSE, LICM, DCE,
-/// then vectorization followed by a cleanup round.
+/// then vectorization followed by a fixpoint cleanup group (constant
+/// propagation, CSE, DCE rerun to convergence).
 ///
 /// Width 1 yields a scalar-optimized module (no vectorization). The
 /// pipeline is built through the textual parser and [`registry()`], so it
@@ -187,13 +194,13 @@ mod tests {
                 "licm",
                 "dce",
                 "vectorize",
-                "cse",
-                "dce",
+                "fixpoint",
                 "fma-contract"
             ]
         );
         let scalar = standard_pipeline(1);
         assert!(!scalar.pass_names().contains(&"vectorize"));
+        assert!(!scalar.pass_names().contains(&"fixpoint"));
     }
 
     #[test]

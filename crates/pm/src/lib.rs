@@ -278,6 +278,84 @@ impl fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
+/// A pipeline combinator that reruns its body until no inner pass
+/// reports a change (or an iteration cap is hit) — MLIR's analogue is
+/// iterating a `FrozenRewritePatternSet` to convergence.
+///
+/// The pipeline text form is `fixpoint{max=N}(pass,pass,...)`; see
+/// [`PassRegistry::parse_pipeline`]. Inner counters are merged into the
+/// combinator's own counter set across iterations, plus an `iterations`
+/// counter, so a `RunReport` shows the total work done under the
+/// fixpoint. Inner passes are not individually verified — with
+/// [`PassManager::verify_each`] enabled the module is checked after the
+/// whole fixpoint converges, like any other pass.
+///
+/// # Examples
+///
+/// ```
+/// use limpet_pm::{Fixpoint, Pass, PassCtx};
+/// let fp = Fixpoint::new(Vec::new(), 10);
+/// assert_eq!(fp.name(), "fixpoint");
+/// let mut module = limpet_ir::Module::new("m");
+/// let mut ctx = PassCtx::default();
+/// assert!(!fp.run(&mut module, &mut ctx)); // empty body: one quiet pass
+/// ```
+#[derive(Debug)]
+pub struct Fixpoint {
+    inner: Vec<Box<dyn Pass>>,
+    max_iterations: u32,
+}
+
+impl Fixpoint {
+    /// The default iteration cap (a safety net against oscillating
+    /// passes; well above what converging pipelines need).
+    pub const DEFAULT_MAX: u32 = 10;
+
+    /// Creates a fixpoint over `inner`, stopping after `max_iterations`
+    /// even without convergence (clamped to at least 1).
+    pub fn new(inner: Vec<Box<dyn Pass>>, max_iterations: u32) -> Fixpoint {
+        Fixpoint {
+            inner,
+            max_iterations: max_iterations.max(1),
+        }
+    }
+
+    /// The names of the body passes, in order.
+    pub fn inner_names(&self) -> Vec<&'static str> {
+        self.inner.iter().map(|p| p.name()).collect()
+    }
+}
+
+impl Pass for Fixpoint {
+    fn name(&self) -> &'static str {
+        "fixpoint"
+    }
+
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx) -> bool {
+        let mut changed_any = false;
+        let mut iterations = 0u64;
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            let mut changed_this_round = false;
+            for pass in &self.inner {
+                let mut inner_ctx = PassCtx::default();
+                if pass.run(module, &mut inner_ctx) {
+                    changed_this_round = true;
+                }
+                for &(stat, n) in inner_ctx.counters() {
+                    ctx.count(stat, n);
+                }
+            }
+            if !changed_this_round {
+                break;
+            }
+            changed_any = true;
+        }
+        ctx.count("iterations", iterations);
+        changed_any
+    }
+}
+
 /// Runs an ordered sequence of passes over a module, with optional
 /// inter-pass verification and instrumentation.
 ///

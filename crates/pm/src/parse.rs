@@ -5,12 +5,15 @@
 //!
 //! ```text
 //! pipeline := pass ("," pass)*            (empty text = empty pipeline)
-//! pass     := name ("{" opt ("," opt)* "}")?
+//! pass     := name ("{" opt ("," opt)* "}")? ("(" pipeline ")")?
 //! name     := [A-Za-z0-9_-]+
 //! opt      := key "=" value
 //! ```
 //!
-//! e.g. `"const-prop,lut-mode,vectorize{width=4}"`.
+//! e.g. `"const-prop,lut-mode,vectorize{width=4}"`. The parenthesized
+//! form nests a sub-pipeline under a combinator pass — currently only
+//! `fixpoint(...)`, e.g. `"fixpoint{max=10}(const-prop,cse,dce)"`, which
+//! reruns its body until no pass reports a change.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -115,6 +118,9 @@ pub struct PassSpec {
     pub name: String,
     /// The `{...}` options (empty when none were written).
     pub options: PassOptions,
+    /// The `(...)` sub-pipeline for combinator passes like `fixpoint`
+    /// (empty for ordinary passes).
+    pub nested: Vec<PassSpec>,
 }
 
 /// Parses a pipeline description into pass specs (no registry lookup).
@@ -196,10 +202,40 @@ fn parse_one_pass(text: &str) -> Result<(PassSpec, &str), PipelineParseError> {
     } else {
         rest
     };
+    let mut nested = Vec::new();
+    let tail = if let Some(body) = tail.trim_start().strip_prefix('(') {
+        // Find the matching ')' by depth so nested combinators parse.
+        let mut depth = 1usize;
+        let close = body
+            .char_indices()
+            .find_map(|(i, c)| {
+                match c {
+                    '(' => depth += 1,
+                    ')' => depth -= 1,
+                    _ => {}
+                }
+                (depth == 0).then_some(i)
+            })
+            .ok_or_else(|| {
+                PipelineParseError::new(format!(
+                    "unterminated '(' in sub-pipeline of pass '{name}'"
+                ))
+            })?;
+        nested = parse_pipeline_spec(&body[..close])?;
+        if nested.is_empty() {
+            return Err(PipelineParseError::new(format!(
+                "empty sub-pipeline '()' on pass '{name}'"
+            )));
+        }
+        &body[close + 1..]
+    } else {
+        tail
+    };
     Ok((
         PassSpec {
             name: name.to_owned(),
             options,
+            nested,
         },
         tail,
     ))
@@ -240,9 +276,28 @@ mod tests {
             "vectorize{width}",
             "vectorize{width=4",
             "a b",
+            "fixpoint(cse",
+            "fixpoint()",
+            "fixpoint(cse,)",
         ] {
             assert!(parse_pipeline_spec(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parses_nested_sub_pipelines() {
+        let specs = parse_pipeline_spec("fixpoint{max=4}(const-prop, cse, dce), lut-mode").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "fixpoint");
+        assert_eq!(specs[0].options.str_of("max"), Some("4"));
+        let inner: Vec<&str> = specs[0].nested.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(inner, ["const-prop", "cse", "dce"]);
+        assert!(specs[1].nested.is_empty());
+
+        // Nesting recurses, and options survive inside the body.
+        let specs = parse_pipeline_spec("fixpoint(fixpoint(cse),vectorize{width=2})").unwrap();
+        assert_eq!(specs[0].nested[0].nested[0].name, "cse");
+        assert_eq!(specs[0].nested[1].options.str_of("width"), Some("2"));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The pass registry: passes self-register by name so pipelines can be
 //! built from textual descriptions (`limpet-opt --pipeline "..."`).
 
-use crate::parse::{parse_pipeline_spec, PassOptions, PipelineParseError};
-use crate::{Pass, PassManager};
+use crate::parse::{parse_pipeline_spec, PassOptions, PassSpec, PipelineParseError};
+use crate::{Fixpoint, Pass, PassManager};
 use std::collections::BTreeMap;
 
 /// Constructs one pass instance from its parsed options.
@@ -93,15 +93,49 @@ impl PassRegistry {
     /// [`PassManager`] (verification and dumps at their defaults; callers
     /// configure the returned manager).
     ///
+    /// The combinator `fixpoint{max=N}(pass,...)` is handled here rather
+    /// than by a factory: its body is built recursively through this
+    /// registry and wrapped in a [`Fixpoint`].
+    ///
     /// # Errors
     ///
-    /// Errors on malformed text, unknown passes, or bad options.
+    /// Errors on malformed text, unknown passes, bad options, or a
+    /// `(...)` sub-pipeline attached to a non-combinator pass.
     pub fn parse_pipeline(&self, text: &str) -> Result<PassManager, PipelineParseError> {
         let mut pm = PassManager::new();
         for spec in parse_pipeline_spec(text)? {
-            pm.add_boxed(self.create(&spec.name, &spec.options)?);
+            pm.add_boxed(self.build(&spec)?);
         }
         Ok(pm)
+    }
+
+    /// Builds one pass from a parsed spec (recursing into combinators).
+    fn build(&self, spec: &PassSpec) -> Result<Box<dyn Pass>, PipelineParseError> {
+        if spec.name == "fixpoint" {
+            if spec.nested.is_empty() {
+                return Err(PipelineParseError::new(
+                    "'fixpoint' requires a sub-pipeline, e.g. fixpoint(const-prop,cse,dce)",
+                ));
+            }
+            spec.options.expect_only("fixpoint", &["max"])?;
+            let max = match spec.options.str_of("max") {
+                Some(_) => spec.options.u32_of("fixpoint", "max")?,
+                None => Fixpoint::DEFAULT_MAX,
+            };
+            let inner = spec
+                .nested
+                .iter()
+                .map(|s| self.build(s))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Box::new(Fixpoint::new(inner, max)));
+        }
+        if !spec.nested.is_empty() {
+            return Err(PipelineParseError::new(format!(
+                "pass '{}' does not take a '(...)' sub-pipeline (only 'fixpoint' does)",
+                spec.name
+            )));
+        }
+        self.create(&spec.name, &spec.options)
     }
 }
 
@@ -148,6 +182,64 @@ mod tests {
         assert!(err.to_string().contains("unknown pass 'nope'"), "{err}");
         assert!(r.parse_pipeline("widen").is_err(), "missing width accepted");
         assert!(r.parse_pipeline("widen{width=4,x=1}").is_err());
+    }
+
+    /// Increments a module attribute until it reaches the pass's target,
+    /// reporting "changed" while it moves — a convergence workload.
+    #[derive(Debug)]
+    struct CountUpTo(i64);
+    impl Pass for CountUpTo {
+        fn name(&self) -> &'static str {
+            "count-up"
+        }
+        fn run(&self, module: &mut Module, ctx: &mut PassCtx) -> bool {
+            let cur = module.attrs.i64_of("n").unwrap_or(0);
+            ctx.count("visits", 1);
+            if cur < self.0 {
+                module.attrs.set("n", cur + 1);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_reruns_body_until_quiet() {
+        let mut r = registry();
+        r.register("count-up", |opts| {
+            opts.expect_only("count-up", &[])?;
+            Ok(Box::new(CountUpTo(3)))
+        });
+        let pm = r.parse_pipeline("fixpoint(count-up)").unwrap();
+        assert_eq!(pm.pass_names(), ["fixpoint"]);
+        let mut m = Module::new("t");
+        let report = pm.run(&mut m).unwrap();
+        assert_eq!(m.attrs.i64_of("n"), Some(3));
+        // 3 changing iterations + 1 quiet one to observe convergence.
+        assert_eq!(report.counter("fixpoint", "iterations"), Some(4));
+        assert_eq!(report.counter("fixpoint", "visits"), Some(4));
+        assert!(report.passes[0].changed);
+
+        // The cap bounds runaway bodies.
+        let pm = r.parse_pipeline("fixpoint{max=2}(count-up)").unwrap();
+        let mut m = Module::new("t");
+        let report = pm.run(&mut m).unwrap();
+        assert_eq!(m.attrs.i64_of("n"), Some(2));
+        assert_eq!(report.counter("fixpoint", "iterations"), Some(2));
+    }
+
+    #[test]
+    fn fixpoint_misuse_errors() {
+        let r = registry();
+        assert!(r.parse_pipeline("fixpoint").is_err(), "missing body");
+        let err = r
+            .parse_pipeline("widen{width=2}(widen{width=2})")
+            .unwrap_err();
+        assert!(err.to_string().contains("sub-pipeline"), "{err}");
+        assert!(r
+            .parse_pipeline("fixpoint{bogus=1}(widen{width=2})")
+            .is_err());
     }
 
     #[test]

@@ -83,6 +83,29 @@ pub enum Instr {
     StoreParentState { src: u16, var: u16 },
     /// `f[dst] = f[a] ⊕ f[b]`
     BinF { op: FBin, dst: u16, a: u16, b: u16 },
+    /// `f[dst] = f[a] ⊕ splat(k)` — constant right operand, one register
+    /// read fewer than [`Instr::BinF`] (optimizer-only; the compiler never
+    /// emits it).
+    BinFK { op: FBin, dst: u16, a: u16, k: f64 },
+    /// `f[dst] = splat(k) ⊕ f[a]` — constant left operand, for
+    /// non-commutative ops like `1.0 - x` (optimizer-only).
+    BinKF { op: FBin, dst: u16, k: f64, a: u16 },
+    /// `f[dst][lane] = state[cell0+lane][var] ⊕ f[b][lane]` — fused
+    /// load-op (optimizer-only).
+    LoadStateOp {
+        op: FBin,
+        dst: u16,
+        var: u16,
+        b: u16,
+    },
+    /// `f[dst][lane] = ext[var][cell0+lane] ⊕ f[b][lane]` — fused
+    /// load-op (optimizer-only).
+    LoadExtOp {
+        op: FBin,
+        dst: u16,
+        var: u16,
+        b: u16,
+    },
     /// `f[dst] = -f[a]`
     NegF { dst: u16, a: u16 },
     /// `f[dst] = f[a]*f[b] + f[c]`
@@ -253,6 +276,18 @@ impl Program {
                 ),
                 Instr::BinF { op, dst, a, b } => {
                     writeln!(out, "f{dst} = {op:?}(f{a}, f{b})")
+                }
+                Instr::BinFK { op, dst, a, k } => {
+                    writeln!(out, "f{dst} = {op:?}(f{a}, const {k})")
+                }
+                Instr::BinKF { op, dst, k, a } => {
+                    writeln!(out, "f{dst} = {op:?}(const {k}, f{a})")
+                }
+                Instr::LoadStateOp { op, dst, var, b } => {
+                    writeln!(out, "f{dst} = {op:?}(load state.{}, f{b})", state(*var))
+                }
+                Instr::LoadExtOp { op, dst, var, b } => {
+                    writeln!(out, "f{dst} = {op:?}(load ext.{}, f{b})", ext(*var))
                 }
                 Instr::NegF { dst, a } => writeln!(out, "f{dst} = -f{a}"),
                 Instr::FmaF { dst, a, b, c } => {

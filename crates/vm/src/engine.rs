@@ -134,12 +134,29 @@ impl Kernel {
     /// Returns [`CompileError`] when the module cannot be expressed in
     /// bytecode or a LUT function fails to evaluate.
     pub fn from_module(module: &Module, info: &ModelInfo) -> Result<Kernel, CompileError> {
+        Kernel::from_module_opt(module, info, crate::optimize::bytecode_opt_enabled())
+            .map(|(kernel, _)| kernel)
+    }
+
+    /// Like [`Kernel::from_module`] but with explicit control over the
+    /// bytecode optimizer (ignoring the process-global toggle), also
+    /// returning the optimizer's counters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Kernel::from_module`].
+    pub fn from_module_opt(
+        module: &Module,
+        info: &ModelInfo,
+        optimize: bool,
+    ) -> Result<(Kernel, crate::optimize::OptStats), CompileError> {
         let width = module.attrs.i64_of("vector_width").unwrap_or(1) as usize;
         if !matches!(width, 1 | 2 | 4 | 8) {
             return Err(CompileError(format!("unsupported vector width {width}")));
         }
         let param_names: Vec<String> = info.params.iter().map(|(n, _)| n.clone()).collect();
-        let program = compile_program(module, &info.state_names, &info.ext_names, &param_names)?;
+        let mut program =
+            compile_program(module, &info.state_names, &info.ext_names, &param_names)?;
         // The kernel must only touch variables the storage binding covers;
         // extra names would index out of bounds at runtime.
         if program.state_vars.len() > info.state_names.len() {
@@ -154,6 +171,11 @@ impl Kernel {
                 "kernel references external variable(s) {unknown:?} not in the model binding"
             )));
         }
+        let stats = if optimize {
+            crate::optimize::optimize_program(&mut program)
+        } else {
+            crate::optimize::OptStats::default()
+        };
         let param_map: HashMap<&str, f64> =
             info.params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
         let param_values: Vec<f64> = program
@@ -193,14 +215,42 @@ impl Kernel {
             luts.push(table);
         }
 
-        Ok(Kernel {
-            name: module.name().into(),
+        Ok((
+            Kernel {
+                name: module.name().into(),
+                program: Arc::new(program),
+                width,
+                param_values: param_values.into(),
+                luts: luts.into(),
+                info: Arc::new(info.clone()),
+            },
+            stats,
+        ))
+    }
+
+    /// Compiles the optimized and the unoptimized kernel of one module
+    /// in a single call, sharing the lookup-table tabulation and
+    /// parameter binding between them (tabulation evaluates the `@lut_*`
+    /// functions over thousands of keys — the expensive half of kernel
+    /// construction, and identical whichever way the toggle points).
+    /// Returns `(optimized, its stats, unoptimized)` — the pair
+    /// differential opt-on/off comparisons and ablation benchmarks need.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Kernel::from_module`].
+    pub fn from_module_both(
+        module: &Module,
+        info: &ModelInfo,
+    ) -> Result<(Kernel, crate::optimize::OptStats, Kernel), CompileError> {
+        let (raw, _) = Kernel::from_module_opt(module, info, false)?;
+        let mut program = (*raw.program).clone();
+        let stats = crate::optimize::optimize_program(&mut program);
+        let opt = Kernel {
             program: Arc::new(program),
-            width,
-            param_values: param_values.into(),
-            luts: luts.into(),
-            info: Arc::new(info.clone()),
-        })
+            ..raw.clone()
+        };
+        Ok((opt, stats, raw))
     }
 
     /// Whether two kernels share the same underlying compilation (the
@@ -490,46 +540,42 @@ impl Kernel {
                 Instr::BinF { op, dst, a, b } => {
                     let av = fb!(*a);
                     let bv = fb!(*b);
-                    let mut out = [0.0f64; W];
-                    match op {
-                        FBin::Add => {
-                            for i in 0..W {
-                                out[i] = av[i] + bv[i];
-                            }
-                        }
-                        FBin::Sub => {
-                            for i in 0..W {
-                                out[i] = av[i] - bv[i];
-                            }
-                        }
-                        FBin::Mul => {
-                            for i in 0..W {
-                                out[i] = av[i] * bv[i];
-                            }
-                        }
-                        FBin::Div => {
-                            for i in 0..W {
-                                out[i] = av[i] / bv[i];
-                            }
-                        }
-                        FBin::Rem => {
-                            for i in 0..W {
-                                out[i] = av[i] % bv[i];
-                            }
-                        }
-                        FBin::Min => {
-                            for i in 0..W {
-                                out[i] = av[i].min(bv[i]);
-                            }
-                        }
-                        FBin::Max => {
-                            for i in 0..W {
-                                out[i] = av[i].max(bv[i]);
-                            }
-                        }
-                    }
-                    fw!(*dst, out);
+                    fw!(*dst, fbin_block::<W>(*op, &av, &bv));
                     if COUNT {
+                        prof.flops += W as u64;
+                    }
+                }
+                Instr::BinFK { op, dst, a, k } => {
+                    let av = fb!(*a);
+                    fw!(*dst, fbin_block::<W>(*op, &av, &[*k; W]));
+                    if COUNT {
+                        prof.flops += W as u64;
+                    }
+                }
+                Instr::BinKF { op, dst, k, a } => {
+                    let av = fb!(*a);
+                    fw!(*dst, fbin_block::<W>(*op, &[*k; W], &av));
+                    if COUNT {
+                        prof.flops += W as u64;
+                    }
+                }
+                Instr::LoadStateOp { op, dst, var, b } => {
+                    let mut lv = [0.0f64; W];
+                    state.load_block(cell0, *var as usize, &mut lv);
+                    let bv = fb!(*b);
+                    fw!(*dst, fbin_block::<W>(*op, &lv, &bv));
+                    if COUNT {
+                        prof.bytes_read += 8 * W as u64;
+                        prof.flops += W as u64;
+                    }
+                }
+                Instr::LoadExtOp { op, dst, var, b } => {
+                    let mut lv = [0.0f64; W];
+                    ext.load_block(cell0, *var as usize, &mut lv);
+                    let bv = fb!(*b);
+                    fw!(*dst, fbin_block::<W>(*op, &lv, &bv));
+                    if COUNT {
+                        prof.bytes_read += 8 * W as u64;
                         prof.flops += W as u64;
                     }
                 }
@@ -726,6 +772,53 @@ impl RegFile {
             i: vec![0; p.n_iregs.max(1)],
         }
     }
+}
+
+/// Elementwise float binop over one `W`-lane block. Shared by the plain,
+/// constant-operand, and load-op dispatch arms so every form computes
+/// bit-identical results; the `op` match is loop-invariant and hoisted,
+/// leaving the per-lane loops free to vectorize.
+#[inline(always)]
+fn fbin_block<const W: usize>(op: FBin, a: &[f64; W], b: &[f64; W]) -> [f64; W] {
+    let mut out = [0.0f64; W];
+    match op {
+        FBin::Add => {
+            for i in 0..W {
+                out[i] = a[i] + b[i];
+            }
+        }
+        FBin::Sub => {
+            for i in 0..W {
+                out[i] = a[i] - b[i];
+            }
+        }
+        FBin::Mul => {
+            for i in 0..W {
+                out[i] = a[i] * b[i];
+            }
+        }
+        FBin::Div => {
+            for i in 0..W {
+                out[i] = a[i] / b[i];
+            }
+        }
+        FBin::Rem => {
+            for i in 0..W {
+                out[i] = a[i] % b[i];
+            }
+        }
+        FBin::Min => {
+            for i in 0..W {
+                out[i] = a[i].min(b[i]);
+            }
+        }
+        FBin::Max => {
+            for i in 0..W {
+                out[i] = a[i].max(b[i]);
+            }
+        }
+    }
+    out
 }
 
 /// Applies a unary math function to a lane block: `std` per lane at
@@ -1012,5 +1105,40 @@ mod tests {
         k.run_range(&mut st, &mut ext, None, ctx, 0, 8);
         assert_eq!(st.get(0, 0), 2.0);
         assert_eq!(st.get(8, 0), 1.0);
+    }
+
+    #[test]
+    fn from_module_both_matches_separate_compiles() {
+        let mut m = Module::new("t");
+        let mut f = Func::new("compute", &[], &[]);
+        let mut b = Builder::new(&mut f);
+        let x = b.get_state("x");
+        let y = b.get_state("y");
+        let p = b.mulf(x, y);
+        let s = b.addf(p, x);
+        b.set_state("x", s);
+        b.ret(&[]);
+        m.add_func(f);
+        let info = ModelInfo {
+            state_names: vec!["x".into(), "y".into()],
+            state_inits: vec![1.0, 2.0],
+            ext_names: vec![],
+            ext_inits: vec![],
+            params: vec![],
+        };
+        let (opt, stats, raw) = Kernel::from_module_both(&m, &info).unwrap();
+        let (opt2, stats2) = Kernel::from_module_opt(&m, &info, true).unwrap();
+        let (raw2, _) = Kernel::from_module_opt(&m, &info, false).unwrap();
+        assert_eq!(*opt.program, *opt2.program);
+        assert_eq!(*raw.program, *raw2.program);
+        assert_eq!(stats, stats2);
+        // Greedy fusion turns `load y` + `mul` into a load-op here.
+        assert!(
+            stats.changed() && stats.instrs_after < stats.instrs_before,
+            "{stats:?}"
+        );
+        // The pair shares one LUT tabulation, not one program.
+        assert!(Arc::ptr_eq(&opt.luts, &raw.luts));
+        assert!(!opt.shares_compilation(&raw));
     }
 }

@@ -47,6 +47,7 @@ mod bytecode;
 mod engine;
 mod eval;
 mod lut;
+mod optimize;
 mod state;
 // rustfmt's width-fitting is superlinear on this file as a whole (minutes of
 // CPU on 500 lines, though any subset formats instantly); skip it so
@@ -58,4 +59,5 @@ pub use bytecode::{compile_program, BBin, CompileError, FBin, IBin, Instr, Progr
 pub use engine::{Kernel, ModelInfo, ParentView, Profile, SimContext};
 pub use eval::{eval_func, EvalContext, EvalError, ParamOnlyContext, Val};
 pub use lut::LutData;
+pub use optimize::{bytecode_opt_enabled, optimize_program, set_bytecode_opt, OptStats};
 pub use state::{CellStates, ExtArrays, StateLayout};

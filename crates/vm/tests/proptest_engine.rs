@@ -370,4 +370,75 @@ proptest! {
             }
         }
     }
+
+    /// The bytecode optimizer must be bit-exact on arbitrary synthetic
+    /// IR, not just roster models: same program, optimizer on vs off,
+    /// identical `CellStates` and ext arrays to the last bit.
+    #[test]
+    fn bytecode_optimizer_is_bit_exact_on_random_ir(
+        recipes in prop::collection::vec(recipe(), 1..30),
+        seeds in prop::collection::vec(-10.0f64..10.0, 8),
+    ) {
+        let module = make_module(&recipes);
+        limpet_ir::verify_module(&module).expect("generated module verifies");
+        let info = ModelInfo {
+            state_names: STATE_VARS.iter().map(|s| s.to_string()).collect(),
+            state_inits: vec![0.0; 4],
+            ext_names: EXT_VARS.iter().map(|s| s.to_string()).collect(),
+            ext_inits: vec![0.0; 2],
+            params: PARAMS.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        };
+        let n_cells = 8;
+        let ctx = SimContext { dt: 0.02, t: 1.5 };
+
+        for width in [1u32, 4, 8] {
+            let mut m = module.clone();
+            let pm = limpet_passes::standard_pipeline(width);
+            pm.run(&mut m).expect("pipeline runs");
+            let (opt, stats) =
+                Kernel::from_module_opt(&m, &info, true).expect("optimized compile");
+            let (unopt, _) =
+                Kernel::from_module_opt(&m, &info, false).expect("unoptimized compile");
+            prop_assert!(stats.instrs_after <= stats.instrs_before);
+
+            let layout = if width == 1 {
+                StateLayout::Aos
+            } else {
+                StateLayout::AoSoA { block: width as usize }
+            };
+            let run = |kernel: &Kernel| {
+                let mut st: CellStates = kernel.new_states(n_cells, layout);
+                let mut ext: ExtArrays = kernel.new_ext(n_cells);
+                for cell in 0..n_cells {
+                    for v in 0..4 {
+                        st.set(cell, v, seeds[cell] * 0.5 + v as f64 * 0.25);
+                    }
+                    ext.set(cell, 0, seeds[cell]);
+                    ext.set(cell, 1, seeds[cell]);
+                }
+                kernel.run_step(&mut st, &mut ext, None, ctx);
+                (st, ext)
+            };
+            let (st_opt, ext_opt) = run(&opt);
+            let (st_ref, ext_ref) = run(&unopt);
+            for cell in 0..n_cells {
+                for (v, name) in STATE_VARS.iter().enumerate() {
+                    prop_assert_eq!(
+                        st_opt.get(cell, v).to_bits(),
+                        st_ref.get(cell, v).to_bits(),
+                        "width {}, cell {}, state {}: optimized {} vs reference {}",
+                        width, cell, name, st_opt.get(cell, v), st_ref.get(cell, v)
+                    );
+                }
+                for (v, name) in EXT_VARS.iter().enumerate() {
+                    prop_assert_eq!(
+                        ext_opt.get(cell, v).to_bits(),
+                        ext_ref.get(cell, v).to_bits(),
+                        "width {}, cell {}, ext {}: optimized {} vs reference {}",
+                        width, cell, name, ext_opt.get(cell, v), ext_ref.get(cell, v)
+                    );
+                }
+            }
+        }
+    }
 }

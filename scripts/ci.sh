@@ -23,6 +23,11 @@ cargo test -q
 echo "==> FileCheck-lite golden pass tests"
 cargo test -q -p limpet-pm --test filecheck_golden
 
+echo "==> vm_dispatch bench smoke (bytecode-optimizer regression gate)"
+# Recomputes the deterministic executed-instrs/step of a 3-model subset
+# and fails if any optimized count regressed above BENCH_vm_dispatch.json.
+./target/release/vm_dispatch --check --models HodgkinHuxley,BeelerReuter,TenTusscherPanfilov
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
