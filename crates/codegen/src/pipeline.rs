@@ -15,7 +15,7 @@
 use crate::lower::{lower_model, CodegenOptions, Lowered};
 use limpet_easyml::Model;
 use limpet_ir::Module;
-use limpet_passes::{standard_pipeline_text, RunReport};
+use limpet_passes::{standard_pipeline_text, PipelineError, RunReport};
 
 /// A vector instruction set of the evaluation platform (paper §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,27 +93,36 @@ pub fn baseline(model: &Model) -> Lowered {
 
 /// [`baseline`], also returning the pass manager's execution report.
 pub fn baseline_with_report(model: &Model) -> (Lowered, RunReport) {
-    let mut lowered = lower_model(model, &CodegenOptions { use_lut: true });
-    let report = apply_pipeline(&mut lowered.module, "scalar-lut-mode");
-    lowered.module.attrs.set("layout", Layout::Aos.attr_value());
-    lowered.module.attrs.set("pipeline", "baseline");
-    (lowered, report)
+    try_baseline_with_report(model).unwrap_or_else(|e| panic!("baseline pipeline failed: {e}"))
 }
 
-/// Parses `text` through the workspace pass registry and runs it over the
-/// module with verify-after-each-pass enabled.
-///
-/// # Panics
-///
-/// Panics when the text does not parse (in-tree pipeline descriptions are
-/// constants) or when a pass breaks IR invariants — a compiler bug, not a
-/// user error.
-fn apply_pipeline(module: &mut Module, text: &str) -> RunReport {
+/// Non-panicking [`baseline_with_report`]: pipeline verification failures
+/// come back as a structured [`PipelineError`].
+pub fn try_baseline_with_report(model: &Model) -> Result<(Lowered, RunReport), PipelineError> {
+    let mut lowered = lower_model(model, &CodegenOptions { use_lut: true });
+    let report = try_apply_pipeline(&mut lowered.module, "scalar-lut-mode")?;
+    lowered.module.attrs.set("layout", Layout::Aos.attr_value());
+    lowered.module.attrs.set("pipeline", "baseline");
+    Ok((lowered, report))
+}
+
+/// Non-panicking variant of the pipeline applier: parses `text` through
+/// the workspace registry and runs it with verify-after-each-pass, handing
+/// verification failures back as a structured [`PipelineError`] instead of
+/// aborting the process. Pipeline *texts* are still in-tree constants, so
+/// a parse failure of the text itself remains a panic.
+pub fn try_apply_pipeline(module: &mut Module, text: &str) -> Result<RunReport, PipelineError> {
     let mut pm = limpet_passes::parse_pipeline(text)
         .unwrap_or_else(|e| panic!("in-tree pipeline '{text}' failed to parse: {e}"));
     pm.verify_each(true);
     pm.run(module)
-        .unwrap_or_else(|e| panic!("pipeline '{text}' failed: {e}"))
+}
+
+/// The pipeline text a [`crate::pipeline`] builder would run for the
+/// limpetMLIR configuration at `lanes` lanes — exposed so fault-tolerant
+/// callers can re-run or inspect the exact pass sequence.
+pub fn standard_text(lanes: u32) -> String {
+    standard_pipeline_text(lanes)
 }
 
 /// Builds the limpetMLIR module at the given ISA width and layout.
@@ -137,11 +146,21 @@ pub fn limpet_mlir_with_report(
     isa: VectorIsa,
     layout: Layout,
 ) -> (Lowered, RunReport) {
+    try_limpet_mlir_with_report(model, isa, layout)
+        .unwrap_or_else(|e| panic!("limpetMLIR pipeline failed: {e}"))
+}
+
+/// Non-panicking [`limpet_mlir_with_report`].
+pub fn try_limpet_mlir_with_report(
+    model: &Model,
+    isa: VectorIsa,
+    layout: Layout,
+) -> Result<(Lowered, RunReport), PipelineError> {
     let mut lowered = lower_model(model, &CodegenOptions { use_lut: true });
-    let report = apply_pipeline(&mut lowered.module, &standard_pipeline_text(isa.lanes()));
+    let report = try_apply_pipeline(&mut lowered.module, &standard_pipeline_text(isa.lanes()))?;
     lowered.module.attrs.set("layout", layout.attr_value());
     lowered.module.attrs.set("pipeline", "limpetMLIR");
-    (lowered, report)
+    Ok((lowered, report))
 }
 
 /// Builds the "compiler auto-SIMD" module of §5 (icc with `omp simd`):
@@ -152,14 +171,23 @@ pub fn compiler_simd(model: &Model, isa: VectorIsa) -> Lowered {
 
 /// [`compiler_simd`], also returning the pass manager's execution report.
 pub fn compiler_simd_with_report(model: &Model, isa: VectorIsa) -> (Lowered, RunReport) {
+    try_compiler_simd_with_report(model, isa)
+        .unwrap_or_else(|e| panic!("compiler-simd pipeline failed: {e}"))
+}
+
+/// Non-panicking [`compiler_simd_with_report`].
+pub fn try_compiler_simd_with_report(
+    model: &Model,
+    isa: VectorIsa,
+) -> Result<(Lowered, RunReport), PipelineError> {
     let mut lowered = lower_model(model, &CodegenOptions { use_lut: true });
     // No preprocessor/CSE/LICM beyond what a general compiler would see;
     // vectorization only, then scalar LUT calls.
     let text = format!("vectorize{{width={}}},scalar-lut-mode", isa.lanes());
-    let report = apply_pipeline(&mut lowered.module, &text);
+    let report = try_apply_pipeline(&mut lowered.module, &text)?;
     lowered.module.attrs.set("layout", Layout::Aos.attr_value());
     lowered.module.attrs.set("pipeline", "compiler-simd");
-    (lowered, report)
+    Ok((lowered, report))
 }
 
 /// Builds a limpetMLIR module without the data-layout transformation
@@ -177,15 +205,24 @@ pub fn limpet_mlir_no_lut(model: &Model, isa: VectorIsa) -> Lowered {
 /// [`limpet_mlir_no_lut`], also returning the pass manager's execution
 /// report.
 pub fn limpet_mlir_no_lut_with_report(model: &Model, isa: VectorIsa) -> (Lowered, RunReport) {
+    try_limpet_mlir_no_lut_with_report(model, isa)
+        .unwrap_or_else(|e| panic!("limpetMLIR-noLUT pipeline failed: {e}"))
+}
+
+/// Non-panicking [`limpet_mlir_no_lut_with_report`].
+pub fn try_limpet_mlir_no_lut_with_report(
+    model: &Model,
+    isa: VectorIsa,
+) -> Result<(Lowered, RunReport), PipelineError> {
     let mut lowered = lower_model(model, &CodegenOptions { use_lut: false });
-    let report = apply_pipeline(&mut lowered.module, &standard_pipeline_text(isa.lanes()));
+    let report = try_apply_pipeline(&mut lowered.module, &standard_pipeline_text(isa.lanes()))?;
     let block = isa.lanes();
     lowered
         .module
         .attrs
         .set("layout", Layout::AoSoA { block }.attr_value());
     lowered.module.attrs.set("pipeline", "limpetMLIR-noLUT");
-    (lowered, report)
+    Ok((lowered, report))
 }
 
 /// Builds a limpetMLIR module using Catmull-Rom **spline** LUT
@@ -200,13 +237,23 @@ pub fn limpet_mlir_spline(model: &Model, isa: VectorIsa) -> Lowered {
 /// [`limpet_mlir_spline`], also returning the pass manager's execution
 /// report (the standard pipeline's passes followed by `cubic-lut-mode`).
 pub fn limpet_mlir_spline_with_report(model: &Model, isa: VectorIsa) -> (Lowered, RunReport) {
+    try_limpet_mlir_spline_with_report(model, isa)
+        .unwrap_or_else(|e| panic!("limpetMLIR-spline pipeline failed: {e}"))
+}
+
+/// Non-panicking [`limpet_mlir_spline_with_report`].
+pub fn try_limpet_mlir_spline_with_report(
+    model: &Model,
+    isa: VectorIsa,
+) -> Result<(Lowered, RunReport), PipelineError> {
     let block = isa.lanes();
-    let (mut lowered, mut report) = limpet_mlir_with_report(model, isa, Layout::AoSoA { block });
-    let tail = apply_pipeline(&mut lowered.module, "cubic-lut-mode");
+    let (mut lowered, mut report) =
+        try_limpet_mlir_with_report(model, isa, Layout::AoSoA { block })?;
+    let tail = try_apply_pipeline(&mut lowered.module, "cubic-lut-mode")?;
     report.passes.extend(tail.passes);
     report.dumps.extend(tail.dumps);
     lowered.module.attrs.set("pipeline", "limpetMLIR-spline");
-    (lowered, report)
+    Ok((lowered, report))
 }
 
 /// Parses a layout attribute back (inverse of [`Layout::attr_value`]).

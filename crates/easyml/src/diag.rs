@@ -1,0 +1,244 @@
+//! Spanned diagnostics for the EasyML frontend.
+//!
+//! Every lexical, syntactic, and semantic failure is reported as a
+//! [`Diagnostic`]: a stable [`ErrorCode`], a source [`Span`], the model
+//! name (when known), and a human-readable message. Nothing in this
+//! crate panics on malformed input — the whole frontend funnels through
+//! this type so downstream tooling (the harness degradation chain, the
+//! `limpet-opt` driver) can classify failures without string matching.
+
+use std::fmt;
+
+/// A source position: 1-based line and column.
+///
+/// Column `0` means "unknown" (errors synthesized after the token
+/// stream is gone, e.g. whole-model semantic checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based source line (0 when unknown).
+    pub line: usize,
+    /// 1-based source column (0 when unknown).
+    pub col: usize,
+}
+
+impl Span {
+    /// A span with a known line but no column.
+    pub fn line(line: usize) -> Span {
+        Span { line, col: 0 }
+    }
+
+    /// The unknown span.
+    pub fn none() -> Span {
+        Span { line: 0, col: 0 }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.col > 0 {
+            write!(f, "{}:{}", self.line, self.col)
+        } else if self.line > 0 {
+            write!(f, "line {}", self.line)
+        } else {
+            write!(f, "<unknown>")
+        }
+    }
+}
+
+/// Stable EasyML diagnostic codes.
+///
+/// `E01xx` are lexical, `E02xx` syntactic, `E03xx` semantic. The numeric
+/// spelling ([`ErrorCode::as_str`]) is part of the crate's output contract:
+/// tests and the harness incident log match on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    // ---- lexical ----
+    /// `/* …` with no closing `*/`.
+    UnterminatedComment,
+    /// A numeric literal that does not parse as `f64` (e.g. `1.2.3`).
+    MalformedNumber,
+    /// A byte that starts no EasyML token.
+    UnexpectedChar,
+    /// A lone `&` or `|` (EasyML only has `&&` and `||`).
+    BadOperator,
+    // ---- syntactic ----
+    /// Input ended where a token was required.
+    UnexpectedEof,
+    /// A well-formed token in a position the grammar does not allow.
+    UnexpectedToken,
+    /// `.markup();` with no preceding declaration or group to attach to.
+    OrphanMarkup,
+    /// A markup argument that is neither a number nor an identifier.
+    BadMarkupArg,
+    // ---- semantic ----
+    /// `.lookup(lo, hi, step)` with a malformed range.
+    BadLookupRange,
+    /// `.method(name)` naming no known integration method.
+    UnknownMethod,
+    /// A markup name this frontend does not recognize.
+    UnknownMarkup,
+    /// A `.param()` group member default that is not a constant.
+    NonConstParamDefault,
+    /// A group member default outside a `.param()` group.
+    DefaultOutsideParamGroup,
+    /// `X_init` assigned more than once.
+    DuplicateInit,
+    /// A variable assigned twice (EasyML is single-assignment).
+    DoubleAssignment,
+    /// Direct assignment to a state variable (only `diff_X` is writable).
+    DirectStateAssignment,
+    /// Assignment to a parameter in the model body.
+    ParamAssignment,
+    /// A conditional that defines a name in only one branch.
+    OneSidedConditional,
+    /// Use of a name no statement defines and no declaration provides.
+    UndefinedVariable,
+    /// Call to a function outside the builtin table.
+    UnknownFunction,
+    /// A builtin called with the wrong number of arguments.
+    WrongArity,
+    /// A dependency cycle in the equation system.
+    DependencyCycle,
+    /// `.method()` on a variable with no `diff_` equation.
+    MethodOnNonState,
+    /// `.lookup()` on a variable nothing defines.
+    LookupOnUndefined,
+    /// `.parent()` on a variable that is not `.external()`.
+    ParentNotExternal,
+    /// `X_init` that is not a constant expression over the parameters.
+    NonConstInit,
+}
+
+impl ErrorCode {
+    /// The stable `EXXYY` spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::UnterminatedComment => "E0101",
+            ErrorCode::MalformedNumber => "E0102",
+            ErrorCode::UnexpectedChar => "E0103",
+            ErrorCode::BadOperator => "E0104",
+            ErrorCode::UnexpectedEof => "E0201",
+            ErrorCode::UnexpectedToken => "E0202",
+            ErrorCode::OrphanMarkup => "E0203",
+            ErrorCode::BadMarkupArg => "E0204",
+            ErrorCode::BadLookupRange => "E0301",
+            ErrorCode::UnknownMethod => "E0302",
+            ErrorCode::UnknownMarkup => "E0303",
+            ErrorCode::NonConstParamDefault => "E0304",
+            ErrorCode::DefaultOutsideParamGroup => "E0305",
+            ErrorCode::DuplicateInit => "E0306",
+            ErrorCode::DoubleAssignment => "E0307",
+            ErrorCode::DirectStateAssignment => "E0308",
+            ErrorCode::ParamAssignment => "E0309",
+            ErrorCode::OneSidedConditional => "E0310",
+            ErrorCode::UndefinedVariable => "E0311",
+            ErrorCode::UnknownFunction => "E0312",
+            ErrorCode::WrongArity => "E0313",
+            ErrorCode::DependencyCycle => "E0314",
+            ErrorCode::MethodOnNonState => "E0315",
+            ErrorCode::LookupOnUndefined => "E0316",
+            ErrorCode::ParentNotExternal => "E0317",
+            ErrorCode::NonConstInit => "E0318",
+        }
+    }
+
+    /// The frontend stage that produces this code.
+    pub fn stage(self) -> &'static str {
+        match self.as_str().as_bytes()[2] {
+            b'1' => "lex",
+            b'2' => "parse",
+            _ => "sema",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A single spanned frontend diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable error code.
+    pub code: ErrorCode,
+    /// Where in the source the error was detected.
+    pub span: Span,
+    /// The model being compiled, when known (the lexer does not know it;
+    /// [`crate::parse_model`] fills it in).
+    pub model: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic with no model attribution.
+    pub fn new(code: ErrorCode, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            span,
+            model: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches the model name (keeps an existing one).
+    pub fn with_model(mut self, model: &str) -> Diagnostic {
+        if self.model.is_none() {
+            self.model = Some(model.to_owned());
+        }
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error[{}]", self.code)?;
+        if let Some(m) = &self.model {
+            write!(f, " in model '{m}'")?;
+        }
+        write!(f, " at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_column() {
+        let d = Diagnostic::new(
+            ErrorCode::UnexpectedToken,
+            Span { line: 3, col: 7 },
+            "expected `;`, got `)`",
+        )
+        .with_model("Demo");
+        assert_eq!(
+            d.to_string(),
+            "error[E0202] in model 'Demo' at 3:7: expected `;`, got `)`"
+        );
+        let d2 = Diagnostic::new(ErrorCode::DependencyCycle, Span::line(4), "cycle");
+        assert_eq!(d2.to_string(), "error[E0314] at line 4: cycle");
+        let d3 = Diagnostic::new(ErrorCode::ParentNotExternal, Span::none(), "x");
+        assert_eq!(d3.to_string(), "error[E0317] at <unknown>: x");
+    }
+
+    #[test]
+    fn stages_follow_code_ranges() {
+        assert_eq!(ErrorCode::MalformedNumber.stage(), "lex");
+        assert_eq!(ErrorCode::OrphanMarkup.stage(), "parse");
+        assert_eq!(ErrorCode::DependencyCycle.stage(), "sema");
+    }
+
+    #[test]
+    fn with_model_keeps_existing() {
+        let d = Diagnostic::new(ErrorCode::UnexpectedEof, Span::none(), "eof")
+            .with_model("A")
+            .with_model("B");
+        assert_eq!(d.model.as_deref(), Some("A"));
+    }
+}

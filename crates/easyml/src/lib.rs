@@ -40,13 +40,18 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The frontend must never bring down the host process on malformed input:
+// every failure is a spanned [`Diagnostic`]. Tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod ast;
+mod diag;
 mod parser;
 mod sema;
 mod token;
 
 pub use ast::{BinOp, Expr, GroupItem, Item, Markup, MarkupArg, ModelAst, Stmt, UnOp};
+pub use diag::{Diagnostic, ErrorCode, Span};
 pub use parser::{parse_model, ParseError};
 pub use sema::{
     affine_in, analyze, builtin_arity, eval_const, ExtVar, Lookup, Method, Model, Param, SemaError,

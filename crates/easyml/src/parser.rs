@@ -7,34 +7,12 @@
 //! group.
 
 use crate::ast::{BinOp, Expr, GroupItem, Item, Markup, MarkupArg, ModelAst, Stmt, UnOp};
+use crate::diag::{Diagnostic, ErrorCode, Span};
 use crate::token::{lex, Token, TokenKind};
-use std::fmt;
 
-/// A syntax error with source line.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ParseError {
-    /// 1-based source line.
-    pub line: usize,
-    /// Human-readable description.
-    pub message: String,
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-impl From<crate::token::LexError> for ParseError {
-    fn from(e: crate::token::LexError) -> ParseError {
-        ParseError {
-            line: e.line,
-            message: e.message,
-        }
-    }
-}
+/// A syntax error: a [`Diagnostic`] with an `E02xx` (or, forwarded from the
+/// lexer, `E01xx`) code, carrying the model name.
+pub type ParseError = Diagnostic;
 
 type Result<T> = std::result::Result<T, ParseError>;
 
@@ -54,16 +32,19 @@ type Result<T> = std::result::Result<T, ParseError>;
 /// assert_eq!(ast.items.len(), 3);
 /// ```
 pub fn parse_model(name: &str, src: &str) -> Result<ModelAst> {
-    let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
-    let mut items: Vec<Item> = Vec::new();
-    while !p.at_end() {
-        p.parse_item(&mut items)?;
-    }
-    Ok(ModelAst {
-        name: name.to_owned(),
-        items,
-    })
+    let inner = || -> Result<ModelAst> {
+        let toks = lex(src)?;
+        let mut p = Parser { toks, pos: 0 };
+        let mut items: Vec<Item> = Vec::new();
+        while !p.at_end() {
+            p.parse_item(&mut items)?;
+        }
+        Ok(ModelAst {
+            name: name.to_owned(),
+            items,
+        })
+    };
+    inner().map_err(|e| e.with_model(name))
 }
 
 struct Parser {
@@ -77,17 +58,19 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
+        self.span().line
+    }
+
+    /// The span of the current token (or, at end of input, the last one).
+    fn span(&self) -> Span {
         self.toks
             .get(self.pos)
             .or_else(|| self.toks.last())
-            .map_or(0, |t| t.line)
+            .map_or(Span::none(), Token::span)
     }
 
-    fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError {
-            line: self.line(),
-            message: message.into(),
-        }
+    fn error(&self, code: ErrorCode, message: impl Into<String>) -> ParseError {
+        Diagnostic::new(code, self.span(), message)
     }
 
     fn peek(&self) -> Option<&TokenKind> {
@@ -103,7 +86,7 @@ impl Parser {
             .toks
             .get(self.pos)
             .map(|t| t.kind.clone())
-            .ok_or_else(|| self.error("unexpected end of input"))?;
+            .ok_or_else(|| self.error(ErrorCode::UnexpectedEof, "unexpected end of input"))?;
         self.pos += 1;
         Ok(t)
     }
@@ -122,14 +105,20 @@ impl Parser {
         if &got == want {
             Ok(())
         } else {
-            Err(self.error(format!("expected {want}, got {got}")))
+            Err(self.error(
+                ErrorCode::UnexpectedToken,
+                format!("expected {want}, got {got}"),
+            ))
         }
     }
 
     fn expect_ident(&mut self) -> Result<String> {
         match self.next()? {
             TokenKind::Ident(s) => Ok(s),
-            other => Err(self.error(format!("expected identifier, got {other}"))),
+            other => Err(self.error(
+                ErrorCode::UnexpectedToken,
+                format!("expected identifier, got {other}"),
+            )),
         }
     }
 
@@ -185,13 +174,17 @@ impl Parser {
                         t.extend(markups);
                         Ok(())
                     }
-                    None => Err(ParseError {
-                        line,
-                        message: "markup with no preceding declaration".into(),
-                    }),
+                    None => Err(Diagnostic::new(
+                        ErrorCode::OrphanMarkup,
+                        Span::line(line),
+                        "markup with no preceding declaration",
+                    )),
                 }
             }
-            Some(other) => Err(self.error(format!("unexpected {other} at top level"))),
+            Some(other) => Err(self.error(
+                ErrorCode::UnexpectedToken,
+                format!("unexpected {other} at top level"),
+            )),
             None => Ok(()),
         }
     }
@@ -237,7 +230,10 @@ impl Parser {
                     TokenKind::Num(v) => args.push(MarkupArg::Num(if neg { -v } else { v })),
                     TokenKind::Ident(s) if !neg => args.push(MarkupArg::Ident(s)),
                     other => {
-                        return Err(self.error(format!("bad markup argument {other}")));
+                        return Err(self.error(
+                            ErrorCode::BadMarkupArg,
+                            format!("bad markup argument {other}"),
+                        ));
                     }
                 }
                 if self.eat(&TokenKind::RParen) {
@@ -429,7 +425,10 @@ impl Parser {
                 self.expect(&TokenKind::RParen)?;
                 Ok(e)
             }
-            other => Err(self.error(format!("expected expression, got {other}"))),
+            other => Err(self.error(
+                ErrorCode::UnexpectedToken,
+                format!("expected expression, got {other}"),
+            )),
         }
     }
 }
@@ -571,6 +570,8 @@ Iion = (-(Cm/2.)*(u1+u3-Vm)*square(u2)*(Vm-u3)+beta);
     fn markup_without_decl_is_error() {
         let err = parse_model("m", ".external();").unwrap_err();
         assert!(err.message.contains("no preceding declaration"));
+        assert_eq!(err.code, ErrorCode::OrphanMarkup);
+        assert_eq!(err.model.as_deref(), Some("m"));
     }
 
     #[test]
@@ -587,6 +588,15 @@ Iion = (-(Cm/2.)*(u1+u3-Vm)*square(u2)*(Vm-u3)+beta);
     #[test]
     fn error_line_numbers() {
         let err = parse_model("m", "x = 1;\ny = ;\n").unwrap_err();
-        assert_eq!(err.line, 2);
+        assert_eq!(err.span.line, 2);
+        assert_eq!(err.span.col, 5);
+        assert_eq!(err.code, ErrorCode::UnexpectedToken);
+    }
+
+    #[test]
+    fn lex_errors_forward_model_name() {
+        let err = parse_model("m", "x = $;").unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnexpectedChar);
+        assert_eq!(err.model.as_deref(), Some("m"));
     }
 }

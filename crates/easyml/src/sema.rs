@@ -14,6 +14,7 @@
 //!   integrators.
 
 use crate::ast::{BinOp, Expr, Item, Markup, ModelAst, Stmt, UnOp};
+use crate::diag::{Diagnostic, ErrorCode, Span};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -193,22 +194,8 @@ impl Model {
     }
 }
 
-/// A semantic error.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SemaError {
-    /// Source line, when known.
-    pub line: usize,
-    /// Human-readable description.
-    pub message: String,
-}
-
-impl fmt::Display for SemaError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "semantic error at line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for SemaError {}
+/// A semantic error: a [`Diagnostic`] with an `E03xx` code.
+pub type SemaError = Diagnostic;
 
 /// All semantic errors found in one model.
 #[derive(Debug, Clone, PartialEq)]
@@ -462,10 +449,11 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
                             });
                         }
                     }
-                    _ => errors.push(SemaError {
-                        line: m.line,
-                        message: ".lookup() needs (lo, hi, step) with step > 0 and hi > lo".into(),
-                    }),
+                    _ => errors.push(Diagnostic::new(
+                        ErrorCode::BadLookupRange,
+                        Span::line(m.line),
+                        ".lookup() needs (lo, hi, step) with step > 0 and hi > lo",
+                    )),
                 }
             }
             "method" => {
@@ -476,21 +464,23 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
                                 methods.insert(n.clone(), (method, m.line));
                             }
                         }
-                        None => errors.push(SemaError {
-                            line: m.line,
-                            message: format!(
+                        None => errors.push(Diagnostic::new(
+                            ErrorCode::UnknownMethod,
+                            Span::line(m.line),
+                            format!(
                                 "unknown integration method {:?} (expected one of fe, rk2, rk4, rush_larsen, sundnes, markov_be)",
                                 arg.unwrap_or("<missing>")
                             ),
-                        }),
+                        )),
                     }
             }
             // Markups that affect storage or tracing, not code shape.
             "nodal" | "regional" | "units" | "trace" | "store" | "param" => {}
-            other => errors.push(SemaError {
-                line: m.line,
-                message: format!("unknown markup .{other}()"),
-            }),
+            other => errors.push(Diagnostic::new(
+                ErrorCode::UnknownMarkup,
+                Span::line(m.line),
+                format!("unknown markup .{other}()"),
+            )),
         }
     };
 
@@ -522,13 +512,11 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
                     for gi in items {
                         let default = match &gi.default {
                             Some(e) => eval_const(e, &HashMap::new()).unwrap_or_else(|| {
-                                errors.push(SemaError {
-                                    line: *line,
-                                    message: format!(
-                                        "parameter {} default must be a constant",
-                                        gi.name
-                                    ),
-                                });
+                                errors.push(Diagnostic::new(
+                                    ErrorCode::NonConstParamDefault,
+                                    Span::line(*line),
+                                    format!("parameter {} default must be a constant", gi.name),
+                                ));
                                 0.0
                             }),
                             None => 0.0,
@@ -541,13 +529,14 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
                 } else {
                     for gi in items {
                         if gi.default.is_some() {
-                            errors.push(SemaError {
-                                line: *line,
-                                message: format!(
+                            errors.push(Diagnostic::new(
+                                ErrorCode::DefaultOutsideParamGroup,
+                                Span::line(*line),
+                                format!(
                                     "group member {} has a default but the group is not .param()",
                                     gi.name
                                 ),
-                            });
+                            ));
                         }
                     }
                 }
@@ -576,10 +565,11 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
                 Stmt::Assign { lhs, expr, line } if lhs.ends_with("_init") => {
                     let base = lhs.trim_end_matches("_init").to_owned();
                     if inits.insert(base, (expr.clone(), *line)).is_some() {
-                        errors.push(SemaError {
-                            line: *line,
-                            message: format!("{lhs} assigned more than once"),
-                        });
+                        errors.push(Diagnostic::new(
+                            ErrorCode::DuplicateInit,
+                            Span::line(*line),
+                            format!("{lhs} assigned more than once"),
+                        ));
                     }
                 }
                 s => body.push(s.clone()),
@@ -597,10 +587,11 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
         let mut seen: HashMap<&str, usize> = HashMap::new();
         for (n, line) in &assigned_names {
             if let Some(_first) = seen.insert(n.as_str(), *line) {
-                errors.push(SemaError {
-                    line: *line,
-                    message: format!("{n} assigned more than once (EasyML is single-assignment)"),
-                });
+                errors.push(Diagnostic::new(
+                    ErrorCode::DoubleAssignment,
+                    Span::line(*line),
+                    format!("{n} assigned more than once (EasyML is single-assignment)"),
+                ));
             }
         }
     }
@@ -619,12 +610,11 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
             Some((expr, line)) => match eval_const(expr, &param_env) {
                 Some(v) => v,
                 None => {
-                    errors.push(SemaError {
-                        line: *line,
-                        message: format!(
-                            "{name}_init must be a constant expression over parameters"
-                        ),
-                    });
+                    errors.push(Diagnostic::new(
+                        ErrorCode::NonConstInit,
+                        Span::line(*line),
+                        format!("{name}_init must be a constant expression over parameters"),
+                    ));
                     0.0
                 }
             },
@@ -653,10 +643,11 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
 
     for p in &parent_names {
         if !external_names.contains(p) {
-            errors.push(SemaError {
-                line: 0,
-                message: format!(".parent() applied to {p}, which is not .external()"),
-            });
+            errors.push(Diagnostic::new(
+                ErrorCode::ParentNotExternal,
+                Span::none(),
+                format!(".parent() applied to {p}, which is not .external()"),
+            ));
         }
     }
 
@@ -667,10 +658,11 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
 
     for (m, (_, line)) in &methods {
         if !state_set.contains(m.as_str()) {
-            errors.push(SemaError {
-                line: *line,
-                message: format!(".method() applied to {m}, which has no diff_{m} equation"),
-            });
+            errors.push(Diagnostic::new(
+                ErrorCode::MethodOnNonState,
+                Span::line(*line),
+                format!(".method() applied to {m}, which has no diff_{m} equation"),
+            ));
         }
     }
     for l in &lookups {
@@ -678,26 +670,27 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
             || ext_set.contains(l.var.as_str())
             || assigned_names.iter().any(|(a, _)| *a == l.var);
         if !known {
-            errors.push(SemaError {
-                line: 0,
-                message: format!(".lookup() applied to undefined variable {}", l.var),
-            });
+            errors.push(Diagnostic::new(
+                ErrorCode::LookupOnUndefined,
+                Span::none(),
+                format!(".lookup() applied to undefined variable {}", l.var),
+            ));
         }
     }
     for (n, line) in &assigned_names {
         if state_set.contains(n.as_str()) {
-            errors.push(SemaError {
-                line: *line,
-                message: format!(
-                    "state variable {n} cannot be assigned directly; assign diff_{n} instead"
-                ),
-            });
+            errors.push(Diagnostic::new(
+                ErrorCode::DirectStateAssignment,
+                Span::line(*line),
+                format!("state variable {n} cannot be assigned directly; assign diff_{n} instead"),
+            ));
         }
         if param_set.contains(n.as_str()) {
-            errors.push(SemaError {
-                line: *line,
-                message: format!("parameter {n} cannot be assigned in the model body"),
-            });
+            errors.push(Diagnostic::new(
+                ErrorCode::ParamAssignment,
+                Span::line(*line),
+                format!("parameter {n} cannot be assigned in the model body"),
+            ));
         }
     }
 
@@ -718,10 +711,11 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
     let ordered = match topo_order(&body, &sources) {
         Ok(o) => o,
         Err(cycle) => {
-            errors.push(SemaError {
-                line: 0,
-                message: format!("dependency cycle through {cycle}"),
-            });
+            errors.push(Diagnostic::new(
+                ErrorCode::DependencyCycle,
+                Span::none(),
+                format!("dependency cycle through {cycle}"),
+            ));
             body.clone()
         }
     };
@@ -736,7 +730,12 @@ pub fn analyze(ast: &ModelAst) -> Result<Model, SemaErrors> {
             stmts: ordered,
         })
     } else {
-        Err(SemaErrors(errors))
+        Err(SemaErrors(
+            errors
+                .into_iter()
+                .map(|e| e.with_model(&ast.name))
+                .collect(),
+        ))
     }
 }
 
@@ -765,13 +764,14 @@ fn collect_top_defs(stmt: &Stmt, out: &mut Vec<(String, usize)>, errors: &mut Ve
                 if then_set.contains(*n) && else_set.contains(*n) {
                     out.push(((*n).clone(), *line));
                 } else {
-                    errors.push(SemaError {
-                        line: *line,
-                        message: format!(
+                    errors.push(Diagnostic::new(
+                        ErrorCode::OneSidedConditional,
+                        Span::line(*line),
+                        format!(
                             "{n} is assigned in only one branch of a conditional; EasyML \
                              requires both branches to define it"
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -789,10 +789,11 @@ fn check_expr(
         Expr::Num(_) => {}
         Expr::Var(name) => {
             if !sources.contains(name) && !defined.contains(name.as_str()) {
-                errors.push(SemaError {
-                    line,
-                    message: format!("use of undefined variable {name}"),
-                });
+                errors.push(Diagnostic::new(
+                    ErrorCode::UndefinedVariable,
+                    Span::line(line),
+                    format!("use of undefined variable {name}"),
+                ));
             }
         }
         Expr::Unary(_, e) => check_expr(e, sources, defined, errors, line),
@@ -802,14 +803,16 @@ fn check_expr(
         }
         Expr::Call(name, args) => {
             match builtin_arity(name) {
-                None => errors.push(SemaError {
-                    line,
-                    message: format!("call to unknown function {name}()"),
-                }),
-                Some(arity) if arity != args.len() => errors.push(SemaError {
-                    line,
-                    message: format!("{name}() expects {arity} argument(s), got {}", args.len()),
-                }),
+                None => errors.push(Diagnostic::new(
+                    ErrorCode::UnknownFunction,
+                    Span::line(line),
+                    format!("call to unknown function {name}()"),
+                )),
+                Some(arity) if arity != args.len() => errors.push(Diagnostic::new(
+                    ErrorCode::WrongArity,
+                    Span::line(line),
+                    format!("{name}() expects {arity} argument(s), got {}", args.len()),
+                )),
                 Some(_) => {}
             }
             for a in args {
@@ -903,7 +906,7 @@ fn topo_order(body: &[Stmt], sources: &HashSet<String>) -> Result<Vec<Stmt>, Str
     }
     if order.len() != n {
         // Find a statement stuck in the cycle for the message.
-        let stuck = (0..n).find(|i| !order.contains(i)).unwrap();
+        let stuck = (0..n).find(|i| !order.contains(i)).unwrap_or(0);
         let mut defs = Vec::new();
         body[stuck].assigned_names(&mut defs);
         return Err(defs.join(", "));

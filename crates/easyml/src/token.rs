@@ -4,15 +4,28 @@
 //! (see paper §2.2). Tokens follow C expression syntax plus the markup
 //! punctuation (`.markup(args);`) and the `group { … }` construct.
 
+use crate::diag::{Diagnostic, ErrorCode, Span};
 use std::fmt;
 
-/// A lexical token with its source line.
+/// A lexical token with its source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token kind and payload.
     pub kind: TokenKind,
     /// 1-based source line.
     pub line: usize,
+    /// 1-based source column of the token's first byte.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's source span.
+    pub fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
 }
 
 /// Token kinds of EasyML.
@@ -105,22 +118,8 @@ impl fmt::Display for TokenKind {
     }
 }
 
-/// A lexical error.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LexError {
-    /// 1-based source line.
-    pub line: usize,
-    /// Human-readable description.
-    pub message: String,
-}
-
-impl fmt::Display for LexError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for LexError {}
+/// A lexical error: a [`Diagnostic`] with an `E01xx` code.
+pub type LexError = Diagnostic;
 
 /// Tokenizes EasyML source.
 ///
@@ -142,10 +141,30 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     let mut toks = Vec::new();
     let mut pos = 0usize;
     let mut line = 1usize;
+    // Byte offset of the current line's first byte; columns derive from it.
+    let mut line_start = 0usize;
 
+    macro_rules! push_at {
+        ($kind:expr, $start:expr) => {
+            toks.push(Token {
+                kind: $kind,
+                line,
+                col: $start - line_start + 1,
+            })
+        };
+    }
     macro_rules! push {
         ($kind:expr) => {
-            toks.push(Token { kind: $kind, line })
+            push_at!($kind, pos)
+        };
+    }
+    macro_rules! err {
+        ($code:expr, $($msg:tt)*) => {
+            Diagnostic::new(
+                $code,
+                Span { line, col: pos - line_start + 1 },
+                format!($($msg)*),
+            )
         };
     }
 
@@ -155,6 +174,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             b'\n' => {
                 line += 1;
                 pos += 1;
+                line_start = pos;
             }
             b' ' | b'\t' | b'\r' => pos += 1,
             b'#' => {
@@ -171,13 +191,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 pos += 2;
                 loop {
                     if pos + 1 >= bytes.len() {
-                        return Err(LexError {
-                            line,
-                            message: "unterminated block comment".into(),
-                        });
+                        return Err(err!(
+                            ErrorCode::UnterminatedComment,
+                            "unterminated block comment"
+                        ));
                     }
                     if bytes[pos] == b'\n' {
                         line += 1;
+                        line_start = pos + 1;
                     }
                     if bytes[pos] == b'*' && bytes[pos + 1] == b'/' {
                         pos += 2;
@@ -279,10 +300,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     push!(TokenKind::AndAnd);
                     pos += 2;
                 } else {
-                    return Err(LexError {
-                        line,
-                        message: "single `&` is not an EasyML operator".into(),
-                    });
+                    return Err(err!(
+                        ErrorCode::BadOperator,
+                        "single `&` is not an EasyML operator"
+                    ));
                 }
             }
             b'|' => {
@@ -290,10 +311,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     push!(TokenKind::OrOr);
                     pos += 2;
                 } else {
-                    return Err(LexError {
-                        line,
-                        message: "single `|` is not an EasyML operator".into(),
-                    });
+                    return Err(err!(
+                        ErrorCode::BadOperator,
+                        "single `|` is not an EasyML operator"
+                    ));
                 }
             }
             b'0'..=b'9' => {
@@ -312,12 +333,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         _ => break,
                     }
                 }
-                let text = std::str::from_utf8(&bytes[start..pos]).unwrap();
-                let v: f64 = text.parse().map_err(|_| LexError {
-                    line,
-                    message: format!("malformed number `{text}`"),
-                })?;
-                push!(TokenKind::Num(v));
+                // The scanned bytes are ASCII by construction; lossy
+                // conversion cannot actually lose anything and never panics.
+                let text = String::from_utf8_lossy(&bytes[start..pos]);
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| err!(ErrorCode::MalformedNumber, "malformed number `{text}`"))?;
+                push_at!(TokenKind::Num(v), start);
             }
             b'.' => {
                 // Either a markup dot or a leading-dot float like `.05`.
@@ -338,12 +360,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                             _ => break,
                         }
                     }
-                    let text = std::str::from_utf8(&bytes[start..pos]).unwrap();
-                    let v: f64 = text.parse().map_err(|_| LexError {
-                        line,
-                        message: format!("malformed number `{text}`"),
+                    let text = String::from_utf8_lossy(&bytes[start..pos]);
+                    let v: f64 = text.parse().map_err(|_| {
+                        err!(ErrorCode::MalformedNumber, "malformed number `{text}`")
                     })?;
-                    push!(TokenKind::Num(v));
+                    push_at!(TokenKind::Num(v), start);
                 } else {
                     push!(TokenKind::Dot);
                     pos += 1;
@@ -356,14 +377,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 {
                     pos += 1;
                 }
-                let text = std::str::from_utf8(&bytes[start..pos]).unwrap().to_owned();
-                push!(TokenKind::Ident(text));
+                let text = String::from_utf8_lossy(&bytes[start..pos]).into_owned();
+                push_at!(TokenKind::Ident(text), start);
             }
             other => {
-                return Err(LexError {
-                    line,
-                    message: format!("unexpected character `{}`", other as char),
-                })
+                return Err(err!(
+                    ErrorCode::UnexpectedChar,
+                    "unexpected character `{}`",
+                    other as char
+                ))
             }
         }
     }
@@ -459,11 +481,31 @@ mod tests {
     fn error_on_stray_char() {
         let err = lex("x = $;").unwrap_err();
         assert!(err.message.contains('$'));
-        assert_eq!(err.line, 1);
+        assert_eq!(err.span.line, 1);
+        assert_eq!(err.span.col, 5);
+        assert_eq!(err.code, ErrorCode::UnexpectedChar);
     }
 
     #[test]
     fn error_on_unterminated_block_comment() {
-        assert!(lex("/* nope").is_err());
+        let err = lex("/* nope").unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnterminatedComment);
+    }
+
+    #[test]
+    fn columns_tracked_per_line() {
+        let toks = lex("a = 1;\n  bb = 22;").unwrap();
+        let tok = |name: &str| {
+            toks.iter()
+                .find(|t| t.kind == TokenKind::Ident(name.into()))
+                .unwrap()
+        };
+        assert_eq!((tok("a").line, tok("a").col), (1, 1));
+        assert_eq!((tok("bb").line, tok("bb").col), (2, 3));
+        let num22 = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Num(22.0))
+            .unwrap();
+        assert_eq!((num22.line, num22.col), (2, 8));
     }
 }

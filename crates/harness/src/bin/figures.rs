@@ -5,6 +5,7 @@
 //!         [--icc] [--roofline] [--stats] [--all]
 //!         [--cells N] [--steps N] [--repeats N] [--models a,b,c]
 //!         [--jobs N] [--no-cache] [--no-bytecode-opt]
+//!         [--inject fault@seed[,fault@seed...]]
 //! ```
 //!
 //! With no figure flag, `--fig2` runs (cheapest headline artifact).
@@ -21,6 +22,10 @@
 //! existed — which is useful for validating that cached runs produce
 //! identical results. `--no-bytecode-opt` disables the VM's post-compile
 //! bytecode optimizer, the ablation switch for its dispatch-overhead win.
+//! `--inject` arms the deterministic fault-injection framework (see
+//! `limpet_harness::faults`) — e.g. `--inject verify-fail@42` — which is
+//! also reachable through the `LIMPET_INJECT` environment variable; any
+//! recorded incidents and quarantined models print in the final summary.
 
 use limpet_harness::{
     all_pipeline_kinds, fig2_with_jobs, fig3_threads32, fig4_scaling, fig5_isa_threads,
@@ -118,12 +123,20 @@ fn parse_args() -> Args {
                     .expect("--jobs needs a number");
             }
             "--no-cache" => args.no_cache = true,
+            "--inject" => {
+                let spec = it.next().unwrap_or_default();
+                if let Err(e) = limpet_harness::faults::arm(&spec) {
+                    eprintln!("--inject: {e}");
+                    std::process::exit(2);
+                }
+            }
             "--no-bytecode-opt" => limpet_vm::set_bytecode_opt(false),
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--fig2|--fig3|--fig4|--fig5|--layout|--lut|--icc|--roofline|--stats|--all]\n\
                      \x20              [--cells N] [--steps N] [--repeats N] [--models a,b,c]\n\
-                     \x20              [--jobs N] [--no-cache] [--no-bytecode-opt]"
+                     \x20              [--jobs N] [--no-cache] [--no-bytecode-opt]\n\
+                     \x20              [--inject fault@seed[,fault@seed...]]"
                 );
                 std::process::exit(0);
             }
@@ -166,6 +179,10 @@ fn save_csv(name: &str, header: &str, rows: &[String]) {
 }
 
 fn main() {
+    if let Err(e) = limpet_harness::faults::arm_from_env() {
+        eprintln!("LIMPET_INJECT: {e}");
+        std::process::exit(2);
+    }
     let args = parse_args();
     println!(
         "limpet-rs figure runner: {} cells, {} steps, {} repeats{}",
@@ -385,4 +402,17 @@ fn main() {
         "kernel cache: {} entries, {} hits, {} compilations",
         cs.entries, cs.hits, cs.misses
     );
+    if cs.quarantined > 0 || cs.poison_recoveries > 0 {
+        println!(
+            "  degraded: {} quarantined model(s), {} lock recovery(ies)",
+            cs.quarantined, cs.poison_recoveries
+        );
+    }
+    let incidents = KernelCache::global().incidents();
+    if !incidents.is_empty() {
+        println!("incident report ({} event(s)):", incidents.len());
+        for i in &incidents {
+            println!("  {i}");
+        }
+    }
 }

@@ -17,21 +17,26 @@
 //! program: an ablation run must not be served a cached optimized
 //! kernel (or vice versa).
 
+use crate::error::CompileError;
+use crate::faults::{self, FaultKind};
+use crate::health::{Incident, IncidentKind, Tier};
 use crate::sim::{model_info, storage_layout, PipelineKind};
 use limpet_easyml::Model;
 use limpet_vm::{Kernel, StateLayout};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// One cached compilation: the lowered IR module, the executable kernel,
-/// the storage layout the module mandates, and the pass manager's
-/// execution report from the cold compile that produced it.
+/// the unoptimized sibling kernel (the raw tier of the degradation
+/// ladder), the storage layout the module mandates, and the pass
+/// manager's execution report from the cold compile that produced it.
 #[derive(Debug)]
 pub struct CompiledKernel {
     module: limpet_ir::Module,
     kernel: Kernel,
+    raw_kernel: Kernel,
     layout: StateLayout,
     pass_report: limpet_passes::RunReport,
 }
@@ -41,22 +46,50 @@ impl CompiledKernel {
     ///
     /// # Panics
     ///
-    /// Panics when the module fails bytecode compilation (roster models
-    /// are tested not to).
+    /// Panics when the pipeline or bytecode compilation fails (roster
+    /// models are tested not to). Fault-tolerant callers go through
+    /// [`CompiledKernel::try_compile`] or the cache's resilient lookup.
     pub fn compile(model: &Model, config: PipelineKind) -> CompiledKernel {
-        let (module, mut pass_report) = config.build_with_report(model);
+        CompiledKernel::try_compile(model, config)
+            .unwrap_or_else(|e| panic!("kernel compilation failed for {}: {e}", model.name))
+    }
+
+    /// Non-panicking [`CompiledKernel::compile`]: every stage failure —
+    /// pipeline verification, bytecode emission — comes back as a
+    /// structured [`CompileError`]. This is also where the
+    /// [`FaultKind::VerifyFail`] injection point lives: an armed plan
+    /// corrupts the lowered module so verification genuinely fails.
+    pub fn try_compile(
+        model: &Model,
+        config: PipelineKind,
+    ) -> Result<CompiledKernel, CompileError> {
+        let (mut module, mut pass_report) = config.try_build_with_report(model)?;
+        if let Some(seed) = faults::take(FaultKind::VerifyFail) {
+            faults::corrupt_module(&mut module, seed);
+            if let Err(error) = limpet_ir::verify_module(&module) {
+                return Err(CompileError::Pipeline(
+                    limpet_pm::PipelineError::VerifyFailed {
+                        pass: limpet_pm::PassManager::INPUT.to_string(),
+                        error,
+                    },
+                ));
+            }
+        }
         let info = model_info(model);
         let opt = limpet_vm::bytecode_opt_enabled();
         let started = std::time::Instant::now();
-        let (kernel, opt_stats) = Kernel::from_module_opt(&module, &info, opt)
-            .unwrap_or_else(|e| panic!("kernel compilation failed for {}: {e}", model.name));
+        // Compile both the optimized and the raw program in one go; the
+        // raw sibling shares the LUTs and is what the degradation ladder
+        // falls back to when the optimized bytecode misbehaves.
+        let (opt_kernel, opt_stats, raw_kernel) = Kernel::from_module_both(&module, &info)?;
+        let kernel = if opt { opt_kernel } else { raw_kernel.clone() };
         // Surface the bytecode optimizer as one more (synthetic) pass so
         // `Compiled::pass_report()` shows its counters next to the IR
         // passes. When disabled it still appears, with zero counters, so
         // ablation reports are visibly "optimizer off" rather than silent.
         pass_report.passes.push(limpet_pm::PassRun {
             name: "bytecode-opt",
-            changed: opt_stats.changed(),
+            changed: opt && opt_stats.changed(),
             duration: started.elapsed(),
             counters: if opt {
                 opt_stats.counters()
@@ -65,12 +98,13 @@ impl CompiledKernel {
             },
         });
         let layout = storage_layout(&module);
-        CompiledKernel {
+        Ok(CompiledKernel {
             module,
             kernel,
+            raw_kernel,
             layout,
             pass_report,
-        }
+        })
     }
 
     /// The lowered IR module.
@@ -82,6 +116,13 @@ impl CompiledKernel {
     /// compilation).
     pub fn kernel(&self) -> &Kernel {
         &self.kernel
+    }
+
+    /// The unoptimized sibling of [`CompiledKernel::kernel`]: the same
+    /// module compiled with the bytecode optimizer off, sharing its LUTs.
+    /// This is the raw tier of the optimized → raw → reference ladder.
+    pub fn raw_kernel(&self) -> &Kernel {
+        &self.raw_kernel
     }
 
     /// The state storage layout the module mandates.
@@ -130,8 +171,63 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that compiled a new entry.
     pub misses: u64,
-    /// Entries currently resident.
+    /// Entries currently resident (successful compilations only).
     pub entries: usize,
+    /// Quarantined entries currently resident (models whose compilation
+    /// failed; negative results so a broken model fails once, not per
+    /// lookup).
+    pub quarantined: usize,
+    /// Times the map lock was found poisoned and recovered.
+    pub poison_recoveries: u64,
+}
+
+/// A negative cache entry: the model failed to compile under this
+/// configuration, and the failure is remembered so every later lookup
+/// fails fast instead of re-running a doomed compilation (or re-tripping
+/// a panic).
+#[derive(Debug)]
+pub struct QuarantineEntry {
+    /// The model that failed.
+    pub model: String,
+    /// The configuration it failed under.
+    pub config: PipelineKind,
+    /// Why it failed.
+    pub error: CompileError,
+}
+
+#[derive(Debug, Clone)]
+enum CacheSlot {
+    Ready(Arc<CompiledKernel>),
+    Quarantined(Arc<QuarantineEntry>),
+}
+
+/// A kernel obtained through the degradation-aware lookup
+/// ([`KernelCache::get_or_compile_resilient`]): the compiled entry plus
+/// which tier of the optimized → raw → reference ladder it landed on and
+/// every incident recorded getting there.
+#[derive(Debug)]
+pub struct ResilientKernel {
+    /// The compiled entry serving this kernel.
+    pub entry: Arc<CompiledKernel>,
+    /// The tier the lookup landed on.
+    pub tier: Tier,
+    /// The pipeline actually compiled — the requested one, or
+    /// [`PipelineKind::Baseline`] after a reference-tier fallback.
+    pub config: PipelineKind,
+    /// Incidents recorded during this lookup (fallbacks, quarantines).
+    pub incidents: Vec<Incident>,
+}
+
+impl ResilientKernel {
+    /// The kernel for the landed tier: the entry's optimized kernel on
+    /// [`Tier::Optimized`] and [`Tier::Reference`], its raw sibling on
+    /// [`Tier::Raw`].
+    pub fn kernel(&self) -> &Kernel {
+        match self.tier {
+            Tier::Raw => self.entry.raw_kernel(),
+            Tier::Optimized | Tier::Reference => self.entry.kernel(),
+        }
+    }
 }
 
 /// A thread-safe map from `(model fingerprint, PipelineKind,
@@ -140,11 +236,18 @@ pub struct CacheStats {
 /// Compilation happens outside the map lock, so concurrent misses on
 /// *different* keys compile in parallel; concurrent misses on the *same*
 /// key race benignly (first insert wins, the loser's work is dropped).
+///
+/// The cache is also the containment boundary of the fault-tolerant
+/// chain: compilation panics are caught and converted into quarantine
+/// entries, a poisoned map lock is recovered rather than propagated, and
+/// both events land in [`KernelCache::incidents`].
 #[derive(Debug, Default)]
 pub struct KernelCache {
-    map: Mutex<HashMap<(u64, PipelineKind, bool), Arc<CompiledKernel>>>,
+    map: Mutex<HashMap<(u64, PipelineKind, bool), CacheSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    poison_recoveries: AtomicU64,
+    incidents: Mutex<Vec<Incident>>,
     /// When set, every lookup compiles fresh and nothing is stored
     /// (`figures --no-cache`, A/B validation).
     bypass: std::sync::atomic::AtomicBool,
@@ -170,40 +273,258 @@ impl KernelCache {
         self.bypass.store(!enabled, Ordering::Relaxed);
     }
 
+    /// Locks the entry map, recovering (and recording) a poisoned lock.
+    ///
+    /// A panic while compiling used to poison this mutex and take every
+    /// later lookup down with it — one broken model ending a whole roster
+    /// run. The map holds only completed inserts (compilation happens
+    /// outside the lock), so the data is consistent and recovery is safe.
+    fn map_lock(&self) -> MutexGuard<'_, HashMap<(u64, PipelineKind, bool), CacheSlot>> {
+        match self.map.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                self.map.clear_poison();
+                self.log(Incident::new(
+                    IncidentKind::CachePoisonRecovered,
+                    "<cache>",
+                    "kernel-cache mutex was poisoned by a panicking thread; recovered",
+                ));
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    pub(crate) fn log(&self, incident: Incident) {
+        self.incidents
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(incident);
+    }
+
+    /// Every incident the cache has recorded: quarantines and poison
+    /// recoveries, in order. The runtime counterpart lives on
+    /// [`crate::Simulation::incidents`].
+    pub fn incidents(&self) -> Vec<Incident> {
+        self.incidents
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Deliberately poisons the map lock (a thread panics while holding
+    /// it) — the [`FaultKind::CachePoison`] injection point.
+    fn poison(&self) {
+        let guard = self.map_lock();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _held = guard;
+            panic!("injected kernel-cache poisoning");
+        }));
+    }
+
     /// Returns the cached compilation for `(model, config)`, compiling it
     /// on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model fails to compile — including when it is
+    /// already quarantined from an earlier failed attempt (negative
+    /// results are cached too). Roster callers that must survive broken
+    /// models use [`KernelCache::try_get_or_compile`] or
+    /// [`KernelCache::get_or_compile_resilient`].
     pub fn get_or_compile(&self, model: &Model, config: PipelineKind) -> Arc<CompiledKernel> {
-        if self.bypass.load(Ordering::Relaxed) {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return Arc::new(CompiledKernel::compile(model, config));
+        match self.try_get_or_compile(model, config) {
+            Ok(entry) => entry,
+            Err(q) => panic!(
+                "model '{}' failed to compile under {}: {}",
+                q.model,
+                q.config.label(),
+                q.error
+            ),
         }
+    }
+
+    /// Returns the cached compilation for `(model, config)`, compiling it
+    /// on first use; failures come back as a shared [`QuarantineEntry`].
+    ///
+    /// Failure is sticky: the first failed compilation of a key inserts a
+    /// quarantine entry, and every later lookup of that key returns it
+    /// without compiling again. Panics during compilation are caught and
+    /// quarantined as [`CompileError::Panicked`], so one broken model
+    /// neither aborts nor poisons a shared cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns the quarantine entry recording why compilation failed.
+    pub fn try_get_or_compile(
+        &self,
+        model: &Model,
+        config: PipelineKind,
+    ) -> Result<Arc<CompiledKernel>, Arc<QuarantineEntry>> {
+        let bypass = self.bypass.load(Ordering::Relaxed);
         let key = (
             model_fingerprint(model),
             config,
             limpet_vm::bytecode_opt_enabled(),
         );
-        if let Some(hit) = self.map.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+        if !bypass {
+            if let Some(slot) = self.map_lock().get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return match slot {
+                    CacheSlot::Ready(entry) => Ok(Arc::clone(entry)),
+                    CacheSlot::Quarantined(q) => Err(Arc::clone(q)),
+                };
+            }
         }
-        // Miss: compile without holding the lock.
+        // Miss: compile without holding the lock, containing panics.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(CompiledKernel::compile(model, config));
-        Arc::clone(self.map.lock().unwrap().entry(key).or_insert(built))
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            CompiledKernel::try_compile(model, config)
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(CompileError::Panicked(msg))
+        });
+        let slot = match built {
+            Ok(entry) => CacheSlot::Ready(Arc::new(entry)),
+            Err(error) => {
+                let q = Arc::new(QuarantineEntry {
+                    model: model.name.clone(),
+                    config,
+                    error,
+                });
+                self.log(Incident::new(
+                    IncidentKind::Quarantined,
+                    &model.name,
+                    q.error.to_string(),
+                ));
+                CacheSlot::Quarantined(q)
+            }
+        };
+        if bypass {
+            match slot {
+                CacheSlot::Ready(entry) => return Ok(entry),
+                CacheSlot::Quarantined(q) => return Err(q),
+            }
+        }
+        match self.map_lock().entry(key).or_insert(slot) {
+            CacheSlot::Ready(entry) => Ok(Arc::clone(entry)),
+            CacheSlot::Quarantined(q) => Err(Arc::clone(q)),
+        }
+    }
+
+    /// The degradation-aware lookup: tries the requested configuration
+    /// first, and on compile failure falls back to the scalar reference
+    /// pipeline ([`PipelineKind::Baseline`]), recording every step as an
+    /// [`Incident`]. An armed [`FaultKind::BytecodeCorrupt`] plan lands
+    /// the result on [`Tier::Raw`] (the unoptimized sibling kernel), and
+    /// an armed [`FaultKind::CachePoison`] plan poisons the map lock
+    /// first so the recovery path runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the quarantine entry of the *last* tier tried when even
+    /// the reference pipeline fails to compile.
+    pub fn get_or_compile_resilient(
+        &self,
+        model: &Model,
+        config: PipelineKind,
+    ) -> Result<ResilientKernel, Arc<QuarantineEntry>> {
+        if faults::take(FaultKind::CachePoison).is_some() {
+            self.poison();
+        }
+        let mut incidents = Vec::new();
+        let (entry, mut tier, config) = match self.try_get_or_compile(model, config) {
+            Ok(entry) => (entry, Tier::Optimized, config),
+            Err(q) => {
+                let detail = if config == PipelineKind::Baseline {
+                    format!(
+                        "{} failed to compile ({}); no tier below the reference pipeline",
+                        config.label(),
+                        q.error
+                    )
+                } else {
+                    format!(
+                        "{} failed to compile ({}); falling back to reference pipeline",
+                        config.label(),
+                        q.error
+                    )
+                };
+                let incident = Incident::new(IncidentKind::TierFallback, &model.name, detail)
+                    .to_tier(Tier::Reference);
+                self.log(incident.clone());
+                incidents.push(incident);
+                if config == PipelineKind::Baseline {
+                    // The reference pipeline itself failed; nothing below.
+                    return Err(q);
+                }
+                let entry = self.try_get_or_compile(model, PipelineKind::Baseline)?;
+                (entry, Tier::Reference, PipelineKind::Baseline)
+            }
+        };
+        // The raw sibling is the refuge from optimizer trouble on whatever
+        // entry we landed on — the requested pipeline's or the reference's.
+        if faults::take(FaultKind::BytecodeCorrupt).is_some() {
+            let incident = Incident::new(
+                IncidentKind::BytecodeFail,
+                &model.name,
+                "optimized bytecode rejected (injected); using raw bytecode",
+            )
+            .to_tier(Tier::Raw);
+            self.log(incident.clone());
+            incidents.push(incident);
+            tier = Tier::Raw;
+        }
+        Ok(ResilientKernel {
+            entry,
+            tier,
+            config,
+            incidents,
+        })
+    }
+
+    /// Quarantined entries currently resident, in no particular order.
+    pub fn quarantine(&self) -> Vec<Arc<QuarantineEntry>> {
+        self.map_lock()
+            .values()
+            .filter_map(|slot| match slot {
+                CacheSlot::Quarantined(q) => Some(Arc::clone(q)),
+                CacheSlot::Ready(_) => None,
+            })
+            .collect()
     }
 
     /// Hit/miss/occupancy counters.
     pub fn stats(&self) -> CacheStats {
+        let (entries, quarantined) = {
+            let map = self.map_lock();
+            let quarantined = map
+                .values()
+                .filter(|s| matches!(s, CacheSlot::Quarantined(_)))
+                .count();
+            (map.len() - quarantined, quarantined)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().unwrap().len(),
+            entries,
+            quarantined,
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every entry (counters are preserved).
+    /// Drops every entry, including quarantined ones (counters are
+    /// preserved).
     pub fn clear(&self) {
-        self.map.lock().unwrap().clear();
+        self.map_lock().clear();
+        self.incidents
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
     }
 
     /// Compiles every `(model, config)` pair on `jobs` worker threads,
@@ -229,7 +550,9 @@ impl KernelCache {
                     let Some(&(model, config)) = pairs.get(i) else {
                         break;
                     };
-                    self.get_or_compile(model, config);
+                    // A broken model quarantines instead of panicking, so
+                    // one bad roster entry cannot end precompilation.
+                    let _ = self.try_get_or_compile(model, config);
                 });
             }
         });
@@ -345,6 +668,38 @@ mod tests {
                 "cell {cell} diverged"
             );
         }
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_propagated() {
+        let cache = KernelCache::new();
+        let m = model("HodgkinHuxley");
+        cache.poison();
+        // The next lookup recovers the lock, records the incident, and
+        // serves the compilation as if nothing happened.
+        let entry = cache.get_or_compile(&m, PipelineKind::Baseline);
+        assert!(!entry.kernel().shares_compilation(entry.raw_kernel()));
+        let s = cache.stats();
+        assert!(s.poison_recoveries >= 1, "recovery must be counted: {s:?}");
+        assert_eq!((s.entries, s.quarantined), (1, 0));
+        assert!(cache
+            .incidents()
+            .iter()
+            .any(|i| i.kind == crate::IncidentKind::CachePoisonRecovered));
+        // The poison flag was cleared: later locks are clean.
+        assert_eq!(cache.stats().poison_recoveries, s.poison_recoveries);
+    }
+
+    #[test]
+    fn resilient_lookup_lands_on_the_optimized_tier_by_default() {
+        let cache = KernelCache::new();
+        let m = model("Plonsey");
+        let rk = cache
+            .get_or_compile_resilient(&m, PipelineKind::Baseline)
+            .expect("healthy model compiles");
+        assert_eq!(rk.tier, crate::Tier::Optimized);
+        assert!(rk.incidents.is_empty());
+        assert!(rk.kernel().shares_compilation(rk.entry.kernel()));
     }
 
     #[test]

@@ -57,7 +57,29 @@ impl ExperimentOptions {
     }
 }
 
+/// Builds the simulation for one measurement. Normal runs take the plain
+/// path ([`Simulation::new`], which panics on a broken model — a
+/// measurement of a broken kernel is meaningless). Under fault injection
+/// ([`crate::faults::injection_active`]) the resilient path is used
+/// instead, so a quarantined kernel degrades the run (the `figures`
+/// summary reports it) rather than killing the whole roster sweep;
+/// `None` means even the reference tier is quarantined.
+fn measurement_sim(
+    m: &limpet_easyml::Model,
+    config: PipelineKind,
+    wl: &Workload,
+) -> Option<Simulation> {
+    if crate::faults::injection_active() {
+        Simulation::new_resilient(m, config, wl, crate::HealthPolicy::FallbackRaw).ok()
+    } else {
+        Some(Simulation::new(m, config, wl))
+    }
+}
+
 /// Measures the wall time of a full single-thread run of one configuration.
+///
+/// Under fault injection a fully quarantined configuration yields `NaN`
+/// (skipped by [`geomean`]) instead of panicking.
 pub fn measure_run(
     m: &limpet_easyml::Model,
     config: PipelineKind,
@@ -68,10 +90,17 @@ pub fn measure_run(
         steps: opts.steps,
         dt: 0.01,
     };
-    let mut sim = Simulation::new(m, config, &wl);
+    let Some(mut sim) = measurement_sim(m, config, &wl) else {
+        return f64::NAN;
+    };
     // Warm up: tables built in `new`; run a couple of steps for caches.
-    sim.run(2);
-    measure_median(opts.repeats, || sim.run(opts.steps))
+    // `run_guarded` on an unguarded simulation is plain stepping; under
+    // injection it additionally absorbs a seeded mid-run NaN by tier
+    // fallback (give-up is recorded as an incident, not a crash).
+    let _ = sim.run_guarded(2);
+    measure_median(opts.repeats, || {
+        let _ = sim.run_guarded(opts.steps);
+    })
 }
 
 /// Bytes moved per step (for the timing model's memory floor) and the
@@ -86,7 +115,17 @@ fn step_profile(
         steps: 0,
         dt: 0.01,
     };
-    let mut sim = Simulation::new(m, config, &wl);
+    let Some(mut sim) = measurement_sim(m, config, &wl) else {
+        // Only reachable under fault injection: the model is quarantined
+        // on every tier. An empty profile keeps the sweep alive — the
+        // paired `measure_run` already yields NaN, so the row reads as
+        // degraded rather than silently wrong.
+        eprintln!(
+            "warning: model '{}' is quarantined on every tier; empty profile",
+            m.name
+        );
+        return limpet_vm::Profile::default();
+    };
     sim.step_profiled()
 }
 
@@ -120,13 +159,19 @@ pub struct Fig2 {
 /// ratio has no logarithm, and one poisoned row (e.g. a timer returning
 /// 0 on a degenerate run) would otherwise drag the whole mean to 0 or
 /// NaN. Such values are skipped with a warning on stderr (and trip a
-/// debug assertion, since they always indicate a measurement bug).
-/// Returns NaN when no valid value remains.
+/// debug assertion outside fault-injection runs, where they always
+/// indicate a measurement bug; under injection a NaN row just means a
+/// quarantined configuration). Returns NaN when no valid value remains.
 pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
     let (mut logsum, mut n) = (0.0, 0usize);
     for x in xs {
         if !(x.is_finite() && x > 0.0) {
-            debug_assert!(false, "geomean: non-positive or non-finite value {x}");
+            // Under fault injection a NaN row is a legitimate degraded
+            // result (a quarantined configuration), not a measurement bug.
+            debug_assert!(
+                crate::faults::injection_active(),
+                "geomean: non-positive or non-finite value {x}"
+            );
             eprintln!("warning: geomean skipping non-positive value {x}");
             continue;
         }
@@ -626,9 +671,15 @@ mod tests {
 
     #[test]
     fn geomean_guards_non_positive_rows() {
-        // A zero/negative/NaN row trips a debug assertion (it always
-        // means a measurement bug); in release it is skipped with a
-        // warning instead of zeroing or NaN-ing the whole mean.
+        // A zero/negative/NaN row trips a debug assertion (outside fault
+        // injection it always means a measurement bug); in release it is
+        // skipped with a warning instead of zeroing or NaN-ing the whole
+        // mean. Serialized against tests that arm fault plans — the
+        // assertion is relaxed while injection is active.
+        let _g = crate::faults::TEST_SERIAL
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        crate::faults::disarm_all();
         for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
             let r = std::panic::catch_unwind(|| geomean([4.0, bad, 1.0]));
             if cfg!(debug_assertions) {

@@ -1,0 +1,324 @@
+//! Seeded, deterministic fault injection for the compile/run chain.
+//!
+//! Robustness code that only runs when something breaks is robustness code
+//! that never runs. This module makes every degradation path exercisable on
+//! demand: a fault plan names an injection point ([`FaultKind`]) and a seed,
+//! and the corresponding layer (frontend shim, kernel cache, simulation)
+//! consults the armed plans at exactly one spot. Each plan fires **once** —
+//! the first time its injection point is reached — so a recovery path can
+//! retry the same operation cleanly, which is precisely what the
+//! optimized → raw → reference ladder does.
+//!
+//! Plans are process-global. Arm them programmatically ([`arm`]), through
+//! the `LIMPET_INJECT` environment variable ([`arm_from_env`]), or via the
+//! figures binary's `--inject` flag. The spec grammar is a comma-separated
+//! list of `fault@seed` items:
+//!
+//! ```text
+//! LIMPET_INJECT="verify-fail@42,state-nan@7" cargo run --bin figures -- ...
+//! ```
+//!
+//! Seeds feed [`limpet_rng::SmallRng`], so a given spec reproduces the same
+//! corruption — same removed op, same NaN step — on every run.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use limpet_ir::Module;
+use limpet_rng::SmallRng;
+
+/// An injection point in the compile/run chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Corrupt the EasyML source before parsing (frontend diagnostic path).
+    ParseError,
+    /// Corrupt the lowered module so pipeline verification fails
+    /// (quarantine + reference-tier fallback path).
+    VerifyFail,
+    /// Fail the bytecode optimizer for one kernel (raw-tier fallback path).
+    BytecodeCorrupt,
+    /// Poison the kernel-cache mutex (lock-recovery path).
+    CachePoison,
+    /// Write a NaN into the cell state mid-run (health-guard path).
+    StateNan,
+}
+
+/// Every fault kind, in spec order — handy for exercising the whole chain.
+pub const ALL_FAULT_KINDS: [FaultKind; 5] = [
+    FaultKind::ParseError,
+    FaultKind::VerifyFail,
+    FaultKind::BytecodeCorrupt,
+    FaultKind::CachePoison,
+    FaultKind::StateNan,
+];
+
+impl FaultKind {
+    /// The spec name used in `fault@seed` items.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::ParseError => "parse-error",
+            FaultKind::VerifyFail => "verify-fail",
+            FaultKind::BytecodeCorrupt => "bytecode-corrupt",
+            FaultKind::CachePoison => "cache-poison",
+            FaultKind::StateNan => "state-nan",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<FaultKind> {
+        ALL_FAULT_KINDS.iter().copied().find(|k| k.as_str() == s)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+struct ArmedFault {
+    kind: FaultKind,
+    seed: u64,
+    fired: bool,
+}
+
+static PLANS: Mutex<Vec<ArmedFault>> = Mutex::new(Vec::new());
+
+/// Sticky "this process is an injection run" flag: set by [`arm`], cleared
+/// only by [`disarm_all`]. It outlives the plans themselves (which are
+/// once-fired), so the measurement harness can keep routing through the
+/// resilient compile path after a fault has already fired and quarantined
+/// a kernel.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// True once any fault plan has been armed in this process (and not wiped
+/// by [`disarm_all`]). The measurement drivers consult this to swap the
+/// plain, panicking `Simulation::new` path for the degradation-ladder one
+/// — a quarantined kernel must not kill an injection run, while normal
+/// runs keep the zero-overhead fast path.
+pub fn injection_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+fn plans() -> std::sync::MutexGuard<'static, Vec<ArmedFault>> {
+    // The fault registry must stay usable even if a test thread panicked
+    // while holding it — recovery is the whole point of this subsystem.
+    PLANS.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Arms every `fault@seed` item in a comma-separated spec string.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed item. Valid fault names
+/// are the [`FaultKind::as_str`] values; the seed is a decimal `u64` and
+/// defaults to `0` when the `@seed` part is omitted.
+pub fn arm(spec: &str) -> Result<(), String> {
+    let mut parsed = Vec::new();
+    for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (name, seed) = match item.split_once('@') {
+            Some((name, seed)) => {
+                let seed: u64 = seed
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad seed in fault spec item '{item}'"))?;
+                (name.trim(), seed)
+            }
+            None => (item, 0),
+        };
+        let kind = FaultKind::from_str(name).ok_or_else(|| {
+            let known: Vec<&str> = ALL_FAULT_KINDS.iter().map(|k| k.as_str()).collect();
+            format!("unknown fault '{name}' (known: {})", known.join(", "))
+        })?;
+        parsed.push(ArmedFault {
+            kind,
+            seed,
+            fired: false,
+        });
+    }
+    if !parsed.is_empty() {
+        ACTIVE.store(true, Ordering::Relaxed);
+    }
+    plans().extend(parsed);
+    Ok(())
+}
+
+/// Arms faults from the `LIMPET_INJECT` environment variable, if set.
+///
+/// # Errors
+///
+/// Propagates [`arm`]'s spec errors.
+pub fn arm_from_env() -> Result<(), String> {
+    match std::env::var("LIMPET_INJECT") {
+        Ok(spec) => arm(&spec),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Disarms every plan, fired or not, and clears the
+/// [`injection_active`] flag. Tests call this between scenarios.
+pub fn disarm_all() {
+    ACTIVE.store(false, Ordering::Relaxed);
+    plans().clear();
+}
+
+/// Consumes the first unfired plan of `kind`, returning its seed.
+///
+/// Each armed plan fires at most once; arming the same kind twice makes it
+/// fire twice. Returns `None` when nothing (left) is armed for `kind` —
+/// the hot-path cost is one uncontended mutex lock.
+pub fn take(kind: FaultKind) -> Option<u64> {
+    let mut plans = plans();
+    let armed = plans.iter_mut().find(|p| p.kind == kind && !p.fired)?;
+    armed.fired = true;
+    Some(armed.seed)
+}
+
+/// True if an unfired plan of `kind` is armed, without consuming it.
+pub fn armed(kind: FaultKind) -> bool {
+    plans().iter().any(|p| p.kind == kind && !p.fired)
+}
+
+/// Deterministically corrupts EasyML source text: inserts an illegal byte
+/// at a seed-chosen position so lexing fails with a spanned diagnostic.
+/// Positions that land inside a comment (where the byte is ignored) are
+/// skipped by retrying along the same seeded stream; position 0 is the
+/// guaranteed fallback.
+pub fn corrupt_source(src: &str, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Insert at a char boundary; '$' is not in the EasyML alphabet.
+    let positions: Vec<usize> = src.char_indices().map(|(i, _)| i).collect();
+    let insert = |at: usize| {
+        let mut out = String::with_capacity(src.len() + 1);
+        out.push_str(&src[..at]);
+        out.push('$');
+        out.push_str(&src[at..]);
+        out
+    };
+    for _ in 0..32 {
+        if positions.is_empty() {
+            break;
+        }
+        let out = insert(positions[rng.gen_range(0..positions.len())]);
+        if limpet_easyml::lex(&out).is_err() {
+            return out;
+        }
+    }
+    insert(0)
+}
+
+/// Deterministically corrupts a lowered module so verification fails:
+/// removes one op from `@compute`'s body whose result feeds a later op,
+/// producing a use-before-def (dominance) error. Returns a description of
+/// what was removed, or `None` if no candidate op exists (the module is
+/// left untouched in that case).
+pub fn corrupt_module(module: &mut Module, seed: u64) -> Option<String> {
+    let func = module.func_mut("compute")?;
+    let body = func.body();
+    let ops = func.region_mut(body).ops.clone();
+    // Candidate ops: result is consumed by a later op in the same region.
+    let mut candidates = Vec::new();
+    for (i, &op_id) in ops.iter().enumerate() {
+        let results = func.op(op_id).results.clone();
+        if results.is_empty() {
+            continue;
+        }
+        let used_later = ops[i + 1..]
+            .iter()
+            .any(|&later| func.op(later).operands.iter().any(|v| results.contains(v)));
+        if used_later {
+            candidates.push(i);
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let victim = candidates[rng.gen_range(0..candidates.len())];
+    let removed = ops[victim];
+    let kind = format!("{:?}", func.op(removed).kind);
+    func.region_mut(body).ops.remove(victim);
+    Some(format!(
+        "removed op #{victim} ({kind}) from @compute, leaving dangling uses"
+    ))
+}
+
+/// The simulation step (1-based) at which an armed [`FaultKind::StateNan`]
+/// plan writes its NaN, derived from the seed so a spec pins the step.
+/// Bounded to the first 16 steps so short CI workloads still hit it.
+pub fn nan_step(seed: u64) -> usize {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen_range(1usize..17)
+}
+
+/// Serializes unit tests that arm fault plans (or whose assertions depend
+/// on [`injection_active`] being false) — plans and the active flag are
+/// process-global state.
+#[cfg(test)]
+pub(crate) static TEST_SERIAL: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use super::TEST_SERIAL as LOCK;
+
+    #[test]
+    fn spec_round_trip_and_once_fired() {
+        let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        disarm_all();
+        arm("verify-fail@42, state-nan@7").unwrap();
+        assert!(armed(FaultKind::VerifyFail));
+        assert!(!armed(FaultKind::ParseError));
+        assert_eq!(take(FaultKind::VerifyFail), Some(42));
+        assert_eq!(take(FaultKind::VerifyFail), None, "plans fire once");
+        assert_eq!(take(FaultKind::StateNan), Some(7));
+        disarm_all();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(arm("verify-fail@nope").is_err());
+        assert!(arm("made-up-fault@1").is_err());
+    }
+
+    #[test]
+    fn seedless_items_default_to_zero() {
+        let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        disarm_all();
+        arm("cache-poison").unwrap();
+        assert_eq!(take(FaultKind::CachePoison), Some(0));
+        disarm_all();
+    }
+
+    #[test]
+    fn corrupt_source_is_deterministic_and_fails_lexing() {
+        let src = "diff_x = -x;";
+        let a = corrupt_source(src, 5);
+        let b = corrupt_source(src, 5);
+        assert_eq!(a, b);
+        assert!(limpet_easyml::lex(&a).is_err());
+    }
+
+    #[test]
+    fn corrupt_module_breaks_verification_deterministically() {
+        let model = limpet_easyml::compile_model("M", "diff_x = -0.5 * x;").unwrap();
+        let make = || {
+            limpet_codegen::lower_model(&model, &limpet_codegen::CodegenOptions { use_lut: true })
+                .module
+        };
+        let mut m1 = make();
+        let mut m2 = make();
+        let d1 = corrupt_module(&mut m1, 9).expect("candidate op");
+        let d2 = corrupt_module(&mut m2, 9).expect("candidate op");
+        assert_eq!(d1, d2, "same seed, same corruption");
+        let err = limpet_ir::verify_module(&m1).unwrap_err();
+        assert_eq!(err.code, limpet_ir::VerifyCode::Dominance, "{err}");
+    }
+
+    #[test]
+    fn nan_step_is_stable_per_seed() {
+        assert_eq!(nan_step(7), nan_step(7));
+        assert!((1..17).contains(&nan_step(7)));
+    }
+}

@@ -1,0 +1,213 @@
+//! Runtime health guards and the incident taxonomy for the fault-tolerant
+//! compile/run chain.
+//!
+//! A roster run survives three classes of trouble without losing the whole
+//! campaign: a model that fails to *compile* (parse, sema, pipeline verify,
+//! or bytecode emission), a kernel whose *optimized* bytecode misbehaves,
+//! and a simulation whose *state* goes non-finite mid-run. Each recovery
+//! step is recorded as an [`Incident`] so the degradation is visible in the
+//! run report rather than silent.
+//!
+//! The execution [`Tier`] ladder is `Optimized → Raw → Reference`:
+//! optimized bytecode first, the unoptimized bytecode of the same module on
+//! optimizer trouble, and finally the scalar reference pipeline
+//! ([`crate::PipelineKind::Baseline`]) when the configured pipeline itself
+//! is at fault.
+
+use std::fmt;
+
+/// What a [`crate::Simulation`] does when a per-step health check finds a
+/// non-finite value in the cell state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum HealthPolicy {
+    /// Stop immediately and surface the incident as an error. Default:
+    /// silent NaN propagation is the worst outcome for a physiology run.
+    #[default]
+    Abort,
+    /// Overwrite every non-finite entry with its pre-step value, record the
+    /// incident, and keep going. Cheap, but the trajectory is no longer a
+    /// faithful integration.
+    ClampAndWarn,
+    /// Roll the whole step back, drop down one execution tier
+    /// (optimized → raw → reference), and re-run the step there. The
+    /// post-fallback trajectory is exactly what the lower tier would have
+    /// produced from the rolled-back state.
+    FallbackRaw,
+}
+
+impl fmt::Display for HealthPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HealthPolicy::Abort => "abort",
+            HealthPolicy::ClampAndWarn => "clamp-and-warn",
+            HealthPolicy::FallbackRaw => "fallback-raw",
+        })
+    }
+}
+
+/// Which rung of the degradation ladder a kernel is running on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Optimized bytecode of the configured pipeline's module.
+    Optimized,
+    /// Unoptimized bytecode of the same module (shares its LUTs).
+    Raw,
+    /// The scalar reference pipeline ([`crate::PipelineKind::Baseline`]),
+    /// recompiled from the model source.
+    Reference,
+}
+
+impl Tier {
+    /// The next rung down, or `None` from [`Tier::Reference`].
+    pub fn next_down(self) -> Option<Tier> {
+        match self {
+            Tier::Optimized => Some(Tier::Raw),
+            Tier::Raw => Some(Tier::Reference),
+            Tier::Reference => None,
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Tier::Optimized => "optimized",
+            Tier::Raw => "raw",
+            Tier::Reference => "reference",
+        })
+    }
+}
+
+/// The category of a recorded [`Incident`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IncidentKind {
+    /// The model source failed to parse or analyze.
+    FrontendError,
+    /// A pass-manager pipeline reported a verification failure.
+    VerifyFail,
+    /// Bytecode emission or optimization failed for the lowered module.
+    BytecodeFail,
+    /// Compilation panicked; the panic was contained by the cache.
+    CompilePanic,
+    /// A per-step health check found a non-finite state value.
+    NonFiniteState,
+    /// The kernel-cache mutex was found poisoned and recovered.
+    CachePoisonRecovered,
+    /// Execution dropped one tier on the degradation ladder.
+    TierFallback,
+    /// A model was served from (or newly placed in) quarantine.
+    Quarantined,
+}
+
+impl IncidentKind {
+    /// Stable kebab-case label used in reports and test assertions.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IncidentKind::FrontendError => "frontend-error",
+            IncidentKind::VerifyFail => "verify-fail",
+            IncidentKind::BytecodeFail => "bytecode-fail",
+            IncidentKind::CompilePanic => "compile-panic",
+            IncidentKind::NonFiniteState => "non-finite-state",
+            IncidentKind::CachePoisonRecovered => "cache-poison-recovered",
+            IncidentKind::TierFallback => "tier-fallback",
+            IncidentKind::Quarantined => "quarantined",
+        }
+    }
+}
+
+impl fmt::Display for IncidentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded recovery (or failure) event. Incidents accumulate next to
+/// the pass report: [`crate::Simulation::incidents`] for per-run events and
+/// [`crate::KernelCache::incidents`] for compile-time events.
+#[derive(Clone, Debug)]
+pub struct Incident {
+    /// What happened.
+    pub kind: IncidentKind,
+    /// The model involved, when known.
+    pub model: String,
+    /// Simulation step at which the incident fired (runtime incidents only).
+    pub step: Option<usize>,
+    /// The tier execution moved *to*, for fallback incidents.
+    pub tier: Option<Tier>,
+    /// Human-readable description (underlying error text, variable names…).
+    pub detail: String,
+}
+
+impl Incident {
+    /// Builds an incident with no step or tier annotation.
+    pub fn new(
+        kind: IncidentKind,
+        model: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Incident {
+        Incident {
+            kind,
+            model: model.into(),
+            step: None,
+            tier: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// Annotates the simulation step the incident fired at.
+    #[must_use]
+    pub fn at_step(mut self, step: usize) -> Incident {
+        self.step = Some(step);
+        self
+    }
+
+    /// Annotates the tier execution moved to.
+    #[must_use]
+    pub fn to_tier(mut self, tier: Tier) -> Incident {
+        self.tier = Some(tier);
+        self
+    }
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] model '{}'", self.kind, self.model)?;
+        if let Some(step) = self.step {
+            write!(f, " at step {step}")?;
+        }
+        if let Some(tier) = self.tier {
+            write!(f, " -> tier {tier}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_ladder_descends_to_reference() {
+        assert_eq!(Tier::Optimized.next_down(), Some(Tier::Raw));
+        assert_eq!(Tier::Raw.next_down(), Some(Tier::Reference));
+        assert_eq!(Tier::Reference.next_down(), None);
+    }
+
+    #[test]
+    fn incident_display_includes_annotations() {
+        let i = Incident::new(IncidentKind::NonFiniteState, "HodgkinHuxley", "Vm went NaN")
+            .at_step(17)
+            .to_tier(Tier::Raw);
+        let s = i.to_string();
+        assert!(s.contains("non-finite-state"), "{s}");
+        assert!(s.contains("HodgkinHuxley"), "{s}");
+        assert!(s.contains("step 17"), "{s}");
+        assert!(s.contains("tier raw"), "{s}");
+    }
+
+    #[test]
+    fn default_policy_is_abort() {
+        assert_eq!(HealthPolicy::default(), HealthPolicy::Abort);
+    }
+}

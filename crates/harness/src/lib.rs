@@ -13,16 +13,25 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod error;
 pub mod experiments;
+pub mod faults;
+pub mod health;
 pub mod sim;
 pub mod threads;
 
-pub use cache::{all_pipeline_kinds, model_fingerprint, CacheStats, CompiledKernel, KernelCache};
+pub use cache::{
+    all_pipeline_kinds, model_fingerprint, CacheStats, CompiledKernel, KernelCache,
+    QuarantineEntry, ResilientKernel,
+};
+pub use error::{compile_source, CompileError};
 pub use experiments::{
     fig2_single_thread, fig2_with_jobs, fig3_threads32, fig4_scaling, fig5_isa_threads,
     fig6_roofline, geomean, icc_comparison, kernel_stats, layout_ablation, lut_ablation,
     ExperimentOptions, THREAD_COUNTS,
 };
+pub use faults::FaultKind;
+pub use health::{HealthPolicy, Incident, IncidentKind, Tier};
 pub use sim::{model_info, storage_layout, PipelineKind, Simulation, Stimulus, Workload};
 pub use threads::{
     measure_median, measure_stream_bandwidth, shard_sizes, ShardedSimulation, TimingModel,

@@ -73,24 +73,35 @@ impl PipelineKind {
     /// report alongside it (per-pass wall time and counters — what a
     /// cold compile actually spent).
     pub fn build_with_report(self, model: &Model) -> (limpet_ir::Module, RunReport) {
+        self.try_build_with_report(model)
+            .unwrap_or_else(|e| panic!("{} pipeline failed for {}: {e}", self.label(), model.name))
+    }
+
+    /// Non-panicking [`PipelineKind::build_with_report`]: pipeline
+    /// verification failures come back as a structured
+    /// [`limpet_pm::PipelineError`] for the fault-tolerant compile chain.
+    pub fn try_build_with_report(
+        self,
+        model: &Model,
+    ) -> Result<(limpet_ir::Module, RunReport), limpet_pm::PipelineError> {
         let (lowered, report) = match self {
-            PipelineKind::Baseline => pipeline::baseline_with_report(model),
+            PipelineKind::Baseline => pipeline::try_baseline_with_report(model)?,
             PipelineKind::LimpetMlir(isa) => {
                 let block = isa.lanes();
-                pipeline::limpet_mlir_with_report(model, isa, Layout::AoSoA { block })
+                pipeline::try_limpet_mlir_with_report(model, isa, Layout::AoSoA { block })?
             }
             PipelineKind::LimpetMlirAos(isa) => {
-                pipeline::limpet_mlir_with_report(model, isa, Layout::Aos)
+                pipeline::try_limpet_mlir_with_report(model, isa, Layout::Aos)?
             }
             PipelineKind::LimpetMlirNoLut(isa) => {
-                pipeline::limpet_mlir_no_lut_with_report(model, isa)
+                pipeline::try_limpet_mlir_no_lut_with_report(model, isa)?
             }
-            PipelineKind::CompilerSimd(isa) => pipeline::compiler_simd_with_report(model, isa),
+            PipelineKind::CompilerSimd(isa) => pipeline::try_compiler_simd_with_report(model, isa)?,
             PipelineKind::LimpetMlirSpline(isa) => {
-                pipeline::limpet_mlir_spline_with_report(model, isa)
+                pipeline::try_limpet_mlir_spline_with_report(model, isa)?
             }
         };
-        (lowered.module, report)
+        Ok((lowered.module, report))
     }
 }
 
@@ -158,6 +169,25 @@ impl Stimulus {
     }
 }
 
+/// The runtime half of the fault-tolerant chain: everything a guarded
+/// simulation needs to detect non-finite state and descend the
+/// optimized → raw → reference ladder mid-run.
+#[derive(Debug)]
+struct GuardState {
+    policy: crate::HealthPolicy,
+    /// The model, kept so the reference tier can be (re)compiled.
+    model: Model,
+    /// The compiled entry currently executing (holds the raw sibling).
+    entry: std::sync::Arc<crate::CompiledKernel>,
+    tier: crate::Tier,
+    /// Completed guarded steps (1-based after the first step).
+    step_count: usize,
+    incidents: Vec<crate::Incident>,
+    /// Armed NaN injection: `(step, seed)` from a
+    /// [`crate::FaultKind::StateNan`] plan.
+    nan_plan: Option<(usize, u64)>,
+}
+
 /// A ready-to-run simulation: compiled kernel plus storage.
 #[derive(Debug)]
 pub struct Simulation {
@@ -173,6 +203,8 @@ pub struct Simulation {
     t: f64,
     /// Optional tissue coupling.
     tissue: Option<Monodomain>,
+    /// Health-guard state; present only on guarded simulations.
+    guard: Option<Box<GuardState>>,
 }
 
 impl Simulation {
@@ -225,7 +257,41 @@ impl Simulation {
             dt: workload.dt,
             t: 0.0,
             tissue: None,
+            guard: None,
         }
+    }
+
+    /// Builds a *guarded* simulation: compiles through the cache's
+    /// degradation-aware lookup (falling back to the reference pipeline
+    /// if the requested one fails), and arms per-step health checks with
+    /// the given policy — use [`Simulation::step_guarded`] /
+    /// [`Simulation::run_guarded`] to step it. Compile-time incidents are
+    /// carried over into [`Simulation::incidents`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the quarantine entry when even the reference pipeline
+    /// fails to compile.
+    pub fn new_resilient(
+        model: &Model,
+        config: PipelineKind,
+        workload: &Workload,
+        policy: crate::HealthPolicy,
+    ) -> Result<Simulation, std::sync::Arc<crate::QuarantineEntry>> {
+        let rk = crate::KernelCache::global().get_or_compile_resilient(model, config)?;
+        let mut sim = Simulation::with_kernel(rk.kernel().clone(), rk.entry.layout(), workload);
+        let nan_plan = crate::faults::take(crate::FaultKind::StateNan)
+            .map(|seed| (crate::faults::nan_step(seed), seed));
+        sim.guard = Some(Box::new(GuardState {
+            policy,
+            model: model.clone(),
+            entry: rk.entry,
+            tier: rk.tier,
+            step_count: 0,
+            incidents: rk.incidents,
+            nan_plan,
+        }));
+        Ok(sim)
     }
 
     /// Replaces the stimulus protocol.
@@ -357,6 +423,270 @@ impl Simulation {
         for _ in 0..steps {
             self.step();
         }
+    }
+
+    /// The tier of the degradation ladder this simulation is executing
+    /// on. Unguarded simulations report [`crate::Tier::Optimized`].
+    pub fn tier(&self) -> crate::Tier {
+        self.guard
+            .as_ref()
+            .map_or(crate::Tier::Optimized, |g| g.tier)
+    }
+
+    /// Every incident this simulation has recorded — compile-time
+    /// fallbacks inherited from the cache lookup plus runtime health
+    /// events — in order. The compile-time counterpart of the pass
+    /// report: where [`crate::CompiledKernel::pass_report`] says what the
+    /// compiler did, this says what went wrong and how it was absorbed.
+    pub fn incidents(&self) -> &[crate::Incident] {
+        self.guard.as_ref().map_or(&[], |g| &g.incidents)
+    }
+
+    /// Advances one step under the health guard: runs [`Simulation::step`],
+    /// then scans the logical cells' state and externals for non-finite
+    /// values and applies the configured [`crate::HealthPolicy`].
+    ///
+    /// On an unguarded simulation this is plain [`Simulation::step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the recorded incident when the policy is
+    /// [`crate::HealthPolicy::Abort`], or when every tier below the
+    /// current one has been exhausted under
+    /// [`crate::HealthPolicy::FallbackRaw`].
+    pub fn step_guarded(&mut self) -> Result<(), crate::Incident> {
+        use crate::{HealthPolicy, Incident, IncidentKind};
+        let Some(mut g) = self.guard.take() else {
+            self.step();
+            return Ok(());
+        };
+        // Snapshot for rollback/clamping; Abort never restores.
+        let snapshot = if g.policy == HealthPolicy::Abort {
+            None
+        } else {
+            Some((self.state.clone(), self.ext.clone(), self.t))
+        };
+        self.step();
+        g.step_count += 1;
+        // Deterministic fault injection: a seeded NaN "blow-up" at the
+        // planned step, written into one cell's membrane potential.
+        if let Some((step, seed)) = g.nan_plan {
+            if step == g.step_count {
+                g.nan_plan = None;
+                let cell = seed as usize % self.n_cells();
+                if let Some(vm_i) = self.vm_index {
+                    self.ext.set(cell, vm_i, f64::NAN);
+                } else {
+                    self.state.set(cell, 0, f64::NAN);
+                }
+            }
+        }
+        if self.all_finite() {
+            self.guard = Some(g);
+            return Ok(());
+        }
+        let result = match g.policy {
+            HealthPolicy::Abort => {
+                let incident = Incident::new(
+                    IncidentKind::NonFiniteState,
+                    &g.model.name,
+                    "non-finite value in cell state; aborting (policy abort)",
+                )
+                .at_step(g.step_count)
+                .to_tier(g.tier);
+                g.incidents.push(incident.clone());
+                Err(incident)
+            }
+            HealthPolicy::ClampAndWarn => {
+                let (state, ext, _) = snapshot.as_ref().expect("snapshot taken for clamping");
+                let clamped = self.restore_non_finite(state, ext);
+                let incident = Incident::new(
+                    IncidentKind::NonFiniteState,
+                    &g.model.name,
+                    format!("{clamped} non-finite value(s) reset to pre-step values (policy clamp-and-warn)"),
+                )
+                .at_step(g.step_count)
+                .to_tier(g.tier);
+                g.incidents.push(incident);
+                Ok(())
+            }
+            HealthPolicy::FallbackRaw => {
+                let (state, ext, t) = snapshot.expect("snapshot taken for fallback");
+                self.fall_back_and_retry(&mut g, state, ext, t)
+            }
+        };
+        self.guard = Some(g);
+        result
+    }
+
+    /// Rolls the step back and retries it on successively lower tiers
+    /// until the state comes out finite or the ladder is exhausted.
+    fn fall_back_and_retry(
+        &mut self,
+        g: &mut GuardState,
+        state: CellStates,
+        ext: ExtArrays,
+        t: f64,
+    ) -> Result<(), crate::Incident> {
+        use crate::{Incident, IncidentKind, Tier};
+        let failed_step = g.step_count;
+        self.state = state;
+        self.ext = ext;
+        self.t = t;
+        g.step_count -= 1;
+        g.incidents.push(
+            Incident::new(
+                IncidentKind::NonFiniteState,
+                &g.model.name,
+                "non-finite value in cell state; rolled back one step",
+            )
+            .at_step(failed_step)
+            .to_tier(g.tier),
+        );
+        loop {
+            let Some(next) = g.tier.next_down() else {
+                let incident = Incident::new(
+                    IncidentKind::NonFiniteState,
+                    &g.model.name,
+                    "non-finite state persists on the reference tier; giving up",
+                )
+                .at_step(failed_step)
+                .to_tier(g.tier);
+                g.incidents.push(incident.clone());
+                return Err(incident);
+            };
+            // Adopt the lower tier's kernel, carrying the rolled-back
+            // per-cell values across (layouts may differ).
+            match next {
+                Tier::Raw => {
+                    self.adopt_kernel(g.entry.raw_kernel().clone(), g.entry.layout());
+                }
+                Tier::Reference => {
+                    let entry = match crate::KernelCache::global()
+                        .try_get_or_compile(&g.model, PipelineKind::Baseline)
+                    {
+                        Ok(entry) => entry,
+                        Err(q) => {
+                            let incident = Incident::new(
+                                IncidentKind::NonFiniteState,
+                                &g.model.name,
+                                format!("reference pipeline unavailable: {}", q.error),
+                            )
+                            .at_step(failed_step)
+                            .to_tier(g.tier);
+                            g.incidents.push(incident.clone());
+                            return Err(incident);
+                        }
+                    };
+                    // The raw program of the reference entry: the most
+                    // conservative executable we have.
+                    self.adopt_kernel(entry.raw_kernel().clone(), entry.layout());
+                    g.entry = entry;
+                }
+                Tier::Optimized => unreachable!("ladder only descends"),
+            }
+            g.tier = next;
+            g.incidents.push(
+                Incident::new(
+                    IncidentKind::TierFallback,
+                    &g.model.name,
+                    format!("retrying step {failed_step} on tier {next}"),
+                )
+                .at_step(failed_step)
+                .to_tier(next),
+            );
+            let snapshot = (self.state.clone(), self.ext.clone(), self.t);
+            self.step();
+            g.step_count += 1;
+            if self.all_finite() {
+                return Ok(());
+            }
+            // Still bad: roll back again and descend further.
+            self.state = snapshot.0;
+            self.ext = snapshot.1;
+            self.t = snapshot.2;
+            g.step_count -= 1;
+            g.incidents.push(
+                Incident::new(
+                    IncidentKind::NonFiniteState,
+                    &g.model.name,
+                    format!("non-finite state persists on tier {next}; rolled back again"),
+                )
+                .at_step(failed_step)
+                .to_tier(next),
+            );
+        }
+    }
+
+    /// Runs `steps` guarded steps, stopping at the first unrecoverable
+    /// incident.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Simulation::step_guarded`] error.
+    pub fn run_guarded(&mut self, steps: usize) -> Result<(), crate::Incident> {
+        for _ in 0..steps {
+            self.step_guarded()?;
+        }
+        Ok(())
+    }
+
+    /// True when every logical cell's state variables and externals are
+    /// finite.
+    fn all_finite(&self) -> bool {
+        let n = self.n_cells();
+        let n_state = self.kernel.info().state_names.len();
+        let n_ext = self.kernel.info().ext_names.len();
+        (0..n).all(|cell| {
+            (0..n_state).all(|v| self.state.get(cell, v).is_finite())
+                && (0..n_ext).all(|v| self.ext.get(cell, v).is_finite())
+        })
+    }
+
+    /// Overwrites every non-finite entry with its value from the
+    /// snapshot, returning how many entries were restored.
+    fn restore_non_finite(&mut self, state: &CellStates, ext: &ExtArrays) -> usize {
+        let n = self.n_cells();
+        let n_state = self.kernel.info().state_names.len();
+        let n_ext = self.kernel.info().ext_names.len();
+        let mut restored = 0;
+        for cell in 0..n {
+            for v in 0..n_state {
+                if !self.state.get(cell, v).is_finite() {
+                    self.state.set(cell, v, state.get(cell, v));
+                    restored += 1;
+                }
+            }
+            for v in 0..n_ext {
+                if !self.ext.get(cell, v).is_finite() {
+                    self.ext.set(cell, v, ext.get(cell, v));
+                    restored += 1;
+                }
+            }
+        }
+        restored
+    }
+
+    /// Swaps in a different compiled kernel mid-run, migrating the
+    /// logical cells' state and external values into storage shaped for
+    /// the new kernel (layout and padding may differ).
+    fn adopt_kernel(&mut self, kernel: Kernel, layout: StateLayout) {
+        let n = self.n_cells();
+        let mut state = kernel.new_states(n, layout);
+        let mut ext = kernel.new_ext(n);
+        let n_state = kernel.info().state_names.len();
+        let n_ext = kernel.info().ext_names.len();
+        for cell in 0..n {
+            for v in 0..n_state {
+                state.set(cell, v, self.state.get(cell, v));
+            }
+            for v in 0..n_ext {
+                ext.set(cell, v, self.ext.get(cell, v));
+            }
+        }
+        self.kernel = kernel;
+        self.state = state;
+        self.ext = ext;
     }
 
     /// Runs one step with operation counting (for the roofline model).

@@ -51,7 +51,17 @@ impl ShardedSimulation {
                     n_cells: cells,
                     ..*workload
                 };
-                Simulation::new(model, config, &wl)
+                if crate::faults::injection_active() {
+                    // Injection runs must survive quarantined kernels:
+                    // every shard degrades the same way (the resilient
+                    // lookup is deterministic per (model, config) key).
+                    Simulation::new_resilient(model, config, &wl, crate::HealthPolicy::Abort)
+                        .unwrap_or_else(|q| {
+                            panic!("model '{}' quarantined on every tier: {}", q.model, q.error)
+                        })
+                } else {
+                    Simulation::new(model, config, &wl)
+                }
             })
             .collect();
         ShardedSimulation { shards }

@@ -1,0 +1,119 @@
+//! Health-guard policy tests: the same injected mid-run NaN under each
+//! [`HealthPolicy`], proving `Abort` fails fast with a named incident,
+//! `ClampAndWarn` keeps going with finite state, and `FallbackRaw`
+//! resumes with a trajectory bit-identical to the reference pipeline.
+//!
+//! Fault plans are process-global; every test serializes on one mutex.
+
+use limpet_harness::{
+    faults, HealthPolicy, IncidentKind, PipelineKind, Simulation, Tier, Workload,
+};
+use limpet_models::model;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    let guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    faults::disarm_all();
+    guard
+}
+
+const WL: Workload = Workload {
+    n_cells: 8,
+    steps: 0,
+    dt: 0.01,
+};
+const SEED: u64 = 13;
+const STEPS: usize = 50;
+
+fn guarded(model_name: &str, policy: HealthPolicy) -> Simulation {
+    faults::arm(&format!("state-nan@{SEED}")).unwrap();
+    Simulation::new_resilient(&model(model_name), PipelineKind::Baseline, &WL, policy)
+        .expect("healthy model compiles")
+}
+
+#[test]
+fn abort_policy_fails_fast_with_named_incident() {
+    let _g = serialized();
+    let mut sim = guarded("BeelerReuter", HealthPolicy::Abort);
+    let err = sim
+        .run_guarded(STEPS)
+        .expect_err("abort must surface the NaN");
+    assert_eq!(err.kind, IncidentKind::NonFiniteState);
+    assert_eq!(err.model, "BeelerReuter");
+    assert_eq!(
+        err.step,
+        Some(faults::nan_step(SEED)),
+        "fails at the injected step"
+    );
+    // The incident is also on the simulation's report, and no fallback
+    // happened: the tier is unchanged.
+    assert!(sim
+        .incidents()
+        .iter()
+        .any(|i| i.kind == IncidentKind::NonFiniteState));
+    assert_eq!(sim.tier(), Tier::Optimized);
+    faults::disarm_all();
+}
+
+#[test]
+fn clamp_policy_restores_and_continues() {
+    let _g = serialized();
+    let mut sim = guarded("BeelerReuter", HealthPolicy::ClampAndWarn);
+    sim.run_guarded(STEPS).expect("clamping absorbs the NaN");
+    assert_eq!(sim.tier(), Tier::Optimized, "clamping never changes tier");
+    let incident = sim
+        .incidents()
+        .iter()
+        .find(|i| i.kind == IncidentKind::NonFiniteState)
+        .expect("clamp must be recorded");
+    assert_eq!(incident.step, Some(faults::nan_step(SEED)));
+    for cell in 0..WL.n_cells {
+        assert!(sim.vm(cell).is_finite(), "cell {cell} not finite");
+    }
+    faults::disarm_all();
+}
+
+#[test]
+fn fallback_policy_resumes_bit_identical_to_reference() {
+    let _g = serialized();
+    let mut sim = guarded("BeelerReuter", HealthPolicy::FallbackRaw);
+    sim.run_guarded(STEPS).expect("fallback absorbs the NaN");
+    assert_eq!(sim.tier(), Tier::Raw, "one rung down");
+
+    // An unguarded reference run of the same workload: the rolled-back
+    // retry must leave no trace in the numbers.
+    let mut reference = Simulation::new(&model("BeelerReuter"), PipelineKind::Baseline, &WL);
+    reference.run(STEPS);
+    for cell in 0..WL.n_cells {
+        assert_eq!(
+            sim.vm(cell).to_bits(),
+            reference.vm(cell).to_bits(),
+            "cell {cell} diverged from the reference trajectory"
+        );
+        for var in ["V", "m", "h"] {
+            if let (Some(a), Some(b)) = (sim.state_of(cell, var), reference.state_of(cell, var)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "state {var} of cell {cell}");
+            }
+        }
+    }
+    faults::disarm_all();
+}
+
+#[test]
+fn unguarded_step_guarded_is_plain_stepping() {
+    let _g = serialized();
+    let m = model("Plonsey");
+    let mut guarded = Simulation::new(&m, PipelineKind::Baseline, &WL);
+    let mut plain = Simulation::new(&m, PipelineKind::Baseline, &WL);
+    for _ in 0..20 {
+        guarded.step_guarded().expect("no guard, no incidents");
+        plain.step();
+    }
+    assert!(guarded.incidents().is_empty());
+    for cell in 0..WL.n_cells {
+        assert_eq!(guarded.vm(cell).to_bits(), plain.vm(cell).to_bits());
+    }
+    faults::disarm_all();
+}

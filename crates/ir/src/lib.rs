@@ -64,4 +64,4 @@ pub use ops::{CmpFPred, CmpIPred, MathFn, OpKind};
 pub use parser::{parse_module, ParseError};
 pub use printer::{print_func, print_module};
 pub use types::{ScalarType, Type};
-pub use verifier::{verify_module, VerifyError};
+pub use verifier::{verify_module, VerifyCode, VerifyError};

@@ -10,9 +10,56 @@ use crate::types::Type;
 use std::collections::HashSet;
 use std::fmt;
 
+/// The category of a verification failure — a stable code for
+/// programmatic classification (the harness incident log and tests key on
+/// it instead of matching message strings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum VerifyCode {
+    /// An operand used before its definition or out of scope.
+    Dominance,
+    /// A terminator in the wrong place, or a region missing one.
+    Terminator,
+    /// An op with the wrong number of operands.
+    Arity,
+    /// An op whose operand/result types do not satisfy its typing rule.
+    Type,
+    /// A missing or malformed op attribute.
+    Attribute,
+    /// A dangling or inconsistent LUT cross-reference.
+    LutRef,
+    /// A structural rule violation (region shapes, nesting, counts).
+    Structure,
+}
+
+impl VerifyCode {
+    /// The stable kebab-case spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VerifyCode::Dominance => "dominance",
+            VerifyCode::Terminator => "terminator",
+            VerifyCode::Arity => "arity",
+            VerifyCode::Type => "type",
+            VerifyCode::Attribute => "attribute",
+            VerifyCode::LutRef => "lut-ref",
+            VerifyCode::Structure => "structure",
+        }
+    }
+}
+
+impl fmt::Display for VerifyCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A verification failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyError {
+    /// The failure category.
+    pub code: VerifyCode,
+    /// The module (model) being verified.
+    pub model: Option<String>,
     /// The function in which the error occurred, if any.
     pub func: Option<String>,
     /// Human-readable description.
@@ -21,14 +68,48 @@ pub struct VerifyError {
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.func {
-            Some(name) => write!(f, "in @{name}: {}", self.message),
-            None => write!(f, "{}", self.message),
+        write!(f, "error[verify/{}]", self.code)?;
+        if let Some(m) = &self.model {
+            write!(f, " in module '{m}'")?;
         }
+        if let Some(name) = &self.func {
+            write!(f, " in @{name}")?;
+        }
+        write!(f, ": {}", self.message)
     }
 }
 
 impl std::error::Error for VerifyError {}
+
+/// Internal error carrier: a [`VerifyCode`] plus message, before module /
+/// function attribution. Bare strings convert with code
+/// [`VerifyCode::Type`] — the dominant category inside `verify_op` — and
+/// every other category is tagged explicitly at the error site.
+struct VErr {
+    code: VerifyCode,
+    message: String,
+}
+
+impl VErr {
+    fn new(code: VerifyCode, message: impl Into<String>) -> VErr {
+        VErr {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<String> for VErr {
+    fn from(message: String) -> VErr {
+        VErr::new(VerifyCode::Type, message)
+    }
+}
+
+impl From<&str> for VErr {
+    fn from(message: &str) -> VErr {
+        VErr::new(VerifyCode::Type, message)
+    }
+}
 
 /// Verifies a whole module.
 ///
@@ -47,49 +128,53 @@ impl std::error::Error for VerifyError {}
 /// assert!(verify_module(&m).is_ok());
 /// ```
 pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    let lut_err = |message: String| VerifyError {
+        code: VerifyCode::LutRef,
+        model: Some(module.name().to_owned()),
+        func: None,
+        message,
+    };
     for lut in &module.luts {
-        let func = module.func(&lut.func).ok_or_else(|| VerifyError {
-            func: None,
-            message: format!(
+        let func = module.func(&lut.func).ok_or_else(|| {
+            lut_err(format!(
                 "lut @{} references missing function @{}",
                 lut.name, lut.func
-            ),
+            ))
         })?;
         if func.arg_types() != [Type::F64] {
-            return Err(VerifyError {
-                func: None,
-                message: format!("lut function @{} must take a single f64 key", lut.func),
-            });
+            return Err(lut_err(format!(
+                "lut function @{} must take a single f64 key",
+                lut.func
+            )));
         }
         if func.result_types().len() != lut.cols.len() {
-            return Err(VerifyError {
-                func: None,
-                message: format!(
-                    "lut @{} declares {} columns but @{} returns {} values",
-                    lut.name,
-                    lut.cols.len(),
-                    lut.func,
-                    func.result_types().len()
-                ),
-            });
+            return Err(lut_err(format!(
+                "lut @{} declares {} columns but @{} returns {} values",
+                lut.name,
+                lut.cols.len(),
+                lut.func,
+                func.result_types().len()
+            )));
         }
         if lut.step <= 0.0 || lut.hi <= lut.lo {
-            return Err(VerifyError {
-                func: None,
-                message: format!("lut @{} has an empty or inverted range", lut.name),
-            });
+            return Err(lut_err(format!(
+                "lut @{} has an empty or inverted range",
+                lut.name
+            )));
         }
     }
     for func in module.funcs() {
-        verify_func(module, func).map_err(|message| VerifyError {
+        verify_func(module, func).map_err(|e| VerifyError {
+            code: e.code,
+            model: Some(module.name().to_owned()),
             func: Some(func.name().to_owned()),
-            message,
+            message: e.message,
         })?;
     }
     Ok(())
 }
 
-fn verify_func(module: &Module, func: &Func) -> Result<(), String> {
+fn verify_func(module: &Module, func: &Func) -> Result<(), VErr> {
     let mut v = Verifier {
         module,
         func,
@@ -114,7 +199,7 @@ impl<'a> Verifier<'a> {
     /// its arguments and every op result, including those of nested
     /// regions — go out of scope when this returns, enforcing
     /// structured-region dominance.
-    fn verify_region(&mut self, region: RegionId, enclosing: Option<OpId>) -> Result<(), String> {
+    fn verify_region(&mut self, region: RegionId, enclosing: Option<OpId>) -> Result<(), VErr> {
         let mut added: Vec<ValueId> = Vec::new();
         // Region arguments are visible within the region only.
         for &a in &self.func.region(region).args {
@@ -134,22 +219,25 @@ impl<'a> Verifier<'a> {
         region: RegionId,
         enclosing: Option<OpId>,
         added: &mut Vec<ValueId>,
-    ) -> Result<(), String> {
+    ) -> Result<(), VErr> {
         let ops = &self.func.region(region).ops;
         for (i, &op_id) in ops.iter().enumerate() {
             let op = self.func.op(op_id);
             // Dominance: all operands already defined and in scope.
             for &operand in &op.operands {
                 if !self.defined.contains(&operand) {
-                    return Err(format!(
-                        "{} uses value defined later or out of scope",
-                        op.kind
+                    return Err(VErr::new(
+                        VerifyCode::Dominance,
+                        format!("{} uses value defined later or out of scope", op.kind),
                     ));
                 }
             }
             // Terminators must be last; last op of a sub-region must terminate.
             if op.kind.is_terminator() && i + 1 != ops.len() {
-                return Err(format!("{} is not the last op of its region", op.kind));
+                return Err(VErr::new(
+                    VerifyCode::Terminator,
+                    format!("{} is not the last op of its region", op.kind),
+                ));
             }
             self.verify_op(op_id, enclosing)?;
             for &r in &op.regions {
@@ -165,21 +253,29 @@ impl<'a> Verifier<'a> {
         if enclosing.is_some() {
             match ops.last() {
                 Some(&last) if self.func.op(last).kind.is_terminator() => {}
-                _ => return Err("region does not end with a terminator".to_owned()),
+                _ => {
+                    return Err(VErr::new(
+                        VerifyCode::Terminator,
+                        "region does not end with a terminator",
+                    ))
+                }
             }
         }
         Ok(())
     }
 
-    fn verify_op(&self, op_id: OpId, enclosing: Option<OpId>) -> Result<(), String> {
+    fn verify_op(&self, op_id: OpId, enclosing: Option<OpId>) -> Result<(), VErr> {
         let op = self.func.op(op_id);
         let kind = &op.kind;
         let arity_err = |want: usize| {
-            Err(format!(
-                "{} expects {} operands, has {}",
-                kind,
-                want,
-                op.operands.len()
+            Err(VErr::new(
+                VerifyCode::Arity,
+                format!(
+                    "{} expects {} operands, has {}",
+                    kind,
+                    want,
+                    op.operands.len()
+                ),
             ))
         };
         match kind {
@@ -214,7 +310,7 @@ impl<'a> Verifier<'a> {
                 let (a, b) = (self.ty(op.operands[0]), self.ty(op.operands[1]));
                 let r = self.ty(op.result());
                 if a != b || a != r || !a.is_float_like() {
-                    return Err(format!("{kind} type mismatch: {a}, {b} -> {r}"));
+                    return Err(format!("{kind} type mismatch: {a}, {b} -> {r}").into());
                 }
             }
             OpKind::NegF => {
@@ -241,10 +337,10 @@ impl<'a> Verifier<'a> {
                 }
                 let a = self.ty(op.operands[0]);
                 if a != self.ty(op.operands[1]) || a != self.ty(op.result()) {
-                    return Err(format!("{kind} type mismatch"));
+                    return Err(format!("{kind} type mismatch").into());
                 }
                 if a.is_float_like() || a.is_bool_like() {
-                    return Err(format!("{kind} needs integer operands"));
+                    return Err(format!("{kind} needs integer operands").into());
                 }
             }
             OpKind::CmpF(_) => {
@@ -278,7 +374,7 @@ impl<'a> Verifier<'a> {
                 }
                 let a = self.ty(op.operands[0]);
                 if a != self.ty(op.operands[1]) || a != self.ty(op.result()) || !a.is_bool_like() {
-                    return Err(format!("{kind} needs matching i1-like operands"));
+                    return Err(format!("{kind} needs matching i1-like operands").into());
                 }
             }
             OpKind::Select => {
@@ -315,7 +411,7 @@ impl<'a> Verifier<'a> {
                 }
                 let t = self.ty(op.result());
                 if !t.is_float_like() || op.operands.iter().any(|&o| self.ty(o) != t) {
-                    return Err(format!("{kind} type mismatch"));
+                    return Err(format!("{kind} type mismatch").into());
                 }
             }
             OpKind::Broadcast => {
@@ -336,7 +432,10 @@ impl<'a> Verifier<'a> {
                     return Err("scf.if condition must be scalar i1".into());
                 }
                 if op.regions.len() != 2 {
-                    return Err("scf.if needs then and else regions".into());
+                    return Err(VErr::new(
+                        VerifyCode::Structure,
+                        "scf.if needs then and else regions",
+                    ));
                 }
             }
             OpKind::For => {
@@ -350,12 +449,20 @@ impl<'a> Verifier<'a> {
                 }
                 let iters = &op.operands[3..];
                 if iters.len() != op.results.len() {
-                    return Err("scf.for iter_args/results count mismatch".into());
+                    return Err(VErr::new(
+                        VerifyCode::Structure,
+                        "scf.for iter_args/results count mismatch",
+                    ));
                 }
-                let body = op.regions.first().ok_or("scf.for needs a body region")?;
+                let body = op.regions.first().ok_or_else(|| {
+                    VErr::new(VerifyCode::Structure, "scf.for needs a body region")
+                })?;
                 let args = &self.func.region(*body).args;
                 if args.len() != iters.len() + 1 {
-                    return Err("scf.for body must have [iv, iters...] args".into());
+                    return Err(VErr::new(
+                        VerifyCode::Structure,
+                        "scf.for body must have [iv, iters...] args",
+                    ));
                 }
                 for (i, &init) in iters.iter().enumerate() {
                     if self.ty(init) != self.ty(args[i + 1])
@@ -366,17 +473,22 @@ impl<'a> Verifier<'a> {
                 }
             }
             OpKind::Yield => {
-                let parent = enclosing.ok_or("scf.yield outside a region")?;
+                let parent = enclosing.ok_or_else(|| {
+                    VErr::new(VerifyCode::Structure, "scf.yield outside a region")
+                })?;
                 let parent_op = self.func.op(parent);
                 match parent_op.kind {
                     OpKind::If | OpKind::For => {}
                     _ => return Err("scf.yield must terminate an scf region".into()),
                 }
                 if op.operands.len() != parent_op.results.len() {
-                    return Err(format!(
-                        "scf.yield yields {} values but parent produces {}",
-                        op.operands.len(),
-                        parent_op.results.len()
+                    return Err(VErr::new(
+                        VerifyCode::Structure,
+                        format!(
+                            "scf.yield yields {} values but parent produces {}",
+                            op.operands.len(),
+                            parent_op.results.len()
+                        ),
                     ));
                 }
                 for (&y, &r) in op.operands.iter().zip(&parent_op.results) {
@@ -387,14 +499,20 @@ impl<'a> Verifier<'a> {
             }
             OpKind::Return => {
                 if enclosing.is_some() {
-                    return Err("func.return inside a nested region".into());
+                    return Err(VErr::new(
+                        VerifyCode::Structure,
+                        "func.return inside a nested region",
+                    ));
                 }
                 let want = self.func.result_types();
                 if op.operands.len() != want.len() {
-                    return Err(format!(
-                        "return has {} operands, function declares {} results",
-                        op.operands.len(),
-                        want.len()
+                    return Err(VErr::new(
+                        VerifyCode::Arity,
+                        format!(
+                            "return has {} operands, function declares {} results",
+                            op.operands.len(),
+                            want.len()
+                        ),
                     ));
                 }
                 for (&o, &t) in op.operands.iter().zip(want) {
@@ -405,10 +523,13 @@ impl<'a> Verifier<'a> {
             }
             OpKind::GetExt | OpKind::GetState => {
                 if op.attrs.str_of("var").is_none() {
-                    return Err(format!("{kind} missing `var` attribute"));
+                    return Err(VErr::new(
+                        VerifyCode::Attribute,
+                        format!("{kind} missing `var` attribute"),
+                    ));
                 }
                 if !self.ty(op.result()).is_float_like() {
-                    return Err(format!("{kind} result must be f64-like"));
+                    return Err(format!("{kind} result must be f64-like").into());
                 }
             }
             OpKind::SetExt | OpKind::SetState | OpKind::SetParentState => {
@@ -416,7 +537,10 @@ impl<'a> Verifier<'a> {
                     return arity_err(1);
                 }
                 if op.attrs.str_of("var").is_none() {
-                    return Err(format!("{kind} missing `var` attribute"));
+                    return Err(VErr::new(
+                        VerifyCode::Attribute,
+                        format!("{kind} missing `var` attribute"),
+                    ));
                 }
             }
             OpKind::GetParentState => {
@@ -424,7 +548,10 @@ impl<'a> Verifier<'a> {
                     return arity_err(1);
                 }
                 if op.attrs.str_of("var").is_none() {
-                    return Err(format!("{kind} missing `var` attribute"));
+                    return Err(VErr::new(
+                        VerifyCode::Attribute,
+                        format!("{kind} missing `var` attribute"),
+                    ));
                 }
                 if self.ty(op.operands[0]) != self.ty(op.result()) {
                     return Err("get_parent_state fallback type mismatch".into());
@@ -432,7 +559,10 @@ impl<'a> Verifier<'a> {
             }
             OpKind::Param => {
                 if op.attrs.str_of("name").is_none() {
-                    return Err("limpet.param missing `name` attribute".into());
+                    return Err(VErr::new(
+                        VerifyCode::Attribute,
+                        "limpet.param missing `name` attribute",
+                    ));
                 }
                 if self.ty(op.result()) != Type::F64 {
                     return Err("limpet.param result must be scalar f64".into());
@@ -445,7 +575,7 @@ impl<'a> Verifier<'a> {
             }
             OpKind::Dt | OpKind::Time => {
                 if self.ty(op.result()) != Type::F64 {
-                    return Err(format!("{kind} result must be scalar f64"));
+                    return Err(format!("{kind} result must be scalar f64").into());
                 }
             }
             OpKind::CellIndex => {
@@ -457,21 +587,22 @@ impl<'a> Verifier<'a> {
                 if op.operands.len() != 1 {
                     return arity_err(1);
                 }
-                let table = op
-                    .attrs
-                    .str_of("table")
-                    .ok_or("lut.col missing `table` attribute")?;
-                let col = op
-                    .attrs
-                    .i64_of("col")
-                    .ok_or("lut.col missing `col` attribute")?;
-                let spec = self
-                    .module
-                    .lut(table)
-                    .ok_or_else(|| format!("lut.col references unknown table {table:?}"))?;
+                let table = op.attrs.str_of("table").ok_or_else(|| {
+                    VErr::new(VerifyCode::Attribute, "lut.col missing `table` attribute")
+                })?;
+                let col = op.attrs.i64_of("col").ok_or_else(|| {
+                    VErr::new(VerifyCode::Attribute, "lut.col missing `col` attribute")
+                })?;
+                let spec = self.module.lut(table).ok_or_else(|| {
+                    VErr::new(
+                        VerifyCode::LutRef,
+                        format!("lut.col references unknown table {table:?}"),
+                    )
+                })?;
                 if col < 0 || col as usize >= spec.cols.len() {
-                    return Err(format!(
-                        "lut.col column {col} out of range for table {table:?}"
+                    return Err(VErr::new(
+                        VerifyCode::LutRef,
+                        format!("lut.col column {col} out of range for table {table:?}"),
                     ));
                 }
                 let k = self.ty(op.operands[0]);
@@ -635,6 +766,78 @@ mod tests {
         let m = empty_module_with(f);
         let err = verify_module(&m).unwrap_err();
         assert!(err.message.contains("unknown table"), "{err}");
+        assert_eq!(err.code, VerifyCode::LutRef);
+        assert_eq!(err.model.as_deref(), Some("m"));
+    }
+
+    #[test]
+    fn codes_classify_failures() {
+        // Dominance: reuse the use-before-def construction.
+        let mut f = Func::new("f", &[], &[]);
+        let body = f.body();
+        let c1 = f.push_op(
+            body,
+            OpKind::ConstantF(1.0),
+            vec![],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        let v1 = f.op(c1).result();
+        f.push_op(
+            body,
+            OpKind::AddF,
+            vec![v1, v1],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        f.push_op(body, OpKind::Return, vec![], &[], Attrs::new(), vec![]);
+        f.region_mut(body).ops.swap(0, 1);
+        let err = verify_module(&empty_module_with(f)).unwrap_err();
+        assert_eq!(err.code, VerifyCode::Dominance);
+        assert_eq!(err.func.as_deref(), Some("f"));
+
+        // Arity: addf with one operand.
+        let mut f = Func::new("f", &[], &[]);
+        let body = f.body();
+        let c = f.push_op(
+            body,
+            OpKind::ConstantF(1.0),
+            vec![],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        let v = f.op(c).result();
+        f.push_op(
+            body,
+            OpKind::AddF,
+            vec![v],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        f.push_op(body, OpKind::Return, vec![], &[], Attrs::new(), vec![]);
+        let err = verify_module(&empty_module_with(f)).unwrap_err();
+        assert_eq!(err.code, VerifyCode::Arity);
+
+        // Attribute: set_state with no `var`.
+        let mut f = Func::new("f", &[], &[]);
+        let body = f.body();
+        let c = f.push_op(
+            body,
+            OpKind::ConstantF(1.0),
+            vec![],
+            &[Type::F64],
+            Attrs::new(),
+            vec![],
+        );
+        let v = f.op(c).result();
+        f.push_op(body, OpKind::SetState, vec![v], &[], Attrs::new(), vec![]);
+        f.push_op(body, OpKind::Return, vec![], &[], Attrs::new(), vec![]);
+        let err = verify_module(&empty_module_with(f)).unwrap_err();
+        assert_eq!(err.code, VerifyCode::Attribute);
     }
 
     #[test]

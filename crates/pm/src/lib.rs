@@ -258,6 +258,15 @@ impl PipelineError {
             PipelineError::VerifyFailed { pass, .. } => pass,
         }
     }
+
+    /// The underlying verifier diagnostic, when this is a verify failure.
+    /// Callers classify failures via [`VerifyError::code`] instead of
+    /// matching message strings.
+    pub fn verify_error(&self) -> Option<&VerifyError> {
+        match self {
+            PipelineError::VerifyFailed { error, .. } => Some(error),
+        }
+    }
 }
 
 impl fmt::Display for PipelineError {

@@ -23,6 +23,15 @@ cargo test -q
 echo "==> FileCheck-lite golden pass tests"
 cargo test -q -p limpet-pm --test filecheck_golden
 
+echo "==> fault-injection suite (degradation chain + health guards)"
+cargo test -q -p limpet-harness --test fault_injection --test health_guard
+
+echo "==> limpet-opt round-trip fuzz smoke (fixed-seed)"
+cargo test -q -p limpet-opt --test fuzz_roundtrip
+
+echo "==> easyml no-panic lint gate"
+cargo clippy -q -p limpet-easyml -- -D clippy::unwrap_used -D clippy::expect_used
+
 echo "==> vm_dispatch bench smoke (bytecode-optimizer regression gate)"
 # Recomputes the deterministic executed-instrs/step of a 3-model subset
 # and fails if any optimized count regressed above BENCH_vm_dispatch.json.
