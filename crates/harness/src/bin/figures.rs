@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! figures [--fig2] [--fig3] [--fig4] [--fig5] [--layout] [--lut]
-//!         [--icc] [--roofline] [--stats] [--all]
+//!         [--icc] [--roofline] [--stats] [--digest] [--all]
 //!         [--cells N] [--steps N] [--repeats N] [--models a,b,c]
 //!         [--jobs N] [--no-cache] [--no-bytecode-opt]
+//!         [--cache-dir PATH] [--no-disk-cache] [--cache clear|stat]
+//!         [--cache-cap-mb N] [--checkpoint PATH]
 //!         [--inject fault@seed[,fault@seed...]]
 //! ```
 //!
@@ -26,14 +28,25 @@
 //! `limpet_harness::faults`) — e.g. `--inject verify-fail@42` — which is
 //! also reachable through the `LIMPET_INJECT` environment variable; any
 //! recorded incidents and quarantined models print in the final summary.
+//!
+//! Compiled kernels persist across processes in an on-disk cache
+//! (default `~/.cache/limpet-rs`, overridable via `--cache-dir` or
+//! `LIMPET_CACHE_DIR`; `--no-disk-cache` keeps a run in-memory only).
+//! `--cache stat` and `--cache clear` are maintenance verbs that run and
+//! exit. `--checkpoint PATH` journals completed Fig. 2 rows so an
+//! interrupted sweep resumes instead of restarting, and `--digest`
+//! prints per-model trajectory digests for bit-identity acceptance
+//! checks (CI compares them across cold, warm, and fault-injected runs).
 
 use limpet_harness::{
-    all_pipeline_kinds, fig2_with_jobs, fig3_threads32, fig4_scaling, fig5_isa_threads,
-    fig6_roofline, icc_comparison, kernel_stats, layout_ablation, lut_ablation, ExperimentOptions,
-    KernelCache, TimingModel,
+    all_pipeline_kinds, default_cache_dir, fig2_checkpointed, fig3_threads32, fig4_scaling,
+    fig5_isa_threads, fig6_roofline, icc_comparison, kernel_stats, layout_ablation, lut_ablation,
+    summarize_incidents, trajectory_digest, DiskCache, ExperimentOptions, KernelCache,
+    PipelineKind, TimingModel, Workload,
 };
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 #[derive(Debug)]
@@ -47,8 +60,14 @@ struct Args {
     icc: bool,
     roofline: bool,
     stats: bool,
+    digest: bool,
     jobs: usize,
     no_cache: bool,
+    no_disk_cache: bool,
+    cache_dir: Option<PathBuf>,
+    cache_verb: Option<String>,
+    cache_cap_mb: Option<u64>,
+    checkpoint: Option<PathBuf>,
     opts: ExperimentOptions,
 }
 
@@ -64,8 +83,14 @@ fn parse_args() -> Args {
         icc: false,
         roofline: false,
         stats: false,
+        digest: false,
         jobs: 0,
         no_cache: false,
+        no_disk_cache: false,
+        cache_dir: None,
+        cache_verb: None,
+        cache_cap_mb: None,
+        checkpoint: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -123,6 +148,30 @@ fn parse_args() -> Args {
                     .expect("--jobs needs a number");
             }
             "--no-cache" => args.no_cache = true,
+            "--no-disk-cache" => args.no_disk_cache = true,
+            "--digest" => args.digest = true,
+            "--cache-dir" => {
+                args.cache_dir = Some(PathBuf::from(it.next().expect("--cache-dir needs a path")));
+            }
+            "--cache" => {
+                let verb = it.next().unwrap_or_default();
+                if verb != "clear" && verb != "stat" {
+                    eprintln!("--cache needs a verb: clear or stat");
+                    std::process::exit(2);
+                }
+                args.cache_verb = Some(verb);
+            }
+            "--cache-cap-mb" => {
+                args.cache_cap_mb = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--cache-cap-mb needs a number"),
+                );
+            }
+            "--checkpoint" => {
+                args.checkpoint =
+                    Some(PathBuf::from(it.next().expect("--checkpoint needs a path")));
+            }
             "--inject" => {
                 let spec = it.next().unwrap_or_default();
                 if let Err(e) = limpet_harness::faults::arm(&spec) {
@@ -133,9 +182,11 @@ fn parse_args() -> Args {
             "--no-bytecode-opt" => limpet_vm::set_bytecode_opt(false),
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig2|--fig3|--fig4|--fig5|--layout|--lut|--icc|--roofline|--stats|--all]\n\
+                    "usage: figures [--fig2|--fig3|--fig4|--fig5|--layout|--lut|--icc|--roofline|--stats|--digest|--all]\n\
                      \x20              [--cells N] [--steps N] [--repeats N] [--models a,b,c]\n\
                      \x20              [--jobs N] [--no-cache] [--no-bytecode-opt]\n\
+                     \x20              [--cache-dir PATH] [--no-disk-cache] [--cache clear|stat]\n\
+                     \x20              [--cache-cap-mb N] [--checkpoint PATH]\n\
                      \x20              [--inject fault@seed[,fault@seed...]]"
                 );
                 std::process::exit(0);
@@ -154,7 +205,9 @@ fn parse_args() -> Args {
         || args.lut
         || args.icc
         || args.roofline
-        || args.stats)
+        || args.stats
+        || args.digest
+        || args.cache_verb.is_some())
     {
         args.fig2 = true;
     }
@@ -184,6 +237,45 @@ fn main() {
         std::process::exit(2);
     }
     let args = parse_args();
+    let cache_dir = args.cache_dir.clone().unwrap_or_else(default_cache_dir);
+    // Maintenance verbs run and exit before any measurement machinery.
+    if let Some(verb) = &args.cache_verb {
+        let disk = DiskCache::open(&cache_dir).unwrap_or_else(|e| {
+            eprintln!("cannot open cache dir {}: {e}", cache_dir.display());
+            std::process::exit(1);
+        });
+        if let Some(mb) = args.cache_cap_mb {
+            disk.set_cap_bytes(mb * 1024 * 1024);
+        }
+        match verb.as_str() {
+            "stat" => match disk.status() {
+                Ok(s) => println!(
+                    "disk cache {}: {} entr{}, {:.1} KiB used, cap {} MiB",
+                    cache_dir.display(),
+                    s.entries,
+                    if s.entries == 1 { "y" } else { "ies" },
+                    s.bytes as f64 / 1024.0,
+                    s.cap_bytes / (1024 * 1024)
+                ),
+                Err(e) => {
+                    eprintln!("cannot stat cache dir {}: {e}", cache_dir.display());
+                    std::process::exit(1);
+                }
+            },
+            _ => match disk.clear() {
+                Ok(n) => println!(
+                    "disk cache {}: cleared {n} entr{}",
+                    cache_dir.display(),
+                    if n == 1 { "y" } else { "ies" }
+                ),
+                Err(e) => {
+                    eprintln!("cannot clear cache dir {}: {e}", cache_dir.display());
+                    std::process::exit(1);
+                }
+            },
+        }
+        return;
+    }
     println!(
         "limpet-rs figure runner: {} cells, {} steps, {} repeats{}",
         args.opts.n_cells,
@@ -205,6 +297,22 @@ fn main() {
     if args.no_cache {
         KernelCache::global().set_enabled(false);
         println!("kernel cache disabled (--no-cache): every run compiles from scratch\n");
+    } else if args.no_disk_cache {
+        println!("disk cache disabled (--no-disk-cache): kernels persist for this process only");
+    } else {
+        match DiskCache::open(&cache_dir) {
+            Ok(disk) => {
+                if let Some(mb) = args.cache_cap_mb {
+                    disk.set_cap_bytes(mb * 1024 * 1024);
+                }
+                println!("disk cache: {}", cache_dir.display());
+                KernelCache::global().set_disk_cache(Some(Arc::new(disk)));
+            }
+            Err(e) => eprintln!("warning: disk cache unavailable ({e}); continuing in-memory only"),
+        }
+    }
+    if args.no_cache {
+        // Nothing to precompile: the cache is bypassed entirely.
     } else if args.jobs > 0 {
         let models: Vec<_> = args
             .opts
@@ -226,9 +334,39 @@ fn main() {
         println!();
     }
 
+    if args.digest {
+        println!("== Trajectory digests (bit-identity acceptance) ==");
+        let wl = Workload {
+            n_cells: args.opts.n_cells,
+            steps: 0,
+            dt: 0.01,
+        };
+        let mut rows = Vec::new();
+        for e in args.opts.roster() {
+            let m = limpet_models::model(e.name);
+            for config in [
+                PipelineKind::Baseline,
+                PipelineKind::LimpetMlir(limpet_codegen::pipeline::VectorIsa::Avx512),
+            ] {
+                match trajectory_digest(&m, config, &wl, args.opts.steps) {
+                    Some(d) => {
+                        println!("  digest {:24} {:20} {d:016x}", e.name, config.label());
+                        rows.push(format!("{},{},{d:016x}", e.name, config.label()));
+                    }
+                    None => {
+                        println!("  digest {:24} {:20} quarantined", e.name, config.label());
+                        rows.push(format!("{},{},quarantined", e.name, config.label()));
+                    }
+                }
+            }
+        }
+        println!();
+        save_csv("digests.csv", "model,config,digest", &rows);
+    }
+
     if args.fig2 {
         println!("== Figure 2: single-thread speedup, limpetMLIR AVX-512 vs baseline ==");
-        let f = fig2_with_jobs(&args.opts, args.jobs.max(1));
+        let f = fig2_checkpointed(&args.opts, args.jobs.max(1), args.checkpoint.as_deref());
         let mut rows = Vec::new();
         for r in &f.rows {
             println!(
@@ -399,20 +537,56 @@ fn main() {
 
     let cs = KernelCache::global().stats();
     println!(
-        "kernel cache: {} entries, {} hits, {} compilations",
-        cs.entries, cs.hits, cs.misses
+        "kernel cache: {} entries, {} memory hits, {} disk hits, {} cold compilations",
+        cs.entries, cs.hits, cs.disk_hits, cs.misses
     );
-    if cs.quarantined > 0 || cs.poison_recoveries > 0 {
+    if let Some(disk) = KernelCache::global().disk_cache() {
+        let ds = disk.stats();
+        let occupancy = disk
+            .status()
+            .map(|s| {
+                format!(
+                    "{} entr{}, {:.1} KiB",
+                    s.entries,
+                    if s.entries == 1 { "y" } else { "ies" },
+                    s.bytes as f64 / 1024.0
+                )
+            })
+            .unwrap_or_else(|e| format!("unreadable: {e}"));
         println!(
-            "  degraded: {} quarantined model(s), {} lock recovery(ies)",
-            cs.quarantined, cs.poison_recoveries
+            "  disk tier {}: {occupancy}; {} hits, {} writes, {} rejected, {} evicted",
+            disk.dir().display(),
+            ds.hits,
+            ds.writes,
+            ds.rejects,
+            ds.evictions
+        );
+    }
+    if cs.quarantined > 0 || cs.poison_recoveries > 0 || cs.disk_rejects > 0 {
+        println!(
+            "  degraded: {} quarantined model(s), {} lock recovery(ies), {} disk entr{} rejected",
+            cs.quarantined,
+            cs.poison_recoveries,
+            cs.disk_rejects,
+            if cs.disk_rejects == 1 { "y" } else { "ies" }
         );
     }
     let incidents = KernelCache::global().incidents();
     if !incidents.is_empty() {
-        println!("incident report ({} event(s)):", incidents.len());
-        for i in &incidents {
-            println!("  {i}");
+        // Deduplicated: a per-step incident repeating for hundreds of
+        // steps prints once with an xN count, sorted by model and kind.
+        let summary = summarize_incidents(&incidents);
+        println!(
+            "incident report ({} event(s), {} distinct):",
+            incidents.len(),
+            summary.len()
+        );
+        for (incident, count) in &summary {
+            if *count > 1 {
+                println!("  {incident} x{count}");
+            } else {
+                println!("  {incident}");
+            }
         }
     }
 }

@@ -133,9 +133,31 @@ impl CompiledKernel {
     /// The pass manager's execution report from the cold compile: one
     /// [`limpet_passes::PassRun`] per pipeline pass, with wall time and
     /// counters. Cache hits share the entry, so this is always the
-    /// timing of the compile that actually ran.
+    /// timing of the compile that actually ran — except for entries
+    /// reloaded from the disk tier, whose report is a single synthetic
+    /// `"disk-load"` pass (see [`crate::persist`]).
     pub fn pass_report(&self) -> &limpet_passes::RunReport {
         &self.pass_report
+    }
+
+    /// Reassembles an entry from parts reconstructed off disk
+    /// ([`crate::persist::DiskCache::load`]). Crate-private: the only
+    /// legitimate producer of parts is the persistence layer's verified
+    /// decode path.
+    pub(crate) fn from_parts(
+        module: limpet_ir::Module,
+        kernel: Kernel,
+        raw_kernel: Kernel,
+        layout: StateLayout,
+        pass_report: limpet_passes::RunReport,
+    ) -> CompiledKernel {
+        CompiledKernel {
+            module,
+            kernel,
+            raw_kernel,
+            layout,
+            pass_report,
+        }
     }
 }
 
@@ -167,10 +189,19 @@ pub fn model_fingerprint(model: &Model) -> u64 {
 /// Cache hit/miss counters (monotonic over the cache's lifetime).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Lookups served from the in-memory map.
     pub hits: u64,
-    /// Lookups that compiled a new entry.
+    /// Lookups that compiled a new entry from scratch (cold compiles —
+    /// disk hits are counted separately, not here).
     pub misses: u64,
+    /// Lookups that missed in memory but reloaded a verified entry from
+    /// the disk tier (no compilation ran).
+    pub disk_hits: u64,
+    /// Disk entries found but rejected by an integrity check (each one
+    /// degraded to a cold compile and an incident).
+    pub disk_rejects: u64,
+    /// Entries persisted to the disk tier.
+    pub disk_writes: u64,
     /// Entries currently resident (successful compilations only).
     pub entries: usize,
     /// Quarantined entries currently resident (models whose compilation
@@ -246,8 +277,15 @@ pub struct KernelCache {
     map: Mutex<HashMap<(u64, PipelineKind, bool), CacheSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_rejects: AtomicU64,
+    disk_writes: AtomicU64,
     poison_recoveries: AtomicU64,
     incidents: Mutex<Vec<Incident>>,
+    /// The durable tier, when attached ([`KernelCache::set_disk_cache`]):
+    /// consulted between a memory miss and a cold compile, written after
+    /// every successful compile.
+    disk: Mutex<Option<Arc<crate::persist::DiskCache>>>,
     /// When set, every lookup compiles fresh and nothing is stored
     /// (`figures --no-cache`, A/B validation).
     bypass: std::sync::atomic::AtomicBool,
@@ -271,6 +309,18 @@ impl KernelCache {
     /// for A/B-validating that cached and cold runs agree.
     pub fn set_enabled(&self, enabled: bool) {
         self.bypass.store(!enabled, Ordering::Relaxed);
+    }
+
+    /// Attaches (or with `None` detaches) the durable disk tier. Once
+    /// attached, memory misses consult the disk before compiling and
+    /// successful compiles are persisted for later processes.
+    pub fn set_disk_cache(&self, disk: Option<Arc<crate::persist::DiskCache>>) {
+        *self.disk.lock().unwrap_or_else(|p| p.into_inner()) = disk;
+    }
+
+    /// The attached disk tier, if any.
+    pub fn disk_cache(&self) -> Option<Arc<crate::persist::DiskCache>> {
+        self.disk.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
     /// Locks the entry map, recovering (and recording) a poisoned lock.
@@ -375,6 +425,36 @@ impl KernelCache {
                     CacheSlot::Quarantined(q) => Err(Arc::clone(q)),
                 };
             }
+            // Memory miss: consult the durable tier before compiling.
+            // Quarantines are never persisted, so disk can only hand back
+            // verified successful compilations; any integrity failure
+            // degrades to the cold compile below with an incident.
+            if let Some(disk) = self.disk_cache() {
+                let disk_key = crate::persist::EntryKey {
+                    fingerprint: key.0,
+                    config: key.1,
+                    opt: key.2,
+                };
+                match disk.load(&disk_key, model) {
+                    crate::persist::DiskLoad::Hit(entry) => {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        let slot = CacheSlot::Ready(Arc::new(*entry));
+                        return match self.map_lock().entry(key).or_insert(slot) {
+                            CacheSlot::Ready(entry) => Ok(Arc::clone(entry)),
+                            CacheSlot::Quarantined(q) => Err(Arc::clone(q)),
+                        };
+                    }
+                    crate::persist::DiskLoad::Miss => {}
+                    crate::persist::DiskLoad::Rejected(reason) => {
+                        self.disk_rejects.fetch_add(1, Ordering::Relaxed);
+                        self.log(Incident::new(
+                            IncidentKind::DiskCacheRejected,
+                            &model.name,
+                            format!("disk cache entry rejected ({reason}); recompiling"),
+                        ));
+                    }
+                }
+            }
         }
         // Miss: compile without holding the lock, containing panics.
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -390,7 +470,13 @@ impl KernelCache {
             Err(CompileError::Panicked(msg))
         });
         let slot = match built {
-            Ok(entry) => CacheSlot::Ready(Arc::new(entry)),
+            Ok(entry) => {
+                let entry = Arc::new(entry);
+                if !bypass {
+                    self.persist_entry(&key, model, &entry);
+                }
+                CacheSlot::Ready(entry)
+            }
             Err(error) => {
                 let q = Arc::new(QuarantineEntry {
                     model: model.name.clone(),
@@ -414,6 +500,38 @@ impl KernelCache {
         match self.map_lock().entry(key).or_insert(slot) {
             CacheSlot::Ready(entry) => Ok(Arc::clone(entry)),
             CacheSlot::Quarantined(q) => Err(Arc::clone(q)),
+        }
+    }
+
+    /// Writes a freshly compiled entry to the disk tier, if one is
+    /// attached. Only successful compilations reach this — quarantined
+    /// failures stay process-local (a negative result must be retried,
+    /// not replayed, by the next process). Store failures degrade to an
+    /// incident: persistence is an optimization, never a correctness
+    /// dependency.
+    fn persist_entry(
+        &self,
+        key: &(u64, PipelineKind, bool),
+        model: &Model,
+        entry: &CompiledKernel,
+    ) {
+        let Some(disk) = self.disk_cache() else {
+            return;
+        };
+        let disk_key = crate::persist::EntryKey {
+            fingerprint: key.0,
+            config: key.1,
+            opt: key.2,
+        };
+        match disk.store(&disk_key, &model.name, entry) {
+            Ok(()) => {
+                self.disk_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => self.log(Incident::new(
+                IncidentKind::DiskCacheDegraded,
+                &model.name,
+                format!("could not persist kernel ({e}); continuing in-memory only"),
+            )),
         }
     }
 
@@ -511,6 +629,9 @@ impl KernelCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_rejects: self.disk_rejects.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
             entries,
             quarantined,
             poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),

@@ -98,9 +98,46 @@ pub fn measure_run(
     // injection it additionally absorbs a seeded mid-run NaN by tier
     // fallback (give-up is recorded as an incident, not a crash).
     let _ = sim.run_guarded(2);
-    measure_median(opts.repeats, || {
+    let t = measure_median(opts.repeats, || {
         let _ = sim.run_guarded(opts.steps);
-    })
+    });
+    // Runtime incidents (NaN clamps, tier fallbacks) otherwise die with
+    // the simulation; forward them to the global log so the `figures`
+    // summary reports the full degradation story, not just compile-time
+    // events. Only injection runs produce them, so the fast path pays
+    // nothing.
+    if crate::faults::injection_active() {
+        for incident in sim.incidents() {
+            KernelCache::global().log(incident.clone());
+        }
+    }
+    t
+}
+
+/// FNV-1a digest of every cell's membrane-potential bits after a short
+/// guarded run — the bit-identity acceptance check: two runs (cold-compiled vs.
+/// disk-cached, faulted vs. clean) agree iff their trajectories are
+/// bit-identical. Under fault injection the resilient path is used, so
+/// an injected fault that degrades gracefully still digests (and must
+/// still match the clean run, since every recovery recompiles the same
+/// kernel). Returns `None` only when even the reference tier is
+/// quarantined.
+pub fn trajectory_digest(
+    m: &limpet_easyml::Model,
+    config: PipelineKind,
+    wl: &Workload,
+    steps: usize,
+) -> Option<u64> {
+    let mut sim = measurement_sim(m, config, wl)?;
+    let _ = sim.run_guarded(steps);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for cell in 0..wl.n_cells {
+        for b in sim.vm(cell).to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    Some(h)
 }
 
 /// Bytes moved per step (for the timing model's memory floor) and the
@@ -202,10 +239,92 @@ pub fn fig2_single_thread(opts: &ExperimentOptions) -> Fig2 {
 /// both configurations of one model are measured on the same thread —
 /// but use `jobs = 1` when absolute seconds matter.
 pub fn fig2_with_jobs(opts: &ExperimentOptions, jobs: usize) -> Fig2 {
+    fig2_checkpointed(opts, jobs, None)
+}
+
+/// The checkpoint-journal identity of a fig-2 sweep: a journal written
+/// under different measurement options must restart, not resume — a
+/// half-sweep at 1024 cells stitched to a half-sweep at 8192 would be a
+/// silently corrupt figure.
+fn fig2_journal_header(opts: &ExperimentOptions) -> String {
+    let roster: Vec<&str> = opts.roster().iter().map(|e| e.name).collect();
+    format!(
+        "fig2-v1 n_cells={} steps={} repeats={} models={}",
+        opts.n_cells,
+        opts.steps,
+        opts.repeats,
+        roster.join("+")
+    )
+}
+
+/// One journal line per completed row; round-trips through
+/// [`parse_fig2_row`]. Times are stored as exact f64 bits — a resumed
+/// sweep reports precisely what the interrupted one measured.
+fn fig2_journal_line(row: &SpeedupRow) -> String {
+    format!(
+        "{},{},{:016x},{:016x}",
+        row.model,
+        row.class,
+        row.baseline.to_bits(),
+        row.limpet_mlir.to_bits()
+    )
+}
+
+fn parse_fig2_row(line: &str) -> Option<SpeedupRow> {
+    let mut fields = line.split(',');
+    let (model, class, tb, tl) = (
+        fields.next()?,
+        fields.next()?,
+        fields.next()?,
+        fields.next()?,
+    );
+    if fields.next().is_some() {
+        return None;
+    }
+    let baseline = f64::from_bits(u64::from_str_radix(tb, 16).ok()?);
+    let limpet_mlir = f64::from_bits(u64::from_str_radix(tl, 16).ok()?);
+    Some(SpeedupRow {
+        model: model.to_owned(),
+        class: class.to_owned(),
+        baseline,
+        limpet_mlir,
+        speedup: baseline / limpet_mlir,
+    })
+}
+
+/// [`fig2_with_jobs`] with an optional checkpoint journal
+/// ([`crate::persist::Journal`]) at `journal`: every completed model is
+/// recorded as it finishes, a restarted sweep (same options, same path)
+/// skips the recorded rows and measures only the remainder, and the
+/// journal file is removed once the sweep completes. `figures --fig2
+/// --checkpoint PATH` drives this.
+pub fn fig2_checkpointed(
+    opts: &ExperimentOptions,
+    jobs: usize,
+    journal: Option<&std::path::Path>,
+) -> Fig2 {
     let entries = opts.roster();
     let jobs = jobs.clamp(1, entries.len().max(1));
     let mut slots: Vec<Option<SpeedupRow>> = Vec::new();
     slots.resize_with(entries.len(), || None);
+    // Resume: pre-fill slots from the journal's completed rows. Rows for
+    // unknown models (stale journal edited by hand) are ignored and
+    // simply re-measured.
+    let journal = journal.map(|path| {
+        let (journal, done) = crate::persist::Journal::open(path, &fig2_journal_header(opts))
+            .unwrap_or_else(|e| panic!("cannot open checkpoint journal {}: {e}", path.display()));
+        let mut resumed = 0;
+        for row in done.iter().filter_map(|l| parse_fig2_row(l)) {
+            if let Some(i) = entries.iter().position(|e| e.name == row.model) {
+                slots[i] = Some(row);
+                resumed += 1;
+            }
+        }
+        if resumed > 0 {
+            eprintln!("checkpoint: resuming fig2 sweep, {resumed} row(s) already measured");
+        }
+        journal
+    });
     let slots = std::sync::Mutex::new(slots);
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -215,19 +334,36 @@ pub fn fig2_with_jobs(opts: &ExperimentOptions, jobs: usize) -> Fig2 {
                 let Some(e) = entries.get(i) else {
                     break;
                 };
+                if slots.lock().unwrap()[i].is_some() {
+                    continue; // resumed from the journal
+                }
                 let m = model(e.name);
                 let tb = measure_run(&m, PipelineKind::Baseline, opts);
                 let tl = measure_run(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
-                slots.lock().unwrap()[i] = Some(SpeedupRow {
+                let row = SpeedupRow {
                     model: e.name.to_owned(),
                     class: e.class.name().to_owned(),
                     baseline: tb,
                     limpet_mlir: tl,
                     speedup: tb / tl,
-                });
+                };
+                let mut slots = slots.lock().unwrap();
+                // Journal under the slots lock so lines are whole and the
+                // journal order matches completion order.
+                if let Some(j) = &journal {
+                    if let Err(e) = j.record(&fig2_journal_line(&row)) {
+                        eprintln!("warning: checkpoint append failed: {e}");
+                    }
+                }
+                slots[i] = Some(row);
             });
         }
     });
+    if let Some(j) = journal {
+        if let Err(e) = j.finish() {
+            eprintln!("warning: could not remove completed checkpoint journal: {e}");
+        }
+    }
     let rows: Vec<SpeedupRow> = slots
         .into_inner()
         .unwrap()
@@ -726,6 +862,69 @@ mod tests {
             assert!(r.speedup.is_finite());
         }
         assert!(parallel.geomean.is_finite());
+    }
+
+    #[test]
+    fn fig2_checkpoint_resumes_completed_rows_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("limpet-fig2-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("fig2.journal");
+        let opts = tiny_opts(&["Plonsey", "BeelerReuter"]);
+        // Simulate an interrupted sweep: a journal holding one completed
+        // row with sentinel times no real measurement would produce.
+        let sentinel = SpeedupRow {
+            model: "Plonsey".to_owned(),
+            class: "small".to_owned(),
+            baseline: 4.0,
+            limpet_mlir: 2.0,
+            speedup: 2.0,
+        };
+        let (j, done) = crate::persist::Journal::open(&path, &fig2_journal_header(&opts)).unwrap();
+        assert!(done.is_empty());
+        j.record(&fig2_journal_line(&sentinel)).unwrap();
+        drop(j);
+        // The resumed sweep must keep the journaled row bit-exactly (it
+        // was not re-measured) and measure only the remaining model.
+        let f = fig2_checkpointed(&opts, 1, Some(&path));
+        assert_eq!(f.rows.len(), 2);
+        let plonsey = f.rows.iter().find(|r| r.model == "Plonsey").unwrap();
+        assert_eq!((plonsey.baseline, plonsey.limpet_mlir), (4.0, 2.0));
+        let br = f.rows.iter().find(|r| r.model == "BeelerReuter").unwrap();
+        assert!(br.baseline > 0.0 && br.limpet_mlir > 0.0);
+        assert!(!path.exists(), "completed sweep removes its journal");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fig2_journal_rows_round_trip_times_bit_exactly() {
+        let row = SpeedupRow {
+            model: "M".to_owned(),
+            class: "large".to_owned(),
+            baseline: 0.123_456_789_e-3,
+            limpet_mlir: 7.654_321e-5,
+            speedup: 0.0,
+        };
+        let parsed = parse_fig2_row(&fig2_journal_line(&row)).unwrap();
+        assert_eq!(parsed.baseline.to_bits(), row.baseline.to_bits());
+        assert_eq!(parsed.limpet_mlir.to_bits(), row.limpet_mlir.to_bits());
+        assert!(parse_fig2_row("garbage").is_none());
+        assert!(parse_fig2_row("a,b,zz,00").is_none());
+    }
+
+    #[test]
+    fn trajectory_digest_is_deterministic_and_model_sensitive() {
+        let wl = Workload {
+            n_cells: 8,
+            steps: 0,
+            dt: 0.01,
+        };
+        let m = model("HodgkinHuxley");
+        let a = trajectory_digest(&m, PipelineKind::Baseline, &wl, 50).unwrap();
+        let b = trajectory_digest(&m, PipelineKind::Baseline, &wl, 50).unwrap();
+        assert_eq!(a, b);
+        let other = model("BeelerReuter");
+        let c = trajectory_digest(&other, PipelineKind::Baseline, &wl, 50).unwrap();
+        assert_ne!(a, c);
     }
 
     #[test]

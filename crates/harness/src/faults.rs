@@ -42,15 +42,26 @@ pub enum FaultKind {
     CachePoison,
     /// Write a NaN into the cell state mid-run (health-guard path).
     StateNan,
+    /// Flip one byte of a disk-cache entry as it is read (checksum /
+    /// integrity rejection path).
+    DiskCorrupt,
+    /// Truncate a disk-cache entry as it is read (length-check path).
+    DiskTruncate,
+    /// Rewrite a disk-cache entry's format-version stamp as it is read
+    /// (stale-version rejection path).
+    DiskStaleVersion,
 }
 
 /// Every fault kind, in spec order — handy for exercising the whole chain.
-pub const ALL_FAULT_KINDS: [FaultKind; 5] = [
+pub const ALL_FAULT_KINDS: [FaultKind; 8] = [
     FaultKind::ParseError,
     FaultKind::VerifyFail,
     FaultKind::BytecodeCorrupt,
     FaultKind::CachePoison,
     FaultKind::StateNan,
+    FaultKind::DiskCorrupt,
+    FaultKind::DiskTruncate,
+    FaultKind::DiskStaleVersion,
 ];
 
 impl FaultKind {
@@ -62,6 +73,9 @@ impl FaultKind {
             FaultKind::BytecodeCorrupt => "bytecode-corrupt",
             FaultKind::CachePoison => "cache-poison",
             FaultKind::StateNan => "state-nan",
+            FaultKind::DiskCorrupt => "disk-corrupt",
+            FaultKind::DiskTruncate => "disk-truncate",
+            FaultKind::DiskStaleVersion => "disk-stale-version",
         }
     }
 

@@ -98,6 +98,13 @@ pub enum IncidentKind {
     TierFallback,
     /// A model was served from (or newly placed in) quarantine.
     Quarantined,
+    /// An on-disk cache entry failed an integrity check (corruption,
+    /// truncation, stale version, unparseable payload) and was discarded;
+    /// the lookup degraded to a cold compile.
+    DiskCacheRejected,
+    /// The disk cache tier itself misbehaved (lock timeout, write
+    /// failure); the run continued in-memory only.
+    DiskCacheDegraded,
 }
 
 impl IncidentKind {
@@ -112,6 +119,8 @@ impl IncidentKind {
             IncidentKind::CachePoisonRecovered => "cache-poison-recovered",
             IncidentKind::TierFallback => "tier-fallback",
             IncidentKind::Quarantined => "quarantined",
+            IncidentKind::DiskCacheRejected => "disk-cache-rejected",
+            IncidentKind::DiskCacheDegraded => "disk-cache-degraded",
         }
     }
 }
@@ -183,6 +192,40 @@ impl fmt::Display for Incident {
     }
 }
 
+/// Collapses a raw incident list into `(representative, count)` groups
+/// for display. Incidents are grouped by kind, model, tier, and detail —
+/// the step is ignored, since a per-step incident repeating for hundreds
+/// of steps is one story, not hundreds — and sorted by model, then kind,
+/// then detail. Multi-occurrence groups drop the (now meaningless)
+/// step annotation from the representative.
+pub fn summarize_incidents(incidents: &[Incident]) -> Vec<(Incident, usize)> {
+    let mut groups: Vec<(Incident, usize)> = Vec::new();
+    for incident in incidents {
+        match groups.iter_mut().find(|(rep, _)| {
+            rep.kind == incident.kind
+                && rep.model == incident.model
+                && rep.tier == incident.tier
+                && rep.detail == incident.detail
+        }) {
+            Some((_, count)) => *count += 1,
+            None => groups.push((incident.clone(), 1)),
+        }
+    }
+    for (rep, count) in &mut groups {
+        if *count > 1 {
+            rep.step = None;
+        }
+    }
+    groups.sort_by(|(a, _), (b, _)| {
+        (a.model.as_str(), a.kind.as_str(), a.detail.as_str()).cmp(&(
+            b.model.as_str(),
+            b.kind.as_str(),
+            b.detail.as_str(),
+        ))
+    });
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +252,36 @@ mod tests {
     #[test]
     fn default_policy_is_abort() {
         assert_eq!(HealthPolicy::default(), HealthPolicy::Abort);
+    }
+
+    #[test]
+    fn summarize_groups_repeats_and_sorts() {
+        let mut incidents = Vec::new();
+        for step in [3, 4, 5] {
+            incidents.push(
+                Incident::new(IncidentKind::NonFiniteState, "Zebra", "Vm went NaN").at_step(step),
+            );
+        }
+        incidents.push(Incident::new(
+            IncidentKind::Quarantined,
+            "Aardvark",
+            "verify failed",
+        ));
+        let summary = summarize_incidents(&incidents);
+        assert_eq!(summary.len(), 2);
+        // Sorted by model: Aardvark first.
+        assert_eq!(summary[0].0.model, "Aardvark");
+        assert_eq!(summary[0].1, 1);
+        assert_eq!(summary[1].1, 3, "per-step repeats collapse into a count");
+        assert_eq!(
+            summary[1].0.step, None,
+            "a collapsed group has no single step"
+        );
+        // Different details stay distinct groups.
+        let distinct = summarize_incidents(&[
+            Incident::new(IncidentKind::Quarantined, "M", "a"),
+            Incident::new(IncidentKind::Quarantined, "M", "b"),
+        ]);
+        assert_eq!(distinct.len(), 2);
     }
 }

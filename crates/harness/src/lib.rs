@@ -17,6 +17,7 @@ pub mod error;
 pub mod experiments;
 pub mod faults;
 pub mod health;
+pub mod persist;
 pub mod sim;
 pub mod threads;
 
@@ -26,12 +27,15 @@ pub use cache::{
 };
 pub use error::{compile_source, CompileError};
 pub use experiments::{
-    fig2_single_thread, fig2_with_jobs, fig3_threads32, fig4_scaling, fig5_isa_threads,
-    fig6_roofline, geomean, icc_comparison, kernel_stats, layout_ablation, lut_ablation,
-    ExperimentOptions, THREAD_COUNTS,
+    fig2_checkpointed, fig2_single_thread, fig2_with_jobs, fig3_threads32, fig4_scaling,
+    fig5_isa_threads, fig6_roofline, geomean, icc_comparison, kernel_stats, layout_ablation,
+    lut_ablation, trajectory_digest, ExperimentOptions, THREAD_COUNTS,
 };
 pub use faults::FaultKind;
-pub use health::{HealthPolicy, Incident, IncidentKind, Tier};
+pub use health::{summarize_incidents, HealthPolicy, Incident, IncidentKind, Tier};
+pub use persist::{
+    default_cache_dir, DiskCache, DiskCacheStatus, DiskLoad, DiskStats, EntryKey, Journal,
+};
 pub use sim::{model_info, storage_layout, PipelineKind, Simulation, Stimulus, Workload};
 pub use threads::{
     measure_median, measure_stream_bandwidth, shard_sizes, ShardedSimulation, TimingModel,

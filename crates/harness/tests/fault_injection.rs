@@ -2,19 +2,22 @@
 //! of the fault-tolerant compile/run chain fires and recovers.
 //!
 //! Fault plans are process-global, so every test here serializes on one
-//! mutex and disarms all plans before and after its scenario. The final
-//! test is the acceptance scenario: one `--inject`-style spec with fixed
-//! seeds exercises all five fault kinds end to end on the 3-model CI
-//! subset, each producing a recorded incident, with the
-//! optimized → raw → reference chain observed and the post-fallback
-//! trajectory bit-identical to the reference pipeline.
+//! mutex and disarms all plans before and after its scenario. The
+//! compile/run acceptance scenario is one `--inject`-style spec with
+//! fixed seeds that exercises the five in-process fault kinds end to end
+//! on the 3-model CI subset, each producing a recorded incident, with
+//! the optimized → raw → reference chain observed and the post-fallback
+//! trajectory bit-identical to the reference pipeline. The three disk
+//! faults (`disk-corrupt`, `disk-truncate`, `disk-stale-version`) get
+//! their own combined-spec scenario here; `persistent_cache.rs` covers
+//! each one individually plus self-healing and concurrency.
 
 use limpet_harness::{
-    compile_source, faults, CompileError, HealthPolicy, IncidentKind, KernelCache, PipelineKind,
-    Simulation, Tier, Workload,
+    compile_source, faults, CompileError, DiskCache, HealthPolicy, IncidentKind, KernelCache,
+    PipelineKind, Simulation, Tier, Workload,
 };
 use limpet_models::{model, source};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 static SERIAL: Mutex<()> = Mutex::new(());
 
@@ -162,8 +165,68 @@ fn state_nan_descends_one_tier_under_fallback_policy() {
     faults::disarm_all();
 }
 
-/// The acceptance scenario: one fixed-seed spec arms all five fault
-/// kinds; a roster-style pass over the 3-model CI subset trips every one
+/// The disk-fault trio rides the same spec grammar as the in-process
+/// faults, and one spec arming all three spreads them across consecutive
+/// disk-cache loads (at most one fault fires per load) — so a single
+/// `--inject disk-corrupt@3,disk-truncate@5,disk-stale-version@1` run
+/// exercises the checksum, length, and version rungs of the integrity
+/// ladder on three successive lookups, each degrading to a recompile
+/// whose trajectory stays bit-identical to the original cold compile.
+#[test]
+fn combined_disk_fault_spec_spreads_over_consecutive_loads() {
+    let _g = serialized();
+    let dir = std::env::temp_dir().join(format!("limpet-fault-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk = Arc::new(DiskCache::open(&dir).expect("temp cache dir"));
+    let m = model("HodgkinHuxley");
+    let config = PipelineKind::LimpetMlir(limpet_codegen::pipeline::VectorIsa::Avx512);
+    const STEPS: usize = 100;
+
+    let trajectory = |cache: &KernelCache| -> Vec<u64> {
+        let entry = cache.get_or_compile(&m, config);
+        let mut sim = Simulation::with_kernel(entry.kernel().clone(), entry.layout(), &WL);
+        sim.run(STEPS);
+        (0..WL.n_cells).map(|c| sim.vm(c).to_bits()).collect()
+    };
+
+    // Seed the durable tier with one valid entry.
+    let seeder = KernelCache::new();
+    seeder.set_disk_cache(Some(Arc::clone(&disk)));
+    let reference = trajectory(&seeder);
+
+    faults::arm("disk-corrupt@3,disk-truncate@5,disk-stale-version@1").unwrap();
+    for round in 1..=3 {
+        // A fresh process-level cache forces each round down to disk.
+        let cache = KernelCache::new();
+        cache.set_disk_cache(Some(Arc::clone(&disk)));
+        let bits = trajectory(&cache);
+        let s = cache.stats();
+        assert_eq!(s.disk_rejects, 1, "round {round}: one fault, one rejection");
+        assert_eq!(s.misses, 1, "round {round}: degraded to a recompile");
+        assert_eq!(s.disk_writes, 1, "round {round}: re-stored (self-heal)");
+        assert!(
+            cache
+                .incidents()
+                .iter()
+                .any(|i| i.kind == IncidentKind::DiskCacheRejected),
+            "round {round}: rejection recorded"
+        );
+        assert_eq!(bits, reference, "round {round}: bit-identical trajectory");
+    }
+
+    // All three plans are spent: the fourth load is a clean disk hit.
+    let cache = KernelCache::new();
+    cache.set_disk_cache(Some(Arc::clone(&disk)));
+    let bits = trajectory(&cache);
+    let s = cache.stats();
+    assert_eq!((s.disk_hits, s.disk_rejects, s.misses), (1, 0, 0), "{s:?}");
+    assert_eq!(bits, reference);
+    let _ = std::fs::remove_dir_all(&dir);
+    faults::disarm_all();
+}
+
+/// The acceptance scenario: one fixed-seed spec arms all five in-process
+/// fault kinds; a roster-style pass over the 3-model CI subset trips every one
 /// of them, each leaving a recorded incident; the degradation chain runs
 /// optimized → raw → reference end to end; and the post-fallback
 /// trajectory is bit-identical to the reference pipeline.

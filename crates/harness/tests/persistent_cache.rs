@@ -1,0 +1,354 @@
+//! Integration suite for the durable kernel-cache tier: disk round-trips
+//! must be bit-identical to cold compiles, every injected disk fault must
+//! degrade to a recompile with a recorded incident and then self-heal,
+//! quarantined failures must never reach disk, and concurrent access —
+//! racing threads in one process and a spawned second process — must
+//! serialize to exactly one valid entry per key.
+//!
+//! Fault plans are process-global, so tests that arm them serialize on
+//! one mutex, mirroring `fault_injection.rs`. The second-process tests
+//! re-exec this test binary (`std::env::current_exe()`) with an `--exact`
+//! filter on an env-gated child test, so no extra fixture binary is
+//! needed.
+
+use limpet_harness::{
+    faults, CompiledKernel, DiskCache, IncidentKind, KernelCache, PipelineKind, Simulation,
+    Workload,
+};
+use limpet_models::model;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::{Arc, Barrier, Mutex};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    let guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    faults::disarm_all();
+    guard
+}
+
+const WL: Workload = Workload {
+    n_cells: 8,
+    steps: 0,
+    dt: 0.01,
+};
+const STEPS: usize = 200;
+const CONFIG: PipelineKind = PipelineKind::LimpetMlir(limpet_codegen::pipeline::VectorIsa::Avx512);
+
+/// A fresh per-test cache directory under the system temp dir (std-only:
+/// no tempfile crate), cleaned before use so stale runs can't leak in.
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("limpet-persist-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the compiled kernel for [`STEPS`] and returns every cell's Vm as
+/// raw bits — the bit-identity currency of this suite.
+fn trajectory_bits(entry: &CompiledKernel) -> Vec<u64> {
+    let mut sim = Simulation::with_kernel(entry.kernel().clone(), entry.layout(), &WL);
+    sim.run(STEPS);
+    (0..WL.n_cells).map(|c| sim.vm(c).to_bits()).collect()
+}
+
+fn cache_with_disk(disk: &Arc<DiskCache>) -> KernelCache {
+    let cache = KernelCache::new();
+    cache.set_disk_cache(Some(Arc::clone(disk)));
+    cache
+}
+
+/// FNV-1a over the trajectory bits — one u64 that fits on the child
+/// process's result line.
+fn fnv_digest(bits: &[u64]) -> u64 {
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bits {
+        for byte in b.to_le_bytes() {
+            digest ^= u64::from(byte);
+            digest = digest.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    digest
+}
+
+#[test]
+fn disk_hit_matches_cold_compile_bit_exactly() {
+    let _g = serialized();
+    let dir = temp_cache_dir("roundtrip");
+    let disk = Arc::new(DiskCache::open(&dir).expect("temp cache dir"));
+    let m = model("HodgkinHuxley");
+
+    // Cold compile populates the disk tier.
+    let seeder = cache_with_disk(&disk);
+    let cold = seeder.get_or_compile(&m, CONFIG);
+    let s = seeder.stats();
+    assert_eq!(s.misses, 1, "cold compile");
+    assert_eq!(s.disk_writes, 1, "persisted");
+    let cold_bits = trajectory_bits(&cold);
+
+    // A fresh process-level cache (as a second process would have) must
+    // be served from disk without compiling.
+    let warm = cache_with_disk(&disk);
+    let loaded = warm.get_or_compile(&m, CONFIG);
+    let s = warm.stats();
+    assert_eq!(s.disk_hits, 1, "served from the durable tier");
+    assert_eq!(s.misses, 0, "zero cold compiles on the warm path");
+    assert_eq!(
+        loaded.pass_report().passes[0].name,
+        "disk-load",
+        "provenance: a loaded entry reports the synthetic disk-load pass"
+    );
+    assert_eq!(
+        trajectory_bits(&loaded),
+        cold_bits,
+        "disk round-trip must be bit-identical to the cold compile"
+    );
+
+    // The uncached reference agrees too — the persisted kernel is the
+    // real thing, not merely self-consistent.
+    let mut reference = Simulation::new_uncached(&m, CONFIG, &WL);
+    reference.run(STEPS);
+    for (cell, &bits) in cold_bits.iter().enumerate() {
+        assert_eq!(reference.vm(cell).to_bits(), bits, "cell {cell}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn each_disk_fault_degrades_to_recompile_and_self_heals() {
+    let _g = serialized();
+    let dir = temp_cache_dir("faults");
+    let disk = Arc::new(DiskCache::open(&dir).expect("temp cache dir"));
+    let m = model("BeelerReuter");
+
+    let seeder = cache_with_disk(&disk);
+    let reference_bits = trajectory_bits(&seeder.get_or_compile(&m, CONFIG));
+
+    for spec in ["disk-corrupt@3", "disk-truncate@5", "disk-stale-version@1"] {
+        faults::arm(spec).unwrap();
+        let cache = cache_with_disk(&disk);
+        let entry = cache.get_or_compile(&m, CONFIG);
+        let s = cache.stats();
+        assert_eq!(s.disk_rejects, 1, "{spec}: integrity check must reject");
+        assert_eq!(s.misses, 1, "{spec}: rejection degrades to a cold compile");
+        assert_eq!(
+            s.disk_writes, 1,
+            "{spec}: the recompile re-stores the entry"
+        );
+        let incident = cache
+            .incidents()
+            .iter()
+            .find(|i| i.kind == IncidentKind::DiskCacheRejected)
+            .cloned()
+            .unwrap_or_else(|| panic!("{spec}: rejection must be recorded as an incident"));
+        assert!(
+            incident.detail.contains("recompiling"),
+            "{spec}: incident names the degradation: {}",
+            incident.detail
+        );
+        assert_eq!(
+            trajectory_bits(&entry),
+            reference_bits,
+            "{spec}: degraded path must stay bit-identical"
+        );
+        faults::disarm_all();
+
+        // Self-heal: the re-stored entry satisfies the next process
+        // cleanly — no lingering rejected file, no recompile.
+        let verify = cache_with_disk(&disk);
+        verify.get_or_compile(&m, CONFIG);
+        let s = verify.stats();
+        assert_eq!(s.disk_hits, 1, "{spec}: healed entry serves a clean hit");
+        assert_eq!(s.disk_rejects, 0, "{spec}: no repeat rejection");
+        assert_eq!(s.misses, 0, "{spec}: no repeat compile");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quarantined_compilations_are_never_persisted() {
+    let _g = serialized();
+    let dir = temp_cache_dir("quarantine");
+    let disk = Arc::new(DiskCache::open(&dir).expect("temp cache dir"));
+    let m = model("BeelerReuter");
+
+    faults::arm("verify-fail@9").unwrap();
+    let cache = cache_with_disk(&disk);
+    let err = cache
+        .try_get_or_compile(&m, CONFIG)
+        .expect_err("injected verify failure must quarantine");
+    assert_eq!(err.model, "BeelerReuter");
+    assert_eq!(cache.stats().quarantined, 1);
+
+    // The negative result stays process-local: nothing reached disk.
+    let status = disk.status().expect("readable cache dir");
+    assert_eq!(status.entries, 0, "no entry file for a quarantined build");
+    assert_eq!(disk.stats().writes, 0, "no store was even attempted");
+    faults::disarm_all();
+
+    // Sanity: with the fault spent, the same key compiles and persists —
+    // so the empty dir above was the quarantine gate, not a broken store.
+    let retry = cache_with_disk(&disk);
+    retry.get_or_compile(&m, CONFIG);
+    assert_eq!(disk.status().expect("readable").entries, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn racing_threads_serialize_to_one_valid_entry() {
+    let _g = serialized();
+    let dir = temp_cache_dir("thread-race");
+    let disk = Arc::new(DiskCache::open(&dir).expect("temp cache dir"));
+    let m = model("HodgkinHuxley");
+
+    // Two threads, each with its own process-level cache (so both miss
+    // memory), race the same key into one shared disk tier. The store
+    // path serializes on the lock file; whatever interleaving happens,
+    // the durable outcome must be exactly one valid entry.
+    let barrier = Arc::new(Barrier::new(2));
+    let digests: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let disk = Arc::clone(&disk);
+                let barrier = Arc::clone(&barrier);
+                let m = &m;
+                scope.spawn(move || {
+                    let cache = cache_with_disk(&disk);
+                    barrier.wait();
+                    trajectory_bits(&cache.get_or_compile(m, CONFIG))
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    assert_eq!(
+        digests[0], digests[1],
+        "racing results must agree bit-exactly"
+    );
+
+    let status = disk.status().expect("readable cache dir");
+    assert_eq!(status.entries, 1, "exactly one entry file per key");
+
+    // And that one entry is valid: a fresh cache gets a clean disk hit
+    // that reproduces the racers' trajectory.
+    let verify = cache_with_disk(&disk);
+    let entry = verify.get_or_compile(&m, CONFIG);
+    let s = verify.stats();
+    assert_eq!((s.disk_hits, s.disk_rejects, s.misses), (1, 0, 0), "{s:?}");
+    assert_eq!(trajectory_bits(&entry), digests[0]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Env-gated worker for the multi-process tests: does nothing under a
+/// normal `cargo test` run. When `LIMPET_PERSIST_CHILD_DIR` is set (by a
+/// parent test re-executing this binary), it opens the shared cache dir,
+/// acquires the kernel through a fresh cache, and prints one structured
+/// result line for the parent to parse.
+#[test]
+fn child_process_disk_probe() {
+    let Ok(dir) = std::env::var("LIMPET_PERSIST_CHILD_DIR") else {
+        return;
+    };
+    let disk = Arc::new(DiskCache::open(Path::new(&dir)).expect("shared cache dir"));
+    let cache = cache_with_disk(&disk);
+    let m = model("HodgkinHuxley");
+    let entry = cache.get_or_compile(&m, CONFIG);
+    let digest = fnv_digest(&trajectory_bits(&entry));
+    let s = cache.stats();
+    println!(
+        "child-result digest={digest:016x} misses={} disk_hits={}",
+        s.misses, s.disk_hits
+    );
+}
+
+/// Re-executes this test binary filtered down to the child probe above,
+/// pointed at `dir`, and returns the parsed `child-result` line fields:
+/// `(digest, misses, disk_hits)`.
+fn spawn_child(dir: &Path) -> std::process::Child {
+    Command::new(std::env::current_exe().expect("test binary path"))
+        .args(["--exact", "child_process_disk_probe", "--nocapture"])
+        .env("LIMPET_PERSIST_CHILD_DIR", dir)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn child test process")
+}
+
+fn parse_child_result(child: std::process::Child) -> (u64, u64, u64) {
+    let out = child.wait_with_output().expect("child runs to completion");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "child process failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Under --nocapture libtest prints its own "test ... " prefix on the
+    // same line, so search for the marker anywhere, not at line start.
+    let line = stdout
+        .lines()
+        .find_map(|l| l.split("child-result ").nth(1))
+        .unwrap_or_else(|| panic!("no child-result line in:\n{stdout}"));
+    let field = |key: &str| -> u64 {
+        let tok = line
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("missing {key} in '{line}'"));
+        u64::from_str_radix(tok, 16)
+            .or_else(|_| tok.parse())
+            .unwrap_or_else(|_| panic!("bad {key} in '{line}'"))
+    };
+    (field("digest"), field("misses"), field("disk_hits"))
+}
+
+#[test]
+fn second_process_warm_run_has_zero_cold_compiles() {
+    let _g = serialized();
+    let dir = temp_cache_dir("second-process");
+    let disk = Arc::new(DiskCache::open(&dir).expect("temp cache dir"));
+    let m = model("HodgkinHuxley");
+
+    // This process compiles cold and persists; the spawned process must
+    // then reach the same kernel without a single compile.
+    let seeder = cache_with_disk(&disk);
+    let parent_digest = fnv_digest(&trajectory_bits(&seeder.get_or_compile(&m, CONFIG)));
+
+    let (digest, misses, disk_hits) = parse_child_result(spawn_child(&dir));
+    assert_eq!(misses, 0, "second process must not compile");
+    assert_eq!(disk_hits, 1, "second process is served from disk");
+    assert_eq!(digest, parent_digest, "cross-process bit-identity");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn racing_processes_serialize_to_one_valid_entry() {
+    let _g = serialized();
+    let dir = temp_cache_dir("process-race");
+    // Note: no seeding — both children start from an empty dir, so both
+    // (very likely) compile cold and race their stores through the lock
+    // file. Either interleaving is acceptable; the durable outcome isn't.
+    let a = spawn_child(&dir);
+    let b = spawn_child(&dir);
+    let (digest_a, ..) = parse_child_result(a);
+    let (digest_b, ..) = parse_child_result(b);
+    assert_eq!(
+        digest_a, digest_b,
+        "racing processes must agree bit-exactly"
+    );
+
+    let disk = Arc::new(DiskCache::open(&dir).expect("temp cache dir"));
+    let status = disk.status().expect("readable cache dir");
+    assert_eq!(status.entries, 1, "exactly one entry file per key");
+
+    // The surviving entry passes the full integrity ladder.
+    let verify = cache_with_disk(&disk);
+    let entry = verify.get_or_compile(&model("HodgkinHuxley"), CONFIG);
+    let s = verify.stats();
+    assert_eq!((s.disk_hits, s.disk_rejects, s.misses), (1, 0, 0), "{s:?}");
+    assert_eq!(
+        fnv_digest(&trajectory_bits(&entry)),
+        digest_a,
+        "survivor reproduces the racers' trajectory"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

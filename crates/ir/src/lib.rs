@@ -55,6 +55,13 @@ pub mod testing;
 mod types;
 mod verifier;
 
+/// Version stamp of the textual IR format ([`print_module`] /
+/// [`parse_module`]). Bump whenever the printed form changes shape — the
+/// on-disk kernel cache embeds this stamp in every entry and treats a
+/// mismatch as "stale: recompile", so old entries can never be misparsed
+/// by a newer reader (or vice versa).
+pub const TEXT_FORMAT_VERSION: u32 = 1;
+
 pub use attr::{Attr, Attrs};
 pub use builder::Builder;
 pub use module::{

@@ -253,6 +253,65 @@ impl Kernel {
         Ok((opt, stats, raw))
     }
 
+    /// Reassembles an executable kernel from persisted parts — the
+    /// disk-cache load path. Performs the same binding validation as
+    /// [`Kernel::from_module`] (the program's symbol tables must match
+    /// the model facts exactly, since `compile_program` seeds them from
+    /// the same orders), and recomputes the parameter snapshot from
+    /// `info` with the identical expression, so a reconstructed kernel
+    /// computes bit-identical trajectories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when `width` is unsupported or the
+    /// program's state/external/LUT bindings disagree with `info` — the
+    /// signature of a stale or mismatched cache entry.
+    pub fn from_parts(
+        name: &str,
+        program: Program,
+        width: usize,
+        info: &ModelInfo,
+        luts: Vec<LutData>,
+    ) -> Result<Kernel, CompileError> {
+        if !matches!(width, 1 | 2 | 4 | 8) {
+            return Err(CompileError(format!("unsupported vector width {width}")));
+        }
+        if program.state_vars != info.state_names {
+            return Err(CompileError(format!(
+                "persisted state binding {:?} does not match the model's {:?}",
+                program.state_vars, info.state_names
+            )));
+        }
+        if program.ext_vars != info.ext_names {
+            return Err(CompileError(format!(
+                "persisted external binding {:?} does not match the model's {:?}",
+                program.ext_vars, info.ext_names
+            )));
+        }
+        if program.lut_tables.len() != luts.len() {
+            return Err(CompileError(format!(
+                "persisted kernel references {} lut table(s) but {} were provided",
+                program.lut_tables.len(),
+                luts.len()
+            )));
+        }
+        let param_map: HashMap<&str, f64> =
+            info.params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let param_values: Vec<f64> = program
+            .params
+            .iter()
+            .map(|n| *param_map.get(n.as_str()).unwrap_or(&0.0))
+            .collect();
+        Ok(Kernel {
+            name: name.into(),
+            program: Arc::new(program),
+            width,
+            param_values: param_values.into(),
+            luts: luts.into(),
+            info: Arc::new(info.clone()),
+        })
+    }
+
     /// Whether two kernels share the same underlying compilation (the
     /// same `Arc`'d program), i.e. one is a cheap clone of the other.
     pub fn shares_compilation(&self, other: &Kernel) -> bool {
@@ -277,6 +336,12 @@ impl Kernel {
     /// The compiled program (for inspection and instruction statistics).
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The precomputed lookup tables, in program table order (what
+    /// [`Kernel::from_parts`] takes back to reassemble the kernel).
+    pub fn luts(&self) -> &[LutData] {
+        &self.luts
     }
 
     /// Total LUT memory in bytes.

@@ -48,6 +48,7 @@ mod engine;
 mod eval;
 mod lut;
 mod optimize;
+mod serialize;
 mod state;
 // rustfmt's width-fitting is superlinear on this file as a whole (minutes of
 // CPU on 500 lines, though any subset formats instantly); skip it so
@@ -60,4 +61,8 @@ pub use engine::{Kernel, ModelInfo, ParentView, Profile, SimContext};
 pub use eval::{eval_func, EvalContext, EvalError, ParamOnlyContext, Val};
 pub use lut::LutData;
 pub use optimize::{bytecode_opt_enabled, optimize_program, set_bytecode_opt, OptStats};
+pub use serialize::{
+    deserialize_luts, deserialize_program, serialize_luts, serialize_program,
+    BYTECODE_FORMAT_VERSION,
+};
 pub use state::{CellStates, ExtArrays, StateLayout};

@@ -70,6 +70,77 @@ impl LutData {
         }
     }
 
+    /// Reassembles a table from persisted parts — the disk-cache load
+    /// path. `rows` is derived from `data.len() / cols` and must agree
+    /// with what [`LutData::build`] would compute for `(lo, hi, step)`,
+    /// so a stale or corrupted payload is rejected instead of silently
+    /// interpolating over the wrong grid. `inv_step` is recomputed as
+    /// `1.0 / step`, the same expression `build` uses, so a reassembled
+    /// table interpolates bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency (non-positive
+    /// step, empty range, data length not matching the grid).
+    pub fn from_raw(
+        lo: f64,
+        hi: f64,
+        step: f64,
+        cols: usize,
+        data: Vec<f64>,
+    ) -> Result<LutData, String> {
+        let range_ok =
+            lo.is_finite() && hi.is_finite() && step.is_finite() && step > 0.0 && hi > lo;
+        if !range_ok {
+            return Err(format!("lut range [{lo}, {hi}] step {step} is invalid"));
+        }
+        if cols == 0 {
+            return Err("lut has zero columns".to_string());
+        }
+        if !data.len().is_multiple_of(cols) {
+            return Err(format!(
+                "lut data length {} is not a multiple of {cols} columns",
+                data.len()
+            ));
+        }
+        let rows = data.len() / cols;
+        let expect = ((hi - lo) / step).floor() as usize + 2;
+        if rows != expect {
+            return Err(format!(
+                "lut has {rows} rows but the range [{lo}, {hi}] at step {step} needs {expect}"
+            ));
+        }
+        Ok(LutData {
+            lo,
+            hi,
+            step,
+            inv_step: 1.0 / step,
+            rows,
+            cols,
+            data,
+        })
+    }
+
+    /// Lower bound of the tabulated range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the tabulated range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Tabulation step.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// The raw row-major payload (`data[row * cols + col]`).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

@@ -1,0 +1,945 @@
+//! Machine-readable textual serialization of compiled bytecode.
+//!
+//! The on-disk kernel cache (harness layer) persists compiled kernels as
+//! text: the IR module goes through `limpet_ir::print_module`, and the two
+//! bytecode programs plus the tabulated lookup tables go through this
+//! module. The format is line-oriented and diffable, but exact: every
+//! `f64` is written as the hex of its IEEE-754 bit pattern, so a
+//! deserialized kernel computes bit-identical trajectories.
+//!
+//! The format carries a version stamp ([`BYTECODE_FORMAT_VERSION`]);
+//! readers reject any other version, so a stale cache entry degrades to a
+//! recompile instead of misinterpreting fields. Deserialization never
+//! panics on malformed input — every structural defect comes back as an
+//! `Err` describing the offending line.
+
+use crate::bytecode::{BBin, FBin, IBin, Instr, Program};
+use crate::lut::LutData;
+use limpet_ir::{CmpFPred, CmpIPred, MathFn};
+use std::fmt::Write as _;
+
+/// Version stamp of the textual bytecode/LUT format. Bump on any change
+/// to the serialized shape; readers reject mismatched stamps so old cache
+/// entries are recompiled rather than misread.
+pub const BYTECODE_FORMAT_VERSION: u32 = 1;
+
+impl FBin {
+    /// Stable lowercase mnemonic used by the bytecode serializer.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FBin::Add => "add",
+            FBin::Sub => "sub",
+            FBin::Mul => "mul",
+            FBin::Div => "div",
+            FBin::Rem => "rem",
+            FBin::Min => "min",
+            FBin::Max => "max",
+        }
+    }
+
+    /// Parses a [`FBin::as_str`] mnemonic.
+    pub fn parse(s: &str) -> Option<FBin> {
+        [
+            FBin::Add,
+            FBin::Sub,
+            FBin::Mul,
+            FBin::Div,
+            FBin::Rem,
+            FBin::Min,
+            FBin::Max,
+        ]
+        .into_iter()
+        .find(|op| op.as_str() == s)
+    }
+}
+
+impl BBin {
+    /// Stable lowercase mnemonic used by the bytecode serializer.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BBin::And => "and",
+            BBin::Or => "or",
+            BBin::Xor => "xor",
+        }
+    }
+
+    /// Parses a [`BBin::as_str`] mnemonic.
+    pub fn parse(s: &str) -> Option<BBin> {
+        [BBin::And, BBin::Or, BBin::Xor]
+            .into_iter()
+            .find(|op| op.as_str() == s)
+    }
+}
+
+impl IBin {
+    /// Stable lowercase mnemonic used by the bytecode serializer.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IBin::Add => "add",
+            IBin::Sub => "sub",
+            IBin::Mul => "mul",
+        }
+    }
+
+    /// Parses an [`IBin::as_str`] mnemonic.
+    pub fn parse(s: &str) -> Option<IBin> {
+        [IBin::Add, IBin::Sub, IBin::Mul]
+            .into_iter()
+            .find(|op| op.as_str() == s)
+    }
+}
+
+/// An `f64` as the 16 hex digits of its bit pattern (exact round-trip,
+/// NaN payloads included).
+fn fbits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn write_symbols(out: &mut String, key: &str, names: &[String]) {
+    write!(out, "{key} {}", names.len()).unwrap();
+    for n in names {
+        debug_assert!(
+            !n.is_empty() && !n.chars().any(char::is_whitespace),
+            "symbol '{n}' is not serializable"
+        );
+        write!(out, " {n}").unwrap();
+    }
+    out.push('\n');
+}
+
+/// Serializes a compiled program to the versioned textual format.
+pub fn serialize_program(p: &Program) -> String {
+    let mut out = String::new();
+    writeln!(out, "program v{BYTECODE_FORMAT_VERSION}").unwrap();
+    writeln!(out, "regs {} {} {}", p.n_fregs, p.n_bregs, p.n_iregs).unwrap();
+    write_symbols(&mut out, "state", &p.state_vars);
+    write_symbols(&mut out, "ext", &p.ext_vars);
+    write_symbols(&mut out, "params", &p.params);
+    write_symbols(&mut out, "luts", &p.lut_tables);
+    write_symbols(&mut out, "parents", &p.parent_vars);
+    writeln!(out, "instrs {}", p.instrs.len()).unwrap();
+    for instr in &p.instrs {
+        write_instr(&mut out, instr);
+    }
+    out
+}
+
+fn write_instr(out: &mut String, instr: &Instr) {
+    match instr {
+        Instr::ConstF { dst, v } => writeln!(out, "constf {dst} {}", fbits(*v)),
+        Instr::ConstI { dst, v } => writeln!(out, "consti {dst} {v}"),
+        Instr::ConstB { dst, v } => writeln!(out, "constb {dst} {}", u8::from(*v)),
+        Instr::MovF { dst, src } => writeln!(out, "movf {dst} {src}"),
+        Instr::MovB { dst, src } => writeln!(out, "movb {dst} {src}"),
+        Instr::MovI { dst, src } => writeln!(out, "movi {dst} {src}"),
+        Instr::LoadParam { dst, idx } => writeln!(out, "loadparam {dst} {idx}"),
+        Instr::LoadDt { dst } => writeln!(out, "loaddt {dst}"),
+        Instr::LoadTime { dst } => writeln!(out, "loadtime {dst}"),
+        Instr::CellIndex { dst } => writeln!(out, "cellindex {dst}"),
+        Instr::LoadState { dst, var } => writeln!(out, "loadstate {dst} {var}"),
+        Instr::StoreState { src, var } => writeln!(out, "storestate {src} {var}"),
+        Instr::LoadExt { dst, var } => writeln!(out, "loadext {dst} {var}"),
+        Instr::StoreExt { src, var } => writeln!(out, "storeext {src} {var}"),
+        Instr::HasParent { dst } => writeln!(out, "hasparent {dst}"),
+        Instr::LoadParentState { dst, var, fallback } => {
+            writeln!(out, "loadparentstate {dst} {var} {fallback}")
+        }
+        Instr::StoreParentState { src, var } => writeln!(out, "storeparentstate {src} {var}"),
+        Instr::BinF { op, dst, a, b } => writeln!(out, "binf {} {dst} {a} {b}", op.as_str()),
+        Instr::BinFK { op, dst, a, k } => {
+            writeln!(out, "binfk {} {dst} {a} {}", op.as_str(), fbits(*k))
+        }
+        Instr::BinKF { op, dst, k, a } => {
+            writeln!(out, "binkf {} {dst} {} {a}", op.as_str(), fbits(*k))
+        }
+        Instr::LoadStateOp { op, dst, var, b } => {
+            writeln!(out, "loadstateop {} {dst} {var} {b}", op.as_str())
+        }
+        Instr::LoadExtOp { op, dst, var, b } => {
+            writeln!(out, "loadextop {} {dst} {var} {b}", op.as_str())
+        }
+        Instr::NegF { dst, a } => writeln!(out, "negf {dst} {a}"),
+        Instr::FmaF { dst, a, b, c } => writeln!(out, "fmaf {dst} {a} {b} {c}"),
+        Instr::Math1 { f, dst, a } => writeln!(out, "math1 {} {dst} {a}", f.name()),
+        Instr::Math2 { f, dst, a, b } => writeln!(out, "math2 {} {dst} {a} {b}", f.name()),
+        Instr::CmpF { pred, dst, a, b } => writeln!(out, "cmpf {} {dst} {a} {b}", pred.name()),
+        Instr::CmpI { pred, dst, a, b } => writeln!(out, "cmpi {} {dst} {a} {b}", pred.name()),
+        Instr::BinB { op, dst, a, b } => writeln!(out, "binb {} {dst} {a} {b}", op.as_str()),
+        Instr::SelectF { dst, cond, a, b } => writeln!(out, "selectf {dst} {cond} {a} {b}"),
+        Instr::SelectB { dst, cond, a, b } => writeln!(out, "selectb {dst} {cond} {a} {b}"),
+        Instr::SIToFP { dst, a } => writeln!(out, "sitofp {dst} {a}"),
+        Instr::BinI { op, dst, a, b } => writeln!(out, "bini {} {dst} {a} {b}", op.as_str()),
+        Instr::LutVec {
+            table,
+            col,
+            dst,
+            key,
+        } => writeln!(out, "lutvec {table} {col} {dst} {key}"),
+        Instr::LutScalar {
+            table,
+            col,
+            dst,
+            key,
+        } => writeln!(out, "lutscalar {table} {col} {dst} {key}"),
+        Instr::LutCubic {
+            table,
+            col,
+            dst,
+            key,
+        } => writeln!(out, "lutcubic {table} {col} {dst} {key}"),
+        Instr::Jump { target } => writeln!(out, "jump {target}"),
+        Instr::JumpIfNot { cond, target } => writeln!(out, "jumpifnot {cond} {target}"),
+        Instr::Ret => writeln!(out, "ret"),
+    }
+    .unwrap();
+}
+
+/// Whitespace-separated fields of one line, with positional error context.
+struct Fields<'a> {
+    it: std::str::SplitWhitespace<'a>,
+    line_no: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn of(line: &'a str, line_no: usize) -> Fields<'a> {
+        Fields {
+            it: line.split_whitespace(),
+            line_no,
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, String> {
+        self.it
+            .next()
+            .ok_or_else(|| format!("line {}: missing field", self.line_no))
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        let t = self.next()?;
+        t.parse()
+            .map_err(|_| format!("line {}: bad u16 '{t}'", self.line_no))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let t = self.next()?;
+        t.parse()
+            .map_err(|_| format!("line {}: bad u32 '{t}'", self.line_no))
+    }
+
+    fn usize(&mut self) -> Result<usize, String> {
+        let t = self.next()?;
+        t.parse()
+            .map_err(|_| format!("line {}: bad count '{t}'", self.line_no))
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        let t = self.next()?;
+        t.parse()
+            .map_err(|_| format!("line {}: bad i64 '{t}'", self.line_no))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        let t = self.next()?;
+        u64::from_str_radix(t, 16)
+            .map(f64::from_bits)
+            .map_err(|_| format!("line {}: bad f64 bits '{t}'", self.line_no))
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        match self.next()? {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            t => Err(format!("line {}: bad bool '{t}'", self.line_no)),
+        }
+    }
+
+    fn fbin(&mut self) -> Result<FBin, String> {
+        let t = self.next()?;
+        FBin::parse(t).ok_or_else(|| format!("line {}: bad float op '{t}'", self.line_no))
+    }
+
+    fn bbin(&mut self) -> Result<BBin, String> {
+        let t = self.next()?;
+        BBin::parse(t).ok_or_else(|| format!("line {}: bad bool op '{t}'", self.line_no))
+    }
+
+    fn ibin(&mut self) -> Result<IBin, String> {
+        let t = self.next()?;
+        IBin::parse(t).ok_or_else(|| format!("line {}: bad int op '{t}'", self.line_no))
+    }
+
+    fn mathfn(&mut self) -> Result<MathFn, String> {
+        let t = self.next()?;
+        MathFn::parse(t).ok_or_else(|| format!("line {}: unknown math fn '{t}'", self.line_no))
+    }
+
+    fn cmpf(&mut self) -> Result<CmpFPred, String> {
+        let t = self.next()?;
+        CmpFPred::parse(t).ok_or_else(|| format!("line {}: bad cmpf pred '{t}'", self.line_no))
+    }
+
+    fn cmpi(&mut self) -> Result<CmpIPred, String> {
+        let t = self.next()?;
+        CmpIPred::parse(t).ok_or_else(|| format!("line {}: bad cmpi pred '{t}'", self.line_no))
+    }
+
+    fn done(mut self) -> Result<(), String> {
+        match self.it.next() {
+            Some(t) => Err(format!("line {}: trailing field '{t}'", self.line_no)),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Line iterator that skips blank lines and tracks 1-based line numbers.
+struct LineCursor<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> LineCursor<'a> {
+    fn of(text: &'a str) -> LineCursor<'a> {
+        LineCursor {
+            lines: text.lines().enumerate(),
+        }
+    }
+
+    fn next(&mut self) -> Result<(usize, &'a str), String> {
+        for (i, line) in self.lines.by_ref() {
+            if !line.trim().is_empty() {
+                return Ok((i + 1, line));
+            }
+        }
+        Err("unexpected end of input".to_string())
+    }
+}
+
+fn read_symbols(cur: &mut LineCursor<'_>, key: &str) -> Result<Vec<String>, String> {
+    let (no, line) = cur.next()?;
+    let mut f = Fields::of(line, no);
+    let got = f.next()?;
+    if got != key {
+        return Err(format!("line {no}: expected '{key}' section, got '{got}'"));
+    }
+    let count = f.usize()?;
+    let mut names = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        names.push(f.next()?.to_string());
+    }
+    f.done()?;
+    Ok(names)
+}
+
+/// Deserializes a [`serialize_program`] payload.
+///
+/// # Errors
+///
+/// Returns a description of the first defect: version mismatch, missing
+/// or malformed field, unknown mnemonic, or an out-of-range symbol or
+/// jump index. Never panics on malformed input.
+pub fn deserialize_program(text: &str) -> Result<Program, String> {
+    let mut cur = LineCursor::of(text);
+    let (no, header) = cur.next()?;
+    let expect = format!("program v{BYTECODE_FORMAT_VERSION}");
+    if header.trim() != expect {
+        return Err(format!(
+            "line {no}: unsupported bytecode format '{}' (expected '{expect}')",
+            header.trim()
+        ));
+    }
+    let (no, line) = cur.next()?;
+    let mut f = Fields::of(line, no);
+    if f.next()? != "regs" {
+        return Err(format!("line {no}: expected 'regs' line"));
+    }
+    let (n_fregs, n_bregs, n_iregs) = (f.usize()?, f.usize()?, f.usize()?);
+    f.done()?;
+    let state_vars = read_symbols(&mut cur, "state")?;
+    let ext_vars = read_symbols(&mut cur, "ext")?;
+    let params = read_symbols(&mut cur, "params")?;
+    let lut_tables = read_symbols(&mut cur, "luts")?;
+    let parent_vars = read_symbols(&mut cur, "parents")?;
+    let (no, line) = cur.next()?;
+    let mut f = Fields::of(line, no);
+    if f.next()? != "instrs" {
+        return Err(format!("line {no}: expected 'instrs' line"));
+    }
+    let count = f.usize()?;
+    f.done()?;
+    let mut instrs = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let (no, line) = cur.next()?;
+        instrs.push(read_instr(line, no)?);
+    }
+    let program = Program {
+        instrs,
+        n_fregs,
+        n_bregs,
+        n_iregs,
+        state_vars,
+        ext_vars,
+        params,
+        lut_tables,
+        parent_vars,
+    };
+    validate(&program)?;
+    Ok(program)
+}
+
+fn read_instr(line: &str, no: usize) -> Result<Instr, String> {
+    let mut f = Fields::of(line, no);
+    let mnemonic = f.next()?;
+    let instr = match mnemonic {
+        "constf" => Instr::ConstF {
+            dst: f.u16()?,
+            v: f.f64()?,
+        },
+        "consti" => Instr::ConstI {
+            dst: f.u16()?,
+            v: f.i64()?,
+        },
+        "constb" => Instr::ConstB {
+            dst: f.u16()?,
+            v: f.bool()?,
+        },
+        "movf" => Instr::MovF {
+            dst: f.u16()?,
+            src: f.u16()?,
+        },
+        "movb" => Instr::MovB {
+            dst: f.u16()?,
+            src: f.u16()?,
+        },
+        "movi" => Instr::MovI {
+            dst: f.u16()?,
+            src: f.u16()?,
+        },
+        "loadparam" => Instr::LoadParam {
+            dst: f.u16()?,
+            idx: f.u16()?,
+        },
+        "loaddt" => Instr::LoadDt { dst: f.u16()? },
+        "loadtime" => Instr::LoadTime { dst: f.u16()? },
+        "cellindex" => Instr::CellIndex { dst: f.u16()? },
+        "loadstate" => Instr::LoadState {
+            dst: f.u16()?,
+            var: f.u16()?,
+        },
+        "storestate" => Instr::StoreState {
+            src: f.u16()?,
+            var: f.u16()?,
+        },
+        "loadext" => Instr::LoadExt {
+            dst: f.u16()?,
+            var: f.u16()?,
+        },
+        "storeext" => Instr::StoreExt {
+            src: f.u16()?,
+            var: f.u16()?,
+        },
+        "hasparent" => Instr::HasParent { dst: f.u16()? },
+        "loadparentstate" => Instr::LoadParentState {
+            dst: f.u16()?,
+            var: f.u16()?,
+            fallback: f.u16()?,
+        },
+        "storeparentstate" => Instr::StoreParentState {
+            src: f.u16()?,
+            var: f.u16()?,
+        },
+        "binf" => Instr::BinF {
+            op: f.fbin()?,
+            dst: f.u16()?,
+            a: f.u16()?,
+            b: f.u16()?,
+        },
+        "binfk" => Instr::BinFK {
+            op: f.fbin()?,
+            dst: f.u16()?,
+            a: f.u16()?,
+            k: f.f64()?,
+        },
+        "binkf" => {
+            let op = f.fbin()?;
+            let dst = f.u16()?;
+            let k = f.f64()?;
+            let a = f.u16()?;
+            Instr::BinKF { op, dst, k, a }
+        }
+        "loadstateop" => Instr::LoadStateOp {
+            op: f.fbin()?,
+            dst: f.u16()?,
+            var: f.u16()?,
+            b: f.u16()?,
+        },
+        "loadextop" => Instr::LoadExtOp {
+            op: f.fbin()?,
+            dst: f.u16()?,
+            var: f.u16()?,
+            b: f.u16()?,
+        },
+        "negf" => Instr::NegF {
+            dst: f.u16()?,
+            a: f.u16()?,
+        },
+        "fmaf" => Instr::FmaF {
+            dst: f.u16()?,
+            a: f.u16()?,
+            b: f.u16()?,
+            c: f.u16()?,
+        },
+        "math1" => Instr::Math1 {
+            f: f.mathfn()?,
+            dst: f.u16()?,
+            a: f.u16()?,
+        },
+        "math2" => Instr::Math2 {
+            f: f.mathfn()?,
+            dst: f.u16()?,
+            a: f.u16()?,
+            b: f.u16()?,
+        },
+        "cmpf" => Instr::CmpF {
+            pred: f.cmpf()?,
+            dst: f.u16()?,
+            a: f.u16()?,
+            b: f.u16()?,
+        },
+        "cmpi" => Instr::CmpI {
+            pred: f.cmpi()?,
+            dst: f.u16()?,
+            a: f.u16()?,
+            b: f.u16()?,
+        },
+        "binb" => Instr::BinB {
+            op: f.bbin()?,
+            dst: f.u16()?,
+            a: f.u16()?,
+            b: f.u16()?,
+        },
+        "selectf" => Instr::SelectF {
+            dst: f.u16()?,
+            cond: f.u16()?,
+            a: f.u16()?,
+            b: f.u16()?,
+        },
+        "selectb" => Instr::SelectB {
+            dst: f.u16()?,
+            cond: f.u16()?,
+            a: f.u16()?,
+            b: f.u16()?,
+        },
+        "sitofp" => Instr::SIToFP {
+            dst: f.u16()?,
+            a: f.u16()?,
+        },
+        "bini" => Instr::BinI {
+            op: f.ibin()?,
+            dst: f.u16()?,
+            a: f.u16()?,
+            b: f.u16()?,
+        },
+        "lutvec" => Instr::LutVec {
+            table: f.u16()?,
+            col: f.u16()?,
+            dst: f.u16()?,
+            key: f.u16()?,
+        },
+        "lutscalar" => Instr::LutScalar {
+            table: f.u16()?,
+            col: f.u16()?,
+            dst: f.u16()?,
+            key: f.u16()?,
+        },
+        "lutcubic" => Instr::LutCubic {
+            table: f.u16()?,
+            col: f.u16()?,
+            dst: f.u16()?,
+            key: f.u16()?,
+        },
+        "jump" => Instr::Jump { target: f.u32()? },
+        "jumpifnot" => Instr::JumpIfNot {
+            cond: f.u16()?,
+            target: f.u32()?,
+        },
+        "ret" => Instr::Ret,
+        other => return Err(format!("line {no}: unknown mnemonic '{other}'")),
+    };
+    f.done()?;
+    Ok(instr)
+}
+
+/// Structural validation of a deserialized program: every symbol-indexed
+/// field must point inside its symbol table and every jump target must
+/// stay inside the instruction list (`==` length is the fall-off-the-end
+/// exit the compiler emits for loop back edges).
+fn validate(p: &Program) -> Result<(), String> {
+    let in_table = |pc: usize, idx: u16, len: usize, what: &str| -> Result<(), String> {
+        if (idx as usize) < len {
+            Ok(())
+        } else {
+            Err(format!(
+                "instr {pc}: {what} index {idx} out of range (table has {len})"
+            ))
+        }
+    };
+    for (pc, instr) in p.instrs.iter().enumerate() {
+        match instr {
+            Instr::LoadParam { idx, .. } => in_table(pc, *idx, p.params.len(), "param")?,
+            Instr::LoadState { var, .. }
+            | Instr::StoreState { var, .. }
+            | Instr::LoadStateOp { var, .. } => {
+                in_table(pc, *var, p.state_vars.len(), "state var")?
+            }
+            Instr::LoadExt { var, .. }
+            | Instr::StoreExt { var, .. }
+            | Instr::LoadExtOp { var, .. } => in_table(pc, *var, p.ext_vars.len(), "ext var")?,
+            Instr::LoadParentState { var, .. } | Instr::StoreParentState { var, .. } => {
+                in_table(pc, *var, p.parent_vars.len(), "parent var")?
+            }
+            Instr::LutVec { table, .. }
+            | Instr::LutScalar { table, .. }
+            | Instr::LutCubic { table, .. } => {
+                in_table(pc, *table, p.lut_tables.len(), "lut table")?
+            }
+            Instr::Jump { target } | Instr::JumpIfNot { target, .. }
+                if *target as usize > p.instrs.len() =>
+            {
+                return Err(format!(
+                    "instr {pc}: jump target {target} out of range ({})",
+                    p.instrs.len()
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a kernel's tabulated lookup tables (in program order).
+pub fn serialize_luts(luts: &[LutData]) -> String {
+    let mut out = String::new();
+    writeln!(out, "luts v{BYTECODE_FORMAT_VERSION} {}", luts.len()).unwrap();
+    for lut in luts {
+        writeln!(
+            out,
+            "lut {} {} {} {} {}",
+            fbits(lut.lo()),
+            fbits(lut.hi()),
+            fbits(lut.step()),
+            lut.rows(),
+            lut.cols()
+        )
+        .unwrap();
+        // Eight values per line keeps entries diffable without blowing
+        // up the line count for 4000-row tables.
+        for chunk in lut.data().chunks(8) {
+            let mut line = String::with_capacity(chunk.len() * 17);
+            for (i, v) in chunk.iter().enumerate() {
+                if i > 0 {
+                    line.push(' ');
+                }
+                line.push_str(&fbits(*v));
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Deserializes a [`serialize_luts`] payload.
+///
+/// # Errors
+///
+/// Returns a description of the first defect (version mismatch, malformed
+/// header, short or inconsistent data). Never panics on malformed input.
+pub fn deserialize_luts(text: &str) -> Result<Vec<LutData>, String> {
+    let mut cur = LineCursor::of(text);
+    let (no, header) = cur.next()?;
+    let mut f = Fields::of(header, no);
+    let expect = format!("v{BYTECODE_FORMAT_VERSION}");
+    if f.next()? != "luts" {
+        return Err(format!("line {no}: expected 'luts' header"));
+    }
+    if f.next()? != expect {
+        return Err(format!("line {no}: unsupported lut format version"));
+    }
+    let count = f.usize()?;
+    f.done()?;
+    let mut luts = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let (no, line) = cur.next()?;
+        let mut f = Fields::of(line, no);
+        if f.next()? != "lut" {
+            return Err(format!("line {no}: expected 'lut' header"));
+        }
+        let (lo, hi, step) = (f.f64()?, f.f64()?, f.f64()?);
+        let (rows, cols) = (f.usize()?, f.usize()?);
+        f.done()?;
+        let need = rows
+            .checked_mul(cols)
+            .ok_or_else(|| format!("line {no}: lut dimensions overflow"))?;
+        if need > (1 << 28) {
+            return Err(format!("line {no}: lut implausibly large ({need} values)"));
+        }
+        let mut data = Vec::with_capacity(need);
+        while data.len() < need {
+            let (no, line) = cur.next()?;
+            for tok in line.split_whitespace() {
+                if data.len() == need {
+                    return Err(format!("line {no}: trailing lut data"));
+                }
+                let bits = u64::from_str_radix(tok, 16)
+                    .map_err(|_| format!("line {no}: bad f64 bits '{tok}'"))?;
+                data.push(f64::from_bits(bits));
+            }
+        }
+        luts.push(LutData::from_raw(lo, hi, step, cols, data)?);
+    }
+    Ok(luts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Program {
+        use limpet_ir::{CmpFPred, CmpIPred, MathFn};
+        let instrs = vec![
+            Instr::ConstF { dst: 0, v: -0.5 },
+            Instr::ConstI { dst: 0, v: -3 },
+            Instr::ConstB { dst: 0, v: true },
+            Instr::MovF { dst: 1, src: 0 },
+            Instr::MovB { dst: 1, src: 0 },
+            Instr::MovI { dst: 1, src: 0 },
+            Instr::LoadParam { dst: 2, idx: 0 },
+            Instr::LoadDt { dst: 3 },
+            Instr::LoadTime { dst: 4 },
+            Instr::CellIndex { dst: 2 },
+            Instr::LoadState { dst: 5, var: 0 },
+            Instr::StoreState { src: 5, var: 1 },
+            Instr::LoadExt { dst: 6, var: 0 },
+            Instr::StoreExt { src: 6, var: 0 },
+            Instr::HasParent { dst: 2 },
+            Instr::LoadParentState {
+                dst: 7,
+                var: 0,
+                fallback: 5,
+            },
+            Instr::StoreParentState { src: 7, var: 0 },
+            Instr::BinF {
+                op: FBin::Add,
+                dst: 8,
+                a: 0,
+                b: 1,
+            },
+            Instr::BinFK {
+                op: FBin::Mul,
+                dst: 8,
+                a: 8,
+                k: 2.5,
+            },
+            Instr::BinKF {
+                op: FBin::Sub,
+                dst: 8,
+                k: 1.0,
+                a: 8,
+            },
+            Instr::LoadStateOp {
+                op: FBin::Div,
+                dst: 9,
+                var: 0,
+                b: 8,
+            },
+            Instr::LoadExtOp {
+                op: FBin::Max,
+                dst: 9,
+                var: 0,
+                b: 8,
+            },
+            Instr::NegF { dst: 9, a: 9 },
+            Instr::FmaF {
+                dst: 10,
+                a: 8,
+                b: 9,
+                c: 0,
+            },
+            Instr::Math1 {
+                f: MathFn::Exp,
+                dst: 10,
+                a: 10,
+            },
+            Instr::Math2 {
+                f: MathFn::Pow,
+                dst: 10,
+                a: 10,
+                b: 8,
+            },
+            Instr::CmpF {
+                pred: CmpFPred::Ogt,
+                dst: 3,
+                a: 10,
+                b: 8,
+            },
+            Instr::CmpI {
+                pred: CmpIPred::Slt,
+                dst: 4,
+                a: 0,
+                b: 1,
+            },
+            Instr::BinB {
+                op: BBin::And,
+                dst: 5,
+                a: 3,
+                b: 4,
+            },
+            Instr::SelectF {
+                dst: 11,
+                cond: 5,
+                a: 10,
+                b: 8,
+            },
+            Instr::SelectB {
+                dst: 6,
+                cond: 5,
+                a: 3,
+                b: 4,
+            },
+            Instr::SIToFP { dst: 11, a: 0 },
+            Instr::BinI {
+                op: IBin::Mul,
+                dst: 3,
+                a: 0,
+                b: 1,
+            },
+            Instr::LutVec {
+                table: 0,
+                col: 0,
+                dst: 12,
+                key: 11,
+            },
+            Instr::LutScalar {
+                table: 0,
+                col: 1,
+                dst: 12,
+                key: 11,
+            },
+            Instr::LutCubic {
+                table: 0,
+                col: 0,
+                dst: 12,
+                key: 11,
+            },
+            Instr::Jump { target: 38 },
+            Instr::JumpIfNot {
+                cond: 5,
+                target: 38,
+            },
+            Instr::Ret,
+        ];
+        Program {
+            instrs,
+            n_fregs: 13,
+            n_bregs: 7,
+            n_iregs: 5,
+            state_vars: vec!["x".into(), "y".into()],
+            ext_vars: vec!["Vm".into()],
+            params: vec!["Cm".into()],
+            lut_tables: vec!["Vm".into()],
+            parent_vars: vec!["V".into()],
+        }
+    }
+
+    #[test]
+    fn every_instr_variant_round_trips() {
+        let p = sample_program();
+        let text = serialize_program(&p);
+        let q = deserialize_program(&text).expect("round trip");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn f64_constants_round_trip_bit_exactly() {
+        for v in [
+            0.1,
+            -0.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            std::f64::consts::PI,
+            f64::INFINITY,
+        ] {
+            let p = Program {
+                instrs: vec![Instr::ConstF { dst: 0, v }, Instr::Ret],
+                n_fregs: 1,
+                n_bregs: 0,
+                n_iregs: 0,
+                state_vars: vec![],
+                ext_vars: vec![],
+                params: vec![],
+                lut_tables: vec![],
+                parent_vars: vec![],
+            };
+            let q = deserialize_program(&serialize_program(&p)).unwrap();
+            match q.instrs[0] {
+                Instr::ConstF { v: got, .. } => assert_eq!(got.to_bits(), v.to_bits()),
+                ref other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let p = sample_program();
+        let text = serialize_program(&p).replacen("program v1", "program v999", 1);
+        let err = deserialize_program(&text).unwrap_err();
+        assert!(err.contains("unsupported bytecode format"), "{err}");
+    }
+
+    #[test]
+    fn truncated_input_is_rejected_without_panic() {
+        let text = serialize_program(&sample_program());
+        for cut in [0, 10, text.len() / 2, text.len() - 2] {
+            let _ = deserialize_program(&text[..cut]);
+        }
+        let half = &text[..text.len() / 2];
+        assert!(deserialize_program(half).is_err());
+    }
+
+    #[test]
+    fn out_of_range_indices_are_rejected() {
+        let mut p = sample_program();
+        p.instrs.insert(0, Instr::LoadState { dst: 0, var: 99 });
+        let err = deserialize_program(&serialize_program(&p)).unwrap_err();
+        assert!(err.contains("state var index"), "{err}");
+
+        let mut p = sample_program();
+        p.instrs.insert(0, Instr::Jump { target: 9999 });
+        let err = deserialize_program(&serialize_program(&p)).unwrap_err();
+        assert!(err.contains("jump target"), "{err}");
+    }
+
+    #[test]
+    fn luts_round_trip_bit_exactly() {
+        let luts = vec![
+            LutData::build(-100.0, 100.0, 0.5, 2, |x, out| {
+                out[0] = (x / 10.0).exp();
+                out[1] = x * x;
+            }),
+            LutData::build(0.0, 1.0, 0.1, 1, |x, out| out[0] = x.sin()),
+        ];
+        let text = serialize_luts(&luts);
+        let back = deserialize_luts(&text).expect("round trip");
+        assert_eq!(luts, back);
+    }
+
+    #[test]
+    fn corrupted_lut_payload_is_rejected() {
+        let luts = vec![LutData::build(0.0, 1.0, 0.1, 1, |x, out| out[0] = x)];
+        let text = serialize_luts(&luts);
+        // Flip the declared row count so the data length disagrees.
+        let bad = text.replacen("lut ", "lutX ", 1);
+        assert!(deserialize_luts(&bad).is_err());
+        let bad = text.replacen(" 12 1", " 13 1", 1);
+        assert!(deserialize_luts(&bad).is_err());
+    }
+}

@@ -23,8 +23,42 @@ cargo test -q
 echo "==> FileCheck-lite golden pass tests"
 cargo test -q -p limpet-pm --test filecheck_golden
 
-echo "==> fault-injection suite (degradation chain + health guards)"
+echo "==> fault-injection suite (degradation chain + health guards + disk faults)"
 cargo test -q -p limpet-harness --test fault_injection --test health_guard
+
+echo "==> persistent kernel-cache suite (disk tier, integrity, concurrency)"
+cargo test -q -p limpet-harness --test persistent_cache
+
+echo "==> disk-cache persistence gate (warm second process, fault degradation)"
+# Cold run populates a throwaway cache dir; a second, fresh process must
+# then produce zero cold compiles and bit-identical trajectory digests;
+# a third run with all three disk faults injected must degrade to
+# recompiles (recorded incidents) while keeping the digests identical.
+PERSIST_DIR=$(mktemp -d)
+PERSIST_OUT=$(mktemp -d)
+SUBSET=HodgkinHuxley,BeelerReuter,TenTusscherPanfilov
+./target/release/figures --digest --models "$SUBSET" --cache-dir "$PERSIST_DIR" \
+  > "$PERSIST_OUT/cold.txt"
+cp output/digests.csv "$PERSIST_OUT/cold.csv"
+./target/release/figures --digest --models "$SUBSET" --cache-dir "$PERSIST_DIR" \
+  > "$PERSIST_OUT/warm.txt"
+cp output/digests.csv "$PERSIST_OUT/warm.csv"
+grep -q " 0 cold compilations" "$PERSIST_OUT/warm.txt" \
+  || { echo "persistence gate: warm second process recompiled"; cat "$PERSIST_OUT/warm.txt"; exit 1; }
+cmp "$PERSIST_OUT/cold.csv" "$PERSIST_OUT/warm.csv" \
+  || { echo "persistence gate: warm digests diverged from cold"; exit 1; }
+LIMPET_INJECT="disk-corrupt@3,disk-truncate@5,disk-stale-version@1" \
+  ./target/release/figures --digest --models "$SUBSET" --cache-dir "$PERSIST_DIR" \
+  > "$PERSIST_OUT/faulted.txt"
+cp output/digests.csv "$PERSIST_OUT/faulted.csv"
+grep -q "disk cache entry rejected" "$PERSIST_OUT/faulted.txt" \
+  || { echo "persistence gate: injected disk faults left no incident"; cat "$PERSIST_OUT/faulted.txt"; exit 1; }
+cmp "$PERSIST_OUT/cold.csv" "$PERSIST_OUT/faulted.csv" \
+  || { echo "persistence gate: faulted digests diverged from cold"; exit 1; }
+./target/release/figures --cache stat --cache-dir "$PERSIST_DIR" > /dev/null
+./target/release/figures --cache clear --cache-dir "$PERSIST_DIR" | grep -q "cleared" \
+  || { echo "persistence gate: cache clear failed"; exit 1; }
+rm -rf "$PERSIST_DIR" "$PERSIST_OUT"
 
 echo "==> limpet-opt round-trip fuzz smoke (fixed-seed)"
 cargo test -q -p limpet-opt --test fuzz_roundtrip
