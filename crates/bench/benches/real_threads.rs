@@ -1,0 +1,49 @@
+//! Real-thread pool bench: the persistent worker pool's step loop at
+//! small thread counts versus the single-thread driver on the same
+//! workload. Pool construction (thread spawn) happens once outside the
+//! timed region, so the measurement isolates the barrier-separated step
+//! loop itself — the quantity `figures --real-threads` reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use limpet_bench::bench_sim;
+use limpet_codegen::pipeline::VectorIsa;
+use limpet_harness::{PipelineKind, ShardedSimulation, Workload};
+use std::time::Duration;
+
+const CELLS: usize = 1024;
+const STEPS: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("real_threads");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let config = PipelineKind::LimpetMlir(VectorIsa::Avx512);
+    for model in ["Plonsey", "BeelerReuter", "OHara"] {
+        g.throughput(Throughput::Elements((CELLS * STEPS) as u64));
+        let mut single = bench_sim(model, config, CELLS);
+        single.run(2);
+        g.bench_with_input(BenchmarkId::new("single", model), &(), |b, ()| {
+            b.iter(|| single.run(STEPS))
+        });
+        for threads in [2usize, 4] {
+            let m = limpet_models::model(model);
+            let wl = Workload {
+                n_cells: CELLS,
+                steps: 0,
+                dt: 0.01,
+            };
+            let mut sharded = ShardedSimulation::new(&m, config, &wl, threads);
+            sharded.run_threaded(2);
+            g.bench_with_input(
+                BenchmarkId::new(format!("pool-t{threads}"), model),
+                &(),
+                |b, ()| b.iter(|| sharded.run_threaded(STEPS)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

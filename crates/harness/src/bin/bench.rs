@@ -176,7 +176,7 @@ fn main() {
             "threads={threads}: {secs:.4}s wall ({:.3} us/step)",
             secs / steps as f64 * 1e6
         );
-        println!("final: Vm = {:.4} mV", sharded.shard(0).vm(0));
+        println!("final: Vm = {:.4} mV", sharded.vm(0));
         return;
     }
     let mut sim = Simulation::new(&model, config, &wl);

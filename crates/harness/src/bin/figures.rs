@@ -3,6 +3,7 @@
 //! ```text
 //! figures [--fig2] [--fig3] [--fig4] [--fig5] [--layout] [--lut]
 //!         [--icc] [--roofline] [--stats] [--digest] [--all]
+//!         [--real-threads] [--max-threads N] [--validate-tm]
 //!         [--cells N] [--steps N] [--repeats N] [--models a,b,c]
 //!         [--jobs N] [--no-cache] [--no-bytecode-opt]
 //!         [--cache-dir PATH] [--no-disk-cache] [--cache clear|stat]
@@ -13,6 +14,15 @@
 //! With no figure flag, `--fig2` runs (cheapest headline artifact).
 //! Results print as aligned text tables and are also written as CSV files
 //! under `output/`.
+//!
+//! `--real-threads` runs the thread-count figures (fig3/fig4/fig5) on the
+//! persistent worker pool for every thread count the host can actually
+//! provide, falling back to the calibrated simulated-parallel model
+//! above that; every row carries a `measured|modeled` provenance tag.
+//! `--max-threads N` widens (oversubscription) or narrows the measured
+//! region. `--validate-tm` recalibrates the timing model, cross-validates
+//! it against real-thread measurements on the overlap region, and
+//! persists the calibrated constants next to the kernel disk cache.
 //!
 //! `--jobs N` precompiles the selected roster across every pipeline
 //! configuration on N worker threads before any experiment runs, and
@@ -39,10 +49,10 @@
 //! checks (CI compares them across cold, warm, and fault-injected runs).
 
 use limpet_harness::{
-    all_pipeline_kinds, default_cache_dir, fig2_checkpointed, fig3_threads32, fig4_scaling,
-    fig5_isa_threads, fig6_roofline, icc_comparison, kernel_stats, layout_ablation, lut_ablation,
-    summarize_incidents, trajectory_digest, DiskCache, ExperimentOptions, KernelCache,
-    PipelineKind, TimingModel, Workload,
+    all_pipeline_kinds, available_cores, default_cache_dir, fig2_checkpointed, fig3_threads32,
+    fig4_scaling, fig5_isa_threads, fig6_roofline, icc_comparison, kernel_stats, layout_ablation,
+    lut_ablation, summarize_incidents, trajectory_digest, validate_timing_model, DiskCache,
+    ExperimentOptions, KernelCache, PipelineKind, ThreadTiming, TimingModel, Workload,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -61,6 +71,9 @@ struct Args {
     roofline: bool,
     stats: bool,
     digest: bool,
+    validate_tm: bool,
+    real_threads: bool,
+    max_threads: Option<usize>,
     jobs: usize,
     no_cache: bool,
     no_disk_cache: bool,
@@ -84,6 +97,9 @@ fn parse_args() -> Args {
         roofline: false,
         stats: false,
         digest: false,
+        validate_tm: false,
+        real_threads: false,
+        max_threads: None,
         jobs: 0,
         no_cache: false,
         no_disk_cache: false,
@@ -150,6 +166,16 @@ fn parse_args() -> Args {
             "--no-cache" => args.no_cache = true,
             "--no-disk-cache" => args.no_disk_cache = true,
             "--digest" => args.digest = true,
+            "--validate-tm" => args.validate_tm = true,
+            "--real-threads" => args.real_threads = true,
+            "--max-threads" => {
+                args.max_threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .expect("--max-threads needs a number >= 1"),
+                );
+            }
             "--cache-dir" => {
                 args.cache_dir = Some(PathBuf::from(it.next().expect("--cache-dir needs a path")));
             }
@@ -183,6 +209,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--fig2|--fig3|--fig4|--fig5|--layout|--lut|--icc|--roofline|--stats|--digest|--all]\n\
+                     \x20              [--real-threads] [--max-threads N] [--validate-tm]\n\
                      \x20              [--cells N] [--steps N] [--repeats N] [--models a,b,c]\n\
                      \x20              [--jobs N] [--no-cache] [--no-bytecode-opt]\n\
                      \x20              [--cache-dir PATH] [--no-disk-cache] [--cache clear|stat]\n\
@@ -207,6 +234,7 @@ fn parse_args() -> Args {
         || args.roofline
         || args.stats
         || args.digest
+        || args.validate_tm
         || args.cache_verb.is_some())
     {
         args.fig2 = true;
@@ -228,6 +256,18 @@ fn save_csv(name: &str, header: &str, rows: &[String]) {
     let path = dir.join(name);
     if fs::write(&path, s).is_ok() {
         println!("  [saved {}]", path.display());
+    }
+}
+
+/// Header tag describing where thread-count timings come from.
+fn region_label(timing: &ThreadTiming) -> String {
+    if timing.real_max == 0 {
+        "simulated-parallel model".to_owned()
+    } else {
+        format!(
+            "measured T <= {}, simulated-parallel above",
+            timing.real_max
+        )
     }
 }
 
@@ -287,12 +327,37 @@ fn main() {
             format!(", models: {}", args.opts.only.join(","))
         }
     );
-    let tm = TimingModel::calibrate();
+    // Timing model: calibrated constants persist next to the kernel disk
+    // cache (`--validate-tm` writes them). A valid persisted file skips
+    // recalibration; `--validate-tm` always recalibrates fresh.
+    let (tm, tm_source) = if args.validate_tm || args.no_disk_cache || args.no_cache {
+        (TimingModel::calibrate(), "calibrated")
+    } else {
+        let (tm, loaded) = TimingModel::load_or_calibrate(&cache_dir);
+        (tm, if loaded { "persisted" } else { "calibrated" })
+    };
     println!(
-        "calibrated timing model: stream bandwidth {:.2} GB/s (x{} socket saturation)",
+        "{tm_source} timing model: stream bandwidth {:.2} GB/s (x{} socket saturation)",
         tm.stream_bandwidth / 1e9,
         tm.bandwidth_saturation
     );
+    let cores = available_cores();
+    let timing = if args.real_threads {
+        let t = ThreadTiming::real_threads(tm, args.max_threads);
+        println!(
+            "real threads: measuring T <= {} on {} core(s){}; modeling above",
+            t.real_max,
+            cores,
+            if t.real_max > cores {
+                " (oversubscribed)"
+            } else {
+                ""
+            }
+        );
+        t
+    } else {
+        ThreadTiming::model_only(tm)
+    };
 
     if args.no_cache {
         KernelCache::global().set_enabled(false);
@@ -386,13 +451,78 @@ fn main() {
         );
     }
 
+    if args.validate_tm {
+        println!("== Timing-model cross-validation (real threads vs simulated-parallel) ==");
+        // The overlap region needs at least T=2; on a single-core host
+        // that means deliberate oversubscription unless --max-threads
+        // narrows it further.
+        let region = args.max_threads.unwrap_or_else(|| cores.max(2));
+        let vt = ThreadTiming::real_threads(tm, Some(region));
+        if region > cores {
+            println!("  note: measuring up to T={region} on {cores} core(s) (oversubscribed)");
+        }
+        let v = validate_timing_model(&args.opts, &vt);
+        if v.rows.is_empty() {
+            println!("  empty overlap region (T <= {region}); raise --max-threads\n");
+        } else {
+            let mut rows = Vec::new();
+            for r in &v.rows {
+                println!(
+                    "  {:24} {:7} {:20} T={:2}  measured {:9.5}s  modeled {:9.5}s  err {:+7.1}%",
+                    r.model,
+                    r.class,
+                    r.config,
+                    r.threads,
+                    r.measured_s,
+                    r.modeled_s,
+                    r.rel_err * 100.0
+                );
+                rows.push(format!(
+                    "{},{},{},{},{},{},{}",
+                    r.model, r.class, r.config, r.threads, r.measured_s, r.modeled_s, r.rel_err
+                ));
+            }
+            for (c, e) in &v.per_class {
+                // Classes absent from the roster subset have no rows.
+                if e.is_finite() {
+                    println!("  {c:7} mean |rel err|: {:6.1}%", e * 100.0);
+                }
+            }
+            println!(
+                "  overall mean |rel err|: {:.1}% over threads {:?}\n",
+                v.overall * 100.0,
+                v.threads
+            );
+            save_csv(
+                "validate_tm.csv",
+                "model,class,config,threads,measured_s,modeled_s,rel_err",
+                &rows,
+            );
+        }
+        if !args.no_disk_cache && !args.no_cache {
+            match tm.save(&cache_dir) {
+                Ok(p) => println!("  persisted calibrated timing model: {}\n", p.display()),
+                Err(e) => eprintln!("warning: could not persist timing model: {e}\n"),
+            }
+        }
+    }
+
     if args.fig3 {
-        println!("== Figure 3: 32-thread speedup (simulated-parallel model) ==");
-        let f = fig3_threads32(&args.opts, &tm);
+        println!(
+            "== Figure 3: 32-thread speedup ({}) ==",
+            region_label(&timing)
+        );
+        let f = fig3_threads32(&args.opts, &timing);
         let mut rows = Vec::new();
         for r in &f.rows {
-            println!("  {:24} {:7} speedup {:6.2}x", r.model, r.class, r.speedup);
-            rows.push(format!("{},{},{}", r.model, r.class, r.speedup));
+            println!(
+                "  {:24} {:7} speedup {:6.2}x  [{}]",
+                r.model, r.class, r.speedup, r.provenance
+            );
+            rows.push(format!(
+                "{},{},{},{}",
+                r.model, r.class, r.speedup, r.provenance
+            ));
         }
         for (c, g) in &f.class_geomeans {
             println!("  {c:7} geomean: {g:.2}x");
@@ -401,34 +531,56 @@ fn main() {
             "  overall geomean: {:.2}x   (paper: 1.93x; small 0.83x, medium 1.34x, large 6.03x)\n",
             f.geomean
         );
-        save_csv("fig3.csv", "model,class,speedup", &rows);
+        save_csv("fig3.csv", "model,class,speedup,provenance", &rows);
     }
 
     if args.fig4 {
-        println!("== Figure 4: class-average times vs threads (AVX-512) ==");
-        let f = fig4_scaling(&args.opts, &tm);
+        println!(
+            "== Figure 4: class-average times vs threads (AVX-512, {}) ==",
+            region_label(&timing)
+        );
+        let f = fig4_scaling(&args.opts, &timing);
         let mut rows = Vec::new();
-        for (class, t, tb, tl) in &f.series {
-            println!("  {class:7} T={t:2}  baseline {tb:10.5}s  limpetMLIR {tl:10.5}s");
-            rows.push(format!("{class},{t},{tb},{tl}"));
+        for p in &f.series {
+            println!(
+                "  {:7} T={:2}  baseline {:10.5}s  limpetMLIR {:10.5}s  [{}]",
+                p.class, p.threads, p.baseline_s, p.limpet_mlir_s, p.provenance
+            );
+            rows.push(format!(
+                "{},{},{},{},{}",
+                p.class, p.threads, p.baseline_s, p.limpet_mlir_s, p.provenance
+            ));
         }
         println!();
-        save_csv("fig4.csv", "class,threads,baseline_s,limpetmlir_s", &rows);
+        save_csv(
+            "fig4.csv",
+            "class,threads,baseline_s,limpetmlir_s,provenance",
+            &rows,
+        );
     }
 
     if args.fig5 {
-        println!("== Figure 5: geomean speedup per ISA x threads ==");
-        let f = fig5_isa_threads(&args.opts, &tm);
+        println!(
+            "== Figure 5: geomean speedup per ISA x threads ({}) ==",
+            region_label(&timing)
+        );
+        let f = fig5_isa_threads(&args.opts, &timing);
         let mut rows = Vec::new();
-        for (isa, t, g) in &f.series {
-            println!("  {isa:8} T={t:2}  geomean {g:5.2}x");
-            rows.push(format!("{isa},{t},{g}"));
+        for p in &f.series {
+            println!(
+                "  {:8} T={:2}  geomean {:5.2}x  [{}]",
+                p.isa, p.threads, p.geomean, p.provenance
+            );
+            rows.push(format!(
+                "{},{},{},{}",
+                p.isa, p.threads, p.geomean, p.provenance
+            ));
         }
         println!(
             "  overall geomean (all models, ISAs, threads): {:.2}x   (paper: 2.90x)\n",
             f.overall_geomean
         );
-        save_csv("fig5.csv", "isa,threads,geomean_speedup", &rows);
+        save_csv("fig5.csv", "isa,threads,geomean_speedup,provenance", &rows);
     }
 
     if args.layout {

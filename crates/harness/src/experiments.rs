@@ -15,12 +15,145 @@
 
 use crate::cache::KernelCache;
 use crate::sim::{PipelineKind, Simulation, Workload};
-use crate::threads::{measure_median, TimingModel};
+use crate::threads::{measure_median, measure_median_secs, ShardedSimulation, TimingModel};
 use limpet_codegen::pipeline::VectorIsa;
 use limpet_models::{model, ModelEntry, SizeClass, ROSTER};
 
 /// Thread counts evaluated by the paper (powers of two, 1..32).
 pub const THREAD_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Where a thread-count time came from: real OS threads or the
+/// simulated-parallel [`TimingModel`]. Every figure row carries its
+/// provenance so mixed (measured-below / modeled-above) sweeps stay
+/// honest in the CSVs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Wall clock of a [`ShardedSimulation`] worker-pool run.
+    Measured,
+    /// [`TimingModel::estimate`] from a measured single-thread time.
+    Modeled,
+}
+
+impl Provenance {
+    /// The CSV tag (`measured` / `modeled`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Provenance::Measured => "measured",
+            Provenance::Modeled => "modeled",
+        }
+    }
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How the thread-scaling runners obtain t(T): thread counts up to
+/// `real_max` are measured on real OS threads (persistent worker pool,
+/// median of `repeats` runs), larger ones fall back to the
+/// simulated-parallel model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadTiming {
+    /// The simulated-parallel model used above the measured region (and
+    /// exclusively when `real_max == 0`).
+    pub tm: TimingModel,
+    /// Largest thread count measured with real OS threads; 0 disables
+    /// measurement entirely (the pre-real-threads behaviour).
+    pub real_max: usize,
+}
+
+impl ThreadTiming {
+    /// Model-only timing — every row is tagged `modeled`.
+    pub fn model_only(tm: TimingModel) -> ThreadTiming {
+        ThreadTiming { tm, real_max: 0 }
+    }
+
+    /// Real-thread timing: measure every T up to `max_threads` (when
+    /// given) or up to the host's available cores, model above. Passing
+    /// an explicit `max_threads` beyond the core count opts into
+    /// oversubscribed measurement.
+    pub fn real_threads(tm: TimingModel, max_threads: Option<usize>) -> ThreadTiming {
+        ThreadTiming {
+            tm,
+            real_max: max_threads.unwrap_or_else(available_cores),
+        }
+    }
+
+    /// Provenance of a time at `threads` under this policy.
+    pub fn provenance(&self, threads: usize) -> Provenance {
+        if threads <= self.real_max {
+            Provenance::Measured
+        } else {
+            Provenance::Modeled
+        }
+    }
+}
+
+/// Cores available to this process (1 when undetectable).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Measured wall clock of a `steps`-step run at `threads` real OS
+/// threads: a [`ShardedSimulation`] worker pool is spawned once, warmed
+/// up with two untimed steps, and the median of `opts.repeats` timed
+/// step loops is taken — the pool reports its own interval, so spawn and
+/// command wake-up cost stay outside the measurement.
+pub fn measure_run_threaded(
+    m: &limpet_easyml::Model,
+    config: PipelineKind,
+    opts: &ExperimentOptions,
+    threads: usize,
+) -> f64 {
+    let wl = Workload {
+        n_cells: opts.n_cells,
+        steps: 0,
+        dt: 0.01,
+    };
+    let mut sharded = ShardedSimulation::new(m, config, &wl, threads);
+    sharded.run_threaded(2); // warm-up: caches, LUT pages, park/unpark
+    measure_median_secs(opts.repeats, || sharded.run_threaded(opts.steps))
+}
+
+/// Single-thread anchor of one configuration — everything the
+/// simulated-parallel model needs to extrapolate t(T).
+#[derive(Debug, Clone, Copy)]
+struct Anchor {
+    /// Measured single-thread wall time.
+    t1: f64,
+    /// Bytes moved per step (for the bandwidth term).
+    bytes: u64,
+    /// Vector width (for the barrier flush term).
+    width: usize,
+}
+
+/// t(T) of one configuration: measured on the worker pool inside the
+/// timing policy's real region, modeled from the anchor above it.
+fn time_at(
+    m: &limpet_easyml::Model,
+    config: PipelineKind,
+    opts: &ExperimentOptions,
+    timing: &ThreadTiming,
+    threads: usize,
+    anchor: Anchor,
+) -> (f64, Provenance) {
+    match timing.provenance(threads) {
+        Provenance::Measured => (
+            measure_run_threaded(m, config, opts, threads),
+            Provenance::Measured,
+        ),
+        Provenance::Modeled => (
+            timing
+                .tm
+                .estimate(anchor.t1, anchor.bytes, opts.steps, threads, anchor.width),
+            Provenance::Modeled,
+        ),
+    }
+}
 
 /// Global experiment options.
 #[derive(Debug, Clone, PartialEq)]
@@ -374,29 +507,50 @@ pub fn fig2_checkpointed(
     Fig2 { rows, geomean }
 }
 
+/// One model's speedup at a thread count, tagged with how its times were
+/// obtained.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Model name.
+    pub model: String,
+    /// Size class name.
+    pub class: String,
+    /// Baseline time (s) at the figure's thread count.
+    pub baseline: f64,
+    /// limpetMLIR time (s) at the figure's thread count.
+    pub limpet_mlir: f64,
+    /// Speedup (baseline / limpetMLIR).
+    pub speedup: f64,
+    /// Whether the times were measured on real threads or modeled.
+    pub provenance: Provenance,
+}
+
 /// Fig. 3 result: 32-thread per-model speedups with class geomeans.
 #[derive(Debug, Clone)]
 pub struct Fig3 {
     /// Per-model rows.
-    pub rows: Vec<SpeedupRow>,
+    pub rows: Vec<Fig3Row>,
     /// Overall geomean (paper: 1.93x).
     pub geomean: f64,
     /// Per-class geomeans (paper: small 0.83x, medium 1.34x, large 6.03x).
     pub class_geomeans: Vec<(String, f64)>,
 }
 
-/// Fig. 3: both versions at 32 threads (simulated-parallel model).
-pub fn fig3_threads32(opts: &ExperimentOptions, tm: &TimingModel) -> Fig3 {
+/// Fig. 3: both versions at 32 threads — measured on real threads when
+/// the timing policy's real region reaches 32, simulated-parallel
+/// otherwise (each row says which).
+pub fn fig3_threads32(opts: &ExperimentOptions, timing: &ThreadTiming) -> Fig3 {
     let mut rows = Vec::new();
     for e in opts.roster() {
         let m = model(e.name);
-        let (tb, tl) = estimate_pair(&m, opts, tm, 32);
-        rows.push(SpeedupRow {
+        let (tb, tl, provenance) = time_pair(&m, opts, timing, 32);
+        rows.push(Fig3Row {
             model: e.name.to_owned(),
             class: e.class.name().to_owned(),
             baseline: tb,
             limpet_mlir: tl,
             speedup: tb / tl,
+            provenance,
         });
     }
     let geomean_all = geomean(rows.iter().map(|r| r.speedup));
@@ -420,45 +574,79 @@ pub fn fig3_threads32(opts: &ExperimentOptions, tm: &TimingModel) -> Fig3 {
     }
 }
 
-/// Measured t1 + modeled t(T) for baseline and limpetMLIR AVX-512.
-fn estimate_pair(
+/// t(T) for baseline and limpetMLIR AVX-512: pool-measured inside the
+/// real region, measured-t1 + model above it.
+fn time_pair(
     m: &limpet_easyml::Model,
     opts: &ExperimentOptions,
-    tm: &TimingModel,
+    timing: &ThreadTiming,
     threads: usize,
-) -> (f64, f64) {
-    let tb1 = measure_run(m, PipelineKind::Baseline, opts);
-    let tl1 = measure_run(m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
-    let pb = step_profile(m, PipelineKind::Baseline, opts.n_cells);
-    let pl = step_profile(m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts.n_cells);
-    let tb = tm.estimate(
-        tb1,
-        pb.bytes_read + pb.bytes_written,
-        opts.steps,
-        threads,
-        1,
-    );
-    let tl = tm.estimate(
-        tl1,
-        pl.bytes_read + pl.bytes_written,
-        opts.steps,
-        threads,
-        8,
-    );
-    (tb, tl)
+) -> (f64, f64, Provenance) {
+    match timing.provenance(threads) {
+        Provenance::Measured => {
+            let tb = measure_run_threaded(m, PipelineKind::Baseline, opts, threads);
+            let tl = measure_run_threaded(
+                m,
+                PipelineKind::LimpetMlir(VectorIsa::Avx512),
+                opts,
+                threads,
+            );
+            (tb, tl, Provenance::Measured)
+        }
+        Provenance::Modeled => {
+            let tb1 = measure_run(m, PipelineKind::Baseline, opts);
+            let tl1 = measure_run(m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
+            let pb = step_profile(m, PipelineKind::Baseline, opts.n_cells);
+            let pl = step_profile(m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts.n_cells);
+            let tb = timing.tm.estimate(
+                tb1,
+                pb.bytes_read + pb.bytes_written,
+                opts.steps,
+                threads,
+                1,
+            );
+            let tl = timing.tm.estimate(
+                tl1,
+                pl.bytes_read + pl.bytes_written,
+                opts.steps,
+                threads,
+                8,
+            );
+            (tb, tl, Provenance::Modeled)
+        }
+    }
+}
+
+/// One Fig. 4 point: class-average times at a thread count.
+#[derive(Debug, Clone)]
+pub struct Fig4Point {
+    /// Size class name.
+    pub class: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Class-average baseline time (s).
+    pub baseline_s: f64,
+    /// Class-average limpetMLIR time (s).
+    pub limpet_mlir_s: f64,
+    /// Whether the times were measured on real threads or modeled.
+    pub provenance: Provenance,
 }
 
 /// Fig. 4: class-average execution times across thread counts.
 #[derive(Debug, Clone)]
 pub struct Fig4 {
-    /// `(class, threads, baseline avg secs, limpetMLIR avg secs)`.
-    pub series: Vec<(String, usize, f64, f64)>,
+    /// One point per (class, thread count).
+    pub series: Vec<Fig4Point>,
 }
 
-/// Fig. 4 runner (AVX-512).
-pub fn fig4_scaling(opts: &ExperimentOptions, tm: &TimingModel) -> Fig4 {
-    // Measure each model once, estimate each thread count.
+/// Fig. 4 runner (AVX-512): thread counts inside the timing policy's
+/// real region are measured per model on the worker pool, the rest come
+/// from the simulated-parallel model.
+pub fn fig4_scaling(opts: &ExperimentOptions, timing: &ThreadTiming) -> Fig4 {
+    // Measure each model's single-thread time and byte profile once;
+    // per-T times are then measured or modeled per the policy.
     struct M {
+        m: limpet_easyml::Model,
         class: SizeClass,
         tb1: f64,
         tl1: f64,
@@ -484,6 +672,7 @@ pub fn fig4_scaling(opts: &ExperimentOptions, tm: &TimingModel) -> Fig4 {
                 tl1,
                 bb: pb.bytes_read + pb.bytes_written,
                 bl: pl.bytes_read + pl.bytes_written,
+                m,
             }
         })
         .collect();
@@ -496,33 +685,76 @@ pub fn fig4_scaling(opts: &ExperimentOptions, tm: &TimingModel) -> Fig4 {
         for &t in &THREAD_COUNTS {
             let avg_b = of_class
                 .iter()
-                .map(|m| tm.estimate(m.tb1, m.bb, opts.steps, t, 1))
+                .map(|m| {
+                    let anchor = Anchor {
+                        t1: m.tb1,
+                        bytes: m.bb,
+                        width: 1,
+                    };
+                    time_at(&m.m, PipelineKind::Baseline, opts, timing, t, anchor).0
+                })
                 .sum::<f64>()
                 / of_class.len() as f64;
             let avg_l = of_class
                 .iter()
-                .map(|m| tm.estimate(m.tl1, m.bl, opts.steps, t, 8))
+                .map(|m| {
+                    let anchor = Anchor {
+                        t1: m.tl1,
+                        bytes: m.bl,
+                        width: 8,
+                    };
+                    time_at(
+                        &m.m,
+                        PipelineKind::LimpetMlir(VectorIsa::Avx512),
+                        opts,
+                        timing,
+                        t,
+                        anchor,
+                    )
+                    .0
+                })
                 .sum::<f64>()
                 / of_class.len() as f64;
-            series.push((class.name().to_owned(), t, avg_b, avg_l));
+            series.push(Fig4Point {
+                class: class.name().to_owned(),
+                threads: t,
+                baseline_s: avg_b,
+                limpet_mlir_s: avg_l,
+                provenance: timing.provenance(t),
+            });
         }
     }
     Fig4 { series }
 }
 
+/// One Fig. 5 point: geomean speedup of an ISA at a thread count.
+#[derive(Debug, Clone)]
+pub struct Fig5Point {
+    /// ISA name.
+    pub isa: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Geomean speedup over the roster.
+    pub geomean: f64,
+    /// Whether the times were measured on real threads or modeled.
+    pub provenance: Provenance,
+}
+
 /// Fig. 5: geomean speedups per ISA per thread count.
 #[derive(Debug, Clone)]
 pub struct Fig5 {
-    /// `(isa name, threads, geomean speedup)`.
-    pub series: Vec<(String, usize, f64)>,
+    /// One point per (ISA, thread count).
+    pub series: Vec<Fig5Point>,
     /// Overall geomean over all models, ISAs, and thread counts
     /// (paper: 2.90x).
     pub overall_geomean: f64,
 }
 
-/// Fig. 5 runner.
-pub fn fig5_isa_threads(opts: &ExperimentOptions, tm: &TimingModel) -> Fig5 {
+/// Fig. 5 runner: measured inside the timing policy's real region,
+/// modeled above it.
+pub fn fig5_isa_threads(opts: &ExperimentOptions, timing: &ThreadTiming) -> Fig5 {
     struct M {
+        m: limpet_easyml::Model,
         tb1: f64,
         bb: u64,
         per_isa: Vec<(f64, u64)>, // (t1, bytes) per ISA
@@ -546,6 +778,7 @@ pub fn fig5_isa_threads(opts: &ExperimentOptions, tm: &TimingModel) -> Fig5 {
                 tb1,
                 bb: pb.bytes_read + pb.bytes_written,
                 per_isa,
+                m,
             }
         })
         .collect();
@@ -557,20 +790,138 @@ pub fn fig5_isa_threads(opts: &ExperimentOptions, tm: &TimingModel) -> Fig5 {
             let speedups: Vec<f64> = measured
                 .iter()
                 .map(|m| {
-                    let tb = tm.estimate(m.tb1, m.bb, opts.steps, t, 1);
+                    let base = Anchor {
+                        t1: m.tb1,
+                        bytes: m.bb,
+                        width: 1,
+                    };
+                    let tb = time_at(&m.m, PipelineKind::Baseline, opts, timing, t, base).0;
                     let (tl1, bl) = m.per_isa[i];
-                    let tl = tm.estimate(tl1, bl, opts.steps, t, isa.lanes() as usize);
+                    let anchor = Anchor {
+                        t1: tl1,
+                        bytes: bl,
+                        width: isa.lanes() as usize,
+                    };
+                    let tl = time_at(
+                        &m.m,
+                        PipelineKind::LimpetMlir(*isa),
+                        opts,
+                        timing,
+                        t,
+                        anchor,
+                    )
+                    .0;
                     tb / tl
                 })
                 .collect();
             let g = geomean(speedups.iter().copied());
             all_speedups.extend(speedups);
-            series.push((isa.name().to_owned(), t, g));
+            series.push(Fig5Point {
+                isa: isa.name().to_owned(),
+                threads: t,
+                geomean: g,
+                provenance: timing.provenance(t),
+            });
         }
     }
     Fig5 {
         series,
         overall_geomean: geomean(all_speedups),
+    }
+}
+
+/// One cross-validation sample: the model's estimate vs. a real-thread
+/// measurement of the same configuration.
+#[derive(Debug, Clone)]
+pub struct TmValidationRow {
+    /// Model name.
+    pub model: String,
+    /// Size class name.
+    pub class: String,
+    /// Pipeline label (`baseline` / `limpetMLIR-AVX-512`).
+    pub config: String,
+    /// Thread count of the sample.
+    pub threads: usize,
+    /// Real-thread wall clock (s).
+    pub measured_s: f64,
+    /// [`TimingModel::estimate`] from the measured single-thread time (s).
+    pub modeled_s: f64,
+    /// Signed relative error `(modeled - measured) / measured`.
+    pub rel_err: f64,
+}
+
+/// `figures --validate-tm` result: the simulated-parallel model
+/// cross-validated against real threads on the overlap region.
+#[derive(Debug, Clone)]
+pub struct TmValidation {
+    /// Per-sample rows.
+    pub rows: Vec<TmValidationRow>,
+    /// Mean absolute relative error per size class.
+    pub per_class: Vec<(String, f64)>,
+    /// Mean absolute relative error over all samples.
+    pub overall: f64,
+    /// The thread counts of the overlap region actually validated.
+    pub threads: Vec<usize>,
+}
+
+/// Cross-validates the simulated-parallel model against real-thread
+/// measurements on the overlap region: every paper thread count `T` with
+/// `2 ≤ T ≤ timing.real_max` is both measured (worker pool) and modeled
+/// (from the measured single-thread time), per model and per pipeline.
+/// Returns per-class and overall mean absolute relative error; an empty
+/// overlap (host with one core and no `--max-threads` override) yields
+/// empty results.
+pub fn validate_timing_model(opts: &ExperimentOptions, timing: &ThreadTiming) -> TmValidation {
+    let threads: Vec<usize> = THREAD_COUNTS
+        .iter()
+        .copied()
+        .filter(|&t| t > 1 && t <= timing.real_max)
+        .collect();
+    let mut rows = Vec::new();
+    for e in opts.roster() {
+        let m = model(e.name);
+        for (config, width) in [
+            (PipelineKind::Baseline, 1usize),
+            (PipelineKind::LimpetMlir(VectorIsa::Avx512), 8),
+        ] {
+            let t1 = measure_run(&m, config, opts);
+            let p = step_profile(&m, config, opts.n_cells);
+            let bytes = p.bytes_read + p.bytes_written;
+            for &t in &threads {
+                let measured_s = measure_run_threaded(&m, config, opts, t);
+                let modeled_s = timing.tm.estimate(t1, bytes, opts.steps, t, width);
+                rows.push(TmValidationRow {
+                    model: e.name.to_owned(),
+                    class: e.class.name().to_owned(),
+                    config: config.label(),
+                    threads: t,
+                    measured_s,
+                    modeled_s,
+                    rel_err: (modeled_s - measured_s) / measured_s,
+                });
+            }
+        }
+    }
+    let mean_abs = |rows: &[&TmValidationRow]| -> f64 {
+        if rows.is_empty() {
+            return f64::NAN;
+        }
+        rows.iter().map(|r| r.rel_err.abs()).sum::<f64>() / rows.len() as f64
+    };
+    let per_class = SizeClass::ALL
+        .iter()
+        .map(|c| {
+            let of_class: Vec<&TmValidationRow> =
+                rows.iter().filter(|r| r.class == c.name()).collect();
+            (c.name().to_owned(), mean_abs(&of_class))
+        })
+        .collect();
+    let overall = mean_abs(&rows.iter().collect::<Vec<_>>());
+    TmValidation {
+        rows,
+        per_class,
+        overall,
+        threads,
     }
 }
 
@@ -929,18 +1280,56 @@ mod tests {
 
     #[test]
     fn fig3_class_geomeans_present() {
-        let tm = TimingModel::default();
-        let f = fig3_threads32(&tiny_opts(&["Plonsey", "OHara"]), &tm);
+        let timing = ThreadTiming::model_only(TimingModel::default());
+        let f = fig3_threads32(&tiny_opts(&["Plonsey", "OHara"]), &timing);
         assert_eq!(f.rows.len(), 2);
         assert_eq!(f.class_geomeans.len(), 3);
+        // Model-only policy: every row is tagged modeled.
+        assert!(f.rows.iter().all(|r| r.provenance == Provenance::Modeled));
+    }
+
+    #[test]
+    fn fig3_real_threads_tags_measured_rows() {
+        // A real region reaching 32 makes every fig-3 row measured (the
+        // host oversubscribes, which is fine for a provenance test).
+        let timing = ThreadTiming::real_threads(TimingModel::default(), Some(32));
+        let f = fig3_threads32(&tiny_opts(&["Plonsey"]), &timing);
+        assert!(f.rows.iter().all(|r| r.provenance == Provenance::Measured));
+        assert!(f.rows[0].baseline > 0.0 && f.rows[0].limpet_mlir > 0.0);
+        // A region capped below 32 models the same figure.
+        let timing = ThreadTiming::real_threads(TimingModel::default(), Some(2));
+        let f = fig3_threads32(&tiny_opts(&["Plonsey"]), &timing);
+        assert!(f.rows.iter().all(|r| r.provenance == Provenance::Modeled));
     }
 
     #[test]
     fn fig5_produces_all_series() {
-        let tm = TimingModel::default();
-        let f = fig5_isa_threads(&tiny_opts(&["Pathmanathan"]), &tm);
+        let timing = ThreadTiming::model_only(TimingModel::default());
+        let f = fig5_isa_threads(&tiny_opts(&["Pathmanathan"]), &timing);
         assert_eq!(f.series.len(), 3 * THREAD_COUNTS.len());
         assert!(f.overall_geomean.is_finite());
+    }
+
+    #[test]
+    fn validate_tm_reports_overlap_region() {
+        let timing = ThreadTiming::real_threads(TimingModel::default(), Some(4));
+        let v = validate_timing_model(&tiny_opts(&["Plonsey"]), &timing);
+        assert_eq!(v.threads, vec![2, 4]);
+        // 1 model x 2 configs x 2 thread counts.
+        assert_eq!(v.rows.len(), 4);
+        for r in &v.rows {
+            assert!(r.measured_s > 0.0 && r.modeled_s > 0.0);
+            assert!(r.rel_err.is_finite());
+        }
+        assert!(v.overall.is_finite());
+        assert_eq!(v.per_class.len(), 3);
+        // An empty overlap must come back empty, not panic.
+        let none = validate_timing_model(
+            &tiny_opts(&["Plonsey"]),
+            &ThreadTiming::model_only(TimingModel::default()),
+        );
+        assert!(none.rows.is_empty() && none.threads.is_empty());
+        assert!(none.overall.is_nan());
     }
 
     #[test]
@@ -962,17 +1351,42 @@ mod tests {
 
     #[test]
     fn fig4_covers_every_class_and_thread_count() {
-        let tm = TimingModel::default();
-        let f = fig4_scaling(&tiny_opts(&["Plonsey", "BeelerReuter", "OHara"]), &tm);
+        let timing = ThreadTiming::model_only(TimingModel::default());
+        let f = fig4_scaling(&tiny_opts(&["Plonsey", "BeelerReuter", "OHara"]), &timing);
         assert_eq!(f.series.len(), 3 * THREAD_COUNTS.len());
         // At this deliberately tiny test workload every class is
         // barrier-dominated, so no monotonicity is asserted — only
         // structure: positive times and limpetMLIR <= baseline at T=1.
-        for (class, t, tb, tl) in &f.series {
-            assert!(*tb > 0.0 && *tl > 0.0, "{class} T={t}");
-            if *t == 1 {
-                assert!(tl <= tb, "{class}: limpetMLIR slower at T=1");
+        for p in &f.series {
+            assert!(
+                p.baseline_s > 0.0 && p.limpet_mlir_s > 0.0,
+                "{} T={}",
+                p.class,
+                p.threads
+            );
+            assert_eq!(p.provenance, Provenance::Modeled);
+            if p.threads == 1 {
+                assert!(
+                    p.limpet_mlir_s <= p.baseline_s,
+                    "{}: limpetMLIR slower at T=1",
+                    p.class
+                );
             }
+        }
+    }
+
+    #[test]
+    fn fig4_real_threads_measures_below_and_models_above() {
+        let timing = ThreadTiming::real_threads(TimingModel::default(), Some(2));
+        let f = fig4_scaling(&tiny_opts(&["Plonsey"]), &timing);
+        for p in &f.series {
+            let expected = if p.threads <= 2 {
+                Provenance::Measured
+            } else {
+                Provenance::Modeled
+            };
+            assert_eq!(p.provenance, expected, "T={}", p.threads);
+            assert!(p.baseline_s > 0.0 && p.limpet_mlir_s > 0.0);
         }
     }
 

@@ -27,9 +27,10 @@ pub use cache::{
 };
 pub use error::{compile_source, CompileError};
 pub use experiments::{
-    fig2_checkpointed, fig2_single_thread, fig2_with_jobs, fig3_threads32, fig4_scaling,
-    fig5_isa_threads, fig6_roofline, geomean, icc_comparison, kernel_stats, layout_ablation,
-    lut_ablation, trajectory_digest, ExperimentOptions, THREAD_COUNTS,
+    available_cores, fig2_checkpointed, fig2_single_thread, fig2_with_jobs, fig3_threads32,
+    fig4_scaling, fig5_isa_threads, fig6_roofline, geomean, icc_comparison, kernel_stats,
+    layout_ablation, lut_ablation, measure_run_threaded, trajectory_digest, validate_timing_model,
+    ExperimentOptions, Provenance, ThreadTiming, TmValidation, THREAD_COUNTS,
 };
 pub use faults::FaultKind;
 pub use health::{summarize_incidents, HealthPolicy, Incident, IncidentKind, Tier};
@@ -38,5 +39,6 @@ pub use persist::{
 };
 pub use sim::{model_info, storage_layout, PipelineKind, Simulation, Stimulus, Workload};
 pub use threads::{
-    measure_median, measure_stream_bandwidth, shard_sizes, ShardedSimulation, TimingModel,
+    measure_median, measure_median_secs, measure_stream_bandwidth, shard_sizes, ShardedSimulation,
+    TimingModel,
 };

@@ -336,6 +336,26 @@ impl Simulation {
         Some(self.state.get(cell, idx))
     }
 
+    /// Bit pattern of every logical cell's full visible state — each
+    /// state variable, then every external (`Vm`, `Iion`, …) — in cell
+    /// order. Two runs are bit-identical iff their vectors are equal;
+    /// this is the payload of the real-thread differential gate (compare
+    /// a `ShardedSimulation::state_bits` against a single-thread run's).
+    pub fn state_bits(&self) -> Vec<u64> {
+        let n_state = self.kernel.info().state_names.len();
+        let n_ext = self.kernel.info().ext_names.len();
+        let mut bits = Vec::with_capacity(self.n_cells() * (n_state + n_ext));
+        for cell in 0..self.n_cells() {
+            for var in 0..n_state {
+                bits.push(self.state.get(cell, var).to_bits());
+            }
+            for ext in 0..n_ext {
+                bits.push(self.ext.get(cell, ext).to_bits());
+            }
+        }
+        bits
+    }
+
     /// Applies a voltage perturbation to one cell (e.g. a local stimulus
     /// in tissue runs).
     pub fn perturb_vm(&mut self, cell: usize, delta: f64) {

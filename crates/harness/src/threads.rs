@@ -2,11 +2,16 @@
 //!
 //! Two ways to obtain multi-thread numbers:
 //!
-//! * [`ShardedSimulation`] — real `std::thread` execution: cells are
-//!   partitioned into per-thread shards (the compute stage of §3.1 has no
-//!   inter-cell communication), with a barrier separating compute and
-//!   membrane-update stages each step. Faithful when the host has that
-//!   many cores.
+//! * [`ShardedSimulation`] — real `std::thread` execution over a
+//!   *persistent worker pool*: cells are partitioned into per-thread
+//!   shards (the compute stage of §3.1 has no inter-cell communication),
+//!   each shard is owned by a worker thread spawned once at construction
+//!   and reused across steps and across timed repetitions, with a barrier
+//!   separating compute and membrane-update stages each step. The wall
+//!   clock of [`ShardedSimulation::run_threaded`] starts only after a
+//!   warm-up rendezvous inside the pool, so thread-creation and wake-up
+//!   cost is excluded from measured step time. Faithful when the host has
+//!   that many cores.
 //! * [`TimingModel`] — a deterministic *simulated-parallel* model used for
 //!   the paper's 32-core scaling figures on hosts with fewer cores (the
 //!   hardware substitution documented in DESIGN.md §3): per-step time at
@@ -16,21 +21,60 @@
 //!   saturation and `barrier(T)` grows with both the thread count and the
 //!   vector width (synchronization + vector-state flush overhead — the
 //!   effect behind the paper's small-model slowdowns in Fig. 3).
+//!
+//! `figures --real-threads` measures every thread count up to the host's
+//! cores with the pool and falls back to the model only above that;
+//! `figures --validate-tm` cross-validates the model against the pool on
+//! the overlap region and persists the calibrated constants next to the
+//! kernel disk cache ([`TimingModel::save`]).
 
 use crate::sim::{PipelineKind, Simulation, Workload};
 use limpet_easyml::Model;
-use std::sync::Barrier;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc, Barrier};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Real-thread execution over per-thread cell shards.
+/// A command processed by one pool worker.
+enum Cmd {
+    /// Run `steps` barrier-separated steps. The caller times the interval
+    /// between the two pool-wide rendezvous around the step loop.
+    Run { steps: usize },
+    /// Run a closure against the worker's shard (state inspection).
+    Call(Box<dyn FnOnce(&mut Simulation) + Send>),
+    /// Leave the worker loop (pool teardown).
+    Exit,
+}
+
+/// One pool worker: its command channel and join handle. The worker
+/// thread owns the shard's [`Simulation`].
+#[derive(Debug)]
+struct Worker {
+    tx: mpsc::Sender<Cmd>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Real-thread execution over per-thread cell shards, backed by a
+/// persistent worker pool: threads are spawned once in
+/// [`ShardedSimulation::new`] and reused by every
+/// [`ShardedSimulation::run_threaded`] call, so repeated timed runs pay
+/// no spawn/teardown cost inside the measured region.
 #[derive(Debug)]
 pub struct ShardedSimulation {
-    shards: Vec<Simulation>,
+    workers: Vec<Worker>,
+    /// Pool-wide rendezvous (workers + caller) bracketing each step loop:
+    /// the first crossing is the warm-up barrier (all workers awake), the
+    /// second marks completion.
+    rendezvous: Arc<Barrier>,
+    /// Logical cells per shard, in shard (= global cell) order.
+    shard_cells: Vec<usize>,
 }
 
 impl ShardedSimulation {
     /// Partitions `workload.n_cells` across at most `threads` shards
-    /// (each padded to the kernel's chunk width internally).
+    /// (each padded to the kernel's chunk width internally) and spawns
+    /// one worker thread per shard.
     ///
     /// Shard sizes always sum to exactly `workload.n_cells`: when the
     /// cell count does not fill every requested thread, the empty shards
@@ -44,7 +88,7 @@ impl ShardedSimulation {
     ) -> ShardedSimulation {
         assert!(threads >= 1);
         assert!(workload.n_cells >= 1, "cannot shard an empty workload");
-        let shards = shard_sizes(workload.n_cells, threads)
+        let shards: Vec<Simulation> = shard_sizes(workload.n_cells, threads)
             .into_iter()
             .map(|cells| {
                 let wl = Workload {
@@ -64,53 +108,160 @@ impl ShardedSimulation {
                 }
             })
             .collect();
-        ShardedSimulation { shards }
+        let shard_cells: Vec<usize> = shards.iter().map(Simulation::n_cells).collect();
+        let n = shards.len();
+        let rendezvous = Arc::new(Barrier::new(n + 1));
+        let step_barrier = Arc::new(Barrier::new(n));
+        let workers = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let (tx, rx) = mpsc::channel();
+                let rendezvous = Arc::clone(&rendezvous);
+                let step_barrier = Arc::clone(&step_barrier);
+                let handle = std::thread::Builder::new()
+                    .name(format!("limpet-shard-{i}"))
+                    .spawn(move || worker_loop(shard, &rx, &rendezvous, &step_barrier))
+                    .expect("spawn shard worker");
+                Worker {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardedSimulation {
+            workers,
+            rendezvous,
+            shard_cells,
+        }
     }
 
     /// Number of shards actually created (≤ the requested thread count).
     pub fn threads(&self) -> usize {
-        self.shards.len()
+        self.workers.len()
     }
 
     /// Total cells across all shards.
     pub fn n_cells(&self) -> usize {
-        self.shards.iter().map(|s| s.n_cells()).sum()
+        self.shard_cells.iter().sum()
     }
 
-    /// Runs `steps` steps with one OS thread per shard, barrier-separated
-    /// stages, and returns the wall-clock seconds.
+    /// Logical cells owned by shard `i`.
+    pub fn shard_n_cells(&self, i: usize) -> usize {
+        self.shard_cells[i]
+    }
+
+    /// Runs `steps` steps on the persistent pool (one OS thread per
+    /// shard, barrier-separated stages) and returns the wall-clock
+    /// seconds of the step loop alone.
+    ///
+    /// The clock starts after a warm-up rendezvous that every worker has
+    /// crossed — so the measured interval excludes thread spawn (paid in
+    /// [`ShardedSimulation::new`]) and command-channel wake-up, fixing
+    /// the bias where per-call spawn/teardown overhead was charged to
+    /// the simulation.
     pub fn run_threaded(&mut self, steps: usize) -> f64 {
-        let n = self.shards.len();
-        let barrier = Barrier::new(n);
+        for w in &self.workers {
+            w.tx.send(Cmd::Run { steps }).expect("shard worker died");
+        }
+        // Warm-up rendezvous: returns once every worker is awake and
+        // about to enter its step loop.
+        self.rendezvous.wait();
         let start = Instant::now();
-        std::thread::scope(|scope| {
-            for shard in &mut self.shards {
-                let barrier = &barrier;
-                scope.spawn(move || {
-                    for _ in 0..steps {
-                        // Compute stage over the shard's own cells.
-                        let cells = padded_cells(shard);
-                        shard.step_range(0, cells);
-                        barrier.wait();
-                        // Membrane stage.
-                        shard.update_vm();
-                        shard.advance_time();
-                        barrier.wait();
-                    }
-                });
-            }
-        });
+        // Completion rendezvous: returns once the last worker finishes.
+        self.rendezvous.wait();
         start.elapsed().as_secs_f64()
     }
 
-    /// Access to a shard (e.g. to read voltages after a run).
-    pub fn shard(&self, i: usize) -> &Simulation {
-        &self.shards[i]
+    /// Runs a closure against shard `i`'s simulation on its worker thread
+    /// and returns the result (e.g. to read voltages after a run).
+    pub fn with_shard<R, F>(&self, i: usize, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Simulation) -> R + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        self.workers[i]
+            .tx
+            .send(Cmd::Call(Box::new(move |sim| {
+                let _ = tx.send(f(sim));
+            })))
+            .expect("shard worker died");
+        rx.recv().expect("shard worker died")
+    }
+
+    /// Membrane potential of a global cell index (shards partition the
+    /// cell range in order, so global indices map onto (shard, local)).
+    pub fn vm(&self, cell: usize) -> f64 {
+        let (shard, local) = self.locate(cell);
+        self.with_shard(shard, move |s| s.vm(local))
+    }
+
+    /// Bit pattern of the full visible state of every cell, in global
+    /// cell order — the payload of the real-thread differential gate
+    /// (compare against [`Simulation::state_bits`] of a single-thread
+    /// run).
+    pub fn state_bits(&self) -> Vec<u64> {
+        let mut bits = Vec::new();
+        for i in 0..self.workers.len() {
+            bits.extend(self.with_shard(i, |s| s.state_bits()));
+        }
+        bits
+    }
+
+    fn locate(&self, cell: usize) -> (usize, usize) {
+        let mut local = cell;
+        for (i, &n) in self.shard_cells.iter().enumerate() {
+            if local < n {
+                return (i, local);
+            }
+            local -= n;
+        }
+        panic!("cell {cell} out of range ({} total)", self.n_cells());
     }
 }
 
-fn padded_cells(sim: &Simulation) -> usize {
-    sim.padded_cells()
+impl Drop for ShardedSimulation {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.tx.send(Cmd::Exit);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// The body of one pool worker: owns its shard and serves commands until
+/// told to exit (or the pool is dropped and the channel disconnects).
+fn worker_loop(
+    mut shard: Simulation,
+    rx: &mpsc::Receiver<Cmd>,
+    rendezvous: &Barrier,
+    step_barrier: &Barrier,
+) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Run { steps } => {
+                rendezvous.wait();
+                let cells = shard.padded_cells();
+                for _ in 0..steps {
+                    // Compute stage over the shard's own cells.
+                    shard.step_range(0, cells);
+                    step_barrier.wait();
+                    // Membrane stage.
+                    shard.update_vm();
+                    shard.advance_time();
+                    step_barrier.wait();
+                }
+                rendezvous.wait();
+            }
+            Cmd::Call(f) => f(&mut shard),
+            Cmd::Exit => break,
+        }
+    }
 }
 
 /// Balanced partition of `n_cells` into at most `threads` non-empty
@@ -156,6 +307,13 @@ impl Default for TimingModel {
     }
 }
 
+/// File name of the persisted calibration constants (stored next to the
+/// kernel disk cache entries).
+const TIMING_MODEL_FILE: &str = "timing-model.v1";
+/// Format stamp of the persisted file; bump on layout changes so stale
+/// files are recalibrated instead of misread.
+const TIMING_MODEL_HEADER: &str = "timing-model-v1";
+
 impl TimingModel {
     /// Calibrates the stream bandwidth on the current host; other
     /// constants keep representative defaults (documented in DESIGN.md).
@@ -163,6 +321,71 @@ impl TimingModel {
         TimingModel {
             stream_bandwidth: measure_stream_bandwidth(),
             ..TimingModel::default()
+        }
+    }
+
+    /// Persists the calibrated constants into `dir` (the kernel disk
+    /// cache directory) with an atomic temp+rename write, returning the
+    /// file path. Values are stored as exact f64 bit patterns so a
+    /// loaded model reproduces the persisted one bit-for-bit.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let body = format!(
+            "{TIMING_MODEL_HEADER}\nstream_bandwidth {:016x}\nbandwidth_saturation {:016x}\nbarrier_base {:016x}\nlane_sync {:016x}\n",
+            self.stream_bandwidth.to_bits(),
+            self.bandwidth_saturation.to_bits(),
+            self.barrier_base.to_bits(),
+            self.lane_sync.to_bits(),
+        );
+        let path = dir.join(TIMING_MODEL_FILE);
+        let tmp = dir.join(format!("{TIMING_MODEL_FILE}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, body)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Loads persisted calibration constants from `dir`. Returns `None`
+    /// when the file is absent, has a wrong format stamp, or holds
+    /// non-finite / non-positive constants (any of which means the file
+    /// should be ignored and the host recalibrated).
+    pub fn load(dir: &Path) -> Option<TimingModel> {
+        let text = std::fs::read_to_string(dir.join(TIMING_MODEL_FILE)).ok()?;
+        let mut lines = text.lines();
+        if lines.next()? != TIMING_MODEL_HEADER {
+            return None;
+        }
+        let mut field = |name: &str| -> Option<f64> {
+            let line = lines.next()?;
+            let (key, bits) = line.split_once(' ')?;
+            if key != name {
+                return None;
+            }
+            Some(f64::from_bits(u64::from_str_radix(bits, 16).ok()?))
+        };
+        let tm = TimingModel {
+            stream_bandwidth: field("stream_bandwidth")?,
+            bandwidth_saturation: field("bandwidth_saturation")?,
+            barrier_base: field("barrier_base")?,
+            lane_sync: field("lane_sync")?,
+        };
+        let sane = [
+            tm.stream_bandwidth,
+            tm.bandwidth_saturation,
+            tm.barrier_base,
+            tm.lane_sync,
+        ]
+        .iter()
+        .all(|v| v.is_finite() && *v > 0.0);
+        sane.then_some(tm)
+    }
+
+    /// Loads persisted constants from `dir` when present and valid, else
+    /// calibrates. The boolean reports whether the persisted file was
+    /// used.
+    pub fn load_or_calibrate(dir: &Path) -> (TimingModel, bool) {
+        match TimingModel::load(dir) {
+            Some(tm) => (tm, true),
+            None => (TimingModel::calibrate(), false),
         }
     }
 
@@ -192,6 +415,12 @@ impl TimingModel {
 }
 
 /// Measures single-thread stream-triad bandwidth (bytes/s).
+///
+/// Traffic accounting includes the write-allocate (RFO) fill of `c`: a
+/// store to a line not in cache first reads it from DRAM, so each triad
+/// element moves 4 × 8 = 32 bytes (read `a`, read `b`, RFO + write-back
+/// of `c`), not 24. The previous 24-byte accounting overstated calibrated
+/// bandwidth by a third and skewed the `mem_floor` of every figure.
 pub fn measure_stream_bandwidth() -> f64 {
     let n = 4 << 20; // 4M doubles = 32 MiB, beyond LLC on most hosts
     let a = vec![1.0f64; n];
@@ -208,31 +437,49 @@ pub fn measure_stream_bandwidth() -> f64 {
         for i in 0..n {
             c[i] = a[i] + s * b[i];
         }
+        // Inside the timed loop so the triad is a observable effect each
+        // repetition and cannot be hoisted/elided by licm.
+        std::hint::black_box(&mut c);
     }
     let secs = start.elapsed().as_secs_f64();
-    std::hint::black_box(&c);
-    // 3 arrays × 8 bytes per element per iteration.
-    (reps * n * 24) as f64 / secs
+    // 2 loads + 1 store + 1 write-allocate line fill, 8 bytes each.
+    (reps * n * 32) as f64 / secs
 }
 
 /// Measures the median wall time of `runs` invocations of `f` (the paper
 /// runs five, drops the extrema, and averages three; the median of three
 /// has the same robustness at lower cost).
 pub fn measure_median(runs: usize, mut f: impl FnMut()) -> f64 {
-    let mut times: Vec<f64> = (0..runs.max(1))
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
+    measure_median_secs(runs, move || {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_secs_f64()
+    })
+}
+
+/// Median of `runs` wall-time samples produced by `f` — for callers that
+/// measure the interval themselves (e.g. the worker pool, whose
+/// [`ShardedSimulation::run_threaded`] excludes command wake-up from its
+/// own clock).
+///
+/// An even sample count averages the two middle elements; indexing
+/// `times[len / 2]` alone would return the upper middle and bias the
+/// median upward.
+pub fn measure_median_secs(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..runs.max(1)).map(|_| f()).collect();
     times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+    let n = times.len();
+    if n % 2 == 1 {
+        times[n / 2]
+    } else {
+        (times[n / 2 - 1] + times[n / 2]) / 2.0
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use limpet_codegen::pipeline::VectorIsa;
     use limpet_models::model;
 
     #[test]
@@ -284,23 +531,97 @@ mod tests {
     }
 
     #[test]
+    fn timing_model_persists_bit_exactly_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("limpet-tm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tm = TimingModel {
+            stream_bandwidth: 12.345e9,
+            bandwidth_saturation: 5.5,
+            barrier_base: 1.7e-6,
+            lane_sync: 0.21e-6,
+        };
+        let path = tm.save(&dir).expect("save");
+        assert!(path.exists());
+        let loaded = TimingModel::load(&dir).expect("load");
+        assert_eq!(
+            loaded.stream_bandwidth.to_bits(),
+            tm.stream_bandwidth.to_bits()
+        );
+        assert_eq!(loaded, tm);
+        let (again, was_loaded) = TimingModel::load_or_calibrate(&dir);
+        assert!(was_loaded);
+        assert_eq!(again, tm);
+        // A stale format stamp must be rejected, not misread.
+        std::fs::write(dir.join(TIMING_MODEL_FILE), "timing-model-v0\n").unwrap();
+        assert!(TimingModel::load(&dir).is_none());
+        // Non-finite constants are rejected too.
+        let bad = format!(
+            "{TIMING_MODEL_HEADER}\nstream_bandwidth {:016x}\nbandwidth_saturation {:016x}\nbarrier_base {:016x}\nlane_sync {:016x}\n",
+            f64::NAN.to_bits(),
+            1.0f64.to_bits(),
+            1.0f64.to_bits(),
+            1.0f64.to_bits(),
+        );
+        std::fs::write(dir.join(TIMING_MODEL_FILE), bad).unwrap();
+        assert!(TimingModel::load(&dir).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Full-state bit-identity of the pool against the single-thread
+    /// driver, over vector widths {1, 4, 8} (baseline, AVX2, AVX-512)
+    /// and uneven shard shapes — not just cell 0's voltage.
+    #[test]
     fn sharded_simulation_matches_single() {
         let m = model("Plonsey");
+        for (config, label) in [
+            (PipelineKind::Baseline, "width-1"),
+            (PipelineKind::LimpetMlir(VectorIsa::Avx2), "width-4"),
+            (PipelineKind::LimpetMlir(VectorIsa::Avx512), "width-8"),
+        ] {
+            // 61 cells over 4 threads: shards of 16+15+15+15, none a
+            // multiple of the vector width, so padding lanes differ
+            // between the sharded and single-thread layouts.
+            for (n_cells, threads) in [(64, 4), (61, 4), (13, 8)] {
+                let wl = Workload {
+                    n_cells,
+                    steps: 0,
+                    dt: 0.01,
+                };
+                let mut single = Simulation::new(&m, config, &wl);
+                let mut sharded = ShardedSimulation::new(&m, config, &wl, threads);
+                for _ in 0..200 {
+                    single.step();
+                }
+                sharded.run_threaded(200);
+                assert_eq!(
+                    sharded.state_bits(),
+                    single.state_bits(),
+                    "{label} n_cells={n_cells} threads={threads}: full state diverged"
+                );
+            }
+        }
+    }
+
+    /// The pool is persistent: two back-to-back runs on the same
+    /// `ShardedSimulation` continue one trajectory (reuse, not respawn).
+    #[test]
+    fn pool_reuse_across_runs_continues_trajectory() {
+        let m = model("Plonsey");
         let wl = Workload {
-            n_cells: 64,
+            n_cells: 24,
             steps: 0,
             dt: 0.01,
         };
         let mut single = Simulation::new(&m, PipelineKind::Baseline, &wl);
-        let mut sharded = ShardedSimulation::new(&m, PipelineKind::Baseline, &wl, 4);
-        for _ in 0..200 {
+        let mut sharded = ShardedSimulation::new(&m, PipelineKind::Baseline, &wl, 3);
+        for _ in 0..150 {
             single.step();
         }
-        sharded.run_threaded(200);
-        // Cell 0 of shard 0 sees the same history as cell 0 overall.
-        let v0 = single.vm(0);
-        let v1 = sharded.shard(0).vm(0);
-        assert!((v0 - v1).abs() < 1e-9, "{v0} vs {v1}");
+        let t0 = sharded.run_threaded(100);
+        let t1 = sharded.run_threaded(50);
+        assert!(t0 > 0.0 && t1 > 0.0);
+        assert_eq!(sharded.state_bits(), single.state_bits());
+        assert!((sharded.vm(0) - single.vm(0)).abs() < 1e-12);
     }
 
     #[test]
@@ -342,7 +663,7 @@ mod tests {
             );
             assert!(sharded.threads() <= threads);
             for i in 0..sharded.threads() {
-                assert!(sharded.shard(i).n_cells() > 0);
+                assert!(sharded.shard_n_cells(i) > 0);
             }
         }
     }
@@ -363,5 +684,19 @@ mod tests {
         });
         assert_eq!(i, 3);
         assert!(t >= 0.001);
+    }
+
+    /// Even sample counts must average the two middle elements; the old
+    /// `times[len / 2]` returned the upper middle (here: 3.0, not 2.5).
+    #[test]
+    fn measure_median_even_count_averages_middle_pair() {
+        let samples = [4.0, 1.0, 3.0, 2.0];
+        let mut it = samples.iter();
+        let med = measure_median_secs(4, || *it.next().unwrap());
+        assert!((med - 2.5).abs() < 1e-12, "even-count median {med}");
+        let samples = [5.0, 1.0, 3.0];
+        let mut it = samples.iter();
+        let med = measure_median_secs(3, || *it.next().unwrap());
+        assert!((med - 3.0).abs() < 1e-12, "odd-count median {med}");
     }
 }

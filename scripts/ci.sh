@@ -60,6 +60,40 @@ cmp "$PERSIST_OUT/cold.csv" "$PERSIST_OUT/faulted.csv" \
   || { echo "persistence gate: cache clear failed"; exit 1; }
 rm -rf "$PERSIST_DIR" "$PERSIST_OUT"
 
+echo "==> real-thread differential suite (pool vs single-thread, bit-exact)"
+cargo test -q -p limpet-harness --test real_threads
+
+echo "==> real-thread figure gate (provenance tags + digest parity)"
+# fig3 + fig4 with real threads on the CI subset: every CSV row must
+# carry a measured|modeled provenance tag, the measured region must
+# actually be exercised (fig4's T <= 2 points, via explicit
+# oversubscription on 1-core runners; fig3's T=32 rows stay modeled),
+# and trajectory digests must be bit-identical with and without the
+# real-thread path enabled.
+RT_DIR=$(mktemp -d)
+RT_OUT=$(mktemp -d)
+./target/release/figures --fig3 --fig4 --digest --real-threads --max-threads 2 \
+  --models "$SUBSET" --cells 64 --steps 16 --repeats 3 --cache-dir "$RT_DIR" \
+  > "$RT_OUT/real.txt"
+cp output/fig3.csv "$RT_OUT/fig3.csv"
+cp output/fig4.csv "$RT_OUT/fig4.csv"
+cp output/digests.csv "$RT_OUT/real_digests.csv"
+awk -F, 'NR > 1 && $4 != "measured" && $4 != "modeled" { bad = 1 }
+         END { exit bad }' "$RT_OUT/fig3.csv" \
+  || { echo "real-thread gate: fig3 row missing measured|modeled tag"; cat "$RT_OUT/fig3.csv"; exit 1; }
+awk -F, 'NR > 1 && $5 != "measured" && $5 != "modeled" { bad = 1 }
+         END { exit bad }' "$RT_OUT/fig4.csv" \
+  || { echo "real-thread gate: fig4 row missing measured|modeled tag"; cat "$RT_OUT/fig4.csv"; exit 1; }
+grep -q "measured" "$RT_OUT/fig4.csv" && grep -q "modeled" "$RT_OUT/fig4.csv" \
+  || { echo "real-thread gate: fig4 must mix measured and modeled rows"; cat "$RT_OUT/fig4.csv"; exit 1; }
+grep -q "measuring T <= 2" "$RT_OUT/real.txt" \
+  || { echo "real-thread gate: measured region not announced"; cat "$RT_OUT/real.txt"; exit 1; }
+./target/release/figures --digest --models "$SUBSET" \
+  --cells 64 --steps 16 --cache-dir "$RT_DIR" > /dev/null
+cmp output/digests.csv "$RT_OUT/real_digests.csv" \
+  || { echo "real-thread gate: digests diverged from single-thread run"; exit 1; }
+rm -rf "$RT_DIR" "$RT_OUT"
+
 echo "==> limpet-opt round-trip fuzz smoke (fixed-seed)"
 cargo test -q -p limpet-opt --test fuzz_roundtrip
 

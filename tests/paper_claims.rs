@@ -13,7 +13,7 @@
 use limpet::codegen::pipeline::VectorIsa;
 use limpet::harness::{
     fig5_isa_threads, geomean, icc_comparison, measure_median, ExperimentOptions, PipelineKind,
-    Simulation, TimingModel, Workload,
+    Simulation, ThreadTiming, TimingModel, Workload,
 };
 use limpet::models;
 
@@ -132,14 +132,14 @@ fn large_models_speed_up_more_than_small() {
 /// substantial speedup while a small model collapses toward 1x (or below).
 #[test]
 fn thread_scaling_shape_matches_fig3() {
-    let tm = TimingModel::default();
+    let timing = ThreadTiming::model_only(TimingModel::default());
     let opts = ExperimentOptions {
         n_cells: 1024,
         steps: 8,
         repeats: 1,
         only: vec!["Plonsey".into(), "OHara".into()],
     };
-    let f = limpet::harness::fig3_threads32(&opts, &tm);
+    let f = limpet::harness::fig3_threads32(&opts, &timing);
     let small = f.rows.iter().find(|r| r.model == "Plonsey").unwrap();
     let large = f.rows.iter().find(|r| r.model == "OHara").unwrap();
     assert!(
@@ -157,19 +157,19 @@ fn thread_scaling_shape_matches_fig3() {
 /// Fig. 5 shape via the full runner on a small roster subset.
 #[test]
 fn fig5_runner_preserves_isa_ordering_at_one_thread() {
-    let tm = TimingModel::default();
+    let timing = ThreadTiming::model_only(TimingModel::default());
     let opts = ExperimentOptions {
         n_cells: 1024,
         steps: 8,
         repeats: 1,
         only: vec!["BeelerReuter".into(), "LuoRudy91".into()],
     };
-    let f = fig5_isa_threads(&opts, &tm);
+    let f = fig5_isa_threads(&opts, &timing);
     let get = |isa: &str, t: usize| {
         f.series
             .iter()
-            .find(|(i, tt, _)| i == isa && *tt == t)
-            .map(|(_, _, g)| *g)
+            .find(|p| p.isa == isa && p.threads == t)
+            .map(|p| p.geomean)
             .unwrap()
     };
     let (sse, avx2, avx512) = (get("SSE", 1), get("AVX2", 1), get("AVX-512", 1));
