@@ -7,7 +7,7 @@
 //!         [--cells N] [--steps N] [--repeats N] [--models a,b,c]
 //!         [--jobs N] [--no-cache] [--no-bytecode-opt]
 //!         [--cache-dir PATH] [--no-disk-cache] [--cache clear|stat]
-//!         [--cache-cap-mb N] [--checkpoint PATH]
+//!         [--json] [--cache-cap-mb N] [--checkpoint PATH]
 //!         [--inject fault@seed[,fault@seed...]]
 //! ```
 //!
@@ -81,6 +81,7 @@ struct Args {
     cache_verb: Option<String>,
     cache_cap_mb: Option<u64>,
     checkpoint: Option<PathBuf>,
+    json: bool,
     opts: ExperimentOptions,
 }
 
@@ -107,6 +108,7 @@ fn parse_args() -> Args {
         cache_verb: None,
         cache_cap_mb: None,
         checkpoint: None,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -166,6 +168,7 @@ fn parse_args() -> Args {
             "--no-cache" => args.no_cache = true,
             "--no-disk-cache" => args.no_disk_cache = true,
             "--digest" => args.digest = true,
+            "--json" => args.json = true,
             "--validate-tm" => args.validate_tm = true,
             "--real-threads" => args.real_threads = true,
             "--max-threads" => {
@@ -213,7 +216,7 @@ fn parse_args() -> Args {
                      \x20              [--cells N] [--steps N] [--repeats N] [--models a,b,c]\n\
                      \x20              [--jobs N] [--no-cache] [--no-bytecode-opt]\n\
                      \x20              [--cache-dir PATH] [--no-disk-cache] [--cache clear|stat]\n\
-                     \x20              [--cache-cap-mb N] [--checkpoint PATH]\n\
+                     \x20              [--json] [--cache-cap-mb N] [--checkpoint PATH]\n\
                      \x20              [--inject fault@seed[,fault@seed...]]"
                 );
                 std::process::exit(0);
@@ -276,6 +279,9 @@ fn main() {
         eprintln!("LIMPET_INJECT: {e}");
         std::process::exit(2);
     }
+    // Ctrl-C / SIGTERM stop long sweeps at a row boundary: journals are
+    // kept for resume and the disk-cache lock is never left stale.
+    limpet_harness::shutdown::install();
     let args = parse_args();
     let cache_dir = args.cache_dir.clone().unwrap_or_else(default_cache_dir);
     // Maintenance verbs run and exit before any measurement machinery.
@@ -289,6 +295,25 @@ fn main() {
         }
         match verb.as_str() {
             "stat" => match disk.status() {
+                Ok(s) if args.json => {
+                    // Machine-readable form: the same fragments the
+                    // limpet-serve `stats` verb composes, so telemetry
+                    // consumers never parse the pretty-printer.
+                    let mem = KernelCache::global().stats();
+                    let incidents =
+                        limpet_harness::incidents_json(&KernelCache::global().incidents());
+                    println!(
+                        "{{\"dir\":\"{}\",\"disk\":{},\"memory\":{},\"incidents\":{}}}",
+                        cache_dir
+                            .display()
+                            .to_string()
+                            .replace('\\', "\\\\")
+                            .replace('"', "\\\""),
+                        s.to_json(),
+                        mem.to_json(),
+                        incidents
+                    );
+                }
                 Ok(s) => println!(
                     "disk cache {}: {} entr{}, {:.1} KiB used, cap {} MiB",
                     cache_dir.display(),

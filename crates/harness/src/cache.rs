@@ -212,6 +212,30 @@ pub struct CacheStats {
     pub poison_recoveries: u64,
 }
 
+impl CacheStats {
+    /// The counters as one compact JSON object — the machine-readable
+    /// twin of the `figures --cache stat` pretty-printer, served verbatim
+    /// by `limpet-serve`'s `stats` verb so nothing downstream has to
+    /// parse human-formatted text.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"hits\":{},\"misses\":{},\"disk_hits\":{},",
+                "\"disk_rejects\":{},\"disk_writes\":{},\"entries\":{},",
+                "\"quarantined\":{},\"poison_recoveries\":{}}}"
+            ),
+            self.hits,
+            self.misses,
+            self.disk_hits,
+            self.disk_rejects,
+            self.disk_writes,
+            self.entries,
+            self.quarantined,
+            self.poison_recoveries,
+        )
+    }
+}
+
 /// A negative cache entry: the model failed to compile under this
 /// configuration, and the failure is remembered so every later lookup
 /// fails fast instead of re-running a doomed compilation (or re-tripping

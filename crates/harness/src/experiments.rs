@@ -463,6 +463,12 @@ pub fn fig2_checkpointed(
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
+                // Graceful interruption (SIGINT/SIGTERM): stop picking up
+                // work at the row boundary. Completed rows are already in
+                // the journal, which is kept for the resumed run.
+                if crate::shutdown::requested() {
+                    break;
+                }
                 let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(e) = entries.get(i) else {
                     break;
@@ -492,6 +498,21 @@ pub fn fig2_checkpointed(
             });
         }
     });
+    if crate::shutdown::requested() {
+        // Interrupted: keep the journal (the next run resumes from it)
+        // and return the rows measured so far.
+        let done: Vec<SpeedupRow> = slots.into_inner().unwrap().into_iter().flatten().collect();
+        eprintln!(
+            "interrupted: fig2 sweep stopped after {} of {} row(s); checkpoint kept",
+            done.len(),
+            entries.len()
+        );
+        let geomean = geomean(done.iter().map(|r| r.speedup));
+        return Fig2 {
+            rows: done,
+            geomean,
+        };
+    }
     if let Some(j) = journal {
         if let Err(e) = j.finish() {
             eprintln!("warning: could not remove completed checkpoint journal: {e}");

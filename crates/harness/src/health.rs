@@ -226,6 +226,57 @@ pub fn summarize_incidents(incidents: &[Incident]) -> Vec<(Incident, usize)> {
     groups
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The machine-readable twin of [`summarize_incidents`]: a JSON array of
+/// `(representative, count)` groups, each with the kind's stable
+/// kebab-case label, the model, the optional step/tier annotations
+/// (`null` when absent), the detail text, and the occurrence count.
+/// Served by `figures --cache stat --json` and `limpet-serve`'s `stats`
+/// verb so telemetry consumers stop parsing the pretty-printer.
+pub fn incidents_json(incidents: &[Incident]) -> String {
+    let mut out = String::from("[");
+    for (i, (rep, count)) in summarize_incidents(incidents).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let step = rep
+            .step
+            .map_or_else(|| "null".to_owned(), |s| s.to_string());
+        let tier = rep
+            .tier
+            .map_or_else(|| "null".to_owned(), |t| format!("\"{t}\""));
+        out.push_str(&format!(
+            "{{\"kind\":\"{}\",\"model\":\"{}\",\"step\":{},\"tier\":{},\"detail\":\"{}\",\"count\":{}}}",
+            rep.kind.as_str(),
+            json_escape(&rep.model),
+            step,
+            tier,
+            json_escape(&rep.detail),
+            count
+        ));
+    }
+    out.push(']');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,5 +334,24 @@ mod tests {
             Incident::new(IncidentKind::Quarantined, "M", "b"),
         ]);
         assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn incidents_json_groups_and_escapes() {
+        let incidents = [
+            Incident::new(IncidentKind::TierFallback, "M", "quote \" and\nnewline")
+                .at_step(7)
+                .to_tier(Tier::Raw),
+            Incident::new(IncidentKind::TierFallback, "M", "quote \" and\nnewline")
+                .at_step(8)
+                .to_tier(Tier::Raw),
+        ];
+        let json = incidents_json(&incidents);
+        assert_eq!(
+            json,
+            "[{\"kind\":\"tier-fallback\",\"model\":\"M\",\"step\":null,\
+             \"tier\":\"raw\",\"detail\":\"quote \\\" and\\nnewline\",\"count\":2}]"
+        );
+        assert_eq!(incidents_json(&[]), "[]");
     }
 }

@@ -18,6 +18,7 @@ pub mod experiments;
 pub mod faults;
 pub mod health;
 pub mod persist;
+pub mod shutdown;
 pub mod sim;
 pub mod threads;
 
@@ -33,7 +34,7 @@ pub use experiments::{
     ExperimentOptions, Provenance, ThreadTiming, TmValidation, THREAD_COUNTS,
 };
 pub use faults::FaultKind;
-pub use health::{summarize_incidents, HealthPolicy, Incident, IncidentKind, Tier};
+pub use health::{incidents_json, summarize_incidents, HealthPolicy, Incident, IncidentKind, Tier};
 pub use persist::{
     default_cache_dir, DiskCache, DiskCacheStatus, DiskLoad, DiskStats, EntryKey, Journal,
 };

@@ -143,6 +143,17 @@ pub struct DiskCacheStatus {
     pub cap_bytes: u64,
 }
 
+impl DiskCacheStatus {
+    /// The scan as one compact JSON object, for `figures --cache stat
+    /// --json` and the service daemon's `stats` verb.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"entries\":{},\"bytes\":{},\"cap_bytes\":{}}}",
+            self.entries, self.bytes, self.cap_bytes
+        )
+    }
+}
+
 /// The cache directory honoring `LIMPET_CACHE_DIR`, defaulting to
 /// `~/.cache/limpet-rs` (falling back to a temp-dir path when `HOME` is
 /// unset, e.g. in minimal CI containers).

@@ -1,0 +1,330 @@
+//! `limpet-client`: a small scriptable client for `limpet-serve`.
+//!
+//! One connection, newline-delimited JSON both ways. The `drive` verb is
+//! the CI workhorse: it submits a models × configs matrix as concurrent
+//! jobs (round-robin over tenants), waits for every terminal event, and
+//! prints a sorted `model,config,digest` CSV comparable byte-for-byte
+//! with `figures --digest` output.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use serve::Json;
+
+const USAGE: &str = "\
+limpet-client — scriptable client for limpet-serve
+
+USAGE:
+    limpet-client (--connect HOST:PORT | --unix PATH) VERB [OPTIONS]
+
+VERBS:
+    ping | health | stats | shutdown
+                        one request, print the JSON response
+    result --id ID      fetch a finished job's outcome
+    submit --model M    run one job and stream its events
+        [--config C] [--cells N] [--steps N] [--chunk N] [--tenant T]
+        [--id ID] [--inject SPEC] [--source FILE] [--no-wait]
+        [--slow-ms N]   sleep N ms after reading each event (a
+                        deliberately slow reader, for backpressure tests)
+    drive --models A,B  submit a models x configs matrix concurrently,
+        --configs X,Y   wait for all, print sorted model,config,digest CSV
+        [--tenants T1,T2] [--cells N] [--steps N] [--chunk N]
+    flood --model M --count N [--tenant T] [--cells N] [--steps N]
+                        submit N jobs back-to-back without waiting for
+                        completion; print accepted/rejected tallies
+";
+
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn split(&self) -> std::io::Result<(Box<dyn BufRead>, Box<dyn Write>)> {
+        Ok(match self {
+            Conn::Tcp(s) => (
+                Box::new(BufReader::new(s.try_clone()?)),
+                Box::new(s.try_clone()?),
+            ),
+            Conn::Unix(s) => (
+                Box::new(BufReader::new(s.try_clone()?)),
+                Box::new(s.try_clone()?),
+            ),
+        })
+    }
+}
+
+struct Opts {
+    flags: BTreeMap<String, String>,
+}
+
+impl Opts {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn num(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+}
+
+fn parse_cli() -> Result<(String, Opts), String> {
+    let mut verb = None;
+    let mut flags = BTreeMap::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        if arg == "-h" || arg == "--help" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        if let Some(key) = arg.strip_prefix("--") {
+            let value = match key {
+                // Boolean flags.
+                "no-wait" => "true".to_owned(),
+                _ => args
+                    .next()
+                    .ok_or_else(|| format!("--{key} requires a value"))?,
+            };
+            flags.insert(key.to_owned(), value);
+        } else if verb.is_none() {
+            verb = Some(arg);
+        } else {
+            return Err(format!("unexpected argument '{arg}'"));
+        }
+    }
+    let verb = verb.ok_or("missing verb (see --help)")?;
+    Ok((verb, Opts { flags }))
+}
+
+fn connect(opts: &Opts) -> Result<Conn, String> {
+    if let Some(path) = opts.get("unix") {
+        return UnixStream::connect(path)
+            .map(Conn::Unix)
+            .map_err(|e| format!("connect {path}: {e}"));
+    }
+    let addr = opts.get("connect").ok_or("--connect or --unix required")?;
+    TcpStream::connect(addr)
+        .map(Conn::Tcp)
+        .map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn job_json(
+    opts: &Opts,
+    id: &str,
+    model: &str,
+    config: &str,
+    tenant: &str,
+) -> Result<Json, String> {
+    let mut fields = vec![
+        ("verb", Json::str("submit")),
+        ("id", Json::str(id)),
+        ("tenant", Json::str(tenant)),
+        ("model", Json::str(model)),
+        ("config", Json::str(config)),
+        ("cells", opts.num("cells", 256)?.into()),
+        ("steps", opts.num("steps", 100)?.into()),
+        ("chunk", opts.num("chunk", 32)?.into()),
+    ];
+    if let Some(path) = opts.get("source") {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("--source {path}: {e}"))?;
+        fields.push(("source", Json::str(&src)));
+    }
+    if let Some(spec) = opts.get("inject") {
+        fields.push(("inject", Json::str(spec)));
+    }
+    Ok(Json::obj(fields))
+}
+
+fn run() -> Result<(), String> {
+    let (verb, opts) = parse_cli()?;
+    let conn = connect(&opts)?;
+    let (mut reader, mut writer) = conn.split().map_err(|e| e.to_string())?;
+    let slow_ms = opts.num("slow-ms", 0)?;
+    let mut send = |line: &str| -> Result<(), String> {
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("send: {e}"))
+    };
+    let recv = |reader: &mut Box<dyn BufRead>| -> Result<Option<Json>, String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("recv: {e}"))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            if slow_ms > 0 {
+                std::thread::sleep(Duration::from_millis(slow_ms));
+            }
+            return Json::parse(line.trim())
+                .map(Some)
+                .map_err(|e| format!("bad response: {e}"));
+        }
+    };
+
+    match verb.as_str() {
+        "ping" | "health" | "stats" | "shutdown" => {
+            send(&Json::obj(vec![("verb", Json::str(&verb))]).to_string())?;
+            match recv(&mut reader)? {
+                Some(v) => println!("{v}"),
+                None => return Err("connection closed before response".into()),
+            }
+        }
+        "result" => {
+            let id = opts.get("id").ok_or("result requires --id")?;
+            let req = Json::obj(vec![("verb", Json::str("result")), ("id", Json::str(id))]);
+            send(&req.to_string())?;
+            match recv(&mut reader)? {
+                Some(v) => println!("{v}"),
+                None => return Err("connection closed before response".into()),
+            }
+        }
+        "submit" => {
+            let model = opts.get("model").ok_or("submit requires --model")?;
+            let config = opts.get("config").unwrap_or("baseline");
+            let tenant = opts.get("tenant").unwrap_or("anon");
+            let id = opts.get("id").map(str::to_owned).unwrap_or_default();
+            let req = job_json(&opts, &id, model, config, tenant)?;
+            send(&req.to_string())?;
+            let wait = opts.get("no-wait").is_none();
+            while let Some(v) = recv(&mut reader)? {
+                println!("{v}");
+                let event = v.get("event").and_then(Json::as_str).unwrap_or("");
+                if matches!(event, "rejected" | "error") {
+                    return Err(format!("job not accepted: {v}"));
+                }
+                if !wait && event == "accepted" {
+                    break;
+                }
+                if event == "done" {
+                    if v.get("status").and_then(Json::as_str) != Some("done") {
+                        return Err(format!("job ended badly: {v}"));
+                    }
+                    break;
+                }
+            }
+        }
+        "drive" => {
+            let models: Vec<&str> = opts
+                .get("models")
+                .ok_or("drive requires --models")?
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .collect();
+            let configs: Vec<&str> = opts
+                .get("configs")
+                .ok_or("drive requires --configs")?
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .collect();
+            let tenants: Vec<&str> = opts
+                .get("tenants")
+                .unwrap_or("anon")
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .collect();
+            let mut pending = Vec::new();
+            let mut i = 0usize;
+            for model in &models {
+                for config in &configs {
+                    let id = format!("{model}|{config}");
+                    let tenant = tenants[i % tenants.len()];
+                    send(&job_json(&opts, &id, model, config, tenant)?.to_string())?;
+                    pending.push(id);
+                    i += 1;
+                }
+            }
+            let mut rows = Vec::new();
+            while !pending.is_empty() {
+                let Some(v) = recv(&mut reader)? else {
+                    return Err(format!(
+                        "connection closed with {} job(s) pending",
+                        pending.len()
+                    ));
+                };
+                let event = v.get("event").and_then(Json::as_str).unwrap_or("");
+                if matches!(event, "rejected" | "error") {
+                    return Err(format!("drive job refused: {v}"));
+                }
+                if event != "done" {
+                    continue;
+                }
+                let id = v.get("id").and_then(Json::as_str).unwrap_or("").to_owned();
+                if v.get("status").and_then(Json::as_str) != Some("done") {
+                    return Err(format!("drive job ended badly: {v}"));
+                }
+                let digest = v
+                    .get("digest")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("done event without digest: {v}"))?
+                    .to_owned();
+                let (model, config) = id
+                    .split_once('|')
+                    .ok_or_else(|| format!("unexpected job id '{id}'"))?;
+                rows.push(format!("{model},{config},{digest}"));
+                pending.retain(|p| p != &id);
+            }
+            rows.sort();
+            println!("model,config,digest");
+            for row in rows {
+                println!("{row}");
+            }
+        }
+        "flood" => {
+            let model = opts.get("model").ok_or("flood requires --model")?;
+            let tenant = opts.get("tenant").unwrap_or("anon");
+            let count = opts.num("count", 8)?;
+            for i in 0..count {
+                let req = job_json(&opts, &format!("flood-{i}"), model, "baseline", tenant)?;
+                send(&req.to_string())?;
+            }
+            let (mut accepted, mut rejected_by_code) = (0u64, BTreeMap::<u64, u64>::new());
+            let mut seen = 0;
+            while seen < count {
+                let Some(v) = recv(&mut reader)? else { break };
+                match v.get("event").and_then(Json::as_str) {
+                    Some("accepted") => {
+                        accepted += 1;
+                        seen += 1;
+                    }
+                    Some("rejected") => {
+                        let code = v.get("code").and_then(Json::as_u64).unwrap_or(0);
+                        *rejected_by_code.entry(code).or_default() += 1;
+                        seen += 1;
+                    }
+                    _ => {}
+                }
+            }
+            println!("accepted {accepted}");
+            for (code, n) in rejected_by_code {
+                println!("rejected-{code} {n}");
+            }
+        }
+        other => return Err(format!("unknown verb '{other}' (see --help)")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("limpet-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! A small bounded MPMC queue (mutex + condvars) — the backpressure
+//! primitive of the service.
+//!
+//! Every connection owns one [`Bounded`] outbox: workers `push` job
+//! events into it (blocking when the client reads too slowly), a writer
+//! thread `pop`s and writes to the socket. Closing the queue wakes every
+//! blocked pusher and popper, which is how a dead connection cancels its
+//! in-flight jobs instead of wedging a pool worker forever.
+//!
+//! The standard library's `mpsc::sync_channel` would almost fit, but its
+//! sender is `!Sync`-shaped for this use (one queue shared by several
+//! pushing workers *and* the closing reader) and it cannot be closed from
+//! the receiving side without dropping the receiver, which the writer
+//! thread still owns. Fifty lines of mutex + condvar are simpler than
+//! contorting around that.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Error returned by [`Bounded::push`] after [`Bounded::close`]: the
+/// consumer is gone, so the producer should stop generating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+/// Error returned by [`Bounded::pop_timeout`] when the timeout elapses
+/// with nothing available (the queue is still open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedOut;
+
+#[derive(Debug)]
+struct State<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue with close semantics.
+#[derive(Debug)]
+pub struct Bounded<T> {
+    cap: usize,
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `cap` items (`cap` ≥ 1 is enforced).
+    pub fn new(cap: usize) -> Bounded<T> {
+        Bounded {
+            cap: cap.max(1),
+            state: Mutex::new(State {
+                buf: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Appends `item`, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Closed`] (with the item dropped) once the queue is
+    /// closed — including when close happens while blocked.
+    pub fn push(&self, item: T) -> Result<(), Closed> {
+        let mut st = self.lock();
+        loop {
+            if st.closed {
+                return Err(Closed);
+            }
+            if st.buf.len() < self.cap {
+                st.buf.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Removes the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.buf.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// [`Bounded::pop`] with a timeout; `Ok(None)` means closed+drained,
+    /// `Err(TimedOut)` means the timeout elapsed with nothing available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimedOut`] on timeout.
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, TimedOut> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.buf.pop_front() {
+                self.not_full.notify_one();
+                return Ok(Some(item));
+            }
+            if st.closed {
+                return Ok(None);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(TimedOut);
+            }
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Closes the queue: every blocked or future [`Bounded::push`] fails,
+    /// and [`Bounded::pop`] drains the remaining items then returns
+    /// `None`. Idempotent.
+    pub fn close(&self) {
+        let mut st = self.lock();
+        st.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// True once [`Bounded::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_blocks_at_capacity_until_popped() {
+        let q = Arc::new(Bounded::new(2));
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(3));
+        // The pusher must be blocked: the queue stays at capacity.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        pusher.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_wakes_blocked_pusher_with_error() {
+        let q = Arc::new(Bounded::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        assert_eq!(pusher.join().unwrap(), Err(Closed));
+        // Drain semantics: buffered items survive the close.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed+empty stays None");
+    }
+
+    #[test]
+    fn pop_timeout_distinguishes_empty_from_closed() {
+        let q: Bounded<u32> = Bounded::new(4);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Err(TimedOut));
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Ok(None));
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let q = Arc::new(Bounded::new(3));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    q.push(t * 100 + i).unwrap();
+                }
+            }));
+        }
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(q.pop().unwrap());
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 100, "every pushed item arrives exactly once");
+    }
+}

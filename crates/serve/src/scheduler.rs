@@ -1,0 +1,630 @@
+//! Job specifications, their wire/journal codec, and the worker pool.
+//!
+//! A [`JobSpec`] is the unit of work: one model (roster name or inline
+//! EasyML source) × one pipeline configuration × a workload. The same
+//! JSON encoding travels three paths — the client's `submit` line, the
+//! daemon's journal (so a killed daemon can re-run in-flight jobs), and
+//! the `result` verb — so there is exactly one codec to keep honest.
+//!
+//! Execution ([`run_job`]) deliberately mirrors the harness's
+//! `trajectory_digest`: a resilient simulation (`HealthPolicy::FallbackRaw`,
+//! so a fault degrades the job down the tier ladder instead of killing
+//! the daemon), guarded stepping, then an FNV-1a digest over every cell's
+//! membrane-potential bits. Chunked stepping is bit-identical to one
+//! `run_guarded(steps)` call, which is what makes the service's digests
+//! comparable to the single-process `figures --digest` driver.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use limpet_harness::{faults, HealthPolicy, PipelineKind, Simulation, Workload};
+
+use crate::json::Json;
+use crate::queue::Bounded;
+
+/// What model a job runs: a registry roster name, or inline EasyML
+/// source compiled on arrival (cached under its content fingerprint like
+/// any other model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelRef {
+    /// A model from `limpet_models`' roster, by name.
+    Roster(String),
+    /// Inline EasyML source, with the name to register it under.
+    Inline {
+        /// Model name used for cache keys and incident reports.
+        name: String,
+        /// The EasyML source text.
+        source: String,
+    },
+}
+
+impl ModelRef {
+    /// The model name (roster name or the inline source's given name).
+    pub fn name(&self) -> &str {
+        match self {
+            ModelRef::Roster(n) => n,
+            ModelRef::Inline { name, .. } => name,
+        }
+    }
+}
+
+/// One simulation job as accepted over the wire and recorded in the
+/// journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique job id (client-chosen or daemon-generated).
+    pub id: String,
+    /// The tenant the job is accounted to.
+    pub tenant: String,
+    /// The model to simulate.
+    pub model: ModelRef,
+    /// Pipeline configuration label (`baseline`, `limpetMLIR-avx512`, …)
+    /// or an ISA shorthand (`sse`, `avx2`, `avx512`).
+    pub config: String,
+    /// Number of cells.
+    pub cells: usize,
+    /// Number of time steps.
+    pub steps: usize,
+    /// Time step in ms.
+    pub dt: f64,
+    /// Steps per streamed trajectory chunk.
+    pub chunk: usize,
+    /// Optional fault-injection spec (`verify-fail@42`) armed before the
+    /// job compiles — the CI hook for asserting per-job degradation.
+    pub inject: Option<String>,
+}
+
+impl JobSpec {
+    /// The admission cost of the job: `cells × steps`.
+    pub fn cost(&self) -> u64 {
+        self.cells as u64 * self.steps as u64
+    }
+
+    /// The spec as a JSON object (the wire and journal encoding).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id", Json::str(&self.id)),
+            ("tenant", Json::str(&self.tenant)),
+        ];
+        match &self.model {
+            ModelRef::Roster(name) => fields.push(("model", Json::str(name))),
+            ModelRef::Inline { name, source } => {
+                fields.push(("model", Json::str(name)));
+                fields.push(("source", Json::str(source)));
+            }
+        }
+        fields.push(("config", Json::str(&self.config)));
+        fields.push(("cells", self.cells.into()));
+        fields.push(("steps", self.steps.into()));
+        fields.push(("dt", self.dt.into()));
+        fields.push(("chunk", self.chunk.into()));
+        if let Some(inject) = &self.inject {
+            fields.push(("inject", Json::str(inject)));
+        }
+        Json::obj(fields)
+    }
+
+    /// Decodes a spec from a `submit` request or a journal line.
+    /// `fallback_id` names the job when the client did not.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when a required field is missing
+    /// or a value is out of range.
+    pub fn from_json(v: &Json, fallback_id: &str) -> Result<JobSpec, String> {
+        let id = match v.get("id").and_then(Json::as_str) {
+            Some(s) if !s.is_empty() => s.to_owned(),
+            _ => fallback_id.to_owned(),
+        };
+        let tenant = v
+            .get("tenant")
+            .and_then(Json::as_str)
+            .unwrap_or("anon")
+            .to_owned();
+        let name = v
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or("missing required field 'model'")?
+            .to_owned();
+        if name.is_empty() {
+            return Err("field 'model' must be a non-empty string".into());
+        }
+        let model = match v.get("source").and_then(Json::as_str) {
+            Some(src) => ModelRef::Inline {
+                name,
+                source: src.to_owned(),
+            },
+            None => ModelRef::Roster(name),
+        };
+        let config = v
+            .get("config")
+            .and_then(Json::as_str)
+            .unwrap_or("baseline")
+            .to_owned();
+        parse_config(&config)?;
+        let cells = field_usize(v, "cells", 256)?;
+        let steps = field_usize(v, "steps", 100)?;
+        let chunk = field_usize(v, "chunk", 32)?;
+        let dt = match v.get("dt") {
+            None => 0.01,
+            Some(j) => j
+                .as_f64()
+                .filter(|d| d.is_finite() && *d > 0.0)
+                .ok_or("field 'dt' must be a positive number")?,
+        };
+        let inject = v
+            .get("inject")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .filter(|s| !s.is_empty());
+        Ok(JobSpec {
+            id,
+            tenant,
+            model,
+            config,
+            cells,
+            steps,
+            dt,
+            chunk,
+            inject,
+        })
+    }
+}
+
+fn field_usize(v: &Json, key: &str, default: usize) -> Result<usize, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => match j.as_u64() {
+            Some(n) if n >= 1 => Ok(n as usize),
+            _ => Err(format!("field '{key}' must be an integer >= 1")),
+        },
+    }
+}
+
+/// Resolves a configuration label to a [`PipelineKind`]: the ISA
+/// shorthands `sse`/`avx2`/`avx512` (the vectorized pipeline at that
+/// width) or any full label from `all_pipeline_kinds`.
+///
+/// # Errors
+///
+/// Returns a message listing the accepted shorthands on an unknown label.
+pub fn parse_config(label: &str) -> Result<PipelineKind, String> {
+    use limpet_codegen::pipeline::VectorIsa;
+    match label {
+        "sse" => return Ok(PipelineKind::LimpetMlir(VectorIsa::Sse)),
+        "avx2" => return Ok(PipelineKind::LimpetMlir(VectorIsa::Avx2)),
+        "avx512" => return Ok(PipelineKind::LimpetMlir(VectorIsa::Avx512)),
+        _ => {}
+    }
+    limpet_harness::all_pipeline_kinds()
+        .into_iter()
+        .find(|k| k.label() == label)
+        .ok_or_else(|| {
+            format!("unknown config '{label}' (try baseline, sse, avx2, avx512, or a full pipeline label)")
+        })
+}
+
+/// How a finished job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran to completion; the digest is valid.
+    Done,
+    /// Could not run (bad model, full quarantine, rejected fault spec).
+    Failed,
+    /// The client went away (or the daemon hard-stopped) mid-run.
+    Aborted,
+}
+
+impl JobStatus {
+    /// Stable wire label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Aborted => "aborted",
+        }
+    }
+}
+
+/// The terminal record of one job: what the `result` verb returns and
+/// the last event streamed on the submitting connection.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job this belongs to.
+    pub id: String,
+    /// The tenant it was accounted to.
+    pub tenant: String,
+    /// How it ended.
+    pub status: JobStatus,
+    /// FNV-1a trajectory digest (valid for [`JobStatus::Done`]).
+    pub digest: Option<u64>,
+    /// The execution tier the job finished on (`optimized`, `raw`,
+    /// `reference`), when a simulation was built at all.
+    pub tier: Option<String>,
+    /// Steps actually executed.
+    pub steps_run: usize,
+    /// Deduplicated incident groups, as the harness's `incidents_json`.
+    pub incidents: Json,
+    /// Failure description for [`JobStatus::Failed`].
+    pub error: Option<String>,
+}
+
+impl JobOutcome {
+    fn failed(spec: &JobSpec, error: String) -> JobOutcome {
+        JobOutcome {
+            id: spec.id.clone(),
+            tenant: spec.tenant.clone(),
+            status: JobStatus::Failed,
+            digest: None,
+            tier: None,
+            steps_run: 0,
+            incidents: Json::Arr(Vec::new()),
+            error: Some(error),
+        }
+    }
+
+    /// The outcome as the `{"event":"done",…}` wire object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("event", Json::str("done")),
+            ("id", Json::str(&self.id)),
+            ("tenant", Json::str(&self.tenant)),
+            ("status", Json::str(self.status.as_str())),
+        ];
+        match self.digest {
+            // Hex, not a JSON number: a 64-bit digest does not survive
+            // the round-trip through f64.
+            Some(d) => fields.push(("digest", Json::str(format!("{d:016x}")))),
+            None => fields.push(("digest", Json::Null)),
+        }
+        match &self.tier {
+            Some(t) => fields.push(("tier", Json::str(t))),
+            None => fields.push(("tier", Json::Null)),
+        }
+        fields.push(("steps_run", self.steps_run.into()));
+        fields.push(("incidents", self.incidents.clone()));
+        if let Some(e) = &self.error {
+            fields.push(("error", Json::str(e)));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// Per-connection event sink: job events are serialized lines pushed
+/// into the connection's bounded outbox. Resumed jobs have no live
+/// connection, hence the `Option`.
+pub type Outbox = Option<Arc<Bounded<String>>>;
+
+/// Runs one job to completion on the calling thread.
+///
+/// Streams a `{"event":"chunk",…}` line into `outbox` after every
+/// `spec.chunk` steps — [`Bounded::push`] blocking on a full outbox is
+/// the backpressure that slows this job (and only this job) down to its
+/// reader's pace. A closed outbox (client gone) or a raised `abort` flag
+/// ends the job as [`JobStatus::Aborted`].
+pub fn run_job(spec: &JobSpec, outbox: &Outbox, abort: &AtomicBool) -> JobOutcome {
+    let model = match &spec.model {
+        ModelRef::Roster(name) => match limpet_models::entry(name) {
+            Some(_) => limpet_models::model(name),
+            None => {
+                return JobOutcome::failed(spec, format!("unknown roster model '{name}'"));
+            }
+        },
+        ModelRef::Inline { name, source } => match limpet_harness::compile_source(name, source) {
+            Ok(m) => m,
+            Err(e) => {
+                return JobOutcome::failed(spec, format!("inline model rejected: {e}"));
+            }
+        },
+    };
+    let config = match parse_config(&spec.config) {
+        Ok(c) => c,
+        Err(e) => return JobOutcome::failed(spec, e),
+    };
+    if let Some(inject) = &spec.inject {
+        if let Err(e) = faults::arm(inject) {
+            return JobOutcome::failed(spec, format!("bad inject spec: {e}"));
+        }
+    }
+    let wl = Workload {
+        n_cells: spec.cells,
+        steps: spec.steps,
+        dt: spec.dt,
+    };
+    let mut sim = match Simulation::new_resilient(&model, config, &wl, HealthPolicy::FallbackRaw) {
+        Ok(sim) => sim,
+        Err(q) => {
+            if spec.inject.is_some() {
+                faults::disarm_all();
+            }
+            return JobOutcome::failed(
+                spec,
+                format!("model quarantined on every tier: {}", q.error),
+            );
+        }
+    };
+    let mut steps_run = 0;
+    let mut aborted = false;
+    while steps_run < spec.steps {
+        if abort.load(Ordering::SeqCst) {
+            aborted = true;
+            break;
+        }
+        let n = spec.chunk.min(spec.steps - steps_run);
+        // An Err here means even the reference tier gave up; stop
+        // stepping (matching `trajectory_digest`) and digest what ran.
+        let stopped = sim.run_guarded(n).is_err();
+        steps_run += n;
+        if let Some(out) = outbox {
+            let event = Json::obj(vec![
+                ("event", Json::str("chunk")),
+                ("id", Json::str(&spec.id)),
+                ("step", steps_run.into()),
+                ("t", sim.time().into()),
+                ("vm0", sim.vm(0).into()),
+                ("tier", Json::str(sim.tier().to_string())),
+            ]);
+            if out.push(event.to_string()).is_err() {
+                aborted = true;
+                break;
+            }
+        }
+        if stopped {
+            break;
+        }
+    }
+    if spec.inject.is_some() {
+        // Injection is process-global in the harness; disarm here so a
+        // tenant's fault spec is scoped to its own job and cannot leak
+        // into later compiles on this daemon.
+        faults::disarm_all();
+    }
+    let digest = if aborted {
+        None
+    } else {
+        Some(vm_digest(&sim, spec.cells))
+    };
+    JobOutcome {
+        id: spec.id.clone(),
+        tenant: spec.tenant.clone(),
+        status: if aborted {
+            JobStatus::Aborted
+        } else {
+            JobStatus::Done
+        },
+        digest,
+        tier: Some(sim.tier().to_string()),
+        steps_run,
+        incidents: Json::parse(&limpet_harness::incidents_json(sim.incidents()))
+            .unwrap_or(Json::Arr(Vec::new())),
+        error: None,
+    }
+}
+
+/// FNV-1a over every cell's membrane-potential bits — byte-for-byte the
+/// harness's `trajectory_digest` hash, so service digests are comparable
+/// to `figures --digest` output.
+fn vm_digest(sim: &Simulation, n_cells: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for cell in 0..n_cells {
+        for b in sim.vm(cell).to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// One queued unit of work: the spec plus the submitting connection's
+/// outbox (absent for journal-resumed jobs, which have no live client).
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// The job to run.
+    pub spec: JobSpec,
+    /// Where to stream events, if anyone is listening.
+    pub outbox: Outbox,
+}
+
+/// A fixed-size worker pool draining a shared bounded job queue.
+pub struct Pool {
+    queue: Arc<Bounded<QueuedJob>>,
+    abort: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers.len())
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Spawns `workers` threads popping jobs from a queue of at most
+    /// `queue_cap` entries. Every finished job is handed to `on_done`
+    /// (journal done-line, ledger release, results map — the server's
+    /// business, injected so the pool stays mechanism-only).
+    pub fn new<F>(workers: usize, queue_cap: usize, on_done: F) -> Pool
+    where
+        F: Fn(&JobSpec, &JobOutcome) + Send + Sync + 'static,
+    {
+        let queue = Arc::new(Bounded::new(queue_cap.max(1)));
+        let abort = Arc::new(AtomicBool::new(false));
+        let on_done = Arc::new(on_done);
+        let mut handles = Vec::new();
+        for i in 0..workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let abort = Arc::clone(&abort);
+            let on_done = Arc::clone(&on_done);
+            let handle = std::thread::Builder::new()
+                .name(format!("limpet-worker-{i}"))
+                .spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        let QueuedJob { spec, outbox } = job;
+                        let outcome = run_job(&spec, &outbox, &abort);
+                        if let Some(out) = &outbox {
+                            // Best effort: the client may already be gone.
+                            let _ = out.push(outcome.to_json().to_string());
+                        }
+                        on_done(&spec, &outcome);
+                    }
+                })
+                .expect("spawning a worker thread");
+            handles.push(handle);
+        }
+        Pool {
+            queue,
+            abort,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues a job. Blocks if the queue is momentarily full (admission
+    /// control caps the in-flight total well below sustained fullness).
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back when the pool is already shutting down.
+    pub fn submit(&self, job: QueuedJob) -> Result<(), crate::queue::Closed> {
+        self.queue.push(job)
+    }
+
+    /// Jobs waiting in the queue (not counting ones being executed).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A submit/len handle to the underlying queue, for connection
+    /// threads that outlive nothing but must not own the pool.
+    pub fn queue_handle(&self) -> Arc<Bounded<QueuedJob>> {
+        Arc::clone(&self.queue)
+    }
+
+    /// Stops the pool. With `drain`, queued and running jobs finish
+    /// first; without, running jobs abort at their next chunk boundary
+    /// and still-queued jobs drain through as immediate aborts (their
+    /// `on_done` fires with [`JobStatus::Aborted`], so the journal and
+    /// ledger stay consistent).
+    pub fn shutdown(mut self, drain: bool) {
+        if !drain {
+            self.abort.store(true, Ordering::SeqCst);
+        }
+        self.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn spec(id: &str, model: &str, config: &str, cells: usize, steps: usize) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            tenant: "t".into(),
+            model: ModelRef::Roster(model.into()),
+            config: config.into(),
+            cells,
+            steps,
+            dt: 0.01,
+            chunk: 8,
+            inject: None,
+        }
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let mut s = spec("j1", "HodgkinHuxley", "avx512", 64, 32);
+        s.inject = Some("verify-fail@7".into());
+        let encoded = s.to_json().to_string();
+        let decoded = JobSpec::from_json(&Json::parse(&encoded).unwrap(), "fallback").unwrap();
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn from_json_applies_defaults_and_validates() {
+        let v = Json::parse(r#"{"model":"HodgkinHuxley"}"#).unwrap();
+        let s = JobSpec::from_json(&v, "gen-1").unwrap();
+        assert_eq!(s.id, "gen-1");
+        assert_eq!(s.tenant, "anon");
+        assert_eq!(s.config, "baseline");
+        assert_eq!((s.cells, s.steps, s.chunk), (256, 100, 32));
+        assert!(JobSpec::from_json(&Json::parse("{}").unwrap(), "x").is_err());
+        let bad = Json::parse(r#"{"model":"HH","cells":0}"#).unwrap();
+        assert!(JobSpec::from_json(&bad, "x").is_err());
+        let bad = Json::parse(r#"{"model":"HH","config":"warp9"}"#).unwrap();
+        assert!(JobSpec::from_json(&bad, "x").is_err());
+    }
+
+    #[test]
+    fn config_shorthands_resolve() {
+        assert_eq!(parse_config("baseline").unwrap().label(), "baseline");
+        assert_eq!(
+            parse_config("avx512").unwrap().label(),
+            "limpetMLIR-AVX-512"
+        );
+        assert_eq!(
+            parse_config("limpetMLIR-AoS-SSE").unwrap().label(),
+            "limpetMLIR-AoS-SSE"
+        );
+        assert!(parse_config("warp9").is_err());
+    }
+
+    #[test]
+    fn run_job_digest_matches_harness_driver() {
+        let wl = Workload {
+            n_cells: 32,
+            steps: 12,
+            dt: 0.01,
+        };
+        let m = limpet_models::model("HodgkinHuxley");
+        let expected =
+            limpet_harness::trajectory_digest(&m, PipelineKind::Baseline, &wl, wl.steps).unwrap();
+        let outcome = run_job(
+            &spec("d", "HodgkinHuxley", "baseline", wl.n_cells, wl.steps),
+            &None,
+            &AtomicBool::new(false),
+        );
+        assert_eq!(outcome.status, JobStatus::Done);
+        assert_eq!(outcome.digest, Some(expected));
+        assert_eq!(outcome.tier.as_deref(), Some("optimized"));
+    }
+
+    #[test]
+    fn run_job_reports_unknown_model_and_bad_config() {
+        let out = run_job(
+            &spec("x", "NoSuchModel", "baseline", 4, 4),
+            &None,
+            &AtomicBool::new(false),
+        );
+        assert_eq!(out.status, JobStatus::Failed);
+        assert!(out.error.as_deref().unwrap().contains("NoSuchModel"));
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_reports_done() {
+        let done: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let done2 = Arc::clone(&done);
+        let pool = Pool::new(2, 8, move |spec, outcome| {
+            assert_eq!(outcome.status, JobStatus::Done);
+            done2.lock().unwrap().push(spec.id.clone());
+        });
+        for i in 0..4 {
+            pool.submit(QueuedJob {
+                spec: spec(&format!("j{i}"), "HodgkinHuxley", "baseline", 8, 4),
+                outbox: None,
+            })
+            .unwrap();
+        }
+        pool.shutdown(true);
+        let mut ids = done.lock().unwrap().clone();
+        ids.sort();
+        assert_eq!(ids, ["j0", "j1", "j2", "j3"]);
+    }
+}

@@ -1,0 +1,666 @@
+//! The daemon: listener, per-connection I/O threads, verb dispatch,
+//! journal-backed crash recovery, and graceful shutdown.
+//!
+//! Wire protocol: newline-delimited JSON in both directions. Each
+//! request line is an object with a `"verb"` — `submit`, `result`,
+//! `stats`, `health`, `ping`, `shutdown` — and each response line an
+//! object with an `"event"`. A `submit` is answered immediately with
+//! `accepted` or `rejected` (typed quota code), then `chunk` events
+//! stream as the job runs and a final `done` event carries the
+//! trajectory digest. Events for every job of a connection share that
+//! connection's bounded outbox: a client that stops reading blocks its
+//! own workers at the outbox, and nobody else's.
+//!
+//! Crash safety: every accepted job is appended to a [`Journal`] as a
+//! `job <spec>` line, and every terminal outcome as a `done <id> …`
+//! line. A daemon restarted over the same journal re-admits every job
+//! whose `done` line is missing and re-runs it (headless — the original
+//! client is gone; the recomputed outcome is available via `result`).
+//! Jobs are deterministic, so a resumed run produces the same digest the
+//! uninterrupted run would have.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use limpet_harness::{shutdown, Journal, KernelCache};
+
+use crate::json::Json;
+use crate::queue::Bounded;
+use crate::scheduler::{JobOutcome, JobSpec, JobStatus, Pool, QueuedJob};
+use crate::tenant::{Ledger, QuotaConfig};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A TCP address, e.g. `127.0.0.1:7070` (port 0 picks a free port).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+/// Everything configurable about one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address.
+    pub listen: Listen,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Admission quotas.
+    pub quotas: QuotaConfig,
+    /// Per-connection outbox capacity (events buffered before
+    /// backpressure stalls the producing worker).
+    pub outbox_cap: usize,
+    /// Job journal path; `None` disables crash recovery.
+    pub journal: Option<PathBuf>,
+    /// Disk tier directory for the kernel cache; `None` stays in-memory.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".into()),
+            workers: 2,
+            quotas: QuotaConfig::default(),
+            outbox_cap: 64,
+            journal: None,
+            cache_dir: None,
+        }
+    }
+}
+
+/// Service-wide monotonic counters (jobs, not per-tenant — the ledger
+/// keeps those).
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    aborted: AtomicU64,
+    rejected: AtomicU64,
+    resumed: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// Shared state behind every connection and worker.
+struct ServerState {
+    ledger: Ledger,
+    journal: Mutex<Option<Journal>>,
+    /// Terminal outcomes by job id, with FIFO eviction.
+    results: Mutex<(BTreeMap<String, JobOutcome>, VecDeque<String>)>,
+    counters: Counters,
+    next_id: AtomicU64,
+    started: Instant,
+    outbox_cap: usize,
+}
+
+const RESULT_RETENTION: usize = 4096;
+
+impl ServerState {
+    fn fresh_id(&self) -> String {
+        format!("job-{}", self.next_id.fetch_add(1, Ordering::SeqCst))
+    }
+
+    fn record_result(&self, outcome: JobOutcome) {
+        let mut guard = self.results.lock().unwrap_or_else(|p| p.into_inner());
+        let (map, order) = &mut *guard;
+        if map.insert(outcome.id.clone(), outcome.clone()).is_none() {
+            order.push_back(outcome.id.clone());
+            while order.len() > RESULT_RETENTION {
+                if let Some(old) = order.pop_front() {
+                    map.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn journal_line(&self, line: &str) {
+        let guard = self.journal.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(j) = guard.as_ref() {
+            if let Err(e) = j.record(line) {
+                eprintln!("limpet-serve: journal write failed: {e}");
+            }
+        }
+    }
+
+    /// The terminal bookkeeping every job goes through, however it ran.
+    fn on_done(&self, spec: &JobSpec, outcome: &JobOutcome) {
+        let completed = outcome.status == JobStatus::Done;
+        self.ledger.release(&spec.tenant, spec.cost(), completed);
+        match outcome.status {
+            JobStatus::Done => self.counters.completed.fetch_add(1, Ordering::SeqCst),
+            JobStatus::Failed => self.counters.failed.fetch_add(1, Ordering::SeqCst),
+            JobStatus::Aborted => self.counters.aborted.fetch_add(1, Ordering::SeqCst),
+        };
+        // A job aborted by daemon shutdown keeps its journal slot open so
+        // the next incarnation resumes it; any other terminal state is
+        // recorded so it is *not* re-run.
+        let shutdown_abort = outcome.status == JobStatus::Aborted && shutdown::requested();
+        if !shutdown_abort {
+            self.journal_line(&format!("done {}", outcome.to_json()));
+        }
+        self.record_result(outcome.clone());
+    }
+
+    fn stats_json(&self, queued: usize) -> Json {
+        let cache = KernelCache::global();
+        let cache_stats = Json::parse(&cache.stats().to_json()).unwrap_or(Json::Null);
+        let incidents = Json::parse(&limpet_harness::incidents_json(&cache.incidents()))
+            .unwrap_or(Json::Arr(Vec::new()));
+        let c = &self.counters;
+        Json::obj(vec![
+            ("event", Json::str("stats")),
+            ("uptime_s", self.started.elapsed().as_secs_f64().into()),
+            (
+                "jobs",
+                Json::obj(vec![
+                    ("submitted", c.submitted.load(Ordering::SeqCst).into()),
+                    ("completed", c.completed.load(Ordering::SeqCst).into()),
+                    ("failed", c.failed.load(Ordering::SeqCst).into()),
+                    ("aborted", c.aborted.load(Ordering::SeqCst).into()),
+                    ("rejected", c.rejected.load(Ordering::SeqCst).into()),
+                    ("resumed", c.resumed.load(Ordering::SeqCst).into()),
+                    ("connections", c.connections.load(Ordering::SeqCst).into()),
+                    ("active", self.ledger.total_active().into()),
+                    ("queued", queued.into()),
+                ]),
+            ),
+            ("cache", cache_stats),
+            ("incidents", incidents),
+            ("tenants", self.ledger.usage_json()),
+        ])
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+enum Stream {
+    Tcp(std::net::TcpStream),
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    fn shutdown_both(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+
+    fn set_read_timeout(&self, dur: Duration) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(Some(dur)),
+            Stream::Unix(s) => s.set_read_timeout(Some(dur)),
+        }
+    }
+}
+
+impl std::io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A running daemon.
+pub struct Server {
+    state: Arc<ServerState>,
+    pool: Option<Pool>,
+    listener: Listener,
+    /// The address actually bound (resolves TCP port 0).
+    local_addr: String,
+    conn_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener, attaches the disk cache tier, replays the
+    /// journal (resubmitting every job without a terminal record), and
+    /// spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the socket, cache
+    /// directory, or journal cannot be set up.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        if let Some(dir) = &config.cache_dir {
+            let disk = limpet_harness::DiskCache::open(dir)?;
+            KernelCache::global().set_disk_cache(Some(Arc::new(disk)));
+        }
+        let listener = match &config.listen {
+            Listen::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr)?),
+            Listen::Unix(path) => {
+                // A previous unclean exit leaves the socket file behind;
+                // binding over it is the expected daemon restart path.
+                let _ = std::fs::remove_file(path);
+                Listener::Unix(UnixListener::bind(path)?)
+            }
+        };
+        let local_addr = match &listener {
+            Listener::Tcp(l) => l.local_addr()?.to_string(),
+            Listener::Unix(_) => match &config.listen {
+                Listen::Unix(p) => p.display().to_string(),
+                Listen::Tcp(_) => unreachable!("listener kind follows config"),
+            },
+        };
+        match &listener {
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+            Listener::Unix(l) => l.set_nonblocking(true)?,
+        }
+
+        let mut resumable: Vec<JobSpec> = Vec::new();
+        let journal = match &config.journal {
+            None => None,
+            Some(path) => {
+                let (journal, lines) = Journal::open(path, "limpet-serve job journal v1")?;
+                resumable = replay(&lines);
+                Some(journal)
+            }
+        };
+
+        let state = Arc::new(ServerState {
+            ledger: Ledger::new(config.quotas),
+            journal: Mutex::new(journal),
+            results: Mutex::new((BTreeMap::new(), VecDeque::new())),
+            counters: Counters::default(),
+            next_id: AtomicU64::new(1),
+            started: Instant::now(),
+            outbox_cap: config.outbox_cap.max(1),
+        });
+        let pool_state = Arc::clone(&state);
+        let pool = Pool::new(
+            config.workers,
+            config.quotas.max_queue_depth.max(1),
+            move |spec, outcome| pool_state.on_done(spec, outcome),
+        );
+
+        for spec in resumable {
+            state.counters.resumed.fetch_add(1, Ordering::SeqCst);
+            state.counters.submitted.fetch_add(1, Ordering::SeqCst);
+            state.ledger.admit_resumed(&spec.tenant);
+            // Journal already holds the job line from the previous
+            // incarnation; do not re-append it.
+            let _ = pool.submit(QueuedJob { spec, outbox: None });
+        }
+
+        Ok(Server {
+            state,
+            pool: Some(pool),
+            listener,
+            local_addr,
+            conn_handles: Vec::new(),
+        })
+    }
+
+    /// The bound address (`host:port` for TCP — useful with port 0 —
+    /// or the socket path).
+    pub fn local_addr(&self) -> &str {
+        &self.local_addr
+    }
+
+    /// Accepts connections until [`shutdown::requested`], then winds
+    /// down: stops accepting, closes live connections, aborts running
+    /// jobs at their next chunk boundary (leaving them journaled for the
+    /// next incarnation), and joins every thread.
+    pub fn serve_forever(mut self) {
+        loop {
+            if shutdown::requested() {
+                break;
+            }
+            let accepted = match &self.listener {
+                Listener::Tcp(l) => match l.accept() {
+                    Ok((s, _)) => Some(Stream::Tcp(s)),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                    Err(e) => {
+                        eprintln!("limpet-serve: accept failed: {e}");
+                        None
+                    }
+                },
+                Listener::Unix(l) => match l.accept() {
+                    Ok((s, _)) => Some(Stream::Unix(s)),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                    Err(e) => {
+                        eprintln!("limpet-serve: accept failed: {e}");
+                        None
+                    }
+                },
+            };
+            match accepted {
+                Some(stream) => self.spawn_connection(stream),
+                None => std::thread::sleep(Duration::from_millis(10)),
+            }
+            self.reap_connections();
+        }
+        self.stop();
+    }
+
+    fn reap_connections(&mut self) {
+        let mut live = Vec::new();
+        for h in self.conn_handles.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                live.push(h);
+            }
+        }
+        self.conn_handles = live;
+    }
+
+    fn spawn_connection(&mut self, stream: Stream) {
+        self.state
+            .counters
+            .connections
+            .fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let pool_queue = self
+            .pool
+            .as_ref()
+            .map(PoolHandle::new)
+            .expect("pool lives until stop()");
+        let handle = std::thread::Builder::new()
+            .name("limpet-conn".into())
+            .spawn(move || serve_connection(stream, state, pool_queue))
+            .expect("spawning a connection thread");
+        self.conn_handles.push(handle);
+    }
+
+    /// Stops the daemon: workers abort at chunk boundaries, unfinished
+    /// jobs stay journaled for resume, and the disk-cache tier is
+    /// detached (releasing its resources with no operation in flight).
+    fn stop(mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown(false);
+        }
+        for h in self.conn_handles.drain(..) {
+            let _ = h.join();
+        }
+        KernelCache::global().set_disk_cache(None);
+    }
+}
+
+/// What a connection needs from the pool: submit access without owning
+/// the pool (the server keeps ownership for shutdown).
+struct PoolHandle {
+    queue: Arc<Bounded<QueuedJob>>,
+}
+
+impl PoolHandle {
+    fn new(pool: &Pool) -> PoolHandle {
+        PoolHandle {
+            queue: pool.queue_handle(),
+        }
+    }
+
+    fn submit(&self, job: QueuedJob) -> Result<(), crate::queue::Closed> {
+        self.queue.push(job)
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Replays journal lines into the list of jobs to resume: every
+/// `job <spec>` without a matching `done {"id":…}` record.
+fn replay(lines: &[String]) -> Vec<JobSpec> {
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    let mut done: Vec<String> = Vec::new();
+    for line in lines {
+        if let Some(body) = line.strip_prefix("job ") {
+            if let Ok(v) = Json::parse(body) {
+                if let Ok(spec) = JobSpec::from_json(&v, "journal") {
+                    jobs.push(spec);
+                }
+            }
+        } else if let Some(body) = line.strip_prefix("done ") {
+            if let Ok(v) = Json::parse(body) {
+                if let Some(id) = v.get("id").and_then(Json::as_str) {
+                    done.push(id.to_owned());
+                }
+            }
+        }
+    }
+    jobs.retain(|j| !done.iter().any(|d| d == &j.id));
+    jobs
+}
+
+/// One connection: a writer thread drains the bounded outbox to the
+/// socket while this (reader) thread parses request lines and dispatches
+/// verbs. Reader EOF closes the outbox, which cancels any of this
+/// connection's jobs still pushing events. Reads run under a short
+/// timeout so the reader notices a daemon shutdown even while idle.
+fn serve_connection(stream: Stream, state: Arc<ServerState>, pool: PoolHandle) {
+    let outbox: Arc<Bounded<String>> = Arc::new(Bounded::new(state.outbox_cap));
+    let (write_half, ctrl) = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(w), Ok(c)) => (w, c),
+        _ => return,
+    };
+    if stream.set_read_timeout(Duration::from_millis(200)).is_err() {
+        return;
+    }
+    let writer_outbox = Arc::clone(&outbox);
+    let writer = std::thread::Builder::new()
+        .name("limpet-conn-writer".into())
+        .spawn(move || {
+            let mut stream = write_half;
+            while let Some(line) = writer_outbox.pop() {
+                if stream.write_all(line.as_bytes()).is_err()
+                    || stream.write_all(b"\n").is_err()
+                    || stream.flush().is_err()
+                {
+                    // Client gone: close so blocked workers abort.
+                    writer_outbox.close();
+                    break;
+                }
+            }
+        })
+        .expect("spawning a connection writer thread");
+
+    let mut reader = BufReader::new(stream);
+    let mut acc = String::new();
+    loop {
+        if shutdown::requested() {
+            break;
+        }
+        match reader.read_line(&mut acc) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                let line = std::mem::take(&mut acc);
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if let Some(resp) = dispatch(&line, &state, &pool, &outbox) {
+                    if outbox.push(resp.to_string()).is_err() {
+                        break;
+                    }
+                }
+            }
+            // Timeout mid-wait (or mid-line: partial bytes stay in
+            // `acc` and the next pass appends to them).
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
+    outbox.close();
+    // Give the writer a moment to flush the tail of the outbox (e.g. a
+    // final `stopping` response), then cut the socket to unblock it if
+    // the client has stopped reading, and join.
+    let flush_deadline = Instant::now() + Duration::from_secs(2);
+    while !writer.is_finished() && Instant::now() < flush_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    ctrl.shutdown_both();
+    let _ = writer.join();
+}
+
+fn error_event(reason: &str) -> Json {
+    Json::obj(vec![
+        ("event", Json::str("error")),
+        ("reason", Json::str(reason)),
+    ])
+}
+
+/// Handles one request line; `Some(response)` is queued behind any
+/// streaming events already in the outbox.
+fn dispatch(
+    line: &str,
+    state: &Arc<ServerState>,
+    pool: &PoolHandle,
+    outbox: &Arc<Bounded<String>>,
+) -> Option<Json> {
+    let v = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return Some(error_event(&format!("bad JSON: {e}"))),
+    };
+    let verb = match v.get("verb").and_then(Json::as_str) {
+        Some(s) => s.to_owned(),
+        None => return Some(error_event("missing 'verb'")),
+    };
+    match verb.as_str() {
+        "ping" => Some(Json::obj(vec![("event", Json::str("pong"))])),
+        "health" => Some(Json::obj(vec![
+            ("event", Json::str("health")),
+            ("status", Json::str("ok")),
+            ("uptime_s", state.started.elapsed().as_secs_f64().into()),
+            ("active", state.ledger.total_active().into()),
+        ])),
+        "stats" => Some(state.stats_json(pool.queued())),
+        "result" => {
+            let id = v.get("id").and_then(Json::as_str).unwrap_or("");
+            let guard = state.results.lock().unwrap_or_else(|p| p.into_inner());
+            match guard.0.get(id) {
+                Some(outcome) => Some(outcome.to_json()),
+                None => Some(Json::obj(vec![
+                    ("event", Json::str("pending")),
+                    ("id", Json::str(id)),
+                ])),
+            }
+        }
+        "shutdown" => {
+            shutdown::request();
+            Some(Json::obj(vec![("event", Json::str("stopping"))]))
+        }
+        "submit" => Some(submit(&v, state, pool, outbox)),
+        other => Some(error_event(&format!("unknown verb '{other}'"))),
+    }
+}
+
+fn submit(
+    v: &Json,
+    state: &Arc<ServerState>,
+    pool: &PoolHandle,
+    outbox: &Arc<Bounded<String>>,
+) -> Json {
+    let fallback = state.fresh_id();
+    let spec = match JobSpec::from_json(v, &fallback) {
+        Ok(s) => s,
+        Err(e) => return error_event(&e),
+    };
+    if let Err(r) = state.ledger.admit(&spec.tenant, spec.cost()) {
+        state.counters.rejected.fetch_add(1, Ordering::SeqCst);
+        return Json::obj(vec![
+            ("event", Json::str("rejected")),
+            ("id", Json::str(&spec.id)),
+            ("code", u64::from(r.code).into()),
+            ("reason", Json::str(&r.reason)),
+        ]);
+    }
+    state.counters.submitted.fetch_add(1, Ordering::SeqCst);
+    state.journal_line(&format!("job {}", spec.to_json()));
+    let accepted = Json::obj(vec![
+        ("event", Json::str("accepted")),
+        ("id", Json::str(&spec.id)),
+        ("tenant", Json::str(&spec.tenant)),
+        ("cost", spec.cost().into()),
+    ]);
+    let job = QueuedJob {
+        spec: spec.clone(),
+        outbox: Some(Arc::clone(outbox)),
+    };
+    if pool.submit(job).is_err() {
+        // Pool shutting down: undo the admission.
+        state.ledger.release(&spec.tenant, spec.cost(), false);
+        return error_event("server is shutting down");
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_line(id: &str) -> String {
+        format!(
+            r#"job {{"id":"{id}","tenant":"t","model":"HodgkinHuxley","config":"baseline","cells":8,"steps":4,"dt":0.01,"chunk":4}}"#
+        )
+    }
+
+    #[test]
+    fn replay_resumes_only_unfinished_jobs() {
+        let lines = vec![
+            spec_line("a"),
+            spec_line("b"),
+            format!(r#"done {{"event":"done","id":"a","status":"done"}}"#),
+            "garbage line".to_owned(),
+            spec_line("c"),
+        ];
+        let resumed = replay(&lines);
+        let ids: Vec<&str> = resumed.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, ["b", "c"]);
+    }
+
+    #[test]
+    fn replay_tolerates_malformed_records() {
+        let lines = vec![
+            "job not-json".to_owned(),
+            "job {\"tenant\":\"x\"}".to_owned(), // missing model
+            "done also-not-json".to_owned(),
+        ];
+        assert!(replay(&lines).is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! Per-tenant admission control: the quota ledger.
+//!
+//! Every `submit` passes through [`Ledger::admit`] before any compute is
+//! spent. Three typed limits apply, in cheapest-first order, and each
+//! maps to an HTTP-flavored rejection code the wire protocol echoes:
+//!
+//! * **413** — the job itself is too large (`cells × steps` over the
+//!   per-job budget); retrying cannot help.
+//! * **429** — the tenant already has its maximum number of jobs in
+//!   flight; retry after one completes.
+//! * **503** — the service-wide admission queue is at depth cap; every
+//!   tenant is asked to back off.
+//!
+//! Admission and release are the only mutation points, so the ledger's
+//! invariant is simple: `active` per tenant equals admitted-minus-released,
+//! and the service-wide total is the sum over tenants.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// The quota limits one [`Ledger`] enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaConfig {
+    /// Maximum jobs one tenant may have in flight (queued + running).
+    pub max_jobs_per_tenant: usize,
+    /// Maximum `cells × steps` budget of a single job.
+    pub max_job_cost: u64,
+    /// Maximum jobs in flight service-wide, across all tenants.
+    pub max_queue_depth: usize,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> QuotaConfig {
+        QuotaConfig {
+            max_jobs_per_tenant: 8,
+            max_job_cost: 64 * 1024 * 1024,
+            max_queue_depth: 64,
+        }
+    }
+}
+
+/// A typed admission rejection (the `429`-style wire error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// HTTP-flavored status code: 413, 429, or 503.
+    pub code: u16,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.code, self.reason)
+    }
+}
+
+/// Monotonic per-tenant counters plus the live in-flight gauge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Jobs currently in flight (admitted, not yet released).
+    pub active: usize,
+    /// Jobs ever admitted.
+    pub admitted: u64,
+    /// Submissions rejected by a quota check.
+    pub rejected: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs that failed or were aborted after admission.
+    pub failed: u64,
+    /// Total `cells × steps` of completed jobs.
+    pub cost_completed: u64,
+}
+
+impl TenantUsage {
+    /// The usage as a JSON object (for the daemon's `stats` verb).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("active", self.active.into()),
+            ("admitted", self.admitted.into()),
+            ("rejected", self.rejected.into()),
+            ("completed", self.completed.into()),
+            ("failed", self.failed.into()),
+            ("cost_completed", self.cost_completed.into()),
+        ])
+    }
+}
+
+/// The thread-safe admission ledger.
+#[derive(Debug)]
+pub struct Ledger {
+    cfg: QuotaConfig,
+    tenants: Mutex<BTreeMap<String, TenantUsage>>,
+}
+
+impl Ledger {
+    /// An empty ledger enforcing `cfg`.
+    pub fn new(cfg: QuotaConfig) -> Ledger {
+        Ledger {
+            cfg,
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The limits this ledger enforces.
+    pub fn config(&self) -> QuotaConfig {
+        self.cfg
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, TenantUsage>> {
+        self.tenants.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Admits one job of `cost = cells × steps` for `tenant`, or rejects
+    /// it with a typed reason. On success the tenant's `active` gauge is
+    /// already incremented — the caller owns a slot and must pair this
+    /// with exactly one [`Ledger::release`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`Rejection`] (413 job too large, 429 tenant
+    /// over quota, 503 service queue full), recorded in the tenant's
+    /// `rejected` counter.
+    pub fn admit(&self, tenant: &str, cost: u64) -> Result<(), Rejection> {
+        let mut tenants = self.lock();
+        let total_active: usize = tenants.values().map(|u| u.active).sum();
+        let usage = tenants.entry(tenant.to_owned()).or_default();
+        let rejection = if cost > self.cfg.max_job_cost {
+            Some(Rejection {
+                code: 413,
+                reason: format!(
+                    "job cost {cost} (cells x steps) exceeds the per-job budget {}",
+                    self.cfg.max_job_cost
+                ),
+            })
+        } else if usage.active >= self.cfg.max_jobs_per_tenant {
+            Some(Rejection {
+                code: 429,
+                reason: format!(
+                    "tenant '{tenant}' already has {} job(s) in flight (limit {})",
+                    usage.active, self.cfg.max_jobs_per_tenant
+                ),
+            })
+        } else if total_active >= self.cfg.max_queue_depth {
+            Some(Rejection {
+                code: 503,
+                reason: format!(
+                    "service admission queue is full ({total_active} job(s) in flight, cap {})",
+                    self.cfg.max_queue_depth
+                ),
+            })
+        } else {
+            None
+        };
+        match rejection {
+            Some(r) => {
+                usage.rejected += 1;
+                Err(r)
+            }
+            None => {
+                usage.active += 1;
+                usage.admitted += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Admits a job recovered from the journal after a daemon restart,
+    /// bypassing the quota checks — it was already admitted by the
+    /// previous incarnation, and refusing it now would drop accepted
+    /// work.
+    pub fn admit_resumed(&self, tenant: &str) {
+        let mut tenants = self.lock();
+        let usage = tenants.entry(tenant.to_owned()).or_default();
+        usage.active += 1;
+        usage.admitted += 1;
+    }
+
+    /// Releases the slot taken by [`Ledger::admit`] /
+    /// [`Ledger::admit_resumed`]. `completed` distinguishes a successful
+    /// run from a failure/abort; `cost` feeds the completed-work counter.
+    pub fn release(&self, tenant: &str, cost: u64, completed: bool) {
+        let mut tenants = self.lock();
+        let usage = tenants.entry(tenant.to_owned()).or_default();
+        usage.active = usage.active.saturating_sub(1);
+        if completed {
+            usage.completed += 1;
+            usage.cost_completed += cost;
+        } else {
+            usage.failed += 1;
+        }
+    }
+
+    /// Jobs in flight service-wide.
+    pub fn total_active(&self) -> usize {
+        self.lock().values().map(|u| u.active).sum()
+    }
+
+    /// A snapshot of every tenant's usage, sorted by tenant name.
+    pub fn usage(&self) -> Vec<(String, TenantUsage)> {
+        self.lock().iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Per-tenant usage as a JSON object keyed by tenant name.
+    pub fn usage_json(&self) -> Json {
+        Json::Obj(
+            self.usage()
+                .into_iter()
+                .map(|(name, u)| (name, u.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> Ledger {
+        Ledger::new(QuotaConfig {
+            max_jobs_per_tenant: 2,
+            max_job_cost: 1000,
+            max_queue_depth: 3,
+        })
+    }
+
+    #[test]
+    fn over_quota_tenant_gets_429_and_release_frees_the_slot() {
+        let l = ledger();
+        l.admit("a", 10).unwrap();
+        l.admit("a", 10).unwrap();
+        let r = l.admit("a", 10).unwrap_err();
+        assert_eq!(r.code, 429);
+        assert!(r.reason.contains("'a'"), "{r}");
+        // Completion releases the slot; admission works again.
+        l.release("a", 10, true);
+        l.admit("a", 10).unwrap();
+        let u = l.usage();
+        assert_eq!(u[0].0, "a");
+        assert_eq!(u[0].1.active, 2);
+        assert_eq!(u[0].1.admitted, 3);
+        assert_eq!(u[0].1.rejected, 1);
+        assert_eq!(u[0].1.completed, 1);
+        assert_eq!(u[0].1.cost_completed, 10);
+    }
+
+    #[test]
+    fn oversized_job_gets_413_regardless_of_load() {
+        let l = ledger();
+        let r = l.admit("fresh", 1001).unwrap_err();
+        assert_eq!(r.code, 413);
+        assert_eq!(l.total_active(), 0, "no slot was taken");
+    }
+
+    #[test]
+    fn queue_depth_cap_gets_503_across_tenants() {
+        let l = ledger();
+        l.admit("a", 1).unwrap();
+        l.admit("a", 1).unwrap();
+        l.admit("b", 1).unwrap();
+        // Tenant c is under its own limit, but the service is full.
+        let r = l.admit("c", 1).unwrap_err();
+        assert_eq!(r.code, 503);
+        l.release("b", 1, false);
+        l.admit("c", 1).unwrap();
+        assert_eq!(l.total_active(), 3);
+    }
+
+    #[test]
+    fn resumed_jobs_bypass_quota_but_count_as_active() {
+        let l = ledger();
+        for _ in 0..5 {
+            l.admit_resumed("crashed");
+        }
+        assert_eq!(l.total_active(), 5, "resume exceeds the live caps");
+        // Live admission still enforces the caps on top.
+        assert_eq!(l.admit("fresh", 1).unwrap_err().code, 503);
+    }
+
+    #[test]
+    fn failed_release_counts_separately() {
+        let l = ledger();
+        l.admit("a", 7).unwrap();
+        l.release("a", 7, false);
+        let u = l.usage()[0].1;
+        assert_eq!((u.completed, u.failed, u.active), (0, 1, 0));
+        assert_eq!(u.cost_completed, 0);
+    }
+}

@@ -1,0 +1,341 @@
+//! In-process integration tests for the service daemon: wire protocol,
+//! admission control, and backpressure.
+//!
+//! These start a real [`serve::Server`] inside the test process (crash
+//! recovery, which needs `kill -9`, lives in `crash_recovery.rs` and
+//! drives the actual binary). Tests that rely on a stalled reader use a
+//! Unix socket: its kernel buffer is a fixed ~200 KiB, so a
+//! high-volume chunk stream reliably backs up into the daemon's bounded
+//! outbox, whereas TCP auto-tunes its buffers into the megabytes.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serve::{Json, Listen, QuotaConfig, Server, ServerConfig};
+
+fn unique_path(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "limpet-serve-test-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::SeqCst)
+    ))
+}
+
+/// Starts a daemon; returns where to connect. The server thread is
+/// detached — it only exits on process-global shutdown, which these
+/// tests never request.
+fn start_server(listen: Listen, workers: usize, quotas: QuotaConfig, outbox_cap: usize) -> Listen {
+    let server = Server::start(ServerConfig {
+        listen,
+        workers,
+        quotas,
+        outbox_cap,
+        journal: None,
+        cache_dir: None,
+    })
+    .expect("server starts");
+    let addr = server.local_addr().to_owned();
+    let listen = match &server_kind(&addr) {
+        Kind::Tcp => Listen::Tcp(addr),
+        Kind::Unix => Listen::Unix(PathBuf::from(addr)),
+    };
+    std::thread::spawn(move || server.serve_forever());
+    listen
+}
+
+enum Kind {
+    Tcp,
+    Unix,
+}
+
+fn server_kind(addr: &str) -> Kind {
+    if addr.contains(':') && !addr.contains('/') {
+        Kind::Tcp
+    } else {
+        Kind::Unix
+    }
+}
+
+struct Client {
+    reader: Box<dyn BufRead>,
+    writer: Box<dyn Write>,
+}
+
+impl Client {
+    fn connect(listen: &Listen) -> Client {
+        fn halves<S: Read + Write + 'static>(a: S, b: S) -> (Box<dyn BufRead>, Box<dyn Write>) {
+            (Box::new(BufReader::new(a)), Box::new(b))
+        }
+        let (reader, writer) = match listen {
+            Listen::Tcp(addr) => {
+                let s = TcpStream::connect(addr).expect("connect tcp");
+                s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+                halves(s.try_clone().unwrap(), s)
+            }
+            Listen::Unix(path) => {
+                let s = UnixStream::connect(path).expect("connect unix");
+                s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+                halves(s.try_clone().unwrap(), s)
+            }
+        };
+        Client { reader, writer }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read event");
+        assert!(n > 0, "connection closed unexpectedly");
+        Json::parse(line.trim()).expect("event is valid JSON")
+    }
+
+    /// Reads events until one matches `event`, returning it.
+    fn recv_until(&mut self, event: &str) -> Json {
+        loop {
+            let v = self.recv();
+            if v.get("event").and_then(Json::as_str) == Some(event) {
+                return v;
+            }
+        }
+    }
+}
+
+fn submit_line(id: &str, tenant: &str, cells: usize, steps: usize, chunk: usize) -> String {
+    format!(
+        r#"{{"verb":"submit","id":"{id}","tenant":"{tenant}","model":"HodgkinHuxley","config":"baseline","cells":{cells},"steps":{steps},"chunk":{chunk}}}"#
+    )
+}
+
+#[test]
+fn ping_health_and_bad_requests() {
+    let listen = start_server(
+        Listen::Tcp("127.0.0.1:0".into()),
+        1,
+        QuotaConfig::default(),
+        16,
+    );
+    let mut c = Client::connect(&listen);
+    c.send(r#"{"verb":"ping"}"#);
+    assert_eq!(c.recv().get("event").and_then(Json::as_str), Some("pong"));
+    c.send(r#"{"verb":"health"}"#);
+    let h = c.recv();
+    assert_eq!(h.get("status").and_then(Json::as_str), Some("ok"));
+    c.send("this is not json");
+    let e = c.recv();
+    assert_eq!(e.get("event").and_then(Json::as_str), Some("error"));
+    c.send(r#"{"verb":"warp"}"#);
+    let e = c.recv();
+    assert_eq!(e.get("event").and_then(Json::as_str), Some("error"));
+    // A broken request must not kill the connection.
+    c.send(r#"{"verb":"ping"}"#);
+    assert_eq!(c.recv().get("event").and_then(Json::as_str), Some("pong"));
+}
+
+#[test]
+fn submit_streams_chunks_then_done_with_digest() {
+    let listen = start_server(
+        Listen::Tcp("127.0.0.1:0".into()),
+        2,
+        QuotaConfig::default(),
+        16,
+    );
+    let mut c = Client::connect(&listen);
+    c.send(&submit_line("j1", "alice", 16, 12, 4));
+    let accepted = c.recv();
+    assert_eq!(
+        accepted.get("event").and_then(Json::as_str),
+        Some("accepted")
+    );
+    let mut chunks = 0;
+    let done = loop {
+        let v = c.recv();
+        match v.get("event").and_then(Json::as_str) {
+            Some("chunk") => chunks += 1,
+            Some("done") => break v,
+            other => panic!("unexpected event {other:?}"),
+        }
+    };
+    assert_eq!(chunks, 3, "12 steps / chunk 4");
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+    let digest = done
+        .get("digest")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_owned();
+    assert_eq!(digest.len(), 16, "16 hex chars: {digest}");
+    assert_eq!(done.get("tier").and_then(Json::as_str), Some("optimized"));
+
+    // The result verb replays the outcome after the fact.
+    c.send(r#"{"verb":"result","id":"j1"}"#);
+    let replay = c.recv();
+    assert_eq!(
+        replay.get("digest").and_then(Json::as_str),
+        Some(digest.as_str())
+    );
+}
+
+/// A job big enough (in events, not compute) to reliably stall on an
+/// unread Unix-socket connection: ~20k chunk events ≈ 2.4 MB, an order
+/// of magnitude past the socketpair buffers plus any outbox.
+const STALL_STEPS: usize = 20_000;
+
+#[test]
+fn over_quota_and_oversized_submissions_get_typed_rejections() {
+    let quotas = QuotaConfig {
+        max_jobs_per_tenant: 1,
+        max_job_cost: 2_000_000,
+        max_queue_depth: 8,
+    };
+    // One worker and a tiny outbox: bob's first job blocks its worker on
+    // the unread stream, so it is deterministically still in flight when
+    // the follow-up submissions arrive.
+    let listen = start_server(Listen::Unix(unique_path("quota.sock")), 1, quotas, 2);
+    let mut pinned = Client::connect(&listen);
+    pinned.send(&submit_line("big", "bob", 16, STALL_STEPS, 1));
+    pinned.recv_until("accepted");
+    // Stop reading `pinned`: its outbox fills and the job stalls.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Same tenant, fresh connection: over the per-tenant limit.
+    let mut c = Client::connect(&listen);
+    c.send(&submit_line("second", "bob", 4, 4, 4));
+    let rejected = c.recv_until("rejected");
+    assert_eq!(rejected.get("code").and_then(Json::as_u64), Some(429));
+    // Another tenant is not affected by bob's quota (the job queues
+    // behind the stalled one on the single worker).
+    c.send(&submit_line("carol-1", "carol", 4, 4, 4));
+    c.recv_until("accepted");
+    // An oversized job is 413 regardless of load.
+    c.send(&submit_line("huge", "dave", 8192, 1_000_000, 10));
+    let rejected = c.recv_until("rejected");
+    assert_eq!(rejected.get("code").and_then(Json::as_u64), Some(413));
+
+    // Dropping the pinned connection aborts bob's stalled job, freeing
+    // the worker for carol's queued one.
+    drop(pinned);
+    let done = c.recv_until("done");
+    assert_eq!(done.get("id").and_then(Json::as_str), Some("carol-1"));
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+}
+
+#[test]
+fn slow_reader_throttles_only_its_own_stream() {
+    // Tiny outbox so the slow connection backs up quickly; two workers
+    // so both jobs run concurrently.
+    let listen = start_server(
+        Listen::Unix(unique_path("slow.sock")),
+        2,
+        QuotaConfig {
+            max_job_cost: 2_000_000,
+            ..QuotaConfig::default()
+        },
+        2,
+    );
+
+    // Slow client: submits a many-chunk job and then does not read.
+    let mut slow = Client::connect(&listen);
+    slow.send(&submit_line("slow", "sloth", 16, STALL_STEPS, 1));
+
+    // Give the slow job time to fill its buffers and block its worker.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Fast client: same workload, read eagerly — must finish while the
+    // slow job is stalled.
+    let started = Instant::now();
+    let mut fast = Client::connect(&listen);
+    fast.send(&submit_line("fast", "cheetah", 16, STALL_STEPS, 500));
+    let done = fast.recv_until("done");
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+    let fast_elapsed = started.elapsed();
+
+    // The slow job must still be unfinished: its worker is blocked on
+    // the full outbox, not burning steps.
+    let mut probe = Client::connect(&listen);
+    probe.send(r#"{"verb":"result","id":"slow"}"#);
+    let pending = probe.recv();
+    assert_eq!(
+        pending.get("event").and_then(Json::as_str),
+        Some("pending"),
+        "slow job should still be stalled after the fast one finished \
+         (fast took {fast_elapsed:?})"
+    );
+
+    // Once the slow client starts reading, its job completes too — the
+    // stream was throttled, not broken — and both digests agree (chunk
+    // size does not change the trajectory).
+    let slow_done = slow.recv_until("done");
+    assert_eq!(slow_done.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(
+        slow_done.get("digest").and_then(Json::as_str),
+        done.get("digest").and_then(Json::as_str)
+    );
+}
+
+#[test]
+fn concurrent_tenants_share_one_cache_and_agree_on_digests() {
+    let listen = start_server(
+        Listen::Tcp("127.0.0.1:0".into()),
+        4,
+        QuotaConfig::default(),
+        32,
+    );
+    // Two tenants, each submitting the same job shape on its own
+    // connection: digests must agree (same deterministic simulation,
+    // same shared kernel cache).
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    let mut handles = Vec::new();
+    for tenant in ["t-a", "t-b"] {
+        let listen = listen.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&listen);
+            barrier.wait();
+            for i in 0..2 {
+                c.send(&submit_line(&format!("{tenant}-{i}"), tenant, 24, 10, 5));
+            }
+            let mut digests = Vec::new();
+            for _ in 0..2 {
+                let done = c.recv_until("done");
+                assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+                digests.push(
+                    done.get("digest")
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .to_owned(),
+                );
+            }
+            digests
+        }));
+    }
+    let all: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let first = &all[0][0];
+    for digests in &all {
+        for d in digests {
+            assert_eq!(d, first, "same job, same digest, every tenant");
+        }
+    }
+
+    // Stats reflect both tenants.
+    let mut c = Client::connect(&listen);
+    c.send(r#"{"verb":"stats"}"#);
+    let stats = c.recv();
+    let tenants = stats.get("tenants").expect("tenants object");
+    assert!(tenants.get("t-a").is_some() && tenants.get("t-b").is_some());
+    let completed = stats
+        .get("jobs")
+        .and_then(|j| j.get("completed"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(completed >= 4, "completed={completed}");
+}

@@ -105,6 +105,137 @@ echo "==> vm_dispatch bench smoke (bytecode-optimizer regression gate)"
 # and fails if any optimized count regressed above BENCH_vm_dispatch.json.
 ./target/release/vm_dispatch --check --models HodgkinHuxley,BeelerReuter,TenTusscherPanfilov
 
+echo "==> simulation service gate (limpet-serve end-to-end)"
+# Drives the daemon through the full service story: 12 concurrent jobs
+# across 2 tenants over one shared kernel cache with digests bit-identical
+# to the single-process figures driver; typed over-quota rejections; an
+# injected-fault job degrading per-job while the daemon stays up; kill -9
+# + restart resuming the journaled job with an identical digest; and
+# SIGTERM / shutdown-verb clean exits.
+SERVE_DIR=$(mktemp -d)
+SERVE_OUT=$(mktemp -d)
+SERVE_SOCK="$SERVE_DIR/serve.sock"
+SERVE_PID=""
+SERVE2_PID=""
+TIGHT_PID=""
+SLOW_PID=""
+trap 'kill -9 ${SERVE_PID:-} ${SERVE2_PID:-} ${TIGHT_PID:-} ${SLOW_PID:-} 2>/dev/null || true' EXIT
+CLIENT=./target/release/limpet-client
+
+# Ground truth from the single-process driver, into the same cache dir
+# the daemon will share (compile-once per machine).
+./target/release/figures --digest --models "$SUBSET" --cells 64 --steps 16 \
+  --cache-dir "$SERVE_DIR" > /dev/null
+sort output/digests.csv > "$SERVE_OUT/expected.csv"
+
+./target/release/limpet-serve --unix "$SERVE_SOCK" --workers 4 \
+  --cache-dir "$SERVE_DIR" --journal "$SERVE_DIR/jobs.journal" \
+  > "$SERVE_OUT/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] \
+  || { echo "service gate: daemon did not come up"; cat "$SERVE_OUT/serve.log"; exit 1; }
+
+# 3 models x 2 configs = 12 concurrent jobs round-robined over 2 tenants.
+"$CLIENT" --unix "$SERVE_SOCK" drive --models "$SUBSET" \
+  --configs baseline,limpetMLIR-AVX-512 --tenants ci-a,ci-b \
+  --cells 64 --steps 16 | sort > "$SERVE_OUT/drive.csv"
+cmp "$SERVE_OUT/expected.csv" "$SERVE_OUT/drive.csv" \
+  || { echo "service gate: daemon digests diverged from figures --digest"; \
+       diff "$SERVE_OUT/expected.csv" "$SERVE_OUT/drive.csv" || true; exit 1; }
+
+# Injected fault: the job degrades to the reference tier (quarantining
+# its kernel, not the daemon) and completes. The SSE config keeps the
+# quarantined key disjoint from the parity configs above.
+"$CLIENT" --unix "$SERVE_SOCK" submit --model HodgkinHuxley --config sse \
+  --cells 16 --steps 8 --tenant ci-a --inject verify-fail@7 \
+  > "$SERVE_OUT/fault.txt"
+grep -q '"status":"done"' "$SERVE_OUT/fault.txt" \
+  || { echo "service gate: injected-fault job did not complete"; cat "$SERVE_OUT/fault.txt"; exit 1; }
+grep -q '"tier":"reference"' "$SERVE_OUT/fault.txt" \
+  || { echo "service gate: injected-fault job did not degrade to reference tier"; cat "$SERVE_OUT/fault.txt"; exit 1; }
+"$CLIENT" --unix "$SERVE_SOCK" stats > "$SERVE_OUT/stats.json"
+grep -q '"kind":"tier-fallback"' "$SERVE_OUT/stats.json" \
+  || { echo "service gate: stats verb does not report the tier-fallback incident"; cat "$SERVE_OUT/stats.json"; exit 1; }
+grep -q '"quarantined":1' "$SERVE_OUT/stats.json" \
+  || { echo "service gate: stats verb does not report the quarantined kernel"; cat "$SERVE_OUT/stats.json"; exit 1; }
+"$CLIENT" --unix "$SERVE_SOCK" ping | grep -q '"event":"pong"' \
+  || { echo "service gate: daemon died after the injected fault"; exit 1; }
+
+# Reference digest for the crash-recovery job shape.
+"$CLIENT" --unix "$SERVE_SOCK" submit --model HodgkinHuxley --cells 64 \
+  --steps 20000 --chunk 20000 --id ref-victim --tenant ci-a > "$SERVE_OUT/ref.txt"
+REF_DIGEST=$(grep -o '"digest":"[0-9a-f]\{16\}"' "$SERVE_OUT/ref.txt" | head -1)
+[ -n "$REF_DIGEST" ] || { echo "service gate: no reference digest"; cat "$SERVE_OUT/ref.txt"; exit 1; }
+
+# kill -9 mid-run: the victim streams one event per step to a reader
+# sleeping 1 s per event, so it is deterministically stalled mid-run
+# (blocked on its own backpressure) when the kill lands.
+"$CLIENT" --unix "$SERVE_SOCK" submit --model HodgkinHuxley --cells 64 \
+  --steps 20000 --chunk 1 --id victim --tenant ci-a --slow-ms 1000 \
+  > /dev/null 2>&1 &
+SLOW_PID=$!
+sleep 2
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+kill "$SLOW_PID" 2>/dev/null || true
+wait "$SLOW_PID" 2>/dev/null || true
+SLOW_PID=""
+
+# Restart over the same journal: the victim resumes headless and its
+# digest must be bit-identical to the uninterrupted reference run.
+./target/release/limpet-serve --unix "$SERVE_SOCK" --workers 2 \
+  --cache-dir "$SERVE_DIR" --journal "$SERVE_DIR/jobs.journal" \
+  > "$SERVE_OUT/serve2.log" 2>&1 &
+SERVE2_PID=$!
+for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] \
+  || { echo "service gate: daemon did not restart"; cat "$SERVE_OUT/serve2.log"; exit 1; }
+RESUMED=""
+for _ in $(seq 1 240); do
+  "$CLIENT" --unix "$SERVE_SOCK" result --id victim > "$SERVE_OUT/victim.txt" || true
+  if grep -q '"event":"done"' "$SERVE_OUT/victim.txt"; then RESUMED=yes; break; fi
+  sleep 0.5
+done
+[ -n "$RESUMED" ] || { echo "service gate: resumed job never finished"; cat "$SERVE_OUT/serve2.log"; exit 1; }
+VICTIM_DIGEST=$(grep -o '"digest":"[0-9a-f]\{16\}"' "$SERVE_OUT/victim.txt" | head -1)
+[ "$VICTIM_DIGEST" = "$REF_DIGEST" ] \
+  || { echo "service gate: resumed digest $VICTIM_DIGEST != reference $REF_DIGEST"; exit 1; }
+"$CLIENT" --unix "$SERVE_SOCK" stats | grep -q '"resumed":1' \
+  || { echo "service gate: restart did not resume exactly the victim"; exit 1; }
+# Shutdown verb: clean exit, journal flushed.
+"$CLIENT" --unix "$SERVE_SOCK" shutdown | grep -q '"event":"stopping"' \
+  || { echo "service gate: shutdown verb not acknowledged"; exit 1; }
+wait "$SERVE2_PID" \
+  || { echo "service gate: daemon exited uncleanly after shutdown verb"; exit 1; }
+SERVE2_PID=""
+
+# Tight-quota daemon: per-tenant 429s under flood, 413 on an oversized
+# job, and a clean SIGTERM exit.
+TIGHT_SOCK="$SERVE_DIR/tight.sock"
+./target/release/limpet-serve --unix "$TIGHT_SOCK" --workers 1 \
+  --max-jobs 2 --max-cost 2000000 --cache-dir "$SERVE_DIR" \
+  > "$SERVE_OUT/tight.log" 2>&1 &
+TIGHT_PID=$!
+for _ in $(seq 1 100); do [ -S "$TIGHT_SOCK" ] && break; sleep 0.1; done
+[ -S "$TIGHT_SOCK" ] \
+  || { echo "service gate: tight-quota daemon did not come up"; cat "$SERVE_OUT/tight.log"; exit 1; }
+"$CLIENT" --unix "$TIGHT_SOCK" flood --model HodgkinHuxley --count 6 \
+  --tenant bob --cells 64 --steps 20000 > "$SERVE_OUT/flood.txt"
+grep -q '^rejected-429 ' "$SERVE_OUT/flood.txt" \
+  || { echo "service gate: flood produced no 429 rejections"; cat "$SERVE_OUT/flood.txt"; exit 1; }
+"$CLIENT" --unix "$TIGHT_SOCK" submit --model HodgkinHuxley --cells 8192 \
+  --steps 100000 --tenant bob > "$SERVE_OUT/oversized.txt" 2>&1 || true
+grep -q '"code":413' "$SERVE_OUT/oversized.txt" \
+  || { echo "service gate: oversized job not rejected with 413"; cat "$SERVE_OUT/oversized.txt"; exit 1; }
+kill -TERM "$TIGHT_PID"
+wait "$TIGHT_PID" \
+  || { echo "service gate: daemon exited uncleanly on SIGTERM"; exit 1; }
+TIGHT_PID=""
+trap - EXIT
+rm -rf "$SERVE_DIR" "$SERVE_OUT"
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
