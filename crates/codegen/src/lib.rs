@@ -20,10 +20,15 @@
 #![warn(missing_debug_implementations)]
 
 mod emit_c;
+mod emit_c_native;
 mod lower;
 mod lut;
 pub mod pipeline;
 
 pub use emit_c::emit_c;
+pub use emit_c_native::{
+    emit_c_native, math_slot, native_math_table, NativeBinFn, NativeLutFn, NATIVE_EMITTER_VERSION,
+    NATIVE_ENTRY_SYMBOL, NATIVE_TABLE_SLOTS, SLOT_MAX, SLOT_MIN, SLOT_REM,
+};
 pub use lower::{lower_model, CodegenOptions, Lowered, Report};
 pub use lut::{extract_luts, LutExtraction, LutTable};

@@ -6,6 +6,7 @@
 //!         [--real-threads] [--max-threads N] [--validate-tm]
 //!         [--cells N] [--steps N] [--repeats N] [--models a,b,c]
 //!         [--jobs N] [--no-cache] [--no-bytecode-opt]
+//!         [--native] [--no-native] [--native-threshold N] [--native-bench]
 //!         [--cache-dir PATH] [--no-disk-cache] [--cache clear|stat]
 //!         [--json] [--cache-cap-mb N] [--checkpoint PATH]
 //!         [--inject fault@seed[,fault@seed...]]
@@ -51,8 +52,8 @@
 use limpet_harness::{
     all_pipeline_kinds, available_cores, default_cache_dir, fig2_checkpointed, fig3_threads32,
     fig4_scaling, fig5_isa_threads, fig6_roofline, icc_comparison, kernel_stats, layout_ablation,
-    lut_ablation, summarize_incidents, trajectory_digest, validate_timing_model, DiskCache,
-    ExperimentOptions, KernelCache, PipelineKind, ThreadTiming, TimingModel, Workload,
+    lut_ablation, native_tier_bench, summarize_incidents, trajectory_digest, validate_timing_model,
+    DiskCache, ExperimentOptions, KernelCache, PipelineKind, ThreadTiming, TimingModel, Workload,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -71,6 +72,7 @@ struct Args {
     roofline: bool,
     stats: bool,
     digest: bool,
+    native_bench: bool,
     validate_tm: bool,
     real_threads: bool,
     max_threads: Option<usize>,
@@ -98,6 +100,7 @@ fn parse_args() -> Args {
         roofline: false,
         stats: false,
         digest: false,
+        native_bench: false,
         validate_tm: false,
         real_threads: false,
         max_threads: None,
@@ -168,6 +171,16 @@ fn parse_args() -> Args {
             "--no-cache" => args.no_cache = true,
             "--no-disk-cache" => args.no_disk_cache = true,
             "--digest" => args.digest = true,
+            "--native" => limpet_harness::set_promotion(true),
+            "--no-native" => limpet_harness::set_promotion(false),
+            "--native-threshold" => {
+                limpet_harness::set_promotion_threshold(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--native-threshold needs a number >= 1"),
+                );
+            }
+            "--native-bench" => args.native_bench = true,
             "--json" => args.json = true,
             "--validate-tm" => args.validate_tm = true,
             "--real-threads" => args.real_threads = true,
@@ -215,6 +228,7 @@ fn parse_args() -> Args {
                      \x20              [--real-threads] [--max-threads N] [--validate-tm]\n\
                      \x20              [--cells N] [--steps N] [--repeats N] [--models a,b,c]\n\
                      \x20              [--jobs N] [--no-cache] [--no-bytecode-opt]\n\
+                     \x20              [--native] [--no-native] [--native-threshold N] [--native-bench]\n\
                      \x20              [--cache-dir PATH] [--no-disk-cache] [--cache clear|stat]\n\
                      \x20              [--json] [--cache-cap-mb N] [--checkpoint PATH]\n\
                      \x20              [--inject fault@seed[,fault@seed...]]"
@@ -237,6 +251,7 @@ fn parse_args() -> Args {
         || args.roofline
         || args.stats
         || args.digest
+        || args.native_bench
         || args.validate_tm
         || args.cache_verb.is_some())
     {
@@ -279,6 +294,9 @@ fn main() {
         eprintln!("LIMPET_INJECT: {e}");
         std::process::exit(2);
     }
+    // LIMPET_NATIVE / LIMPET_NATIVE_THRESHOLD seed the native-promotion
+    // config; --native / --no-native / --native-threshold override.
+    limpet_harness::promotion_from_env();
     // Ctrl-C / SIGTERM stop long sweeps at a row boundary: journals are
     // kept for resume and the disk-cache lock is never left stale.
     limpet_harness::shutdown::install();
@@ -452,6 +470,58 @@ fn main() {
         }
         println!();
         save_csv("digests.csv", "model,config,digest", &rows);
+    }
+
+    if args.native_bench {
+        println!("== Native tier vs optimized bytecode (width 1, per-step wall-clock) ==");
+        if !limpet_harness::toolchain_available() {
+            println!("  note: no C toolchain on this host; rows degrade to bytecode");
+        }
+        let f = native_tier_bench(&args.opts);
+        let mut rows = Vec::new();
+        for r in &f.rows {
+            if r.note.is_empty() {
+                println!(
+                    "  {:24} {:7} bytecode {:9.3} us/step  native {:9.3} us/step  {:5.2}x  bits {}",
+                    r.model,
+                    r.class,
+                    r.bytecode_us,
+                    r.native_us,
+                    r.speedup,
+                    if r.bit_identical { "OK" } else { "DIFF" }
+                );
+            } else {
+                println!(
+                    "  {:24} {:7} bytecode {:9.3} us/step  native unavailable ({})",
+                    r.model, r.class, r.bytecode_us, r.note
+                );
+            }
+            rows.push(format!(
+                "{},{},{},{},{},{}",
+                r.model, r.class, r.bytecode_us, r.native_us, r.speedup, r.bit_identical
+            ));
+        }
+        if f.geomean.is_finite() {
+            println!(
+                "  geomean speedup (native over bytecode): {:.2}x\n",
+                f.geomean
+            );
+        } else {
+            println!("  no model promoted; geomean unavailable\n");
+        }
+        save_csv(
+            "native_tier.csv",
+            "model,class,bytecode_us_per_step,native_us_per_step,speedup,bit_identical",
+            &rows,
+        );
+        let json = f.to_json();
+        if fs::write("BENCH_native_tier.json", &json).is_ok() {
+            println!("  [saved BENCH_native_tier.json]");
+        }
+        if args.json {
+            println!("{json}");
+        }
+        println!();
     }
 
     if args.fig2 {
@@ -714,9 +784,15 @@ fn main() {
 
     let cs = KernelCache::global().stats();
     println!(
-        "kernel cache: {} entries, {} memory hits, {} disk hits, {} cold compilations",
-        cs.entries, cs.hits, cs.disk_hits, cs.misses
+        "kernel cache: {} entries, {} memory hits, {} disk hits, {} cold compilations, {} executed steps",
+        cs.entries, cs.hits, cs.disk_hits, cs.misses, cs.executed_steps
     );
+    if cs.native_ready + cs.native_quarantined > 0 || cs.native_compiles + cs.native_disk_hits > 0 {
+        println!(
+            "  native tier: {} ready, {} cc compile(s), {} disk hit(s), {} quarantined",
+            cs.native_ready, cs.native_compiles, cs.native_disk_hits, cs.native_quarantined
+        );
+    }
     if let Some(disk) = KernelCache::global().disk_cache() {
         let ds = disk.stats();
         let occupancy = disk

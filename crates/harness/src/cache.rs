@@ -210,6 +210,19 @@ pub struct CacheStats {
     pub quarantined: usize,
     /// Times the map lock was found poisoned and recovered.
     pub poison_recoveries: u64,
+    /// Full-population steps executed through resident kernels (the
+    /// optimized and raw siblings of every entry, summed) — the signal
+    /// the native tier's promotion threshold watches.
+    pub executed_steps: u64,
+    /// Native kernels compiled and validated by this process.
+    pub native_compiles: u64,
+    /// Native kernels reloaded from the persisted `.so` container (no
+    /// compiler ran).
+    pub native_disk_hits: u64,
+    /// Native slots currently ready to hot-swap.
+    pub native_ready: usize,
+    /// Native slots quarantined (compile, load, or probation failure).
+    pub native_quarantined: usize,
 }
 
 impl CacheStats {
@@ -222,7 +235,10 @@ impl CacheStats {
             concat!(
                 "{{\"hits\":{},\"misses\":{},\"disk_hits\":{},",
                 "\"disk_rejects\":{},\"disk_writes\":{},\"entries\":{},",
-                "\"quarantined\":{},\"poison_recoveries\":{}}}"
+                "\"quarantined\":{},\"poison_recoveries\":{},",
+                "\"executed_steps\":{},\"native_compiles\":{},",
+                "\"native_disk_hits\":{},\"native_ready\":{},",
+                "\"native_quarantined\":{}}}"
             ),
             self.hits,
             self.misses,
@@ -232,6 +248,11 @@ impl CacheStats {
             self.entries,
             self.quarantined,
             self.poison_recoveries,
+            self.executed_steps,
+            self.native_compiles,
+            self.native_disk_hits,
+            self.native_ready,
+            self.native_quarantined,
         )
     }
 }
@@ -276,11 +297,14 @@ pub struct ResilientKernel {
 impl ResilientKernel {
     /// The kernel for the landed tier: the entry's optimized kernel on
     /// [`Tier::Optimized`] and [`Tier::Reference`], its raw sibling on
-    /// [`Tier::Raw`].
+    /// [`Tier::Raw`]. A [`Tier::Native`] landing also hands back the
+    /// optimized bytecode kernel — the native code runs *beside* it (and
+    /// must agree bit-for-bit), so the bytecode kernel stays the
+    /// authoritative compilation the simulation owns.
     pub fn kernel(&self) -> &Kernel {
         match self.tier {
             Tier::Raw => self.entry.raw_kernel(),
-            Tier::Optimized | Tier::Reference => self.entry.kernel(),
+            Tier::Native | Tier::Optimized | Tier::Reference => self.entry.kernel(),
         }
     }
 }
@@ -313,6 +337,9 @@ pub struct KernelCache {
     /// When set, every lookup compiles fresh and nothing is stored
     /// (`figures --no-cache`, A/B validation).
     bypass: std::sync::atomic::AtomicBool,
+    /// The native-tier slot registry: background C compilations keyed by
+    /// emitted-source fingerprint (see [`crate::native`]).
+    native: Arc<crate::native::NativeRegistry>,
 }
 
 impl KernelCache {
@@ -347,6 +374,14 @@ impl KernelCache {
         self.disk.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
+    /// The native-tier slot registry owned by this cache. Simulations
+    /// route promotion requests here so background compilations are
+    /// shared across runs and their counters/incidents surface in
+    /// [`KernelCache::stats`] / [`KernelCache::incidents`].
+    pub fn native_registry(&self) -> &Arc<crate::native::NativeRegistry> {
+        &self.native
+    }
+
     /// Locks the entry map, recovering (and recording) a poisoned lock.
     ///
     /// A panic while compiling used to poison this mutex and take every
@@ -376,14 +411,18 @@ impl KernelCache {
             .push(incident);
     }
 
-    /// Every incident the cache has recorded: quarantines and poison
-    /// recoveries, in order. The runtime counterpart lives on
+    /// Every incident the cache has recorded — quarantines, poison
+    /// recoveries, and the native registry's build outcomes — in order
+    /// (native incidents appended). The runtime counterpart lives on
     /// [`crate::Simulation::incidents`].
     pub fn incidents(&self) -> Vec<Incident> {
-        self.incidents
+        let mut all = self
+            .incidents
             .lock()
             .unwrap_or_else(|p| p.into_inner())
-            .clone()
+            .clone();
+        all.extend(self.native.incidents());
+        all
     }
 
     /// Deliberately poisons the map lock (a thread panics while holding
@@ -640,16 +679,36 @@ impl KernelCache {
             .collect()
     }
 
-    /// Hit/miss/occupancy counters.
+    /// Hit/miss/occupancy counters, the resident kernels' executed-step
+    /// total, and the native registry's counters.
     pub fn stats(&self) -> CacheStats {
-        let (entries, quarantined) = {
+        let (entries, quarantined, executed_steps) = {
             let map = self.map_lock();
             let quarantined = map
                 .values()
                 .filter(|s| matches!(s, CacheSlot::Quarantined(_)))
                 .count();
-            (map.len() - quarantined, quarantined)
+            let executed_steps = map
+                .values()
+                .filter_map(|s| match s {
+                    CacheSlot::Ready(e) => Some(e),
+                    CacheSlot::Quarantined(_) => None,
+                })
+                .map(|e| {
+                    let main = e.kernel().executed_steps();
+                    // With the optimizer off, the entry's main kernel IS
+                    // the raw sibling (one shared counter) — don't count
+                    // the same steps twice.
+                    if e.kernel().shares_compilation(e.raw_kernel()) {
+                        main
+                    } else {
+                        main + e.raw_kernel().executed_steps()
+                    }
+                })
+                .sum();
+            (map.len() - quarantined, quarantined, executed_steps)
         };
+        let native = self.native.stats();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -659,6 +718,11 @@ impl KernelCache {
             entries,
             quarantined,
             poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
+            executed_steps,
+            native_compiles: native.compiles,
+            native_disk_hits: native.disk_hits,
+            native_ready: native.ready,
+            native_quarantined: native.quarantined,
         }
     }
 

@@ -1157,6 +1157,155 @@ pub fn kernel_stats(opts: &ExperimentOptions) -> Vec<KernelStats> {
         .collect()
 }
 
+/// One row of the native-tier benchmark: per-step wall-clock of the
+/// optimized bytecode tier vs. the promoted native tier at width 1.
+#[derive(Debug, Clone)]
+pub struct NativeBenchRow {
+    /// Model name.
+    pub model: String,
+    /// Size class (`small` / `medium` / `large`).
+    pub class: String,
+    /// Optimized bytecode tier, µs per step (min over repeats).
+    pub bytecode_us: f64,
+    /// Native tier, µs per step (min over repeats; NaN when native was
+    /// unavailable and the row degraded to bytecode).
+    pub native_us: f64,
+    /// `bytecode_us / native_us` (NaN when native was unavailable).
+    pub speedup: f64,
+    /// Whether a fresh native run's full state (every state variable and
+    /// external of every cell) matched a fresh bytecode run bit for bit.
+    pub bit_identical: bool,
+    /// Empty on success; the quarantine/eligibility reason otherwise.
+    pub note: String,
+}
+
+/// The native-tier benchmark result (`BENCH_native_tier.json`).
+#[derive(Debug, Clone)]
+pub struct NativeBench {
+    /// Per-model rows in roster order.
+    pub rows: Vec<NativeBenchRow>,
+    /// Geomean speedup over the rows where native ran.
+    pub geomean: f64,
+    /// Cells per simulation.
+    pub n_cells: usize,
+    /// Timed steps per repeat.
+    pub steps: usize,
+}
+
+impl NativeBench {
+    /// Machine-readable form (NaN prints as `null`).
+    pub fn to_json(&self) -> String {
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".to_owned()
+            }
+        }
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"model\":\"{}\",\"class\":\"{}\",\"bytecode_us_per_step\":{},\
+                     \"native_us_per_step\":{},\"speedup\":{},\"bit_identical\":{},\
+                     \"note\":\"{}\"}}",
+                    r.model,
+                    r.class,
+                    num(r.bytecode_us),
+                    num(r.native_us),
+                    num(r.speedup),
+                    r.bit_identical,
+                    r.note.replace('\\', "\\\\").replace('"', "\\\"")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bench\":\"native_tier\",\"n_cells\":{},\"steps\":{},\
+             \"geomean_speedup\":{},\"rows\":[{}]}}",
+            self.n_cells,
+            self.steps,
+            num(self.geomean),
+            rows.join(",")
+        )
+    }
+}
+
+/// Benchmarks the native tier against the optimized bytecode tier over
+/// the roster at width 1 (the scalar baseline pipeline, the only config
+/// eligible for promotion): per model, promotes one simulation through
+/// [`Simulation::promote_native_blocking`], proves full-state
+/// bit-identity against a bytecode twin over `opts.steps` steps, then
+/// times both tiers (min over `opts.repeats`). Rows where promotion
+/// fails (toolchain missing, quarantine) degrade to bytecode and carry
+/// the reason in [`NativeBenchRow::note`]; they are excluded from the
+/// geomean.
+pub fn native_tier_bench(opts: &ExperimentOptions) -> NativeBench {
+    let cache = KernelCache::global();
+    let wl = Workload {
+        n_cells: opts.n_cells,
+        steps: 0,
+        dt: 0.01,
+    };
+    let mut rows = Vec::new();
+    for e in opts.roster() {
+        let m = model(e.name);
+        let mut bytecode = Simulation::new(&m, PipelineKind::Baseline, &wl);
+        let mut native = Simulation::new(&m, PipelineKind::Baseline, &wl);
+        let note = match native.promote_native_blocking(cache) {
+            Ok(()) => String::new(),
+            Err(reason) => reason,
+        };
+        let promoted = note.is_empty();
+        // Differential first, from matched fresh states: after the same
+        // number of steps both tiers must agree on every bit.
+        bytecode.run(opts.steps);
+        native.run(opts.steps);
+        let bit_identical = bytecode.state_bits() == native.state_bits();
+        let time_us = |sim: &mut Simulation| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..opts.repeats.max(1) {
+                let t0 = std::time::Instant::now();
+                sim.run(opts.steps);
+                let secs = t0.elapsed().as_secs_f64();
+                best = best.min(secs / opts.steps.max(1) as f64 * 1e6);
+            }
+            best
+        };
+        let bytecode_us = time_us(&mut bytecode);
+        let native_us = if promoted {
+            time_us(&mut native)
+        } else {
+            f64::NAN
+        };
+        rows.push(NativeBenchRow {
+            model: e.name.to_owned(),
+            class: e.class.name().to_owned(),
+            bytecode_us,
+            native_us,
+            speedup: bytecode_us / native_us,
+            bit_identical,
+            note,
+        });
+    }
+    let promoted: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.speedup.is_finite())
+        .map(|r| r.speedup)
+        .collect();
+    let gm = if promoted.is_empty() {
+        f64::NAN
+    } else {
+        geomean(promoted)
+    };
+    NativeBench {
+        rows,
+        geomean: gm,
+        n_cells: opts.n_cells,
+        steps: opts.steps,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -50,10 +50,18 @@ pub enum FaultKind {
     /// Rewrite a disk-cache entry's format-version stamp as it is read
     /// (stale-version rejection path).
     DiskStaleVersion,
+    /// Fail the system C toolchain invocation while building a native
+    /// shared object (toolchain-missing / compile-error path).
+    CcFail,
+    /// Fail loading a built native shared object (`dlopen` path).
+    DlopenFail,
+    /// Corrupt a native kernel's probation output so the bitwise
+    /// differential against the bytecode tier fails (quarantine path).
+    NativeDivergent,
 }
 
 /// Every fault kind, in spec order — handy for exercising the whole chain.
-pub const ALL_FAULT_KINDS: [FaultKind; 8] = [
+pub const ALL_FAULT_KINDS: [FaultKind; 11] = [
     FaultKind::ParseError,
     FaultKind::VerifyFail,
     FaultKind::BytecodeCorrupt,
@@ -62,6 +70,9 @@ pub const ALL_FAULT_KINDS: [FaultKind; 8] = [
     FaultKind::DiskCorrupt,
     FaultKind::DiskTruncate,
     FaultKind::DiskStaleVersion,
+    FaultKind::CcFail,
+    FaultKind::DlopenFail,
+    FaultKind::NativeDivergent,
 ];
 
 impl FaultKind {
@@ -76,6 +87,9 @@ impl FaultKind {
             FaultKind::DiskCorrupt => "disk-corrupt",
             FaultKind::DiskTruncate => "disk-truncate",
             FaultKind::DiskStaleVersion => "disk-stale-version",
+            FaultKind::CcFail => "cc-fail",
+            FaultKind::DlopenFail => "dlopen-fail",
+            FaultKind::NativeDivergent => "native-divergent",
         }
     }
 

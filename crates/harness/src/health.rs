@@ -8,11 +8,13 @@
 //! step is recorded as an [`Incident`] so the degradation is visible in the
 //! run report rather than silent.
 //!
-//! The execution [`Tier`] ladder is `Optimized → Raw → Reference`:
-//! optimized bytecode first, the unoptimized bytecode of the same module on
-//! optimizer trouble, and finally the scalar reference pipeline
-//! ([`crate::PipelineKind::Baseline`]) when the configured pipeline itself
-//! is at fault.
+//! The execution [`Tier`] ladder is `Native → Optimized → Raw →
+//! Reference`: dlopen'd machine code compiled from the kernel's own
+//! bytecode at the top (entered only by *promotion*, never at startup
+//! cold), optimized bytecode below it, the unoptimized bytecode of the
+//! same module on optimizer trouble, and finally the scalar reference
+//! pipeline ([`crate::PipelineKind::Baseline`]) when the configured
+//! pipeline itself is at fault.
 
 use std::fmt;
 
@@ -48,6 +50,11 @@ impl fmt::Display for HealthPolicy {
 /// Which rung of the degradation ladder a kernel is running on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Tier {
+    /// Machine code: the kernel's bytecode re-emitted as serial C,
+    /// compiled by the system toolchain, and `dlopen`'d. Entered only by
+    /// promotion from [`Tier::Optimized`] after a probation run proves
+    /// bit-identity; every failure falls back to `Optimized`.
+    Native,
     /// Optimized bytecode of the configured pipeline's module.
     Optimized,
     /// Unoptimized bytecode of the same module (shares its LUTs).
@@ -61,6 +68,7 @@ impl Tier {
     /// The next rung down, or `None` from [`Tier::Reference`].
     pub fn next_down(self) -> Option<Tier> {
         match self {
+            Tier::Native => Some(Tier::Optimized),
             Tier::Optimized => Some(Tier::Raw),
             Tier::Raw => Some(Tier::Reference),
             Tier::Reference => None,
@@ -71,6 +79,7 @@ impl Tier {
 impl fmt::Display for Tier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Tier::Native => "native",
             Tier::Optimized => "optimized",
             Tier::Raw => "raw",
             Tier::Reference => "reference",
@@ -105,6 +114,17 @@ pub enum IncidentKind {
     /// The disk cache tier itself misbehaved (lock timeout, write
     /// failure); the run continued in-memory only.
     DiskCacheDegraded,
+    /// The system C toolchain failed (or was missing) while building a
+    /// native shared object; the kernel stays on bytecode.
+    NativeCcFail,
+    /// A built native shared object could not be loaded (`dlopen` or
+    /// symbol resolution failed); the kernel stays on bytecode.
+    NativeDlopenFail,
+    /// A native kernel's probation run diverged bitwise from the bytecode
+    /// tier; the native slot was quarantined and never persisted.
+    NativeDivergent,
+    /// A kernel was promoted to the native tier (hot-swap or warm load).
+    NativePromoted,
 }
 
 impl IncidentKind {
@@ -121,6 +141,10 @@ impl IncidentKind {
             IncidentKind::Quarantined => "quarantined",
             IncidentKind::DiskCacheRejected => "disk-cache-rejected",
             IncidentKind::DiskCacheDegraded => "disk-cache-degraded",
+            IncidentKind::NativeCcFail => "cc-fail",
+            IncidentKind::NativeDlopenFail => "dlopen-fail",
+            IncidentKind::NativeDivergent => "native-divergent",
+            IncidentKind::NativePromoted => "native-promoted",
         }
     }
 }
@@ -283,6 +307,7 @@ mod tests {
 
     #[test]
     fn tier_ladder_descends_to_reference() {
+        assert_eq!(Tier::Native.next_down(), Some(Tier::Optimized));
         assert_eq!(Tier::Optimized.next_down(), Some(Tier::Raw));
         assert_eq!(Tier::Raw.next_down(), Some(Tier::Reference));
         assert_eq!(Tier::Reference.next_down(), None);

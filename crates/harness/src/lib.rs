@@ -17,6 +17,7 @@ pub mod error;
 pub mod experiments;
 pub mod faults;
 pub mod health;
+pub mod native;
 pub mod persist;
 pub mod shutdown;
 pub mod sim;
@@ -30,13 +31,20 @@ pub use error::{compile_source, CompileError};
 pub use experiments::{
     available_cores, fig2_checkpointed, fig2_single_thread, fig2_with_jobs, fig3_threads32,
     fig4_scaling, fig5_isa_threads, fig6_roofline, geomean, icc_comparison, kernel_stats,
-    layout_ablation, lut_ablation, measure_run_threaded, trajectory_digest, validate_timing_model,
-    ExperimentOptions, Provenance, ThreadTiming, TmValidation, THREAD_COUNTS,
+    layout_ablation, lut_ablation, measure_run_threaded, native_tier_bench, trajectory_digest,
+    validate_timing_model, ExperimentOptions, NativeBench, NativeBenchRow, Provenance,
+    ThreadTiming, TmValidation, THREAD_COUNTS,
 };
 pub use faults::FaultKind;
 pub use health::{incidents_json, summarize_incidents, HealthPolicy, Incident, IncidentKind, Tier};
+pub use native::{
+    native_eligible, promotion_enabled, promotion_from_env, promotion_threshold, set_promotion,
+    set_promotion_threshold, toolchain_available, NativeKernel, NativeRegistry, NativeSlot,
+    NativeStats,
+};
 pub use persist::{
-    default_cache_dir, DiskCache, DiskCacheStatus, DiskLoad, DiskStats, EntryKey, Journal,
+    default_cache_dir, native_file_name, DiskCache, DiskCacheStatus, DiskLoad, DiskStats, EntryKey,
+    Journal, NativeDiskLoad,
 };
 pub use sim::{model_info, storage_layout, PipelineKind, Simulation, Stimulus, Workload};
 pub use threads::{

@@ -56,6 +56,12 @@ pub const ENTRY_FORMAT_VERSION: u32 = 1;
 /// First token of every entry file; anything else is not ours.
 const MAGIC: &str = "limpet-kernel-cache";
 
+/// Version of the native shared-object container envelope.
+pub const NATIVE_CONTAINER_VERSION: u32 = 1;
+
+/// First token of every native container file.
+const NATIVE_MAGIC: &str = "limpet-native-cache";
+
 /// Default size cap: 512 MiB, far above a full-roster footprint, so
 /// eviction only triggers when a user points many big runs at one dir.
 pub const DEFAULT_CAP_BYTES: u64 = 512 * 1024 * 1024;
@@ -99,6 +105,30 @@ impl EntryKey {
             u8::from(self.opt)
         )
     }
+}
+
+/// The file name of a persisted native shared object, keyed by the
+/// emitted-C content fingerprint ([`crate::native::native_fingerprint`]).
+/// Like [`EntryKey::file_name`], versions live in the header, not the
+/// name, so a newer reader rejects stale containers instead of
+/// shadowing them.
+pub fn native_file_name(fingerprint: u64) -> String {
+    format!("native-{fingerprint:016x}.lso")
+}
+
+/// Outcome of a [`DiskCache::load_native`].
+#[derive(Debug)]
+pub enum NativeDiskLoad {
+    /// The container passed every envelope check; the payload is the
+    /// shared object's bytes. The caller must still `dlopen` and
+    /// probation-validate them — the envelope proves integrity, not
+    /// correctness.
+    Hit(Vec<u8>),
+    /// No container exists for the fingerprint.
+    Miss,
+    /// A container exists but failed an envelope check and should be
+    /// removed and recompiled.
+    Rejected(String),
 }
 
 /// Outcome of a [`DiskCache::load`].
@@ -285,9 +315,10 @@ impl DiskCache {
         for item in fs::read_dir(&self.dir)? {
             let item = item?;
             let name = item.file_name();
-            let is_entry = name
-                .to_str()
-                .is_some_and(|n| n.starts_with("entry-") && n.ends_with(".lke"));
+            let is_entry = name.to_str().is_some_and(|n| {
+                (n.starts_with("entry-") && n.ends_with(".lke"))
+                    || (n.starts_with("native-") && n.ends_with(".lso"))
+            });
             if !is_entry {
                 continue;
             }
@@ -467,6 +498,141 @@ impl DiskCache {
             }
         }
     }
+
+    /// Persists a probation-validated native shared object, atomically
+    /// and under the directory lock, like [`DiskCache::store`]. The
+    /// envelope stamps the container and emitter versions and carries an
+    /// FNV-1a checksum over the object bytes.
+    ///
+    /// Callers must only persist objects that passed the bit-identity
+    /// probation — quarantined native code never reaches disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on lock timeout or I/O failure; the caller
+    /// degrades to in-memory-only.
+    pub fn store_native(&self, fingerprint: u64, so_bytes: &[u8]) -> Result<(), String> {
+        let header = format!(
+            "{NATIVE_MAGIC} {NATIVE_CONTAINER_VERSION} {} {fingerprint:016x} {} {:016x}\n",
+            limpet_codegen::NATIVE_EMITTER_VERSION,
+            so_bytes.len(),
+            fnv64(so_bytes),
+        );
+        let mut bytes = header.into_bytes();
+        bytes.extend_from_slice(so_bytes);
+        let _lock = self.acquire_lock()?;
+        let final_path = self.dir.join(native_file_name(fingerprint));
+        let tmp_path = self.dir.join(format!(
+            "{}.tmp-{}",
+            native_file_name(fingerprint),
+            std::process::id()
+        ));
+        let write = || -> io::Result<()> {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp_path, &final_path)
+        };
+        if let Err(e) = write() {
+            let _ = fs::remove_file(&tmp_path);
+            return Err(format!("cannot write native container: {e}"));
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.enforce_cap_locked(&final_path);
+        Ok(())
+    }
+
+    /// Loads the persisted shared object for `fingerprint`, running the
+    /// envelope's integrity ladder (magic, versions, key echo, length,
+    /// checksum). Returns the raw object bytes on success; the caller
+    /// still `dlopen`s and re-probates them.
+    pub fn load_native(&self, fingerprint: u64) -> NativeDiskLoad {
+        let path = self.dir.join(native_file_name(fingerprint));
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return NativeDiskLoad::Miss,
+            Err(e) => {
+                self.rejects.fetch_add(1, Ordering::Relaxed);
+                return NativeDiskLoad::Rejected(format!("unreadable container: {e}"));
+            }
+        };
+        match decode_native(&bytes, fingerprint) {
+            Ok(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // Refresh mtime so LRU eviction sees the object as live.
+                let _ = fs::OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .and_then(|f| f.set_modified(SystemTime::now()));
+                NativeDiskLoad::Hit(payload)
+            }
+            Err(reason) => {
+                self.rejects.fetch_add(1, Ordering::Relaxed);
+                NativeDiskLoad::Rejected(reason)
+            }
+        }
+    }
+
+    /// Removes the persisted shared object for `fingerprint`, if any
+    /// (rejected containers self-heal this way).
+    pub fn remove_native(&self, fingerprint: u64) {
+        let _ = fs::remove_file(self.dir.join(native_file_name(fingerprint)));
+    }
+}
+
+/// Envelope checks for a native container; returns the object payload.
+fn decode_native(bytes: &[u8], fingerprint: u64) -> Result<Vec<u8>, String> {
+    let header_end = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or("missing header line")?;
+    let header =
+        std::str::from_utf8(&bytes[..header_end]).map_err(|_| "header is not UTF-8".to_string())?;
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    let [magic, container_ver, emitter_ver, fp, payload_len, checksum] = tokens[..] else {
+        return Err(format!(
+            "malformed header ({} fields, expected 6)",
+            tokens.len()
+        ));
+    };
+    if magic != NATIVE_MAGIC {
+        return Err(format!("bad magic '{magic}'"));
+    }
+    let want = (
+        NATIVE_CONTAINER_VERSION.to_string(),
+        limpet_codegen::NATIVE_EMITTER_VERSION.to_string(),
+    );
+    if (container_ver, emitter_ver) != (&want.0, &want.1) {
+        return Err(format!(
+            "stale native container (container {container_ver}, emitter {emitter_ver}; this build wants {}/{})",
+            want.0, want.1
+        ));
+    }
+    let fp = u64::from_str_radix(fp, 16).map_err(|_| format!("bad fingerprint '{fp}'"))?;
+    if fp != fingerprint {
+        return Err(format!(
+            "key mismatch (container is {fp:016x}, wanted {fingerprint:016x})"
+        ));
+    }
+    let payload_len: usize = payload_len
+        .parse()
+        .map_err(|_| format!("bad payload length '{payload_len}'"))?;
+    let checksum =
+        u64::from_str_radix(checksum, 16).map_err(|_| format!("bad checksum '{checksum}'"))?;
+    let payload = &bytes[header_end + 1..];
+    if payload.len() != payload_len {
+        return Err(format!(
+            "truncated container (payload {} bytes, header promises {payload_len})",
+            payload.len()
+        ));
+    }
+    let got = fnv64(payload);
+    if got != checksum {
+        return Err(format!(
+            "checksum mismatch (computed {got:016x}, header says {checksum:016x})"
+        ));
+    }
+    Ok(payload.to_vec())
 }
 
 /// Applies at most one armed disk-fault plan to the just-read entry
@@ -1016,6 +1182,58 @@ mod tests {
         assert!(resumed.is_empty(), "mismatched header must not resume");
         j.finish().unwrap();
         assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn native_container_round_trips_and_rejects_tampering() {
+        let dir = temp_dir("native");
+        let cache = DiskCache::open(&dir).unwrap();
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let fp = 0xdead_beef_cafe_f00d;
+        cache.store_native(fp, &payload).unwrap();
+        match cache.load_native(fp) {
+            NativeDiskLoad::Hit(bytes) => assert_eq!(bytes, payload),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // Unknown fingerprint is a miss.
+        assert!(matches!(cache.load_native(fp ^ 1), NativeDiskLoad::Miss));
+        // A flipped payload byte fails the checksum.
+        let path = dir.join(native_file_name(fp));
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() - 3;
+        bytes[at] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        match cache.load_native(fp) {
+            NativeDiskLoad::Rejected(reason) => {
+                assert!(reason.contains("checksum"), "{reason}")
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // A stale emitter version is rejected before any parse.
+        cache.store_native(fp, &payload).unwrap();
+        let text = fs::read(&path).unwrap();
+        let header_end = text.iter().position(|&b| b == b'\n').unwrap();
+        let header = String::from_utf8(text[..header_end].to_vec()).unwrap();
+        let stale = header.replacen(
+            &format!("{NATIVE_MAGIC} {NATIVE_CONTAINER_VERSION} "),
+            &format!("{NATIVE_MAGIC} 999999 "),
+            1,
+        );
+        let mut patched = stale.into_bytes();
+        patched.extend_from_slice(&text[header_end..]);
+        fs::write(&path, &patched).unwrap();
+        match cache.load_native(fp) {
+            NativeDiskLoad::Rejected(reason) => assert!(reason.contains("stale"), "{reason}"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // remove_native clears the slot.
+        cache.remove_native(fp);
+        assert!(matches!(cache.load_native(fp), NativeDiskLoad::Miss));
+        // Native containers count in the directory status scan.
+        cache.store_native(fp, &payload).unwrap();
+        assert_eq!(cache.status().unwrap().entries, 1);
+        assert_eq!(cache.clear().unwrap(), 1, "clear removes native containers");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -188,6 +188,24 @@ struct GuardState {
     nan_plan: Option<(usize, u64)>,
 }
 
+/// Native-promotion bookkeeping, armed on eligible simulations: watches
+/// the kernel's executed-step counter, files one background build
+/// request past the threshold, and polls for the published slot.
+#[derive(Debug)]
+struct NativeCtl {
+    /// Fingerprint of the emitted C (the registry/persistence key).
+    fingerprint: u64,
+    /// The emitted C source, handed to the registry with the request.
+    source: String,
+    /// Executed-step count that triggers the build request.
+    threshold: u64,
+    /// Steps taken since arming (the counter-check is amortized: the
+    /// registry is only consulted every 16th step).
+    ticks: u64,
+    /// Whether the build request has been filed.
+    requested: bool,
+}
+
 /// A ready-to-run simulation: compiled kernel plus storage.
 #[derive(Debug)]
 pub struct Simulation {
@@ -205,6 +223,12 @@ pub struct Simulation {
     tissue: Option<Monodomain>,
     /// Health-guard state; present only on guarded simulations.
     guard: Option<Box<GuardState>>,
+    /// Hot-swapped native kernel; present only after promotion to
+    /// [`crate::Tier::Native`]. The bytecode kernel stays authoritative
+    /// (emission source, fallback target); native runs beside it.
+    native: Option<std::sync::Arc<crate::native::NativeKernel>>,
+    /// Native-promotion bookkeeping; present while promotion is armed.
+    native_ctl: Option<Box<NativeCtl>>,
 }
 
 impl Simulation {
@@ -247,7 +271,7 @@ impl Simulation {
         let ext = kernel.new_ext(workload.n_cells);
         let vm_index = kernel.info().ext_names.iter().position(|n| n == "Vm");
         let iion_index = kernel.info().ext_names.iter().position(|n| n == "Iion");
-        Simulation {
+        let mut sim = Simulation {
             kernel,
             state,
             ext,
@@ -258,7 +282,13 @@ impl Simulation {
             t: 0.0,
             tissue: None,
             guard: None,
+            native: None,
+            native_ctl: None,
+        };
+        if crate::native::promotion_enabled() {
+            sim.arm_native(crate::native::promotion_threshold());
         }
+        sim
     }
 
     /// Builds a *guarded* simulation: compiles through the cache's
@@ -366,15 +396,152 @@ impl Simulation {
     }
 
     /// Advances one step: compute stage, then membrane/tissue update.
+    ///
+    /// When a validated native kernel has been hot-swapped in
+    /// ([`crate::Tier::Native`]), the compute stage runs through it;
+    /// the native code is bit-identical to the bytecode tier by
+    /// construction (emitted from the same `Program`, probated before
+    /// the swap), so trajectories are unchanged.
     pub fn step(&mut self) {
         let ctx = SimContext {
             dt: self.dt,
             t: self.t,
         };
-        self.kernel
-            .run_step(&mut self.state, &mut self.ext, None, ctx);
+        if let Some(native) = &self.native {
+            native.run_step(
+                &mut self.state,
+                &mut self.ext,
+                self.kernel.param_values(),
+                ctx,
+            );
+        } else {
+            self.kernel
+                .run_step(&mut self.state, &mut self.ext, None, ctx);
+            if self.native_ctl.is_some() {
+                self.maybe_promote_native();
+            }
+        }
         self.update_vm();
         self.t += self.dt;
+    }
+
+    /// Arms native-tier promotion on this simulation: once the kernel's
+    /// executed-step counter crosses `threshold`, a background build is
+    /// requested through the process-wide [`crate::KernelCache`]'s
+    /// native registry, and the resulting kernel is hot-swapped in at a
+    /// step boundary once it passes probation. Returns whether the
+    /// simulation is eligible (native is width-1 AoS only) and armed.
+    pub fn arm_native(&mut self, threshold: u64) -> bool {
+        if self.native.is_some() || self.native_ctl.is_some() {
+            return true;
+        }
+        if !crate::native::native_eligible(&self.kernel, self.state.layout()) {
+            return false;
+        }
+        let Ok((fingerprint, source)) = crate::native::emit_for_kernel(&self.kernel) else {
+            return false;
+        };
+        self.native_ctl = Some(Box::new(NativeCtl {
+            fingerprint,
+            source,
+            threshold: threshold.max(1),
+            ticks: 0,
+            requested: false,
+        }));
+        true
+    }
+
+    /// The amortized promotion poll: every 16th step, check the
+    /// executed-step counter against the threshold (filing the build
+    /// request on crossing) and then the registry slot (hot-swapping on
+    /// `Ready`, disarming on `Quarantined` — the registry has already
+    /// recorded the incident and the slot stays quarantined for the
+    /// process lifetime, so this simulation simply stays on bytecode).
+    fn maybe_promote_native(&mut self) {
+        let Some(ctl) = self.native_ctl.as_mut() else {
+            return;
+        };
+        ctl.ticks += 1;
+        if ctl.ticks & 0xF != 0 {
+            return;
+        }
+        let cache = crate::KernelCache::global();
+        if !ctl.requested {
+            if self.kernel.executed_steps() < ctl.threshold {
+                return;
+            }
+            let req = crate::native::NativeRequest {
+                fingerprint: ctl.fingerprint,
+                source: std::mem::take(&mut ctl.source),
+                model: self.kernel.name().to_string(),
+                kernel: self.kernel.clone(),
+                disk: cache.disk_cache(),
+            };
+            cache.native_registry().request(req);
+            ctl.requested = true;
+            return;
+        }
+        match cache.native_registry().poll(ctl.fingerprint) {
+            Some(crate::native::NativeSlot::Ready(native)) => self.adopt_native(native),
+            Some(crate::native::NativeSlot::Pending) => {}
+            Some(crate::native::NativeSlot::Quarantined(_)) | None => {
+                self.native_ctl = None;
+            }
+        }
+    }
+
+    /// Hot-swaps a validated native kernel in at a step boundary.
+    fn adopt_native(&mut self, native: std::sync::Arc<crate::native::NativeKernel>) {
+        self.native_ctl = None;
+        self.native = Some(native);
+        if let Some(g) = self.guard.as_mut() {
+            g.incidents.push(
+                crate::Incident::new(
+                    crate::IncidentKind::NativePromoted,
+                    &g.model.name,
+                    "hot-swapped validated native kernel at step boundary",
+                )
+                .at_step(g.step_count)
+                .to_tier(crate::Tier::Native),
+            );
+            g.tier = crate::Tier::Native;
+        }
+    }
+
+    /// Drives native promotion synchronously through `cache`: emits C
+    /// for the kernel, compiles it (or loads the shared object from the
+    /// disk cache), probates it, and hot-swaps it in before returning.
+    /// The deterministic counterpart of the background promotion path,
+    /// for benches and differential tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the quarantine reason (toolchain missing, compile or
+    /// load failure, probation divergence) or the eligibility failure;
+    /// the simulation keeps running on bytecode in every such case.
+    pub fn promote_native_blocking(&mut self, cache: &crate::KernelCache) -> Result<(), String> {
+        if self.native.is_some() {
+            return Ok(());
+        }
+        if !crate::native::native_eligible(&self.kernel, self.state.layout()) {
+            return Err("not eligible: native tier is width-1 AoS only".into());
+        }
+        let slot = crate::native::build_blocking(
+            cache.native_registry(),
+            &self.kernel,
+            self.kernel.name(),
+            cache.disk_cache(),
+        )?;
+        match slot {
+            crate::native::NativeSlot::Ready(native) => {
+                self.adopt_native(native);
+                Ok(())
+            }
+            crate::native::NativeSlot::Quarantined(reason) => Err(reason.to_string()),
+            crate::native::NativeSlot::Pending => {
+                Err("native build already in flight for this fingerprint".into())
+            }
+        }
     }
 
     /// Advances one step over `[lo, hi)` cells only (compute stage), used
@@ -446,8 +613,12 @@ impl Simulation {
     }
 
     /// The tier of the degradation ladder this simulation is executing
-    /// on. Unguarded simulations report [`crate::Tier::Optimized`].
+    /// on. Unguarded simulations report [`crate::Tier::Optimized`]
+    /// (or [`crate::Tier::Native`] after promotion).
     pub fn tier(&self) -> crate::Tier {
+        if self.native.is_some() {
+            return crate::Tier::Native;
+        }
         self.guard
             .as_ref()
             .map_or(crate::Tier::Optimized, |g| g.tier)
@@ -603,7 +774,14 @@ impl Simulation {
                     self.adopt_kernel(entry.raw_kernel().clone(), entry.layout());
                     g.entry = entry;
                 }
-                Tier::Optimized => unreachable!("ladder only descends"),
+                Tier::Optimized => {
+                    // Falling off the native tier: drop the native code
+                    // and resume on the bytecode kernel it was compiled
+                    // from (same compilation, same arithmetic).
+                    self.native = None;
+                    self.adopt_kernel(g.entry.kernel().clone(), g.entry.layout());
+                }
+                Tier::Native => unreachable!("native is entered by promotion, never by descent"),
             }
             g.tier = next;
             g.incidents.push(

@@ -42,8 +42,14 @@ OPTIONS:
     --emit-bytecode           Print the VM bytecode disassembly of @compute instead
                               of the module (after the pipeline and the VM's
                               post-compile bytecode optimizer)
-    --no-bytecode-opt         With --emit-bytecode: skip the bytecode optimizer,
-                              showing the compiler's raw instruction stream
+    --emit-c                  Print the limpetC++-style serial C translation of the
+                              module instead of the IR (the paper's baseline backend)
+    --emit-c-native           Print the native-tier C translation of @compute's
+                              bytecode (extern \"C\" ABI, math-table indirection;
+                              what the runtime compiles with `cc` and dlopens)
+    --no-bytecode-opt         With --emit-bytecode / --emit-c-native: skip the
+                              bytecode optimizer, showing the compiler's raw
+                              instruction stream
     -h, --help                Show this text
 ";
 
@@ -58,6 +64,8 @@ struct Options {
     print_after: Option<PrintIr>,
     timing: bool,
     emit_bytecode: bool,
+    emit_c: bool,
+    emit_c_native: bool,
     no_bytecode_opt: bool,
     help: bool,
 }
@@ -72,6 +80,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--no-verify" => opts.no_verify = true,
             "--timing" => opts.timing = true,
             "--emit-bytecode" => opts.emit_bytecode = true,
+            "--emit-c" => opts.emit_c = true,
+            "--emit-c-native" => opts.emit_c_native = true,
             "--no-bytecode-opt" => opts.no_bytecode_opt = true,
             "--pipeline" => {
                 opts.pipeline = it
@@ -186,6 +196,22 @@ fn try_run(
     }
     if opts.emit_bytecode {
         return emit_bytecode(&module, !opts.no_bytecode_opt, stdout);
+    }
+    if opts.emit_c {
+        let c = limpet_codegen::emit_c(&module).map_err(|e| format!("emit-c: {e}"))?;
+        write!(stdout, "{c}").map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    if opts.emit_c_native {
+        let mut program = limpet_vm::compile_program(&module, &[], &[], &[])
+            .map_err(|e| format!("bytecode compilation: {e}"))?;
+        if !opts.no_bytecode_opt {
+            limpet_vm::optimize_program(&mut program);
+        }
+        let c = limpet_codegen::emit_c_native(&program, module.name())
+            .map_err(|e| format!("emit-c-native: {e}"))?;
+        write!(stdout, "{c}").map_err(|e| e.to_string())?;
+        return Ok(());
     }
     write!(stdout, "{}", limpet_ir::print_module(&module)).map_err(|e| e.to_string())?;
     Ok(())

@@ -86,6 +86,12 @@ struct Counters {
     rejected: AtomicU64,
     resumed: AtomicU64,
     connections: AtomicU64,
+    /// Per-tier finish counts (which rung of the execution ladder each
+    /// job ended on) — the operator's view of native promotion working.
+    tier_native: AtomicU64,
+    tier_optimized: AtomicU64,
+    tier_raw: AtomicU64,
+    tier_reference: AtomicU64,
 }
 
 /// Shared state behind every connection and worker.
@@ -138,6 +144,13 @@ impl ServerState {
             JobStatus::Failed => self.counters.failed.fetch_add(1, Ordering::SeqCst),
             JobStatus::Aborted => self.counters.aborted.fetch_add(1, Ordering::SeqCst),
         };
+        match outcome.tier.as_deref() {
+            Some("native") => self.counters.tier_native.fetch_add(1, Ordering::SeqCst),
+            Some("optimized") => self.counters.tier_optimized.fetch_add(1, Ordering::SeqCst),
+            Some("raw") => self.counters.tier_raw.fetch_add(1, Ordering::SeqCst),
+            Some("reference") => self.counters.tier_reference.fetch_add(1, Ordering::SeqCst),
+            _ => 0,
+        };
         // A job aborted by daemon shutdown keeps its journal slot open so
         // the next incarnation resumes it; any other terminal state is
         // recorded so it is *not* re-run.
@@ -169,6 +182,15 @@ impl ServerState {
                     ("connections", c.connections.load(Ordering::SeqCst).into()),
                     ("active", self.ledger.total_active().into()),
                     ("queued", queued.into()),
+                ]),
+            ),
+            (
+                "tiers",
+                Json::obj(vec![
+                    ("native", c.tier_native.load(Ordering::SeqCst).into()),
+                    ("optimized", c.tier_optimized.load(Ordering::SeqCst).into()),
+                    ("raw", c.tier_raw.load(Ordering::SeqCst).into()),
+                    ("reference", c.tier_reference.load(Ordering::SeqCst).into()),
                 ]),
             ),
             ("cache", cache_stats),

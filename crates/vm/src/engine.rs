@@ -18,6 +18,7 @@ use crate::lut::LutData;
 use crate::state::{CellStates, ExtArrays};
 use limpet_ir::{MathFn, Module};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Static model facts the kernel needs to bind storage: names, order, and
@@ -123,6 +124,10 @@ pub struct Kernel {
     param_values: Arc<[f64]>,
     luts: Arc<[LutData]>,
     info: Arc<ModelInfo>,
+    /// Full-population steps executed through this compilation, shared by
+    /// every clone (relaxed increments — a promotion heuristic, not an
+    /// exact count under contention).
+    steps: Arc<AtomicU64>,
 }
 
 impl Kernel {
@@ -223,6 +228,7 @@ impl Kernel {
                 param_values: param_values.into(),
                 luts: luts.into(),
                 info: Arc::new(info.clone()),
+                steps: Arc::new(AtomicU64::new(0)),
             },
             stats,
         ))
@@ -248,6 +254,7 @@ impl Kernel {
         let stats = crate::optimize::optimize_program(&mut program);
         let opt = Kernel {
             program: Arc::new(program),
+            steps: Arc::new(AtomicU64::new(0)),
             ..raw.clone()
         };
         Ok((opt, stats, raw))
@@ -309,6 +316,7 @@ impl Kernel {
             param_values: param_values.into(),
             luts: luts.into(),
             info: Arc::new(info.clone()),
+            steps: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -349,6 +357,18 @@ impl Kernel {
         self.luts.iter().map(LutData::bytes).sum()
     }
 
+    /// The parameter value snapshot, in program parameter order.
+    pub fn param_values(&self) -> &[f64] {
+        &self.param_values
+    }
+
+    /// Full-population steps executed through this compilation (summed
+    /// over every clone — the kernel cache hands the same compilation to
+    /// many simulations, and promotion heuristics want the total heat).
+    pub fn executed_steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
     /// Allocates state storage for `n_cells` with the given layout.
     pub fn new_states(&self, n_cells: usize, layout: crate::StateLayout) -> CellStates {
         CellStates::new(n_cells, &self.info.state_inits, layout)
@@ -367,6 +387,7 @@ impl Kernel {
         parent: Option<&mut ParentView<'_>>,
         ctx: SimContext,
     ) {
+        self.steps.fetch_add(1, Ordering::Relaxed);
         let n = state.padded_cells();
         self.run_range(state, ext, parent, ctx, 0, n);
     }

@@ -193,6 +193,17 @@ impl CellStates {
         }
     }
 
+    /// The raw storage slice (`padded_cells() * n_vars()` values, indexed
+    /// per [`StateLayout`]) — what a native (dlopen'd) kernel receives.
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage slice (see [`CellStates::raw`]).
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Converts to another layout, preserving all values.
     pub fn to_layout(&self, layout: StateLayout) -> CellStates {
         let mut out = CellStates::new(self.n_cells, &vec![0.0; self.n_vars], layout);
@@ -279,6 +290,14 @@ impl ExtArrays {
     /// Mutable view of one variable's full (padded) array.
     pub fn array_mut(&mut self, var: usize) -> &mut [f64] {
         &mut self.arrays[var]
+    }
+
+    /// One mutable base pointer per variable array, in variable order —
+    /// the `double* const*` argument a native (dlopen'd) kernel receives.
+    /// The pointers stay valid only while no method reallocates the
+    /// arrays (none does; sizes are fixed at construction).
+    pub fn raw_mut_ptrs(&mut self) -> Vec<*mut f64> {
+        self.arrays.iter_mut().map(|a| a.as_mut_ptr()).collect()
     }
 }
 

@@ -94,6 +94,72 @@ cmp output/digests.csv "$RT_OUT/real_digests.csv" \
   || { echo "real-thread gate: digests diverged from single-thread run"; exit 1; }
 rm -rf "$RT_DIR" "$RT_OUT"
 
+echo "==> native-tier gate (promotion, bit-identity, fault degradation, warm restart)"
+# The CI-subset roster runs with native promotion on: blocking promotion
+# must compile, probate, and hot-swap every model with full-state
+# bit-identity against bytecode; the async path (--digest --native) must
+# leave digests bit-identical to the bytecode tier regardless of swap
+# timing; a warm second process must start at the native tier with zero
+# recompiles; and each injected native fault must degrade cleanly to
+# bytecode with the incident surfaced and nothing quarantined persisted.
+NATIVE_DIR=$(mktemp -d)
+NATIVE_OUT=$(mktemp -d)
+./target/release/figures --digest --models "$SUBSET" --cells 64 --steps 400 \
+  --cache-dir "$NATIVE_DIR" > "$NATIVE_OUT/bytecode.txt"
+cp output/digests.csv "$NATIVE_OUT/bytecode.csv"
+./target/release/figures --digest --models "$SUBSET" --cells 64 --steps 400 \
+  --native --native-threshold 1 --cache-dir "$NATIVE_DIR" > "$NATIVE_OUT/async.txt"
+cp output/digests.csv "$NATIVE_OUT/async.csv"
+cmp "$NATIVE_OUT/bytecode.csv" "$NATIVE_OUT/async.csv" \
+  || { echo "native gate: digests diverged under --native"; diff "$NATIVE_OUT/bytecode.csv" "$NATIVE_OUT/async.csv" || true; exit 1; }
+./target/release/figures --native-bench --models "$SUBSET" --cells 64 --steps 100 \
+  --repeats 2 --cache-dir "$NATIVE_DIR" > "$NATIVE_OUT/bench.txt"
+grep -q "native-promoted" "$NATIVE_OUT/bench.txt" \
+  || { echo "native gate: no model promoted"; cat "$NATIVE_OUT/bench.txt"; exit 1; }
+grep -q "bits DIFF" "$NATIVE_OUT/bench.txt" \
+  && { echo "native gate: native tier diverged from bytecode"; cat "$NATIVE_OUT/bench.txt"; exit 1; }
+grep -q "native unavailable" "$NATIVE_OUT/bench.txt" \
+  && { echo "native gate: a subset model failed to promote"; cat "$NATIVE_OUT/bench.txt"; exit 1; }
+# Warm restart over the same cache dir: the shared objects load from
+# disk (re-probated), so the process reaches the native tier with zero
+# cc invocations.
+./target/release/figures --native-bench --models "$SUBSET" --cells 64 --steps 100 \
+  --repeats 2 --cache-dir "$NATIVE_DIR" > "$NATIVE_OUT/warm.txt"
+grep -q "0 cc compile(s)" "$NATIVE_OUT/warm.txt" \
+  || { echo "native gate: warm process recompiled native kernels"; cat "$NATIVE_OUT/warm.txt"; exit 1; }
+grep -q "3 disk hit(s)" "$NATIVE_OUT/warm.txt" \
+  || { echo "native gate: warm process did not load shared objects from disk"; cat "$NATIVE_OUT/warm.txt"; exit 1; }
+grep -q "bits DIFF" "$NATIVE_OUT/warm.txt" \
+  && { echo "native gate: warm native tier diverged"; cat "$NATIVE_OUT/warm.txt"; exit 1; }
+# Injected native faults: each quarantines the native slot, degrades to
+# bytecode bit-identically, surfaces the incident, and persists nothing.
+./target/release/figures --digest --models HodgkinHuxley --cells 64 --steps 400 \
+  --cache-dir "$NATIVE_OUT/hh-ref" > /dev/null
+cp output/digests.csv "$NATIVE_OUT/hh.csv"
+for FAULT in cc-fail dlopen-fail native-divergent; do
+  FDIR=$(mktemp -d)
+  LIMPET_INJECT="$FAULT@7" ./target/release/figures --digest --models HodgkinHuxley \
+    --cells 64 --steps 400 --native --native-threshold 1 --cache-dir "$FDIR" \
+    > "$NATIVE_OUT/fault-$FAULT.txt"
+  cp output/digests.csv "$NATIVE_OUT/fault-$FAULT.csv"
+  LIMPET_INJECT="$FAULT@7" ./target/release/figures --native-bench --models HodgkinHuxley \
+    --cells 64 --steps 100 --repeats 1 --cache-dir "$FDIR" \
+    >> "$NATIVE_OUT/fault-$FAULT.txt"
+  cmp "$NATIVE_OUT/hh.csv" "$NATIVE_OUT/fault-$FAULT.csv" \
+    || { echo "native gate: $FAULT run diverged from bytecode"; exit 1; }
+  grep -q "\[$FAULT\]" "$NATIVE_OUT/fault-$FAULT.txt" \
+    || { echo "native gate: $FAULT incident not surfaced"; cat "$NATIVE_OUT/fault-$FAULT.txt"; exit 1; }
+  if ls "$FDIR"/native-*.lso > /dev/null 2>&1; then
+    echo "native gate: $FAULT persisted a quarantined shared object"; ls "$FDIR"; exit 1
+  fi
+  rm -rf "$FDIR"
+done
+rm -rf "$NATIVE_DIR" "$NATIVE_OUT"
+
+echo "==> native-tier test suites (unit + roster differential)"
+cargo test -q -p limpet-harness --test native_tier
+cargo test -q -p limpet-harness --lib native
+
 echo "==> limpet-opt round-trip fuzz smoke (fixed-seed)"
 cargo test -q -p limpet-opt --test fuzz_roundtrip
 
