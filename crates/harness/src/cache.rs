@@ -223,6 +223,13 @@ pub struct CacheStats {
     pub native_ready: usize,
     /// Native slots quarantined (compile, load, or probation failure).
     pub native_quarantined: usize,
+    /// Native compiler invocations killed by the compile watchdog.
+    pub native_cc_timeouts: u64,
+    /// Backoff retries spent waiting for the disk tier's directory lock
+    /// (zero when no disk tier is attached).
+    pub disk_lock_retries: u64,
+    /// Stale (crashed-writer) disk lock files broken.
+    pub disk_stale_locks_broken: u64,
 }
 
 impl CacheStats {
@@ -238,7 +245,9 @@ impl CacheStats {
                 "\"quarantined\":{},\"poison_recoveries\":{},",
                 "\"executed_steps\":{},\"native_compiles\":{},",
                 "\"native_disk_hits\":{},\"native_ready\":{},",
-                "\"native_quarantined\":{}}}"
+                "\"native_quarantined\":{},\"native_cc_timeouts\":{},",
+                "\"disk_lock_retries\":{},",
+                "\"disk_stale_locks_broken\":{}}}"
             ),
             self.hits,
             self.misses,
@@ -253,6 +262,9 @@ impl CacheStats {
             self.native_disk_hits,
             self.native_ready,
             self.native_quarantined,
+            self.native_cc_timeouts,
+            self.disk_lock_retries,
+            self.disk_stale_locks_broken,
         )
     }
 }
@@ -709,6 +721,7 @@ impl KernelCache {
             (map.len() - quarantined, quarantined, executed_steps)
         };
         let native = self.native.stats();
+        let disk = self.disk_cache().map(|d| d.stats()).unwrap_or_default();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -723,6 +736,9 @@ impl KernelCache {
             native_disk_hits: native.disk_hits,
             native_ready: native.ready,
             native_quarantined: native.quarantined,
+            native_cc_timeouts: native.cc_timeouts,
+            disk_lock_retries: disk.lock_retries,
+            disk_stale_locks_broken: disk.stale_locks_broken,
         }
     }
 
@@ -909,6 +925,43 @@ mod tests {
         assert_eq!(rk.tier, crate::Tier::Optimized);
         assert!(rk.incidents.is_empty());
         assert!(rk.kernel().shares_compilation(rk.entry.kernel()));
+    }
+
+    #[test]
+    fn cache_stats_json_shape_is_pinned() {
+        // Telemetry consumers (limpet-serve `stats`, `figures --cache
+        // stat --json`) key on these exact field names; this test is the
+        // tripwire against silent renames or drops.
+        let stats = CacheStats {
+            hits: 1,
+            misses: 2,
+            disk_hits: 3,
+            disk_rejects: 4,
+            disk_writes: 5,
+            entries: 6,
+            quarantined: 7,
+            poison_recoveries: 8,
+            executed_steps: 9,
+            native_compiles: 10,
+            native_disk_hits: 11,
+            native_ready: 12,
+            native_quarantined: 13,
+            native_cc_timeouts: 14,
+            disk_lock_retries: 15,
+            disk_stale_locks_broken: 16,
+        };
+        assert_eq!(
+            stats.to_json(),
+            concat!(
+                "{\"hits\":1,\"misses\":2,\"disk_hits\":3,",
+                "\"disk_rejects\":4,\"disk_writes\":5,\"entries\":6,",
+                "\"quarantined\":7,\"poison_recoveries\":8,",
+                "\"executed_steps\":9,\"native_compiles\":10,",
+                "\"native_disk_hits\":11,\"native_ready\":12,",
+                "\"native_quarantined\":13,\"native_cc_timeouts\":14,",
+                "\"disk_lock_retries\":15,\"disk_stale_locks_broken\":16}"
+            )
+        );
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Cooperative deadlines, cancellation, and bounded retry.
+//!
+//! Three survivability primitives shared by every long-running layer of
+//! the stack (the guarded simulation loop, the sharded worker pool, the
+//! service daemon's job executor):
+//!
+//! * [`CancelToken`] — a latched cancellation flag plus an optional
+//!   wall-clock deadline, modeled on [`crate::shutdown`]'s
+//!   one-atomic-flag discipline but *per job* instead of per process.
+//!   Work polls the token at its natural step boundaries; cancellation
+//!   therefore always lands between steps, never mid-step, so there is
+//!   no torn state to repair. The token is cheap to clone (an `Arc`)
+//!   and cheap to poll (one atomic load on the live path).
+//! * [`CancelCause`] — why the token tripped: an explicit cancel (the
+//!   watchdog, a shutdown) or an expired deadline. The cause maps onto
+//!   a typed [`crate::Incident`] with kind
+//!   [`crate::IncidentKind::DeadlineExceeded`].
+//! * [`retry_with_backoff`] / [`backoff_delay`] — bounded retry with
+//!   exponential backoff and *deterministic* jitter from
+//!   [`limpet_rng::SmallRng`], for transient failures like disk-cache
+//!   lock contention. Deterministic jitter keeps chaos runs
+//!   reproducible: the same seed produces the same delay schedule.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use limpet_rng::SmallRng;
+
+/// Why a [`CancelToken`] stopped the work it guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// Explicit cancellation: a watchdog, shutdown, or client abort.
+    Cancelled,
+    /// The token's wall-clock budget expired.
+    DeadlineExceeded,
+}
+
+impl CancelCause {
+    /// Stable kebab-case name, used in incident details and wire events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CancelCause::Cancelled => "cancelled",
+            CancelCause::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
+}
+
+impl std::fmt::Display for CancelCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+#[derive(Debug)]
+struct Inner {
+    /// Latched tri-state: live → cancelled | deadline. Transitions happen
+    /// at most once (compare-exchange from `LIVE`), so the first cause
+    /// wins and every later poll reports the same one.
+    state: AtomicU8,
+    deadline: Option<Instant>,
+}
+
+/// A cooperative, cloneable cancellation token with an optional deadline.
+///
+/// Latches like [`crate::shutdown::requested`]: once tripped — by
+/// [`CancelToken::cancel`] or by the deadline passing during a poll — it
+/// stays tripped, and every clone observes the same cause. Polling is one
+/// atomic load while live; the deadline is only consulted on the poll
+/// path, so an un-polled token costs nothing.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline: trips only on explicit
+    /// [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                state: AtomicU8::new(LIVE),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that trips once `budget` of wall-clock time has elapsed
+    /// from now (or earlier, on explicit cancel).
+    pub fn with_budget(budget: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + budget)
+    }
+
+    /// A token that trips once `deadline` passes (or earlier, on explicit
+    /// cancel).
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                state: AtomicU8::new(LIVE),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Trips the token with [`CancelCause::Cancelled`]. Idempotent; a
+    /// token already tripped (by either cause) keeps its original cause.
+    pub fn cancel(&self) {
+        let _ =
+            self.inner
+                .state
+                .compare_exchange(LIVE, CANCELLED, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    /// Polls the token: `None` while live, `Some(cause)` once tripped.
+    /// The deadline is checked (and latched) here, so the transition to
+    /// [`CancelCause::DeadlineExceeded`] happens at a poll site — a step
+    /// boundary — by construction.
+    pub fn checked(&self) -> Option<CancelCause> {
+        match self.inner.state.load(Ordering::SeqCst) {
+            CANCELLED => return Some(CancelCause::Cancelled),
+            DEADLINE => return Some(CancelCause::DeadlineExceeded),
+            _ => {}
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                // Latch; explicit cancellation may have raced us, in
+                // which case its cause wins.
+                let _ = self.inner.state.compare_exchange(
+                    LIVE,
+                    DEADLINE,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                return self.checked();
+            }
+        }
+        None
+    }
+
+    /// True once the token has tripped (either cause). Polls the
+    /// deadline like [`CancelToken::checked`].
+    pub fn is_cancelled(&self) -> bool {
+        self.checked().is_some()
+    }
+
+    /// The deadline instant, when this token carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Wall-clock budget left before the deadline trips: `None` when the
+    /// token has no deadline, zero once it has passed.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// The delay before retry `attempt` (0-based) under exponential backoff
+/// with deterministic jitter: `base · 2^attempt`, capped at `cap`, then
+/// scaled by a jitter factor in `[0.5, 1.5)` drawn from a
+/// [`SmallRng`] stream seeded with `seed ^ attempt` — so a fixed seed
+/// reproduces the exact delay schedule, attempt by attempt.
+pub fn backoff_delay(attempt: u32, base: Duration, cap: Duration, seed: u64) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(16));
+    let capped = exp.min(cap);
+    let mut rng = SmallRng::seed_from_u64(seed ^ u64::from(attempt));
+    // gen_range over micros keeps the jitter deterministic and integral.
+    let micros = capped.as_micros().min(u128::from(u64::MAX)) as u64;
+    if micros == 0 {
+        return capped;
+    }
+    let jittered = micros / 2 + rng.gen_range(0..micros.max(1));
+    Duration::from_micros(jittered)
+}
+
+/// Runs `op` up to `attempts` times, sleeping [`backoff_delay`] between
+/// failures. `op` receives the 0-based attempt number. Returns the first
+/// `Ok`, or the last `Err` once the attempt budget is spent. Sleeps also
+/// stop early when `token` trips, returning the last error immediately —
+/// a cancelled job must not sit out a backoff schedule.
+///
+/// # Errors
+///
+/// The final attempt's error, when every attempt fails (or the token
+/// trips mid-schedule).
+pub fn retry_with_backoff<T, E>(
+    attempts: u32,
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    token: Option<&CancelToken>,
+    mut op: impl FnMut(u32) -> Result<T, E>,
+) -> Result<T, E> {
+    let attempts = attempts.max(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => last = Some(e),
+        }
+        if attempt + 1 < attempts {
+            if token.is_some_and(|t| t.is_cancelled()) {
+                break;
+            }
+            std::thread::sleep(backoff_delay(attempt, base, cap, seed));
+        }
+    }
+    Err(last.expect("at least one attempt runs"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_latches_explicit_cancel() {
+        let t = CancelToken::new();
+        assert_eq!(t.checked(), None);
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert_eq!(t.checked(), Some(CancelCause::Cancelled));
+        // Latched: cancelling again or polling again does not change it.
+        t.cancel();
+        assert_eq!(t.checked(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn token_trips_on_deadline_and_clones_agree() {
+        let t = CancelToken::with_budget(Duration::from_millis(10));
+        let clone = t.clone();
+        assert_eq!(t.checked(), None);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(t.checked(), Some(CancelCause::DeadlineExceeded));
+        assert_eq!(clone.checked(), Some(CancelCause::DeadlineExceeded));
+        assert_eq!(clone.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn first_cause_wins() {
+        let t = CancelToken::with_budget(Duration::ZERO);
+        // Deadline already passed, but an explicit cancel lands before
+        // the first poll: the poll latches whichever got there first and
+        // reports it consistently ever after.
+        t.cancel();
+        let first = t.checked().expect("tripped");
+        assert_eq!(t.checked(), Some(first));
+    }
+
+    #[test]
+    fn deadlineless_token_reports_no_remaining() {
+        let t = CancelToken::new();
+        assert_eq!(t.deadline(), None);
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_grows() {
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_millis(16);
+        for attempt in 0..8 {
+            assert_eq!(
+                backoff_delay(attempt, base, cap, 42),
+                backoff_delay(attempt, base, cap, 42),
+                "same seed, same delay"
+            );
+            // Jitter spans [cap/2, 3·cap/2); nothing exceeds that.
+            assert!(backoff_delay(attempt, base, cap, 42) < cap * 2);
+        }
+        // A late attempt sits at the cap's jitter band, above base.
+        assert!(backoff_delay(7, base, cap, 1) >= cap / 2);
+    }
+
+    #[test]
+    fn retry_returns_first_success_and_counts_attempts() {
+        let mut tried = Vec::new();
+        let r: Result<u32, &str> = retry_with_backoff(
+            5,
+            Duration::from_micros(10),
+            Duration::from_micros(100),
+            7,
+            None,
+            |attempt| {
+                tried.push(attempt);
+                if attempt == 2 {
+                    Ok(99)
+                } else {
+                    Err("transient")
+                }
+            },
+        );
+        assert_eq!(r, Ok(99));
+        assert_eq!(tried, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn retry_exhausts_and_returns_last_error() {
+        let r: Result<(), String> = retry_with_backoff(
+            3,
+            Duration::from_micros(10),
+            Duration::from_micros(50),
+            7,
+            None,
+            |attempt| Err(format!("fail {attempt}")),
+        );
+        assert_eq!(r, Err("fail 2".to_string()));
+    }
+
+    #[test]
+    fn retry_stops_early_when_token_trips() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut attempts = 0;
+        let r: Result<(), &str> = retry_with_backoff(
+            10,
+            Duration::from_millis(50),
+            Duration::from_millis(50),
+            7,
+            Some(&token),
+            |_| {
+                attempts += 1;
+                Err("transient")
+            },
+        );
+        assert!(r.is_err());
+        assert_eq!(
+            attempts, 1,
+            "cancelled token skips the rest of the schedule"
+        );
+    }
+}

@@ -58,10 +58,30 @@ pub enum FaultKind {
     /// Corrupt a native kernel's probation output so the bitwise
     /// differential against the bytecode tier fails (quarantine path).
     NativeDivergent,
+    /// Wedge a service worker mid-job — it stops polling its token and
+    /// sleeps — so the scheduler's heartbeat watchdog must detect the
+    /// stall, 504 the job, and respawn the worker (liveness path).
+    WorkerHang,
+    /// Hang the native `cc` compile (the child process sleeps instead of
+    /// compiling) so the compile watchdog must time it out, kill the
+    /// child, and quarantine the kernel as `cc-timeout` (liveness path).
+    CompileHang,
+    /// Drip-feed a request to the daemon one byte at a time (slow-loris
+    /// client) — the connection loop must keep other tenants live and
+    /// still parse the frame once it completes (liveness path).
+    SlowLoris,
+    /// Send a torn NDJSON frame (truncated mid-object) ahead of a real
+    /// request — the daemon must answer with a typed `error` event and
+    /// keep the connection usable (protocol-robustness path).
+    TornFrame,
+    /// "Crash" while holding the disk-cache lock: the lock file is left
+    /// behind un-released, so contending processes must retry with
+    /// backoff and break the stale lock (lock-recovery path).
+    LockHolderCrash,
 }
 
 /// Every fault kind, in spec order — handy for exercising the whole chain.
-pub const ALL_FAULT_KINDS: [FaultKind; 11] = [
+pub const ALL_FAULT_KINDS: [FaultKind; 16] = [
     FaultKind::ParseError,
     FaultKind::VerifyFail,
     FaultKind::BytecodeCorrupt,
@@ -73,6 +93,11 @@ pub const ALL_FAULT_KINDS: [FaultKind; 11] = [
     FaultKind::CcFail,
     FaultKind::DlopenFail,
     FaultKind::NativeDivergent,
+    FaultKind::WorkerHang,
+    FaultKind::CompileHang,
+    FaultKind::SlowLoris,
+    FaultKind::TornFrame,
+    FaultKind::LockHolderCrash,
 ];
 
 impl FaultKind {
@@ -90,6 +115,11 @@ impl FaultKind {
             FaultKind::CcFail => "cc-fail",
             FaultKind::DlopenFail => "dlopen-fail",
             FaultKind::NativeDivergent => "native-divergent",
+            FaultKind::WorkerHang => "worker-hang",
+            FaultKind::CompileHang => "compile-hang",
+            FaultKind::SlowLoris => "slow-loris",
+            FaultKind::TornFrame => "torn-frame",
+            FaultKind::LockHolderCrash => "lock-holder-crash",
         }
     }
 
@@ -302,6 +332,13 @@ mod tests {
         assert_eq!(take(FaultKind::VerifyFail), None, "plans fire once");
         assert_eq!(take(FaultKind::StateNan), Some(7));
         disarm_all();
+    }
+
+    #[test]
+    fn every_fault_kind_round_trips_through_its_spec_name() {
+        for k in ALL_FAULT_KINDS {
+            assert_eq!(FaultKind::from_str(k.as_str()), Some(k), "{k}");
+        }
     }
 
     #[test]

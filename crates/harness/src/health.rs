@@ -125,6 +125,13 @@ pub enum IncidentKind {
     NativeDivergent,
     /// A kernel was promoted to the native tier (hot-swap or warm load).
     NativePromoted,
+    /// A job's wall-clock budget expired (or it was explicitly
+    /// cancelled): the run stopped cooperatively at a step boundary, so
+    /// the state is whole up to the last completed step.
+    DeadlineExceeded,
+    /// The native `cc` compile exceeded its watchdog timeout; the child
+    /// process was killed and the kernel quarantined on bytecode.
+    NativeCcTimeout,
 }
 
 impl IncidentKind {
@@ -145,6 +152,8 @@ impl IncidentKind {
             IncidentKind::NativeDlopenFail => "dlopen-fail",
             IncidentKind::NativeDivergent => "native-divergent",
             IncidentKind::NativePromoted => "native-promoted",
+            IncidentKind::DeadlineExceeded => "deadline-exceeded",
+            IncidentKind::NativeCcTimeout => "cc-timeout",
         }
     }
 }

@@ -13,6 +13,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod deadline;
 pub mod error;
 pub mod experiments;
 pub mod faults;
@@ -27,6 +28,7 @@ pub use cache::{
     all_pipeline_kinds, model_fingerprint, CacheStats, CompiledKernel, KernelCache,
     QuarantineEntry, ResilientKernel,
 };
+pub use deadline::{backoff_delay, retry_with_backoff, CancelCause, CancelToken};
 pub use error::{compile_source, CompileError};
 pub use experiments::{
     available_cores, fig2_checkpointed, fig2_single_thread, fig2_with_jobs, fig3_threads32,
@@ -38,9 +40,9 @@ pub use experiments::{
 pub use faults::FaultKind;
 pub use health::{incidents_json, summarize_incidents, HealthPolicy, Incident, IncidentKind, Tier};
 pub use native::{
-    native_eligible, promotion_enabled, promotion_from_env, promotion_threshold, set_promotion,
-    set_promotion_threshold, toolchain_available, NativeKernel, NativeRegistry, NativeSlot,
-    NativeStats,
+    cc_timeout, native_eligible, promotion_enabled, promotion_from_env, promotion_threshold,
+    set_cc_timeout, set_promotion, set_promotion_threshold, toolchain_available, NativeKernel,
+    NativeRegistry, NativeSlot, NativeStats, CC_TIMEOUT_MARKER, DEFAULT_CC_TIMEOUT,
 };
 pub use persist::{
     default_cache_dir, native_file_name, DiskCache, DiskCacheStatus, DiskLoad, DiskStats, EntryKey,

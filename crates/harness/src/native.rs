@@ -44,6 +44,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Default executed-step count at which a kernel is offered for native
 /// promotion. Low enough that any real run promotes early, high enough
@@ -93,6 +94,39 @@ pub fn promotion_from_env() {
         if let Ok(n) = v.trim().parse::<u64>() {
             set_promotion_threshold(n);
         }
+    }
+}
+
+/// Default wall-clock budget for one compiler invocation. A healthy
+/// `cc -O2` over an emitted kernel finishes in well under a second;
+/// thirty seconds is pure headroom for loaded CI hosts.
+pub const DEFAULT_CC_TIMEOUT: Duration = Duration::from_secs(30);
+
+static CC_TIMEOUT_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Overrides the compile watchdog budget process-wide. Zero-duration
+/// requests are clamped to one millisecond so the watchdog always gives
+/// the child a chance to start.
+pub fn set_cc_timeout(timeout: Duration) {
+    CC_TIMEOUT_MS.store((timeout.as_millis() as u64).max(1), Ordering::Relaxed);
+}
+
+/// The current compile watchdog budget: an explicit [`set_cc_timeout`]
+/// override wins, else `LIMPET_CC_TIMEOUT_MS` from the environment, else
+/// [`DEFAULT_CC_TIMEOUT`].
+pub fn cc_timeout() -> Duration {
+    let ms = CC_TIMEOUT_MS.load(Ordering::Relaxed);
+    if ms != 0 {
+        return Duration::from_millis(ms);
+    }
+    static ENV: OnceLock<Option<u64>> = OnceLock::new();
+    match ENV.get_or_init(|| {
+        std::env::var("LIMPET_CC_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+    }) {
+        Some(ms) => Duration::from_millis((*ms).max(1)),
+        None => DEFAULT_CC_TIMEOUT,
     }
 }
 
@@ -405,25 +439,88 @@ fn temp_path(ext: &str, fingerprint: u64) -> PathBuf {
     ))
 }
 
+/// Marker prefix on compile-timeout errors, and the quarantine reason
+/// tag, so [`NativeRegistry::build`] classifies them as
+/// [`IncidentKind::NativeCcTimeout`] rather than a plain compiler error.
+pub const CC_TIMEOUT_MARKER: &str = "cc-timeout";
+
+/// Runs a compiler subprocess under a wall-clock watchdog: `spawn` +
+/// `try_wait` polling instead of a blocking `output()`, so a wedged
+/// toolchain is killed at the [`cc_timeout`] budget instead of hanging
+/// the builder thread (and with it the slot) forever.
+fn run_with_watchdog(
+    cmd: &mut std::process::Command,
+    timeout: Duration,
+) -> Result<std::process::Output, String> {
+    use std::process::Stdio;
+    // stderr stays piped but undrained during the poll loop: compiler
+    // diagnostics beyond the pipe buffer would stall the child, which
+    // the watchdog then treats as a hang. Acceptable — the only reader
+    // is the first diagnostic line, and the degrade path is the same
+    // quarantine either way.
+    let mut child = cmd
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn cc: {e}"))?;
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) => break,
+            Ok(None) => {
+                if std::time::Instant::now() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(format!(
+                        "{CC_TIMEOUT_MARKER}: compiler exceeded its {}ms budget and was killed",
+                        timeout.as_millis()
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!("cannot poll cc: {e}"));
+            }
+        }
+    }
+    child
+        .wait_with_output()
+        .map_err(|e| format!("cannot collect cc output: {e}"))
+}
+
 /// Compiles `source` to a shared object with the system toolchain and
-/// returns its bytes. The [`FaultKind::CcFail`] injection point lives
-/// here, upstream of the real compiler.
+/// returns its bytes. The [`FaultKind::CcFail`] and
+/// [`FaultKind::CompileHang`] injection points live here, upstream of
+/// the real compiler.
 fn compile_so(source: &str, fingerprint: u64) -> Result<Vec<u8>, String> {
     if faults::take(FaultKind::CcFail).is_some() {
         return Err("injected C compiler failure".to_string());
     }
-    if !toolchain_available() {
+    let hang = faults::take(FaultKind::CompileHang).is_some();
+    if !hang && !toolchain_available() {
         return Err("no C toolchain: `cc` not found on PATH".to_string());
     }
     let c_file = TempFile(temp_path("c", fingerprint));
     let so_file = TempFile(temp_path("so", fingerprint));
     std::fs::write(&c_file.0, source).map_err(|e| format!("cannot write C source: {e}"))?;
-    let out = std::process::Command::new("cc")
-        .args(["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-o"])
-        .arg(&so_file.0)
-        .arg(&c_file.0)
-        .output()
-        .map_err(|e| format!("cannot spawn cc: {e}"))?;
+    // The CompileHang injection swaps the toolchain for a command that
+    // sleeps far past any budget, so the real spawn/poll/kill watchdog
+    // path is exercised even on hosts with no compiler at all.
+    let mut cmd = if hang {
+        let mut c = std::process::Command::new("sh");
+        c.args(["-c", "sleep 600"]);
+        c
+    } else {
+        let mut c = std::process::Command::new("cc");
+        c.args(["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-o"])
+            .arg(&so_file.0)
+            .arg(&c_file.0);
+        c
+    };
+    let out = run_with_watchdog(&mut cmd, cc_timeout())?;
     if !out.status.success() {
         let stderr = String::from_utf8_lossy(&out.stderr);
         let first = stderr.lines().next().unwrap_or("no diagnostics");
@@ -560,6 +657,8 @@ pub struct NativeStats {
     pub ready: usize,
     /// Slots currently quarantined.
     pub quarantined: usize,
+    /// Compiler invocations killed by the watchdog ([`cc_timeout`]).
+    pub cc_timeouts: u64,
 }
 
 /// The process-wide ledger of native compilations: one slot per emitted
@@ -569,9 +668,14 @@ pub struct NativeStats {
 #[derive(Debug, Default)]
 pub struct NativeRegistry {
     slots: Mutex<HashMap<u64, NativeSlot>>,
+    /// Model name → fingerprint of the most recent build request for
+    /// that model, so an external watchdog (which knows only which
+    /// *job* wedged) can quarantine the right slot without re-emitting C.
+    by_model: Mutex<HashMap<String, u64>>,
     compiles: AtomicU64,
     disk_hits: AtomicU64,
     disk_writes: AtomicU64,
+    cc_timeouts: AtomicU64,
     incidents: Mutex<Vec<Incident>>,
 }
 
@@ -608,6 +712,7 @@ impl NativeRegistry {
             disk_writes: self.disk_writes.load(Ordering::Relaxed),
             ready,
             quarantined,
+            cc_timeouts: self.cc_timeouts.load(Ordering::Relaxed),
         }
     }
 
@@ -632,6 +737,38 @@ impl NativeRegistry {
         self.slots.lock().unwrap_or_else(|p| p.into_inner())
     }
 
+    fn remember_model(&self, model: &str, fingerprint: u64) {
+        self.by_model
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(model.to_string(), fingerprint);
+    }
+
+    /// Quarantines the native slot most recently requested for `model`,
+    /// on behalf of an external watchdog that caught the slot's code
+    /// wedging a worker. The bytecode `(model, config)` cache entry is
+    /// deliberately untouched: the interpreter is still trusted, so
+    /// subsequent jobs rerun on bytecode bit-identically instead of
+    /// falling all the way back to the Baseline pipeline. Returns false
+    /// when no build was ever requested for `model`.
+    pub fn quarantine_for_model(&self, model: &str, reason: &str) -> bool {
+        let fp = {
+            let by_model = self.by_model.lock().unwrap_or_else(|p| p.into_inner());
+            match by_model.get(model) {
+                Some(&fp) => fp,
+                None => return false,
+            }
+        };
+        self.lock_slots()
+            .insert(fp, NativeSlot::Quarantined(Arc::from(reason)));
+        self.log(Incident::new(
+            IncidentKind::DeadlineExceeded,
+            model,
+            format!("watchdog quarantined native kernel {fp:016x}: {reason}"),
+        ));
+        true
+    }
+
     fn log(&self, incident: Incident) {
         self.incidents
             .lock()
@@ -643,6 +780,7 @@ impl NativeRegistry {
     /// slot exists yet. Returns immediately; the simulation keeps
     /// stepping bytecode and polls for the published slot.
     pub fn request(self: &Arc<Self>, req: NativeRequest) {
+        self.remember_model(&req.model, req.fingerprint);
         {
             let mut slots = self.lock_slots();
             if slots.contains_key(&req.fingerprint) {
@@ -671,6 +809,7 @@ impl NativeRegistry {
     /// slot on the calling thread and returns its final state. Benches
     /// and tests use this to reach the native tier deterministically.
     pub fn request_blocking(self: &Arc<Self>, req: NativeRequest) -> NativeSlot {
+        self.remember_model(&req.model, req.fingerprint);
         {
             let mut slots = self.lock_slots();
             match slots.get(&req.fingerprint) {
@@ -754,8 +893,14 @@ impl NativeRegistry {
         let bytes = match compile_so(&req.source, req.fingerprint) {
             Ok(bytes) => bytes,
             Err(reason) => {
+                let kind = if reason.starts_with(CC_TIMEOUT_MARKER) {
+                    self.cc_timeouts.fetch_add(1, Ordering::Relaxed);
+                    IncidentKind::NativeCcTimeout
+                } else {
+                    IncidentKind::NativeCcFail
+                };
                 self.log(Incident::new(
-                    IncidentKind::NativeCcFail,
+                    kind,
                     &req.model,
                     format!("{reason}; staying on bytecode"),
                 ));
@@ -922,6 +1067,88 @@ mod tests {
             .iter()
             .any(|i| i.kind == IncidentKind::NativeCcFail));
         faults::disarm_all();
+    }
+
+    #[test]
+    fn hung_compile_times_out_quarantines_and_bytecode_continues() {
+        let _guard = faults::TEST_SERIAL
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        faults::disarm_all();
+        faults::arm("compile-hang@1").unwrap();
+        set_cc_timeout(Duration::from_millis(200));
+        let k = scalar_kernel("Plonsey");
+        let registry = Arc::new(NativeRegistry::new());
+        let started = std::time::Instant::now();
+        let slot = build_blocking(&registry, &k, "Plonsey", None).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "watchdog must kill the hung compiler, not wait it out"
+        );
+        let NativeSlot::Quarantined(reason) = slot else {
+            panic!("expected quarantined slot, got {slot:?}");
+        };
+        assert!(
+            reason.starts_with(CC_TIMEOUT_MARKER),
+            "quarantine reason must be tagged {CC_TIMEOUT_MARKER}: {reason}"
+        );
+        assert!(registry
+            .incidents()
+            .iter()
+            .any(|i| i.kind == IncidentKind::NativeCcTimeout));
+        // The simulation carries on, on the bytecode tier, bit-identical
+        // to a run that never attempted promotion.
+        let mut attempted = k.new_states(7, StateLayout::Aos);
+        let mut attempted_ext = k.new_ext(7);
+        let mut control = attempted.clone();
+        let mut control_ext = attempted_ext.clone();
+        for step in 0..50 {
+            let ctx = SimContext {
+                dt: 0.01,
+                t: step as f64 * 0.01,
+            };
+            k.run_step(&mut attempted, &mut attempted_ext, None, ctx);
+            k.run_step(&mut control, &mut control_ext, None, ctx);
+        }
+        let bits = |s: &CellStates| s.raw().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&attempted), bits(&control));
+        set_cc_timeout(DEFAULT_CC_TIMEOUT);
+        faults::disarm_all();
+    }
+
+    #[test]
+    fn watchdog_quarantine_by_model_lands_on_the_requested_slot() {
+        let _guard = faults::TEST_SERIAL
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        faults::disarm_all();
+        // cc-fail keeps the build away from the real toolchain; the
+        // watchdog quarantine below overwrites the slot either way.
+        faults::arm("cc-fail@1").unwrap();
+        let k = scalar_kernel("MitchellSchaeffer");
+        let registry = Arc::new(NativeRegistry::new());
+        assert!(
+            !registry.quarantine_for_model("MitchellSchaeffer", "stuck worker"),
+            "unknown model must report false"
+        );
+        let (fp, source) = emit_for_kernel(&k).unwrap();
+        registry.request_blocking(NativeRequest {
+            fingerprint: fp,
+            source,
+            model: "MitchellSchaeffer".to_string(),
+            kernel: k,
+            disk: None,
+        });
+        faults::disarm_all();
+        assert!(registry.quarantine_for_model("MitchellSchaeffer", "stuck worker"));
+        assert!(matches!(
+            registry.poll(fp),
+            Some(NativeSlot::Quarantined(reason)) if reason.as_ref() == "stuck worker"
+        ));
+        assert!(registry
+            .incidents()
+            .iter()
+            .any(|i| i.kind == IncidentKind::DeadlineExceeded));
     }
 
     #[test]

@@ -67,8 +67,17 @@ const NATIVE_MAGIC: &str = "limpet-native-cache";
 pub const DEFAULT_CAP_BYTES: u64 = 512 * 1024 * 1024;
 
 /// A lock file older than this is considered abandoned by a crashed
-/// process and is broken (removed) by the next writer.
+/// process and is broken (removed) by the next writer. Overridable per
+/// cache with [`DiskCache::set_stale_lock_after`] (tests and chaos runs
+/// shrink it).
 const STALE_LOCK_AFTER: Duration = Duration::from_secs(10);
+
+/// First backoff delay while waiting for the directory lock; doubles per
+/// retry (with deterministic jitter) up to [`LOCK_BACKOFF_CAP`].
+const LOCK_BACKOFF_BASE: Duration = Duration::from_millis(1);
+
+/// Ceiling on the per-retry lock backoff delay.
+const LOCK_BACKOFF_CAP: Duration = Duration::from_millis(32);
 
 /// The identity of one persisted compilation: the same triple that keys
 /// the in-memory map, spelled out so it can be embedded in (and checked
@@ -159,6 +168,9 @@ pub struct DiskStats {
     pub evictions: u64,
     /// Stale (crashed-writer) lock files broken.
     pub stale_locks_broken: u64,
+    /// Backoff retries spent waiting for the directory lock (each retry
+    /// is one jittered exponential-backoff sleep under contention).
+    pub lock_retries: u64,
 }
 
 /// A point-in-time scan of the cache directory (the `figures --cache stat`
@@ -232,11 +244,13 @@ pub struct DiskCache {
     dir: PathBuf,
     cap_bytes: AtomicU64,
     lock_timeout_ms: AtomicU64,
+    stale_lock_after_ms: AtomicU64,
     hits: AtomicU64,
     rejects: AtomicU64,
     writes: AtomicU64,
     evictions: AtomicU64,
     stale_locks_broken: AtomicU64,
+    lock_retries: AtomicU64,
 }
 
 impl DiskCache {
@@ -258,11 +272,13 @@ impl DiskCache {
             dir: dir.to_path_buf(),
             cap_bytes: AtomicU64::new(cap),
             lock_timeout_ms: AtomicU64::new(5_000),
+            stale_lock_after_ms: AtomicU64::new(STALE_LOCK_AFTER.as_millis() as u64),
             hits: AtomicU64::new(0),
             rejects: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             stale_locks_broken: AtomicU64::new(0),
+            lock_retries: AtomicU64::new(0),
         })
     }
 
@@ -289,6 +305,14 @@ impl DiskCache {
             .store(timeout.as_millis() as u64, Ordering::Relaxed);
     }
 
+    /// Overrides how old a lock file must be before it is treated as
+    /// abandoned by a crashed writer and broken. Tests and chaos runs
+    /// shrink this so lock-holder-crash recovery is fast to exercise.
+    pub fn set_stale_lock_after(&self, age: Duration) {
+        self.stale_lock_after_ms
+            .store(age.as_millis() as u64, Ordering::Relaxed);
+    }
+
     /// The lock-file path guarding directory mutation — exposed so tests
     /// can simulate a crashed writer.
     pub fn lock_path(&self) -> PathBuf {
@@ -303,6 +327,7 @@ impl DiskCache {
             writes: self.writes.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             stale_locks_broken: self.stale_locks_broken.load(Ordering::Relaxed),
+            lock_retries: self.lock_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -362,10 +387,20 @@ impl DiskCache {
         Ok(removed)
     }
 
+    /// Takes the directory lock with bounded exponential backoff:
+    /// contention sleeps `1ms · 2^attempt` (capped at 32 ms) with
+    /// deterministic jitter from [`crate::deadline::backoff_delay`]
+    /// (seeded by pid and lock path, so a chaos run's delay schedule is
+    /// reproducible), counting each sleep in
+    /// [`DiskStats::lock_retries`]. Locks abandoned by a crashed writer
+    /// (older than [`DiskCache::set_stale_lock_after`]) are broken.
     fn acquire_lock(&self) -> Result<DirLock, String> {
         let path = self.lock_path();
         let timeout = Duration::from_millis(self.lock_timeout_ms.load(Ordering::Relaxed));
+        let stale_after = Duration::from_millis(self.stale_lock_after_ms.load(Ordering::Relaxed));
         let deadline = Instant::now() + timeout;
+        let jitter_seed = u64::from(std::process::id()) ^ fnv64(path.to_string_lossy().as_bytes());
+        let mut attempt: u32 = 0;
         loop {
             match fs::OpenOptions::new()
                 .write(true)
@@ -374,7 +409,18 @@ impl DiskCache {
             {
                 Ok(mut f) => {
                     let _ = write!(f, "{}", std::process::id());
-                    return Ok(DirLock { path });
+                    let lock = DirLock { path };
+                    if faults::take(FaultKind::LockHolderCrash).is_some() {
+                        // Simulate a writer that died while holding the
+                        // lock: leak the guard so its Drop never removes
+                        // the file, and fail the mutation the way a crash
+                        // would. Contenders must back off until the lock
+                        // ages past the stale threshold, then break it.
+                        std::mem::forget(lock);
+                        return Err("injected lock-holder crash: lock file abandoned while held"
+                            .to_string());
+                    }
+                    return Ok(lock);
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
                     // Break locks abandoned by a crashed writer.
@@ -382,18 +428,28 @@ impl DiskCache {
                         .and_then(|m| m.modified())
                         .ok()
                         .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
-                        .is_some_and(|age| age > STALE_LOCK_AFTER);
+                        .is_some_and(|age| age > stale_after);
                     if stale && fs::remove_file(&path).is_ok() {
                         self.stale_locks_broken.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
                     if Instant::now() >= deadline {
                         return Err(format!(
-                            "timed out waiting for cache lock {} (held by another process?)",
+                            "timed out waiting for cache lock {} after {attempt} backoff \
+                             retries (held by another process?)",
                             path.display()
                         ));
                     }
-                    std::thread::sleep(Duration::from_millis(1));
+                    self.lock_retries.fetch_add(1, Ordering::Relaxed);
+                    let delay = crate::deadline::backoff_delay(
+                        attempt,
+                        LOCK_BACKOFF_BASE,
+                        LOCK_BACKOFF_CAP,
+                        jitter_seed,
+                    )
+                    .min(deadline.saturating_duration_since(Instant::now()));
+                    std::thread::sleep(delay);
+                    attempt = attempt.saturating_add(1);
                 }
                 Err(e) => return Err(format!("cannot create cache lock: {e}")),
             }
@@ -1142,6 +1198,36 @@ mod tests {
         cache.store(&key, &m.name, &entry).unwrap();
         assert_eq!(cache.stats().stale_locks_broken, 1);
         assert!(!cache.lock_path().exists(), "lock released after store");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_holder_crash_is_survived_by_backoff_and_stale_break() {
+        let _g = faults::TEST_SERIAL
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        faults::disarm_all();
+        let dir = temp_dir("crashlock");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.set_stale_lock_after(Duration::from_millis(100));
+        cache.set_lock_timeout(Duration::from_secs(5));
+        let (m, key, entry) = sample_entry();
+        faults::arm("lock-holder-crash").unwrap();
+        let err = cache.store(&key, &m.name, &entry).unwrap_err();
+        assert!(err.contains("lock-holder crash"), "{err}");
+        assert!(
+            cache.lock_path().exists(),
+            "the crash leaves the lock file behind"
+        );
+        // The next writer retries with backoff until the abandoned lock
+        // ages past the stale threshold, breaks it, and completes.
+        cache.store(&key, &m.name, &entry).unwrap();
+        let s = cache.stats();
+        assert!(s.stale_locks_broken >= 1, "{s:?}");
+        assert!(s.lock_retries >= 1, "backoff retries were counted: {s:?}");
+        assert!(matches!(cache.load(&key, &m), DiskLoad::Hit(_)));
+        assert!(!cache.lock_path().exists(), "lock released after store");
+        faults::disarm_all();
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -229,6 +229,10 @@ pub struct Simulation {
     native: Option<std::sync::Arc<crate::native::NativeKernel>>,
     /// Native-promotion bookkeeping; present while promotion is armed.
     native_ctl: Option<Box<NativeCtl>>,
+    /// Cooperative cancellation/deadline token, polled by
+    /// [`Simulation::step_guarded`] *before* each step so cancellation
+    /// always lands at a step boundary (no torn mid-step state).
+    cancel: Option<crate::CancelToken>,
 }
 
 impl Simulation {
@@ -284,6 +288,7 @@ impl Simulation {
             guard: None,
             native: None,
             native_ctl: None,
+            cancel: None,
         };
         if crate::native::promotion_enabled() {
             sim.arm_native(crate::native::promotion_threshold());
@@ -327,6 +332,44 @@ impl Simulation {
     /// Replaces the stimulus protocol.
     pub fn set_stimulus(&mut self, stim: Stimulus) {
         self.stim = stim;
+    }
+
+    /// Attaches a cooperative [`crate::CancelToken`]: every
+    /// [`Simulation::step_guarded`] / [`Simulation::run_guarded`] call
+    /// polls it before stepping, and a tripped token stops the run at
+    /// that step boundary with a typed
+    /// [`crate::IncidentKind::DeadlineExceeded`] incident. Clones of the
+    /// token (held by a watchdog, a scheduler, a client) all observe and
+    /// control the same latch.
+    pub fn set_cancel_token(&mut self, token: crate::CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&crate::CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Polls the attached token; on a trip, records (when guarded) and
+    /// returns the typed deadline incident for the *upcoming* step.
+    fn check_cancel(&mut self) -> Option<crate::Incident> {
+        let cause = self.cancel.as_ref()?.checked()?;
+        let tier = self.tier();
+        let (model, step) = match self.guard.as_ref() {
+            Some(g) => (g.model.name.clone(), g.step_count),
+            None => (self.kernel.name().to_string(), 0),
+        };
+        let incident = crate::Incident::new(
+            crate::IncidentKind::DeadlineExceeded,
+            model,
+            format!("{cause}: stopped cooperatively after {step} completed step(s)"),
+        )
+        .at_step(step)
+        .to_tier(tier);
+        if let Some(g) = self.guard.as_mut() {
+            g.incidents.push(incident.clone());
+        }
+        Some(incident)
     }
 
     /// Enables 1-D monodomain tissue coupling with the given conductivity
@@ -642,11 +685,17 @@ impl Simulation {
     /// # Errors
     ///
     /// Returns the recorded incident when the policy is
-    /// [`crate::HealthPolicy::Abort`], or when every tier below the
+    /// [`crate::HealthPolicy::Abort`], when every tier below the
     /// current one has been exhausted under
-    /// [`crate::HealthPolicy::FallbackRaw`].
+    /// [`crate::HealthPolicy::FallbackRaw`], or when an attached
+    /// [`crate::CancelToken`] has tripped (deadline or explicit cancel)
+    /// — in that last case the step is *not* taken, so the state is
+    /// whole up to the previous boundary.
     pub fn step_guarded(&mut self) -> Result<(), crate::Incident> {
         use crate::{HealthPolicy, Incident, IncidentKind};
+        if let Some(incident) = self.check_cancel() {
+            return Err(incident);
+        }
         let Some(mut g) = self.guard.take() else {
             self.step();
             return Ok(());
@@ -1007,6 +1056,55 @@ mod tests {
         assert!(p.flops > 0);
         assert!(p.bytes_read > 0);
         assert!(p.bytes_written > 0);
+    }
+
+    #[test]
+    fn cancel_token_stops_guarded_run_at_step_boundary() {
+        let m = model("HodgkinHuxley");
+        let wl = Workload {
+            n_cells: 4,
+            steps: 0,
+            dt: 0.01,
+        };
+        let mut sim =
+            Simulation::new_resilient(&m, PipelineKind::Baseline, &wl, crate::HealthPolicy::Abort)
+                .expect("baseline compiles");
+        let token = crate::CancelToken::new();
+        sim.set_cancel_token(token.clone());
+        sim.run_guarded(10).expect("live token does not interfere");
+        let bits = sim.state_bits();
+        token.cancel();
+        let err = sim
+            .run_guarded(10)
+            .expect_err("tripped token stops the run");
+        assert_eq!(err.kind, crate::IncidentKind::DeadlineExceeded);
+        assert_eq!(err.step, Some(10), "cancellation lands at the boundary");
+        assert_eq!(
+            sim.state_bits(),
+            bits,
+            "no step ran after the trip: state is whole"
+        );
+        assert!(
+            sim.incidents()
+                .iter()
+                .any(|i| i.kind == crate::IncidentKind::DeadlineExceeded),
+            "incident recorded on the guard"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_stops_even_unguarded_runs() {
+        let m = model("HodgkinHuxley");
+        let wl = Workload {
+            n_cells: 4,
+            steps: 0,
+            dt: 0.01,
+        };
+        let mut sim = Simulation::new(&m, PipelineKind::Baseline, &wl);
+        sim.set_cancel_token(crate::CancelToken::with_budget(std::time::Duration::ZERO));
+        let err = sim.run_guarded(5).expect_err("expired budget");
+        assert_eq!(err.kind, crate::IncidentKind::DeadlineExceeded);
+        assert!(err.detail.contains("deadline-exceeded"), "{}", err.detail);
     }
 
     #[test]

@@ -173,6 +173,36 @@ impl ShardedSimulation {
         start.elapsed().as_secs_f64()
     }
 
+    /// Runs up to `steps` steps in `chunk`-step slices, polling `token`
+    /// between slices, and returns `(steps_completed, wall_seconds,
+    /// cause)` where `cause` is `Some` iff the token tripped before all
+    /// steps ran.
+    ///
+    /// The token is polled **only on the caller thread**, between
+    /// pool-wide rendezvous: a per-worker poll could disagree about the
+    /// trip mid-step and deadlock the stage barriers, so the caller is
+    /// the single decider and every shard stops at the same step
+    /// boundary. Cancellation granularity is therefore `chunk` steps.
+    pub fn run_threaded_cancellable(
+        &mut self,
+        steps: usize,
+        chunk: usize,
+        token: &crate::CancelToken,
+    ) -> (usize, f64, Option<crate::CancelCause>) {
+        let chunk = chunk.max(1);
+        let mut done = 0;
+        let mut secs = 0.0;
+        while done < steps {
+            if let Some(cause) = token.checked() {
+                return (done, secs, Some(cause));
+            }
+            let n = chunk.min(steps - done);
+            secs += self.run_threaded(n);
+            done += n;
+        }
+        (done, secs, None)
+    }
+
     /// Runs a closure against shard `i`'s simulation on its worker thread
     /// and returns the result (e.g. to read voltages after a run).
     pub fn with_shard<R, F>(&self, i: usize, f: F) -> R
@@ -622,6 +652,36 @@ mod tests {
         assert!(t0 > 0.0 && t1 > 0.0);
         assert_eq!(sharded.state_bits(), single.state_bits());
         assert!((sharded.vm(0) - single.vm(0)).abs() < 1e-12);
+    }
+
+    /// Cancellation stops every shard at the same chunk boundary: the
+    /// partial sharded run must be bit-identical to a single-thread run
+    /// of exactly the completed step count.
+    #[test]
+    fn cancelled_sharded_run_stops_whole_at_a_boundary() {
+        let m = model("Plonsey");
+        let wl = Workload {
+            n_cells: 24,
+            steps: 0,
+            dt: 0.01,
+        };
+        let mut single = Simulation::new(&m, PipelineKind::Baseline, &wl);
+        let mut sharded = ShardedSimulation::new(&m, PipelineKind::Baseline, &wl, 3);
+        // A pre-tripped token: zero chunks run.
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let (done, _, cause) = sharded.run_threaded_cancellable(100, 10, &token);
+        assert_eq!(done, 0);
+        assert_eq!(cause, Some(crate::CancelCause::Cancelled));
+        // A live token: all steps run, no cause.
+        let live = crate::CancelToken::new();
+        let (done, secs, cause) = sharded.run_threaded_cancellable(40, 7, &live);
+        assert_eq!((done, cause), (40, None));
+        assert!(secs > 0.0);
+        for _ in 0..40 {
+            single.step();
+        }
+        assert_eq!(sharded.state_bits(), single.state_bits());
     }
 
     #[test]

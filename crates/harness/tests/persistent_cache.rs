@@ -256,15 +256,24 @@ fn child_process_disk_probe() {
     let entry = cache.get_or_compile(&m, CONFIG);
     let digest = fnv_digest(&trajectory_bits(&entry));
     let s = cache.stats();
+    let d = disk.stats();
     println!(
-        "child-result digest={digest:016x} misses={} disk_hits={}",
-        s.misses, s.disk_hits
+        "child-result digest={digest:016x} misses={} disk_hits={} stale_broken={} \
+         lock_retries={}",
+        s.misses, s.disk_hits, d.stale_locks_broken, d.lock_retries
     );
 }
 
+/// The parsed fields of one `child-result` line.
+struct ChildResult {
+    digest: u64,
+    misses: u64,
+    disk_hits: u64,
+    stale_broken: u64,
+}
+
 /// Re-executes this test binary filtered down to the child probe above,
-/// pointed at `dir`, and returns the parsed `child-result` line fields:
-/// `(digest, misses, disk_hits)`.
+/// pointed at `dir`.
 fn spawn_child(dir: &Path) -> std::process::Child {
     Command::new(std::env::current_exe().expect("test binary path"))
         .args(["--exact", "child_process_disk_probe", "--nocapture"])
@@ -275,7 +284,7 @@ fn spawn_child(dir: &Path) -> std::process::Child {
         .expect("spawn child test process")
 }
 
-fn parse_child_result(child: std::process::Child) -> (u64, u64, u64) {
+fn parse_child_result(child: std::process::Child) -> ChildResult {
     let out = child.wait_with_output().expect("child runs to completion");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
@@ -298,7 +307,12 @@ fn parse_child_result(child: std::process::Child) -> (u64, u64, u64) {
             .or_else(|_| tok.parse())
             .unwrap_or_else(|_| panic!("bad {key} in '{line}'"))
     };
-    (field("digest"), field("misses"), field("disk_hits"))
+    ChildResult {
+        digest: field("digest"),
+        misses: field("misses"),
+        disk_hits: field("disk_hits"),
+        stale_broken: field("stale_broken"),
+    }
 }
 
 #[test]
@@ -313,10 +327,10 @@ fn second_process_warm_run_has_zero_cold_compiles() {
     let seeder = cache_with_disk(&disk);
     let parent_digest = fnv_digest(&trajectory_bits(&seeder.get_or_compile(&m, CONFIG)));
 
-    let (digest, misses, disk_hits) = parse_child_result(spawn_child(&dir));
-    assert_eq!(misses, 0, "second process must not compile");
-    assert_eq!(disk_hits, 1, "second process is served from disk");
-    assert_eq!(digest, parent_digest, "cross-process bit-identity");
+    let child = parse_child_result(spawn_child(&dir));
+    assert_eq!(child.misses, 0, "second process must not compile");
+    assert_eq!(child.disk_hits, 1, "second process is served from disk");
+    assert_eq!(child.digest, parent_digest, "cross-process bit-identity");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -329,8 +343,8 @@ fn racing_processes_serialize_to_one_valid_entry() {
     // file. Either interleaving is acceptable; the durable outcome isn't.
     let a = spawn_child(&dir);
     let b = spawn_child(&dir);
-    let (digest_a, ..) = parse_child_result(a);
-    let (digest_b, ..) = parse_child_result(b);
+    let digest_a = parse_child_result(a).digest;
+    let digest_b = parse_child_result(b).digest;
     assert_eq!(
         digest_a, digest_b,
         "racing processes must agree bit-exactly"
@@ -350,5 +364,76 @@ fn racing_processes_serialize_to_one_valid_entry() {
         digest_a,
         "survivor reproduces the racers' trajectory"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_lock_from_crashed_process_is_broken_by_the_next() {
+    let _g = serialized();
+    let dir = temp_cache_dir("stale-lock");
+    let disk = Arc::new(DiskCache::open(&dir).expect("temp cache dir"));
+    let m = model("HodgkinHuxley");
+
+    // First writer "crashes" while holding the directory lock: the
+    // injected fault leaks the lock guard mid-store, so no entry lands
+    // but the lock file stays behind — exactly what a killed process
+    // leaves. The compile itself succeeds in memory, so we still get the
+    // reference digest.
+    faults::arm("lock-holder-crash@1").unwrap();
+    let crashed = cache_with_disk(&disk);
+    let parent_digest = fnv_digest(&trajectory_bits(&crashed.get_or_compile(&m, CONFIG)));
+    faults::disarm_all();
+    assert!(
+        disk.lock_path().exists(),
+        "crashed writer abandons its lock file"
+    );
+    assert_eq!(
+        disk.status().expect("readable").entries,
+        0,
+        "the store died with the writer"
+    );
+
+    // Age the abandoned lock past the stale threshold — the moral
+    // equivalent of waiting ten seconds, without the ten seconds.
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(disk.lock_path())
+        .and_then(|f| {
+            f.set_modified(std::time::SystemTime::now() - std::time::Duration::from_secs(60))
+        })
+        .expect("backdate lock file");
+
+    // A second process starting cold must break the stale lock, compile,
+    // and persist — not hang waiting on a writer that no longer exists.
+    let child = parse_child_result(spawn_child(&dir));
+    assert_eq!(
+        child.misses, 1,
+        "nothing persisted; the child compiles cold"
+    );
+    assert!(
+        child.stale_broken >= 1,
+        "the child broke the abandoned lock"
+    );
+    assert_eq!(
+        child.digest, parent_digest,
+        "cross-process bit-identity survives the crash"
+    );
+    assert!(
+        !disk.lock_path().exists(),
+        "lock released after the child's store"
+    );
+    assert_eq!(
+        disk.status().expect("readable").entries,
+        1,
+        "exactly one valid entry per key"
+    );
+
+    // And that entry is genuinely valid: a fresh cache is served a clean
+    // disk hit that reproduces the crashed writer's trajectory.
+    let verify = cache_with_disk(&disk);
+    let entry = verify.get_or_compile(&m, CONFIG);
+    let s = verify.stats();
+    assert_eq!((s.disk_hits, s.disk_rejects, s.misses), (1, 0, 0), "{s:?}");
+    assert_eq!(fnv_digest(&trajectory_bits(&entry)), parent_digest);
     let _ = std::fs::remove_dir_all(&dir);
 }

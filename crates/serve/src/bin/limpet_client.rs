@@ -28,6 +28,7 @@ VERBS:
     submit --model M    run one job and stream its events
         [--config C] [--cells N] [--steps N] [--chunk N] [--tenant T]
         [--id ID] [--inject SPEC] [--source FILE] [--no-wait]
+        [--deadline-ms N] per-job wall-clock budget
         [--slow-ms N]   sleep N ms after reading each event (a
                         deliberately slow reader, for backpressure tests)
     drive --models A,B  submit a models x configs matrix concurrently,
@@ -36,7 +37,42 @@ VERBS:
     flood --model M --count N [--tenant T] [--cells N] [--steps N]
                         submit N jobs back-to-back without waiting for
                         completion; print accepted/rejected tallies
+    chaos --models A,B  seeded hostile-client soak: baseline digests,
+        [--seed N]      then rounds of faulty submissions (slow-loris
+        [--configs X,Y] writes, torn frames, mid-stream disconnects,
+        [--tenants ..]  wedge-the-worker injections). Asserts the daemon
+        [--rounds N]    stays up and every submitted job resolves, then
+                        prints the baseline model,config,digest CSV
+                        (comparable with `figures --digest` / drive)
+
+RELIABILITY OPTIONS (all verbs):
+    --retry N           reconnect attempts after a transport failure
+                        (default 0). For submit, each retry first asks
+                        `result` for the job id and only resubmits when
+                        the daemon does not know the outcome — job ids
+                        make resubmission idempotent.
+    --backoff MS        base delay for jittered exponential reconnect
+                        backoff (default 50)
 ";
+
+/// FNV-1a, for deriving deterministic per-id jitter seeds.
+fn fnv64(data: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in data.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// splitmix64 — the chaos driver's deterministic PRNG.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 enum Conn {
     Tcp(TcpStream),
@@ -58,6 +94,7 @@ impl Conn {
     }
 }
 
+#[derive(Clone)]
 struct Opts {
     flags: BTreeMap<String, String>,
 }
@@ -86,8 +123,9 @@ fn parse_cli() -> Result<(String, Opts), String> {
         }
         if let Some(key) = arg.strip_prefix("--") {
             let value = match key {
-                // Boolean flags.
-                "no-wait" => "true".to_owned(),
+                // Boolean flags. `--chaos` doubles as the verb so the
+                // soak driver reads naturally as `limpet-client --chaos`.
+                "no-wait" | "chaos" => "true".to_owned(),
                 _ => args
                     .next()
                     .ok_or_else(|| format!("--{key} requires a value"))?,
@@ -98,6 +136,9 @@ fn parse_cli() -> Result<(String, Opts), String> {
         } else {
             return Err(format!("unexpected argument '{arg}'"));
         }
+    }
+    if verb.is_none() && flags.contains_key("chaos") {
+        verb = Some("chaos".to_owned());
     }
     let verb = verb.ok_or("missing verb (see --help)")?;
     Ok((verb, Opts { flags }))
@@ -113,6 +154,30 @@ fn connect(opts: &Opts) -> Result<Conn, String> {
     TcpStream::connect(addr)
         .map(Conn::Tcp)
         .map_err(|e| format!("connect {addr}: {e}"))
+}
+
+/// [`connect`] with `--retry` reconnect attempts under jittered
+/// exponential backoff (`--backoff` base, deterministic jitter keyed by
+/// `seed` so two clients hammering a restarting daemon spread out).
+fn connect_retry(opts: &Opts, seed: u64) -> Result<Conn, String> {
+    let retry = opts.num("retry", 0)? as u32;
+    let base = Duration::from_millis(opts.num("backoff", 50)?.max(1));
+    let cap = base.saturating_mul(32);
+    let mut last = String::new();
+    for attempt in 0..=retry {
+        if attempt > 0 {
+            let delay = limpet_harness::backoff_delay(attempt, base, cap, seed);
+            eprintln!(
+                "limpet-client: {last}; reconnecting in {delay:?} (attempt {attempt}/{retry})"
+            );
+            std::thread::sleep(delay);
+        }
+        match connect(opts) {
+            Ok(c) => return Ok(c),
+            Err(e) => last = e,
+        }
+    }
+    Err(format!("giving up after {} attempt(s): {last}", retry + 1))
 }
 
 fn job_json(
@@ -139,12 +204,487 @@ fn job_json(
     if let Some(spec) = opts.get("inject") {
         fields.push(("inject", Json::str(spec)));
     }
+    if let Some(ms) = opts.get("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+        fields.push(("deadline_ms", ms.into()));
+    }
     Ok(Json::obj(fields))
+}
+
+/// A connected reader/writer pair with line-oriented helpers.
+struct Wire {
+    reader: Box<dyn BufRead>,
+    writer: Box<dyn Write>,
+}
+
+impl Wire {
+    fn open(opts: &Opts, seed: u64) -> Result<Wire, String> {
+        let conn = connect_retry(opts, seed)?;
+        let (reader, writer) = conn.split().map_err(|e| e.to_string())?;
+        Ok(Wire { reader, writer })
+    }
+
+    /// One connection attempt, no retry — for deliberately disposable
+    /// connections (torn frames, mid-stream disconnects).
+    fn open_once(opts: &Opts) -> Result<Wire, String> {
+        let conn = connect(opts)?;
+        let (reader, writer) = conn.split().map_err(|e| e.to_string())?;
+        Ok(Wire { reader, writer })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    /// Sends `line` a few bytes at a time with pauses between flushes —
+    /// a valid but deliberately slow (slow-loris-shaped) writer.
+    fn send_slowly(&mut self, line: &str, pause: Duration) -> Result<(), String> {
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        for chunk in bytes.chunks(7) {
+            self.writer
+                .write_all(chunk)
+                .and_then(|()| self.writer.flush())
+                .map_err(|e| format!("send: {e}"))?;
+            std::thread::sleep(pause);
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Json>, String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| format!("recv: {e}"))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Json::parse(line.trim())
+                .map(Some)
+                .map_err(|e| format!("bad response: {e}"));
+        }
+    }
+}
+
+enum SubmitError {
+    /// The daemon answered and the answer is bad — retrying cannot help.
+    Fatal(String),
+    /// The transport failed; a reconnect may succeed.
+    Transport(String),
+}
+
+/// `submit --retry N`: survives transport failures by reconnecting under
+/// jittered backoff. Every retry first asks `result` for the job id —
+/// the daemon may have finished (or journaled and resumed) the job while
+/// the client was away — and only resubmits when the outcome is unknown.
+/// The stable job id makes resubmission idempotent: at worst the same
+/// deterministic job runs twice, with one recorded outcome per id.
+fn submit_resilient(opts: &Opts) -> Result<(), String> {
+    let retry = opts.num("retry", 0)? as u32;
+    let base = Duration::from_millis(opts.num("backoff", 50)?.max(1));
+    let model = opts
+        .get("model")
+        .ok_or("submit requires --model")?
+        .to_owned();
+    let config = opts.get("config").unwrap_or("baseline").to_owned();
+    let tenant = opts.get("tenant").unwrap_or("anon").to_owned();
+    let id = match opts.get("id") {
+        Some(id) if !id.is_empty() => id.to_owned(),
+        _ => {
+            // Stable for this invocation, distinct across invocations.
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            format!("cli-{}-{nanos:x}", std::process::id())
+        }
+    };
+    let seed = fnv64(&id);
+    let wait = opts.get("no-wait").is_none();
+    let mut last = String::new();
+    for attempt in 0..=retry {
+        if attempt > 0 {
+            let delay = limpet_harness::backoff_delay(attempt, base, base.saturating_mul(32), seed);
+            eprintln!(
+                "limpet-client: {last}; retrying job '{id}' in {delay:?} (attempt {attempt}/{retry})"
+            );
+            std::thread::sleep(delay);
+        }
+        match submit_attempt(opts, &id, &model, &config, &tenant, wait, attempt > 0) {
+            Ok(()) => return Ok(()),
+            Err(SubmitError::Fatal(e)) => return Err(e),
+            Err(SubmitError::Transport(e)) => last = e,
+        }
+    }
+    Err(format!(
+        "job '{id}' unresolved after {} attempt(s): {last}",
+        retry + 1
+    ))
+}
+
+fn submit_attempt(
+    opts: &Opts,
+    id: &str,
+    model: &str,
+    config: &str,
+    tenant: &str,
+    wait: bool,
+    resume: bool,
+) -> Result<(), SubmitError> {
+    let mut wire = Wire::open_once(opts).map_err(SubmitError::Transport)?;
+    if resume {
+        let req = Json::obj(vec![("verb", Json::str("result")), ("id", Json::str(id))]);
+        wire.send(&req.to_string())
+            .map_err(SubmitError::Transport)?;
+        match wire.recv().map_err(SubmitError::Transport)? {
+            None => return Err(SubmitError::Transport("connection closed".into())),
+            Some(v) if v.get("event").and_then(Json::as_str) == Some("done") => {
+                println!("{v}");
+                return finish_done(&v).map_err(SubmitError::Fatal);
+            }
+            Some(_) => {} // pending/unknown: fall through to resubmit
+        }
+    }
+    let req = job_json(opts, id, model, config, tenant).map_err(SubmitError::Fatal)?;
+    wire.send(&req.to_string())
+        .map_err(SubmitError::Transport)?;
+    loop {
+        match wire.recv().map_err(SubmitError::Transport)? {
+            None => {
+                return Err(SubmitError::Transport(
+                    "connection closed mid-stream".into(),
+                ))
+            }
+            Some(v) => {
+                println!("{v}");
+                match v.get("event").and_then(Json::as_str).unwrap_or("") {
+                    "rejected" | "error" => {
+                        return Err(SubmitError::Fatal(format!("job not accepted: {v}")))
+                    }
+                    "accepted" if !wait => return Ok(()),
+                    "done" => return finish_done(&v).map_err(SubmitError::Fatal),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn finish_done(v: &Json) -> Result<(), String> {
+    if v.get("status").and_then(Json::as_str) == Some("done") {
+        Ok(())
+    } else {
+        Err(format!("job ended badly: {v}"))
+    }
+}
+
+fn list(opts: &Opts, key: &str) -> Option<Vec<String>> {
+    opts.get(key).map(|s| {
+        s.split(',')
+            .filter(|x| !x.is_empty())
+            .map(str::to_owned)
+            .collect()
+    })
+}
+
+#[derive(Default)]
+struct ChaosTally {
+    resolved: u64,
+    clean: u64,
+    slow: u64,
+    torn: u64,
+    dropped: u64,
+    wedged: u64,
+}
+
+impl ChaosTally {
+    fn add(&mut self, o: &ChaosTally) {
+        self.resolved += o.resolved;
+        self.clean += o.clean;
+        self.slow += o.slow;
+        self.torn += o.torn;
+        self.dropped += o.dropped;
+        self.wedged += o.wedged;
+    }
+}
+
+fn submit_and_wait(wire: &mut Wire, req: &Json) -> Result<Json, String> {
+    wire.send(&req.to_string())?;
+    let id = req
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_owned();
+    wait_done(wire, &id)
+}
+
+fn wait_done(wire: &mut Wire, id: &str) -> Result<Json, String> {
+    loop {
+        let v = wire
+            .recv()?
+            .ok_or_else(|| format!("connection closed waiting for '{id}'"))?;
+        match v.get("event").and_then(Json::as_str) {
+            Some("rejected") | Some("error") => return Err(format!("job '{id}' refused: {v}")),
+            Some("done") if v.get("id").and_then(Json::as_str) == Some(id) => return Ok(v),
+            _ => {}
+        }
+    }
+}
+
+fn check_done_digest(v: &Json, expect: Option<&String>) -> Result<(), String> {
+    if v.get("status").and_then(Json::as_str) != Some("done") {
+        return Err(format!("job ended badly: {v}"));
+    }
+    let digest = v
+        .get("digest")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("done without digest: {v}"))?;
+    if let Some(e) = expect {
+        if digest != e {
+            return Err(format!("digest mismatch: got {digest}, baseline {e}: {v}"));
+        }
+    }
+    Ok(())
+}
+
+/// Polls `result --id` until the outcome is known. `Ok(None)` after the
+/// attempt budget means the daemon never learned a terminal outcome (the
+/// caller resubmits — stable ids make that idempotent).
+fn poll_result(
+    opts: &Opts,
+    id: &str,
+    pause: Duration,
+    attempts: u32,
+) -> Result<Option<Json>, String> {
+    let mut wire = Wire::open(opts, fnv64(id))?;
+    for _ in 0..attempts {
+        let req = Json::obj(vec![("verb", Json::str("result")), ("id", Json::str(id))]);
+        wire.send(&req.to_string())?;
+        match wire.recv()? {
+            None => return Err("connection closed during result poll".into()),
+            Some(v) if v.get("event").and_then(Json::as_str) == Some("done") => return Ok(Some(v)),
+            Some(_) => std::thread::sleep(pause),
+        }
+    }
+    Ok(None)
+}
+
+/// One tenant's chaos thread: `rounds` passes over the model × config
+/// matrix, each job with a PRNG-chosen hostile flavor. Returns the tally
+/// or the first hard failure (unresolved job, digest mismatch, refusal).
+fn chaos_tenant(
+    opts: &Opts,
+    tenant: &str,
+    models: &[String],
+    configs: &[String],
+    baseline: &BTreeMap<(String, String), String>,
+    rounds: u64,
+    rng: &mut u64,
+) -> Result<ChaosTally, String> {
+    let mut tally = ChaosTally::default();
+    let mut wire = Wire::open(opts, fnv64(tenant))?;
+    for round in 0..rounds {
+        for model in models {
+            for config in configs {
+                let flavor = splitmix(rng) % 8;
+                let id = format!("c{round}|{tenant}|{model}|{config}|{flavor}");
+                let expect = baseline.get(&(model.clone(), config.clone()));
+                let mut req = job_json(opts, &id, model, config, tenant)?;
+                match flavor {
+                    2 => {
+                        // Torn frame: half a submit line, then vanish.
+                        // The daemon never sees a full frame, so nothing
+                        // was submitted; follow up with a clean run so
+                        // this slot still produces a digest.
+                        if let Ok(mut torn) = Wire::open_once(opts) {
+                            let line = req.to_string();
+                            let _ = torn.writer.write_all(&line.as_bytes()[..line.len() / 2]);
+                            let _ = torn.writer.flush();
+                        }
+                        tally.torn += 1;
+                        let v = submit_and_wait(&mut wire, &req)?;
+                        check_done_digest(&v, expect)?;
+                        tally.resolved += 1;
+                    }
+                    3 | 7 => {
+                        // Mid-stream disconnect: get the job accepted on
+                        // a throwaway connection, then vanish. The
+                        // daemon aborts the orphan; recovery goes
+                        // through `result` polling, with an idempotent
+                        // resubmit if the outcome never materializes.
+                        {
+                            let mut drop_wire = Wire::open_once(opts)?;
+                            drop_wire.send(&req.to_string())?;
+                            loop {
+                                let v = drop_wire.recv()?.ok_or("closed before job acceptance")?;
+                                match v.get("event").and_then(Json::as_str) {
+                                    Some("accepted") => break,
+                                    Some("rejected") | Some("error") => {
+                                        return Err(format!("chaos job refused: {v}"))
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                        let outcome = match poll_result(opts, &id, Duration::from_millis(50), 200)?
+                        {
+                            Some(v) => v,
+                            None => submit_and_wait(&mut wire, &req)?,
+                        };
+                        // Aborted is a legitimate resolution for an
+                        // abandoned job; a completed one must agree with
+                        // the baseline bit-for-bit.
+                        if outcome.get("status").and_then(Json::as_str) == Some("done") {
+                            check_done_digest(&outcome, expect)?;
+                        }
+                        tally.dropped += 1;
+                        tally.resolved += 1;
+                    }
+                    4 => {
+                        // Wedge the worker: a non-cooperative hang with a
+                        // short budget; only the daemon's watchdog can
+                        // resolve this one.
+                        if let Json::Obj(map) = &mut req {
+                            map.insert("inject".into(), Json::str("worker-hang@2500"));
+                            map.insert("deadline_ms".into(), 200.0.into());
+                        }
+                        let v = submit_and_wait(&mut wire, &req)?;
+                        match v.get("status").and_then(Json::as_str) {
+                            Some("deadline") => {}
+                            // A concurrent job can steal the armed hang;
+                            // a clean finish is also a resolution.
+                            Some("done") => check_done_digest(&v, expect)?,
+                            other => return Err(format!("wedged job '{id}' ended {other:?}: {v}")),
+                        }
+                        tally.wedged += 1;
+                        tally.resolved += 1;
+                    }
+                    1 | 6 => {
+                        wire.send_slowly(&req.to_string(), Duration::from_millis(2))?;
+                        let v = wait_done(&mut wire, &id)?;
+                        check_done_digest(&v, expect)?;
+                        tally.slow += 1;
+                        tally.resolved += 1;
+                    }
+                    _ => {
+                        let v = submit_and_wait(&mut wire, &req)?;
+                        check_done_digest(&v, expect)?;
+                        tally.clean += 1;
+                        tally.resolved += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(tally)
+}
+
+/// The seeded hostile-client soak (`--chaos`). Three phases:
+///
+/// 1. **Baseline** — one clean submission per model × config records the
+///    reference digest.
+/// 2. **Chaos rounds** — one thread per tenant, each submitting the full
+///    matrix per round with PRNG-chosen hostile flavors: clean,
+///    slow-loris writes, torn frames, mid-stream disconnects recovered
+///    via `result`, and wedge-the-worker injections that must end as
+///    `deadline`.
+/// 3. **Verdict** — the daemon must still answer `ping`, every submitted
+///    job must have resolved, and every digest observed must equal the
+///    baseline bit-for-bit.
+///
+/// Prints the baseline CSV (sorted `model,config,digest`) on stdout —
+/// byte-comparable with `drive` and `figures --digest` — and a summary
+/// on stderr. Any leak, mismatch, or daemon death is a hard error.
+fn chaos(opts: &Opts) -> Result<(), String> {
+    let seed = opts.num("seed", 1)?;
+    let rounds = opts.num("rounds", 2)?;
+    let models = list(opts, "models").ok_or("chaos requires --models")?;
+    let configs = list(opts, "configs").unwrap_or_else(|| vec!["baseline".to_owned()]);
+    let tenants =
+        list(opts, "tenants").unwrap_or_else(|| vec!["chaos-a".to_owned(), "chaos-b".to_owned()]);
+
+    // Phase 1: baseline digests over one clean connection.
+    let mut baseline: BTreeMap<(String, String), String> = BTreeMap::new();
+    {
+        let mut wire = Wire::open(opts, seed)?;
+        for model in &models {
+            for config in &configs {
+                let id = format!("base|{model}|{config}");
+                let req = job_json(opts, &id, model, config, &tenants[0])?;
+                let v = submit_and_wait(&mut wire, &req)?;
+                check_done_digest(&v, None)?;
+                let digest = v.get("digest").and_then(Json::as_str).unwrap().to_owned();
+                baseline.insert((model.clone(), config.clone()), digest);
+            }
+        }
+    }
+
+    // Phase 2: chaos rounds, one thread per tenant.
+    let mut handles = Vec::new();
+    for (ti, tenant) in tenants.iter().enumerate() {
+        let opts = opts.clone();
+        let tenant = tenant.clone();
+        let models = models.clone();
+        let configs = configs.clone();
+        let baseline = baseline.clone();
+        let mut rng = seed ^ ((ti as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+        handles.push(std::thread::spawn(move || {
+            chaos_tenant(
+                &opts, &tenant, &models, &configs, &baseline, rounds, &mut rng,
+            )
+        }));
+    }
+    let mut tally = ChaosTally::default();
+    for h in handles {
+        let t = h.join().map_err(|_| "chaos thread panicked".to_owned())??;
+        tally.add(&t);
+    }
+
+    // Phase 3: the daemon must still be alive and answering.
+    let mut wire = Wire::open(opts, seed ^ 0xff)?;
+    wire.send(r#"{"verb":"ping"}"#)?;
+    match wire.recv()? {
+        Some(v) if v.get("event").and_then(Json::as_str) == Some("pong") => {}
+        other => return Err(format!("daemon not answering ping after chaos: {other:?}")),
+    }
+
+    eprintln!(
+        "chaos: seed={seed} rounds={rounds} tenants={} resolved={} \
+         (clean={} slow={} torn={} dropped={} wedged={})",
+        tenants.len(),
+        tally.resolved,
+        tally.clean,
+        tally.slow,
+        tally.torn,
+        tally.dropped,
+        tally.wedged
+    );
+    println!("model,config,digest");
+    for ((model, config), digest) in &baseline {
+        println!("{model},{config},{digest}");
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
     let (verb, opts) = parse_cli()?;
-    let conn = connect(&opts)?;
+    if verb == "chaos" {
+        return chaos(&opts);
+    }
+    if verb == "submit" && opts.num("retry", 0)? > 0 {
+        return submit_resilient(&opts);
+    }
+    let conn = connect_retry(&opts, 0x636c69)?;
     let (mut reader, mut writer) = conn.split().map_err(|e| e.to_string())?;
     let slow_ms = opts.num("slow-ms", 0)?;
     let mut send = |line: &str| -> Result<(), String> {

@@ -33,6 +33,11 @@ OPTIONS:
     --max-cost N        per-job cells*steps budget (default 67108864)
     --queue-depth N     service-wide in-flight cap (default 64)
     --outbox-cap N      per-connection event buffer (default 64)
+    --deadline-ms N     default wall-clock budget per job in ms
+                        (default 300000; 0 = jobs without their own
+                        deadline run unbounded)
+    --watchdog-ms N     stuck-worker watchdog grace period in ms
+                        (default 1000; 0 disables the watchdog)
     -h, --help          this help
 ";
 
@@ -74,6 +79,18 @@ fn parse_args() -> Result<ServerConfig, String> {
                 config.outbox_cap = value("--outbox-cap")?
                     .parse()
                     .map_err(|e| format!("--outbox-cap: {e}"))?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                config.default_deadline_ms = (ms > 0).then_some(ms);
+            }
+            "--watchdog-ms" => {
+                let ms: u64 = value("--watchdog-ms")?
+                    .parse()
+                    .map_err(|e| format!("--watchdog-ms: {e}"))?;
+                config.watchdog_ms = (ms > 0).then_some(ms);
             }
             "-h" | "--help" => {
                 print!("{USAGE}");

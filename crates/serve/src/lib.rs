@@ -38,6 +38,8 @@ pub mod tenant;
 
 pub use json::Json;
 pub use queue::Bounded;
-pub use scheduler::{parse_config, JobOutcome, JobSpec, JobStatus, ModelRef, Pool, QueuedJob};
+pub use scheduler::{
+    parse_config, JobOutcome, JobSpec, JobStatus, ModelRef, Pool, PoolConfig, QueuedJob, RunCtl,
+};
 pub use server::{Listen, Server, ServerConfig};
 pub use tenant::{Ledger, QuotaConfig, Rejection, TenantUsage};

@@ -82,6 +82,25 @@ impl<T> Bounded<T> {
         }
     }
 
+    /// Non-blocking [`Bounded::push`]: appends `item` only if there is
+    /// room right now. Used by the stuck-worker watchdog, which must
+    /// never let one connection's full outbox stall the sweep that
+    /// protects every other connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Closed`] (with the item dropped) when the queue is
+    /// closed or momentarily full.
+    pub fn try_push(&self, item: T) -> Result<(), Closed> {
+        let mut st = self.lock();
+        if st.closed || st.buf.len() >= self.cap {
+            return Err(Closed);
+        }
+        st.buf.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Removes the oldest item, blocking while the queue is empty.
     /// Returns `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
@@ -195,6 +214,17 @@ mod tests {
         assert_eq!(q.pop_timeout(Duration::from_millis(10)), Err(TimedOut));
         q.close();
         assert_eq!(q.pop_timeout(Duration::from_millis(10)), Ok(None));
+    }
+
+    #[test]
+    fn try_push_never_blocks() {
+        let q = Bounded::new(1);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Err(Closed), "full queue refuses instantly");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()));
+        q.close();
+        assert_eq!(q.try_push(4), Err(Closed));
     }
 
     #[test]

@@ -14,11 +14,14 @@
 //! `run_guarded(steps)` call, which is what makes the service's digests
 //! comparable to the single-process `figures --digest` driver.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use limpet_harness::{faults, HealthPolicy, PipelineKind, Simulation, Workload};
+use limpet_harness::{
+    faults, CancelToken, HealthPolicy, IncidentKind, PipelineKind, Simulation, Workload,
+};
 
 use crate::json::Json;
 use crate::queue::Bounded;
@@ -73,6 +76,9 @@ pub struct JobSpec {
     /// Optional fault-injection spec (`verify-fail@42`) armed before the
     /// job compiles — the CI hook for asserting per-job degradation.
     pub inject: Option<String>,
+    /// Optional per-job wall-clock budget in milliseconds. Overrides the
+    /// daemon's default budget; absent means "use the daemon default".
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -101,6 +107,9 @@ impl JobSpec {
         fields.push(("chunk", self.chunk.into()));
         if let Some(inject) = &self.inject {
             fields.push(("inject", Json::str(inject)));
+        }
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms", ms.into()));
         }
         Json::obj(fields)
     }
@@ -158,6 +167,13 @@ impl JobSpec {
             .and_then(Json::as_str)
             .map(str::to_owned)
             .filter(|s| !s.is_empty());
+        let deadline_ms = match v.get("deadline_ms") {
+            None => None,
+            Some(j) => match j.as_u64() {
+                Some(n) if n >= 1 => Some(n),
+                _ => return Err("field 'deadline_ms' must be an integer >= 1".into()),
+            },
+        };
         Ok(JobSpec {
             id,
             tenant,
@@ -168,6 +184,7 @@ impl JobSpec {
             dt,
             chunk,
             inject,
+            deadline_ms,
         })
     }
 }
@@ -214,6 +231,9 @@ pub enum JobStatus {
     Failed,
     /// The client went away (or the daemon hard-stopped) mid-run.
     Aborted,
+    /// The job's wall-clock budget expired: cancelled cooperatively at a
+    /// step boundary, or reclaimed by the stuck-worker watchdog.
+    Deadline,
 }
 
 impl JobStatus {
@@ -223,6 +243,7 @@ impl JobStatus {
             JobStatus::Done => "done",
             JobStatus::Failed => "failed",
             JobStatus::Aborted => "aborted",
+            JobStatus::Deadline => "deadline",
         }
     }
 }
@@ -296,14 +317,30 @@ impl JobOutcome {
 /// connection, hence the `Option`.
 pub type Outbox = Option<Arc<Bounded<String>>>;
 
+/// Everything the execution loop consults besides the spec: the pool's
+/// abort flag, the job's cancellation token, and the heartbeat counter
+/// the stuck-worker watchdog samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunCtl<'a> {
+    /// Pool-global abort (daemon hard stop); checked at chunk boundaries.
+    pub abort: Option<&'a AtomicBool>,
+    /// Per-job cancellation/deadline token, also threaded into the
+    /// simulation so expiry lands at a *step* boundary, not just a chunk.
+    pub token: Option<&'a CancelToken>,
+    /// Bumped once per completed chunk — a flat-lining heartbeat past
+    /// the deadline is what the watchdog treats as a wedged worker.
+    pub heartbeat: Option<&'a AtomicU64>,
+}
+
 /// Runs one job to completion on the calling thread.
 ///
 /// Streams a `{"event":"chunk",…}` line into `outbox` after every
 /// `spec.chunk` steps — [`Bounded::push`] blocking on a full outbox is
 /// the backpressure that slows this job (and only this job) down to its
-/// reader's pace. A closed outbox (client gone) or a raised `abort` flag
-/// ends the job as [`JobStatus::Aborted`].
-pub fn run_job(spec: &JobSpec, outbox: &Outbox, abort: &AtomicBool) -> JobOutcome {
+/// reader's pace. A closed outbox (client gone) or a raised abort flag
+/// ends the job as [`JobStatus::Aborted`]; a tripped cancellation token
+/// ends it as [`JobStatus::Deadline`] at a step boundary, state whole.
+pub fn run_job(spec: &JobSpec, outbox: &Outbox, ctl: &RunCtl) -> JobOutcome {
     let model = match &spec.model {
         ModelRef::Roster(name) => match limpet_models::entry(name) {
             Some(_) => limpet_models::model(name),
@@ -327,6 +364,14 @@ pub fn run_job(spec: &JobSpec, outbox: &Outbox, abort: &AtomicBool) -> JobOutcom
             return JobOutcome::failed(spec, format!("bad inject spec: {e}"));
         }
     }
+    // The WorkerHang injection (taken after arming, so a job's own
+    // inject spec wedges *this* job) stalls the thread for the payload's
+    // duration in milliseconds ("worker-hang@3000" = 3s), deliberately
+    // ignoring the token — a genuine non-cooperative stall only the
+    // watchdog can deal with.
+    if let Some(ms) = faults::take(faults::FaultKind::WorkerHang) {
+        std::thread::sleep(Duration::from_millis(ms.clamp(1, 600_000)));
+    }
     let wl = Workload {
         n_cells: spec.cells,
         steps: spec.steps,
@@ -344,18 +389,36 @@ pub fn run_job(spec: &JobSpec, outbox: &Outbox, abort: &AtomicBool) -> JobOutcom
             );
         }
     };
+    if let Some(token) = ctl.token {
+        // Threaded into guarded stepping so expiry stops at a step
+        // boundary inside a chunk, never leaving torn mid-step state.
+        sim.set_cancel_token(token.clone());
+    }
     let mut steps_run = 0;
     let mut aborted = false;
+    let mut deadline = None;
     while steps_run < spec.steps {
-        if abort.load(Ordering::SeqCst) {
+        if ctl.abort.is_some_and(|a| a.load(Ordering::SeqCst)) {
             aborted = true;
             break;
         }
         let n = spec.chunk.min(spec.steps - steps_run);
-        // An Err here means even the reference tier gave up; stop
-        // stepping (matching `trajectory_digest`) and digest what ran.
-        let stopped = sim.run_guarded(n).is_err();
+        // An Err here means the job's budget expired (typed incident) or
+        // even the reference tier gave up; stop stepping (matching
+        // `trajectory_digest`) and report what ran.
+        let stopped = match sim.run_guarded(n) {
+            Ok(()) => false,
+            Err(incident) => {
+                if incident.kind == IncidentKind::DeadlineExceeded {
+                    deadline = Some(incident.detail.clone());
+                }
+                true
+            }
+        };
         steps_run += n;
+        if let Some(hb) = ctl.heartbeat {
+            hb.fetch_add(1, Ordering::SeqCst);
+        }
         if let Some(out) = outbox {
             let event = Json::obj(vec![
                 ("event", Json::str("chunk")),
@@ -380,25 +443,28 @@ pub fn run_job(spec: &JobSpec, outbox: &Outbox, abort: &AtomicBool) -> JobOutcom
         // into later compiles on this daemon.
         faults::disarm_all();
     }
-    let digest = if aborted {
-        None
+    let status = if deadline.is_some() {
+        JobStatus::Deadline
+    } else if aborted {
+        JobStatus::Aborted
     } else {
+        JobStatus::Done
+    };
+    let digest = if status == JobStatus::Done {
         Some(vm_digest(&sim, spec.cells))
+    } else {
+        None
     };
     JobOutcome {
         id: spec.id.clone(),
         tenant: spec.tenant.clone(),
-        status: if aborted {
-            JobStatus::Aborted
-        } else {
-            JobStatus::Done
-        },
+        status,
         digest,
         tier: Some(sim.tier().to_string()),
         steps_run,
         incidents: Json::parse(&limpet_harness::incidents_json(sim.incidents()))
             .unwrap_or(Json::Arr(Vec::new())),
-        error: None,
+        error: deadline,
     }
 }
 
@@ -426,60 +492,278 @@ pub struct QueuedJob {
     pub outbox: Outbox,
 }
 
-/// A fixed-size worker pool draining a shared bounded job queue.
-pub struct Pool {
+/// Sizing and survivability knobs for a [`Pool`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded job-queue capacity.
+    pub queue_cap: usize,
+    /// Default per-job wall-clock budget (ms) for specs that carry none;
+    /// `None` leaves such jobs unbudgeted.
+    pub default_deadline_ms: Option<u64>,
+    /// Stuck-worker watchdog sweep interval; `None` disables the
+    /// watchdog entirely (then a non-cooperative worker is never
+    /// reclaimed — tests and embedded pools only).
+    pub watchdog: Option<Duration>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            workers: 2,
+            queue_cap: 64,
+            default_deadline_ms: None,
+            watchdog: None,
+        }
+    }
+}
+
+/// The watchdog's view of one in-flight job, published by the worker
+/// into its slot before stepping begins.
+#[derive(Debug)]
+struct ActiveJob {
+    spec: JobSpec,
+    outbox: Outbox,
+    token: CancelToken,
+    heartbeat: Arc<AtomicU64>,
+    /// Set by the watchdog when it reclaims the job; the owning worker
+    /// then suppresses its own (late) completion and exits.
+    abandoned: Arc<AtomicBool>,
+    /// The owning worker thread's wedged flag — set so shutdown does not
+    /// block joining a thread that may never return.
+    thread_wedged: Arc<AtomicBool>,
+    /// When the watchdog first saw the job's budget tripped; reclaim
+    /// fires one full sweep interval later, giving a cooperative worker
+    /// time to stop at its own step boundary.
+    tripped_at: Option<Instant>,
+}
+
+/// Completion callback: invoked once per job with its final outcome.
+type DoneHook = Arc<dyn Fn(&JobSpec, &JobOutcome) + Send + Sync>;
+
+/// Stall callback: invoked with the spec and a reason when the watchdog
+/// reclaims a wedged worker.
+type StallHook = Arc<dyn Fn(&JobSpec, &str) + Send + Sync>;
+
+/// State shared between workers, the watchdog, and the pool handle.
+struct PoolShared {
     queue: Arc<Bounded<QueuedJob>>,
-    abort: Arc<AtomicBool>,
-    workers: Vec<JoinHandle<()>>,
+    abort: AtomicBool,
+    /// One slot per worker index; `None` when that worker is idle.
+    slots: Vec<Mutex<Option<ActiveJob>>>,
+    on_done: DoneHook,
+    /// Invoked (with the spec and a reason) when the watchdog reclaims a
+    /// wedged worker — the server's hook for counters and native-slot
+    /// quarantine.
+    on_stall: StallHook,
+    default_deadline_ms: Option<u64>,
+    /// `(handle, wedged)` for every thread ever spawned; wedged threads
+    /// are left behind (not joined) at shutdown.
+    threads: Mutex<Vec<(JoinHandle<()>, Arc<AtomicBool>)>>,
+    watchdog_stop: AtomicBool,
+    respawns: AtomicU64,
+}
+
+impl PoolShared {
+    fn lock_slot(&self, i: usize) -> std::sync::MutexGuard<'_, Option<ActiveJob>> {
+        self.slots[i].lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+fn spawn_worker(shared: &Arc<PoolShared>, i: usize) {
+    let sh = Arc::clone(shared);
+    let wedged = Arc::new(AtomicBool::new(false));
+    let my_wedged = Arc::clone(&wedged);
+    let handle = std::thread::Builder::new()
+        .name(format!("limpet-worker-{i}"))
+        .spawn(move || {
+            while let Some(job) = sh.queue.pop() {
+                let QueuedJob { spec, outbox } = job;
+                let token = match spec.deadline_ms.or(sh.default_deadline_ms) {
+                    Some(ms) => CancelToken::with_budget(Duration::from_millis(ms.max(1))),
+                    None => CancelToken::new(),
+                };
+                let heartbeat = Arc::new(AtomicU64::new(0));
+                let abandoned = Arc::new(AtomicBool::new(false));
+                *sh.lock_slot(i) = Some(ActiveJob {
+                    spec: spec.clone(),
+                    outbox: outbox.clone(),
+                    token: token.clone(),
+                    heartbeat: Arc::clone(&heartbeat),
+                    abandoned: Arc::clone(&abandoned),
+                    thread_wedged: Arc::clone(&my_wedged),
+                    tripped_at: None,
+                });
+                let outcome = run_job(
+                    &spec,
+                    &outbox,
+                    &RunCtl {
+                        abort: Some(&sh.abort),
+                        token: Some(&token),
+                        heartbeat: Some(&heartbeat),
+                    },
+                );
+                // Completion races the watchdog's reclaim; the slot lock
+                // arbitrates. Losing means a replacement worker already
+                // owns this slot and the job was reported as a deadline —
+                // this thread is surplus and exits without reporting.
+                let claimed = {
+                    let mut slot = sh.lock_slot(i);
+                    if abandoned.load(Ordering::SeqCst) {
+                        false
+                    } else {
+                        *slot = None;
+                        true
+                    }
+                };
+                if !claimed {
+                    return;
+                }
+                if let Some(out) = &outbox {
+                    // Best effort: the client may already be gone.
+                    let _ = out.push(outcome.to_json().to_string());
+                }
+                (sh.on_done)(&spec, &outcome);
+            }
+        })
+        .expect("spawning a worker thread");
+    shared
+        .threads
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push((handle, wedged));
+}
+
+/// One watchdog sweep: reclaim every slot whose job's budget tripped at
+/// least `grace` ago and whose worker still hasn't returned.
+fn watchdog_sweep(sh: &Arc<PoolShared>, grace: Duration) {
+    for i in 0..sh.slots.len() {
+        let reclaimed = {
+            let mut slot = sh.lock_slot(i);
+            let Some(active) = slot.as_mut() else {
+                continue;
+            };
+            if active.token.checked().is_none() {
+                // Budget not exhausted (or no budget at all): a slow
+                // chunk is not a stall. The deadline is the authority.
+                active.tripped_at = None;
+                continue;
+            }
+            match active.tripped_at {
+                None => {
+                    active.tripped_at = Some(Instant::now());
+                    continue;
+                }
+                Some(t) if t.elapsed() < grace => continue,
+                Some(_) => slot.take(),
+            }
+        };
+        let Some(active) = reclaimed else { continue };
+        // The worker ignored its tripped budget for a full sweep
+        // interval: treat it as wedged. Cancel (idempotent), mark the
+        // job abandoned so the worker's late completion is suppressed
+        // and the thread exits, report the 504, and restore capacity.
+        active.token.cancel();
+        active.abandoned.store(true, Ordering::SeqCst);
+        active.thread_wedged.store(true, Ordering::SeqCst);
+        let spec = &active.spec;
+        let reason = format!(
+            "watchdog: worker unresponsive {}ms past its deadline; job reclaimed",
+            grace.as_millis()
+        );
+        if let Some(out) = &active.outbox {
+            // try_push, not push: a full outbox must not stall the sweep
+            // that protects every other connection.
+            let _ = out.try_push(
+                Json::obj(vec![
+                    ("event", Json::str("deadline")),
+                    ("id", Json::str(&spec.id)),
+                    ("code", 504u64.into()),
+                    ("reason", Json::str(&reason)),
+                ])
+                .to_string(),
+            );
+        }
+        let chunks = active.heartbeat.load(Ordering::SeqCst) as usize;
+        let outcome = JobOutcome {
+            id: spec.id.clone(),
+            tenant: spec.tenant.clone(),
+            status: JobStatus::Deadline,
+            digest: None,
+            tier: None,
+            steps_run: (chunks * spec.chunk).min(spec.steps),
+            incidents: Json::Arr(Vec::new()),
+            error: Some(reason.clone()),
+        };
+        if let Some(out) = &active.outbox {
+            let _ = out.try_push(outcome.to_json().to_string());
+        }
+        (sh.on_done)(spec, &outcome);
+        (sh.on_stall)(spec, &reason);
+        sh.respawns.fetch_add(1, Ordering::SeqCst);
+        spawn_worker(sh, i);
+    }
+}
+
+/// A fixed-size worker pool draining a shared bounded job queue, with an
+/// optional stuck-worker watchdog that reclaims wedged workers.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Pool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pool")
-            .field("workers", &self.workers.len())
-            .field("queued", &self.queue.len())
+            .field("workers", &self.shared.slots.len())
+            .field("queued", &self.shared.queue.len())
             .finish()
     }
 }
 
 impl Pool {
-    /// Spawns `workers` threads popping jobs from a queue of at most
-    /// `queue_cap` entries. Every finished job is handed to `on_done`
-    /// (journal done-line, ledger release, results map — the server's
-    /// business, injected so the pool stays mechanism-only).
-    pub fn new<F>(workers: usize, queue_cap: usize, on_done: F) -> Pool
+    /// Spawns the configured worker threads popping jobs from a bounded
+    /// queue. Every finished job is handed to `on_done` (journal
+    /// done-line, ledger release, results map — the server's business,
+    /// injected so the pool stays mechanism-only); every watchdog
+    /// reclaim additionally fires `on_stall` with the wedged job's spec.
+    pub fn new<F, G>(config: PoolConfig, on_done: F, on_stall: G) -> Pool
     where
         F: Fn(&JobSpec, &JobOutcome) + Send + Sync + 'static,
+        G: Fn(&JobSpec, &str) + Send + Sync + 'static,
     {
-        let queue = Arc::new(Bounded::new(queue_cap.max(1)));
-        let abort = Arc::new(AtomicBool::new(false));
-        let on_done = Arc::new(on_done);
-        let mut handles = Vec::new();
-        for i in 0..workers.max(1) {
-            let queue = Arc::clone(&queue);
-            let abort = Arc::clone(&abort);
-            let on_done = Arc::clone(&on_done);
-            let handle = std::thread::Builder::new()
-                .name(format!("limpet-worker-{i}"))
+        let workers = config.workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Arc::new(Bounded::new(config.queue_cap.max(1))),
+            abort: AtomicBool::new(false),
+            slots: (0..workers).map(|_| Mutex::new(None)).collect(),
+            on_done: Arc::new(on_done),
+            on_stall: Arc::new(on_stall),
+            default_deadline_ms: config.default_deadline_ms,
+            threads: Mutex::new(Vec::new()),
+            watchdog_stop: AtomicBool::new(false),
+            respawns: AtomicU64::new(0),
+        });
+        for i in 0..workers {
+            spawn_worker(&shared, i);
+        }
+        let watchdog = config.watchdog.map(|grace| {
+            let sh = Arc::clone(&shared);
+            // Sweep a few times per grace interval so reclaim latency is
+            // bounded by ~grace, not 2×grace.
+            let tick = (grace / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
+            std::thread::Builder::new()
+                .name("limpet-watchdog".into())
                 .spawn(move || {
-                    while let Some(job) = queue.pop() {
-                        let QueuedJob { spec, outbox } = job;
-                        let outcome = run_job(&spec, &outbox, &abort);
-                        if let Some(out) = &outbox {
-                            // Best effort: the client may already be gone.
-                            let _ = out.push(outcome.to_json().to_string());
-                        }
-                        on_done(&spec, &outcome);
+                    while !sh.watchdog_stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(tick);
+                        watchdog_sweep(&sh, grace);
                     }
                 })
-                .expect("spawning a worker thread");
-            handles.push(handle);
-        }
-        Pool {
-            queue,
-            abort,
-            workers: handles,
-        }
+                .expect("spawning the watchdog thread")
+        });
+        Pool { shared, watchdog }
     }
 
     /// Enqueues a job. Blocks if the queue is momentarily full (admission
@@ -489,32 +773,54 @@ impl Pool {
     ///
     /// Returns the job back when the pool is already shutting down.
     pub fn submit(&self, job: QueuedJob) -> Result<(), crate::queue::Closed> {
-        self.queue.push(job)
+        self.shared.queue.push(job)
     }
 
     /// Jobs waiting in the queue (not counting ones being executed).
     pub fn queued(&self) -> usize {
-        self.queue.len()
+        self.shared.queue.len()
+    }
+
+    /// Workers respawned by the watchdog after reclaiming a wedged one.
+    pub fn respawns(&self) -> u64 {
+        self.shared.respawns.load(Ordering::SeqCst)
     }
 
     /// A submit/len handle to the underlying queue, for connection
     /// threads that outlive nothing but must not own the pool.
     pub fn queue_handle(&self) -> Arc<Bounded<QueuedJob>> {
-        Arc::clone(&self.queue)
+        Arc::clone(&self.shared.queue)
     }
 
     /// Stops the pool. With `drain`, queued and running jobs finish
     /// first; without, running jobs abort at their next chunk boundary
     /// and still-queued jobs drain through as immediate aborts (their
     /// `on_done` fires with [`JobStatus::Aborted`], so the journal and
-    /// ledger stay consistent).
-    pub fn shutdown(mut self, drain: bool) {
+    /// ledger stay consistent). Threads the watchdog marked wedged are
+    /// not joined — they may never return, and their late completions
+    /// are already suppressed.
+    pub fn shutdown(self, drain: bool) {
         if !drain {
-            self.abort.store(true, Ordering::SeqCst);
+            self.shared.abort.store(true, Ordering::SeqCst);
         }
-        self.queue.close();
-        for h in self.workers.drain(..) {
-            let _ = h.join();
+        self.shared.queue.close();
+        self.shared.watchdog_stop.store(true, Ordering::SeqCst);
+        if let Some(w) = self.watchdog {
+            let _ = w.join();
+        }
+        let threads = std::mem::take(
+            &mut *self
+                .shared
+                .threads
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()),
+        );
+        for (handle, wedged) in threads {
+            if wedged.load(Ordering::SeqCst) {
+                drop(handle);
+            } else {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -523,6 +829,11 @@ impl Pool {
 mod tests {
     use super::*;
     use std::sync::Mutex;
+
+    /// Serializes tests that arm fault injections: the fault registry is
+    /// process-global, so a concurrently running test could steal an
+    /// armed plan.
+    static TEST_SERIAL: Mutex<()> = Mutex::new(());
 
     fn spec(id: &str, model: &str, config: &str, cells: usize, steps: usize) -> JobSpec {
         JobSpec {
@@ -535,6 +846,7 @@ mod tests {
             dt: 0.01,
             chunk: 8,
             inject: None,
+            deadline_ms: None,
         }
     }
 
@@ -542,6 +854,7 @@ mod tests {
     fn spec_json_round_trips() {
         let mut s = spec("j1", "HodgkinHuxley", "avx512", 64, 32);
         s.inject = Some("verify-fail@7".into());
+        s.deadline_ms = Some(2500);
         let encoded = s.to_json().to_string();
         let decoded = JobSpec::from_json(&Json::parse(&encoded).unwrap(), "fallback").unwrap();
         assert_eq!(decoded, s);
@@ -589,7 +902,7 @@ mod tests {
         let outcome = run_job(
             &spec("d", "HodgkinHuxley", "baseline", wl.n_cells, wl.steps),
             &None,
-            &AtomicBool::new(false),
+            &RunCtl::default(),
         );
         assert_eq!(outcome.status, JobStatus::Done);
         assert_eq!(outcome.digest, Some(expected));
@@ -601,7 +914,7 @@ mod tests {
         let out = run_job(
             &spec("x", "NoSuchModel", "baseline", 4, 4),
             &None,
-            &AtomicBool::new(false),
+            &RunCtl::default(),
         );
         assert_eq!(out.status, JobStatus::Failed);
         assert!(out.error.as_deref().unwrap().contains("NoSuchModel"));
@@ -611,10 +924,18 @@ mod tests {
     fn pool_runs_jobs_and_reports_done() {
         let done: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
         let done2 = Arc::clone(&done);
-        let pool = Pool::new(2, 8, move |spec, outcome| {
-            assert_eq!(outcome.status, JobStatus::Done);
-            done2.lock().unwrap().push(spec.id.clone());
-        });
+        let pool = Pool::new(
+            PoolConfig {
+                workers: 2,
+                queue_cap: 8,
+                ..PoolConfig::default()
+            },
+            move |spec, outcome| {
+                assert_eq!(outcome.status, JobStatus::Done);
+                done2.lock().unwrap().push(spec.id.clone());
+            },
+            |_, _| {},
+        );
         for i in 0..4 {
             pool.submit(QueuedJob {
                 spec: spec(&format!("j{i}"), "HodgkinHuxley", "baseline", 8, 4),
@@ -626,5 +947,91 @@ mod tests {
         let mut ids = done.lock().unwrap().clone();
         ids.sort();
         assert_eq!(ids, ["j0", "j1", "j2", "j3"]);
+    }
+
+    #[test]
+    fn expired_budget_ends_job_as_deadline_with_whole_state() {
+        let mut s = spec("dl", "HodgkinHuxley", "baseline", 8, 1000);
+        s.deadline_ms = Some(1);
+        let token = CancelToken::with_budget(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        let out = run_job(
+            &s,
+            &None,
+            &RunCtl {
+                abort: None,
+                token: Some(&token),
+                heartbeat: None,
+            },
+        );
+        assert_eq!(out.status, JobStatus::Deadline);
+        assert_eq!(out.digest, None);
+        assert!(out.error.as_deref().unwrap().contains("deadline-exceeded"));
+        assert!(out.steps_run < 1000, "must stop early, not run to the end");
+    }
+
+    #[test]
+    fn watchdog_reclaims_wedged_worker_and_pool_keeps_serving() {
+        let _guard = TEST_SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        faults::disarm_all();
+        let done: Arc<Mutex<Vec<(String, JobStatus)>>> = Arc::new(Mutex::new(Vec::new()));
+        let stalled: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let done2 = Arc::clone(&done);
+        let stalled2 = Arc::clone(&stalled);
+        let pool = Pool::new(
+            PoolConfig {
+                workers: 1,
+                queue_cap: 8,
+                default_deadline_ms: Some(50),
+                watchdog: Some(Duration::from_millis(60)),
+            },
+            move |spec, outcome| {
+                done2
+                    .lock()
+                    .unwrap()
+                    .push((spec.id.clone(), outcome.status))
+            },
+            move |spec, _reason| stalled2.lock().unwrap().push(spec.id.clone()),
+        );
+        // First job wedges its worker for ~2s, far past the 50ms budget;
+        // the second job can only ever run if the watchdog reclaims the
+        // worker and spawns a replacement.
+        let mut hung = spec("hung", "HodgkinHuxley", "baseline", 8, 4);
+        hung.inject = Some("worker-hang@2000".into());
+        pool.submit(QueuedJob {
+            spec: hung,
+            outbox: None,
+        })
+        .unwrap();
+        pool.submit(QueuedJob {
+            spec: spec("after", "HodgkinHuxley", "baseline", 8, 4),
+            outbox: None,
+        })
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            {
+                let d = done.lock().unwrap();
+                if d.iter().any(|(id, _)| id == "after") && d.iter().any(|(id, _)| id == "hung") {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "pool never recovered: {done:?}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        {
+            let d = done.lock().unwrap();
+            let hung_status = d.iter().find(|(id, _)| id == "hung").unwrap().1;
+            let after_status = d.iter().find(|(id, _)| id == "after").unwrap().1;
+            assert_eq!(hung_status, JobStatus::Deadline);
+            assert_eq!(after_status, JobStatus::Done);
+            assert_eq!(d.len(), 2, "no double-report from the woken worker");
+        }
+        assert_eq!(stalled.lock().unwrap().as_slice(), ["hung"]);
+        assert_eq!(pool.respawns(), 1);
+        // The wedged thread is still sleeping; shutdown must not hang on
+        // it (wedged threads are skipped at join).
+        pool.shutdown(true);
+        faults::disarm_all();
     }
 }

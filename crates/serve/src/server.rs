@@ -32,7 +32,7 @@ use limpet_harness::{shutdown, Journal, KernelCache};
 
 use crate::json::Json;
 use crate::queue::Bounded;
-use crate::scheduler::{JobOutcome, JobSpec, JobStatus, Pool, QueuedJob};
+use crate::scheduler::{JobOutcome, JobSpec, JobStatus, Pool, PoolConfig, QueuedJob};
 use crate::tenant::{Ledger, QuotaConfig};
 
 /// Where the daemon listens.
@@ -60,6 +60,13 @@ pub struct ServerConfig {
     pub journal: Option<PathBuf>,
     /// Disk tier directory for the kernel cache; `None` stays in-memory.
     pub cache_dir: Option<PathBuf>,
+    /// Wall-clock budget in milliseconds applied to every job that does
+    /// not carry its own `deadline_ms`; `None` means jobs without a
+    /// deadline run unbounded.
+    pub default_deadline_ms: Option<u64>,
+    /// Stuck-worker watchdog grace period in milliseconds; `None`
+    /// disables the watchdog entirely.
+    pub watchdog_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +78,8 @@ impl Default for ServerConfig {
             outbox_cap: 64,
             journal: None,
             cache_dir: None,
+            default_deadline_ms: Some(300_000),
+            watchdog_ms: Some(1_000),
         }
     }
 }
@@ -86,6 +95,14 @@ struct Counters {
     rejected: AtomicU64,
     resumed: AtomicU64,
     connections: AtomicU64,
+    /// Jobs that hit their wall-clock budget (cooperatively, at a chunk
+    /// boundary) and ended with status `deadline`.
+    deadlines: AtomicU64,
+    /// Times the watchdog had to forcibly reclaim a wedged worker (the
+    /// non-cooperative subset of `deadlines`).
+    watchdog_stalls: AtomicU64,
+    /// Replacement workers spawned after reclaims.
+    workers_respawned: AtomicU64,
     /// Per-tier finish counts (which rung of the execution ladder each
     /// job ended on) — the operator's view of native promotion working.
     tier_native: AtomicU64,
@@ -143,6 +160,7 @@ impl ServerState {
             JobStatus::Done => self.counters.completed.fetch_add(1, Ordering::SeqCst),
             JobStatus::Failed => self.counters.failed.fetch_add(1, Ordering::SeqCst),
             JobStatus::Aborted => self.counters.aborted.fetch_add(1, Ordering::SeqCst),
+            JobStatus::Deadline => self.counters.deadlines.fetch_add(1, Ordering::SeqCst),
         };
         match outcome.tier.as_deref() {
             Some("native") => self.counters.tier_native.fetch_add(1, Ordering::SeqCst),
@@ -153,7 +171,9 @@ impl ServerState {
         };
         // A job aborted by daemon shutdown keeps its journal slot open so
         // the next incarnation resumes it; any other terminal state is
-        // recorded so it is *not* re-run.
+        // recorded so it is *not* re-run. A `deadline` job journals its
+        // `done` line deliberately: re-running a job that already blew
+        // its budget would just time out again on the next incarnation.
         let shutdown_abort = outcome.status == JobStatus::Aborted && shutdown::requested();
         if !shutdown_abort {
             self.journal_line(&format!("done {}", outcome.to_json()));
@@ -177,6 +197,7 @@ impl ServerState {
                     ("completed", c.completed.load(Ordering::SeqCst).into()),
                     ("failed", c.failed.load(Ordering::SeqCst).into()),
                     ("aborted", c.aborted.load(Ordering::SeqCst).into()),
+                    ("deadlines", c.deadlines.load(Ordering::SeqCst).into()),
                     ("rejected", c.rejected.load(Ordering::SeqCst).into()),
                     ("resumed", c.resumed.load(Ordering::SeqCst).into()),
                     ("connections", c.connections.load(Ordering::SeqCst).into()),
@@ -193,9 +214,27 @@ impl ServerState {
                     ("reference", c.tier_reference.load(Ordering::SeqCst).into()),
                 ]),
             ),
+            ("survivability", self.survivability_json()),
             ("cache", cache_stats),
             ("incidents", incidents),
             ("tenants", self.ledger.usage_json()),
+        ])
+    }
+
+    /// The deadline/watchdog/retry health block shared by `stats` and
+    /// `health`: how often the daemon had to defend itself.
+    fn survivability_json(&self) -> Json {
+        let c = &self.counters;
+        Json::obj(vec![
+            ("deadlines", c.deadlines.load(Ordering::SeqCst).into()),
+            (
+                "watchdog_stalls",
+                c.watchdog_stalls.load(Ordering::SeqCst).into(),
+            ),
+            (
+                "workers_respawned",
+                c.workers_respawned.load(Ordering::SeqCst).into(),
+            ),
         ])
     }
 }
@@ -331,10 +370,34 @@ impl Server {
             outbox_cap: config.outbox_cap.max(1),
         });
         let pool_state = Arc::clone(&state);
+        let stall_state = Arc::clone(&state);
         let pool = Pool::new(
-            config.workers,
-            config.quotas.max_queue_depth.max(1),
+            PoolConfig {
+                workers: config.workers,
+                queue_cap: config.quotas.max_queue_depth.max(1),
+                default_deadline_ms: config.default_deadline_ms,
+                watchdog: config
+                    .watchdog_ms
+                    .map(|ms| Duration::from_millis(ms.max(1))),
+            },
             move |spec, outcome| pool_state.on_done(spec, outcome),
+            move |spec, reason| {
+                // A worker that had to be forcibly reclaimed was most
+                // likely wedged inside this model's native kernel:
+                // quarantine that slot so reruns take the bytecode tier,
+                // and count the stall + respawn for `stats`/`health`.
+                stall_state
+                    .counters
+                    .watchdog_stalls
+                    .fetch_add(1, Ordering::SeqCst);
+                stall_state
+                    .counters
+                    .workers_respawned
+                    .fetch_add(1, Ordering::SeqCst);
+                KernelCache::global()
+                    .native_registry()
+                    .quarantine_for_model(spec.model.name(), reason);
+            },
         );
 
         for spec in resumable {
@@ -487,11 +550,25 @@ fn replay(lines: &[String]) -> Vec<JobSpec> {
     jobs
 }
 
+/// Longest request line the daemon accepts. One NDJSON frame is one job
+/// spec or verb — a megabyte is orders of magnitude past any legitimate
+/// frame (inline model sources included), so anything longer is either a
+/// protocol error or a memory-exhaustion attempt.
+const MAX_LINE: usize = 1 << 20;
+
 /// One connection: a writer thread drains the bounded outbox to the
 /// socket while this (reader) thread parses request lines and dispatches
 /// verbs. Reader EOF closes the outbox, which cancels any of this
 /// connection's jobs still pushing events. Reads run under a short
 /// timeout so the reader notices a daemon shutdown even while idle.
+///
+/// Hostile-input rules: a request line with invalid UTF-8 gets a typed
+/// `error` event and the connection keeps going (the newline frame
+/// boundary is still unambiguous); a line that exceeds [`MAX_LINE`]
+/// gets a typed `error` event and the connection is closed (the frame
+/// boundary can no longer be trusted); a torn final frame at EOF is
+/// processed as-is, matching `read_line` semantics for clients that
+/// close without a trailing newline.
 fn serve_connection(stream: Stream, state: Arc<ServerState>, pool: PoolHandle) {
     let outbox: Arc<Bounded<String>> = Arc::new(Bounded::new(state.outbox_cap));
     let (write_half, ctrl) = match (stream.try_clone(), stream.try_clone()) {
@@ -520,32 +597,65 @@ fn serve_connection(stream: Stream, state: Arc<ServerState>, pool: PoolHandle) {
         .expect("spawning a connection writer thread");
 
     let mut reader = BufReader::new(stream);
-    let mut acc = String::new();
+    let mut acc: Vec<u8> = Vec::new();
     loop {
         if shutdown::requested() {
             break;
         }
-        match reader.read_line(&mut acc) {
-            Ok(0) => break, // EOF
-            Ok(_) => {
-                let line = std::mem::take(&mut acc);
-                if line.trim().is_empty() {
-                    continue;
-                }
-                if let Some(resp) = dispatch(&line, &state, &pool, &outbox) {
-                    if outbox.push(resp.to_string()).is_err() {
-                        break;
-                    }
-                }
-            }
+        // Cap each read at the remaining line budget so a firehose with
+        // no newline cannot grow `acc` without bound inside one call.
+        let budget = (MAX_LINE + 1).saturating_sub(acc.len()) as u64;
+        let n = match std::io::Read::take(&mut reader, budget).read_until(b'\n', &mut acc) {
+            Ok(n) => n,
             // Timeout mid-wait (or mid-line: partial bytes stay in
             // `acc` and the next pass appends to them).
             Err(e)
                 if matches!(
                     e.kind(),
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) => {}
+                ) =>
+            {
+                continue;
+            }
             Err(_) => break,
+        };
+        if acc.len() > MAX_LINE {
+            let _ = outbox.push(error_event("request line exceeds 1 MiB; closing").to_string());
+            break;
+        }
+        let eof = n == 0;
+        if eof && acc.is_empty() {
+            break;
+        }
+        if !eof && acc.last() != Some(&b'\n') {
+            // Partial line (the take budget or pending EOF split it);
+            // keep accumulating.
+            continue;
+        }
+        let line = match String::from_utf8(std::mem::take(&mut acc)) {
+            Ok(s) => s,
+            Err(_) => {
+                if outbox
+                    .push(error_event("request line is not valid UTF-8").to_string())
+                    .is_err()
+                {
+                    break;
+                }
+                if eof {
+                    break;
+                }
+                continue;
+            }
+        };
+        if !line.trim().is_empty() {
+            if let Some(resp) = dispatch(&line, &state, &pool, &outbox) {
+                if outbox.push(resp.to_string()).is_err() {
+                    break;
+                }
+            }
+        }
+        if eof {
+            break;
         }
     }
     outbox.close();
@@ -590,6 +700,7 @@ fn dispatch(
             ("status", Json::str("ok")),
             ("uptime_s", state.started.elapsed().as_secs_f64().into()),
             ("active", state.ledger.total_active().into()),
+            ("survivability", state.survivability_json()),
         ])),
         "stats" => Some(state.stats_json(pool.queued())),
         "result" => {
@@ -684,5 +795,58 @@ mod tests {
             "done also-not-json".to_owned(),
         ];
         assert!(replay(&lines).is_empty());
+    }
+
+    /// Pins the key layout of `stats` and its survivability block so a
+    /// field rename cannot silently break dashboards or the CI greps.
+    #[test]
+    fn stats_json_shape_is_pinned() {
+        let state = ServerState {
+            ledger: Ledger::new(QuotaConfig::default()),
+            journal: Mutex::new(None),
+            results: Mutex::new((BTreeMap::new(), VecDeque::new())),
+            counters: Counters::default(),
+            next_id: AtomicU64::new(1),
+            started: Instant::now(),
+            outbox_cap: 4,
+        };
+        state.counters.deadlines.store(3, Ordering::SeqCst);
+        state.counters.watchdog_stalls.store(2, Ordering::SeqCst);
+        state.counters.workers_respawned.store(2, Ordering::SeqCst);
+
+        let stats = state.stats_json(7);
+        for key in [
+            "event",
+            "uptime_s",
+            "jobs",
+            "tiers",
+            "survivability",
+            "cache",
+            "incidents",
+            "tenants",
+        ] {
+            assert!(stats.get(key).is_some(), "stats is missing key '{key}'");
+        }
+        let jobs = stats.get("jobs").expect("jobs object");
+        for key in [
+            "submitted",
+            "completed",
+            "failed",
+            "aborted",
+            "deadlines",
+            "rejected",
+            "resumed",
+            "connections",
+            "active",
+            "queued",
+        ] {
+            assert!(jobs.get(key).is_some(), "jobs is missing key '{key}'");
+        }
+        let surv = stats.get("survivability").expect("survivability object");
+        let rendered = surv.to_string();
+        assert_eq!(
+            rendered, r#"{"deadlines":3,"watchdog_stalls":2,"workers_respawned":2}"#,
+            "survivability block shape drifted"
+        );
     }
 }

@@ -1,0 +1,143 @@
+//! Property tests for the NDJSON wire layer: hostile request lines must
+//! never panic the daemon's parser, and malformed input must come back
+//! as a typed `Err` (which `dispatch` turns into a typed `error` event),
+//! never as a crash or an unbounded allocation.
+//!
+//! The socket-level counterparts — invalid UTF-8 on the wire, torn
+//! frames, byte-at-a-time slow writes — live in `service.rs` where a
+//! real daemon is running; these tests attack the codec itself.
+
+use proptest::prelude::*;
+use serve::{JobSpec, Json};
+
+/// A representative submit frame, used as the seed for truncation and
+/// mutation attacks.
+const SUBMIT: &str = r#"{"verb":"submit","id":"j-1","tenant":"alice","model":"HodgkinHuxley","config":"limpetMLIR-avx512","cells":256,"steps":1000,"dt":0.01,"chunk":32,"inject":"verify-fail@7","deadline_ms":30000}"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary printable soup: parse returns Ok or Err, never panics.
+    #[test]
+    fn arbitrary_text_never_panics(src in "\\PC{0,300}") {
+        if let Ok(v) = Json::parse(&src) {
+            // Whatever parsed must survive the spec decoder too.
+            let _ = JobSpec::from_json(&v, "fuzz");
+            // And print/reparse must round-trip.
+            let reparsed = Json::parse(&v.to_string()).expect("printed JSON reparses");
+            prop_assert_eq!(reparsed, v);
+        }
+    }
+
+    /// JSON-flavored token soup: denser coverage of parser state
+    /// transitions (nesting, commas, colons) than fully random text.
+    #[test]
+    fn json_token_soup_never_panics(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("{".to_owned()),
+                Just("}".to_owned()),
+                Just("[".to_owned()),
+                Just("]".to_owned()),
+                Just(":".to_owned()),
+                Just(",".to_owned()),
+                Just("\"verb\"".to_owned()),
+                Just("\"submit\"".to_owned()),
+                Just("\"\\u00".to_owned()),   // truncated unicode escape
+                Just("\"\\x\"".to_owned()),   // invalid escape
+                Just("null".to_owned()),
+                Just("true".to_owned()),
+                Just("-1e999".to_owned()),    // overflowing number
+                Just("0.01".to_owned()),
+                Just("nul".to_owned()),       // truncated keyword
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.concat();
+        if let Ok(v) = Json::parse(&src) {
+            let _ = JobSpec::from_json(&v, "soup");
+        }
+    }
+
+    /// Truncation at every prefix length: a torn frame parses to a typed
+    /// error (or, for a few lucky cut points, a valid value) — never a
+    /// panic, and never a spec with fields the full frame didn't carry.
+    #[test]
+    fn truncated_submit_frames_never_panic(cut in 0usize..190) {
+        let cut = cut.min(SUBMIT.len());
+        if let Some(prefix) = SUBMIT.get(..cut) {
+            match Json::parse(prefix) {
+                Ok(v) => { let _ = JobSpec::from_json(&v, "cut"); }
+                Err(e) => prop_assert!(!e.is_empty(), "error must say something"),
+            }
+        }
+    }
+
+    /// Single-byte corruption anywhere in a valid frame.
+    #[test]
+    fn mutated_submit_frames_never_panic(pos in 0usize..190, byte in 0usize..256) {
+        let mut bytes = SUBMIT.as_bytes().to_vec();
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] = byte as u8;
+        if let Ok(src) = std::str::from_utf8(&bytes) {
+            if let Ok(v) = Json::parse(src) {
+                let _ = JobSpec::from_json(&v, "mut");
+            }
+        }
+    }
+
+    /// Nesting close to the cap parses; past the cap gets a typed error
+    /// (not a stack overflow). The parser's documented limit is 64.
+    #[test]
+    fn nesting_depth_is_enforced(depth in 1usize..100) {
+        let src = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        let parsed = Json::parse(&src);
+        if depth <= 64 {
+            prop_assert!(parsed.is_ok(), "depth {depth} should parse");
+        } else {
+            prop_assert!(parsed.is_err(), "depth {depth} must be rejected");
+        }
+    }
+}
+
+/// A megabyte of unclosed brackets must come back as a fast typed error,
+/// not a stack overflow or minutes of work — the classic depth bomb.
+#[test]
+fn depth_bomb_fails_fast() {
+    let bomb = "[".repeat(1_000_000);
+    let started = std::time::Instant::now();
+    assert!(Json::parse(&bomb).is_err());
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "depth bomb took {:?}",
+        started.elapsed()
+    );
+    let obj_bomb = "{\"a\":".repeat(200_000);
+    assert!(Json::parse(&obj_bomb).is_err());
+}
+
+/// Invalid escape sequences and bare control characters inside strings
+/// are rejected with typed errors.
+#[test]
+fn hostile_strings_are_rejected() {
+    for bad in [
+        "\"\\q\"",     // unknown escape
+        "\"\\u12\"",   // short unicode escape
+        "\"\\uZZZZ\"", // non-hex unicode escape
+        "\"\\ud800\"", // lone surrogate
+        "\"abc",       // unterminated
+        "\"a\u{0}b\"", // raw NUL in a string
+    ] {
+        match Json::parse(bad) {
+            Ok(v) => {
+                // A parser may legitimately accept some of these (e.g.
+                // replacement-character surrogates); what it must never
+                // do is produce a value that fails to round-trip.
+                let reparsed = Json::parse(&v.to_string()).expect("round-trip");
+                assert_eq!(reparsed, v, "round-trip drift for {bad:?}");
+            }
+            Err(e) => assert!(!e.is_empty()),
+        }
+    }
+}

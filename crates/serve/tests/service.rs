@@ -38,6 +38,7 @@ fn start_server(listen: Listen, workers: usize, quotas: QuotaConfig, outbox_cap:
         outbox_cap,
         journal: None,
         cache_dir: None,
+        ..ServerConfig::default()
     })
     .expect("server starts");
     let addr = server.local_addr().to_owned();
@@ -280,6 +281,171 @@ fn slow_reader_throttles_only_its_own_stream() {
         slow_done.get("digest").and_then(Json::as_str),
         done.get("digest").and_then(Json::as_str)
     );
+}
+
+/// Hostile bytes on the wire: invalid UTF-8, oversized and torn frames,
+/// byte-at-a-time slow writes. Malformed input must produce a typed
+/// `error` event (or at worst close that one connection); the daemon
+/// itself must keep serving.
+#[test]
+fn hostile_wire_input_yields_typed_errors_and_daemon_survives() {
+    let listen = start_server(
+        Listen::Tcp("127.0.0.1:0".into()),
+        1,
+        QuotaConfig::default(),
+        16,
+    );
+    let addr = match &listen {
+        Listen::Tcp(a) => a.clone(),
+        Listen::Unix(_) => unreachable!(),
+    };
+
+    // Invalid UTF-8 in a framed line: typed error, connection usable.
+    {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        s.write_all(b"\xff\xfe not utf8 \xc0\n").unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        let e = Json::parse(line.trim()).unwrap();
+        assert_eq!(e.get("event").and_then(Json::as_str), Some("error"));
+        assert!(e
+            .get("reason")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("UTF-8"));
+        s.write_all(b"{\"verb\":\"ping\"}\n").unwrap();
+        line.clear();
+        r.read_line(&mut line).unwrap();
+        assert!(line.contains("pong"), "connection must survive: {line}");
+    }
+
+    // A depth bomb inside one frame: typed error, connection usable.
+    {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        let bomb = format!("{}\n", "[".repeat(50_000));
+        s.write_all(bomb.as_bytes()).unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        let e = Json::parse(line.trim()).unwrap();
+        assert_eq!(e.get("event").and_then(Json::as_str), Some("error"));
+        s.write_all(b"{\"verb\":\"ping\"}\n").unwrap();
+        line.clear();
+        r.read_line(&mut line).unwrap();
+        assert!(line.contains("pong"));
+    }
+
+    // A frame past the 1 MiB line cap: typed error, then the daemon
+    // closes this connection (the frame boundary is untrustworthy).
+    {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        let huge = vec![b'x'; (1 << 20) + 4096];
+        // The daemon may close mid-write; a send error is acceptable.
+        let _ = s.write_all(&huge);
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let mut line = String::new();
+        if r.read_line(&mut line).is_ok() && !line.is_empty() {
+            assert!(line.contains("error"), "got: {line}");
+        }
+    }
+
+    // Slow-loris: a valid ping written one byte at a time, slower than
+    // the daemon's 200ms read timeout ticks. Partial lines accumulate.
+    {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        for b in b"{\"verb\":\"ping\"}\n" {
+            s.write_all(&[*b]).unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert!(line.contains("pong"), "slow-loris ping answered: {line}");
+    }
+
+    // Torn frame then hard close: the daemon must shrug it off.
+    {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(b"{\"verb\":\"sub").unwrap();
+        drop(s);
+    }
+
+    // After all of the above, a fresh client gets normal service.
+    let mut c = Client::connect(&listen);
+    c.send(&submit_line("sane", "t", 8, 8, 4));
+    let done = c.recv_until("done");
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+}
+
+/// A deliberately wedged worker (non-cooperative hang, injected) must be
+/// detected by the watchdog: its job ends with a typed `deadline` event
+/// (code 504), a replacement worker is spawned, and the very next job on
+/// the same connection succeeds. This is the end-to-end survivability
+/// contract of the deadline/watchdog layer.
+#[test]
+fn wedged_worker_gets_504_and_daemon_keeps_serving() {
+    let server = Server::start(ServerConfig {
+        listen: Listen::Tcp("127.0.0.1:0".into()),
+        workers: 1,
+        outbox_cap: 16,
+        // Aggressive timings so the test runs in well under a second of
+        // watchdog latency: 50ms budget, 60ms reclaim grace.
+        default_deadline_ms: Some(50),
+        watchdog_ms: Some(60),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let listen = Listen::Tcp(server.local_addr().to_owned());
+    std::thread::spawn(move || server.serve_forever());
+
+    let mut c = Client::connect(&listen);
+    // The injected hang ignores the cancel token for 5s — only the
+    // watchdog can get this worker's slot back.
+    c.send(
+        r#"{"verb":"submit","id":"wedge","tenant":"t","model":"HodgkinHuxley","config":"baseline","cells":8,"steps":400,"chunk":4,"inject":"worker-hang@5000"}"#,
+    );
+    c.recv_until("accepted");
+    let deadline_event = c.recv_until("deadline");
+    assert_eq!(deadline_event.get("code").and_then(Json::as_u64), Some(504));
+    assert_eq!(
+        deadline_event.get("id").and_then(Json::as_str),
+        Some("wedge")
+    );
+    let done = c.recv_until("done");
+    assert_eq!(done.get("id").and_then(Json::as_str), Some("wedge"));
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("deadline"));
+    assert!(done.get("digest").is_none_or(|d| *d == Json::Null));
+
+    // Same connection, fresh job: the respawned worker serves it. The
+    // explicit per-job deadline overrides the aggressive 50ms default so
+    // a cold kernel compile cannot trip it.
+    c.send(
+        r#"{"verb":"submit","id":"after","tenant":"t","model":"HodgkinHuxley","config":"baseline","cells":8,"steps":8,"chunk":4,"deadline_ms":60000}"#,
+    );
+    c.recv_until("accepted");
+    let done = c.recv_until("done");
+    assert_eq!(done.get("id").and_then(Json::as_str), Some("after"));
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+
+    // The stall is visible to operators in both stats and health.
+    c.send(r#"{"verb":"stats"}"#);
+    let stats = c.recv_until("stats");
+    let surv = stats.get("survivability").expect("survivability in stats");
+    assert_eq!(surv.get("watchdog_stalls").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        surv.get("workers_respawned").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert!(surv.get("deadlines").and_then(Json::as_u64) >= Some(1));
+    c.send(r#"{"verb":"health"}"#);
+    let health = c.recv_until("health");
+    assert!(health.get("survivability").is_some());
 }
 
 #[test]

@@ -136,8 +136,11 @@ grep -q "bits DIFF" "$NATIVE_OUT/warm.txt" \
 ./target/release/figures --digest --models HodgkinHuxley --cells 64 --steps 400 \
   --cache-dir "$NATIVE_OUT/hh-ref" > /dev/null
 cp output/digests.csv "$NATIVE_OUT/hh.csv"
-for FAULT in cc-fail dlopen-fail native-divergent; do
+for FAULT in cc-fail dlopen-fail native-divergent compile-hang; do
   FDIR=$(mktemp -d)
+  # A hung compiler is killed by the cc watchdog and quarantined under
+  # its own incident kind, not the generic compiler-failure one.
+  MARK="$FAULT"; [ "$FAULT" = compile-hang ] && MARK=cc-timeout
   LIMPET_INJECT="$FAULT@7" ./target/release/figures --digest --models HodgkinHuxley \
     --cells 64 --steps 400 --native --native-threshold 1 --cache-dir "$FDIR" \
     > "$NATIVE_OUT/fault-$FAULT.txt"
@@ -147,8 +150,8 @@ for FAULT in cc-fail dlopen-fail native-divergent; do
     >> "$NATIVE_OUT/fault-$FAULT.txt"
   cmp "$NATIVE_OUT/hh.csv" "$NATIVE_OUT/fault-$FAULT.csv" \
     || { echo "native gate: $FAULT run diverged from bytecode"; exit 1; }
-  grep -q "\[$FAULT\]" "$NATIVE_OUT/fault-$FAULT.txt" \
-    || { echo "native gate: $FAULT incident not surfaced"; cat "$NATIVE_OUT/fault-$FAULT.txt"; exit 1; }
+  grep -q "\[$MARK\]" "$NATIVE_OUT/fault-$FAULT.txt" \
+    || { echo "native gate: $MARK incident not surfaced"; cat "$NATIVE_OUT/fault-$FAULT.txt"; exit 1; }
   if ls "$FDIR"/native-*.lso > /dev/null 2>&1; then
     echo "native gate: $FAULT persisted a quarantined shared object"; ls "$FDIR"; exit 1
   fi
@@ -301,6 +304,56 @@ wait "$TIGHT_PID" \
 TIGHT_PID=""
 trap - EXIT
 rm -rf "$SERVE_DIR" "$SERVE_OUT"
+
+echo "==> chaos survivability gate (seeded soak: deadlines, watchdog, hostile wire)"
+# A fixed-seed chaos soak drives a deadline+watchdog-armed daemon through
+# slow-loris writes, torn frames, mid-stream disconnects, and injected
+# worker hangs across 2 tenants. The daemon must survive it all (still
+# answering ping), the digest CSV must stay byte-identical to the
+# single-process figures driver, and the wedged-worker machinery must
+# actually have fired (watchdog reclaim + respawn in `survivability`).
+# `timeout` puts a hard wall clock on the soak — a hang here is itself a
+# gate failure.
+CHAOS_DIR=$(mktemp -d)
+CHAOS_OUT=$(mktemp -d)
+CHAOS_SOCK="$CHAOS_DIR/chaos.sock"
+CHAOS_PID=""
+trap 'kill -9 ${CHAOS_PID:-} 2>/dev/null || true' EXIT
+./target/release/figures --digest --models "$SUBSET" --cells 64 --steps 16 \
+  --cache-dir "$CHAOS_DIR" > /dev/null
+sort output/digests.csv > "$CHAOS_OUT/expected.csv"
+./target/release/limpet-serve --unix "$CHAOS_SOCK" --workers 4 \
+  --cache-dir "$CHAOS_DIR" --deadline-ms 60000 --watchdog-ms 200 \
+  > "$CHAOS_OUT/serve.log" 2>&1 &
+CHAOS_PID=$!
+for _ in $(seq 1 100); do [ -S "$CHAOS_SOCK" ] && break; sleep 0.1; done
+[ -S "$CHAOS_SOCK" ] \
+  || { echo "chaos gate: daemon did not come up"; cat "$CHAOS_OUT/serve.log"; exit 1; }
+timeout 300 "$CLIENT" --unix "$CHAOS_SOCK" --chaos --seed 1 --rounds 2 \
+  --models "$SUBSET" --configs baseline,limpetMLIR-AVX-512 \
+  --tenants chaos-a,chaos-b --cells 64 --steps 16 \
+  > "$CHAOS_OUT/chaos.csv" 2> "$CHAOS_OUT/chaos.log" \
+  || { echo "chaos gate: soak failed or blew its wall clock"; \
+       cat "$CHAOS_OUT/chaos.log" "$CHAOS_OUT/serve.log"; exit 1; }
+sort "$CHAOS_OUT/chaos.csv" > "$CHAOS_OUT/chaos.sorted.csv"
+cmp "$CHAOS_OUT/expected.csv" "$CHAOS_OUT/chaos.sorted.csv" \
+  || { echo "chaos gate: digests diverged under chaos"; \
+       diff "$CHAOS_OUT/expected.csv" "$CHAOS_OUT/chaos.sorted.csv" || true; exit 1; }
+grep -q "resolved=" "$CHAOS_OUT/chaos.log" \
+  || { echo "chaos gate: no soak summary"; cat "$CHAOS_OUT/chaos.log"; exit 1; }
+"$CLIENT" --unix "$CHAOS_SOCK" stats > "$CHAOS_OUT/stats.json"
+grep -q '"survivability"' "$CHAOS_OUT/stats.json" \
+  || { echo "chaos gate: stats verb lacks the survivability block"; cat "$CHAOS_OUT/stats.json"; exit 1; }
+grep -q '"watchdog_stalls":0' "$CHAOS_OUT/stats.json" \
+  && { echo "chaos gate: seeded soak never tripped the watchdog (seed drifted?)"; \
+       cat "$CHAOS_OUT/chaos.log" "$CHAOS_OUT/stats.json"; exit 1; }
+"$CLIENT" --unix "$CHAOS_SOCK" shutdown | grep -q '"event":"stopping"' \
+  || { echo "chaos gate: shutdown verb not acknowledged"; exit 1; }
+wait "$CHAOS_PID" \
+  || { echo "chaos gate: daemon exited uncleanly after the soak"; exit 1; }
+CHAOS_PID=""
+trap - EXIT
+rm -rf "$CHAOS_DIR" "$CHAOS_OUT"
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
