@@ -52,8 +52,9 @@
 use limpet_harness::{
     all_pipeline_kinds, available_cores, default_cache_dir, fig2_checkpointed, fig3_threads32,
     fig4_scaling, fig5_isa_threads, fig6_roofline, icc_comparison, kernel_stats, layout_ablation,
-    lut_ablation, native_tier_bench, summarize_incidents, trajectory_digest, validate_timing_model,
-    DiskCache, ExperimentOptions, KernelCache, PipelineKind, ThreadTiming, TimingModel, Workload,
+    lut_ablation, native_tier_bench, summarize_incidents, trajectory_digest_tiered,
+    validate_timing_model, DiskCache, ExperimentOptions, KernelCache, PipelineKind, ThreadTiming,
+    TimingModel, Workload,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -456,20 +457,28 @@ fn main() {
                 PipelineKind::Baseline,
                 PipelineKind::LimpetMlir(limpet_codegen::pipeline::VectorIsa::Avx512),
             ] {
-                match trajectory_digest(&m, config, &wl, args.opts.steps) {
-                    Some(d) => {
-                        println!("  digest {:24} {:20} {d:016x}", e.name, config.label());
-                        rows.push(format!("{},{},{d:016x}", e.name, config.label()));
+                match trajectory_digest_tiered(&m, config, &wl, args.opts.steps) {
+                    Some((d, tier)) => {
+                        println!(
+                            "  digest {:24} {:20} {d:016x}  {tier}",
+                            e.name,
+                            config.label()
+                        );
+                        rows.push(format!("{},{},{d:016x},{tier}", e.name, config.label()));
                     }
                     None => {
                         println!("  digest {:24} {:20} quarantined", e.name, config.label());
-                        rows.push(format!("{},{},quarantined", e.name, config.label()));
+                        rows.push(format!(
+                            "{},{},quarantined,quarantined",
+                            e.name,
+                            config.label()
+                        ));
                     }
                 }
             }
         }
         println!();
-        save_csv("digests.csv", "model,config,digest", &rows);
+        save_csv("digests.csv", "model,config,digest,tier", &rows);
     }
 
     if args.native_bench {

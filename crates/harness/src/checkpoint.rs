@@ -1,0 +1,824 @@
+//! Durable mid-trajectory checkpoints: everything needed to continue a
+//! run **bit-identically** after a crash, deadline, or disconnect.
+//!
+//! A [`Snapshot`] carries the full logical state vectors (the exact bits
+//! [`crate::Simulation::state_bits`] reports), the sim clock and step
+//! counters, the seeded-fault "RNG state" (`nan_plan`), the [`Tier`] the
+//! run was executing at, and the per-kernel executed-step counter that
+//! feeds native promotion. Padding lanes are deliberately *not*
+//! captured: element-wise SIMD never lets a padded lane feed a logical
+//! one, so restoring logical cells into a freshly initialised simulation
+//! — at any width, layout, or shard count — reproduces the identical
+//! trajectory. That makes one snapshot resumable at a different SIMD
+//! width or thread count than wrote it.
+//!
+//! On disk a snapshot is a single checksummed text file written with the
+//! same crash-safety rules as the kernel disk cache ([`crate::persist`]):
+//!
+//! ```text
+//! limpet-checkpoint <format-ver> <payload-len> <fnv:016x>\n
+//! model <name>\n
+//! config <pipeline-label>\n
+//! cells <n>\n
+//! dt <bits:016x>\n
+//! t <bits:016x>\n
+//! step <steps-done>\n
+//! tier <tier>\n
+//! executed <kernel-executed-steps>\n
+//! nanplan <step> <seed>\n        (only when a fault plan is pending)
+//! shards <s0> <s1> ...\n         (only for sharded snapshots)
+//! spec <job-spec-json>\n         (only for serve-layer snapshots)
+//! state <count>\n
+//! <016x values, 8 per line>\n
+//! end\n
+//! ```
+//!
+//! Loads run a **ladder**: bad header / stale version / torn tail /
+//! checksum mismatch / malformed payload each reject the file, *remove
+//! it* (self-heal — a bad snapshot never wedges later runs), bump a
+//! counter, and fall through to the previous rotation; if that rejects
+//! too, the run restarts from step 0. A rejection costs re-computed
+//! steps, never correctness. The [`FaultKind::CkptTorn`] /
+//! [`FaultKind::CkptCorrupt`] / [`FaultKind::CkptStaleVersion`]
+//! injection points mutate the just-read bytes so the *real* integrity
+//! checks exercise every rung.
+
+use crate::faults::{self, FaultKind};
+use limpet_rng::SmallRng;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version of the snapshot envelope + payload grammar. Bump on any layout
+/// change; older files are then rejected as stale (and the run restarts
+/// or falls to the previous rotation) rather than misparsed.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// First token of every snapshot file; anything else is not ours.
+const MAGIC: &str = "limpet-checkpoint";
+
+/// FNV-1a over a byte slice — the same checksum the disk cache and the
+/// trajectory digest use, kept local so the codec is self-contained.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Why a snapshot file was rejected — one variant per ladder rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Wrong magic, or the header line failed to parse at all.
+    BadHeader,
+    /// Header parsed but carries a different [`SNAPSHOT_FORMAT_VERSION`].
+    StaleVersion,
+    /// File is shorter than the payload length the header promised.
+    TornTail,
+    /// Payload bytes do not hash to the header's FNV-1a checksum.
+    ChecksumMismatch,
+    /// Checksum passed but the payload grammar is wrong — either bit-rot
+    /// that collided the checksum or a buggy writer.
+    Malformed,
+}
+
+impl RejectReason {
+    /// Kebab-case label, used in counters and log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::BadHeader => "bad-header",
+            RejectReason::StaleVersion => "stale-version",
+            RejectReason::TornTail => "torn-tail",
+            RejectReason::ChecksumMismatch => "checksum-mismatch",
+            RejectReason::Malformed => "malformed",
+        }
+    }
+}
+
+/// Everything needed to continue a trajectory bit-identically. The
+/// `state` field is exactly what [`crate::Simulation::state_bits`]
+/// returns — per logical cell, each state variable's bits then each
+/// external's bits — so round-tripping through a snapshot is equality-
+/// checkable against a live simulation with `==`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Model name (key echo: resume refuses a different model).
+    pub model: String,
+    /// Pipeline label, e.g. `limpetMLIR-avx512` (key echo).
+    pub config: String,
+    /// Logical cell count (key echo).
+    pub n_cells: usize,
+    /// `f64::to_bits` of the timestep (key echo — dt changes the math).
+    pub dt_bits: u64,
+    /// `f64::to_bits` of the sim clock at the snapshot point.
+    pub t_bits: u64,
+    /// Guarded steps completed when the snapshot was taken.
+    pub steps_done: u64,
+    /// Tier label (`Tier::as_str`) the run was executing at.
+    pub tier: String,
+    /// The kernel's executed-step counter (feeds native promotion), so a
+    /// resumed process re-earns its tier instead of starting cold.
+    pub executed_steps: u64,
+    /// Pending seeded-fault plan `(fire_at_step, seed)` — the only RNG
+    /// state a run carries. `None` once fired or never armed.
+    pub nan_plan: Option<(u64, u64)>,
+    /// Shard sizes at snapshot time (informational; resume re-shards
+    /// deterministically for whatever thread count it is given).
+    pub shards: Vec<usize>,
+    /// Opaque single-line sidecar, checksummed with the rest: the serve
+    /// layer stores the job-spec JSON here (making the snapshot
+    /// self-contained for the `resume` wire verb); the fig2 sweep stores
+    /// its measured timing samples. Stored under the `spec` payload key.
+    pub meta: Option<String>,
+    /// Logical state bits, `n_cells * (n_state + n_ext)` values.
+    pub state: Vec<u64>,
+}
+
+impl Snapshot {
+    /// Checks the key echo against what a resume caller is about to
+    /// build. Returns a human-readable mismatch description.
+    pub fn key_matches(
+        &self,
+        model: &str,
+        config: &str,
+        n_cells: usize,
+        dt: f64,
+    ) -> Result<(), String> {
+        if self.model != model {
+            return Err(format!("snapshot is for model {}, not {model}", self.model));
+        }
+        if self.config != config {
+            return Err(format!(
+                "snapshot was taken under config {}, not {config}",
+                self.config
+            ));
+        }
+        if self.n_cells != n_cells {
+            return Err(format!(
+                "snapshot has {} cells, workload has {n_cells}",
+                self.n_cells
+            ));
+        }
+        if self.dt_bits != dt.to_bits() {
+            return Err(format!(
+                "snapshot dt bits {:016x} != workload dt bits {:016x}",
+                self.dt_bits,
+                dt.to_bits()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serializes to the on-disk byte form (header + checksummed payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = String::new();
+        let _ = writeln!(p, "model {}", self.model);
+        let _ = writeln!(p, "config {}", self.config);
+        let _ = writeln!(p, "cells {}", self.n_cells);
+        let _ = writeln!(p, "dt {:016x}", self.dt_bits);
+        let _ = writeln!(p, "t {:016x}", self.t_bits);
+        let _ = writeln!(p, "step {}", self.steps_done);
+        let _ = writeln!(p, "tier {}", self.tier);
+        let _ = writeln!(p, "executed {}", self.executed_steps);
+        if let Some((step, seed)) = self.nan_plan {
+            let _ = writeln!(p, "nanplan {step} {seed}");
+        }
+        if !self.shards.is_empty() {
+            let words: Vec<String> = self.shards.iter().map(|s| s.to_string()).collect();
+            let _ = writeln!(p, "shards {}", words.join(" "));
+        }
+        if let Some(spec) = &self.meta {
+            debug_assert!(!spec.contains('\n'), "spec JSON must be one line");
+            let _ = writeln!(p, "spec {spec}");
+        }
+        let _ = writeln!(p, "state {}", self.state.len());
+        for chunk in self.state.chunks(8) {
+            let words: Vec<String> = chunk.iter().map(|v| format!("{v:016x}")).collect();
+            let _ = writeln!(p, "{}", words.join(" "));
+        }
+        let _ = writeln!(p, "end");
+        let payload = p.into_bytes();
+        let mut out = format!(
+            "{MAGIC} {SNAPSHOT_FORMAT_VERSION} {} {:016x}\n",
+            payload.len(),
+            fnv64(&payload)
+        )
+        .into_bytes();
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Runs the integrity ladder over raw file bytes and parses the
+    /// payload. Every failure maps to exactly one [`RejectReason`] rung.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, RejectReason> {
+        let header_end = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or(RejectReason::BadHeader)?;
+        let header =
+            std::str::from_utf8(&bytes[..header_end]).map_err(|_| RejectReason::BadHeader)?;
+        let tokens: Vec<&str> = header.split_whitespace().collect();
+        if tokens.len() != 4 || tokens[0] != MAGIC {
+            return Err(RejectReason::BadHeader);
+        }
+        let version: u32 = tokens[1].parse().map_err(|_| RejectReason::BadHeader)?;
+        let payload_len: usize = tokens[2].parse().map_err(|_| RejectReason::BadHeader)?;
+        let want_fnv = u64::from_str_radix(tokens[3], 16).map_err(|_| RejectReason::BadHeader)?;
+        if version != SNAPSHOT_FORMAT_VERSION {
+            return Err(RejectReason::StaleVersion);
+        }
+        let body = &bytes[header_end + 1..];
+        if body.len() < payload_len {
+            return Err(RejectReason::TornTail);
+        }
+        let payload = &body[..payload_len];
+        if fnv64(payload) != want_fnv {
+            return Err(RejectReason::ChecksumMismatch);
+        }
+        parse_payload(payload).ok_or(RejectReason::Malformed)
+    }
+}
+
+/// Parses the checksummed payload. Any deviation from the grammar is a
+/// `None` (mapped to [`RejectReason::Malformed`] by the caller).
+fn parse_payload(payload: &[u8]) -> Option<Snapshot> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let mut lines = text.lines();
+    let field = |line: &str, key: &str| -> Option<String> {
+        line.strip_prefix(key)
+            .and_then(|r| r.strip_prefix(' '))
+            .map(str::to_string)
+    };
+    let model = field(lines.next()?, "model")?;
+    let config = field(lines.next()?, "config")?;
+    let n_cells: usize = field(lines.next()?, "cells")?.parse().ok()?;
+    let dt_bits = u64::from_str_radix(&field(lines.next()?, "dt")?, 16).ok()?;
+    let t_bits = u64::from_str_radix(&field(lines.next()?, "t")?, 16).ok()?;
+    let steps_done: u64 = field(lines.next()?, "step")?.parse().ok()?;
+    let tier = field(lines.next()?, "tier")?;
+    let executed_steps: u64 = field(lines.next()?, "executed")?.parse().ok()?;
+
+    let mut line = lines.next()?;
+    let mut nan_plan = None;
+    if let Some(rest) = field(line, "nanplan") {
+        let mut w = rest.split_whitespace();
+        nan_plan = Some((w.next()?.parse().ok()?, w.next()?.parse().ok()?));
+        if w.next().is_some() {
+            return None;
+        }
+        line = lines.next()?;
+    }
+    let mut shards = Vec::new();
+    if let Some(rest) = field(line, "shards") {
+        for w in rest.split_whitespace() {
+            shards.push(w.parse().ok()?);
+        }
+        if shards.is_empty() {
+            return None;
+        }
+        line = lines.next()?;
+    }
+    let mut meta = None;
+    if let Some(rest) = field(line, "spec") {
+        meta = Some(rest);
+        line = lines.next()?;
+    }
+    let count: usize = field(line, "state")?.parse().ok()?;
+    // Cap what a hostile length field can make us allocate: the checksum
+    // already bounds payload bytes, but parse defensively anyway.
+    if count > payload.len() {
+        return None;
+    }
+    let mut state = Vec::with_capacity(count);
+    while state.len() < count {
+        for w in lines.next()?.split_whitespace() {
+            if state.len() == count {
+                return None; // more values than declared
+            }
+            state.push(u64::from_str_radix(w, 16).ok()?);
+        }
+    }
+    if lines.next()? != "end" || lines.next().is_some() {
+        return None;
+    }
+    Some(Snapshot {
+        model,
+        config,
+        n_cells,
+        dt_bits,
+        t_bits,
+        steps_done,
+        tier,
+        executed_steps,
+        nan_plan,
+        shards,
+        meta,
+        state,
+    })
+}
+
+/// Applies any armed `ckpt-*` fault to bytes just read from disk, before
+/// the integrity ladder sees them — the real checks, not mocks, do the
+/// rejecting. Mirrors `persist::inject_disk_faults`.
+fn inject_ckpt_faults(bytes: &mut Vec<u8>) {
+    if bytes.is_empty() {
+        return;
+    }
+    if let Some(seed) = faults::take(FaultKind::CkptTorn) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let keep = rng.gen_range(0..bytes.len());
+        bytes.truncate(keep);
+        return;
+    }
+    if let Some(seed) = faults::take(FaultKind::CkptCorrupt) {
+        // Flip a byte *after* the header so the checksum rung (not the
+        // header rung) is the one exercised.
+        let header_end = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .unwrap_or(bytes.len() - 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let at = if header_end + 1 < bytes.len() {
+            header_end + 1 + rng.gen_range(0..bytes.len() - header_end - 1)
+        } else {
+            0
+        };
+        bytes[at] ^= 0x20;
+        return;
+    }
+    if faults::take(FaultKind::CkptStaleVersion).is_some() {
+        // Rewrite the format-version token, as if written by an
+        // incompatible build.
+        let header_end = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .unwrap_or(bytes.len());
+        if let Ok(header) = std::str::from_utf8(&bytes[..header_end]) {
+            let mut tokens: Vec<String> = header.split_whitespace().map(String::from).collect();
+            if tokens.len() >= 2 {
+                tokens[1] = "999999".to_string();
+                let mut patched = tokens.join(" ").into_bytes();
+                patched.extend_from_slice(&bytes[header_end..]);
+                *bytes = patched;
+            }
+        }
+    }
+}
+
+/// Counters for every ladder rung plus save/load traffic; all monotonic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Snapshots durably written.
+    pub saved: u64,
+    /// Loads served by the current file.
+    pub loaded_current: u64,
+    /// Loads served by the previous rotation after the current rejected.
+    pub loaded_previous: u64,
+    /// Loads that fell all the way to "no snapshot" after at least one
+    /// rejection — the restart-from-step-0 rung.
+    pub fell_to_zero: u64,
+    /// Files rejected at the bad-header rung.
+    pub rejected_bad_header: u64,
+    /// Files rejected at the stale-version rung.
+    pub rejected_stale_version: u64,
+    /// Files rejected at the torn-tail rung.
+    pub rejected_torn_tail: u64,
+    /// Files rejected at the checksum rung.
+    pub rejected_checksum: u64,
+    /// Files rejected at the malformed-payload rung.
+    pub rejected_malformed: u64,
+}
+
+impl StoreStats {
+    /// Total rejections across every ladder rung.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_bad_header
+            + self.rejected_stale_version
+            + self.rejected_torn_tail
+            + self.rejected_checksum
+            + self.rejected_malformed
+    }
+}
+
+/// Outcome of [`SnapshotStore::load`]: which rung produced the snapshot
+/// (if any) and every rejection hit on the way down.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The snapshot, if any rung produced one.
+    pub snapshot: Option<Snapshot>,
+    /// True when the current file was rejected and the previous rotation
+    /// served the snapshot.
+    pub from_previous: bool,
+    /// Every file rejected (and removed) on the way down the ladder.
+    pub rejects: Vec<(PathBuf, RejectReason)>,
+}
+
+/// One snapshot slot per key (run/job id), stored as
+/// `ckpt-<fnv:016x>-<sanitized-key>.lcp` with a single `.prev.lcp`
+/// rotation. Saves are atomic (temp + rename); the previous rotation is
+/// what the load ladder falls back to when the current file rejects.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    saved: AtomicU64,
+    loaded_current: AtomicU64,
+    loaded_previous: AtomicU64,
+    fell_to_zero: AtomicU64,
+    rejected_bad_header: AtomicU64,
+    rejected_stale_version: AtomicU64,
+    rejected_torn_tail: AtomicU64,
+    rejected_checksum: AtomicU64,
+    rejected_malformed: AtomicU64,
+}
+
+/// Keys are tenant/job ids off the wire; keep the filename readable but
+/// never let a hostile key escape the directory. The FNV prefix keeps
+/// distinct keys distinct even when sanitization collides them.
+fn sanitize_key(key: &str) -> String {
+    key.chars()
+        .take(48)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a snapshot directory.
+    pub fn new(dir: &Path) -> io::Result<SnapshotStore> {
+        fs::create_dir_all(dir)?;
+        Ok(SnapshotStore {
+            dir: dir.to_path_buf(),
+            saved: AtomicU64::new(0),
+            loaded_current: AtomicU64::new(0),
+            loaded_previous: AtomicU64::new(0),
+            fell_to_zero: AtomicU64::new(0),
+            rejected_bad_header: AtomicU64::new(0),
+            rejected_stale_version: AtomicU64::new(0),
+            rejected_torn_tail: AtomicU64::new(0),
+            rejected_checksum: AtomicU64::new(0),
+            rejected_malformed: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory snapshots live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current-snapshot path for a key (may not exist yet).
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!(
+            "ckpt-{:016x}-{}.lcp",
+            fnv64(key.as_bytes()),
+            sanitize_key(key)
+        ))
+    }
+
+    /// Previous-rotation path for a key.
+    pub fn prev_path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!(
+            "ckpt-{:016x}-{}.prev.lcp",
+            fnv64(key.as_bytes()),
+            sanitize_key(key)
+        ))
+    }
+
+    /// True when a durable snapshot (current or previous) exists.
+    pub fn has(&self, key: &str) -> bool {
+        self.path_for(key).exists() || self.prev_path_for(key).exists()
+    }
+
+    /// Atomically writes `snap` as the current snapshot for `key`,
+    /// rotating any existing current file to the previous slot first.
+    pub fn save(&self, key: &str, snap: &Snapshot) -> io::Result<PathBuf> {
+        let bytes = snap.encode();
+        let final_path = self.path_for(key);
+        if final_path.exists() {
+            // Rename replaces any older .prev atomically on POSIX.
+            let _ = fs::rename(&final_path, self.prev_path_for(key));
+        }
+        let tmp_path = self.dir.join(format!("ckpt.tmp-{}", std::process::id()));
+        let write = (|| {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp_path, &final_path)
+        })();
+        if let Err(e) = write {
+            let _ = fs::remove_file(&tmp_path);
+            return Err(e);
+        }
+        self.saved.fetch_add(1, Ordering::Relaxed);
+        Ok(final_path)
+    }
+
+    /// Walks the load ladder: current file, then the previous rotation,
+    /// then nothing. Every rejected file is removed (self-heal) and
+    /// counted; fault injection mutates the just-read bytes so the real
+    /// integrity checks do the rejecting.
+    pub fn load(&self, key: &str) -> LoadOutcome {
+        let mut rejects = Vec::new();
+        let rungs = [(self.path_for(key), false), (self.prev_path_for(key), true)];
+        for (path, from_previous) in rungs {
+            let Ok(mut bytes) = fs::read(&path) else {
+                continue;
+            };
+            inject_ckpt_faults(&mut bytes);
+            match Snapshot::decode(&bytes) {
+                Ok(snap) => {
+                    if from_previous {
+                        self.loaded_previous.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.loaded_current.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return LoadOutcome {
+                        snapshot: Some(snap),
+                        from_previous,
+                        rejects,
+                    };
+                }
+                Err(reason) => {
+                    self.count_reject(reason);
+                    let _ = fs::remove_file(&path);
+                    rejects.push((path, reason));
+                }
+            }
+        }
+        if !rejects.is_empty() {
+            self.fell_to_zero.fetch_add(1, Ordering::Relaxed);
+        }
+        LoadOutcome {
+            snapshot: None,
+            from_previous: false,
+            rejects,
+        }
+    }
+
+    /// Drops both rotations for a key — called when a run completes so a
+    /// finished job is never "resumed".
+    pub fn remove(&self, key: &str) {
+        let _ = fs::remove_file(self.path_for(key));
+        let _ = fs::remove_file(self.prev_path_for(key));
+    }
+
+    fn count_reject(&self, reason: RejectReason) {
+        let counter = match reason {
+            RejectReason::BadHeader => &self.rejected_bad_header,
+            RejectReason::StaleVersion => &self.rejected_stale_version,
+            RejectReason::TornTail => &self.rejected_torn_tail,
+            RejectReason::ChecksumMismatch => &self.rejected_checksum,
+            RejectReason::Malformed => &self.rejected_malformed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            saved: self.saved.load(Ordering::Relaxed),
+            loaded_current: self.loaded_current.load(Ordering::Relaxed),
+            loaded_previous: self.loaded_previous.load(Ordering::Relaxed),
+            fell_to_zero: self.fell_to_zero.load(Ordering::Relaxed),
+            rejected_bad_header: self.rejected_bad_header.load(Ordering::Relaxed),
+            rejected_stale_version: self.rejected_stale_version.load(Ordering::Relaxed),
+            rejected_torn_tail: self.rejected_torn_tail.load(Ordering::Relaxed),
+            rejected_checksum: self.rejected_checksum.load(Ordering::Relaxed),
+            rejected_malformed: self.rejected_malformed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "limpet-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(state_len: usize) -> Snapshot {
+        Snapshot {
+            model: "HodgkinHuxley".into(),
+            config: "limpetMLIR-avx512".into(),
+            n_cells: 4,
+            dt_bits: 0.01f64.to_bits(),
+            t_bits: 1.23f64.to_bits(),
+            steps_done: 321,
+            tier: "optimized".into(),
+            executed_steps: 4321,
+            nan_plan: Some((9, 77)),
+            shards: vec![2, 1, 1],
+            meta: Some(r#"{"verb":"submit","id":"j-1"}"#.into()),
+            state: (0..state_len as u64)
+                .map(|i| i.wrapping_mul(0x9e37))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_identically() {
+        for snap in [
+            sample(19),
+            Snapshot {
+                nan_plan: None,
+                shards: Vec::new(),
+                meta: None,
+                state: vec![f64::NAN.to_bits(), 0, u64::MAX],
+                ..sample(0)
+            },
+        ] {
+            let decoded = Snapshot::decode(&snap.encode()).unwrap();
+            assert_eq!(decoded, snap);
+        }
+    }
+
+    #[test]
+    fn every_truncation_maps_to_a_ladder_rung() {
+        let bytes = sample(9).encode();
+        for cut in 0..bytes.len() {
+            let err = Snapshot::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, RejectReason::BadHeader | RejectReason::TornTail),
+                "cut {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_mutations_are_caught_by_the_checksum() {
+        let bytes = sample(9).encode();
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        for at in (header_end + 1..bytes.len()).step_by(7) {
+            let mut mutated = bytes.clone();
+            mutated[at] ^= 0x01;
+            assert_eq!(
+                Snapshot::decode(&mutated).unwrap_err(),
+                RejectReason::ChecksumMismatch,
+                "mutation at {at}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_skew_is_stale_not_misparsed() {
+        let bytes = sample(3).encode();
+        let text = String::from_utf8(bytes).unwrap();
+        let skewed = text.replacen(
+            &format!("{MAGIC} {SNAPSHOT_FORMAT_VERSION} "),
+            &format!("{MAGIC} {} ", SNAPSHOT_FORMAT_VERSION + 1),
+            1,
+        );
+        assert_eq!(
+            Snapshot::decode(skewed.as_bytes()).unwrap_err(),
+            RejectReason::StaleVersion
+        );
+    }
+
+    #[test]
+    fn store_saves_rotates_and_loads() {
+        let dir = temp_dir("rotate");
+        let store = SnapshotStore::new(&dir).unwrap();
+        let mut snap = sample(9);
+        store.save("job-1", &snap).unwrap();
+        snap.steps_done = 640;
+        store.save("job-1", &snap).unwrap();
+        assert!(store.prev_path_for("job-1").exists());
+
+        let out = store.load("job-1");
+        assert_eq!(out.snapshot.unwrap().steps_done, 640);
+        assert!(!out.from_previous);
+
+        // Corrupt the current file: the ladder falls to the previous
+        // rotation (steps 321) and heals the bad file away.
+        let path = store.path_for("job-1");
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() - 4;
+        bytes[at] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let out = store.load("job-1");
+        assert_eq!(out.snapshot.unwrap().steps_done, 321);
+        assert!(out.from_previous);
+        assert_eq!(out.rejects.len(), 1);
+        assert!(!path.exists(), "rejected file must self-heal away");
+
+        let stats = store.stats();
+        assert_eq!(stats.saved, 2);
+        assert_eq!(stats.loaded_current, 1);
+        assert_eq!(stats.loaded_previous, 1);
+        assert_eq!(stats.rejected_checksum, 1);
+
+        store.remove("job-1");
+        assert!(!store.has("job-1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn double_reject_falls_to_zero_and_heals_both_files() {
+        let dir = temp_dir("fallzero");
+        let store = SnapshotStore::new(&dir).unwrap();
+        let snap = sample(5);
+        store.save("j", &snap).unwrap();
+        store.save("j", &snap).unwrap();
+        for path in [store.path_for("j"), store.prev_path_for("j")] {
+            fs::write(&path, b"limpet-checkpoint garbage\n").unwrap();
+        }
+        let out = store.load("j");
+        assert!(out.snapshot.is_none());
+        assert_eq!(out.rejects.len(), 2);
+        assert!(!store.has("j"));
+        assert_eq!(store.stats().fell_to_zero, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_key_is_a_clean_miss_not_a_reject() {
+        let dir = temp_dir("miss");
+        let store = SnapshotStore::new(&dir).unwrap();
+        let out = store.load("nope");
+        assert!(out.snapshot.is_none());
+        assert!(out.rejects.is_empty());
+        assert_eq!(store.stats().fell_to_zero, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_ckpt_faults_drive_the_real_ladder() {
+        let _guard = faults::TEST_SERIAL.lock().unwrap();
+        faults::disarm_all();
+        let dir = temp_dir("inject");
+        let store = SnapshotStore::new(&dir).unwrap();
+        let snap = sample(17);
+
+        for (spec, expect_prev) in [
+            ("ckpt-corrupt@5", true),
+            ("ckpt-torn@9", true),
+            ("ckpt-stale-version@1", true),
+        ] {
+            store.remove("j");
+            store.save("j", &snap).unwrap();
+            store.save("j", &snap).unwrap();
+            faults::arm(spec).unwrap();
+            let out = store.load("j");
+            // The fault fires once (on the current file); the previous
+            // rotation then serves the identical snapshot.
+            assert_eq!(out.snapshot.as_ref(), Some(&snap), "spec {spec}");
+            assert_eq!(out.from_previous, expect_prev, "spec {spec}");
+            assert_eq!(out.rejects.len(), 1, "spec {spec}");
+            faults::disarm_all();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.rejected_total(), 3);
+        assert_eq!(stats.loaded_previous, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_keys_cannot_escape_the_directory() {
+        let dir = temp_dir("hostile");
+        let store = SnapshotStore::new(&dir).unwrap();
+        for key in ["../../etc/passwd", "a/b/c", "..", "x y\nz", ""] {
+            let path = store.path_for(key);
+            assert!(path.starts_with(&dir), "{key:?} escaped: {path:?}");
+            assert!(path.file_name().is_some());
+            store.save(key, &sample(1)).unwrap();
+            assert!(store.load(key).snapshot.is_some(), "{key:?}");
+        }
+        // Distinct hostile keys stay distinct via the FNV prefix.
+        assert_ne!(store.path_for("a/b"), store.path_for("a_b"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_payload_with_valid_checksum_is_rejected_as_malformed() {
+        // Hand-build an envelope whose payload passes the checksum but
+        // not the grammar: the last ladder rung.
+        let payload = b"model X\nnot-a-field\n".to_vec();
+        let mut bytes = format!(
+            "{MAGIC} {SNAPSHOT_FORMAT_VERSION} {} {:016x}\n",
+            payload.len(),
+            fnv64(&payload)
+        )
+        .into_bytes();
+        bytes.extend_from_slice(&payload);
+        assert_eq!(
+            Snapshot::decode(&bytes).unwrap_err(),
+            RejectReason::Malformed
+        );
+    }
+}

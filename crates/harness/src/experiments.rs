@@ -261,6 +261,21 @@ pub fn trajectory_digest(
     wl: &Workload,
     steps: usize,
 ) -> Option<u64> {
+    trajectory_digest_tiered(m, config, wl, steps).map(|(digest, _)| digest)
+}
+
+/// [`trajectory_digest`] plus the [`crate::Tier`] the simulation
+/// *finished* on. The digest CSV surfaces this column so a resumed run
+/// that lands on a different tier than the uninterrupted one is visible
+/// in the artifact itself (the digests still match — tiers are
+/// bit-identical — but a tier mismatch is the first thing to check when
+/// they do not).
+pub fn trajectory_digest_tiered(
+    m: &limpet_easyml::Model,
+    config: PipelineKind,
+    wl: &Workload,
+    steps: usize,
+) -> Option<(u64, crate::Tier)> {
     let mut sim = measurement_sim(m, config, wl)?;
     let _ = sim.run_guarded(steps);
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -270,7 +285,7 @@ pub fn trajectory_digest(
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
     }
-    Some(h)
+    Some((h, sim.tier()))
 }
 
 /// Bytes moved per step (for the timing model's memory floor) and the
@@ -375,6 +390,138 @@ pub fn fig2_with_jobs(opts: &ExperimentOptions, jobs: usize) -> Fig2 {
     fig2_checkpointed(opts, jobs, None)
 }
 
+/// Encodes measured timing samples into a snapshot's `meta` sidecar as
+/// exact f64 bit patterns, so a resumed measurement reports precisely
+/// what the interrupted one clocked.
+fn encode_samples(samples: &[f64]) -> String {
+    let words: Vec<String> = samples
+        .iter()
+        .map(|s| format!("{:016x}", s.to_bits()))
+        .collect();
+    format!("fig2-samples {}", words.join(" "))
+        .trim_end()
+        .to_string()
+}
+
+fn decode_samples(meta: Option<&str>) -> Vec<f64> {
+    let Some(rest) = meta.and_then(|m| m.strip_prefix("fig2-samples")) else {
+        return Vec::new();
+    };
+    rest.split_whitespace()
+        .filter_map(|w| u64::from_str_radix(w, 16).ok().map(f64::from_bits))
+        .collect()
+}
+
+fn median_of(samples: &[f64]) -> f64 {
+    let mut v = samples.to_vec();
+    v.sort_by(f64::total_cmp);
+    match v.len() {
+        0 => f64::NAN,
+        n if n % 2 == 1 => v[n / 2],
+        n => (v[n / 2 - 1] + v[n / 2]) / 2.0,
+    }
+}
+
+/// [`measure_run`], interruptible mid-model: polls
+/// [`crate::shutdown::requested`] between timed repetitions, and on an
+/// interruption snapshots the in-flight simulation state (plus the
+/// samples already clocked, in the snapshot's `meta` sidecar) into
+/// `store` under `key`. The next sweep restores that state and clocks
+/// only the remaining repetitions — continuing the *same* trajectory,
+/// since repeated timing runs step one simulation continuously anyway.
+///
+/// Returns `None` when interrupted (a snapshot has been saved), `NaN`
+/// when the model is quarantined on every tier (matching
+/// [`measure_run`]), and the median sample otherwise — at which point
+/// the store entry for `key` has been removed.
+fn measure_run_resumable(
+    m: &limpet_easyml::Model,
+    config: PipelineKind,
+    opts: &ExperimentOptions,
+    store: &crate::checkpoint::SnapshotStore,
+    key: &str,
+) -> Option<f64> {
+    let wl = Workload {
+        n_cells: opts.n_cells,
+        steps: opts.steps,
+        dt: 0.01,
+    };
+    let label = config.label();
+    let mut samples: Vec<f64> = Vec::new();
+    let mut steps_done: u64 = 0;
+    let mut sim: Option<Simulation> = None;
+    if let Some(snap) = store.load(key).snapshot {
+        if snap.key_matches(&m.name, &label, wl.n_cells, wl.dt).is_ok() {
+            samples = decode_samples(snap.meta.as_deref());
+            if samples.len() >= opts.repeats {
+                // Interrupted after the last sample but before the row
+                // was journaled: nothing left to run.
+                store.remove(key);
+                return Some(median_of(&samples));
+            }
+            match measurement_sim(m, config, &wl) {
+                None => return Some(f64::NAN),
+                Some(mut s) => match s.restore(&snap) {
+                    Ok(()) => {
+                        eprintln!(
+                            "checkpoint: resumed {key} mid-model at step {} with {} sample(s)",
+                            snap.steps_done,
+                            samples.len()
+                        );
+                        steps_done = snap.steps_done;
+                        sim = Some(s);
+                    }
+                    Err(e) => {
+                        eprintln!("warning: mid-model resume failed for {key} ({e}); re-measuring");
+                        samples.clear();
+                    }
+                },
+            }
+        } else {
+            store.remove(key);
+        }
+    }
+    let mut sim = match sim {
+        Some(s) => s,
+        None => {
+            let Some(mut s) = measurement_sim(m, config, &wl) else {
+                return Some(f64::NAN);
+            };
+            // Warm up, exactly as [`measure_run`] does.
+            let _ = s.run_guarded(2);
+            steps_done = 2;
+            s
+        }
+    };
+    while samples.len() < opts.repeats {
+        if crate::shutdown::requested() {
+            let mut snap = sim.snapshot(&label, steps_done);
+            snap.meta = Some(encode_samples(&samples));
+            match store.save(key, &snap) {
+                Ok(_) => eprintln!(
+                    "checkpoint: saved mid-model state for {key} at step {steps_done} \
+                     ({} of {} sample(s) clocked)",
+                    samples.len(),
+                    opts.repeats
+                ),
+                Err(e) => eprintln!("warning: mid-model checkpoint failed for {key}: {e}"),
+            }
+            return None;
+        }
+        let t0 = std::time::Instant::now();
+        let _ = sim.run_guarded(opts.steps);
+        samples.push(t0.elapsed().as_secs_f64());
+        steps_done += opts.steps as u64;
+    }
+    if crate::faults::injection_active() {
+        for incident in sim.incidents() {
+            KernelCache::global().log(incident.clone());
+        }
+    }
+    store.remove(key);
+    Some(median_of(&samples))
+}
+
 /// The checkpoint-journal identity of a fig-2 sweep: a journal written
 /// under different measurement options must restart, not resume — a
 /// half-sweep at 1024 cells stitched to a half-sweep at 8192 would be a
@@ -443,6 +590,14 @@ pub fn fig2_checkpointed(
     // Resume: pre-fill slots from the journal's completed rows. Rows for
     // unknown models (stale journal edited by hand) are ignored and
     // simply re-measured.
+    // Mid-model state snapshots live in a directory beside the journal:
+    // the journal records *finished* rows, the store holds the in-flight
+    // model's simulation state when a SIGINT lands mid-measurement.
+    let store = journal.map(|path| {
+        let dir = path.with_extension("state");
+        crate::checkpoint::SnapshotStore::new(&dir)
+            .unwrap_or_else(|e| panic!("cannot open mid-model state dir {}: {e}", dir.display()))
+    });
     let journal = journal.map(|path| {
         let (journal, done) = crate::persist::Journal::open(path, &fig2_journal_header(opts))
             .unwrap_or_else(|e| panic!("cannot open checkpoint journal {}: {e}", path.display()));
@@ -477,8 +632,39 @@ pub fn fig2_checkpointed(
                     continue; // resumed from the journal
                 }
                 let m = model(e.name);
-                let tb = measure_run(&m, PipelineKind::Baseline, opts);
-                let tl = measure_run(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts);
+                let (tb, tl) = if let Some(store) = &store {
+                    // Store keys carry the measurement shape not already
+                    // covered by the snapshot's own key echo (steps,
+                    // repeats), so a sweep re-run with different options
+                    // never stitches half-measurements together.
+                    let key = |cfg: &str| {
+                        format!("fig2/{}/{cfg}/s{}r{}", e.name, opts.steps, opts.repeats)
+                    };
+                    let Some(tb) = measure_run_resumable(
+                        &m,
+                        PipelineKind::Baseline,
+                        opts,
+                        store,
+                        &key("baseline"),
+                    ) else {
+                        break; // interrupted; state snapshot saved
+                    };
+                    let Some(tl) = measure_run_resumable(
+                        &m,
+                        PipelineKind::LimpetMlir(VectorIsa::Avx512),
+                        opts,
+                        store,
+                        &key("limpetMLIR-avx512"),
+                    ) else {
+                        break;
+                    };
+                    (tb, tl)
+                } else {
+                    (
+                        measure_run(&m, PipelineKind::Baseline, opts),
+                        measure_run(&m, PipelineKind::LimpetMlir(VectorIsa::Avx512), opts),
+                    )
+                };
                 let row = SpeedupRow {
                     model: e.name.to_owned(),
                     class: e.class.name().to_owned(),
@@ -517,6 +703,11 @@ pub fn fig2_checkpointed(
         if let Err(e) = j.finish() {
             eprintln!("warning: could not remove completed checkpoint journal: {e}");
         }
+    }
+    if let Some(store) = &store {
+        // A completed sweep consumed every mid-model snapshot; drop the
+        // (now empty) state directory beside the journal.
+        let _ = std::fs::remove_dir_all(store.dir());
     }
     let rows: Vec<SpeedupRow> = slots
         .into_inner()

@@ -78,10 +78,19 @@ pub enum FaultKind {
     /// behind un-released, so contending processes must retry with
     /// backoff and break the stale lock (lock-recovery path).
     LockHolderCrash,
+    /// Truncate a trajectory checkpoint as it is read (torn-tail rung of
+    /// the snapshot load ladder).
+    CkptTorn,
+    /// Flip one byte of a trajectory checkpoint as it is read (checksum
+    /// rung of the snapshot load ladder).
+    CkptCorrupt,
+    /// Rewrite a trajectory checkpoint's format-version stamp as it is
+    /// read (stale-version rung of the snapshot load ladder).
+    CkptStaleVersion,
 }
 
 /// Every fault kind, in spec order — handy for exercising the whole chain.
-pub const ALL_FAULT_KINDS: [FaultKind; 16] = [
+pub const ALL_FAULT_KINDS: [FaultKind; 19] = [
     FaultKind::ParseError,
     FaultKind::VerifyFail,
     FaultKind::BytecodeCorrupt,
@@ -98,6 +107,9 @@ pub const ALL_FAULT_KINDS: [FaultKind; 16] = [
     FaultKind::SlowLoris,
     FaultKind::TornFrame,
     FaultKind::LockHolderCrash,
+    FaultKind::CkptTorn,
+    FaultKind::CkptCorrupt,
+    FaultKind::CkptStaleVersion,
 ];
 
 impl FaultKind {
@@ -120,6 +132,9 @@ impl FaultKind {
             FaultKind::SlowLoris => "slow-loris",
             FaultKind::TornFrame => "torn-frame",
             FaultKind::LockHolderCrash => "lock-holder-crash",
+            FaultKind::CkptTorn => "ckpt-torn",
+            FaultKind::CkptCorrupt => "ckpt-corrupt",
+            FaultKind::CkptStaleVersion => "ckpt-stale-version",
         }
     }
 

@@ -13,6 +13,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod deadline;
 pub mod error;
 pub mod experiments;
@@ -28,14 +29,17 @@ pub use cache::{
     all_pipeline_kinds, model_fingerprint, CacheStats, CompiledKernel, KernelCache,
     QuarantineEntry, ResilientKernel,
 };
+pub use checkpoint::{
+    LoadOutcome, RejectReason, Snapshot, SnapshotStore, StoreStats, SNAPSHOT_FORMAT_VERSION,
+};
 pub use deadline::{backoff_delay, retry_with_backoff, CancelCause, CancelToken};
 pub use error::{compile_source, CompileError};
 pub use experiments::{
     available_cores, fig2_checkpointed, fig2_single_thread, fig2_with_jobs, fig3_threads32,
     fig4_scaling, fig5_isa_threads, fig6_roofline, geomean, icc_comparison, kernel_stats,
     layout_ablation, lut_ablation, measure_run_threaded, native_tier_bench, trajectory_digest,
-    validate_timing_model, ExperimentOptions, NativeBench, NativeBenchRow, Provenance,
-    ThreadTiming, TmValidation, THREAD_COUNTS,
+    trajectory_digest_tiered, validate_timing_model, ExperimentOptions, NativeBench,
+    NativeBenchRow, Provenance, ThreadTiming, TmValidation, THREAD_COUNTS,
 };
 pub use faults::FaultKind;
 pub use health::{incidents_json, summarize_incidents, HealthPolicy, Incident, IncidentKind, Tier};

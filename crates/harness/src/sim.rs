@@ -409,6 +409,15 @@ impl Simulation {
         Some(self.state.get(cell, idx))
     }
 
+    /// Guarded steps completed so far — the guard's own step counter,
+    /// which survives a snapshot/restore round-trip. This is the count a
+    /// checkpoint must record: a deadline can stop a chunk early, so a
+    /// caller's chunk-granular tally may overstate what actually ran.
+    /// Returns 0 for unguarded simulations.
+    pub fn guarded_steps(&self) -> usize {
+        self.guard.as_ref().map_or(0, |g| g.step_count)
+    }
+
     /// Bit pattern of every logical cell's full visible state — each
     /// state variable, then every external (`Vm`, `Iion`, …) — in cell
     /// order. Two runs are bit-identical iff their vectors are equal;
@@ -427,6 +436,136 @@ impl Simulation {
             }
         }
         bits
+    }
+
+    /// Captures everything needed to continue this run bit-identically
+    /// in a [`crate::checkpoint::Snapshot`]: the logical state bits, the
+    /// sim clock, the executing tier, the kernel's executed-step counter,
+    /// and any pending seeded-fault plan. `config_label` is the pipeline
+    /// label the simulation was built under (the sim does not retain it);
+    /// `steps_done` is the caller's completed-step count, echoed back by
+    /// resume so chunk loops can continue where they stopped.
+    ///
+    /// Call at a step boundary only — mid-step there is no coherent
+    /// state to capture (guarded stepping already lands cancellation at
+    /// boundaries, so every natural snapshot point qualifies).
+    pub fn snapshot(&self, config_label: &str, steps_done: u64) -> crate::checkpoint::Snapshot {
+        let model = self
+            .guard
+            .as_ref()
+            .map_or_else(|| self.kernel.name().to_string(), |g| g.model.name.clone());
+        crate::checkpoint::Snapshot {
+            model,
+            config: config_label.to_string(),
+            n_cells: self.n_cells(),
+            dt_bits: self.dt.to_bits(),
+            t_bits: self.t.to_bits(),
+            steps_done,
+            tier: self.tier().to_string(),
+            executed_steps: self.kernel.executed_steps(),
+            nan_plan: self
+                .guard
+                .as_ref()
+                .and_then(|g| g.nan_plan)
+                .map(|(step, seed)| (step as u64, seed)),
+            shards: Vec::new(),
+            meta: None,
+            state: self.state_bits(),
+        }
+    }
+
+    /// Writes a flat run of logical-cell bits (the [`Simulation::state_bits`]
+    /// layout) into this simulation's storage. The shard-level restore
+    /// primitive: key validation and counter restore live in
+    /// [`Simulation::restore`]; sharded resume slices one snapshot across
+    /// shards with this.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when `bits` is not exactly
+    /// `n_cells * (n_state + n_ext)` values.
+    pub fn restore_cells(&mut self, bits: &[u64]) -> Result<(), String> {
+        let n_state = self.kernel.info().state_names.len();
+        let n_ext = self.kernel.info().ext_names.len();
+        let expect = self.n_cells() * (n_state + n_ext);
+        if bits.len() != expect {
+            return Err(format!(
+                "snapshot carries {} state values, this simulation needs {expect}",
+                bits.len()
+            ));
+        }
+        let mut it = bits.iter();
+        for cell in 0..self.n_cells() {
+            for var in 0..n_state {
+                self.state
+                    .set(cell, var, f64::from_bits(*it.next().unwrap()));
+            }
+            for ext in 0..n_ext {
+                self.ext.set(cell, ext, f64::from_bits(*it.next().unwrap()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores a snapshot into this (freshly built) simulation: state
+    /// bits, sim clock, guard step counter, pending fault plan, and the
+    /// kernel's executed-step floor. When the snapshot was executing on
+    /// [`crate::Tier::Native`], re-promotion is attempted best-effort —
+    /// on failure the run continues on bytecode, which is bit-identical
+    /// by construction, so the trajectory is unaffected either way.
+    /// Snapshots taken below [`crate::Tier::Optimized`] likewise resume
+    /// on the optimized tier (all tiers compute identical bits; the
+    /// ladder re-descends only if the original fault recurs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the snapshot's shape does not match
+    /// this simulation (wrong cell count or state width).
+    pub fn restore(&mut self, snap: &crate::checkpoint::Snapshot) -> Result<(), String> {
+        if snap.n_cells != self.n_cells() {
+            return Err(format!(
+                "snapshot has {} cells, this simulation has {}",
+                snap.n_cells,
+                self.n_cells()
+            ));
+        }
+        self.restore_cells(&snap.state)?;
+        self.t = f64::from_bits(snap.t_bits);
+        self.kernel.restore_executed_steps(snap.executed_steps);
+        if let Some(g) = self.guard.as_mut() {
+            g.step_count = snap.steps_done as usize;
+            g.nan_plan = snap.nan_plan.map(|(step, seed)| (step as usize, seed));
+        }
+        if snap.tier == crate::Tier::Native.to_string() && self.native.is_none() {
+            // Best-effort: a missing toolchain or quarantined build just
+            // means the resumed run re-earns native later (or never) —
+            // the bits are the same either way.
+            let _ = self.promote_native_blocking(crate::KernelCache::global());
+        }
+        Ok(())
+    }
+
+    /// Builds a guarded simulation and restores `snap` into it — the
+    /// one-call resume path. The snapshot's key echo (model, config,
+    /// cell count, dt bits) must match what is being built; a mismatch
+    /// is an error, never a silently different trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on key mismatch, compile failure, or shape
+    /// mismatch.
+    pub fn resume_from(
+        model: &Model,
+        config: PipelineKind,
+        workload: &Workload,
+        policy: crate::HealthPolicy,
+        snap: &crate::checkpoint::Snapshot,
+    ) -> Result<Simulation, String> {
+        snap.key_matches(&model.name, &config.label(), workload.n_cells, workload.dt)?;
+        let mut sim = Simulation::new_resilient(model, config, workload, policy)
+            .map_err(|q| format!("resume compile failed: {}", q.error))?;
+        sim.restore(snap)?;
+        Ok(sim)
     }
 
     /// Applies a voltage perturbation to one cell (e.g. a local stimulus

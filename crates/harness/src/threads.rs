@@ -239,6 +239,97 @@ impl ShardedSimulation {
         bits
     }
 
+    /// Captures a pool-wide [`crate::checkpoint::Snapshot`] at a
+    /// rendezvous: `with_shard` drains each worker's command channel in
+    /// turn, and between `run_threaded` calls every shard is parked at
+    /// the same step boundary, so the concatenated state is exactly what
+    /// a single-thread run of the same step count holds. The snapshot
+    /// records the shard shape for observability, but resume re-shards
+    /// deterministically for whatever thread count it is given — a
+    /// 4-thread snapshot restores into a 1- or 8-thread pool unchanged.
+    pub fn snapshot(&self, config_label: &str, steps_done: u64) -> crate::checkpoint::Snapshot {
+        let label = config_label.to_string();
+        let mut snap = self.with_shard(0, move |sim| sim.snapshot(&label, steps_done));
+        for i in 1..self.workers.len() {
+            let shard_bits = self.with_shard(i, |sim| sim.state_bits());
+            snap.state.extend(shard_bits);
+        }
+        snap.n_cells = self.n_cells();
+        snap.shards = self.shard_cells.clone();
+        snap
+    }
+
+    /// Restores a snapshot into this pool, slicing the flat logical-cell
+    /// state across shards by the pool's own (deterministic)
+    /// [`shard_sizes`] partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the snapshot's cell count or state
+    /// width does not match this pool.
+    pub fn restore(&mut self, snap: &crate::checkpoint::Snapshot) -> Result<(), String> {
+        if snap.n_cells != self.n_cells() {
+            return Err(format!(
+                "snapshot has {} cells, pool has {}",
+                snap.n_cells,
+                self.n_cells()
+            ));
+        }
+        if snap.n_cells == 0 || !snap.state.len().is_multiple_of(snap.n_cells) {
+            return Err(format!(
+                "snapshot state ({} values) is not a whole number of cells ({})",
+                snap.state.len(),
+                snap.n_cells
+            ));
+        }
+        let per_cell = snap.state.len() / snap.n_cells;
+        let mut offset = 0;
+        for i in 0..self.workers.len() {
+            let cells = self.shard_cells[i];
+            let shard_snap = crate::checkpoint::Snapshot {
+                n_cells: cells,
+                // Shards never run native (it is width-1 single-sim
+                // only), so restore on the optimized tier regardless of
+                // what tier the writer was on — the bits are identical.
+                tier: crate::Tier::Optimized.to_string(),
+                nan_plan: None,
+                shards: Vec::new(),
+                meta: None,
+                state: snap.state[offset * per_cell..(offset + cells) * per_cell].to_vec(),
+                model: snap.model.clone(),
+                config: snap.config.clone(),
+                dt_bits: snap.dt_bits,
+                t_bits: snap.t_bits,
+                steps_done: snap.steps_done,
+                executed_steps: snap.executed_steps,
+            };
+            self.with_shard(i, move |sim| sim.restore(&shard_snap))?;
+            offset += cells;
+        }
+        Ok(())
+    }
+
+    /// Builds a pool for `threads` threads and restores `snap` into it —
+    /// the sharded resume path. The thread count is free to differ from
+    /// the one that wrote the snapshot; the key echo (model, config,
+    /// cells, dt) must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on key mismatch or shape mismatch.
+    pub fn resume_from(
+        model: &Model,
+        config: PipelineKind,
+        workload: &Workload,
+        threads: usize,
+        snap: &crate::checkpoint::Snapshot,
+    ) -> Result<ShardedSimulation, String> {
+        snap.key_matches(&model.name, &config.label(), workload.n_cells, workload.dt)?;
+        let mut sharded = ShardedSimulation::new(model, config, workload, threads);
+        sharded.restore(snap)?;
+        Ok(sharded)
+    }
+
     fn locate(&self, cell: usize) -> (usize, usize) {
         let mut local = cell;
         for (i, &n) in self.shard_cells.iter().enumerate() {

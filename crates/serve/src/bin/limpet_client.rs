@@ -3,8 +3,8 @@
 //! One connection, newline-delimited JSON both ways. The `drive` verb is
 //! the CI workhorse: it submits a models × configs matrix as concurrent
 //! jobs (round-robin over tenants), waits for every terminal event, and
-//! prints a sorted `model,config,digest` CSV comparable byte-for-byte
-//! with `figures --digest` output.
+//! prints a sorted `model,config,digest,tier` CSV comparable
+//! byte-for-byte with `figures --digest` output.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -25,6 +25,12 @@ VERBS:
     ping | health | stats | shutdown
                         one request, print the JSON response
     result --id ID      fetch a finished job's outcome
+    checkpoint --id ID  ask the daemon to durably snapshot a running job
+                        at its next chunk boundary; prints whether the
+                        job is active and a snapshot already exists
+    resume --id ID      re-admit a job from its durable snapshot (the
+                        snapshot embeds the job spec) and stream its
+                        events; the job continues from the recorded step
     submit --model M    run one job and stream its events
         [--config C] [--cells N] [--steps N] [--chunk N] [--tenant T]
         [--id ID] [--inject SPEC] [--source FILE] [--no-wait]
@@ -32,8 +38,9 @@ VERBS:
         [--slow-ms N]   sleep N ms after reading each event (a
                         deliberately slow reader, for backpressure tests)
     drive --models A,B  submit a models x configs matrix concurrently,
-        --configs X,Y   wait for all, print sorted model,config,digest CSV
-        [--tenants T1,T2] [--cells N] [--steps N] [--chunk N]
+        --configs X,Y   wait for all, print a sorted
+        [--tenants T1,T2] model,config,digest,tier CSV
+        [--cells N] [--steps N] [--chunk N]
     flood --model M --count N [--tenant T] [--cells N] [--steps N]
                         submit N jobs back-to-back without waiting for
                         completion; print accepted/rejected tallies
@@ -42,8 +49,13 @@ VERBS:
         [--configs X,Y] writes, torn frames, mid-stream disconnects,
         [--tenants ..]  wedge-the-worker injections). Asserts the daemon
         [--rounds N]    stays up and every submitted job resolves, then
-                        prints the baseline model,config,digest CSV
-                        (comparable with `figures --digest` / drive)
+        [--kill-pid P   prints the baseline model,config,digest,tier CSV
+         --respawn CMD] (comparable with `figures --digest` / drive).
+        [--kill-steps N] With --kill-pid/--respawn: additionally SIGKILL
+                        the daemon mid-trajectory, respawn it with CMD,
+                        and assert the checkpointed job resumes to the
+                        same digest an uninterrupted run produces
+                        (victim length --kill-steps, default 4000)
 
 RELIABILITY OPTIONS (all verbs):
     --retry N           reconnect attempts after a transport failure
@@ -51,6 +63,10 @@ RELIABILITY OPTIONS (all verbs):
                         `result` for the job id and only resubmits when
                         the daemon does not know the outcome — job ids
                         make resubmission idempotent.
+    --resume            for submit: before resubmitting, ask the daemon
+                        to `resume` the job from its durable snapshot so
+                        a reconnect continues mid-trajectory instead of
+                        recomputing from step 0 (implied on retries)
     --backoff MS        base delay for jittered exponential reconnect
                         backoff (default 50)
 ";
@@ -125,7 +141,7 @@ fn parse_cli() -> Result<(String, Opts), String> {
             let value = match key {
                 // Boolean flags. `--chaos` doubles as the verb so the
                 // soak driver reads naturally as `limpet-client --chaos`.
-                "no-wait" | "chaos" => "true".to_owned(),
+                "no-wait" | "chaos" | "resume" => "true".to_owned(),
                 _ => args
                     .next()
                     .ok_or_else(|| format!("--{key} requires a value"))?,
@@ -339,10 +355,10 @@ fn submit_attempt(
     config: &str,
     tenant: &str,
     wait: bool,
-    resume: bool,
+    retrying: bool,
 ) -> Result<(), SubmitError> {
     let mut wire = Wire::open_once(opts).map_err(SubmitError::Transport)?;
-    if resume {
+    if retrying {
         let req = Json::obj(vec![("verb", Json::str("result")), ("id", Json::str(id))]);
         wire.send(&req.to_string())
             .map_err(SubmitError::Transport)?;
@@ -352,7 +368,30 @@ fn submit_attempt(
                 println!("{v}");
                 return finish_done(&v).map_err(SubmitError::Fatal);
             }
-            Some(_) => {} // pending/unknown: fall through to resubmit
+            Some(_) => {} // pending/unknown: fall through to resume/resubmit
+        }
+    }
+    if retrying || opts.get("resume").is_some() {
+        // Before recomputing from step 0, ask the daemon to continue the
+        // job from its durable mid-trajectory snapshot. An `error` reply
+        // (no snapshot / checkpointing disabled) falls back to a plain
+        // resubmit — bit-identical either way, just more recomputation.
+        let req = Json::obj(vec![("verb", Json::str("resume")), ("id", Json::str(id))]);
+        wire.send(&req.to_string())
+            .map_err(SubmitError::Transport)?;
+        match wire.recv().map_err(SubmitError::Transport)? {
+            None => return Err(SubmitError::Transport("connection closed".into())),
+            Some(v) => match v.get("event").and_then(Json::as_str).unwrap_or("") {
+                "accepted" => {
+                    println!("{v}");
+                    if !wait {
+                        return Ok(());
+                    }
+                    return stream_to_done(&mut wire);
+                }
+                "rejected" => return Err(SubmitError::Fatal(format!("resume not admitted: {v}"))),
+                _ => {} // error: nothing durable to resume — resubmit
+            },
         }
     }
     let req = job_json(opts, id, model, config, tenant).map_err(SubmitError::Fatal)?;
@@ -374,6 +413,25 @@ fn submit_attempt(
                     "accepted" if !wait => return Ok(()),
                     "done" => return finish_done(&v).map_err(SubmitError::Fatal),
                     _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Drains an already-accepted job's event stream to its `done` event.
+fn stream_to_done(wire: &mut Wire) -> Result<(), SubmitError> {
+    loop {
+        match wire.recv().map_err(SubmitError::Transport)? {
+            None => {
+                return Err(SubmitError::Transport(
+                    "connection closed mid-stream".into(),
+                ))
+            }
+            Some(v) => {
+                println!("{v}");
+                if v.get("event").and_then(Json::as_str) == Some("done") {
+                    return finish_done(&v).map_err(SubmitError::Fatal);
                 }
             }
         }
@@ -405,6 +463,7 @@ struct ChaosTally {
     torn: u64,
     dropped: u64,
     wedged: u64,
+    killed: u64,
 }
 
 impl ChaosTally {
@@ -415,6 +474,7 @@ impl ChaosTally {
         self.torn += o.torn;
         self.dropped += o.dropped;
         self.wedged += o.wedged;
+        self.killed += o.killed;
     }
 }
 
@@ -589,6 +649,128 @@ fn chaos_tenant(
     Ok(tally)
 }
 
+/// The chaos soak's kill -9 flavor. Runs one long "victim" job, SIGKILLs
+/// the daemon (`--kill-pid`) after a couple of streamed chunks — no
+/// journal `done` line, no final snapshot, only the cadence checkpoints
+/// survive — respawns it with `--respawn` (a shell command that must
+/// reuse the same journal/snapshot dirs and listen address), and asserts:
+///
+/// 1. the respawned daemon's journal replay resumes the victim from its
+///    durable snapshot (survivability `resumes` goes positive), and
+/// 2. the resumed run's digest equals a clean uninterrupted run of the
+///    identical spec, bit for bit.
+fn kill_and_resume(opts: &Opts, model: &str, config: &str, tenant: &str) -> Result<(), String> {
+    let pid = opts.get("kill-pid").expect("caller checked");
+    let respawn = opts
+        .get("respawn")
+        .ok_or("--kill-pid requires --respawn CMD")?;
+    let steps = opts.num("kill-steps", 4000)?;
+    let with_steps = |mut req: Json| -> Json {
+        if let Json::Obj(map) = &mut req {
+            map.insert("steps".into(), steps.into());
+        }
+        req
+    };
+
+    // Uninterrupted reference digest for the victim's exact spec.
+    let mut wire = Wire::open(opts, fnv64("kill-ref"))?;
+    let ref_req = with_steps(job_json(opts, "chaos-kill-ref", model, config, tenant)?);
+    let v = submit_and_wait(&mut wire, &ref_req)?;
+    check_done_digest(&v, None)?;
+    let expect = v
+        .get("digest")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_owned();
+
+    // The victim: wait for acceptance and a couple of chunk events so the
+    // daemon has durably checkpointed mid-trajectory state, then SIGKILL.
+    let victim = "chaos-kill-victim";
+    let req = with_steps(job_json(opts, victim, model, config, tenant)?);
+    {
+        let mut w = Wire::open_once(opts)?;
+        w.send(&req.to_string())?;
+        let mut chunks = 0u32;
+        loop {
+            let v = w.recv()?.ok_or("daemon closed before the kill point")?;
+            match v.get("event").and_then(Json::as_str) {
+                Some("rejected") | Some("error") => {
+                    return Err(format!("kill victim refused: {v}"))
+                }
+                Some("chunk") => {
+                    chunks += 1;
+                    if chunks >= 2 {
+                        break;
+                    }
+                }
+                Some("done") => {
+                    return Err(format!(
+                        "kill victim finished before the kill; raise --kill-steps (ran {steps})"
+                    ))
+                }
+                _ => {}
+            }
+        }
+    }
+    let killed = std::process::Command::new("kill")
+        .args(["-9", pid])
+        .status()
+        .map_err(|e| format!("kill -9 {pid}: {e}"))?;
+    if !killed.success() {
+        return Err(format!("kill -9 {pid} failed: {killed}"));
+    }
+    eprintln!("chaos: killed daemon pid {pid} mid-trajectory; respawning");
+    std::thread::sleep(Duration::from_millis(200));
+    std::process::Command::new("sh")
+        .args(["-c", respawn])
+        .spawn()
+        .map_err(|e| format!("respawn '{respawn}': {e}"))?;
+
+    // Wait for the respawned daemon to answer, then for the journal
+    // replay to finish the resumed victim headless.
+    let mut alive = false;
+    for _ in 0..200 {
+        std::thread::sleep(Duration::from_millis(100));
+        if let Ok(mut w) = Wire::open_once(opts) {
+            if w.send(r#"{"verb":"ping"}"#).is_ok() {
+                if let Ok(Some(v)) = w.recv() {
+                    if v.get("event").and_then(Json::as_str) == Some("pong") {
+                        alive = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if !alive {
+        return Err("respawned daemon never answered ping".into());
+    }
+    let outcome = poll_result(opts, victim, Duration::from_millis(100), 600)?
+        .ok_or("kill victim never resolved after the daemon respawn")?;
+    if outcome.get("status").and_then(Json::as_str) != Some("done") {
+        return Err(format!("resumed kill victim ended badly: {outcome}"));
+    }
+    check_done_digest(&outcome, Some(&expect))?;
+
+    // The digest match proves bit-identity; the survivability counter
+    // proves it came from a snapshot rather than a silent step-0 re-run.
+    let mut w = Wire::open(opts, fnv64("kill-stats"))?;
+    w.send(r#"{"verb":"stats"}"#)?;
+    let stats = w.recv()?.ok_or("connection closed reading stats")?;
+    let resumes = stats
+        .get("survivability")
+        .and_then(|s| s.get("resumes"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if resumes == 0 {
+        return Err("daemon reports zero snapshot resumes after the kill".into());
+    }
+    eprintln!(
+        "chaos: victim resumed from durable snapshot and matched the uninterrupted digest {expect}"
+    );
+    Ok(())
+}
+
 /// The seeded hostile-client soak (`--chaos`). Three phases:
 ///
 /// 1. **Baseline** — one clean submission per model × config records the
@@ -613,8 +795,10 @@ fn chaos(opts: &Opts) -> Result<(), String> {
     let tenants =
         list(opts, "tenants").unwrap_or_else(|| vec!["chaos-a".to_owned(), "chaos-b".to_owned()]);
 
-    // Phase 1: baseline digests over one clean connection.
+    // Phase 1: baseline digests (and finishing tiers) over one clean
+    // connection.
     let mut baseline: BTreeMap<(String, String), String> = BTreeMap::new();
+    let mut tiers: BTreeMap<(String, String), String> = BTreeMap::new();
     {
         let mut wire = Wire::open(opts, seed)?;
         for model in &models {
@@ -624,7 +808,13 @@ fn chaos(opts: &Opts) -> Result<(), String> {
                 let v = submit_and_wait(&mut wire, &req)?;
                 check_done_digest(&v, None)?;
                 let digest = v.get("digest").and_then(Json::as_str).unwrap().to_owned();
+                let tier = v
+                    .get("tier")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_owned();
                 baseline.insert((model.clone(), config.clone()), digest);
+                tiers.insert((model.clone(), config.clone()), tier);
             }
         }
     }
@@ -650,6 +840,15 @@ fn chaos(opts: &Opts) -> Result<(), String> {
         tally.add(&t);
     }
 
+    // Phase 2.5 (opt-in): SIGKILL the daemon mid-trajectory, respawn it,
+    // and prove the checkpointed victim resumes to the digest an
+    // uninterrupted run produces. Runs after the tenant threads so the
+    // kill cannot abort their in-flight jobs.
+    if opts.get("kill-pid").is_some() {
+        kill_and_resume(opts, &models[0], &configs[0], &tenants[0])?;
+        tally.killed += 1;
+    }
+
     // Phase 3: the daemon must still be alive and answering.
     let mut wire = Wire::open(opts, seed ^ 0xff)?;
     wire.send(r#"{"verb":"ping"}"#)?;
@@ -660,18 +859,23 @@ fn chaos(opts: &Opts) -> Result<(), String> {
 
     eprintln!(
         "chaos: seed={seed} rounds={rounds} tenants={} resolved={} \
-         (clean={} slow={} torn={} dropped={} wedged={})",
+         (clean={} slow={} torn={} dropped={} wedged={} killed={})",
         tenants.len(),
         tally.resolved,
         tally.clean,
         tally.slow,
         tally.torn,
         tally.dropped,
-        tally.wedged
+        tally.wedged,
+        tally.killed
     );
-    println!("model,config,digest");
+    println!("model,config,digest,tier");
     for ((model, config), digest) in &baseline {
-        println!("{model},{config},{digest}");
+        let tier = tiers
+            .get(&(model.clone(), config.clone()))
+            .map(String::as_str)
+            .unwrap_or("");
+        println!("{model},{config},{digest},{tier}");
     }
     Ok(())
 }
@@ -681,7 +885,7 @@ fn run() -> Result<(), String> {
     if verb == "chaos" {
         return chaos(&opts);
     }
-    if verb == "submit" && opts.num("retry", 0)? > 0 {
+    if verb == "submit" && (opts.num("retry", 0)? > 0 || opts.get("resume").is_some()) {
         return submit_resilient(&opts);
     }
     let conn = connect_retry(&opts, 0x636c69)?;
@@ -724,13 +928,35 @@ fn run() -> Result<(), String> {
                 None => return Err("connection closed before response".into()),
             }
         }
-        "result" => {
-            let id = opts.get("id").ok_or("result requires --id")?;
-            let req = Json::obj(vec![("verb", Json::str("result")), ("id", Json::str(id))]);
+        "result" | "checkpoint" => {
+            let id = opts.get("id").ok_or("result/checkpoint requires --id")?;
+            let req = Json::obj(vec![("verb", Json::str(&verb)), ("id", Json::str(id))]);
             send(&req.to_string())?;
             match recv(&mut reader)? {
                 Some(v) => println!("{v}"),
                 None => return Err("connection closed before response".into()),
+            }
+        }
+        "resume" => {
+            let id = opts.get("id").ok_or("resume requires --id")?;
+            let req = Json::obj(vec![("verb", Json::str("resume")), ("id", Json::str(id))]);
+            send(&req.to_string())?;
+            let wait = opts.get("no-wait").is_none();
+            while let Some(v) = recv(&mut reader)? {
+                println!("{v}");
+                let event = v.get("event").and_then(Json::as_str).unwrap_or("");
+                if matches!(event, "rejected" | "error") {
+                    return Err(format!("resume refused: {v}"));
+                }
+                if !wait && event == "accepted" {
+                    break;
+                }
+                if event == "done" {
+                    if v.get("status").and_then(Json::as_str) != Some("done") {
+                        return Err(format!("resumed job ended badly: {v}"));
+                    }
+                    break;
+                }
             }
         }
         "submit" => {
@@ -812,14 +1038,19 @@ fn run() -> Result<(), String> {
                     .and_then(Json::as_str)
                     .ok_or_else(|| format!("done event without digest: {v}"))?
                     .to_owned();
+                let tier = v
+                    .get("tier")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_owned();
                 let (model, config) = id
                     .split_once('|')
                     .ok_or_else(|| format!("unexpected job id '{id}'"))?;
-                rows.push(format!("{model},{config},{digest}"));
+                rows.push(format!("{model},{config},{digest},{tier}"));
                 pending.retain(|p| p != &id);
             }
             rows.sort();
-            println!("model,config,digest");
+            println!("model,config,digest,tier");
             for row in rows {
                 println!("{row}");
             }

@@ -38,6 +38,12 @@ OPTIONS:
                         deadline run unbounded)
     --watchdog-ms N     stuck-worker watchdog grace period in ms
                         (default 1000; 0 disables the watchdog)
+    --snapshot-dir DIR  durable mid-trajectory checkpoint store (default
+                        <cache-dir>/checkpoints when --cache-dir is set;
+                        with neither, checkpointing is disabled)
+    --checkpoint-every N
+                        checkpoint cadence in completed chunks
+                        (default 1: every chunk boundary)
     -h, --help          this help
 ";
 
@@ -91,6 +97,14 @@ fn parse_args() -> Result<ServerConfig, String> {
                     .parse()
                     .map_err(|e| format!("--watchdog-ms: {e}"))?;
                 config.watchdog_ms = (ms > 0).then_some(ms);
+            }
+            "--snapshot-dir" => {
+                config.snapshot_dir = Some(PathBuf::from(value("--snapshot-dir")?));
+            }
+            "--checkpoint-every" => {
+                config.checkpoint_every_chunks = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
             }
             "-h" | "--help" => {
                 print!("{USAGE}");

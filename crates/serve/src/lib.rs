@@ -39,7 +39,8 @@ pub mod tenant;
 pub use json::Json;
 pub use queue::Bounded;
 pub use scheduler::{
-    parse_config, JobOutcome, JobSpec, JobStatus, ModelRef, Pool, PoolConfig, QueuedJob, RunCtl,
+    parse_config, CheckpointRequester, JobOutcome, JobSpec, JobStatus, ModelRef, Pool, PoolConfig,
+    QueuedJob, RunCtl,
 };
 pub use server::{Listen, Server, ServerConfig};
 pub use tenant::{Ledger, QuotaConfig, Rejection, TenantUsage};

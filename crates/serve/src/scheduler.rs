@@ -20,7 +20,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use limpet_harness::{
-    faults, CancelToken, HealthPolicy, IncidentKind, PipelineKind, Simulation, Workload,
+    faults, CancelToken, HealthPolicy, IncidentKind, PipelineKind, Simulation, SnapshotStore,
+    Workload,
 };
 
 use crate::json::Json;
@@ -330,6 +331,15 @@ pub struct RunCtl<'a> {
     /// Bumped once per completed chunk — a flat-lining heartbeat past
     /// the deadline is what the watchdog treats as a wedged worker.
     pub heartbeat: Option<&'a AtomicU64>,
+    /// Durable snapshot store. When present, the job auto-resumes from
+    /// its latest snapshot on start, checkpoints on the `ckpt_every`
+    /// cadence and on abort/deadline, and removes its snapshot on `Done`.
+    pub store: Option<&'a SnapshotStore>,
+    /// Checkpoint cadence in chunks (0 is treated as 1: every chunk).
+    pub ckpt_every: usize,
+    /// Force-checkpoint request flag, polled (and cleared) at every chunk
+    /// boundary — the `checkpoint` wire verb's hook into a running job.
+    pub force_ckpt: Option<&'a AtomicBool>,
 }
 
 /// Runs one job to completion on the calling thread.
@@ -395,8 +405,13 @@ pub fn run_job(spec: &JobSpec, outbox: &Outbox, ctl: &RunCtl) -> JobOutcome {
         sim.set_cancel_token(token.clone());
     }
     let mut steps_run = 0;
+    if let Some(store) = ctl.store {
+        steps_run = try_resume(store, spec, &mut sim);
+    }
     let mut aborted = false;
     let mut deadline = None;
+    let mut chunks_done: u64 = 0;
+    let ckpt_every = ctl.ckpt_every.max(1) as u64;
     while steps_run < spec.steps {
         if ctl.abort.is_some_and(|a| a.load(Ordering::SeqCst)) {
             aborted = true;
@@ -416,8 +431,22 @@ pub fn run_job(spec: &JobSpec, outbox: &Outbox, ctl: &RunCtl) -> JobOutcome {
             }
         };
         steps_run += n;
+        chunks_done += 1;
         if let Some(hb) = ctl.heartbeat {
             hb.fetch_add(1, Ordering::SeqCst);
+        }
+        if let Some(store) = ctl.store {
+            let forced = ctl
+                .force_ckpt
+                .is_some_and(|f| f.swap(false, Ordering::SeqCst));
+            // Skip the final boundary: the job is about to finish and
+            // remove its snapshot anyway.
+            if (forced || chunks_done.is_multiple_of(ckpt_every))
+                && steps_run < spec.steps
+                && !stopped
+            {
+                save_checkpoint(store, spec, &sim);
+            }
         }
         if let Some(out) = outbox {
             let event = Json::obj(vec![
@@ -450,6 +479,19 @@ pub fn run_job(spec: &JobSpec, outbox: &Outbox, ctl: &RunCtl) -> JobOutcome {
     } else {
         JobStatus::Done
     };
+    if let Some(store) = ctl.store {
+        if status == JobStatus::Done {
+            // Terminal: the digest is journaled, the snapshot has served
+            // its purpose. Leaving it would let a later resume of the
+            // same id silently re-run from mid-trajectory.
+            store.remove(&spec.id);
+        } else {
+            // Aborted or deadline: persist the exact step-boundary state
+            // so the next incarnation (journal replay or `resume` verb)
+            // continues instead of recomputing from step 0.
+            save_checkpoint(store, spec, &sim);
+        }
+    }
     let digest = if status == JobStatus::Done {
         Some(vm_digest(&sim, spec.cells))
     } else {
@@ -465,6 +507,74 @@ pub fn run_job(spec: &JobSpec, outbox: &Outbox, ctl: &RunCtl) -> JobOutcome {
         incidents: Json::parse(&limpet_harness::incidents_json(sim.incidents()))
             .unwrap_or(Json::Arr(Vec::new())),
         error: deadline,
+    }
+}
+
+/// Attempts to restore the job's latest durable snapshot into `sim`.
+/// Returns the step to continue from (0 when there is nothing usable).
+/// Every rejected file on the load ladder is logged and already
+/// self-healed (removed) by the store; a key or shape mismatch falls
+/// back to step 0 rather than failing the job.
+fn try_resume(store: &SnapshotStore, spec: &JobSpec, sim: &mut Simulation) -> usize {
+    let outcome = store.load(&spec.id);
+    for (path, reason) in &outcome.rejects {
+        eprintln!(
+            "limpet-serve: checkpoint: rejected snapshot {} ({}); removed",
+            path.display(),
+            reason.as_str()
+        );
+    }
+    let Some(snap) = &outcome.snapshot else {
+        if !outcome.rejects.is_empty() {
+            eprintln!(
+                "limpet-serve: checkpoint: no usable snapshot for job {}; starting from step 0",
+                spec.id
+            );
+        }
+        return 0;
+    };
+    let usable = snap
+        .key_matches(spec.model.name(), &spec.config, spec.cells, spec.dt)
+        .and_then(|()| sim.restore(snap));
+    match usable {
+        Ok(()) => {
+            let at = (snap.steps_done as usize).min(spec.steps);
+            eprintln!(
+                "limpet-serve: checkpoint: resumed job {} at step {}{}",
+                spec.id,
+                at,
+                if outcome.from_previous {
+                    " (previous rotation)"
+                } else {
+                    ""
+                }
+            );
+            at
+        }
+        Err(e) => {
+            eprintln!(
+                "limpet-serve: checkpoint: snapshot for job {} unusable ({e}); starting from step 0",
+                spec.id
+            );
+            0
+        }
+    }
+}
+
+/// Durably snapshots `sim` under the job id, embedding the job-spec JSON
+/// so the snapshot is self-contained for the `resume` wire verb. Uses the
+/// guard's own step counter, not the chunk loop's tally — a deadline can
+/// stop a chunk early, and recording too many steps would make the
+/// resumed trajectory diverge. Failures are logged, never fatal: a job
+/// must not die because its checkpoint could not be written.
+fn save_checkpoint(store: &SnapshotStore, spec: &JobSpec, sim: &Simulation) {
+    let mut snap = sim.snapshot(&spec.config, sim.guarded_steps() as u64);
+    snap.meta = Some(spec.to_json().to_string());
+    if let Err(e) = store.save(&spec.id, &snap) {
+        eprintln!(
+            "limpet-serve: checkpoint: save for job {} failed: {e}",
+            spec.id
+        );
     }
 }
 
@@ -493,7 +603,7 @@ pub struct QueuedJob {
 }
 
 /// Sizing and survivability knobs for a [`Pool`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// Worker threads executing jobs.
     pub workers: usize,
@@ -506,6 +616,12 @@ pub struct PoolConfig {
     /// watchdog entirely (then a non-cooperative worker is never
     /// reclaimed — tests and embedded pools only).
     pub watchdog: Option<Duration>,
+    /// Durable snapshot store shared by every worker; `None` disables
+    /// checkpointing (jobs always start from step 0).
+    pub snapshot_store: Option<Arc<SnapshotStore>>,
+    /// Checkpoint cadence: snapshot every N completed chunks (plus on
+    /// abort/deadline and on a `checkpoint` request). 0 is treated as 1.
+    pub checkpoint_every_chunks: usize,
 }
 
 impl Default for PoolConfig {
@@ -515,6 +631,8 @@ impl Default for PoolConfig {
             queue_cap: 64,
             default_deadline_ms: None,
             watchdog: None,
+            snapshot_store: None,
+            checkpoint_every_chunks: 1,
         }
     }
 }
@@ -537,6 +655,9 @@ struct ActiveJob {
     /// fires one full sweep interval later, giving a cooperative worker
     /// time to stop at its own step boundary.
     tripped_at: Option<Instant>,
+    /// Set by [`Pool::request_checkpoint`]; the worker snapshots (and
+    /// clears the flag) at its next chunk boundary.
+    force_ckpt: Arc<AtomicBool>,
 }
 
 /// Completion callback: invoked once per job with its final outcome.
@@ -558,6 +679,8 @@ struct PoolShared {
     /// quarantine.
     on_stall: StallHook,
     default_deadline_ms: Option<u64>,
+    snapshots: Option<Arc<SnapshotStore>>,
+    ckpt_every: usize,
     /// `(handle, wedged)` for every thread ever spawned; wedged threads
     /// are left behind (not joined) at shutdown.
     threads: Mutex<Vec<(JoinHandle<()>, Arc<AtomicBool>)>>,
@@ -586,6 +709,7 @@ fn spawn_worker(shared: &Arc<PoolShared>, i: usize) {
                 };
                 let heartbeat = Arc::new(AtomicU64::new(0));
                 let abandoned = Arc::new(AtomicBool::new(false));
+                let force_ckpt = Arc::new(AtomicBool::new(false));
                 *sh.lock_slot(i) = Some(ActiveJob {
                     spec: spec.clone(),
                     outbox: outbox.clone(),
@@ -594,6 +718,7 @@ fn spawn_worker(shared: &Arc<PoolShared>, i: usize) {
                     abandoned: Arc::clone(&abandoned),
                     thread_wedged: Arc::clone(&my_wedged),
                     tripped_at: None,
+                    force_ckpt: Arc::clone(&force_ckpt),
                 });
                 let outcome = run_job(
                     &spec,
@@ -602,6 +727,9 @@ fn spawn_worker(shared: &Arc<PoolShared>, i: usize) {
                         abort: Some(&sh.abort),
                         token: Some(&token),
                         heartbeat: Some(&heartbeat),
+                        store: sh.snapshots.as_deref(),
+                        ckpt_every: sh.ckpt_every,
+                        force_ckpt: Some(&force_ckpt),
                     },
                 );
                 // Completion races the watchdog's reclaim; the slot lock
@@ -706,6 +834,40 @@ fn watchdog_sweep(sh: &Arc<PoolShared>, grace: Duration) {
     }
 }
 
+fn request_checkpoint_in(sh: &Arc<PoolShared>, id: &str) -> bool {
+    for i in 0..sh.slots.len() {
+        let slot = sh.lock_slot(i);
+        if let Some(active) = slot.as_ref() {
+            if active.spec.id == id {
+                active.force_ckpt.store(true, Ordering::SeqCst);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// A cloneable capability for flagging active jobs for an immediate
+/// checkpoint (see [`Pool::request_checkpoint`]), held by connection
+/// threads that must not own the pool itself.
+#[derive(Clone)]
+pub struct CheckpointRequester {
+    shared: Arc<PoolShared>,
+}
+
+impl std::fmt::Debug for CheckpointRequester {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointRequester").finish()
+    }
+}
+
+impl CheckpointRequester {
+    /// See [`Pool::request_checkpoint`].
+    pub fn request(&self, id: &str) -> bool {
+        request_checkpoint_in(&self.shared, id)
+    }
+}
+
 /// A fixed-size worker pool draining a shared bounded job queue, with an
 /// optional stuck-worker watchdog that reclaims wedged workers.
 pub struct Pool {
@@ -741,6 +903,8 @@ impl Pool {
             on_done: Arc::new(on_done),
             on_stall: Arc::new(on_stall),
             default_deadline_ms: config.default_deadline_ms,
+            snapshots: config.snapshot_store.clone(),
+            ckpt_every: config.checkpoint_every_chunks.max(1),
             threads: Mutex::new(Vec::new()),
             watchdog_stop: AtomicBool::new(false),
             respawns: AtomicU64::new(0),
@@ -790,6 +954,23 @@ impl Pool {
     /// threads that outlive nothing but must not own the pool.
     pub fn queue_handle(&self) -> Arc<Bounded<QueuedJob>> {
         Arc::clone(&self.shared.queue)
+    }
+
+    /// Requests an immediate durable checkpoint of an active job. The
+    /// owning worker snapshots at its next chunk boundary. Returns `true`
+    /// when the job is currently executing on some worker; `false` means
+    /// queued, finished, or unknown (queued jobs checkpoint on their
+    /// normal cadence once they start).
+    pub fn request_checkpoint(&self, id: &str) -> bool {
+        request_checkpoint_in(&self.shared, id)
+    }
+
+    /// A detachable handle for requesting checkpoints without owning the
+    /// pool — what connection threads hold.
+    pub fn checkpoint_requester(&self) -> CheckpointRequester {
+        CheckpointRequester {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Stops the pool. With `drain`, queued and running jobs finish
@@ -962,12 +1143,83 @@ mod tests {
                 abort: None,
                 token: Some(&token),
                 heartbeat: None,
+                ..RunCtl::default()
             },
         );
         assert_eq!(out.status, JobStatus::Deadline);
         assert_eq!(out.digest, None);
         assert!(out.error.as_deref().unwrap().contains("deadline-exceeded"));
         assert!(out.steps_run < 1000, "must stop early, not run to the end");
+    }
+
+    /// A job interrupted mid-trajectory (client gone → abort at a chunk
+    /// boundary) must leave a durable snapshot, and a re-run of the same
+    /// spec over the same store must resume from it — not step 0 — and
+    /// finish with the digest an uninterrupted run produces.
+    #[test]
+    fn run_job_resumes_from_snapshot_bit_identically() {
+        let _guard = TEST_SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        faults::disarm_all();
+        let dir = std::env::temp_dir().join(format!(
+            "limpet-sched-ckpt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::new(&dir).unwrap();
+        let s = spec("ck", "HodgkinHuxley", "baseline", 16, 40);
+
+        let clean = run_job(
+            &spec("ck-ref", "HodgkinHuxley", "baseline", 16, 40),
+            &None,
+            &RunCtl::default(),
+        );
+        assert_eq!(clean.status, JobStatus::Done);
+
+        // Interrupt: a reader that consumes two chunk events and then
+        // closes its outbox, so the job aborts at the next boundary.
+        let outbox = Arc::new(crate::queue::Bounded::new(1));
+        let reader_outbox = Arc::clone(&outbox);
+        let reader = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let _ = reader_outbox.pop();
+            }
+            reader_outbox.close();
+        });
+        let interrupted = run_job(
+            &s,
+            &Some(Arc::clone(&outbox)),
+            &RunCtl {
+                store: Some(&store),
+                ..RunCtl::default()
+            },
+        );
+        reader.join().unwrap();
+        assert_eq!(interrupted.status, JobStatus::Aborted);
+        assert!(interrupted.steps_run < 40, "must have stopped mid-run");
+        assert!(store.stats().saved >= 1, "abort must leave a snapshot");
+        assert!(store.has("ck"), "snapshot file must exist for the job id");
+
+        let resumed = run_job(
+            &s,
+            &None,
+            &RunCtl {
+                store: Some(&store),
+                ..RunCtl::default()
+            },
+        );
+        assert_eq!(resumed.status, JobStatus::Done);
+        assert_eq!(
+            resumed.digest, clean.digest,
+            "resumed trajectory must be bit-identical to uninterrupted"
+        );
+        assert_eq!(resumed.steps_run, 40);
+        assert!(
+            store.stats().loaded_current >= 1,
+            "completion must have come from a snapshot resume"
+        );
+        assert!(!store.has("ck"), "done must remove the snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -984,6 +1236,7 @@ mod tests {
                 queue_cap: 8,
                 default_deadline_ms: Some(50),
                 watchdog: Some(Duration::from_millis(60)),
+                ..PoolConfig::default()
             },
             move |spec, outcome| {
                 done2

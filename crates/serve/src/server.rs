@@ -3,8 +3,9 @@
 //!
 //! Wire protocol: newline-delimited JSON in both directions. Each
 //! request line is an object with a `"verb"` — `submit`, `result`,
-//! `stats`, `health`, `ping`, `shutdown` — and each response line an
-//! object with an `"event"`. A `submit` is answered immediately with
+//! `checkpoint`, `resume`, `stats`, `health`, `ping`, `shutdown` — and
+//! each response line an object with an `"event"`. A `submit` is
+//! answered immediately with
 //! `accepted` or `rejected` (typed quota code), then `chunk` events
 //! stream as the job runs and a final `done` event carries the
 //! trajectory digest. Events for every job of a connection share that
@@ -16,8 +17,11 @@
 //! line. A daemon restarted over the same journal re-admits every job
 //! whose `done` line is missing and re-runs it (headless — the original
 //! client is gone; the recomputed outcome is available via `result`).
-//! Jobs are deterministic, so a resumed run produces the same digest the
-//! uninterrupted run would have.
+//! With a snapshot store attached, the re-run does not start from step 0:
+//! `run_job` restores the job's latest durable mid-trajectory checkpoint
+//! and continues from its recorded step. Jobs are deterministic and
+//! checkpoints are bit-exact, so either way the resumed run produces the
+//! same digest the uninterrupted run would have.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
@@ -28,11 +32,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use limpet_harness::{shutdown, Journal, KernelCache};
+use limpet_harness::{shutdown, Journal, KernelCache, SnapshotStore};
 
 use crate::json::Json;
 use crate::queue::Bounded;
-use crate::scheduler::{JobOutcome, JobSpec, JobStatus, Pool, PoolConfig, QueuedJob};
+use crate::scheduler::{
+    CheckpointRequester, JobOutcome, JobSpec, JobStatus, Pool, PoolConfig, QueuedJob,
+};
 use crate::tenant::{Ledger, QuotaConfig};
 
 /// Where the daemon listens.
@@ -67,6 +73,13 @@ pub struct ServerConfig {
     /// Stuck-worker watchdog grace period in milliseconds; `None`
     /// disables the watchdog entirely.
     pub watchdog_ms: Option<u64>,
+    /// Durable snapshot directory for mid-trajectory checkpoints. `None`
+    /// defaults to `<cache_dir>/checkpoints` when a cache dir is set;
+    /// with neither, checkpointing is disabled.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Checkpoint cadence: snapshot every N completed chunks (plus on
+    /// abort/deadline and on the `checkpoint` verb). 0 is treated as 1.
+    pub checkpoint_every_chunks: usize,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +93,8 @@ impl Default for ServerConfig {
             cache_dir: None,
             default_deadline_ms: Some(300_000),
             watchdog_ms: Some(1_000),
+            snapshot_dir: None,
+            checkpoint_every_chunks: 1,
         }
     }
 }
@@ -121,6 +136,9 @@ struct ServerState {
     next_id: AtomicU64,
     started: Instant,
     outbox_cap: usize,
+    /// The durable snapshot store shared with the worker pool; `None`
+    /// when checkpointing is disabled.
+    snapshots: Option<Arc<SnapshotStore>>,
 }
 
 const RESULT_RETENTION: usize = 4096;
@@ -221,10 +239,18 @@ impl ServerState {
         ])
     }
 
-    /// The deadline/watchdog/retry health block shared by `stats` and
-    /// `health`: how often the daemon had to defend itself.
+    /// The deadline/watchdog/checkpoint health block shared by `stats`
+    /// and `health`: how often the daemon had to defend itself, and how
+    /// often the snapshot store let work survive. `resumes` counts
+    /// successful snapshot loads (journal replay, the `resume` verb, and
+    /// client reconnects all go through the same store).
     fn survivability_json(&self) -> Json {
         let c = &self.counters;
+        let ck = self
+            .snapshots
+            .as_deref()
+            .map(SnapshotStore::stats)
+            .unwrap_or_default();
         Json::obj(vec![
             ("deadlines", c.deadlines.load(Ordering::SeqCst).into()),
             (
@@ -235,6 +261,10 @@ impl ServerState {
                 "workers_respawned",
                 c.workers_respawned.load(Ordering::SeqCst).into(),
             ),
+            ("checkpoints", ck.saved.into()),
+            ("resumes", (ck.loaded_current + ck.loaded_previous).into()),
+            ("checkpoint_rejects", ck.rejected_total().into()),
+            ("checkpoint_restarts", ck.fell_to_zero.into()),
         ])
     }
 }
@@ -329,6 +359,16 @@ impl Server {
             let disk = limpet_harness::DiskCache::open(dir)?;
             KernelCache::global().set_disk_cache(Some(Arc::new(disk)));
         }
+        // The snapshot store lives beside the disk cache by default: same
+        // volume, same operational lifetime.
+        let snapshot_dir = config
+            .snapshot_dir
+            .clone()
+            .or_else(|| config.cache_dir.as_ref().map(|d| d.join("checkpoints")));
+        let snapshots = match &snapshot_dir {
+            None => None,
+            Some(dir) => Some(Arc::new(SnapshotStore::new(dir)?)),
+        };
         let listener = match &config.listen {
             Listen::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr)?),
             Listen::Unix(path) => {
@@ -368,6 +408,7 @@ impl Server {
             next_id: AtomicU64::new(1),
             started: Instant::now(),
             outbox_cap: config.outbox_cap.max(1),
+            snapshots: snapshots.clone(),
         });
         let pool_state = Arc::clone(&state);
         let stall_state = Arc::clone(&state);
@@ -379,6 +420,8 @@ impl Server {
                 watchdog: config
                     .watchdog_ms
                     .map(|ms| Duration::from_millis(ms.max(1))),
+                snapshot_store: snapshots,
+                checkpoint_every_chunks: config.checkpoint_every_chunks,
             },
             move |spec, outcome| pool_state.on_done(spec, outcome),
             move |spec, reason| {
@@ -504,16 +547,19 @@ impl Server {
     }
 }
 
-/// What a connection needs from the pool: submit access without owning
-/// the pool (the server keeps ownership for shutdown).
+/// What a connection needs from the pool: submit access and the
+/// checkpoint-request capability, without owning the pool (the server
+/// keeps ownership for shutdown).
 struct PoolHandle {
     queue: Arc<Bounded<QueuedJob>>,
+    ckpt: CheckpointRequester,
 }
 
 impl PoolHandle {
     fn new(pool: &Pool) -> PoolHandle {
         PoolHandle {
             queue: pool.queue_handle(),
+            ckpt: pool.checkpoint_requester(),
         }
     }
 
@@ -527,27 +573,35 @@ impl PoolHandle {
 }
 
 /// Replays journal lines into the list of jobs to resume: every
-/// `job <spec>` without a matching `done {"id":…}` record.
+/// `job <spec>` without a *later* matching `done {"id":…}` record.
+/// Order-aware on purpose — the `resume` verb re-journals a job after
+/// its `done` line (e.g. a deadline the operator chose to continue), and
+/// that re-opened job must survive the next replay too.
 fn replay(lines: &[String]) -> Vec<JobSpec> {
-    let mut jobs: Vec<JobSpec> = Vec::new();
-    let mut done: Vec<String> = Vec::new();
+    let mut open: BTreeMap<String, JobSpec> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
     for line in lines {
         if let Some(body) = line.strip_prefix("job ") {
             if let Ok(v) = Json::parse(body) {
                 if let Ok(spec) = JobSpec::from_json(&v, "journal") {
-                    jobs.push(spec);
+                    if open.insert(spec.id.clone(), spec.clone()).is_none() {
+                        order.push(spec.id);
+                    }
                 }
             }
         } else if let Some(body) = line.strip_prefix("done ") {
             if let Ok(v) = Json::parse(body) {
                 if let Some(id) = v.get("id").and_then(Json::as_str) {
-                    done.push(id.to_owned());
+                    open.remove(id);
+                    order.retain(|o| o != id);
                 }
             }
         }
     }
-    jobs.retain(|j| !done.iter().any(|d| d == &j.id));
-    jobs
+    order
+        .into_iter()
+        .filter_map(|id| open.remove(&id))
+        .collect()
 }
 
 /// Longest request line the daemon accepts. One NDJSON frame is one job
@@ -718,6 +772,26 @@ fn dispatch(
             shutdown::request();
             Some(Json::obj(vec![("event", Json::str("stopping"))]))
         }
+        "checkpoint" => {
+            let id = v.get("id").and_then(Json::as_str).unwrap_or("");
+            if id.is_empty() {
+                return Some(error_event("checkpoint requires 'id'"));
+            }
+            let Some(store) = &state.snapshots else {
+                return Some(error_event("checkpointing is disabled (no snapshot dir)"));
+            };
+            // `active` — the owning worker will snapshot at its next
+            // chunk boundary; `snapshot` — a durable snapshot already
+            // exists right now (an earlier cadence save).
+            let active = pool.ckpt.request(id);
+            Some(Json::obj(vec![
+                ("event", Json::str("checkpoint")),
+                ("id", Json::str(id)),
+                ("active", active.into()),
+                ("snapshot", store.has(id).into()),
+            ]))
+        }
+        "resume" => Some(resume(&v, state, pool, outbox)),
         "submit" => Some(submit(&v, state, pool, outbox)),
         other => Some(error_event(&format!("unknown verb '{other}'"))),
     }
@@ -734,6 +808,61 @@ fn submit(
         Ok(s) => s,
         Err(e) => return error_event(&e),
     };
+    admit_and_queue(spec, state, pool, outbox, None)
+}
+
+/// The `resume` verb: re-admits a job from its durable snapshot. The
+/// snapshot embeds the original job-spec JSON, so the caller supplies
+/// only the id; the resubmitted job then restores the snapshot inside
+/// `run_job` and continues from the recorded step. Works for jobs the
+/// daemon lost to a crash, a disconnect, or (deliberately) a deadline.
+fn resume(
+    v: &Json,
+    state: &Arc<ServerState>,
+    pool: &PoolHandle,
+    outbox: &Arc<Bounded<String>>,
+) -> Json {
+    let id = v.get("id").and_then(Json::as_str).unwrap_or("");
+    if id.is_empty() {
+        return error_event("resume requires 'id'");
+    }
+    let Some(store) = &state.snapshots else {
+        return error_event("checkpointing is disabled (no snapshot dir)");
+    };
+    // Run the real load ladder: a corrupt current file is rejected,
+    // healed, and the previous rotation (if any) serves the resume.
+    let outcome = store.load(id);
+    for (path, reason) in &outcome.rejects {
+        eprintln!(
+            "limpet-serve: checkpoint: rejected snapshot {} ({}); removed",
+            path.display(),
+            reason.as_str()
+        );
+    }
+    let Some(snap) = &outcome.snapshot else {
+        return error_event(&format!("no durable snapshot for job '{id}'"));
+    };
+    let Some(meta) = &snap.meta else {
+        return error_event(&format!("snapshot for job '{id}' carries no job spec"));
+    };
+    let spec = match Json::parse(meta).map_err(|e| e.to_string()).and_then(|m| {
+        JobSpec::from_json(&m, id).map_err(|e| format!("snapshot spec for '{id}' invalid: {e}"))
+    }) {
+        Ok(s) => s,
+        Err(e) => return error_event(&e),
+    };
+    admit_and_queue(spec, state, pool, outbox, Some(snap.steps_done))
+}
+
+/// Shared admission tail of `submit` and `resume`: quota check, journal
+/// `job` line, and hand-off to the pool.
+fn admit_and_queue(
+    spec: JobSpec,
+    state: &Arc<ServerState>,
+    pool: &PoolHandle,
+    outbox: &Arc<Bounded<String>>,
+    resumed_from: Option<u64>,
+) -> Json {
     if let Err(r) = state.ledger.admit(&spec.tenant, spec.cost()) {
         state.counters.rejected.fetch_add(1, Ordering::SeqCst);
         return Json::obj(vec![
@@ -745,12 +874,16 @@ fn submit(
     }
     state.counters.submitted.fetch_add(1, Ordering::SeqCst);
     state.journal_line(&format!("job {}", spec.to_json()));
-    let accepted = Json::obj(vec![
+    let mut fields = vec![
         ("event", Json::str("accepted")),
         ("id", Json::str(&spec.id)),
         ("tenant", Json::str(&spec.tenant)),
         ("cost", spec.cost().into()),
-    ]);
+    ];
+    if let Some(step) = resumed_from {
+        fields.push(("resumed_from_step", step.into()));
+    }
+    let accepted = Json::obj(fields);
     let job = QueuedJob {
         spec: spec.clone(),
         outbox: Some(Arc::clone(outbox)),
@@ -809,6 +942,7 @@ mod tests {
             next_id: AtomicU64::new(1),
             started: Instant::now(),
             outbox_cap: 4,
+            snapshots: None,
         };
         state.counters.deadlines.store(3, Ordering::SeqCst);
         state.counters.watchdog_stalls.store(2, Ordering::SeqCst);
@@ -845,8 +979,31 @@ mod tests {
         let surv = stats.get("survivability").expect("survivability object");
         let rendered = surv.to_string();
         assert_eq!(
-            rendered, r#"{"deadlines":3,"watchdog_stalls":2,"workers_respawned":2}"#,
+            rendered,
+            r#"{"checkpoint_rejects":0,"checkpoint_restarts":0,"checkpoints":0,"deadlines":3,"resumes":0,"watchdog_stalls":2,"workers_respawned":2}"#,
             "survivability block shape drifted"
         );
+    }
+
+    /// A `resume`-verb re-journal must re-open a job that already has a
+    /// `done` line — and a later `done` must close it again. Replay is
+    /// order-aware, not a flat set-subtraction.
+    #[test]
+    fn replay_reopens_a_job_rejournaled_after_done() {
+        let lines = vec![
+            spec_line("a"),
+            format!(r#"done {{"event":"done","id":"a","status":"deadline"}}"#),
+            spec_line("a"), // the `resume` verb re-journals the spec
+        ];
+        let ids: Vec<String> = replay(&lines).into_iter().map(|s| s.id).collect();
+        assert_eq!(ids, ["a"]);
+
+        let closed = vec![
+            spec_line("a"),
+            format!(r#"done {{"event":"done","id":"a","status":"deadline"}}"#),
+            spec_line("a"),
+            format!(r#"done {{"event":"done","id":"a","status":"done"}}"#),
+        ];
+        assert!(replay(&closed).is_empty());
     }
 }

@@ -369,6 +369,14 @@ impl Kernel {
         self.steps.load(Ordering::Relaxed)
     }
 
+    /// Raises the executed-step counter to at least `floor`. Used when a
+    /// checkpoint restores a kernel's pre-crash heat so promotion
+    /// heuristics resume where they left off; `fetch_max` keeps the
+    /// restore idempotent and never double-counts a warm process.
+    pub fn restore_executed_steps(&self, floor: u64) {
+        self.steps.fetch_max(floor, Ordering::Relaxed);
+    }
+
     /// Allocates state storage for `n_cells` with the given layout.
     pub fn new_states(&self, n_cells: usize, layout: crate::StateLayout) -> CellStates {
         CellStates::new(n_cells, &self.info.state_inits, layout)

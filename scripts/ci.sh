@@ -53,7 +53,9 @@ LIMPET_INJECT="disk-corrupt@3,disk-truncate@5,disk-stale-version@1" \
 cp output/digests.csv "$PERSIST_OUT/faulted.csv"
 grep -q "disk cache entry rejected" "$PERSIST_OUT/faulted.txt" \
   || { echo "persistence gate: injected disk faults left no incident"; cat "$PERSIST_OUT/faulted.txt"; exit 1; }
-cmp "$PERSIST_OUT/cold.csv" "$PERSIST_OUT/faulted.csv" \
+# The digest columns must match; the tier column may legitimately
+# differ (a faulted lookup can finish on a different rung).
+cmp <(cut -d, -f1-3 "$PERSIST_OUT/cold.csv") <(cut -d, -f1-3 "$PERSIST_OUT/faulted.csv") \
   || { echo "persistence gate: faulted digests diverged from cold"; exit 1; }
 ./target/release/figures --cache stat --cache-dir "$PERSIST_DIR" > /dev/null
 ./target/release/figures --cache clear --cache-dir "$PERSIST_DIR" | grep -q "cleared" \
@@ -110,7 +112,10 @@ cp output/digests.csv "$NATIVE_OUT/bytecode.csv"
 ./target/release/figures --digest --models "$SUBSET" --cells 64 --steps 400 \
   --native --native-threshold 1 --cache-dir "$NATIVE_DIR" > "$NATIVE_OUT/async.txt"
 cp output/digests.csv "$NATIVE_OUT/async.csv"
-cmp "$NATIVE_OUT/bytecode.csv" "$NATIVE_OUT/async.csv" \
+# Compare model/config/digest only: the async run legitimately reports
+# tier native where the bytecode run reports optimized — the digest
+# equality is the claim.
+cmp <(cut -d, -f1-3 "$NATIVE_OUT/bytecode.csv") <(cut -d, -f1-3 "$NATIVE_OUT/async.csv") \
   || { echo "native gate: digests diverged under --native"; diff "$NATIVE_OUT/bytecode.csv" "$NATIVE_OUT/async.csv" || true; exit 1; }
 ./target/release/figures --native-bench --models "$SUBSET" --cells 64 --steps 100 \
   --repeats 2 --cache-dir "$NATIVE_DIR" > "$NATIVE_OUT/bench.txt"
@@ -148,7 +153,7 @@ for FAULT in cc-fail dlopen-fail native-divergent compile-hang; do
   LIMPET_INJECT="$FAULT@7" ./target/release/figures --native-bench --models HodgkinHuxley \
     --cells 64 --steps 100 --repeats 1 --cache-dir "$FDIR" \
     >> "$NATIVE_OUT/fault-$FAULT.txt"
-  cmp "$NATIVE_OUT/hh.csv" "$NATIVE_OUT/fault-$FAULT.csv" \
+  cmp <(cut -d, -f1-3 "$NATIVE_OUT/hh.csv") <(cut -d, -f1-3 "$NATIVE_OUT/fault-$FAULT.csv") \
     || { echo "native gate: $FAULT run diverged from bytecode"; exit 1; }
   grep -q "\[$MARK\]" "$NATIVE_OUT/fault-$FAULT.txt" \
     || { echo "native gate: $MARK incident not surfaced"; cat "$NATIVE_OUT/fault-$FAULT.txt"; exit 1; }
@@ -197,9 +202,13 @@ CLIENT=./target/release/limpet-client
   --cache-dir "$SERVE_DIR" > /dev/null
 sort output/digests.csv > "$SERVE_OUT/expected.csv"
 
+# --checkpoint-every is deliberately coarse here: the chunk-1 victim
+# below would otherwise fsync a snapshot every single step of its
+# headless re-run. The dedicated checkpoint gate covers mid-trajectory
+# snapshot resume; this gate covers journal replay.
 ./target/release/limpet-serve --unix "$SERVE_SOCK" --workers 4 \
   --cache-dir "$SERVE_DIR" --journal "$SERVE_DIR/jobs.journal" \
-  > "$SERVE_OUT/serve.log" 2>&1 &
+  --checkpoint-every 1000 > "$SERVE_OUT/serve.log" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
 [ -S "$SERVE_SOCK" ] \
@@ -256,7 +265,7 @@ SLOW_PID=""
 # digest must be bit-identical to the uninterrupted reference run.
 ./target/release/limpet-serve --unix "$SERVE_SOCK" --workers 2 \
   --cache-dir "$SERVE_DIR" --journal "$SERVE_DIR/jobs.journal" \
-  > "$SERVE_OUT/serve2.log" 2>&1 &
+  --checkpoint-every 1000 > "$SERVE_OUT/serve2.log" 2>&1 &
 SERVE2_PID=$!
 for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
 [ -S "$SERVE_SOCK" ] \
@@ -354,6 +363,124 @@ wait "$CHAOS_PID" \
 CHAOS_PID=""
 trap - EXIT
 rm -rf "$CHAOS_DIR" "$CHAOS_OUT"
+
+echo "==> checkpoint gate (durable mid-trajectory snapshots: kill -9 resume, fault fallback)"
+# Proves the tentpole end to end on the CI subset shape: a daemon writing
+# durable snapshots is kill -9ed mid-trajectory; the restarted daemon
+# must resume the victim from a snapshot (resumed step > 0 in its log,
+# not a step-0 re-run) with a digest bit-identical to an uninterrupted
+# reference; then an injected ckpt-corrupt on a later job's snapshot
+# load must self-heal onto the previous rotation and still match.
+CKPT_DIR=$(mktemp -d)
+CKPT_OUT=$(mktemp -d)
+CKPT_SOCK="$CKPT_DIR/ckpt.sock"
+CKPT_PID=""
+CKPT2_PID=""
+CKPT_SLOW_PID=""
+trap 'kill -9 ${CKPT_PID:-} ${CKPT2_PID:-} ${CKPT_SLOW_PID:-} 2>/dev/null || true' EXIT
+SNAPDIR="$CKPT_DIR/checkpoints"
+./target/release/limpet-serve --unix "$CKPT_SOCK" --workers 2 \
+  --cache-dir "$CKPT_DIR" --journal "$CKPT_DIR/jobs.journal" \
+  --checkpoint-every 5 > "$CKPT_OUT/serve.log" 2>&1 &
+CKPT_PID=$!
+for _ in $(seq 1 100); do [ -S "$CKPT_SOCK" ] && break; sleep 0.1; done
+[ -S "$CKPT_SOCK" ] \
+  || { echo "checkpoint gate: daemon did not come up"; cat "$CKPT_OUT/serve.log"; exit 1; }
+
+# Uninterrupted reference for the victim shape.
+"$CLIENT" --unix "$CKPT_SOCK" submit --model BeelerReuter --cells 64 \
+  --steps 6000 --chunk 50 --id ckpt-ref --tenant ci-a > "$CKPT_OUT/ref.txt"
+REF_DIGEST=$(grep -o '"digest":"[0-9a-f]\{16\}"' "$CKPT_OUT/ref.txt" | head -1)
+[ -n "$REF_DIGEST" ] || { echo "checkpoint gate: no reference digest"; cat "$CKPT_OUT/ref.txt"; exit 1; }
+
+# Victim: a slow reader keeps it mid-trajectory while the cadence writes
+# snapshots; kill -9 lands only after a snapshot is durably on disk.
+"$CLIENT" --unix "$CKPT_SOCK" submit --model BeelerReuter --cells 64 \
+  --steps 6000 --chunk 50 --id ckpt-victim --tenant ci-a --slow-ms 200 \
+  > /dev/null 2>&1 &
+CKPT_SLOW_PID=$!
+SNAPPED=""
+for _ in $(seq 1 100); do
+  ls "$SNAPDIR"/ckpt-*-ckpt-victim.lcp > /dev/null 2>&1 && { SNAPPED=yes; break; }
+  sleep 0.1
+done
+[ -n "$SNAPPED" ] \
+  || { echo "checkpoint gate: no snapshot written before kill"; ls -la "$SNAPDIR" 2>/dev/null; cat "$CKPT_OUT/serve.log"; exit 1; }
+kill -9 "$CKPT_PID"
+wait "$CKPT_PID" 2>/dev/null || true
+CKPT_PID=""
+kill "$CKPT_SLOW_PID" 2>/dev/null || true
+wait "$CKPT_SLOW_PID" 2>/dev/null || true
+CKPT_SLOW_PID=""
+
+# Restart: journal replay re-admits the victim, which must resume from
+# the snapshot — mid-trajectory, not step 0 — and finish bit-identical.
+./target/release/limpet-serve --unix "$CKPT_SOCK" --workers 2 \
+  --cache-dir "$CKPT_DIR" --journal "$CKPT_DIR/jobs.journal" \
+  --checkpoint-every 5 > "$CKPT_OUT/serve2.log" 2>&1 &
+CKPT2_PID=$!
+for _ in $(seq 1 100); do [ -S "$CKPT_SOCK" ] && break; sleep 0.1; done
+[ -S "$CKPT_SOCK" ] \
+  || { echo "checkpoint gate: daemon did not restart"; cat "$CKPT_OUT/serve2.log"; exit 1; }
+DONE=""
+for _ in $(seq 1 240); do
+  "$CLIENT" --unix "$CKPT_SOCK" result --id ckpt-victim > "$CKPT_OUT/victim.txt" || true
+  if grep -q '"event":"done"' "$CKPT_OUT/victim.txt"; then DONE=yes; break; fi
+  sleep 0.5
+done
+[ -n "$DONE" ] || { echo "checkpoint gate: victim never finished"; cat "$CKPT_OUT/serve2.log"; exit 1; }
+grep -Eq 'checkpoint: resumed job ckpt-victim at step [1-9]' "$CKPT_OUT/serve2.log" \
+  || { echo "checkpoint gate: victim was not resumed from a snapshot (step-0 re-run?)"; cat "$CKPT_OUT/serve2.log"; exit 1; }
+VICTIM_DIGEST=$(grep -o '"digest":"[0-9a-f]\{16\}"' "$CKPT_OUT/victim.txt" | head -1)
+[ "$VICTIM_DIGEST" = "$REF_DIGEST" ] \
+  || { echo "checkpoint gate: resumed digest $VICTIM_DIGEST != reference $REF_DIGEST"; exit 1; }
+
+# Injected ckpt-corrupt: abort a job so it leaves current + previous
+# rotations, then re-submit the same id with the fault armed. The load
+# must reject the corrupted current (self-healing it away), fall back to
+# the previous rotation, and still finish with the reference digest.
+"$CLIENT" --unix "$CKPT_SOCK" submit --model BeelerReuter --cells 64 \
+  --steps 6000 --chunk 50 --id ckpt-prev --tenant ci-a --slow-ms 500 \
+  > /dev/null 2>&1 &
+CKPT_SLOW_PID=$!
+ROTATED=""
+for _ in $(seq 1 100); do
+  if ls "$SNAPDIR"/ckpt-*-ckpt-prev.lcp > /dev/null 2>&1 \
+     && ls "$SNAPDIR"/ckpt-*-ckpt-prev.prev.lcp > /dev/null 2>&1; then ROTATED=yes; break; fi
+  sleep 0.1
+done
+[ -n "$ROTATED" ] \
+  || { echo "checkpoint gate: no rotated snapshot pair"; ls -la "$SNAPDIR" 2>/dev/null; exit 1; }
+kill "$CKPT_SLOW_PID" 2>/dev/null || true
+wait "$CKPT_SLOW_PID" 2>/dev/null || true
+CKPT_SLOW_PID=""
+sleep 1  # the disconnect abort lands and writes its final snapshot
+"$CLIENT" --unix "$CKPT_SOCK" submit --model BeelerReuter --cells 64 \
+  --steps 6000 --chunk 50 --id ckpt-prev --tenant ci-a \
+  --inject ckpt-corrupt@7 > "$CKPT_OUT/corrupt.txt"
+grep -q '"status":"done"' "$CKPT_OUT/corrupt.txt" \
+  || { echo "checkpoint gate: faulted resume did not complete"; cat "$CKPT_OUT/corrupt.txt"; exit 1; }
+CORRUPT_DIGEST=$(grep -o '"digest":"[0-9a-f]\{16\}"' "$CKPT_OUT/corrupt.txt" | head -1)
+[ "$CORRUPT_DIGEST" = "$REF_DIGEST" ] \
+  || { echo "checkpoint gate: previous-rotation digest $CORRUPT_DIGEST != reference $REF_DIGEST"; exit 1; }
+grep -q 'checksum-mismatch' "$CKPT_OUT/serve2.log" \
+  || { echo "checkpoint gate: corrupted snapshot was not rejected on the checksum rung"; cat "$CKPT_OUT/serve2.log"; exit 1; }
+grep -q 'previous rotation' "$CKPT_OUT/serve2.log" \
+  || { echo "checkpoint gate: resume did not fall back to the previous rotation"; cat "$CKPT_OUT/serve2.log"; exit 1; }
+"$CLIENT" --unix "$CKPT_SOCK" stats > "$CKPT_OUT/stats.json"
+grep -Eq '"checkpoints":[1-9]' "$CKPT_OUT/stats.json" \
+  || { echo "checkpoint gate: no checkpoints counted"; cat "$CKPT_OUT/stats.json"; exit 1; }
+grep -Eq '"resumes":[1-9]' "$CKPT_OUT/stats.json" \
+  || { echo "checkpoint gate: no resumes counted"; cat "$CKPT_OUT/stats.json"; exit 1; }
+grep -Eq '"checkpoint_rejects":[1-9]' "$CKPT_OUT/stats.json" \
+  || { echo "checkpoint gate: the injected reject was not counted"; cat "$CKPT_OUT/stats.json"; exit 1; }
+"$CLIENT" --unix "$CKPT_SOCK" shutdown | grep -q '"event":"stopping"' \
+  || { echo "checkpoint gate: shutdown verb not acknowledged"; exit 1; }
+wait "$CKPT2_PID" \
+  || { echo "checkpoint gate: daemon exited uncleanly after shutdown"; exit 1; }
+CKPT2_PID=""
+trap - EXIT
+rm -rf "$CKPT_DIR" "$CKPT_OUT"
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
